@@ -1,0 +1,89 @@
+// Ablation (extension): deterministic crowding vs the paper's generational
+// replacement, on the instance class where replacement matters most — the
+// MD-deceptive 8-puzzles analysed in EXPERIMENTS.md (adjacent transpositions:
+// every first move lowers Eq. 6's goal fitness, so generational populations
+// collapse onto short plateau genomes).
+#include "bench_common.hpp"
+
+#include "core/experiment.hpp"
+#include "domains/sliding_tile.hpp"
+
+namespace {
+
+using namespace gaplan;
+
+/// Draws a random solvable board whose Manhattan distance is far below its
+/// true difficulty: take the goal, apply a few adjacent-tile transposition
+/// patterns via short cycles... in practice, rejection-sample random boards
+/// with MD <= 6 (shallow-looking boards are exactly the deceptive class: the
+/// nearby fitness peak dominates).
+domains::TileState deceptive_board(const domains::SlidingTile& gen,
+                                   util::Rng& rng) {
+  for (;;) {
+    const auto s = gen.random_solvable(rng);
+    if (gen.manhattan(s) <= 6) return s;
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto params = gaplan::bench::resolve(15, 100, 50, 500);
+
+  ga::GaConfig base;
+  base.population_size = params.population;
+  base.generations = params.generations;
+  base.phases = 5;
+  base.initial_length = 29;
+  base.max_length = 290;
+  gaplan::bench::print_header(
+      "Ablation: deterministic crowding vs generational replacement "
+      "(deceptive low-MD 8-puzzles + regular boards)",
+      base, params);
+
+  gaplan::util::Table table({"Instance Class", "Replacement", "Avg Goal Fitness",
+                             "Avg Size", "Solved Runs"});
+  gaplan::util::CsvWriter csv(
+      gaplan::bench::csv_path("ablation_crowding.csv"),
+      {"instance_class", "replacement", "avg_goal_fitness", "avg_size",
+       "solved", "runs"});
+
+  const gaplan::domains::SlidingTile gen(3);
+  for (const bool deceptive : {true, false}) {
+    for (const auto replacement : {ga::ReplacementKind::kGenerational,
+                                   ga::ReplacementKind::kCrowding}) {
+      ga::GaConfig cfg = base;
+      cfg.replacement = replacement;
+      std::vector<ga::RunRecord> records;
+      for (std::size_t r = 0; r < params.runs; ++r) {
+        gaplan::util::Rng inst_rng(params.seed + 271 * r + deceptive);
+        const auto board = deceptive ? deceptive_board(gen, inst_rng)
+                                     : gen.random_solvable(inst_rng);
+        const gaplan::domains::SlidingTile puzzle(3, board);
+        records.push_back(ga::replicate(puzzle, cfg, 1, params.seed + r).front());
+      }
+      const auto agg = ga::aggregate(records, cfg.phases);
+      const char* cls = deceptive ? "deceptive (MD<=6)" : "random";
+      table.add_row({cls, ga::to_string(replacement),
+                     gaplan::util::Table::num(agg.avg_goal_fitness, 3),
+                     gaplan::util::Table::num(agg.avg_plan_length, 1),
+                     gaplan::util::Table::integer(
+                         static_cast<long long>(agg.solved)) +
+                         "/" +
+                         gaplan::util::Table::integer(
+                             static_cast<long long>(agg.runs))});
+      csv.add_row({cls, ga::to_string(replacement),
+                   gaplan::util::Table::num(agg.avg_goal_fitness, 4),
+                   gaplan::util::Table::num(agg.avg_plan_length, 2),
+                   std::to_string(agg.solved), std::to_string(agg.runs)});
+      std::printf("  done: %s / %s (%zu/%zu)\n", cls, ga::to_string(replacement),
+                  agg.solved, agg.runs);
+    }
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  std::printf("Expected shape: on deceptive boards crowding's niche "
+              "preservation raises the solve rate over generational "
+              "replacement; on regular boards the two are comparable.\n");
+  std::printf("CSV: %s\n", csv.path().c_str());
+  return 0;
+}

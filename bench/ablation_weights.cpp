@@ -1,0 +1,56 @@
+// Ablation: fitness weight sweep (Eq. 4). The paper fixes w_g = 0.9 and
+// w_c = 0.1; this sweeps the goal/cost balance on 5-disk Hanoi to show the
+// planner's sensitivity: too much cost weight rewards short do-little plans,
+// zero cost weight removes plan-length pressure entirely.
+#include "bench_common.hpp"
+
+#include "core/experiment.hpp"
+#include "domains/hanoi.hpp"
+
+int main() {
+  using namespace gaplan;
+  const auto params = bench::resolve(5, 100, 10, 500);
+  const domains::Hanoi hanoi(5);
+
+  ga::GaConfig base;
+  base.population_size = params.population;
+  base.generations = params.generations;
+  base.phases = 5;
+  base.initial_length = static_cast<std::size_t>(hanoi.optimal_length());
+  base.max_length = 10 * base.initial_length;
+  bench::print_header("Ablation: goal/cost weight sweep (5-disk Hanoi)", base,
+                      params);
+
+  util::Table table({"w_goal", "w_cost", "Avg Goal Fitness", "Avg Size",
+                     "Solved Runs"});
+  util::CsvWriter csv(bench::csv_path("ablation_weights.csv"),
+                      {"w_goal", "w_cost", "avg_goal_fitness", "avg_size",
+                       "solved", "runs"});
+
+  const double weights[][2] = {{1.0, 0.0}, {0.95, 0.05}, {0.9, 0.1},
+                               {0.7, 0.3}, {0.5, 0.5},   {0.3, 0.7}};
+  for (const auto& w : weights) {
+    ga::GaConfig cfg = base;
+    cfg.goal_weight = w[0];
+    cfg.cost_weight = w[1];
+    const auto agg = ga::aggregate(
+        ga::replicate(hanoi, cfg, params.runs, params.seed), cfg.phases);
+    table.add_row({util::Table::num(w[0], 2), util::Table::num(w[1], 2),
+                   util::Table::num(agg.avg_goal_fitness, 3),
+                   util::Table::num(agg.avg_plan_length, 1),
+                   util::Table::integer(static_cast<long long>(agg.solved)) + "/" +
+                       util::Table::integer(static_cast<long long>(agg.runs))});
+    csv.add_row({util::Table::num(w[0], 2), util::Table::num(w[1], 2),
+                 util::Table::num(agg.avg_goal_fitness, 4),
+                 util::Table::num(agg.avg_plan_length, 2),
+                 std::to_string(agg.solved), std::to_string(agg.runs)});
+    std::printf("  done: w_g=%.2f w_c=%.2f\n", w[0], w[1]);
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  std::printf("Expected shape: goal-dominated weightings solve reliably; as "
+              "cost weight grows, solve rate collapses (short empty-progress "
+              "plans out-score goal progress) — the paper's w_g=0.9/w_c=0.1 "
+              "sits on the safe plateau.\n");
+  std::printf("CSV: %s\n", csv.path().c_str());
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Shared plumbing for the table-reproduction benches: environment-variable
+// overrides, paper-scale switching, and CSV export next to the binary.
+//
+//   GAPLAN_RUNS=N         replication count override
+//   GAPLAN_GENS=N         generations-per-phase override
+//   GAPLAN_POP=N          population size override
+//   GAPLAN_SEED=N         base seed (default 1)
+//   GAPLAN_PAPER_SCALE=1  use the paper's full protocol (10/50 runs, 500 gens)
+//   GAPLAN_CSV_DIR=path   where CSV exports go (default: current directory)
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/config.hpp"
+#include "util/csv.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+namespace gaplan::bench {
+
+struct BenchParams {
+  std::size_t runs;
+  std::size_t generations;
+  std::size_t population;
+  std::uint64_t seed;
+  bool paper;
+};
+
+/// Resolves the run protocol: quick defaults, the paper's protocol under
+/// GAPLAN_PAPER_SCALE=1, explicit env overrides always win.
+inline BenchParams resolve(std::size_t quick_runs, std::size_t quick_gens,
+                           std::size_t paper_runs, std::size_t paper_gens) {
+  BenchParams p;
+  p.paper = util::paper_scale();
+  p.runs = static_cast<std::size_t>(
+      util::env_int("GAPLAN_RUNS", static_cast<std::int64_t>(
+                                       p.paper ? paper_runs : quick_runs)));
+  p.generations = static_cast<std::size_t>(
+      util::env_int("GAPLAN_GENS", static_cast<std::int64_t>(
+                                       p.paper ? paper_gens : quick_gens)));
+  p.population = static_cast<std::size_t>(util::env_int("GAPLAN_POP", 200));
+  p.seed = static_cast<std::uint64_t>(util::env_int("GAPLAN_SEED", 1));
+  return p;
+}
+
+inline std::string csv_path(const std::string& name) {
+  return util::env_str("GAPLAN_CSV_DIR", ".") + "/" + name;
+}
+
+inline void print_header(const char* title, const ga::GaConfig& cfg,
+                         const BenchParams& p) {
+  std::printf("=== %s ===\n", title);
+  std::printf("protocol: %zu runs/config, %s scale%s\n", p.runs,
+              p.paper ? "paper" : "quick",
+              p.paper ? "" : " (set GAPLAN_PAPER_SCALE=1 for the full protocol)");
+  std::printf("GA settings: %s\n\n", cfg.summary().c_str());
+}
+
+}  // namespace gaplan::bench

@@ -1,0 +1,89 @@
+// Figure harness: per-generation convergence curves (best/mean fitness, mean
+// genome length, valid count) for the three crossover mechanisms on one
+// 8-puzzle instance and 6-disk Hanoi. The paper's figures are all state
+// diagrams, so this is the repository's figure-style artifact: the curves
+// visualise the §4 narrative — fitness climbing, lengths growing past the
+// initial size, and the crossover mechanisms' different mixing behaviour.
+//
+// Output: figure_convergence.csv with one row per (domain, crossover,
+// generation); stdout shows a coarse summary every 25 generations.
+#include "bench_common.hpp"
+
+#include "core/engine.hpp"
+#include "domains/hanoi.hpp"
+#include "domains/sliding_tile.hpp"
+
+namespace {
+
+using namespace gaplan;
+
+template <ga::PlanningProblem P>
+void trace(const char* domain, const P& problem, ga::GaConfig cfg,
+           ga::CrossoverKind kind, std::uint64_t seed, util::CsvWriter& csv) {
+  cfg.crossover = kind;
+  ga::PhaseRunner<P> runner(problem, cfg, nullptr);
+  util::Rng rng(seed);
+  runner.init(problem.initial_state(), rng);
+  for (std::size_t gen = 0; gen < cfg.generations; ++gen) {
+    const auto& stat = runner.step_evaluate();
+    csv.add_row({domain, ga::to_string(kind), std::to_string(gen),
+                 util::Table::num(stat.best_fitness, 5),
+                 util::Table::num(stat.mean_fitness, 5),
+                 util::Table::num(stat.best_goal_fit, 5),
+                 util::Table::num(stat.mean_length, 2),
+                 std::to_string(stat.valid_count)});
+    if (gen % 25 == 0) {
+      std::printf("  %-10s %-12s gen %3zu: best=%.3f mean=%.3f len=%.1f valid=%zu\n",
+                  domain, ga::to_string(kind), gen, stat.best_fitness,
+                  stat.mean_fitness, stat.mean_length, stat.valid_count);
+    }
+    if (gen + 1 < cfg.generations) runner.step_reproduce(rng);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto params = gaplan::bench::resolve(1, 150, 1, 500);
+  ga::GaConfig base;
+  base.population_size = params.population;
+  base.generations = params.generations;
+  base.stop_on_valid = false;
+  gaplan::bench::print_header(
+      "Figure: convergence curves per crossover mechanism", base, params);
+
+  gaplan::util::CsvWriter csv(
+      gaplan::bench::csv_path("figure_convergence.csv"),
+      {"domain", "crossover", "generation", "best_fitness", "mean_fitness",
+       "best_goal_fitness", "mean_length", "valid_count"});
+
+  const ga::CrossoverKind kinds[] = {ga::CrossoverKind::kRandom,
+                                     ga::CrossoverKind::kStateAware,
+                                     ga::CrossoverKind::kMixed};
+
+  {
+    gaplan::util::Rng inst_rng(params.seed + 11);
+    const gaplan::domains::SlidingTile gen(3);
+    gaplan::domains::TileState board;
+    // A mid-difficulty instance (Manhattan distance >= 10).
+    do {
+      board = gen.random_solvable(inst_rng);
+    } while (gen.manhattan(board) < 10);
+    const gaplan::domains::SlidingTile tile(3, board);
+    ga::GaConfig cfg = base;
+    cfg.initial_length = 29;
+    cfg.max_length = 290;
+    for (const auto kind : kinds) trace("8-puzzle", tile, cfg, kind, params.seed, csv);
+  }
+  {
+    const gaplan::domains::Hanoi hanoi(6);
+    ga::GaConfig cfg = base;
+    cfg.initial_length = 63;
+    cfg.max_length = 630;
+    for (const auto kind : kinds) trace("hanoi-6", hanoi, cfg, kind, params.seed, csv);
+  }
+  std::printf("\nCurves exported to %s (plot generation vs best/mean fitness "
+              "and mean length per crossover).\n",
+              csv.path().c_str());
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure harness: GA solve rate as a function of instance difficulty
+// (scramble depth) on the 8-puzzle, per crossover mechanism — quantifying the
+// paper's observation that "as problem sizes increase, our approach ...
+// experiences difficulties", at a finer granularity than Table 4's two board
+// sizes.
+#include <cmath>
+
+#include "bench_common.hpp"
+
+#include "core/experiment.hpp"
+#include "domains/sliding_tile.hpp"
+
+int main() {
+  using namespace gaplan;
+  const auto params = bench::resolve(8, 100, 30, 500);
+
+  ga::GaConfig base;
+  base.population_size = params.population;
+  base.generations = params.generations;
+  base.phases = 5;
+  base.initial_length = 29;
+  base.max_length = 290;
+  bench::print_header("Figure: 8-puzzle solve rate vs scramble depth", base,
+                      params);
+
+  util::Table table({"Scramble Depth", "Crossover", "Solved", "Avg Goal Fitness",
+                     "Avg Plan Length"});
+  util::CsvWriter csv(bench::csv_path("figure_difficulty.csv"),
+                      {"depth", "crossover", "solved", "runs",
+                       "avg_goal_fitness", "avg_plan_length"});
+
+  const domains::SlidingTile gen(3);
+  for (const std::size_t depth : {4u, 8u, 16u, 32u, 64u}) {
+    for (const auto kind : {ga::CrossoverKind::kRandom,
+                            ga::CrossoverKind::kStateAware,
+                            ga::CrossoverKind::kMixed}) {
+      ga::GaConfig cfg = base;
+      cfg.crossover = kind;
+      std::vector<ga::RunRecord> records;
+      for (std::size_t r = 0; r < params.runs; ++r) {
+        util::Rng inst_rng(params.seed + 131 * r + depth);
+        const domains::SlidingTile puzzle(3, gen.scrambled(depth, inst_rng));
+        records.push_back(ga::replicate(puzzle, cfg, 1, params.seed + r).front());
+      }
+      const auto agg = ga::aggregate(records, cfg.phases);
+      table.add_row({util::Table::integer(static_cast<long long>(depth)),
+                     ga::to_string(kind),
+                     util::Table::integer(static_cast<long long>(agg.solved)) + "/" +
+                         util::Table::integer(static_cast<long long>(agg.runs)),
+                     util::Table::num(agg.avg_goal_fitness, 3),
+                     util::Table::num(agg.avg_plan_length, 1)});
+      csv.add_row({std::to_string(depth), ga::to_string(kind),
+                   std::to_string(agg.solved), std::to_string(agg.runs),
+                   util::Table::num(agg.avg_goal_fitness, 4),
+                   util::Table::num(agg.avg_plan_length, 2)});
+      std::printf("  done: depth %zu / %s (%zu/%zu)\n", depth,
+                  ga::to_string(kind), agg.solved, agg.runs);
+    }
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  std::printf("Expected shape: near-certain solves at shallow depths, "
+              "degrading monotonically toward the random-board regime; the "
+              "three crossovers stay within a few runs of one another.\n");
+  std::printf("CSV: %s\n", csv.path().c_str());
+  return 0;
+}

@@ -1,0 +1,115 @@
+// The §1 motivation experiment: on a simulated heterogeneous grid, compare
+//   (a) a static script (plan once, never adapt),
+//   (b) the GA planner with dynamic re-planning,
+// across disruption scenarios (none / overload / failure / overload+failure)
+// and workload scales — completion rate, makespan, and monetary cost.
+//
+// The paper's §1 claim to verify: "a static script is incapable of taking
+// advantage of the full range of alternatives ... while planning does."
+#include "bench_common.hpp"
+
+#include "core/experiment.hpp"
+#include "grid/replanner.hpp"
+#include "grid/scenario.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace gaplan;
+
+struct ScenarioCase {
+  const char* name;
+  std::vector<grid::Disruption> disruptions;
+};
+
+grid::ReplanConfig make_config(std::uint64_t seed, std::size_t pop,
+                               std::size_t gens) {
+  grid::ReplanConfig cfg;
+  cfg.seed = seed;
+  cfg.ga.population_size = pop;
+  cfg.ga.generations = gens;
+  cfg.ga.phases = 3;
+  cfg.ga.crossover = ga::CrossoverKind::kMixed;
+  cfg.ga.initial_length = 10;
+  cfg.ga.max_length = 40;
+  cfg.ga.cost_fitness = ga::CostFitnessKind::kInverseCost;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const auto params = gaplan::bench::resolve(10, 60, 30, 80);
+  const auto base_cfg = make_config(params.seed, 100, params.generations);
+  gaplan::bench::print_header(
+      "Grid workflow: static script vs dynamic re-planning (image pipeline on "
+      "a 4-machine heterogeneous grid)",
+      base_cfg.ga, params);
+
+  const ScenarioCase cases[] = {
+      {"healthy", {}},
+      {"overload@10", {{10.0, 2, grid::Disruption::Kind::kOverload, 4.0}}},
+      {"failure@40", {{40.0, 2, grid::Disruption::Kind::kFailure, 0.0}}},
+      {"overload+failure",
+       {{10.0, 2, grid::Disruption::Kind::kOverload, 3.0},
+        {60.0, 2, grid::Disruption::Kind::kFailure, 0.0}}},
+      {"double-failure",
+       {{30.0, 2, grid::Disruption::Kind::kFailure, 0.0},
+        {50.0, 1, grid::Disruption::Kind::kFailure, 0.0}}},
+  };
+
+  gaplan::util::Table table({"Scenario", "Manager", "Completed", "Avg Makespan (s)",
+                             "Avg Cost", "Avg Replans"});
+  gaplan::util::CsvWriter csv(
+      gaplan::bench::csv_path("grid_workflow.csv"),
+      {"scenario", "manager", "completed", "runs", "avg_makespan", "avg_cost",
+       "avg_replans"});
+
+  for (const auto& scenario_case : cases) {
+    for (const bool dynamic : {false, true}) {
+      std::size_t completed = 0;
+      gaplan::util::RunningStat makespan, cost, replans;
+      for (std::size_t run = 0; run < params.runs; ++run) {
+        const auto scenario = grid::image_pipeline();
+        grid::ResourcePool pool = grid::demo_pool();
+        const auto problem = scenario.problem(pool);
+        auto cfg = base_cfg;
+        cfg.seed = params.seed + 17 * run;
+        const auto outcome =
+            dynamic ? grid::plan_and_execute(problem, pool,
+                                             scenario_case.disruptions, cfg)
+                    : grid::static_script_execute(problem, pool,
+                                                  scenario_case.disruptions, cfg);
+        if (outcome.completed) {
+          ++completed;
+          makespan.add(outcome.makespan);
+          cost.add(outcome.total_cost);
+        }
+        replans.add(static_cast<double>(outcome.planning_rounds - 1));
+      }
+      const char* manager = dynamic ? "re-planning" : "static script";
+      table.add_row(
+          {scenario_case.name, manager,
+           gaplan::util::Table::integer(static_cast<long long>(completed)) + "/" +
+               gaplan::util::Table::integer(static_cast<long long>(params.runs)),
+           completed ? gaplan::util::Table::num(makespan.mean(), 1) : "-",
+           completed ? gaplan::util::Table::num(cost.mean(), 1) : "-",
+           gaplan::util::Table::num(replans.mean(), 2)});
+      csv.add_row({scenario_case.name, manager, std::to_string(completed),
+                   std::to_string(params.runs),
+                   gaplan::util::Table::num(makespan.mean(), 2),
+                   gaplan::util::Table::num(cost.mean(), 2),
+                   gaplan::util::Table::num(replans.mean(), 3)});
+      std::printf("  done: %s / %s (%zu/%zu)\n", scenario_case.name, manager,
+                  completed, params.runs);
+    }
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  std::printf("Expected shapes: both complete on the healthy grid with similar "
+              "cost; under overload both complete but the re-planner can "
+              "route around the slow machine; under failures the static "
+              "script dies while the re-planner completes with ~1 extra "
+              "planning round and moderately higher cost.\n");
+  std::printf("CSV: %s\n", csv.path().c_str());
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Heuristic comparison on the sliding-tile puzzles — the Korf & Taylor /
+// Korf & Felner thread of the paper's related work (§2): Manhattan distance
+// vs linear conflict vs disjoint pattern databases, by nodes expanded in A*
+// (8-puzzle) and IDA* (15-puzzle).
+#include <functional>
+
+#include "bench_common.hpp"
+
+#include "domains/sliding_tile.hpp"
+#include "domains/tile_pdb.hpp"
+#include "search/astar.hpp"
+#include "search/ida_star.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace gaplan;
+  const auto params = bench::resolve(20, 0, 50, 0);
+  std::printf("=== Heuristic comparison: Manhattan vs linear conflict vs "
+              "disjoint PDBs ===\n");
+  std::printf("protocol: %zu instances per row\n\n", params.runs);
+
+  util::Table table({"Puzzle", "Search", "Heuristic", "Solved",
+                     "Avg Optimal Length", "Avg Nodes Expanded", "Avg Seconds"});
+  util::CsvWriter csv(bench::csv_path("heuristics.csv"),
+                      {"puzzle", "search", "heuristic", "solved", "avg_length",
+                       "avg_nodes", "avg_seconds"});
+
+  // --- 8-puzzle with A* -------------------------------------------------------
+  {
+    const domains::SlidingTile gen(3);
+    const auto pdb = domains::DisjointPatternHeuristic::standard(3);
+    struct H {
+      const char* name;
+      std::function<double(const domains::TileState&)> fn;
+    };
+    const domains::SlidingTile* active = nullptr;
+    std::vector<H> heuristics;
+    heuristics.push_back({"manhattan", [&](const domains::TileState& s) {
+                            return static_cast<double>(active->manhattan(s));
+                          }});
+    heuristics.push_back({"linear-conflict", [&](const domains::TileState& s) {
+                            return static_cast<double>(active->linear_conflict(s));
+                          }});
+    heuristics.push_back({"pdb-4-4", [&](const domains::TileState& s) {
+                            return static_cast<double>(pdb(s));
+                          }});
+    for (const auto& h : heuristics) {
+      util::RunningStat nodes, length, seconds;
+      std::size_t solved = 0;
+      for (std::size_t i = 0; i < params.runs; ++i) {
+        util::Rng inst_rng(params.seed + i);
+        const domains::SlidingTile puzzle(3, gen.random_solvable(inst_rng));
+        active = &puzzle;
+        util::Timer timer;
+        const auto r = search::astar(puzzle, puzzle.initial_state(), h.fn);
+        if (r.found) {
+          ++solved;
+          nodes.add(static_cast<double>(r.expanded));
+          length.add(static_cast<double>(r.plan.size()));
+          seconds.add(timer.seconds());
+        }
+      }
+      table.add_row({"8-puzzle", "A*", h.name,
+                     util::Table::integer(static_cast<long long>(solved)) + "/" +
+                         util::Table::integer(static_cast<long long>(params.runs)),
+                     util::Table::num(length.mean(), 1),
+                     util::Table::num(nodes.mean(), 0),
+                     util::Table::num(seconds.mean(), 4)});
+      csv.add_row({"8-puzzle", "astar", h.name, std::to_string(solved),
+                   util::Table::num(length.mean(), 2),
+                   util::Table::num(nodes.mean(), 1),
+                   util::Table::num(seconds.mean(), 5)});
+      std::printf("  done: 8-puzzle / %s\n", h.name);
+    }
+  }
+
+  // --- 15-puzzle with IDA* (scramble-bounded instances) ------------------------
+  {
+    const domains::SlidingTile gen(4);
+    const auto pdb = domains::DisjointPatternHeuristic::standard(4);
+    const std::size_t instances = std::max<std::size_t>(3, params.runs / 4);
+    struct H {
+      const char* name;
+      std::function<double(const domains::TileState&)> fn;
+    };
+    const domains::SlidingTile* active = nullptr;
+    std::vector<H> heuristics;
+    heuristics.push_back({"manhattan", [&](const domains::TileState& s) {
+                            return static_cast<double>(active->manhattan(s));
+                          }});
+    heuristics.push_back({"linear-conflict", [&](const domains::TileState& s) {
+                            return static_cast<double>(active->linear_conflict(s));
+                          }});
+    heuristics.push_back({"pdb-5-5-5", [&](const domains::TileState& s) {
+                            return static_cast<double>(pdb(s));
+                          }});
+    for (const auto& h : heuristics) {
+      util::RunningStat nodes, length, seconds;
+      std::size_t solved = 0;
+      for (std::size_t i = 0; i < instances; ++i) {
+        util::Rng inst_rng(params.seed + 100 + i);
+        const domains::SlidingTile puzzle(4, gen.scrambled(30, inst_rng));
+        active = &puzzle;
+        search::SearchLimits limits;
+        limits.max_expanded = 5'000'000;
+        limits.max_seconds = 20.0;
+        util::Timer timer;
+        const auto r =
+            search::ida_star(puzzle, puzzle.initial_state(), h.fn, limits);
+        if (r.found) {
+          ++solved;
+          nodes.add(static_cast<double>(r.expanded));
+          length.add(static_cast<double>(r.plan.size()));
+          seconds.add(timer.seconds());
+        }
+      }
+      table.add_row({"15-puzzle(s30)", "IDA*", h.name,
+                     util::Table::integer(static_cast<long long>(solved)) + "/" +
+                         util::Table::integer(static_cast<long long>(instances)),
+                     util::Table::num(length.mean(), 1),
+                     util::Table::num(nodes.mean(), 0),
+                     util::Table::num(seconds.mean(), 4)});
+      csv.add_row({"15-puzzle-s30", "idastar", h.name, std::to_string(solved),
+                   util::Table::num(length.mean(), 2),
+                   util::Table::num(nodes.mean(), 1),
+                   util::Table::num(seconds.mean(), 5)});
+      std::printf("  done: 15-puzzle / %s\n", h.name);
+    }
+  }
+
+  std::printf("\n%s\n", table.render().c_str());
+  std::printf("Expected shape (Korf & Felner): linear conflict and the PDBs "
+              "expand markedly fewer nodes than Manhattan at identical "
+              "(optimal) plan lengths; the PDB advantage widens with instance "
+              "depth (dominant on full-depth 15-puzzles).\n");
+  std::printf("CSV: %s\n", csv.path().c_str());
+  return 0;
+}

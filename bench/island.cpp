@@ -1,0 +1,80 @@
+// Island-model extension bench: islands x migration-interval sweep on 6-disk
+// Hanoi at a fixed total evaluation budget (population is split across
+// islands), measuring solve rate and generations to first valid solution.
+#include "bench_common.hpp"
+
+#include "core/island.hpp"
+#include "domains/hanoi.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace gaplan;
+  const auto params = bench::resolve(5, 400, 10, 1000);
+  const int disks = 6;
+  const domains::Hanoi hanoi(disks);
+
+  ga::GaConfig base;
+  base.population_size = 240;  // divisible by 1..4 islands
+  base.generations = params.generations;
+  base.initial_length = static_cast<std::size_t>(hanoi.optimal_length());
+  base.max_length = 10 * base.initial_length;
+  base.stop_on_valid = true;
+  bench::print_header(
+      "Island model: islands x migration interval (6-disk Hanoi, fixed total "
+      "population)",
+      base, params);
+
+  util::Table table({"Islands", "Migration Interval", "Solved Runs",
+                     "Avg Gens to Solve", "Avg Best Goal Fitness"});
+  util::CsvWriter csv(bench::csv_path("island.csv"),
+                      {"islands", "interval", "solved", "runs", "avg_gens",
+                       "avg_goal_fitness"});
+
+  struct Cell {
+    std::size_t islands;
+    std::size_t interval;
+  };
+  const Cell cells[] = {{1, 0}, {2, 0}, {2, 25}, {4, 0}, {4, 25}, {4, 100}};
+  for (const auto& cell : cells) {
+    ga::GaConfig cfg = base;
+    cfg.population_size = 240 / cell.islands;
+    ga::IslandConfig icfg;
+    icfg.islands = cell.islands;
+    icfg.migration_interval = cell.interval;
+    icfg.migrants = 2;
+
+    std::size_t solved = 0;
+    util::RunningStat gens, goal_fit;
+    for (std::size_t run = 0; run < params.runs; ++run) {
+      util::Rng rng(params.seed + run);
+      const auto result = ga::run_islands(hanoi, cfg, icfg, rng);
+      if (result.found_valid) {
+        ++solved;
+        gens.add(static_cast<double>(result.generation_found));
+      }
+      goal_fit.add(result.best.eval.goal_fit);
+    }
+    table.add_row(
+        {util::Table::integer(static_cast<long long>(cell.islands)),
+         cell.interval == 0 ? "isolated"
+                            : util::Table::integer(
+                                  static_cast<long long>(cell.interval)),
+         util::Table::integer(static_cast<long long>(solved)) + "/" +
+             util::Table::integer(static_cast<long long>(params.runs)),
+         solved ? util::Table::num(gens.mean(), 1) : "-",
+         util::Table::num(goal_fit.mean(), 3)});
+    csv.add_row({std::to_string(cell.islands), std::to_string(cell.interval),
+                 std::to_string(solved), std::to_string(params.runs),
+                 util::Table::num(gens.mean(), 2),
+                 util::Table::num(goal_fit.mean(), 4)});
+    std::printf("  done: %zu islands, interval %zu (%zu/%zu)\n", cell.islands,
+                cell.interval, solved, params.runs);
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  std::printf("Expected shapes: migrating islands solve at least as often as "
+              "isolated ones at equal budget; isolated small islands lose to "
+              "one big population; occasional migration preserves diversity "
+              "while spreading elites.\n");
+  std::printf("CSV: %s\n", csv.path().c_str());
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Table 4 reproduction: Sliding-tile puzzles, 3x3 (9 tiles incl. blank
+// position count as the paper labels it) and 4x4 (16), under the three
+// crossover mechanisms — average goal fitness, average solution size, number
+// of runs finding a valid solution, and average wall-clock seconds per run.
+//
+// Paper protocol (Table 3): pop 200, 500 generations x up to 5 phases,
+// 50 runs per configuration. Initial instance: the paper's Figure 3(a) board
+// is parity-odd (unsolvable — see DESIGN.md), so each run draws a fresh
+// random solvable board; "solution size" and "goal fitness" aggregate across
+// those instances exactly as the paper aggregates across its runs.
+#include <cmath>
+
+#include "bench_common.hpp"
+
+#include "core/experiment.hpp"
+#include "domains/sliding_tile.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace gaplan;
+  // Paper: 50 runs, 500 gens/phase. Quick: 10 runs, 120 gens/phase.
+  const auto params = bench::resolve(10, 120, 50, 500);
+
+  ga::GaConfig base;
+  base.population_size = params.population;
+  base.generations = params.generations;
+  base.phases = 5;
+  base.crossover_rate = 0.9;
+  base.mutation_rate = 0.01;
+  base.tournament_size = 2;
+  base.goal_weight = 0.9;
+  base.cost_weight = 0.1;
+  bench::print_header("Table 4: Sliding-tile puzzle, three crossover mechanisms",
+                      base, params);
+
+  util::Table table({"Type of Crossover", "Number of Tiles",
+                     "Average Goal Fitness", "Average Size of Solution",
+                     "# Runs That Find a Valid Solution",
+                     "Average Time (seconds)"});
+  util::CsvWriter csv(bench::csv_path("table4_tiles.csv"),
+                      {"crossover", "tiles", "avg_goal_fitness", "avg_size",
+                       "solved", "runs", "avg_seconds"});
+
+  for (const auto kind : {ga::CrossoverKind::kStateAware,
+                          ga::CrossoverKind::kRandom, ga::CrossoverKind::kMixed}) {
+    for (const int n : {3, 4}) {
+      const domains::SlidingTile generator(n);
+      ga::GaConfig cfg = base;
+      cfg.crossover = kind;
+      // Paper §4.2: initial size n^2 * ceil(log2 n^2) ("comparisons needed to
+      // sort"); MaxLen = 10x (DESIGN.md).
+      cfg.initial_length = static_cast<std::size_t>(
+          n * n * static_cast<int>(std::ceil(std::log2(n * n))));
+      cfg.max_length = 10 * cfg.initial_length;
+      // 4x4 runs are ~10x 3x3 runs; halve the replication off paper scale.
+      const std::size_t runs =
+          (n == 4 && !params.paper) ? std::max<std::size_t>(1, params.runs / 2)
+                                    : params.runs;
+
+      std::vector<ga::RunRecord> records;
+      for (std::size_t r = 0; r < runs; ++r) {
+        // Fresh random solvable instance per run, seeded reproducibly.
+        util::Rng inst_rng(params.seed + 1000 * r + n);
+        const domains::SlidingTile puzzle(n, generator.random_solvable(inst_rng));
+        records.push_back(
+            ga::replicate(puzzle, cfg, 1, params.seed + r).front());
+      }
+      const auto agg = ga::aggregate(records, cfg.phases);
+      table.add_row({ga::to_string(kind), util::Table::integer(n * n),
+                     util::Table::num(agg.avg_goal_fitness, 3),
+                     util::Table::num(agg.avg_plan_length, 2),
+                     util::Table::integer(static_cast<long long>(agg.solved)) +
+                         "/" + util::Table::integer(static_cast<long long>(agg.runs)),
+                     util::Table::num(agg.avg_seconds, 2)});
+      csv.add_row({ga::to_string(kind), std::to_string(n * n),
+                   util::Table::num(agg.avg_goal_fitness, 4),
+                   util::Table::num(agg.avg_plan_length, 2),
+                   std::to_string(agg.solved), std::to_string(agg.runs),
+                   util::Table::num(agg.avg_seconds, 3)});
+      std::printf("  done: %-12s %dx%d (%zu/%zu solved, %.2fs avg)\n",
+                  ga::to_string(kind), n, n, agg.solved, agg.runs,
+                  agg.avg_seconds);
+    }
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  std::printf("Paper's Table 4 shapes to check: all crossovers solve nearly "
+              "every 3x3 run; 4x4 almost never solved (0-1 of 50); 4x4 time and "
+              "solution size are several times the 3x3 numbers; the three "
+              "crossovers perform closely.\n");
+  std::printf("CSV: %s\n", csv.path().c_str());
+  return 0;
+}

@@ -1,0 +1,309 @@
+// planner_cli: solve STRIPS domain files from the command line with the GA
+// planner or any baseline search — the "downstream user" front end.
+//
+//   planner_cli <file.strips> [options]
+//   planner_cli --builtin hanoi:5 | tiles:3:SEED | cube:6:SEED [options]
+//     --lifted              file uses the lifted (schema) syntax
+//     --problem N           which (problem ...) block to solve (default 0)
+//     --algo ga|bfs|astar|greedy|hillclimb|randomwalk   (default ga)
+//     --pop N --gens N --phases N --maxlen N --initlen N
+//     --crossover random|state-aware|mixed|uniform
+//     --seed N
+//     --simplify            post-optimize the plan (loop excision)
+//     --quiet               print only the verdict line
+//
+// Exit status: 0 when a valid plan was found, 1 otherwise, 2 on usage errors.
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "core/multiphase.hpp"
+#include "core/simplify.hpp"
+#include "domains/hanoi.hpp"
+#include "domains/pocket_cube.hpp"
+#include "domains/sliding_tile.hpp"
+#include "search/astar.hpp"
+#include "search/bfs.hpp"
+#include "search/hill_climb.hpp"
+#include "search/random_walk.hpp"
+#include "strips/lifted.hpp"
+#include "strips/reader.hpp"
+#include "strips/validator.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace gaplan;
+
+struct Options {
+  std::string file;
+  std::string builtin;  ///< "hanoi:N", "tiles:N[:SEED]", "cube:DEPTH[:SEED]"
+  bool lifted = false;
+  std::size_t problem_index = 0;
+  std::string algo = "ga";
+  ga::GaConfig ga;
+  std::uint64_t seed = 1;
+  bool simplify = false;
+  bool quiet = false;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: planner_cli <file.strips> [--lifted] [--problem N]\n"
+               "       planner_cli --builtin hanoi:N|tiles:N[:SEED]|cube:DEPTH[:SEED]\n"
+               "       [--algo ga|bfs|astar|greedy|hillclimb|randomwalk]\n"
+               "       [--pop N] [--gens N] [--phases N] [--initlen N] [--maxlen N]\n"
+               "       [--crossover random|state-aware|mixed|uniform]\n"
+               "       [--seed N] [--simplify] [--quiet]\n");
+}
+
+std::optional<Options> parse_args(int argc, char** argv) {
+  Options opt;
+  opt.ga.population_size = 100;
+  opt.ga.generations = 100;
+  opt.ga.phases = 5;
+  opt.ga.initial_length = 16;
+  opt.ga.max_length = 160;
+  opt.ga.crossover = ga::CrossoverKind::kMixed;
+
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "planner_cli: %s needs a value\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--lifted") == 0) {
+      opt.lifted = true;
+    } else if (std::strcmp(arg, "--simplify") == 0) {
+      opt.simplify = true;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      opt.quiet = true;
+    } else if (std::strcmp(arg, "--builtin") == 0) {
+      const char* v = need_value(i);
+      if (!v) return std::nullopt;
+      opt.builtin = v;
+    } else if (std::strcmp(arg, "--problem") == 0) {
+      const char* v = need_value(i);
+      if (!v) return std::nullopt;
+      opt.problem_index = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--algo") == 0) {
+      const char* v = need_value(i);
+      if (!v) return std::nullopt;
+      opt.algo = v;
+    } else if (std::strcmp(arg, "--pop") == 0) {
+      const char* v = need_value(i);
+      if (!v) return std::nullopt;
+      opt.ga.population_size = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--gens") == 0) {
+      const char* v = need_value(i);
+      if (!v) return std::nullopt;
+      opt.ga.generations = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--phases") == 0) {
+      const char* v = need_value(i);
+      if (!v) return std::nullopt;
+      opt.ga.phases = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--initlen") == 0) {
+      const char* v = need_value(i);
+      if (!v) return std::nullopt;
+      opt.ga.initial_length = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--maxlen") == 0) {
+      const char* v = need_value(i);
+      if (!v) return std::nullopt;
+      opt.ga.max_length = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      const char* v = need_value(i);
+      if (!v) return std::nullopt;
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--crossover") == 0) {
+      const char* v = need_value(i);
+      if (!v) return std::nullopt;
+      if (std::strcmp(v, "random") == 0) {
+        opt.ga.crossover = ga::CrossoverKind::kRandom;
+      } else if (std::strcmp(v, "state-aware") == 0) {
+        opt.ga.crossover = ga::CrossoverKind::kStateAware;
+      } else if (std::strcmp(v, "mixed") == 0) {
+        opt.ga.crossover = ga::CrossoverKind::kMixed;
+      } else if (std::strcmp(v, "uniform") == 0) {
+        opt.ga.crossover = ga::CrossoverKind::kUniform;
+      } else {
+        std::fprintf(stderr, "planner_cli: unknown crossover '%s'\n", v);
+        return std::nullopt;
+      }
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "planner_cli: unknown option '%s'\n", arg);
+      return std::nullopt;
+    } else if (opt.file.empty()) {
+      opt.file = arg;
+    } else {
+      std::fprintf(stderr, "planner_cli: extra argument '%s'\n", arg);
+      return std::nullopt;
+    }
+  }
+  if (opt.file.empty() && opt.builtin.empty()) return std::nullopt;
+  return opt;
+}
+
+template <ga::PlanningProblem P>
+std::vector<int> run_planner(const Options& opt, const P& problem, bool& found) {
+  if (opt.algo == "ga") {
+    const auto result = ga::run_multiphase(problem, opt.ga, opt.seed);
+    found = result.valid;
+    return result.plan;
+  }
+  const auto start = problem.initial_state();
+  const search::GoalFitnessHeuristic<P> h{&problem};
+  search::SearchResult r;
+  if (opt.algo == "bfs") {
+    r = search::bfs(problem, start);
+  } else if (opt.algo == "astar") {
+    // Goal-fitness heuristic scaled to ~unit steps; informative, not
+    // guaranteed admissible on every domain (BFS gives certified optima).
+    r = search::astar(problem, start, [&](const typename P::StateT& s) {
+      return (1.0 - problem.goal_fitness(s)) * 10.0;
+    });
+  } else if (opt.algo == "greedy") {
+    r = search::greedy_best_first(problem, start, h);
+  } else if (opt.algo == "hillclimb") {
+    util::Rng rng(opt.seed);
+    r = search::hill_climb(problem, start, h, rng);
+  } else if (opt.algo == "randomwalk") {
+    util::Rng rng(opt.seed);
+    r = search::random_walk(problem, start, rng);
+  } else {
+    std::fprintf(stderr, "planner_cli: unknown algorithm '%s'\n", opt.algo.c_str());
+    std::exit(2);
+  }
+  found = r.found;
+  return r.plan;
+}
+
+/// Runs the chosen planner on any PlanningProblem and prints the plan.
+template <ga::PlanningProblem P>
+int solve_and_report(const Options& opt, const P& problem) {
+  util::Timer timer;
+  bool found = false;
+  std::vector<int> plan = run_planner(opt, problem, found);
+  if (found && opt.simplify) {
+    plan = ga::simplify_plan(problem, problem.initial_state(), plan);
+  }
+  const double seconds = timer.seconds();
+
+  if (!found) {
+    std::printf("NO PLAN (%.3fs, algo=%s)\n", seconds, opt.algo.c_str());
+    return 1;
+  }
+  const bool valid = ga::plan_solves(problem, problem.initial_state(), plan);
+  const double cost = ga::plan_cost(problem, problem.initial_state(), plan);
+  if (!opt.quiet) {
+    auto s = problem.initial_state();
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      std::printf("%4zu. %s\n", i + 1, problem.op_label(s, plan[i]).c_str());
+      problem.apply(s, plan[i]);
+    }
+  }
+  std::printf("%s: %zu steps, cost %.1f, %.3fs (algo=%s)\n",
+              valid ? "VALID PLAN" : "INVALID PLAN (bug!)", plan.size(), cost,
+              seconds, opt.algo.c_str());
+  return valid ? 0 : 1;
+}
+
+/// Parses "name:arg[:arg]" built-in domain specs and dispatches.
+int solve_builtin(const Options& opt) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (const char c : opt.builtin) {
+    if (c == ':') {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  parts.push_back(cur);
+  auto arg_at = [&](std::size_t i, long long fallback) {
+    return parts.size() > i ? std::strtoll(parts[i].c_str(), nullptr, 10)
+                            : fallback;
+  };
+  if (parts[0] == "hanoi") {
+    const int disks = static_cast<int>(arg_at(1, 4));
+    domains::Hanoi hanoi(disks);
+    Options adjusted = opt;
+    adjusted.ga.initial_length = static_cast<std::size_t>(hanoi.optimal_length());
+    adjusted.ga.max_length = 10 * adjusted.ga.initial_length;
+    if (!opt.quiet) {
+      std::printf("built-in: %d-disk Towers of Hanoi (optimal %llu moves)\n",
+                  disks,
+                  static_cast<unsigned long long>(hanoi.optimal_length()));
+    }
+    return solve_and_report(adjusted, hanoi);
+  }
+  if (parts[0] == "tiles") {
+    const int n = static_cast<int>(arg_at(1, 3));
+    util::Rng rng(static_cast<std::uint64_t>(arg_at(2, 7)));
+    const domains::SlidingTile gen(n);
+    const domains::SlidingTile puzzle(n, gen.random_solvable(rng));
+    Options adjusted = opt;
+    adjusted.ga.initial_length = static_cast<std::size_t>(4 * n * n);
+    adjusted.ga.max_length = 10 * adjusted.ga.initial_length;
+    if (!opt.quiet) {
+      std::printf("built-in: random solvable %dx%d puzzle\n%s", n, n,
+                  puzzle.render(puzzle.initial_state()).c_str());
+    }
+    return solve_and_report(adjusted, puzzle);
+  }
+  if (parts[0] == "cube") {
+    const std::size_t depth = static_cast<std::size_t>(arg_at(1, 5));
+    util::Rng rng(static_cast<std::uint64_t>(arg_at(2, 7)));
+    domains::PocketCube cube;
+    cube.set_initial(cube.scrambled(depth, rng));
+    Options adjusted = opt;
+    adjusted.ga.initial_length = std::max<std::size_t>(12, 3 * depth);
+    adjusted.ga.max_length = 10 * adjusted.ga.initial_length;
+    if (!opt.quiet) {
+      std::printf("built-in: pocket cube, %zu-move scramble\n", depth);
+    }
+    return solve_and_report(adjusted, cube);
+  }
+  std::fprintf(stderr, "planner_cli: unknown built-in '%s'\n", parts[0].c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed_opt = parse_args(argc, argv);
+  if (!parsed_opt) {
+    usage();
+    return 2;
+  }
+  const Options& opt = *parsed_opt;
+
+  try {
+    if (!opt.builtin.empty()) return solve_builtin(opt);
+
+    // Keep whichever parse result owns the Domain alive for the whole run.
+    std::optional<strips::ParseResult> ground;
+    std::optional<strips::GroundResult> lifted;
+    std::optional<strips::Problem> problem;
+    if (opt.lifted) {
+      lifted = strips::parse_lifted_file(opt.file).grounded();
+      problem.emplace(lifted->problem(opt.problem_index));
+    } else {
+      ground = strips::parse_strips_file(opt.file);
+      problem.emplace(ground->problem(opt.problem_index));
+    }
+    if (!opt.quiet) {
+      std::printf("domain: %zu atoms, %zu ground operations\n",
+                  problem->domain().universe_size(), problem->op_count());
+    }
+    return solve_and_report(opt, *problem);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "planner_cli: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,78 @@
+// STRIPS demo: define a planning domain as text (the paper's STRIPS-like
+// operations with preconditions and postconditions), parse it, solve it with
+// the GA planner, and validate the plan step by step.
+#include <cstdio>
+
+#include "core/multiphase.hpp"
+#include "strips/reader.hpp"
+#include "strips/validator.hpp"
+
+namespace {
+// A tiny logistics-flavoured domain: drive a truck between two cities, load
+// and unload a package.
+constexpr const char* kDomainText = R"(
+(domain logistics
+  (action load-at-home
+    (pre (truck-at home) (package-at home))
+    (add (package-in-truck))
+    (del (package-at home))
+    (cost 1))
+  (action unload-at-office
+    (pre (truck-at office) (package-in-truck))
+    (add (package-at office))
+    (del (package-in-truck))
+    (cost 1))
+  (action drive-home-office
+    (pre (truck-at home))
+    (add (truck-at office))
+    (del (truck-at home))
+    (cost 5))
+  (action drive-office-home
+    (pre (truck-at office))
+    (add (truck-at home))
+    (del (truck-at office))
+    (cost 5)))
+(problem deliver
+  (init (truck-at office) (package-at home))
+  (goal (package-at office) (truck-at home)))
+)";
+}  // namespace
+
+int main() {
+  using namespace gaplan;
+
+  const auto parsed = strips::parse_strips(kDomainText);
+  std::printf("Parsed domain '%s': %zu ground atoms, %zu operations, %zu problem(s)\n",
+              parsed.domain_name.c_str(), parsed.domain->universe_size(),
+              parsed.domain->actions().size(), parsed.problems.size());
+
+  const strips::Problem problem = parsed.problem(0);
+  std::printf("Initial: %s\nGoal:    %s\n\n",
+              parsed.domain->describe(problem.initial_state()).c_str(),
+              parsed.domain->describe(problem.goal()).c_str());
+
+  ga::GaConfig cfg;
+  cfg.population_size = 100;
+  cfg.generations = 50;
+  cfg.phases = 3;
+  cfg.crossover = ga::CrossoverKind::kStateAware;
+  cfg.initial_length = 8;
+  cfg.max_length = 40;
+
+  const auto result = ga::run_multiphase(problem, cfg, /*seed=*/5);
+  if (!result.valid) {
+    std::printf("No plan found (goal fitness %.3f)\n", result.goal_fitness);
+    return 1;
+  }
+  std::printf("Plan (%zu steps):\n", result.plan.size());
+  auto s = problem.initial_state();
+  for (std::size_t i = 0; i < result.plan.size(); ++i) {
+    std::printf("  %zu. %s\n", i + 1, problem.op_label(s, result.plan[i]).c_str());
+    problem.apply(s, result.plan[i]);
+  }
+
+  const auto verdict = strips::validate_plan(problem, result.plan);
+  std::printf("\nValidator: %s (total cost %.0f)\n", verdict.message.c_str(),
+              verdict.total_cost);
+  return verdict.valid ? 0 : 1;
+}

@@ -1,0 +1,151 @@
+// workflow_cli: run a text-defined grid scenario end to end — plan the
+// workflow with the GA, execute it through the coordination service under
+// the file's disruption script, compare the static script against dynamic
+// re-planning, and draw the schedules.
+//
+//   workflow_cli <file.grid> [--seed N] [--pop N] [--gens N] [--phases N]
+//                [--time-weight W] [--quiet]
+#include <cstdio>
+#include <cstring>
+#include <optional>
+
+#include "grid/gantt.hpp"
+#include "grid/replanner.hpp"
+#include "grid/scenario_reader.hpp"
+
+namespace {
+
+using namespace gaplan;
+
+struct Options {
+  std::string file;
+  std::uint64_t seed = 1;
+  std::size_t pop = 100;
+  std::size_t gens = 60;
+  std::size_t phases = 3;
+  double time_weight = 0.0;
+  bool quiet = false;
+};
+
+std::optional<Options> parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(arg, "--seed") == 0) {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--pop") == 0) {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      opt.pop = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--gens") == 0) {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      opt.gens = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--phases") == 0) {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      opt.phases = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--time-weight") == 0) {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      opt.time_weight = std::strtod(v, nullptr);
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      opt.quiet = true;
+    } else if (arg[0] != '-' && opt.file.empty()) {
+      opt.file = arg;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (opt.file.empty()) return std::nullopt;
+  return opt;
+}
+
+void report_outcome(const char* label, const grid::ReplanOutcome& outcome) {
+  if (outcome.completed) {
+    std::printf("%-14s completed: makespan %.1fs, cost %.1f, %zu planning "
+                "round(s)\n",
+                label, outcome.makespan, outcome.total_cost,
+                outcome.planning_rounds);
+  } else {
+    std::printf("%-14s FAILED: %s\n", label, outcome.note.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = parse_args(argc, argv);
+  if (!parsed) {
+    std::fprintf(stderr,
+                 "usage: workflow_cli <file.grid> [--seed N] [--pop N] "
+                 "[--gens N] [--phases N] [--time-weight W] [--quiet]\n");
+    return 2;
+  }
+  const Options& opt = *parsed;
+
+  try {
+    const auto file = grid::parse_scenario_file(opt.file);
+    const grid::WorkflowCostModel cost_model{1.0, opt.time_weight};
+    if (!opt.quiet) {
+      std::printf("grid (%zu machines):\n%s\n", file.pool.size(),
+                  file.pool.describe().c_str());
+      std::printf("catalog (%zu programs):\n%s\n",
+                  file.scenario.catalog.program_count(),
+                  file.scenario.catalog.describe().c_str());
+      std::printf("disruption script: %zu event(s)\n\n",
+                  file.disruptions.size());
+    }
+
+    grid::ReplanConfig cfg;
+    cfg.seed = opt.seed;
+    cfg.ga.population_size = opt.pop;
+    cfg.ga.generations = opt.gens;
+    cfg.ga.phases = opt.phases;
+    cfg.ga.initial_length =
+        std::max<std::size_t>(4, file.scenario.catalog.program_count());
+    cfg.ga.max_length = 8 * cfg.ga.initial_length;
+    cfg.ga.crossover = ga::CrossoverKind::kMixed;
+    cfg.ga.cost_fitness = ga::CostFitnessKind::kInverseCost;
+
+    // Static script.
+    {
+      grid::ResourcePool pool = file.pool;
+      const auto problem = grid::WorkflowProblem(
+          file.scenario.catalog, pool, file.scenario.initial_data,
+          file.scenario.goal_data, cost_model);
+      const auto outcome =
+          grid::static_script_execute(problem, pool, file.disruptions, cfg);
+      report_outcome("static script", outcome);
+      if (!opt.quiet && !outcome.rounds.empty() &&
+          outcome.rounds.front().plan_valid) {
+        const auto& round = outcome.rounds.front();
+        const auto graph = grid::ActivityGraph::from_plan(
+            problem, problem.initial_state(), round.plan);
+        std::printf("\n%s\n", grid::render_gantt(problem, graph,
+                                                 round.execution)
+                                  .c_str());
+      }
+    }
+
+    // Dynamic re-planning.
+    {
+      grid::ResourcePool pool = file.pool;
+      const auto problem = grid::WorkflowProblem(
+          file.scenario.catalog, pool, file.scenario.initial_data,
+          file.scenario.goal_data, cost_model);
+      const auto outcome =
+          grid::plan_and_execute(problem, pool, file.disruptions, cfg);
+      report_outcome("re-planning", outcome);
+      return outcome.completed ? 0 : 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "workflow_cli: %s\n", e.what());
+    return 2;
+  }
+}

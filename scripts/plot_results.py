@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Plots the CSVs the bench harnesses export (matplotlib required).
+
+Usage: scripts/plot_results.py [results_dir] [output_dir]
+
+Produces:
+  convergence.png   — best/mean fitness and genome length per crossover
+  difficulty.png    — 8-puzzle solve rate vs scramble depth
+  table2.png        — Hanoi goal fitness, single- vs multi-phase
+"""
+import csv
+import pathlib
+import sys
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.DictReader(handle))
+
+
+def main():
+    results = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+    out = pathlib.Path(sys.argv[2] if len(sys.argv) > 2 else results)
+    out.mkdir(parents=True, exist_ok=True)
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib not available; install it to plot the CSVs")
+
+    conv = results / "figure_convergence.csv"
+    if conv.exists():
+        rows = read_csv(conv)
+        fig, axes = plt.subplots(1, 2, figsize=(12, 4.5))
+        for domain, ax in (("8-puzzle", axes[0]), ("hanoi-6", axes[1])):
+            for crossover in ("random", "state-aware", "mixed"):
+                pts = [
+                    (int(r["generation"]), float(r["best_fitness"]))
+                    for r in rows
+                    if r["domain"] == domain and r["crossover"] == crossover
+                ]
+                if pts:
+                    ax.plot(*zip(*pts), label=crossover)
+            ax.set_title(domain)
+            ax.set_xlabel("generation")
+            ax.set_ylabel("best fitness")
+            ax.legend()
+        fig.tight_layout()
+        fig.savefig(out / "convergence.png", dpi=150)
+        print(f"wrote {out / 'convergence.png'}")
+
+    diff = results / "figure_difficulty.csv"
+    if diff.exists():
+        rows = read_csv(diff)
+        fig, ax = plt.subplots(figsize=(7, 4.5))
+        for crossover in ("random", "state-aware", "mixed"):
+            pts = [
+                (int(r["depth"]), int(r["solved"]) / int(r["runs"]))
+                for r in rows
+                if r["crossover"] == crossover
+            ]
+            if pts:
+                ax.plot(*zip(*pts), marker="o", label=crossover)
+        ax.set_xlabel("scramble depth")
+        ax.set_ylabel("solve rate")
+        ax.set_title("8-puzzle solve rate vs difficulty")
+        ax.legend()
+        fig.tight_layout()
+        fig.savefig(out / "difficulty.png", dpi=150)
+        print(f"wrote {out / 'difficulty.png'}")
+
+    t2 = results / "table2_hanoi.csv"
+    if t2.exists():
+        rows = read_csv(t2)
+        fig, ax = plt.subplots(figsize=(7, 4.5))
+        for ga_type in ("Single-phase", "Multi-phase"):
+            pts = [
+                (int(r["disks"]), float(r["avg_goal_fitness"]))
+                for r in rows
+                if r["ga_type"] == ga_type
+            ]
+            if pts:
+                ax.plot(*zip(*pts), marker="s", label=ga_type)
+        ax.set_xlabel("disks")
+        ax.set_ylabel("avg goal fitness")
+        ax.set_title("Towers of Hanoi (paper Table 2)")
+        ax.legend()
+        fig.tight_layout()
+        fig.savefig(out / "table2.png", dpi=150)
+        print(f"wrote {out / 'table2.png'}")
+
+
+if __name__ == "__main__":
+    main()

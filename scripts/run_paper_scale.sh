@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Reproduces the paper's Tables 2/4/5 at the original protocol (10/50 runs,
+# 500 generations per phase) plus all ablations, writing tables to stdout and
+# CSVs to results/. Expect a few minutes on one core.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-results}"
+mkdir -p "$OUT_DIR"
+
+export GAPLAN_PAPER_SCALE=1
+export GAPLAN_CSV_DIR="$OUT_DIR"
+
+for bench in table2_hanoi table4_tiles table5_phases \
+             ablation_encoding ablation_costfit ablation_multiphase \
+             ablation_weights ablation_truncation ablation_statematch \
+             ablation_seeding ablation_crowding \
+             baselines heuristics grid_workflow island \
+             figure_convergence figure_difficulty; do
+  echo "=============================================================="
+  echo ">>> $bench (paper scale)"
+  echo "=============================================================="
+  "$BUILD_DIR/bench/$bench" | tee "$OUT_DIR/$bench.txt"
+done
+
+echo "All paper-scale results in $OUT_DIR/"

@@ -1,0 +1,195 @@
+// Crossover mechanisms (§3.4.2). "In each case, the children created replace
+// their parents."
+//
+// * random      — variable-length one-point: independent interior cut points
+//                 on each parent, tails exchanged. Because the encoding is
+//                 indirect, the exchanged tail will generally decode to a
+//                 *different* operation sequence in its new context.
+// * state-aware — the second parent's cut point is restricted to positions
+//                 whose decode state equals the first parent's cut state, so
+//                 the donated tail decodes to exactly the operations it
+//                 encoded in its original parent. If no matching point
+//                 exists, no crossover is performed.
+// * mixed       — state-aware when a matching point exists, else random.
+// * uniform     — per-gene exchange (extension; not in the paper).
+//
+// State matching uses the 64-bit trajectory hashes recorded at evaluation
+// time; a hash collision (~2^-64 per candidate pair) could admit a spurious
+// match, which is harmless: the child is still a well-formed genome.
+#pragma once
+
+#include <cstddef>
+
+#include "core/config.hpp"
+#include "core/individual.hpp"
+#include "util/rng.hpp"
+
+namespace gaplan::ga {
+
+/// Per-generation crossover accounting (Table 5 analysis uses these).
+struct CrossoverStats {
+  std::size_t pairs = 0;            ///< pairs that attempted crossover
+  std::size_t random_done = 0;      ///< one-point exchanges performed
+  std::size_t state_aware_done = 0; ///< state-matched exchanges performed
+  std::size_t uniform_done = 0;
+  std::size_t no_match = 0;         ///< state-aware found no matching point
+  std::size_t too_short = 0;        ///< a parent had < 2 genes
+
+  void merge(const CrossoverStats& o) noexcept {
+    pairs += o.pairs;
+    random_done += o.random_done;
+    state_aware_done += o.state_aware_done;
+    uniform_done += o.uniform_done;
+    no_match += o.no_match;
+    too_short += o.too_short;
+  }
+};
+
+namespace detail {
+
+/// Exchanges tails at (c1, c2) and truncates both children to max_length.
+inline void splice(Genome& a, Genome& b, std::size_t c1, std::size_t c2,
+                   std::size_t max_length) {
+  Genome child1(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(c1));
+  child1.insert(child1.end(), b.begin() + static_cast<std::ptrdiff_t>(c2), b.end());
+  Genome child2(b.begin(), b.begin() + static_cast<std::ptrdiff_t>(c2));
+  child2.insert(child2.end(), a.begin() + static_cast<std::ptrdiff_t>(c1), a.end());
+  if (child1.size() > max_length) child1.resize(max_length);
+  if (child2.size() > max_length) child2.resize(max_length);
+  a = std::move(child1);
+  b = std::move(child2);
+}
+
+/// Picks a uniformly random interior cut point of a genome with `len` >= 2.
+inline std::size_t interior_cut(std::size_t len, util::Rng& rng) {
+  return 1 + static_cast<std::size_t>(rng.below(len - 1));
+}
+
+}  // namespace detail
+
+/// Random one-point crossover. Cut points range over [0, len] — boundary
+/// cuts let one child inherit a whole parent plus a prefix, which is the
+/// mechanism that lets genome lengths *grow* (the paper's solution sizes grow
+/// far past the initial length; interior-only cuts make length variance decay
+/// and the population collapses onto short local optima). Degenerate cuts
+/// that would produce an empty child are resampled; returns false if either
+/// parent is empty.
+template <typename State>
+bool crossover_random(Individual<State>& a, Individual<State>& b,
+                      std::size_t max_length, util::Rng& rng) {
+  if (a.genes.empty() || b.genes.empty()) return false;
+  std::size_t c1 = 0, c2 = 0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    c1 = static_cast<std::size_t>(rng.below(a.genes.size() + 1));
+    c2 = static_cast<std::size_t>(rng.below(b.genes.size() + 1));
+    const bool child1_empty = c1 == 0 && c2 == b.genes.size();
+    const bool child2_empty = c2 == 0 && c1 == a.genes.size();
+    if (!child1_empty && !child2_empty) {
+      detail::splice(a.genes, b.genes, c1, c2, max_length);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// State-aware crossover. Picks c1 on `a`, then restricts c2 to interior
+/// positions of `b` whose trajectory state matches a's cut state — by
+/// identical ordered valid-operation lists (kValidOps, the default reading of
+/// §3.4.2) or by full state equality (kExactState). One match is chosen
+/// uniformly. Returns false if parents are too short or no matching point
+/// exists. Requires both parents to carry trajectory records (evaluated with
+/// record_hashes on).
+template <typename State>
+bool crossover_state_aware(Individual<State>& a, Individual<State>& b,
+                           std::size_t max_length, StateMatchKind match,
+                           util::Rng& rng,
+                           std::vector<std::size_t>& match_buffer) {
+  if (a.genes.size() < 2 || b.genes.size() < 2) return false;
+  const auto& keys_a = match == StateMatchKind::kExactState
+                           ? a.eval.state_hashes
+                           : a.eval.op_signatures;
+  const auto& keys_b = match == StateMatchKind::kExactState
+                           ? b.eval.state_hashes
+                           : b.eval.op_signatures;
+  // States are only known along the decoded prefix of each genome. Cut
+  // positions range over [0, decoded]: boundary matches (e.g. the donated
+  // tail being all of b, spliced where a's trajectory matches b's start) are
+  // the growth mechanism, exactly as in crossover_random.
+  const std::size_t decoded_a = keys_a.empty() ? 0 : keys_a.size() - 1;
+  const std::size_t decoded_b = keys_b.empty() ? 0 : keys_b.size() - 1;
+  const std::size_t hi_a = std::min(a.genes.size(), decoded_a);
+  const std::size_t hi_b = std::min(b.genes.size(), decoded_b);
+  if (hi_a < 1 || hi_b < 1) return false;
+
+  const std::size_t c1 = 1 + static_cast<std::size_t>(rng.below(hi_a));
+  const std::uint64_t want = keys_a[c1];
+  match_buffer.clear();
+  for (std::size_t c2 = 0; c2 <= hi_b; ++c2) {
+    if (keys_b[c2] == want && !(c1 == a.genes.size() && c2 == 0)) {
+      match_buffer.push_back(c2);
+    }
+  }
+  if (match_buffer.empty()) return false;
+  const std::size_t c2 =
+      match_buffer[static_cast<std::size_t>(rng.below(match_buffer.size()))];
+  detail::splice(a.genes, b.genes, c1, c2, max_length);
+  return true;
+}
+
+/// Uniform crossover over the shared prefix (extension).
+template <typename State>
+bool crossover_uniform(Individual<State>& a, Individual<State>& b,
+                       util::Rng& rng) {
+  const std::size_t n = std::min(a.genes.size(), b.genes.size());
+  if (n == 0) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.chance(0.5)) std::swap(a.genes[i], b.genes[i]);
+  }
+  return true;
+}
+
+/// Dispatches on the configured mechanism; updates `stats`. The pair is
+/// modified in place (children replace parents). When crossover cannot be
+/// performed both parents survive unchanged, per the paper.
+template <typename State>
+void crossover_pair(const GaConfig& cfg, Individual<State>& a, Individual<State>& b,
+                    util::Rng& rng, CrossoverStats& stats,
+                    std::vector<std::size_t>& match_buffer) {
+  ++stats.pairs;
+  switch (cfg.crossover) {
+    case CrossoverKind::kRandom:
+      if (crossover_random(a, b, cfg.max_length, rng)) {
+        ++stats.random_done;
+      } else {
+        ++stats.too_short;
+      }
+      return;
+    case CrossoverKind::kStateAware:
+      if (crossover_state_aware(a, b, cfg.max_length, cfg.state_match, rng,
+                                match_buffer)) {
+        ++stats.state_aware_done;
+      } else {
+        ++stats.no_match;
+      }
+      return;
+    case CrossoverKind::kMixed:
+      if (crossover_state_aware(a, b, cfg.max_length, cfg.state_match, rng,
+                                match_buffer)) {
+        ++stats.state_aware_done;
+      } else if (crossover_random(a, b, cfg.max_length, rng)) {
+        ++stats.random_done;
+      } else {
+        ++stats.too_short;
+      }
+      return;
+    case CrossoverKind::kUniform:
+      if (crossover_uniform(a, b, rng)) {
+        ++stats.uniform_done;
+      } else {
+        ++stats.too_short;
+      }
+      return;
+  }
+}
+
+}  // namespace gaplan::ga

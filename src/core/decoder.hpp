@@ -1,0 +1,167 @@
+// Genome decoding — the paper's indirect encoding (§3.1) and the direct
+// integer encoding of its preliminary implementation (§3.3), kept for the
+// ablation benches.
+//
+// Indirect: gene g in a state with m valid operations selects the ⌊g·m⌋-th
+// operation of the canonical valid-operation list, so *every* gene maps to a
+// valid operation and the match fitness is identically 1.
+//
+// Direct: gene g selects global operation ⌊g·|O|⌋; if it is inapplicable the
+// system "stays at the current state" (Eq. 1's match-fitness denominator
+// counts it as a mismatch).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+#include "core/individual.hpp"
+#include "core/problem.hpp"
+
+namespace gaplan::ga {
+
+struct DecodeOptions {
+  /// Truncate the plan at the first goal-satisfying prefix (DESIGN.md).
+  bool truncate_at_goal = true;
+  /// Record per-position state hashes (needed by state-aware crossover; can
+  /// be disabled for pure search baselines).
+  bool record_hashes = true;
+};
+
+/// Maps a gene to an index in [0, m). m must be > 0.
+inline std::size_t gene_to_index(Gene g, std::size_t m) noexcept {
+  const auto idx = static_cast<std::size_t>(g * static_cast<double>(m));
+  return std::min(idx, m - 1);
+}
+
+/// Hash of an ordered valid-operation list — the state-match key for the
+/// default (valid-ops) state-aware crossover.
+inline std::uint64_t ops_signature(const std::vector<int>& ops) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL ^ ops.size();
+  for (const int op : ops) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(op));
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Decodes `genes` from `start` using the indirect encoding. `scratch` is a
+/// reusable valid-operation buffer (avoids per-gene allocation).
+template <PlanningProblem P>
+Evaluation<typename P::StateT> decode_indirect(const P& problem,
+                                               const typename P::StateT& start,
+                                               std::span<const Gene> genes,
+                                               const DecodeOptions& opt,
+                                               std::vector<int>& scratch) {
+  using State = typename P::StateT;
+  Evaluation<State> ev;
+  ev.match_fit = 1.0;  // indirect encoding: all operations valid by construction
+  ev.ops.reserve(genes.size());
+  if (opt.record_hashes) {
+    ev.state_hashes.reserve(genes.size() + 1);
+    ev.op_signatures.reserve(genes.size() + 1);
+  }
+
+  State s = start;
+  if (opt.record_hashes) ev.state_hashes.push_back(problem.hash(s));
+  bool done = false;
+  if (problem.is_goal(s)) {
+    ev.goal_index = 0;
+    done = opt.truncate_at_goal;
+  }
+  if (!done) {
+    for (const Gene g : genes) {
+      problem.valid_ops(s, scratch);
+      // Signature of the state the upcoming gene decodes in (position ops()).
+      if (opt.record_hashes && ev.op_signatures.size() < ev.state_hashes.size()) {
+        ev.op_signatures.push_back(ops_signature(scratch));
+      }
+      if (scratch.empty()) break;  // dead end: remaining genes are inert
+      const int op = scratch[gene_to_index(g, scratch.size())];
+      ev.plan_cost += problem.op_cost(s, op);
+      problem.apply(s, op);
+      ev.ops.push_back(op);
+      if (opt.record_hashes) ev.state_hashes.push_back(problem.hash(s));
+      if (ev.goal_index == kNoGoal && problem.is_goal(s)) {
+        ev.goal_index = ev.ops.size();
+        if (opt.truncate_at_goal) break;
+      }
+    }
+  }
+  if (opt.truncate_at_goal && ev.goal_index != kNoGoal) {
+    ev.valid = true;
+    ev.ops.resize(ev.goal_index);
+    if (opt.record_hashes) ev.state_hashes.resize(ev.goal_index + 1);
+  } else {
+    ev.valid = problem.is_goal(s);
+  }
+  // Close the signature trajectory so state_hashes and op_signatures always
+  // index the same positions (the final state's signature caps the vector).
+  if (opt.record_hashes) {
+    if (ev.op_signatures.size() > ev.state_hashes.size()) {
+      ev.op_signatures.resize(ev.state_hashes.size());
+    }
+    while (ev.op_signatures.size() < ev.state_hashes.size()) {
+      problem.valid_ops(s, scratch);
+      ev.op_signatures.push_back(ops_signature(scratch));
+    }
+  }
+  ev.effective_length = ev.ops.size();
+  ev.final_state = std::move(s);
+  return ev;
+}
+
+/// Decodes `genes` using the direct encoding (DirectEncodable problems only).
+/// Inapplicable selections leave the state unchanged and lower F_match.
+template <DirectEncodable P>
+Evaluation<typename P::StateT> decode_direct(const P& problem,
+                                             const typename P::StateT& start,
+                                             std::span<const Gene> genes,
+                                             const DecodeOptions& opt) {
+  using State = typename P::StateT;
+  Evaluation<State> ev;
+  const std::size_t total = problem.op_count();
+  ev.ops.reserve(genes.size());
+  if (opt.record_hashes) ev.state_hashes.reserve(genes.size() + 1);
+
+  State s = start;
+  if (opt.record_hashes) ev.state_hashes.push_back(problem.hash(s));
+  if (problem.is_goal(s)) ev.goal_index = 0;
+
+  std::size_t matched = 0;
+  bool done = opt.truncate_at_goal && ev.goal_index != kNoGoal;
+  if (!done && total > 0) {
+    for (const Gene g : genes) {
+      const int op = static_cast<int>(gene_to_index(g, total));
+      if (problem.op_applicable(s, op)) {
+        ++matched;
+        ev.plan_cost += problem.op_cost(s, op);
+        problem.apply(s, op);
+        ev.ops.push_back(op);
+        if (opt.record_hashes) ev.state_hashes.push_back(problem.hash(s));
+        if (ev.goal_index == kNoGoal && problem.is_goal(s)) {
+          ev.goal_index = ev.ops.size();
+          if (opt.truncate_at_goal) break;
+        }
+      }
+      // Invalid operation: "the system stays at the current state" (§3.3).
+    }
+  }
+  // Eq. (1): match fitness = matched operations / operations in the solution.
+  ev.match_fit = genes.empty() ? 1.0
+                               : static_cast<double>(matched) /
+                                     static_cast<double>(genes.size());
+  if (opt.truncate_at_goal && ev.goal_index != kNoGoal) {
+    ev.valid = true;
+    ev.ops.resize(ev.goal_index);
+    if (opt.record_hashes) ev.state_hashes.resize(ev.goal_index + 1);
+    ev.match_fit = 1.0;  // the reported plan contains only applied operations
+  } else {
+    ev.valid = problem.is_goal(s);
+  }
+  ev.effective_length = ev.ops.size();
+  ev.final_state = std::move(s);
+  return ev;
+}
+
+}  // namespace gaplan::ga

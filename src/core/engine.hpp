@@ -1,0 +1,340 @@
+// Single-phase GA engine (§3.4, and step 2(a) of the multi-phase procedure in
+// §3.5): evaluate → select → crossover → mutate → replace, for a fixed number
+// of generations over a fixed-size, variable-length population.
+//
+// The generation loop is exposed as a steppable PhaseRunner so the island
+// model (core/island.hpp) can interleave migration between generations; the
+// Engine facade drives a complete phase.
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/crossover.hpp"
+#include "core/fitness.hpp"
+#include "core/individual.hpp"
+#include "core/mutation.hpp"
+#include "core/selection.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gaplan::ga {
+
+/// Per-generation telemetry used by convergence plots and tests.
+struct GenerationStat {
+  std::size_t generation = 0;
+  double best_fitness = 0.0;
+  double mean_fitness = 0.0;
+  double best_goal_fit = 0.0;
+  double mean_length = 0.0;
+  std::size_t valid_count = 0;
+};
+
+/// Outcome of one phase (one independent GA run).
+template <typename State>
+struct PhaseResult {
+  Individual<State> best;             ///< best-of-phase (paper: highest goal fitness)
+  bool found_valid = false;
+  std::size_t generation_found = 0;   ///< first generation with a valid individual
+  std::size_t generations_run = 0;
+  std::vector<GenerationStat> history;
+  CrossoverStats crossover_stats;
+};
+
+/// Orders individuals the way the paper reports them: valid plans first, then
+/// by goal fitness, then by combined fitness (which folds in plan cost).
+template <typename State>
+bool better_solution(const Evaluation<State>& a, const Evaluation<State>& b) {
+  if (a.valid != b.valid) return a.valid;
+  if (a.goal_fit != b.goal_fit) return a.goal_fit > b.goal_fit;
+  return a.fitness > b.fitness;
+}
+
+/// One GA population mid-phase. init() → repeat { step_evaluate();
+/// step_reproduce(); }. Between the two steps the population is evaluated and
+/// may be inspected or modified (migration).
+template <PlanningProblem P>
+class PhaseRunner {
+ public:
+  using State = typename P::StateT;
+
+  PhaseRunner(const P& problem, const GaConfig& cfg, util::ThreadPool* pool)
+      : problem_(&problem), cfg_(&cfg), pool_(pool) {}
+
+  /// Fresh population (§3.2) searching from `start`: random genomes, plus an
+  /// optional greedily-seeded fraction (GaConfig::seed_fraction).
+  void init(const State& start, util::Rng& rng) {
+    start_ = start;
+    pop_.assign(cfg_->population_size, Individual<State>{});
+    const std::size_t seeded = static_cast<std::size_t>(
+        cfg_->seed_fraction * static_cast<double>(pop_.size()));
+    for (std::size_t i = 0; i < pop_.size(); ++i) {
+      if (i < seeded) {
+        pop_[i].genes = greedy_seed(rng);
+      } else {
+        pop_[i].genes.resize(cfg_->initial_length);
+        for (Gene& g : pop_[i].genes) g = rng.uniform();
+      }
+    }
+    fitness_.assign(pop_.size(), 0.0);
+    result_ = PhaseResult<State>{};
+    have_best_ = false;
+    generation_ = 0;
+  }
+
+  /// Evaluates the population, updates best-of-phase/validity tracking and
+  /// appends a GenerationStat. Returns the stat.
+  const GenerationStat& step_evaluate() {
+    auto eval_one = [&](std::size_t i) {
+      thread_local std::vector<int> scratch;
+      pop_[i].eval = evaluate(*problem_, *cfg_, start_, pop_[i].genes, scratch);
+    };
+    if (pool_ != nullptr && pool_->thread_count() > 1) {
+      pool_->parallel_for(0, pop_.size(), eval_one);
+    } else {
+      for (std::size_t i = 0; i < pop_.size(); ++i) eval_one(i);
+    }
+
+    GenerationStat stat;
+    stat.generation = generation_;
+    std::size_t best_idx = 0;
+    for (std::size_t i = 0; i < pop_.size(); ++i) {
+      const auto& ev = pop_[i].eval;
+      fitness_[i] = ev.fitness;
+      stat.mean_fitness += ev.fitness;
+      stat.mean_length += static_cast<double>(pop_[i].genes.size());
+      if (ev.valid) ++stat.valid_count;
+      if (better_solution(ev, pop_[best_idx].eval)) best_idx = i;
+    }
+    stat.mean_fitness /= static_cast<double>(pop_.size());
+    stat.mean_length /= static_cast<double>(pop_.size());
+    stat.best_fitness = pop_[best_idx].eval.fitness;
+    stat.best_goal_fit = pop_[best_idx].eval.goal_fit;
+
+    if (!have_best_ || better_solution(pop_[best_idx].eval, result_.best.eval)) {
+      result_.best = pop_[best_idx];
+      have_best_ = true;
+    }
+    if (!result_.found_valid && stat.valid_count > 0) {
+      result_.found_valid = true;
+      result_.generation_found = generation_;
+    }
+    result_.history.push_back(stat);
+    result_.generations_run = ++generation_;
+    return result_.history.back();
+  }
+
+  /// Tournament/roulette selection, crossover, mutation, replacement (with
+  /// optional elitism), or deterministic crowding.
+  void step_reproduce(util::Rng& rng) {
+    if (cfg_->replacement == ReplacementKind::kCrowding) {
+      step_reproduce_crowding(rng);
+      return;
+    }
+    std::vector<Individual<State>> next;
+    next.reserve(pop_.size());
+    if (cfg_->elite_count > 0) {
+      std::vector<std::size_t> order(pop_.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::partial_sort(order.begin(),
+                        order.begin() + static_cast<std::ptrdiff_t>(
+                                            std::min(cfg_->elite_count, order.size())),
+                        order.end(), [&](std::size_t a, std::size_t b) {
+                          return better_solution(pop_[a].eval, pop_[b].eval);
+                        });
+      for (std::size_t e = 0; e < cfg_->elite_count; ++e) {
+        next.push_back(pop_[order[e]]);
+      }
+    }
+    while (next.size() < pop_.size()) {
+      Individual<State> a = pop_[select(rng)];
+      Individual<State> b = pop_[select(rng)];
+      if (rng.chance(cfg_->crossover_rate)) {
+        crossover_pair(*cfg_, a, b, rng, result_.crossover_stats, match_buffer_);
+      }
+      mutate(a.genes, cfg_->mutation_rate, rng);
+      mutate(b.genes, cfg_->mutation_rate, rng);
+      next.push_back(std::move(a));
+      if (next.size() < pop_.size()) next.push_back(std::move(b));
+    }
+    pop_ = std::move(next);
+  }
+
+  /// Replaces the lowest-fitness individuals with `migrants` (island model).
+  /// Only meaningful directly after step_evaluate().
+  void replace_worst(const std::vector<Individual<State>>& migrants) {
+    if (migrants.empty()) return;
+    std::vector<std::size_t> order(pop_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(
+                                          std::min(migrants.size(), order.size())),
+                      order.end(), [&](std::size_t a, std::size_t b) {
+                        return fitness_[a] < fitness_[b];
+                      });
+    for (std::size_t m = 0; m < migrants.size() && m < pop_.size(); ++m) {
+      pop_[order[m]] = migrants[m];
+      fitness_[order[m]] = migrants[m].eval.fitness;
+    }
+  }
+
+  const PhaseResult<State>& result() const noexcept { return result_; }
+  PhaseResult<State> take_result() { return std::move(result_); }
+  const std::vector<Individual<State>>& population() const noexcept { return pop_; }
+  const Individual<State>& best() const { return result_.best; }
+  std::size_t generation() const noexcept { return generation_; }
+
+ private:
+  std::size_t select(util::Rng& rng) const {
+    return cfg_->selection == SelectionKind::kTournament
+               ? tournament_select(fitness_, cfg_->tournament_size, rng)
+               : roulette_select(fitness_, rng);
+  }
+
+  /// Genotypic distance for crowding: L1 over the shared prefix plus half a
+  /// unit per unshared gene (the expected |u - v| of unrelated genes is 1/3,
+  /// so this mildly over-weights length differences, which is what we want —
+  /// length is the phenotypically decisive trait here).
+  static double genome_distance(const Genome& a, const Genome& b) {
+    const std::size_t shared = std::min(a.size(), b.size());
+    double d = 0.0;
+    for (std::size_t i = 0; i < shared; ++i) d += std::abs(a[i] - b[i]);
+    d += 0.5 * static_cast<double>(std::max(a.size(), b.size()) - shared);
+    return d;
+  }
+
+  /// Deterministic crowding: random disjoint parent pairs; children are
+  /// evaluated immediately and replace their more-similar parent when at
+  /// least as fit (paper ordering).
+  void step_reproduce_crowding(util::Rng& rng) {
+    std::vector<std::size_t> order(pop_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.shuffle(order);
+    std::vector<int> scratch;
+    for (std::size_t k = 0; k + 1 < order.size(); k += 2) {
+      const std::size_t p1 = order[k], p2 = order[k + 1];
+      Individual<State> a = pop_[p1];
+      Individual<State> b = pop_[p2];
+      if (rng.chance(cfg_->crossover_rate)) {
+        crossover_pair(*cfg_, a, b, rng, result_.crossover_stats, match_buffer_);
+      }
+      mutate(a.genes, cfg_->mutation_rate, rng);
+      mutate(b.genes, cfg_->mutation_rate, rng);
+      a.eval = evaluate(*problem_, *cfg_, start_, a.genes, scratch);
+      b.eval = evaluate(*problem_, *cfg_, start_, b.genes, scratch);
+      // Pair each child with its closer parent.
+      const double straight = genome_distance(a.genes, pop_[p1].genes) +
+                              genome_distance(b.genes, pop_[p2].genes);
+      const double crossed = genome_distance(a.genes, pop_[p2].genes) +
+                             genome_distance(b.genes, pop_[p1].genes);
+      const std::size_t a_parent = straight <= crossed ? p1 : p2;
+      const std::size_t b_parent = straight <= crossed ? p2 : p1;
+      if (!better_solution(pop_[a_parent].eval, a.eval)) {
+        pop_[a_parent] = std::move(a);
+        fitness_[a_parent] = pop_[a_parent].eval.fitness;
+      }
+      if (!better_solution(pop_[b_parent].eval, b.eval)) {
+        pop_[b_parent] = std::move(b);
+        fitness_[b_parent] = pop_[b_parent].eval.fitness;
+      }
+    }
+  }
+
+  /// Builds a genome whose genes decode, with probability seed_greediness,
+  /// to the valid operation whose successor has the best goal fitness (ties
+  /// and the remaining probability mass fall to a uniform valid operation).
+  Genome greedy_seed(util::Rng& rng) const {
+    Genome genes;
+    genes.reserve(cfg_->initial_length);
+    State s = start_;
+    std::vector<int> ops;
+    for (std::size_t i = 0; i < cfg_->initial_length; ++i) {
+      problem_->valid_ops(s, ops);
+      if (ops.empty()) {
+        // Dead end: pad with random genes (they are inert past this point).
+        genes.push_back(rng.uniform());
+        continue;
+      }
+      std::size_t pick;
+      if (rng.chance(cfg_->seed_greediness)) {
+        pick = 0;
+        double best_fit = -1.0;
+        for (std::size_t k = 0; k < ops.size(); ++k) {
+          State next = s;
+          problem_->apply(next, ops[k]);
+          const double fit = problem_->goal_fitness(next);
+          if (fit > best_fit) {
+            best_fit = fit;
+            pick = k;
+          }
+        }
+      } else {
+        pick = static_cast<std::size_t>(rng.below(ops.size()));
+      }
+      // A gene in [pick/m, (pick+1)/m) decodes back to index `pick`.
+      const double m = static_cast<double>(ops.size());
+      genes.push_back((static_cast<double>(pick) + rng.uniform()) / m);
+      problem_->apply(s, ops[pick]);
+      if (problem_->is_goal(s)) {
+        // Solution found during seeding: stop here, the decoder truncates.
+        break;
+      }
+    }
+    return genes;
+  }
+
+  const P* problem_;
+  const GaConfig* cfg_;
+  util::ThreadPool* pool_;
+  State start_{};
+  std::vector<Individual<State>> pop_;
+  std::vector<double> fitness_;
+  std::vector<std::size_t> match_buffer_;
+  PhaseResult<State> result_;
+  bool have_best_ = false;
+  std::size_t generation_ = 0;
+};
+
+template <PlanningProblem P>
+class Engine {
+ public:
+  using State = typename P::StateT;
+
+  /// `pool` (optional) parallelizes fitness evaluation; results are identical
+  /// to the serial run because evaluation is pure per individual.
+  Engine(const P& problem, GaConfig cfg, util::ThreadPool* pool = nullptr)
+      : problem_(&problem), cfg_(std::move(cfg)), pool_(pool) {
+    cfg_.validate();
+  }
+
+  const GaConfig& config() const noexcept { return cfg_; }
+
+  /// Runs one phase from `start` with a freshly initialised random population.
+  PhaseResult<State> run_phase(const State& start, util::Rng& rng) {
+    return run_phase(start, rng, cfg_.stop_on_valid);
+  }
+
+  /// `stop_on_valid` overrides the config (the multi-phase driver always runs
+  /// phases to completion, per the paper's procedure).
+  PhaseResult<State> run_phase(const State& start, util::Rng& rng,
+                               bool stop_on_valid) {
+    PhaseRunner<P> runner(*problem_, cfg_, pool_);
+    runner.init(start, rng);
+    for (std::size_t gen = 0; gen < cfg_.generations; ++gen) {
+      runner.step_evaluate();
+      if (stop_on_valid && runner.result().found_valid) break;
+      if (gen + 1 == cfg_.generations) break;  // no point breeding a final pop
+      runner.step_reproduce(rng);
+    }
+    return runner.take_result();
+  }
+
+ private:
+  const P* problem_;
+  GaConfig cfg_;
+  util::ThreadPool* pool_;
+};
+
+}  // namespace gaplan::ga

@@ -1,0 +1,94 @@
+// Replicated-run experiment harness: the paper reports every number as an
+// average over N independent GA runs ("each run uses a different random
+// seed"); this header is the one place that protocol is implemented so every
+// table bench aggregates identically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/multiphase.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace gaplan::ga {
+
+/// One GA run's reportable outcome.
+struct RunRecord {
+  bool valid = false;
+  double goal_fitness = 0.0;    ///< of the best solution found
+  double best_fitness = 0.0;
+  std::size_t plan_length = 0;  ///< size of the (concatenated) best solution
+  std::size_t generations = 0;  ///< generations executed before stopping
+  std::size_t phase_found = kNoGoal;  ///< 0-based phase of first valid solution
+  double seconds = 0.0;
+};
+
+/// Aggregates matching the columns of the paper's Tables 2 and 4.
+struct RunAggregate {
+  std::size_t runs = 0;
+  std::size_t solved = 0;                   ///< "# runs that find a valid solution"
+  double avg_goal_fitness = 0.0;            ///< over all runs
+  double avg_plan_length = 0.0;             ///< over all runs
+  double avg_generations_to_solve = 0.0;    ///< over solved runs (0 if none)
+  double avg_seconds = 0.0;                 ///< over all runs
+  /// Runs whose first valid solution appeared in phase p (Table 5 rows).
+  std::vector<std::size_t> solved_in_phase;
+};
+
+/// Runs the configured (single- or multi-phase) GA `runs` times with seeds
+/// seed0, seed0+1, ... and returns one record per run.
+template <PlanningProblem P>
+std::vector<RunRecord> replicate(const P& problem, const GaConfig& cfg,
+                                 std::size_t runs, std::uint64_t seed0,
+                                 util::ThreadPool* pool = nullptr) {
+  std::vector<RunRecord> records;
+  records.reserve(runs);
+  for (std::size_t r = 0; r < runs; ++r) {
+    util::Timer timer;
+    const auto result = run_multiphase(problem, cfg, seed0 + r, pool);
+    RunRecord rec;
+    rec.valid = result.valid;
+    rec.goal_fitness = result.goal_fitness;
+    rec.best_fitness = result.best_fitness;
+    rec.plan_length = result.plan.size();
+    rec.generations = result.generations_total;
+    rec.phase_found = result.phase_found;
+    rec.seconds = timer.seconds();
+    records.push_back(rec);
+  }
+  return records;
+}
+
+/// Collapses run records into the table columns. `phases` sizes the
+/// solved_in_phase histogram.
+inline RunAggregate aggregate(const std::vector<RunRecord>& records,
+                              std::size_t phases = 1) {
+  RunAggregate agg;
+  agg.runs = records.size();
+  agg.solved_in_phase.assign(phases, 0);
+  double gens_sum = 0.0;
+  for (const auto& r : records) {
+    agg.avg_goal_fitness += r.goal_fitness;
+    agg.avg_plan_length += static_cast<double>(r.plan_length);
+    agg.avg_seconds += r.seconds;
+    if (r.valid) {
+      ++agg.solved;
+      gens_sum += static_cast<double>(r.generations);
+      if (r.phase_found != kNoGoal && r.phase_found < phases) {
+        ++agg.solved_in_phase[r.phase_found];
+      }
+    }
+  }
+  if (agg.runs > 0) {
+    agg.avg_goal_fitness /= static_cast<double>(agg.runs);
+    agg.avg_plan_length /= static_cast<double>(agg.runs);
+    agg.avg_seconds /= static_cast<double>(agg.runs);
+  }
+  if (agg.solved > 0) {
+    agg.avg_generations_to_solve = gens_sum / static_cast<double>(agg.solved);
+  }
+  return agg;
+}
+
+}  // namespace gaplan::ga

@@ -1,0 +1,77 @@
+// Fitness scoring (paper §3.3, Eqs. 1-4).
+//
+//   F = w_g · F_goal + w_c · F_cost                      (Eq. 4, indirect)
+//   F = (w_m·F_match + w_g·F_goal + w_c·F_cost) / Σw     (Eq. 3, direct)
+//
+// F_goal is the domain's distance-to-goal heuristic; F_cost prefers cheap or
+// short plans (Eq. 2; the scan's formula is corrupt, so two variants are
+// provided — see DESIGN.md).
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/config.hpp"
+#include "core/decoder.hpp"
+#include "core/individual.hpp"
+
+namespace gaplan::ga {
+
+/// Eq. (2): cost fitness of a plan with total cost `cost` and `length` steps.
+inline double cost_fitness(const GaConfig& cfg, double cost, std::size_t length) {
+  switch (cfg.cost_fitness) {
+    case CostFitnessKind::kNormalizedLength: {
+      const double frac = static_cast<double>(length) /
+                          static_cast<double>(std::max<std::size_t>(1, cfg.max_length));
+      return std::max(0.0, 1.0 - frac);
+    }
+    case CostFitnessKind::kInverseCost:
+      return 1.0 / (1.0 + std::max(0.0, cost));
+  }
+  return 0.0;
+}
+
+/// Fills ev.goal_fit / ev.cost_fit / ev.fitness from the decode results and
+/// the problem's goal-fitness function. Call after decode_indirect/direct.
+template <PlanningProblem P>
+void score(const P& problem, const GaConfig& cfg, Evaluation<typename P::StateT>& ev) {
+  ev.goal_fit = ev.valid ? 1.0 : problem.goal_fitness(ev.final_state);
+  ev.cost_fit = cost_fitness(cfg, ev.plan_cost, ev.effective_length);
+  if (cfg.encoding == EncodingKind::kDirect) {
+    const double total = cfg.match_weight + cfg.goal_weight + cfg.cost_weight;
+    ev.fitness = (cfg.match_weight * ev.match_fit + cfg.goal_weight * ev.goal_fit +
+                  cfg.cost_weight * ev.cost_fit) /
+                 total;
+  } else {
+    ev.fitness = cfg.goal_weight * ev.goal_fit + cfg.cost_weight * ev.cost_fit;
+  }
+}
+
+/// Decode + score in one step, honouring the configured encoding. `scratch`
+/// is the reusable valid-op buffer used by the indirect decoder.
+template <PlanningProblem P>
+Evaluation<typename P::StateT> evaluate(const P& problem, const GaConfig& cfg,
+                                        const typename P::StateT& start,
+                                        const Genome& genes,
+                                        std::vector<int>& scratch) {
+  DecodeOptions opt;
+  opt.truncate_at_goal = cfg.truncate_at_goal;
+  opt.record_hashes = (cfg.crossover == CrossoverKind::kStateAware ||
+                       cfg.crossover == CrossoverKind::kMixed);
+  Evaluation<typename P::StateT> ev;
+  if constexpr (DirectEncodable<P>) {
+    ev = cfg.encoding == EncodingKind::kDirect
+             ? decode_direct(problem, start, genes, opt)
+             : decode_indirect(problem, start, genes, opt, scratch);
+  } else {
+    if (cfg.encoding == EncodingKind::kDirect) {
+      throw std::logic_error(
+          "GaConfig: direct encoding requires a DirectEncodable problem");
+    }
+    ev = decode_indirect(problem, start, genes, opt, scratch);
+  }
+  score(problem, cfg, ev);
+  return ev;
+}
+
+}  // namespace gaplan::ga

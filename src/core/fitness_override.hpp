@@ -1,0 +1,53 @@
+// Goal-fitness override adapter — the paper's future work made concrete:
+// "We plan to explore ... more accurate goal fitness functions."
+//
+// Wraps any PlanningProblem, delegating everything except goal_fitness to the
+// base problem; the goal fitness comes from a caller-supplied functor. Used
+// to plug heuristic estimators (e.g. pattern databases) into the GA without
+// touching the domain.
+#pragma once
+
+#include <utility>
+
+#include "core/problem.hpp"
+
+namespace gaplan::ga {
+
+/// F: double(const P::StateT&) in [0, 1], and it must return 1.0 exactly on
+/// goal states (the wrapper asserts nothing; is_goal stays authoritative for
+/// validity, so a sloppy F costs search quality, not soundness).
+template <PlanningProblem P, typename F>
+class WithGoalFitness {
+ public:
+  using StateT = typename P::StateT;
+
+  WithGoalFitness(const P& base, F fitness)
+      : base_(&base), fitness_(std::move(fitness)) {}
+
+  StateT initial_state() const { return base_->initial_state(); }
+  void valid_ops(const StateT& s, std::vector<int>& out) const {
+    base_->valid_ops(s, out);
+  }
+  void apply(StateT& s, int op) const { base_->apply(s, op); }
+  double op_cost(const StateT& s, int op) const { return base_->op_cost(s, op); }
+  std::string op_label(const StateT& s, int op) const {
+    return base_->op_label(s, op);
+  }
+  double goal_fitness(const StateT& s) const { return fitness_(s); }
+  bool is_goal(const StateT& s) const { return base_->is_goal(s); }
+  std::uint64_t hash(const StateT& s) const { return base_->hash(s); }
+
+  const P& base() const noexcept { return *base_; }
+
+ private:
+  const P* base_;
+  F fitness_;
+};
+
+/// Deduction helper: with_goal_fitness(problem, [](const State& s) {...}).
+template <PlanningProblem P, typename F>
+WithGoalFitness<P, F> with_goal_fitness(const P& base, F fitness) {
+  return WithGoalFitness<P, F>(base, std::move(fitness));
+}
+
+}  // namespace gaplan::ga

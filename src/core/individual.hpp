@@ -1,0 +1,53 @@
+// GA individual: a variable-length genome of floating-point genes plus the
+// cached result of its most recent evaluation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace gaplan::ga {
+
+/// One gene: a float in [0, 1) that the indirect encoding maps to one of the
+/// operations valid in the state where it executes (§3.1).
+using Gene = double;
+using Genome = std::vector<Gene>;
+
+inline constexpr std::size_t kNoGoal = std::numeric_limits<std::size_t>::max();
+
+/// Evaluation record produced by decoding a genome from a start state.
+template <typename State>
+struct Evaluation {
+  double fitness = 0.0;       ///< Eq. (3)/(4) combined score
+  double goal_fit = 0.0;      ///< F_goal of the plan's final state
+  double cost_fit = 0.0;      ///< F_cost
+  double match_fit = 1.0;     ///< F_match (≡ 1 under indirect encoding, Eq. 1)
+  double plan_cost = 0.0;     ///< summed op costs over the effective plan
+  bool valid = false;         ///< plan reaches the goal
+  std::size_t goal_index = kNoGoal;  ///< ops applied when goal first held
+  std::size_t effective_length = 0;  ///< ops in the reported plan
+
+  /// Decoded operation ids, one per applied gene (truncated at the goal when
+  /// the engine's truncate_at_goal option is on).
+  std::vector<int> ops;
+  /// State hashes along the trajectory; state_hashes[i] is the state *before*
+  /// ops[i], and state_hashes.back() the final state. Used by state-aware
+  /// crossover (exact-state matching) to find matching cut points (§3.4.2).
+  std::vector<std::uint64_t> state_hashes;
+  /// Hashes of each trajectory state's ordered valid-operation list, indexed
+  /// like state_hashes. Used by state-aware crossover under the default
+  /// valid-ops match (two states match when the same genetic code maps to the
+  /// same operations there).
+  std::vector<std::uint64_t> op_signatures;
+  /// Final state of the effective plan (start state of the next phase).
+  State final_state{};
+};
+
+template <typename State>
+struct Individual {
+  Genome genes;
+  Evaluation<State> eval;
+};
+
+}  // namespace gaplan::ga

@@ -1,0 +1,118 @@
+// Island-model GA (extension; §5 "ample opportunities for research").
+//
+// K islands each evolve an independent population in lockstep; every
+// `migration_interval` generations each island's best `migrants` individuals
+// are copied to the next island on a ring, replacing its worst. This is the
+// natural way to spread the paper's planner across a heterogeneous grid —
+// each island is an independent GA run, exactly the unit §3.5 already
+// defines — and bench/island measures what migration buys.
+#pragma once
+
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace gaplan::ga {
+
+struct IslandConfig {
+  std::size_t islands = 4;
+  std::size_t migration_interval = 25;  ///< generations between migrations
+  std::size_t migrants = 2;             ///< individuals copied per edge
+};
+
+template <typename State>
+struct IslandResult {
+  Individual<State> best;              ///< best individual across all islands
+  bool found_valid = false;
+  std::size_t generation_found = 0;
+  std::size_t generations_run = 0;
+  std::size_t best_island = 0;
+  std::size_t migrations = 0;
+  std::vector<PhaseResult<State>> islands;  ///< per-island phase results
+};
+
+/// Runs the island model from the problem's initial state for one phase worth
+/// of generations (cfg.generations). Per-island RNG streams are split off
+/// `rng` up front so results do not depend on evaluation order.
+template <PlanningProblem P>
+IslandResult<typename P::StateT> run_islands(const P& problem, const GaConfig& cfg,
+                                             const IslandConfig& icfg,
+                                             util::Rng& rng,
+                                             util::ThreadPool* pool = nullptr) {
+  using State = typename P::StateT;
+  cfg.validate();
+  if (icfg.islands == 0) throw std::invalid_argument("IslandConfig: islands must be >= 1");
+
+  std::vector<util::Rng> rngs;
+  rngs.reserve(icfg.islands);
+  for (std::size_t i = 0; i < icfg.islands; ++i) rngs.push_back(rng.split());
+
+  const State start = problem.initial_state();
+  std::vector<PhaseRunner<P>> runners;
+  runners.reserve(icfg.islands);
+  for (std::size_t i = 0; i < icfg.islands; ++i) {
+    runners.emplace_back(problem, cfg, pool);
+    runners[i].init(start, rngs[i]);
+  }
+
+  IslandResult<State> result;
+  bool have_best = false;
+  for (std::size_t gen = 0; gen < cfg.generations; ++gen) {
+    for (std::size_t i = 0; i < runners.size(); ++i) {
+      runners[i].step_evaluate();
+      const auto& best = runners[i].best();
+      if (!have_best || better_solution(best.eval, result.best.eval)) {
+        result.best = best;
+        result.best_island = i;
+        have_best = true;
+      }
+    }
+    result.generations_run = gen + 1;
+    if (!result.found_valid) {
+      for (const auto& r : runners) {
+        if (r.result().found_valid) {
+          result.found_valid = true;
+          result.generation_found = gen;
+          break;
+        }
+      }
+    }
+    if (result.found_valid && cfg.stop_on_valid) break;
+    if (gen + 1 == cfg.generations) break;
+
+    // Ring migration at interval boundaries (populations are evaluated here).
+    if (icfg.islands > 1 && icfg.migration_interval > 0 &&
+        (gen + 1) % icfg.migration_interval == 0) {
+      std::vector<std::vector<Individual<State>>> outgoing(icfg.islands);
+      for (std::size_t i = 0; i < runners.size(); ++i) {
+        // Send copies of the island's best-of-phase plus current-population
+        // elites (the phase best is always included first).
+        outgoing[i].push_back(runners[i].best());
+        const auto& pop = runners[i].population();
+        std::size_t extra = icfg.migrants > 1 ? icfg.migrants - 1 : 0;
+        std::vector<std::size_t> order(pop.size());
+        for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+        std::partial_sort(order.begin(),
+                          order.begin() + static_cast<std::ptrdiff_t>(
+                                              std::min(extra, order.size())),
+                          order.end(), [&](std::size_t a, std::size_t b) {
+                            return better_solution(pop[a].eval, pop[b].eval);
+                          });
+        for (std::size_t k = 0; k < extra && k < order.size(); ++k) {
+          outgoing[i].push_back(pop[order[k]]);
+        }
+      }
+      for (std::size_t i = 0; i < runners.size(); ++i) {
+        runners[(i + 1) % runners.size()].replace_worst(outgoing[i]);
+      }
+      ++result.migrations;
+    }
+    for (std::size_t i = 0; i < runners.size(); ++i) {
+      runners[i].step_reproduce(rngs[i]);
+    }
+  }
+  for (auto& r : runners) result.islands.push_back(r.take_result());
+  return result;
+}
+
+}  // namespace gaplan::ga

@@ -1,0 +1,96 @@
+// Multi-phase GA planning (§3.5): the search is divided into phases, each an
+// independent GA run; the final state of each phase's best solution seeds the
+// next phase, and the overall plan is the concatenation of per-phase best
+// plans. The search ends when a phase's best solution is valid or after the
+// configured number of phases.
+#pragma once
+
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace gaplan::ga {
+
+template <typename State>
+struct MultiPhaseResult {
+  bool valid = false;
+  std::size_t phase_found = kNoGoal;   ///< 0-based phase whose best was valid
+  std::size_t phases_run = 0;
+  /// Paper accounting (Table 2): phases always run their full generation
+  /// budget, so generations-to-solution is phases_run × generations-per-phase
+  /// when valid; generations_total also counts any early-stopped single phase.
+  std::size_t generations_total = 0;
+  std::vector<int> plan;               ///< concatenated per-phase best plans
+  double goal_fitness = 0.0;           ///< of the concatenated plan's final state
+  double best_fitness = 0.0;           ///< combined fitness of the last phase best
+  State final_state{};
+  std::vector<PhaseResult<State>> phases;
+};
+
+/// Runs the multi-phase procedure from an explicit start state (the
+/// re-planner plans from whatever data state execution has reached). With
+/// cfg.phases == 1 this degenerates to the paper's "single-phase GA" (early
+/// stop on the first valid individual, controlled by cfg.stop_on_valid).
+template <PlanningProblem P>
+MultiPhaseResult<typename P::StateT> run_multiphase_from(
+    const P& problem, const GaConfig& cfg, const typename P::StateT& start,
+    util::Rng& rng, util::ThreadPool* pool = nullptr) {
+  using State = typename P::StateT;
+  Engine<P> engine(problem, cfg, pool);
+  MultiPhaseResult<State> result;
+  State current = start;
+  result.final_state = current;
+
+  const bool single_phase = cfg.phases == 1;
+  result.goal_fitness = problem.goal_fitness(current);
+  for (std::size_t phase = 0; phase < cfg.phases; ++phase) {
+    // Multi-phase: validity is checked at phase boundaries, so phases run
+    // their full generation budget (§3.5 step 2); the single-phase GA may
+    // stop as soon as a valid individual appears.
+    PhaseResult<State> pr =
+        engine.run_phase(current, rng, single_phase && cfg.stop_on_valid);
+    result.generations_total += pr.generations_run;
+    result.phases_run = phase + 1;
+
+    const auto& best = pr.best.eval;
+    // Monotone guard: discard non-improving phase plans (see GaConfig).
+    const bool accept = best.valid || !cfg.monotone_phases ||
+                        best.goal_fit > problem.goal_fitness(current);
+    if (accept) {
+      result.plan.insert(result.plan.end(), best.ops.begin(), best.ops.end());
+      current = best.final_state;
+      result.final_state = current;
+      result.goal_fitness = best.goal_fit;
+      result.best_fitness = best.fitness;
+    }
+    const bool phase_valid = best.valid;
+    result.phases.push_back(std::move(pr));
+    if (phase_valid) {
+      result.valid = true;
+      result.phase_found = phase;
+      break;
+    }
+  }
+  return result;
+}
+
+/// Runs the multi-phase procedure from the problem's own initial state.
+template <PlanningProblem P>
+MultiPhaseResult<typename P::StateT> run_multiphase(const P& problem,
+                                                    const GaConfig& cfg,
+                                                    util::Rng& rng,
+                                                    util::ThreadPool* pool = nullptr) {
+  return run_multiphase_from(problem, cfg, problem.initial_state(), rng, pool);
+}
+
+/// Convenience overload seeding a fresh RNG from `seed`.
+template <PlanningProblem P>
+MultiPhaseResult<typename P::StateT> run_multiphase(const P& problem,
+                                                    const GaConfig& cfg,
+                                                    std::uint64_t seed,
+                                                    util::ThreadPool* pool = nullptr) {
+  util::Rng rng(seed);
+  return run_multiphase(problem, cfg, rng, pool);
+}
+
+}  // namespace gaplan::ga

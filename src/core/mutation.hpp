@@ -1,0 +1,24 @@
+// Mutation (§3.4.3): "Every gene has equal probability of being mutated. In
+// every mutation, a new randomly generated floating point number replaces the
+// old one."
+#pragma once
+
+#include "core/individual.hpp"
+#include "util/rng.hpp"
+
+namespace gaplan::ga {
+
+/// Mutates each gene independently with probability `rate`; returns the
+/// number of genes replaced.
+inline std::size_t mutate(Genome& genes, double rate, util::Rng& rng) {
+  std::size_t mutated = 0;
+  for (Gene& g : genes) {
+    if (rng.chance(rate)) {
+      g = rng.uniform();
+      ++mutated;
+    }
+  }
+  return mutated;
+}
+
+}  // namespace gaplan::ga

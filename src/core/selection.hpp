@@ -1,0 +1,40 @@
+// Parent selection (§3.4.1). The paper uses tournament selection of size 2;
+// fitness-proportionate (roulette) selection is provided for ablations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gaplan::ga {
+
+/// Tournament selection: draws `k` candidates uniformly with replacement and
+/// returns the index of the fittest. `fitness` must be non-empty, k >= 1.
+inline std::size_t tournament_select(const std::vector<double>& fitness,
+                                     std::size_t k, util::Rng& rng) {
+  std::size_t best = static_cast<std::size_t>(rng.below(fitness.size()));
+  for (std::size_t i = 1; i < k; ++i) {
+    const std::size_t cand = static_cast<std::size_t>(rng.below(fitness.size()));
+    if (fitness[cand] > fitness[best]) best = cand;
+  }
+  return best;
+}
+
+/// Roulette-wheel selection over non-negative fitness values. Falls back to a
+/// uniform draw when total fitness is zero.
+inline std::size_t roulette_select(const std::vector<double>& fitness,
+                                   util::Rng& rng) {
+  double total = 0.0;
+  for (const double f : fitness) total += f > 0.0 ? f : 0.0;
+  if (total <= 0.0) return static_cast<std::size_t>(rng.below(fitness.size()));
+  double ticket = rng.uniform() * total;
+  for (std::size_t i = 0; i < fitness.size(); ++i) {
+    const double f = fitness[i] > 0.0 ? fitness[i] : 0.0;
+    if (ticket < f) return i;
+    ticket -= f;
+  }
+  return fitness.size() - 1;  // floating-point slack lands on the last slot
+}
+
+}  // namespace gaplan::ga

@@ -1,0 +1,55 @@
+// Plan post-optimization: GA plans are valid but long (the paper reports
+// 72-922 operations where optima are 15-31); this pass truncates at the first
+// goal-satisfying prefix and excises loops — whenever the trajectory revisits
+// a state, everything between the two visits is redundant. The result
+// provably stays valid and never gets longer.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/problem.hpp"
+
+namespace gaplan::ga {
+
+/// Simplifies `plan` (executed from `start`): cut at the first goal hit, then
+/// repeatedly remove the first trajectory loop until none remain. States are
+/// compared by the problem's 64-bit hash; a collision could splice unrelated
+/// states, so callers wanting certainty can re-validate with plan_solves.
+template <PlanningProblem P>
+std::vector<int> simplify_plan(const P& problem, const typename P::StateT& start,
+                               std::vector<int> plan) {
+  using State = typename P::StateT;
+  for (bool changed = true; changed;) {
+    changed = false;
+    std::unordered_map<std::uint64_t, std::size_t> first_seen;
+    State s = start;
+    first_seen.emplace(problem.hash(s), 0);
+    if (problem.is_goal(s)) {
+      plan.clear();
+      return plan;
+    }
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      problem.apply(s, plan[i]);
+      if (problem.is_goal(s)) {
+        // Truncate at the first goal hit; anything after is redundant.
+        if (i + 1 < plan.size()) {
+          plan.resize(i + 1);
+          changed = true;
+        }
+        break;
+      }
+      const auto [it, inserted] = first_seen.emplace(problem.hash(s), i + 1);
+      if (!inserted) {
+        // Loop: positions it->second .. i+1 visit the same state twice.
+        plan.erase(plan.begin() + static_cast<std::ptrdiff_t>(it->second),
+                   plan.begin() + static_cast<std::ptrdiff_t>(i + 1));
+        changed = true;
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace gaplan::ga

@@ -1,0 +1,151 @@
+#include "domains/blocks_world.hpp"
+
+#include <stdexcept>
+
+namespace gaplan::domains {
+
+namespace {
+std::uint64_t mix_hash(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+BlocksState BlocksWorld::make_state(int blocks, const std::vector<int>& support) {
+  if (static_cast<int>(support.size()) != blocks) {
+    throw std::invalid_argument("BlocksWorld: support list size mismatch");
+  }
+  BlocksState s;
+  std::array<int, BlocksState::kMaxBlocks> load_count{};
+  for (int b = 0; b < blocks; ++b) {
+    const int under = support[b];
+    if (under == b || under < BlocksState::kTable || under >= blocks) {
+      throw std::invalid_argument("BlocksWorld: bad support for block " +
+                                  std::to_string(b));
+    }
+    s.support[b] = static_cast<std::int8_t>(under);
+    if (under != BlocksState::kTable && ++load_count[under] > 1) {
+      throw std::invalid_argument("BlocksWorld: two blocks on block " +
+                                  std::to_string(under));
+    }
+  }
+  // Reject cycles: following supports from any block must reach the table.
+  for (int b = 0; b < blocks; ++b) {
+    int cur = b, hops = 0;
+    while (cur != BlocksState::kTable) {
+      cur = s.support[cur];
+      if (++hops > blocks) {
+        throw std::invalid_argument("BlocksWorld: support cycle at block " +
+                                    std::to_string(b));
+      }
+    }
+  }
+  return s;
+}
+
+BlocksWorld::BlocksWorld(int blocks, const std::vector<int>& initial,
+                         const std::vector<int>& goal)
+    : blocks_(blocks) {
+  if (blocks < 1 || blocks > BlocksState::kMaxBlocks) {
+    throw std::invalid_argument("BlocksWorld: blocks must be in [1, 16]");
+  }
+  initial_ = make_state(blocks, initial);
+  goal_ = make_state(blocks, goal);
+}
+
+BlocksWorld BlocksWorld::tower_instance(int blocks) {
+  std::vector<int> initial(blocks, BlocksState::kTable);
+  std::vector<int> goal(blocks);
+  for (int b = 0; b < blocks; ++b) {
+    goal[b] = (b + 1 < blocks) ? b + 1 : BlocksState::kTable;
+  }
+  return BlocksWorld(blocks, initial, goal);
+}
+
+bool BlocksWorld::clear(const BlocksState& s, int b) const noexcept {
+  for (int other = 0; other < blocks_; ++other) {
+    if (s.support[other] == b) return false;
+  }
+  return true;
+}
+
+bool BlocksWorld::op_applicable(const BlocksState& s, int op) const noexcept {
+  if (op < 0 || static_cast<std::size_t>(op) >= op_count()) return false;
+  const int mover = op / (blocks_ + 1);
+  const int dest = op % (blocks_ + 1);
+  if (!clear(s, mover)) return false;
+  if (dest == blocks_) {
+    return s.support[mover] != BlocksState::kTable;  // already on table: no-op
+  }
+  if (dest == mover) return false;
+  return s.support[mover] != dest && clear(s, dest);
+}
+
+void BlocksWorld::valid_ops(const BlocksState& s, std::vector<int>& out) const {
+  out.clear();
+  for (int op = 0; op < static_cast<int>(op_count()); ++op) {
+    if (op_applicable(s, op)) out.push_back(op);
+  }
+}
+
+void BlocksWorld::apply(BlocksState& s, int op) const noexcept {
+  const int mover = op / (blocks_ + 1);
+  const int dest = op % (blocks_ + 1);
+  s.support[mover] = dest == blocks_ ? BlocksState::kTable
+                                     : static_cast<std::int8_t>(dest);
+}
+
+std::string BlocksWorld::op_label(const BlocksState&, int op) const {
+  const int mover = op / (blocks_ + 1);
+  const int dest = op % (blocks_ + 1);
+  std::string label = "move " + std::string(1, static_cast<char>('a' + mover));
+  label += dest == blocks_ ? " to table"
+                           : " onto " + std::string(1, static_cast<char>('a' + dest));
+  return label;
+}
+
+double BlocksWorld::goal_fitness(const BlocksState& s) const noexcept {
+  int matched = 0;
+  for (int b = 0; b < blocks_; ++b) {
+    if (s.support[b] == goal_.support[b]) ++matched;
+  }
+  return static_cast<double>(matched) / static_cast<double>(blocks_);
+}
+
+std::uint64_t BlocksWorld::hash(const BlocksState& s) const noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (int b = 0; b < blocks_; ++b) {
+    h ^= static_cast<std::uint8_t>(s.support[b]);
+    h *= 0x100000001B3ULL;
+  }
+  return mix_hash(h);
+}
+
+std::string BlocksWorld::render(const BlocksState& s) const {
+  std::string out;
+  for (int base = 0; base < blocks_; ++base) {
+    if (s.support[base] != BlocksState::kTable) continue;
+    out += "table:";
+    int cur = base;
+    while (cur >= 0) {
+      out += ' ';
+      out += static_cast<char>('a' + cur);
+      int above = -1;
+      for (int b = 0; b < blocks_; ++b) {
+        if (s.support[b] == cur) {
+          above = b;
+          break;
+        }
+      }
+      cur = above;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace gaplan::domains

@@ -1,0 +1,74 @@
+// Blocks World planning domain — the benchmark GenPlan (Westerberg & Levine)
+// evaluates on, included so the comparison the paper's related-work section
+// draws can be run here.
+//
+// N labelled blocks sit on a table or on one another; a move takes a clear
+// block onto the table or onto another clear block. Goal fitness is the
+// fraction of blocks whose support (what they sit on) matches the goal
+// configuration.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gaplan::domains {
+
+/// support[i] is the block index beneath block i, or kTable.
+struct BlocksState {
+  static constexpr int kMaxBlocks = 16;
+  static constexpr std::int8_t kTable = -1;
+  std::array<std::int8_t, kMaxBlocks> support{};
+
+  bool operator==(const BlocksState&) const = default;
+};
+
+class BlocksWorld {
+ public:
+  using StateT = BlocksState;
+
+  /// `blocks` in [1, 16]. `initial`/`goal` give each block's support
+  /// (kTable = on the table); both must be acyclic with no two blocks on the
+  /// same support.
+  BlocksWorld(int blocks, const std::vector<int>& initial, const std::vector<int>& goal);
+
+  /// Canonical instance: all blocks on the table initially; goal is the
+  /// single tower 0 on 1 on 2 ... on (n-1) on table.
+  static BlocksWorld tower_instance(int blocks);
+
+  int blocks() const noexcept { return blocks_; }
+
+  // --- PlanningProblem concept ----------------------------------------------
+  BlocksState initial_state() const noexcept { return initial_; }
+  void valid_ops(const BlocksState& s, std::vector<int>& out) const;
+  void apply(BlocksState& s, int op) const noexcept;
+  double op_cost(const BlocksState&, int) const noexcept { return 1.0; }
+  std::string op_label(const BlocksState&, int op) const;
+  double goal_fitness(const BlocksState& s) const noexcept;
+  bool is_goal(const BlocksState& s) const noexcept { return goal_fitness(s) == 1.0; }
+  std::uint64_t hash(const BlocksState& s) const noexcept;
+  // --- DirectEncodable --------------------------------------------------------
+  /// Global op id = mover * (blocks + 1) + destination, destination == blocks
+  /// meaning the table.
+  std::size_t op_count() const noexcept {
+    return static_cast<std::size_t>(blocks_) * (blocks_ + 1);
+  }
+  bool op_applicable(const BlocksState& s, int op) const noexcept;
+  // ----------------------------------------------------------------------------
+
+  /// True if nothing rests on block `b`.
+  bool clear(const BlocksState& s, int b) const noexcept;
+
+  /// ASCII rendering: one line per tower, table-to-top.
+  std::string render(const BlocksState& s) const;
+
+ private:
+  static BlocksState make_state(int blocks, const std::vector<int>& support);
+
+  int blocks_;
+  BlocksState initial_;
+  BlocksState goal_;
+};
+
+}  // namespace gaplan::domains

@@ -1,0 +1,151 @@
+#include "domains/hanoi.hpp"
+
+#include <stdexcept>
+
+namespace gaplan::domains {
+
+namespace {
+constexpr char kStakeNames[3] = {'A', 'B', 'C'};
+
+std::uint64_t mix_hash(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+Hanoi::Hanoi(int disks, int initial_stake, int goal_stake)
+    : disks_(disks), goal_stake_(goal_stake) {
+  if (disks < 1 || disks > kMaxDisks) {
+    throw std::invalid_argument("Hanoi: disks must be in [1, 32]");
+  }
+  if (initial_stake < 0 || initial_stake >= kStakes || goal_stake < 0 ||
+      goal_stake >= kStakes || initial_stake == goal_stake) {
+    throw std::invalid_argument("Hanoi: bad initial/goal stakes");
+  }
+  for (int d = 1; d <= disks_; ++d) set_stake(initial_, d, initial_stake);
+}
+
+int Hanoi::top_disk(const HanoiState& s, int stake) const noexcept {
+  for (int d = 1; d <= disks_; ++d) {
+    if (stake_of(s, d) == stake) return d;
+  }
+  return 0;
+}
+
+bool Hanoi::op_applicable(const HanoiState& s, int op) const noexcept {
+  const int from = op / 3;
+  const int to = op % 3;
+  if (from == to || op < 0 || op >= 9) return false;
+  const int moving = top_disk(s, from);
+  if (moving == 0) return false;
+  const int target_top = top_disk(s, to);
+  return target_top == 0 || target_top > moving;
+}
+
+void Hanoi::valid_ops(const HanoiState& s, std::vector<int>& out) const {
+  out.clear();
+  // One pass over the disks yields all three stake tops; legality checks are
+  // then O(1) per candidate move. This is the GA decode hot path.
+  int tops[kStakes] = {0, 0, 0};
+  for (int d = disks_; d >= 1; --d) tops[stake_of(s, d)] = d;
+  for (int from = 0; from < kStakes; ++from) {
+    if (tops[from] == 0) continue;
+    for (int to = 0; to < kStakes; ++to) {
+      if (to == from) continue;
+      if (tops[to] == 0 || tops[to] > tops[from]) out.push_back(from * 3 + to);
+    }
+  }
+}
+
+void Hanoi::apply(HanoiState& s, int op) const noexcept {
+  const int from = op / 3;
+  const int to = op % 3;
+  const int moving = top_disk(s, from);
+  if (moving != 0) set_stake(s, moving, to);
+}
+
+std::string Hanoi::op_label(const HanoiState&, int op) const {
+  std::string label = "move ";
+  label += kStakeNames[op / 3];
+  label += "->";
+  label += kStakeNames[op % 3];
+  return label;
+}
+
+double Hanoi::goal_fitness(const HanoiState& s) const noexcept {
+  // Eq. (5): disk i weighs 2^(i-1); total weight 2^n - 1.
+  std::uint64_t on_goal = 0;
+  for (int d = 1; d <= disks_; ++d) {
+    if (stake_of(s, d) == goal_stake_) on_goal += std::uint64_t{1} << (d - 1);
+  }
+  const std::uint64_t total = (std::uint64_t{1} << disks_) - 1;
+  return static_cast<double>(on_goal) / static_cast<double>(total);
+}
+
+bool Hanoi::is_goal(const HanoiState& s) const noexcept {
+  for (int d = 1; d <= disks_; ++d) {
+    if (stake_of(s, d) != goal_stake_) return false;
+  }
+  return true;
+}
+
+std::uint64_t Hanoi::hash(const HanoiState& s) const noexcept {
+  return mix_hash(s.pegs ^ (static_cast<std::uint64_t>(disks_) << 56));
+}
+
+std::vector<int> Hanoi::optimal_plan() const {
+  std::vector<int> plan;
+  plan.reserve(optimal_length());
+  // Move the tower of size n from `from` to `to` via `spare`.
+  auto solve = [&](auto&& self, int n, int from, int to, int spare) -> void {
+    if (n == 0) return;
+    self(self, n - 1, from, spare, to);
+    plan.push_back(from * 3 + to);
+    self(self, n - 1, spare, to, from);
+  };
+  const int from = stake_of(initial_, 1);
+  const int spare = 3 - from - goal_stake_;
+  solve(solve, disks_, from, goal_stake_, spare);
+  return plan;
+}
+
+std::string Hanoi::render(const HanoiState& s) const {
+  // One row per disk level, widest disk at the bottom, as in Figures 1-2.
+  std::vector<std::vector<int>> stacks(3);
+  for (int d = disks_; d >= 1; --d) {
+    stacks[stake_of(s, d)].push_back(d);  // bottom-to-top per stake
+  }
+  const int height = disks_;
+  const int col_width = 2 * disks_ + 1;
+  std::string out;
+  for (int level = height - 1; level >= 0; --level) {
+    for (int stake = 0; stake < 3; ++stake) {
+      std::string cell(col_width, ' ');
+      if (level < static_cast<int>(stacks[stake].size())) {
+        const int disk = stacks[stake][level];
+        const int width = 2 * disk - 1;
+        const int off = (col_width - width) / 2;
+        for (int i = 0; i < width; ++i) cell[off + i] = '=';
+      } else {
+        cell[col_width / 2] = '|';
+      }
+      out += cell;
+      if (stake < 2) out += "  ";
+    }
+    out += '\n';
+  }
+  for (int stake = 0; stake < 3; ++stake) {
+    std::string base(col_width, '-');
+    base[col_width / 2] = kStakeNames[stake];
+    out += base;
+    if (stake < 2) out += "  ";
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace gaplan::domains

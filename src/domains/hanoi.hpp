@@ -1,0 +1,96 @@
+// Towers of Hanoi planning domain (paper §4.1).
+//
+// Three stakes A, B, C and n disks d1 (smallest) .. dn (largest), all
+// initially on A; the goal is all disks on B. A move transfers the top disk
+// of one stake onto another stake whose top disk (if any) is larger. The
+// optimal solution length is 2^n - 1.
+//
+// Goal fitness (Eq. 5 reconstruction): disk i weighs 2^(i-1); F_goal is the
+// weight on stake B over the total weight 2^n - 1, so losing the largest disk
+// costs just over half the score — exactly the deceptive-fitness trap the
+// paper discusses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gaplan::domains {
+
+/// Packed Hanoi state: two bits per disk holding its stake (0=A, 1=B, 2=C).
+/// Supports up to 32 disks.
+struct HanoiState {
+  std::uint64_t pegs = 0;
+
+  bool operator==(const HanoiState&) const = default;
+};
+
+class Hanoi {
+ public:
+  using StateT = HanoiState;
+
+  static constexpr int kStakes = 3;
+  static constexpr int kMaxDisks = 32;
+
+  /// `disks` in [1, 32]. Initial stake defaults to A (0), goal stake to B (1)
+  /// as in the paper's Figures 1-2.
+  explicit Hanoi(int disks, int initial_stake = 0, int goal_stake = 1);
+
+  int disks() const noexcept { return disks_; }
+  int goal_stake() const noexcept { return goal_stake_; }
+
+  /// Optimal solution length 2^n - 1.
+  std::uint64_t optimal_length() const noexcept {
+    return (std::uint64_t{1} << disks_) - 1;
+  }
+
+  // --- PlanningProblem concept ----------------------------------------------
+  HanoiState initial_state() const noexcept { return initial_; }
+
+  /// Valid moves in canonical order of global op id (from-stake*3 + to-stake,
+  /// from != to: at most 6 of the 9 ids are meaningful).
+  void valid_ops(const HanoiState& s, std::vector<int>& out) const;
+
+  void apply(HanoiState& s, int op) const noexcept;
+
+  double op_cost(const HanoiState&, int) const noexcept { return 1.0; }
+
+  std::string op_label(const HanoiState&, int op) const;
+
+  double goal_fitness(const HanoiState& s) const noexcept;
+
+  bool is_goal(const HanoiState& s) const noexcept;
+
+  std::uint64_t hash(const HanoiState& s) const noexcept;
+  // --- DirectEncodable ---------------------------------------------------------
+  std::size_t op_count() const noexcept { return 9; }
+  bool op_applicable(const HanoiState& s, int op) const noexcept;
+  // ----------------------------------------------------------------------------
+
+  /// Stake of disk `i` (1-based) in `s`.
+  int stake_of(const HanoiState& s, int disk) const noexcept {
+    return static_cast<int>((s.pegs >> (2 * (disk - 1))) & 3ULL);
+  }
+
+  /// Smallest (top) disk on `stake`, or 0 if the stake is empty.
+  int top_disk(const HanoiState& s, int stake) const noexcept;
+
+  /// The classical recursive optimal plan as op ids (for tests/baselines).
+  std::vector<int> optimal_plan() const;
+
+  /// ASCII rendering in the style of the paper's Figures 1-2.
+  std::string render(const HanoiState& s) const;
+
+ private:
+  void set_stake(HanoiState& s, int disk, int stake) const noexcept {
+    const int shift = 2 * (disk - 1);
+    s.pegs = (s.pegs & ~(3ULL << shift)) |
+             (static_cast<std::uint64_t>(stake) << shift);
+  }
+
+  int disks_;
+  int goal_stake_;
+  HanoiState initial_;
+};
+
+}  // namespace gaplan::domains

@@ -1,0 +1,123 @@
+#include "domains/hanoi_k.hpp"
+
+#include <array>
+#include <limits>
+#include <stdexcept>
+
+namespace gaplan::domains {
+
+namespace {
+std::uint64_t mix_hash(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+HanoiK::HanoiK(int disks, int stakes) : disks_(disks), stakes_(stakes) {
+  if (disks < 1 || disks > kMaxDisks) {
+    throw std::invalid_argument("HanoiK: disks must be in [1, 21]");
+  }
+  if (stakes < 3 || stakes > kMaxStakes) {
+    throw std::invalid_argument("HanoiK: stakes must be in [3, 8]");
+  }
+  // All disks on stake 0 (stake fields default to 0).
+}
+
+std::uint64_t HanoiK::frame_stewart_length() const {
+  // FS(n, 3) = 2^n - 1; FS(n, k) = min over 1<=m<n of 2*FS(m, k) +
+  // FS(n-m, k-1); FS(0, k) = 0, FS(1, k) = 1.
+  std::array<std::array<std::uint64_t, kMaxDisks + 1>, kMaxStakes + 1> fs{};
+  for (int n = 0; n <= disks_; ++n) {
+    fs[3][n] = (n >= 63) ? std::numeric_limits<std::uint64_t>::max()
+                         : (std::uint64_t{1} << n) - 1;
+  }
+  for (int k = 4; k <= stakes_; ++k) {
+    fs[k][0] = 0;
+    if (disks_ >= 1) fs[k][1] = 1;
+    for (int n = 2; n <= disks_; ++n) {
+      std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+      for (int m = 1; m < n; ++m) {
+        const std::uint64_t candidate = 2 * fs[k][m] + fs[k - 1][n - m];
+        best = std::min(best, candidate);
+      }
+      fs[k][n] = best;
+    }
+  }
+  return fs[stakes_][disks_];
+}
+
+int HanoiK::top_disk(const HanoiKState& s, int stake) const noexcept {
+  for (int d = 1; d <= disks_; ++d) {
+    if (stake_of(s, d) == stake) return d;
+  }
+  return 0;
+}
+
+bool HanoiK::op_applicable(const HanoiKState& s, int op) const noexcept {
+  if (op < 0 || static_cast<std::size_t>(op) >= op_count()) return false;
+  const int from = op / stakes_;
+  const int to = op % stakes_;
+  if (from == to) return false;
+  const int moving = top_disk(s, from);
+  if (moving == 0) return false;
+  const int target = top_disk(s, to);
+  return target == 0 || target > moving;
+}
+
+void HanoiK::valid_ops(const HanoiKState& s, std::vector<int>& out) const {
+  out.clear();
+  // One pass for all stake tops, then O(1) legality per candidate move.
+  std::array<int, kMaxStakes> tops{};
+  for (int d = disks_; d >= 1; --d) tops[stake_of(s, d)] = d;
+  for (int from = 0; from < stakes_; ++from) {
+    if (tops[from] == 0) continue;
+    for (int to = 0; to < stakes_; ++to) {
+      if (to == from) continue;
+      if (tops[to] == 0 || tops[to] > tops[from]) {
+        out.push_back(from * stakes_ + to);
+      }
+    }
+  }
+}
+
+void HanoiK::apply(HanoiKState& s, int op) const noexcept {
+  const int from = op / stakes_;
+  const int to = op % stakes_;
+  const int moving = top_disk(s, from);
+  if (moving != 0) set_stake(s, moving, to);
+}
+
+std::string HanoiK::op_label(const HanoiKState&, int op) const {
+  std::string label = "move ";
+  label += static_cast<char>('A' + op / stakes_);
+  label += "->";
+  label += static_cast<char>('A' + op % stakes_);
+  return label;
+}
+
+double HanoiK::goal_fitness(const HanoiKState& s) const noexcept {
+  std::uint64_t on_goal = 0;
+  for (int d = 1; d <= disks_; ++d) {
+    if (stake_of(s, d) == 1) on_goal += std::uint64_t{1} << (d - 1);
+  }
+  const std::uint64_t total = (std::uint64_t{1} << disks_) - 1;
+  return static_cast<double>(on_goal) / static_cast<double>(total);
+}
+
+bool HanoiK::is_goal(const HanoiKState& s) const noexcept {
+  for (int d = 1; d <= disks_; ++d) {
+    if (stake_of(s, d) != 1) return false;
+  }
+  return true;
+}
+
+std::uint64_t HanoiK::hash(const HanoiKState& s) const noexcept {
+  return mix_hash(s.stakes ^ (static_cast<std::uint64_t>(stakes_) << 58) ^
+                  (static_cast<std::uint64_t>(disks_) << 50));
+}
+
+}  // namespace gaplan::domains

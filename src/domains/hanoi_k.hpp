@@ -1,0 +1,73 @@
+// Generalized Towers of Hanoi with k stakes (the Reve's puzzle / Frame-
+// Stewart setting for k = 4). More stakes shrink the optimal plan from
+// 2^n - 1 to sub-exponential Frame-Stewart lengths, widening the benchmark
+// family beyond the paper's 3-stake instances.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gaplan::domains {
+
+/// Packed state: three bits per disk holding its stake index. Supports up to
+/// 21 disks and 8 stakes.
+struct HanoiKState {
+  std::uint64_t stakes = 0;
+
+  bool operator==(const HanoiKState&) const = default;
+};
+
+class HanoiK {
+ public:
+  using StateT = HanoiKState;
+
+  static constexpr int kMaxDisks = 21;
+  static constexpr int kMaxStakes = 8;
+
+  /// `disks` in [1, 21], `stakes` in [3, 8]. All disks start on stake 0; the
+  /// goal is stake 1 (mirroring the paper's A → B convention).
+  HanoiK(int disks, int stakes);
+
+  int disks() const noexcept { return disks_; }
+  int stakes() const noexcept { return stakes_; }
+
+  /// Frame-Stewart presumed-optimal move count (exact for k = 3; proven
+  /// optimal for k = 4 by Bousch 2014; conjectured above).
+  std::uint64_t frame_stewart_length() const;
+
+  // --- PlanningProblem concept ----------------------------------------------
+  HanoiKState initial_state() const noexcept { return initial_; }
+  void valid_ops(const HanoiKState& s, std::vector<int>& out) const;
+  void apply(HanoiKState& s, int op) const noexcept;
+  double op_cost(const HanoiKState&, int) const noexcept { return 1.0; }
+  std::string op_label(const HanoiKState&, int op) const;
+  double goal_fitness(const HanoiKState& s) const noexcept;  // Eq. 5 weights
+  bool is_goal(const HanoiKState& s) const noexcept;
+  std::uint64_t hash(const HanoiKState& s) const noexcept;
+  // --- DirectEncodable --------------------------------------------------------
+  /// Global op id = from * stakes + to (from != to meaningful).
+  std::size_t op_count() const noexcept {
+    return static_cast<std::size_t>(stakes_) * stakes_;
+  }
+  bool op_applicable(const HanoiKState& s, int op) const noexcept;
+  // ----------------------------------------------------------------------------
+
+  int stake_of(const HanoiKState& s, int disk) const noexcept {
+    return static_cast<int>((s.stakes >> (3 * (disk - 1))) & 7ULL);
+  }
+  int top_disk(const HanoiKState& s, int stake) const noexcept;
+
+ private:
+  void set_stake(HanoiKState& s, int disk, int stake) const noexcept {
+    const int shift = 3 * (disk - 1);
+    s.stakes = (s.stakes & ~(7ULL << shift)) |
+               (static_cast<std::uint64_t>(stake) << shift);
+  }
+
+  int disks_;
+  int stakes_;
+  HanoiKState initial_;
+};
+
+}  // namespace gaplan::domains

@@ -1,0 +1,122 @@
+#include "domains/hanoi_strips.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace gaplan::domains {
+
+namespace {
+constexpr const char* kStakeNames[3] = {"A", "B", "C"};
+
+std::string on_atom(const std::string& x, const std::string& y) {
+  return "on " + x + " " + y;
+}
+std::string clear_atom(const std::string& x) { return "clear " + x; }
+}  // namespace
+
+std::string hanoi_object_name(int disk_or_stake, bool is_stake) {
+  if (is_stake) return kStakeNames[disk_or_stake];
+  return "d" + std::to_string(disk_or_stake);
+}
+
+HanoiStrips build_hanoi_strips(int disks) {
+  if (disks < 1 || disks > 16) {
+    throw std::invalid_argument("build_hanoi_strips: disks must be in [1, 16]");
+  }
+  HanoiStrips enc;
+  enc.domain = std::make_unique<strips::Domain>();
+  auto& dom = *enc.domain;
+
+  // Objects a disk can rest on: any strictly larger disk, or any stake.
+  auto supports_of = [&](int disk) {
+    std::vector<std::string> supports;
+    for (int larger = disk + 1; larger <= disks; ++larger) {
+      supports.push_back(hanoi_object_name(larger, false));
+    }
+    for (int stake = 0; stake < 3; ++stake) {
+      supports.push_back(hanoi_object_name(stake, true));
+    }
+    return supports;
+  };
+
+  // Intern every atom, then freeze the universe.
+  for (int d = 1; d <= disks; ++d) {
+    const std::string dn = hanoi_object_name(d, false);
+    dom.atom(clear_atom(dn));
+    for (const auto& y : supports_of(d)) dom.atom(on_atom(dn, y));
+  }
+  for (int stake = 0; stake < 3; ++stake) {
+    dom.atom(clear_atom(hanoi_object_name(stake, true)));
+  }
+  const std::size_t universe = dom.freeze();
+
+  // move(d, x, y): take disk d off x and put it on y.
+  for (int d = 1; d <= disks; ++d) {
+    const std::string dn = hanoi_object_name(d, false);
+    const auto supports = supports_of(d);
+    for (const auto& x : supports) {
+      for (const auto& y : supports) {
+        if (x == y) continue;
+        strips::Action a("move " + dn + " " + x + " " + y, universe);
+        a.add_precondition(dom.require_atom(clear_atom(dn)));
+        a.add_precondition(dom.require_atom(on_atom(dn, x)));
+        a.add_precondition(dom.require_atom(clear_atom(y)));
+        a.add_add_effect(dom.require_atom(on_atom(dn, y)));
+        a.add_add_effect(dom.require_atom(clear_atom(x)));
+        a.add_delete_effect(dom.require_atom(on_atom(dn, x)));
+        a.add_delete_effect(dom.require_atom(clear_atom(y)));
+        dom.add_action(std::move(a));
+      }
+    }
+  }
+
+  // Initial: tower on A. d1 on d2 on ... on dn on A; d1, B, C clear.
+  enc.initial = dom.make_state();
+  for (int d = 1; d < disks; ++d) {
+    enc.initial.set(dom.require_atom(
+        on_atom(hanoi_object_name(d, false), hanoi_object_name(d + 1, false))));
+  }
+  enc.initial.set(dom.require_atom(
+      on_atom(hanoi_object_name(disks, false), hanoi_object_name(0, true))));
+  enc.initial.set(dom.require_atom(clear_atom(hanoi_object_name(1, false))));
+  enc.initial.set(dom.require_atom(clear_atom(hanoi_object_name(1, true))));
+  enc.initial.set(dom.require_atom(clear_atom(hanoi_object_name(2, true))));
+
+  // Goal: the same tower on B.
+  enc.goal = dom.make_state();
+  for (int d = 1; d < disks; ++d) {
+    enc.goal.set(dom.require_atom(
+        on_atom(hanoi_object_name(d, false), hanoi_object_name(d + 1, false))));
+  }
+  enc.goal.set(dom.require_atom(
+      on_atom(hanoi_object_name(disks, false), hanoi_object_name(1, true))));
+  return enc;
+}
+
+strips::State hanoi_to_strips_state(const Hanoi& hanoi, const HanoiState& s,
+                                    const HanoiStrips& enc) {
+  const auto& dom = *enc.domain;
+  strips::State out = dom.make_state();
+  for (int stake = 0; stake < 3; ++stake) {
+    // Disks on this stake in top-to-bottom (ascending size) order.
+    std::vector<int> stack;
+    for (int d = 1; d <= hanoi.disks(); ++d) {
+      if (hanoi.stake_of(s, d) == stake) stack.push_back(d);
+    }
+    const std::string stake_name = hanoi_object_name(stake, true);
+    if (stack.empty()) {
+      out.set(dom.require_atom(clear_atom(stake_name)));
+      continue;
+    }
+    out.set(dom.require_atom(clear_atom(hanoi_object_name(stack.front(), false))));
+    for (std::size_t i = 0; i + 1 < stack.size(); ++i) {
+      out.set(dom.require_atom(on_atom(hanoi_object_name(stack[i], false),
+                                       hanoi_object_name(stack[i + 1], false))));
+    }
+    out.set(dom.require_atom(
+        on_atom(hanoi_object_name(stack.back(), false), stake_name)));
+  }
+  return out;
+}
+
+}  // namespace gaplan::domains

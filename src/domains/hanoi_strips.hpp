@@ -1,0 +1,35 @@
+// STRIPS encoding of Towers of Hanoi — the classical ground encoding with
+// atoms on(x, y) and clear(x), where x ranges over disks and y over disks and
+// stakes. Used to cross-validate the STRIPS substrate against the native
+// domain (they must expose exactly the same legal-move structure) and to
+// exercise the GA planner through the text-defined-domain path.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "domains/hanoi.hpp"
+#include "strips/domain.hpp"
+
+namespace gaplan::domains {
+
+struct HanoiStrips {
+  std::unique_ptr<strips::Domain> domain;
+  strips::State initial;
+  strips::State goal;
+
+  strips::Problem problem() const { return strips::Problem(*domain, initial, goal); }
+};
+
+/// Builds the ground STRIPS Hanoi instance matching Hanoi(disks): all disks on
+/// stake A, goal all disks on stake B.
+HanoiStrips build_hanoi_strips(int disks);
+
+/// Converts a native Hanoi state into the STRIPS encoding's atom set.
+strips::State hanoi_to_strips_state(const Hanoi& hanoi, const HanoiState& s,
+                                    const HanoiStrips& enc);
+
+/// Atom-name helpers shared by the builder and the converter.
+std::string hanoi_object_name(int disk_or_stake, bool is_stake);
+
+}  // namespace gaplan::domains

@@ -1,0 +1,163 @@
+#include "domains/navigation.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace gaplan::domains {
+
+namespace {
+constexpr int kDx[4] = {0, 0, -1, 1};   // N, S, W, E
+constexpr int kDy[4] = {-1, 1, 0, 0};
+constexpr const char* kDirNames[4] = {"N", "S", "W", "E"};
+
+std::uint64_t mix_hash(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+Navigation::Navigation(int width, int height, std::vector<int> obstacles,
+                       std::vector<int> starts, std::vector<int> goals)
+    : width_(width), height_(height), robots_(static_cast<int>(starts.size())) {
+  if (width < 1 || height < 1 || width * height > 65535) {
+    throw std::invalid_argument("Navigation: bad grid size");
+  }
+  if (starts.empty() || starts.size() > NavState::kMaxRobots ||
+      starts.size() != goals.size()) {
+    throw std::invalid_argument("Navigation: need 1..4 robots with matching goals");
+  }
+  blocked_.assign(static_cast<std::size_t>(width * height), false);
+  for (const int c : obstacles) {
+    if (c < 0 || c >= width * height) {
+      throw std::invalid_argument("Navigation: obstacle out of bounds");
+    }
+    blocked_[c] = true;
+  }
+  for (std::size_t r = 0; r < starts.size(); ++r) {
+    for (const int c : {starts[r], goals[r]}) {
+      if (c < 0 || c >= width * height || blocked_[c]) {
+        throw std::invalid_argument("Navigation: robot cell blocked or out of bounds");
+      }
+    }
+    for (std::size_t other = 0; other < r; ++other) {
+      if (starts[other] == starts[r] || goals[other] == goals[r]) {
+        throw std::invalid_argument("Navigation: robots share a cell");
+      }
+    }
+    initial_.pos[r] = static_cast<std::uint16_t>(starts[r]);
+    goals_[r] = static_cast<std::uint16_t>(goals[r]);
+  }
+}
+
+Navigation Navigation::random_instance(int width, int height, int robots,
+                                       double obstacle_fraction, util::Rng& rng) {
+  std::vector<int> cells;
+  for (int c = 0; c < width * height; ++c) cells.push_back(c);
+  rng.shuffle(cells);
+  const std::size_t n_obstacles = static_cast<std::size_t>(
+      obstacle_fraction * static_cast<double>(cells.size()));
+  if (cells.size() < n_obstacles + 2 * static_cast<std::size_t>(robots)) {
+    throw std::invalid_argument("Navigation::random_instance: grid too small");
+  }
+  std::vector<int> obstacles(cells.begin(),
+                             cells.begin() + static_cast<std::ptrdiff_t>(n_obstacles));
+  std::vector<int> starts, goals;
+  std::size_t next = n_obstacles;
+  for (int r = 0; r < robots; ++r) starts.push_back(cells[next++]);
+  for (int r = 0; r < robots; ++r) goals.push_back(cells[next++]);
+  return Navigation(width, height, std::move(obstacles), std::move(starts),
+                    std::move(goals));
+}
+
+bool Navigation::op_applicable(const NavState& s, int op) const noexcept {
+  if (op < 0 || static_cast<std::size_t>(op) >= op_count()) return false;
+  const int robot = op / 4;
+  const int dir = op % 4;
+  const int x = s.pos[robot] % width_;
+  const int y = s.pos[robot] / width_;
+  const int nx = x + kDx[dir];
+  const int ny = y + kDy[dir];
+  if (nx < 0 || nx >= width_ || ny < 0 || ny >= height_) return false;
+  const int target = ny * width_ + nx;
+  if (blocked_[target]) return false;
+  for (int other = 0; other < robots_; ++other) {
+    if (other != robot && s.pos[other] == target) return false;
+  }
+  return true;
+}
+
+void Navigation::valid_ops(const NavState& s, std::vector<int>& out) const {
+  out.clear();
+  for (int op = 0; op < static_cast<int>(op_count()); ++op) {
+    if (op_applicable(s, op)) out.push_back(op);
+  }
+}
+
+void Navigation::apply(NavState& s, int op) const noexcept {
+  const int robot = op / 4;
+  const int dir = op % 4;
+  const int x = s.pos[robot] % width_ + kDx[dir];
+  const int y = s.pos[robot] / width_ + kDy[dir];
+  s.pos[robot] = static_cast<std::uint16_t>(y * width_ + x);
+}
+
+std::string Navigation::op_label(const NavState&, int op) const {
+  return "robot" + std::to_string(op / 4) + " " + kDirNames[op % 4];
+}
+
+int Navigation::manhattan(const NavState& s) const noexcept {
+  int total = 0;
+  for (int r = 0; r < robots_; ++r) {
+    const int dx = s.pos[r] % width_ - goals_[r] % width_;
+    const int dy = s.pos[r] / width_ - goals_[r] / width_;
+    total += std::abs(dx) + std::abs(dy);
+  }
+  return total;
+}
+
+double Navigation::goal_fitness(const NavState& s) const noexcept {
+  const double bound =
+      static_cast<double>((width_ - 1 + height_ - 1) * robots_);
+  if (bound == 0.0) return 1.0;
+  return 1.0 - static_cast<double>(manhattan(s)) / bound;
+}
+
+bool Navigation::is_goal(const NavState& s) const noexcept {
+  for (int r = 0; r < robots_; ++r) {
+    if (s.pos[r] != goals_[r]) return false;
+  }
+  return true;
+}
+
+std::uint64_t Navigation::hash(const NavState& s) const noexcept {
+  std::uint64_t h = 0;
+  for (int r = 0; r < robots_; ++r) {
+    h = h * 0x9E3779B97F4A7C15ULL + s.pos[r] + 1;
+  }
+  return mix_hash(h);
+}
+
+std::string Navigation::render(const NavState& s) const {
+  std::string out;
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const int c = cell(x, y);
+      char ch = blocked_[c] ? '#' : '.';
+      for (int r = 0; r < robots_; ++r) {
+        if (goals_[r] == c) ch = static_cast<char>('a' + r);
+      }
+      for (int r = 0; r < robots_; ++r) {
+        if (s.pos[r] == c) ch = static_cast<char>('A' + r);
+      }
+      out += ch;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace gaplan::domains

@@ -1,0 +1,78 @@
+// Multi-robot grid navigation — the domain family Sinergy (Muslea 1997)
+// evaluates on (single- and 2-Robot Navigation), included for the
+// related-work comparison. K robots move one cell at a time on a W×H grid
+// with obstacles; robots may not share a cell. The goal assigns each robot a
+// target cell.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gaplan::domains {
+
+struct NavState {
+  static constexpr int kMaxRobots = 4;
+  std::array<std::uint16_t, kMaxRobots> pos{};  ///< cell index per robot
+
+  bool operator==(const NavState&) const = default;
+};
+
+class Navigation {
+ public:
+  using StateT = NavState;
+
+  enum Dir : int { kNorth = 0, kSouth = 1, kWest = 2, kEast = 3 };
+
+  /// Grid of `width`×`height` cells; `obstacles` are blocked cell indices;
+  /// `starts`/`goals` give one cell per robot (1..4 robots).
+  Navigation(int width, int height, std::vector<int> obstacles,
+             std::vector<int> starts, std::vector<int> goals);
+
+  /// Random instance: `obstacle_fraction` of cells blocked; start/goal cells
+  /// drawn from the free cells. No connectivity guarantee — callers wanting
+  /// solvable instances should check with a baseline search.
+  static Navigation random_instance(int width, int height, int robots,
+                                    double obstacle_fraction, util::Rng& rng);
+
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+  int robots() const noexcept { return robots_; }
+  int cell(int x, int y) const noexcept { return y * width_ + x; }
+
+  // --- PlanningProblem concept ----------------------------------------------
+  NavState initial_state() const noexcept { return initial_; }
+  void valid_ops(const NavState& s, std::vector<int>& out) const;
+  void apply(NavState& s, int op) const noexcept;
+  double op_cost(const NavState&, int) const noexcept { return 1.0; }
+  std::string op_label(const NavState&, int op) const;
+  double goal_fitness(const NavState& s) const noexcept;
+  bool is_goal(const NavState& s) const noexcept;
+  std::uint64_t hash(const NavState& s) const noexcept;
+  // --- DirectEncodable --------------------------------------------------------
+  /// Global op id = robot * 4 + direction.
+  std::size_t op_count() const noexcept { return static_cast<std::size_t>(robots_) * 4; }
+  bool op_applicable(const NavState& s, int op) const noexcept;
+  // ----------------------------------------------------------------------------
+
+  /// Summed Manhattan distance of all robots to their goals (admissible
+  /// heuristic for the baseline searches).
+  int manhattan(const NavState& s) const noexcept;
+
+  bool blocked(int cell_index) const noexcept { return blocked_[cell_index]; }
+
+  std::string render(const NavState& s) const;
+
+ private:
+  int width_;
+  int height_;
+  int robots_;
+  std::vector<bool> blocked_;
+  NavState initial_;
+  std::array<std::uint16_t, NavState::kMaxRobots> goals_{};
+};
+
+}  // namespace gaplan::domains

@@ -1,0 +1,120 @@
+#include "domains/pocket_cube.hpp"
+
+namespace gaplan::domains {
+
+namespace {
+
+// Quarter-turn tables (Kociemba's cornerCubieMove): position p receives the
+// cubie from kFrom[face][p-cycle] and its orientation increases by
+// kTwist[face][slot] (mod 3). Cycles are listed as the four affected
+// positions in "replaced by" order.
+//
+//   U: URF<-UBR, UBR<-ULB, ULB<-UFL, UFL<-URF        (no twist)
+//   R: URF<-DFR, DFR<-DRB, DRB<-UBR, UBR<-URF        (twist 2,1,2,1)
+//   F: URF<-UFL, UFL<-DLF, DLF<-DFR, DFR<-URF        (twist 1,2,1,2)
+constexpr int kCycle[3][4] = {
+    {0, 3, 2, 1},  // U: positions URF, UBR, ULB, UFL
+    {0, 4, 7, 3},  // R: positions URF, DFR, DRB, UBR
+    {0, 1, 5, 4},  // F: positions URF, UFL, DLF, DFR
+};
+constexpr std::uint8_t kTwist[3][4] = {
+    {0, 0, 0, 0},
+    {2, 1, 2, 1},
+    {1, 2, 1, 2},
+};
+
+std::uint64_t mix_hash(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+CubeState PocketCube::solved_state() {
+  CubeState s;
+  for (std::uint8_t i = 0; i < 8; ++i) s.perm[i] = i;
+  return s;
+}
+
+void PocketCube::turn_once(CubeState& s, int face) {
+  const auto& cyc = kCycle[face];
+  const auto& twist = kTwist[face];
+  // Position cyc[k] receives the content of cyc[(k+1) % 4].
+  const std::uint8_t p0 = s.perm[cyc[0]];
+  const std::uint8_t o0 = s.orient[cyc[0]];
+  for (int k = 0; k < 3; ++k) {
+    s.perm[cyc[k]] = s.perm[cyc[k + 1]];
+    s.orient[cyc[k]] =
+        static_cast<std::uint8_t>((s.orient[cyc[k + 1]] + twist[k]) % 3);
+  }
+  s.perm[cyc[3]] = p0;
+  s.orient[cyc[3]] = static_cast<std::uint8_t>((o0 + twist[3]) % 3);
+}
+
+void PocketCube::apply(CubeState& s, int op) const {
+  const int face = op / 3;
+  const int turns = op % 3 + 1;
+  for (int t = 0; t < turns; ++t) turn_once(s, face);
+}
+
+void PocketCube::valid_ops(const CubeState&, std::vector<int>& out) const {
+  out.assign({0, 1, 2, 3, 4, 5, 6, 7, 8});
+}
+
+std::string PocketCube::op_label(const CubeState&, int op) const {
+  static constexpr const char* kNames[9] = {"U", "U2", "U'", "R", "R2", "R'",
+                                            "F", "F2", "F'"};
+  return kNames[op];
+}
+
+double PocketCube::goal_fitness(const CubeState& s) const noexcept {
+  int solved = 0;
+  for (int p = 0; p < 8; ++p) {
+    solved += (s.perm[p] == p && s.orient[p] == 0);
+  }
+  return static_cast<double>(solved) / 8.0;
+}
+
+bool PocketCube::is_goal(const CubeState& s) const noexcept {
+  return goal_fitness(s) == 1.0;
+}
+
+std::uint64_t PocketCube::hash(const CubeState& s) const noexcept {
+  std::uint64_t h = 0;
+  for (int p = 0; p < 8; ++p) {
+    h = h * 24 + s.perm[p] * 3 + s.orient[p];
+  }
+  return mix_hash(h);
+}
+
+CubeState PocketCube::scrambled(std::size_t moves, util::Rng& rng) const {
+  CubeState s = solved_state();
+  int last_face = -1;
+  for (std::size_t i = 0; i < moves; ++i) {
+    int face;
+    do {
+      face = static_cast<int>(rng.below(3));
+    } while (face == last_face);
+    last_face = face;
+    const int turns = static_cast<int>(rng.below(3));
+    apply(s, face * 3 + turns);
+  }
+  return s;
+}
+
+bool PocketCube::well_formed(const CubeState& s) {
+  std::array<bool, 8> seen{};
+  int twist_sum = 0;
+  for (int p = 0; p < 8; ++p) {
+    if (s.perm[p] > 7 || seen[s.perm[p]] || s.orient[p] > 2) return false;
+    seen[s.perm[p]] = true;
+    twist_sum += s.orient[p];
+  }
+  return s.perm[6] == 6 && s.orient[6] == 0 && twist_sum % 3 == 0;
+}
+
+}  // namespace gaplan::domains

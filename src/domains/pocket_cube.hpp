@@ -1,0 +1,75 @@
+// 2x2x2 Rubik's cube (pocket cube) planning domain.
+//
+// The paper's related work leans on Korf's pattern-database results for
+// "the Sliding-tile puzzle and Rubik's cube" (§2); this domain lets the same
+// comparisons run here on the cube's corner group. The DBL corner is fixed to
+// quotient out whole-cube rotations, leaving the face turns U, R, F (and
+// their inverses/doubles) as the nine operations.
+//
+// Representation (Kociemba corner numbering): position p holds cubie
+// perm[p] with twist orient[p] in {0,1,2}. Positions: URF=0, UFL=1, ULB=2,
+// UBR=3, DFR=4, DLF=5, DBL=6 (fixed), DRB=7.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gaplan::domains {
+
+struct CubeState {
+  std::array<std::uint8_t, 8> perm{};    ///< cubie at each position
+  std::array<std::uint8_t, 8> orient{};  ///< twist of the cubie at each position
+
+  bool operator==(const CubeState&) const = default;
+};
+
+class PocketCube {
+ public:
+  using StateT = CubeState;
+
+  /// Operations: face * 3 + (turns - 1); faces U=0, R=1, F=2; turns 1..3
+  /// quarter-turns clockwise (so op 1 = U2, op 2 = U').
+  enum Face : int { kU = 0, kR = 1, kF = 2 };
+
+  PocketCube() = default;
+
+  /// The solved cube.
+  static CubeState solved_state();
+
+  /// `moves` random face turns away from solved (never turning the same face
+  /// twice in a row).
+  CubeState scrambled(std::size_t moves, util::Rng& rng) const;
+
+  // --- PlanningProblem concept ----------------------------------------------
+  CubeState initial_state() const { return initial_; }
+  void set_initial(const CubeState& s) { initial_ = s; }
+  void valid_ops(const CubeState&, std::vector<int>& out) const;
+  void apply(CubeState& s, int op) const;
+  double op_cost(const CubeState&, int) const noexcept { return 1.0; }
+  std::string op_label(const CubeState&, int op) const;
+  /// Fraction of the eight corners that are both placed and twisted right.
+  double goal_fitness(const CubeState& s) const noexcept;
+  bool is_goal(const CubeState& s) const noexcept;
+  std::uint64_t hash(const CubeState& s) const noexcept;
+  // --- DirectEncodable --------------------------------------------------------
+  std::size_t op_count() const noexcept { return 9; }
+  bool op_applicable(const CubeState&, int op) const noexcept {
+    return op >= 0 && op < 9;
+  }
+  // ----------------------------------------------------------------------------
+
+  /// Verifies perm is a permutation fixing DBL and twists sum to 0 mod 3 —
+  /// the reachable corner-group invariant.
+  static bool well_formed(const CubeState& s);
+
+ private:
+  static void turn_once(CubeState& s, int face);
+
+  CubeState initial_ = solved_state();
+};
+
+}  // namespace gaplan::domains

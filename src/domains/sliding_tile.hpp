@@ -1,0 +1,101 @@
+// Sliding-tile puzzle domain (paper §4.2): the 8-puzzle (n=3), 15-puzzle
+// (n=4) and 24-puzzle (n=5) on an n×n board.
+//
+// Goal fitness (Eq. 6 reconstruction): 1 − MD/(D·T) where MD is the summed
+// Manhattan distance of all tiles to their goal cells, D = 2(n−1) is the
+// longest distance a single tile can need, and T = n²−1 the number of tiles.
+//
+// Includes the Johnson–Story (1879) solvability criterion the paper cites,
+// random solvable-instance generation, and the Manhattan / linear-conflict
+// heuristics (Korf & Taylor) used by the baseline searchers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gaplan::domains {
+
+/// Board state. cells[r*n+c] holds the tile at (r, c); 0 is the blank.
+/// Fixed-capacity storage supports n up to 5 (the 24-puzzle).
+struct TileState {
+  static constexpr int kMaxCells = 25;
+  std::array<std::uint8_t, kMaxCells> cells{};
+  std::uint8_t blank = 0;  ///< index of the blank cell
+
+  bool operator==(const TileState& rhs) const noexcept {
+    return cells == rhs.cells;  // blank is derived from cells
+  }
+};
+
+class SlidingTile {
+ public:
+  using StateT = TileState;
+
+  /// Moves slide a tile *into* the blank; op ids name the direction the blank
+  /// moves: 0 = up, 1 = down, 2 = left, 3 = right.
+  enum Op : int { kUp = 0, kDown = 1, kLeft = 2, kRight = 3 };
+
+  /// Builds the puzzle with the given initial board. `n` in [2, 5].
+  SlidingTile(int n, TileState initial);
+
+  /// Builds the puzzle with the canonical goal board as initial state (useful
+  /// with scrambled()).
+  explicit SlidingTile(int n);
+
+  int n() const noexcept { return n_; }
+  int tiles() const noexcept { return n_ * n_ - 1; }
+
+  /// The canonical goal: 1..n²−1 in row-major order, blank last (Fig. 3b).
+  TileState goal_state() const;
+
+  // --- PlanningProblem concept ----------------------------------------------
+  TileState initial_state() const noexcept { return initial_; }
+  void valid_ops(const TileState& s, std::vector<int>& out) const;
+  void apply(TileState& s, int op) const noexcept;
+  double op_cost(const TileState&, int) const noexcept { return 1.0; }
+  std::string op_label(const TileState& s, int op) const;
+  double goal_fitness(const TileState& s) const noexcept;
+  bool is_goal(const TileState& s) const noexcept;
+  std::uint64_t hash(const TileState& s) const noexcept;
+  // --- DirectEncodable --------------------------------------------------------
+  std::size_t op_count() const noexcept { return 4; }
+  bool op_applicable(const TileState& s, int op) const noexcept;
+  // ----------------------------------------------------------------------------
+
+  /// Summed Manhattan distance of all tiles to their goal cells.
+  int manhattan(const TileState& s) const noexcept;
+
+  /// Manhattan + linear-conflict heuristic (admissible; Korf & Taylor).
+  int linear_conflict(const TileState& s) const noexcept;
+
+  /// Johnson–Story criterion: `s` can reach the canonical goal iff the board
+  /// permutation parity matches the blank-row parity.
+  bool solvable(const TileState& s) const noexcept;
+
+  /// Uniform random *solvable* board (odd permutations are repaired by
+  /// swapping two non-blank tiles).
+  TileState random_solvable(util::Rng& rng) const;
+
+  /// Board produced by `steps` random moves away from the goal (never
+  /// undoing the previous move) — difficulty-controlled instances.
+  TileState scrambled(std::size_t steps, util::Rng& rng) const;
+
+  /// Parses a board from row-major tile numbers (0 = blank).
+  TileState board(const std::vector<int>& tiles) const;
+
+  /// ASCII rendering in the style of the paper's Figure 3.
+  std::string render(const TileState& s) const;
+
+ private:
+  int row(int cell) const noexcept { return cell / n_; }
+  int col(int cell) const noexcept { return cell % n_; }
+
+  int n_;
+  TileState initial_;
+};
+
+}  // namespace gaplan::domains

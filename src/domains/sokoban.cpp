@@ -1,0 +1,197 @@
+#include "domains/sokoban.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace gaplan::domains {
+
+namespace {
+constexpr int kDx[4] = {0, 0, -1, 1};
+constexpr int kDy[4] = {-1, 1, 0, 0};
+constexpr const char* kDirNames[4] = {"up", "down", "left", "right"};
+
+std::uint64_t mix_hash(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+Sokoban::Sokoban(const std::vector<std::string>& rows) {
+  if (rows.empty()) throw std::invalid_argument("Sokoban: empty level");
+  height_ = static_cast<int>(rows.size());
+  for (const auto& row : rows) width_ = std::max(width_, static_cast<int>(row.size()));
+  if (width_ * height_ > 65535) throw std::invalid_argument("Sokoban: level too big");
+  walls_.assign(static_cast<std::size_t>(width_ * height_), false);
+  targets_.assign(static_cast<std::size_t>(width_ * height_), false);
+
+  bool saw_player = false;
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const char c = x < static_cast<int>(rows[y].size()) ? rows[y][x] : '#';
+      const int cell = y * width_ + x;
+      switch (c) {
+        case '#': walls_[cell] = true; break;
+        case ' ':
+        case '.': break;
+        case 'o': targets_[cell] = true; break;
+        case '*': targets_[cell] = true; [[fallthrough]];
+        case '$':
+          if (initial_.box_count >= SokobanState::kMaxBoxes) {
+            throw std::invalid_argument("Sokoban: too many boxes (max 8)");
+          }
+          initial_.boxes[initial_.box_count++] = static_cast<std::uint16_t>(cell);
+          break;
+        case '+': targets_[cell] = true; [[fallthrough]];
+        case '@':
+          if (saw_player) throw std::invalid_argument("Sokoban: two players");
+          saw_player = true;
+          initial_.player = static_cast<std::uint16_t>(cell);
+          break;
+        default:
+          throw std::invalid_argument(std::string("Sokoban: bad map char '") + c +
+                                      "'");
+      }
+    }
+  }
+  if (!saw_player) throw std::invalid_argument("Sokoban: no player '@'");
+  if (initial_.box_count == 0) throw std::invalid_argument("Sokoban: no boxes");
+  int target_count = 0;
+  for (const bool t : targets_) target_count += t;
+  if (target_count < initial_.box_count) {
+    throw std::invalid_argument("Sokoban: fewer targets than boxes");
+  }
+  sort_boxes(initial_);
+}
+
+void Sokoban::sort_boxes(SokobanState& s) noexcept {
+  std::sort(s.boxes.begin(), s.boxes.begin() + s.box_count);
+}
+
+bool Sokoban::box_at(const SokobanState& s, int cell) const noexcept {
+  for (int b = 0; b < s.box_count; ++b) {
+    if (s.boxes[b] == cell) return true;
+  }
+  return false;
+}
+
+bool Sokoban::reachable(const SokobanState& s, int to) const {
+  if (to == s.player) return true;
+  std::vector<bool> seen(walls_.size(), false);
+  std::deque<int> queue{s.player};
+  seen[s.player] = true;
+  while (!queue.empty()) {
+    const int cell = queue.front();
+    queue.pop_front();
+    const int x = cell % width_, y = cell / width_;
+    for (int d = 0; d < 4; ++d) {
+      const int nx = x + kDx[d], ny = y + kDy[d];
+      if (nx < 0 || nx >= width_ || ny < 0 || ny >= height_) continue;
+      const int next = ny * width_ + nx;
+      if (seen[next] || walls_[next] || box_at(s, next)) continue;
+      if (next == to) return true;
+      seen[next] = true;
+      queue.push_back(next);
+    }
+  }
+  return false;
+}
+
+bool Sokoban::op_applicable(const SokobanState& s, int op) const {
+  if (op < 0 || op >= static_cast<int>(s.box_count) * 4) return false;
+  const int slot = op / 4;
+  const int dir = op % 4;
+  const int box = s.boxes[slot];
+  const int bx = box % width_, by = box / width_;
+  const int tx = bx + kDx[dir], ty = by + kDy[dir];       // box destination
+  const int px = bx - kDx[dir], py = by - kDy[dir];       // player push cell
+  if (tx < 0 || tx >= width_ || ty < 0 || ty >= height_) return false;
+  if (px < 0 || px >= width_ || py < 0 || py >= height_) return false;
+  const int target = ty * width_ + tx;
+  const int push_from = py * width_ + px;
+  if (walls_[target] || box_at(s, target)) return false;
+  if (walls_[push_from] || box_at(s, push_from)) return false;
+  return reachable(s, push_from);
+}
+
+void Sokoban::valid_ops(const SokobanState& s, std::vector<int>& out) const {
+  out.clear();
+  for (int op = 0; op < static_cast<int>(s.box_count) * 4; ++op) {
+    if (op_applicable(s, op)) out.push_back(op);
+  }
+}
+
+void Sokoban::apply(SokobanState& s, int op) const {
+  const int slot = op / 4;
+  const int dir = op % 4;
+  const int box = s.boxes[slot];
+  const int target = (box / width_ + kDy[dir]) * width_ + (box % width_ + kDx[dir]);
+  s.boxes[slot] = static_cast<std::uint16_t>(target);
+  s.player = static_cast<std::uint16_t>(box);  // player ends where the box was
+  sort_boxes(s);
+}
+
+std::string Sokoban::op_label(const SokobanState& s, int op) const {
+  const int box = s.boxes[op / 4];
+  return "push (" + std::to_string(box % width_) + "," +
+         std::to_string(box / width_) + ") " + kDirNames[op % 4];
+}
+
+double Sokoban::goal_fitness(const SokobanState& s) const noexcept {
+  int on_target = 0;
+  for (int b = 0; b < s.box_count; ++b) on_target += targets_[s.boxes[b]];
+  return static_cast<double>(on_target) / static_cast<double>(s.box_count);
+}
+
+bool Sokoban::is_goal(const SokobanState& s) const noexcept {
+  return goal_fitness(s) == 1.0;
+}
+
+std::uint64_t Sokoban::hash(const SokobanState& s) const noexcept {
+  // Push-level equivalence: the player's exact cell matters only through its
+  // reachability component; hashing it directly is sound (equality is exact)
+  // if slightly finer-grained than necessary.
+  std::uint64_t h = s.player;
+  for (int b = 0; b < s.box_count; ++b) {
+    h = h * 0x9E3779B97F4A7C15ULL + s.boxes[b] + 1;
+  }
+  return mix_hash(h);
+}
+
+bool Sokoban::has_corner_deadlock(const SokobanState& s) const noexcept {
+  for (int b = 0; b < s.box_count; ++b) {
+    const int cell = s.boxes[b];
+    if (targets_[cell]) continue;
+    const int x = cell % width_, y = cell / width_;
+    auto blocked = [&](int dx, int dy) {
+      const int nx = x + dx, ny = y + dy;
+      return nx < 0 || nx >= width_ || ny < 0 || ny >= height_ ||
+             walls_[ny * width_ + nx];
+    };
+    const bool vertical = blocked(0, -1) || blocked(0, 1);
+    const bool horizontal = blocked(-1, 0) || blocked(1, 0);
+    if (vertical && horizontal) return true;
+  }
+  return false;
+}
+
+std::string Sokoban::render(const SokobanState& s) const {
+  std::string out;
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const int cell = y * width_ + x;
+      char c = walls_[cell] ? '#' : (targets_[cell] ? 'o' : '.');
+      if (box_at(s, cell)) c = targets_[cell] ? '*' : '$';
+      if (cell == s.player) c = targets_[cell] ? '+' : '@';
+      out += c;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace gaplan::domains

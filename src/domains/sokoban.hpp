@@ -1,0 +1,86 @@
+// Sokoban-lite planning domain: boxes pushed onto target cells.
+//
+// Unlike the paper's two benchmark puzzles, Sokoban has *dead ends* (a box
+// pushed into a corner off-target can never move again), so it exercises the
+// indirect decoder's dead-end path (valid-operation set becomes empty) and
+// the GA's behaviour on landscapes where bad moves are irreversible.
+//
+// Operations are box pushes: push box b one cell in direction d, valid when
+// the destination is free and the player can walk to the cell behind the box
+// (reachability computed by BFS around walls and boxes). The player's exact
+// position between pushes is abstracted into that reachability test, the
+// standard "push-level" Sokoban formulation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gaplan::domains {
+
+/// Boxes (sorted ascending, canonical) + the player's reachability anchor.
+struct SokobanState {
+  static constexpr int kMaxBoxes = 8;
+  std::array<std::uint16_t, kMaxBoxes> boxes{};
+  std::uint8_t box_count = 0;
+  std::uint16_t player = 0;
+
+  bool operator==(const SokobanState&) const = default;
+};
+
+class Sokoban {
+ public:
+  using StateT = SokobanState;
+
+  enum Dir : int { kUp = 0, kDown = 1, kLeft = 2, kRight = 3 };
+
+  /// Parses an ASCII level: '#' wall, ' ' or '.' floor, '$' box, 'o' target,
+  /// '*' box on target, '@' player, '+' player on target. Rows may have
+  /// unequal lengths (short rows are padded with walls).
+  explicit Sokoban(const std::vector<std::string>& rows);
+
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+  int box_count() const noexcept { return initial_.box_count; }
+
+  // --- PlanningProblem concept ----------------------------------------------
+  SokobanState initial_state() const { return initial_; }
+  /// Op id = box_slot * 4 + direction, box_slot indexing the state's sorted
+  /// box array (canonical per state, as the indirect encoding requires).
+  void valid_ops(const SokobanState& s, std::vector<int>& out) const;
+  void apply(SokobanState& s, int op) const;
+  double op_cost(const SokobanState&, int) const noexcept { return 1.0; }
+  std::string op_label(const SokobanState& s, int op) const;
+  /// Fraction of boxes sitting on targets.
+  double goal_fitness(const SokobanState& s) const noexcept;
+  bool is_goal(const SokobanState& s) const noexcept;
+  std::uint64_t hash(const SokobanState& s) const noexcept;
+  // --- DirectEncodable --------------------------------------------------------
+  std::size_t op_count() const noexcept {
+    return static_cast<std::size_t>(initial_.box_count) * 4;
+  }
+  bool op_applicable(const SokobanState& s, int op) const;
+  // ----------------------------------------------------------------------------
+
+  /// True when a box sits in an off-target corner (a simple static deadlock —
+  /// sufficient, not complete).
+  bool has_corner_deadlock(const SokobanState& s) const noexcept;
+
+  std::string render(const SokobanState& s) const;
+
+ private:
+  bool wall(int cell) const noexcept { return walls_[cell]; }
+  bool box_at(const SokobanState& s, int cell) const noexcept;
+  /// BFS: can the player reach `to` from s.player without crossing boxes?
+  bool reachable(const SokobanState& s, int to) const;
+  static void sort_boxes(SokobanState& s) noexcept;
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<bool> walls_;
+  std::vector<bool> targets_;
+  SokobanState initial_;
+};
+
+}  // namespace gaplan::domains

@@ -1,0 +1,151 @@
+#include "domains/tile_pdb.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace gaplan::domains {
+
+namespace {
+constexpr std::uint8_t kUnreached = 0xFF;
+constexpr int kRowDelta[4] = {-1, 1, 0, 0};
+constexpr int kColDelta[4] = {0, 0, -1, 1};
+}  // namespace
+
+PatternDatabase::PatternDatabase(int n, std::vector<int> pattern)
+    : n_(n), cells_(n * n), pattern_(std::move(pattern)) {
+  if (n < 2 || n > 5) {
+    throw std::invalid_argument("PatternDatabase: n must be in [2, 5]");
+  }
+  if (pattern_.empty() || pattern_.size() > 6) {
+    throw std::invalid_argument("PatternDatabase: pattern must have 1..6 tiles");
+  }
+  for (const int t : pattern_) {
+    if (t < 1 || t >= cells_) {
+      throw std::invalid_argument("PatternDatabase: tile out of range");
+    }
+  }
+
+  // Placement rank: base-`cells` positional code of the pattern tiles'
+  // cells. Wasteful (codes with duplicate cells are unused) but simple and
+  // small enough: 9^4 for the 8-puzzle halves, 16^5 for 15-puzzle thirds.
+  std::size_t size = 1;
+  for (std::size_t i = 0; i < pattern_.size(); ++i) {
+    size *= static_cast<std::size_t>(cells_);
+  }
+  table_.assign(size, kUnreached);
+
+  // BFS outward from the goal placement; moves are reversible, so distances
+  // from the goal equal distances to it. A pattern tile may step to any
+  // adjacent cell not occupied by another pattern tile (the blank and all
+  // non-pattern tiles are abstracted away), and only such steps cost 1 —
+  // which keeps disjoint patterns additive.
+  std::vector<std::uint8_t> positions(pattern_.size());
+  for (std::size_t i = 0; i < pattern_.size(); ++i) {
+    positions[i] = static_cast<std::uint8_t>(pattern_[i] - 1);  // goal cell
+  }
+  const std::size_t start = rank(positions);
+  table_[start] = 0;
+  std::deque<std::size_t> queue{start};
+
+  while (!queue.empty()) {
+    const std::size_t code = queue.front();
+    queue.pop_front();
+    const std::uint8_t dist = table_[code];
+    // Decode the placement.
+    std::size_t rest = code;
+    for (std::size_t i = pattern_.size(); i-- > 0;) {
+      positions[i] = static_cast<std::uint8_t>(rest % cells_);
+      rest /= cells_;
+    }
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      const int row = positions[i] / n_;
+      const int col = positions[i] % n_;
+      for (int dir = 0; dir < 4; ++dir) {
+        const int nr = row + kRowDelta[dir];
+        const int nc = col + kColDelta[dir];
+        if (nr < 0 || nr >= n_ || nc < 0 || nc >= n_) continue;
+        const std::uint8_t target = static_cast<std::uint8_t>(nr * n_ + nc);
+        bool occupied = false;
+        for (std::size_t j = 0; j < positions.size(); ++j) {
+          if (j != i && positions[j] == target) {
+            occupied = true;
+            break;
+          }
+        }
+        if (occupied) continue;
+        const std::uint8_t old = positions[i];
+        positions[i] = target;
+        const std::size_t next = rank(positions);
+        positions[i] = old;
+        if (table_[next] == kUnreached) {
+          table_[next] = static_cast<std::uint8_t>(dist + 1);
+          queue.push_back(next);
+        }
+      }
+    }
+  }
+}
+
+std::size_t PatternDatabase::rank(const std::vector<std::uint8_t>& positions) const {
+  std::size_t code = 0;
+  for (const std::uint8_t p : positions) {
+    code = code * static_cast<std::size_t>(cells_) + p;
+  }
+  return code;
+}
+
+int PatternDatabase::lookup(const TileState& s) const {
+  std::vector<std::uint8_t> positions(pattern_.size(), 0);
+  for (int cell = 0; cell < cells_; ++cell) {
+    const int tile = s.cells[cell];
+    if (tile == 0) continue;
+    for (std::size_t i = 0; i < pattern_.size(); ++i) {
+      if (pattern_[i] == tile) {
+        positions[i] = static_cast<std::uint8_t>(cell);
+        break;
+      }
+    }
+  }
+  const std::uint8_t d = table_[rank(positions)];
+  return d == kUnreached ? 0 : d;
+}
+
+DisjointPatternHeuristic::DisjointPatternHeuristic(
+    int n, const std::vector<std::vector<int>>& groups) {
+  std::vector<bool> used(static_cast<std::size_t>(n) * n, false);
+  for (const auto& group : groups) {
+    for (const int t : group) {
+      if (t >= 1 && t < n * n && used[t]) {
+        throw std::invalid_argument(
+            "DisjointPatternHeuristic: groups must be disjoint");
+      }
+      if (t >= 1 && t < n * n) used[t] = true;
+    }
+    databases_.push_back(std::make_unique<PatternDatabase>(n, group));
+  }
+}
+
+DisjointPatternHeuristic DisjointPatternHeuristic::standard(int n) {
+  std::vector<std::vector<int>> groups;
+  switch (n) {
+    case 2:
+      groups = {{1, 2, 3}};
+      break;
+    case 3:
+      groups = {{1, 2, 3, 4}, {5, 6, 7, 8}};
+      break;
+    case 4:
+      groups = {{1, 2, 3, 4, 5}, {6, 7, 8, 9, 10}, {11, 12, 13, 14, 15}};
+      break;
+    case 5:
+      groups = {{1, 2, 3, 4},     {5, 6, 7, 8},     {9, 10, 11, 12},
+                {13, 14, 15, 16}, {17, 18, 19, 20}, {21, 22, 23, 24}};
+      break;
+    default:
+      throw std::invalid_argument(
+          "DisjointPatternHeuristic: n must be in [2, 5]");
+  }
+  return DisjointPatternHeuristic(n, groups);
+}
+
+}  // namespace gaplan::domains

@@ -1,0 +1,55 @@
+// Umbrella header: the full public API of the gaplan library.
+//
+//   #include "gaplan.hpp"
+//
+// pulls in the GA planner (core), the planning-domain substrates, the
+// baseline searchers, and the simulated-grid workflow stack. Individual
+// headers remain includable on their own for faster builds.
+#pragma once
+
+#include "core/config.hpp"        // IWYU pragma: export
+#include "core/crossover.hpp"     // IWYU pragma: export
+#include "core/decoder.hpp"       // IWYU pragma: export
+#include "core/engine.hpp"        // IWYU pragma: export
+#include "core/experiment.hpp"    // IWYU pragma: export
+#include "core/fitness.hpp"       // IWYU pragma: export
+#include "core/fitness_override.hpp"  // IWYU pragma: export
+#include "core/individual.hpp"    // IWYU pragma: export
+#include "core/island.hpp"        // IWYU pragma: export
+#include "core/multiphase.hpp"    // IWYU pragma: export
+#include "core/mutation.hpp"      // IWYU pragma: export
+#include "core/problem.hpp"       // IWYU pragma: export
+#include "core/selection.hpp"     // IWYU pragma: export
+#include "core/simplify.hpp"      // IWYU pragma: export
+#include "domains/blocks_world.hpp"   // IWYU pragma: export
+#include "domains/hanoi.hpp"          // IWYU pragma: export
+#include "domains/hanoi_k.hpp"        // IWYU pragma: export
+#include "domains/hanoi_strips.hpp"   // IWYU pragma: export
+#include "domains/navigation.hpp"     // IWYU pragma: export
+#include "domains/pocket_cube.hpp"    // IWYU pragma: export
+#include "domains/sliding_tile.hpp"   // IWYU pragma: export
+#include "domains/sokoban.hpp"        // IWYU pragma: export
+#include "domains/tile_pdb.hpp"       // IWYU pragma: export
+#include "grid/activity_graph.hpp"    // IWYU pragma: export
+#include "grid/coordinator.hpp"       // IWYU pragma: export
+#include "grid/gantt.hpp"             // IWYU pragma: export
+#include "grid/replanner.hpp"         // IWYU pragma: export
+#include "grid/resource.hpp"          // IWYU pragma: export
+#include "grid/scenario.hpp"          // IWYU pragma: export
+#include "grid/scenario_reader.hpp"   // IWYU pragma: export
+#include "grid/service.hpp"           // IWYU pragma: export
+#include "grid/workflow.hpp"          // IWYU pragma: export
+#include "search/astar.hpp"           // IWYU pragma: export
+#include "search/bfs.hpp"             // IWYU pragma: export
+#include "search/common.hpp"          // IWYU pragma: export
+#include "search/hill_climb.hpp"      // IWYU pragma: export
+#include "search/ida_star.hpp"        // IWYU pragma: export
+#include "search/random_walk.hpp"     // IWYU pragma: export
+#include "strips/action.hpp"          // IWYU pragma: export
+#include "strips/domain.hpp"          // IWYU pragma: export
+#include "strips/lifted.hpp"          // IWYU pragma: export
+#include "strips/reader.hpp"          // IWYU pragma: export
+#include "strips/validator.hpp"       // IWYU pragma: export
+#include "util/rng.hpp"               // IWYU pragma: export
+#include "util/stats.hpp"             // IWYU pragma: export
+#include "util/thread_pool.hpp"       // IWYU pragma: export

@@ -1,0 +1,86 @@
+#include "grid/activity_graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace gaplan::grid {
+
+ActivityGraph ActivityGraph::from_plan(const WorkflowProblem& problem,
+                                       const util::DynamicBitset& initial_data,
+                                       const std::vector<int>& plan) {
+  ActivityGraph g;
+  const auto& catalog = problem.catalog();
+  // latest_producer[d] = node index that most recently produced data item d.
+  std::vector<std::ptrdiff_t> latest_producer(catalog.data_count(), -1);
+
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    ActivityNode node;
+    node.program = problem.op_program(plan[i]);
+    node.machine = problem.op_machine(plan[i]);
+    for (const DataId d : catalog.program(node.program).inputs) {
+      const std::ptrdiff_t producer = latest_producer[d];
+      if (producer >= 0) {
+        node.deps.push_back(static_cast<std::size_t>(producer));
+      } else if (!initial_data.test(d)) {
+        throw std::invalid_argument(
+            "ActivityGraph: plan step " + std::to_string(i) + " (" +
+            catalog.program(node.program).name + ") needs data item '" +
+            catalog.data(d).name + "' that nothing provides");
+      }
+    }
+    std::sort(node.deps.begin(), node.deps.end());
+    node.deps.erase(std::unique(node.deps.begin(), node.deps.end()),
+                    node.deps.end());
+    g.nodes_.push_back(std::move(node));
+    for (const DataId d : catalog.program(g.nodes_.back().program).outputs) {
+      latest_producer[d] = static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  return g;
+}
+
+std::vector<std::vector<std::size_t>> ActivityGraph::levels() const {
+  std::vector<std::size_t> level(nodes_.size(), 0);
+  std::size_t max_level = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (const std::size_t dep : nodes_[i].deps) {
+      level[i] = std::max(level[i], level[dep] + 1);  // deps precede i in index order
+    }
+    max_level = std::max(max_level, level[i]);
+  }
+  std::vector<std::vector<std::size_t>> out(nodes_.empty() ? 0 : max_level + 1);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) out[level[i]].push_back(i);
+  return out;
+}
+
+double ActivityGraph::critical_path_seconds(const WorkflowProblem& problem) const {
+  std::vector<double> finish(nodes_.size(), 0.0);
+  double makespan = 0.0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    double ready = 0.0;
+    for (const std::size_t dep : nodes_[i].deps) ready = std::max(ready, finish[dep]);
+    finish[i] = ready + problem.execution_seconds(nodes_[i].program, nodes_[i].machine);
+    makespan = std::max(makespan, finish[i]);
+  }
+  return makespan;
+}
+
+std::string ActivityGraph::to_dot(const WorkflowProblem& problem) const {
+  std::ostringstream os;
+  os << "digraph activity {\n  rankdir=LR;\n";
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    os << "  n" << i << " [label=\""
+       << problem.catalog().program(nodes_[i].program).name << "\\n@"
+       << problem.pool().machine(nodes_[i].machine).name << "\"];\n";
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (const std::size_t dep : nodes_[i].deps) {
+      os << "  n" << dep << " -> n" << i << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace gaplan::grid

@@ -1,0 +1,53 @@
+// Activity graph: the artifact the paper's planner exists to produce — "the
+// objective of planning ... is to construct an activity graph describing a
+// transformation of input data into ... the desired result", which is then
+// "provided to a coordination service" for supervised execution.
+//
+// A GA plan is a *sequence* of (program, machine) operations; the activity
+// graph recovers the true data-dependency DAG from it, exposing the
+// parallelism the coordinator can exploit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grid/workflow.hpp"
+
+namespace gaplan::grid {
+
+struct ActivityNode {
+  ProgramId program = 0;
+  MachineId machine = 0;
+  std::vector<std::size_t> deps;  ///< indices of producer nodes this one awaits
+};
+
+class ActivityGraph {
+ public:
+  /// Derives the DAG from a plan executed from `initial_data`: node j depends
+  /// on the latest earlier node that produces one of its inputs; inputs with
+  /// no producer must be present in `initial_data` (else throws — the plan
+  /// was invalid).
+  static ActivityGraph from_plan(const WorkflowProblem& problem,
+                                 const util::DynamicBitset& initial_data,
+                                 const std::vector<int>& plan);
+
+  const std::vector<ActivityNode>& nodes() const noexcept { return nodes_; }
+  std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// Topological levels (all level-k nodes can run concurrently given
+  /// unlimited machines).
+  std::vector<std::vector<std::size_t>> levels() const;
+
+  /// Critical-path seconds assuming every node runs as soon as its inputs
+  /// are ready on its assigned machine (infinite per-machine capacity) —
+  /// a lower bound on any schedule's makespan.
+  double critical_path_seconds(const WorkflowProblem& problem) const;
+
+  /// Graphviz rendering for documentation/examples.
+  std::string to_dot(const WorkflowProblem& problem) const;
+
+ private:
+  std::vector<ActivityNode> nodes_;
+};
+
+}  // namespace gaplan::grid

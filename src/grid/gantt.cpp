@@ -1,0 +1,69 @@
+#include "grid/gantt.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gaplan::grid {
+
+std::string render_gantt(const WorkflowProblem& problem,
+                         const ActivityGraph& graph,
+                         const ExecutionReport& report,
+                         const GanttOptions& options) {
+  const auto& pool = problem.pool();
+  const std::size_t width = std::max<std::size_t>(options.width, 10);
+
+  double horizon = report.makespan;
+  for (const auto& task : report.tasks) horizon = std::max(horizon, task.finish);
+  horizon = std::max(horizon, report.abort_time);
+  if (horizon <= 0.0) horizon = 1.0;
+
+  auto column = [&](double t) {
+    const auto c =
+        static_cast<std::size_t>(t / horizon * static_cast<double>(width));
+    return std::min(c, width - 1);
+  };
+
+  std::size_t name_width = 4;  // at least "time"
+  for (const auto& m : pool.machines()) {
+    name_width = std::max(name_width, m.name.size());
+  }
+
+  std::string out;
+  std::vector<std::string> rows(pool.size(), std::string(width, '.'));
+  for (std::size_t i = 0; i < report.tasks.size(); ++i) {
+    const auto& task = report.tasks[i];
+    const char glyph = static_cast<char>('A' + static_cast<int>(i % 26));
+    const std::size_t lo = column(task.start);
+    const std::size_t hi = std::max(lo, column(task.finish));
+    for (std::size_t c = lo; c <= hi; ++c) rows[task.machine][c] = glyph;
+    if (!task.completed) rows[task.machine][hi] = 'x';
+  }
+
+  char buf[96];
+  for (std::size_t m = 0; m < pool.size(); ++m) {
+    out += pool.machine(m).name;
+    out.append(name_width - pool.machine(m).name.size(), ' ');
+    out += " |";
+    out += rows[m];
+    out += "|\n";
+  }
+  std::snprintf(buf, sizeof(buf), "%-*s  0%*.1fs\n", static_cast<int>(name_width),
+                "time", static_cast<int>(width), horizon);
+  out += buf;
+
+  if (options.show_legend) {
+    for (std::size_t i = 0; i < report.tasks.size(); ++i) {
+      const auto& task = report.tasks[i];
+      const auto& node = graph.nodes().at(task.node);
+      std::snprintf(buf, sizeof(buf), "  %c: %s @ %s [%.1fs - %.1fs]%s\n",
+                    'A' + static_cast<int>(i % 26),
+                    problem.catalog().program(node.program).name.c_str(),
+                    pool.machine(node.machine).name.c_str(), task.start,
+                    task.finish, task.completed ? "" : " (killed)");
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace gaplan::grid

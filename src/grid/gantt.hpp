@@ -1,0 +1,26 @@
+// ASCII Gantt rendering of coordination-service schedules: one row per
+// machine, task bars labelled by program, disruption markers — the view a
+// grid operator would want of "the execution of all the programs involved".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grid/coordinator.hpp"
+
+namespace gaplan::grid {
+
+struct GanttOptions {
+  std::size_t width = 72;      ///< characters for the time axis
+  bool show_legend = true;
+};
+
+/// Renders `report`'s schedule of `graph` over `problem`'s pool. Tasks appear
+/// as bars of letters (one letter per task, legend below); a killed task's
+/// bar ends with 'x'.
+std::string render_gantt(const WorkflowProblem& problem,
+                         const ActivityGraph& graph,
+                         const ExecutionReport& report,
+                         const GanttOptions& options = {});
+
+}  // namespace gaplan::grid

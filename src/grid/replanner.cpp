@@ -1,0 +1,101 @@
+#include "grid/replanner.hpp"
+
+#include "core/multiphase.hpp"
+
+namespace gaplan::grid {
+
+namespace {
+
+/// One planning round: GA-plan from `data`, then hand the graph to the
+/// coordinator at simulation time `time`.
+PlanningRound run_round(const WorkflowProblem& problem, ResourcePool& pool,
+                        const util::DynamicBitset& data,
+                        const std::vector<Disruption>& disruptions, double time,
+                        const ga::GaConfig& gacfg, std::uint64_t seed,
+                        const CoordinatorOptions& options) {
+  PlanningRound round;
+  util::Rng rng(seed);
+  const auto planned = ga::run_multiphase_from(problem, gacfg, data, rng);
+  round.plan = planned.plan;
+  round.plan_valid = planned.valid;
+  if (!planned.valid) return round;
+  round.planned_cost = ga::plan_cost(problem, data, round.plan);
+
+  const ActivityGraph graph = ActivityGraph::from_plan(problem, data, round.plan);
+  Coordinator coordinator(problem, pool, options);
+  round.execution = coordinator.execute(graph, data, disruptions, time);
+  return round;
+}
+
+}  // namespace
+
+ReplanOutcome plan_and_execute(const WorkflowProblem& problem, ResourcePool& pool,
+                               const std::vector<Disruption>& disruptions,
+                               const ReplanConfig& cfg) {
+  ReplanOutcome outcome;
+  util::DynamicBitset data = problem.initial_state();
+  double time = 0.0;
+
+  for (std::size_t round_idx = 0; round_idx <= cfg.max_replans; ++round_idx) {
+    if (problem.is_goal(data)) {  // a partial execution already got there
+      outcome.completed = true;
+      break;
+    }
+    CoordinatorOptions options;
+    options.abort_on_overload = cfg.react_to_overload;
+    options.overload_threshold = cfg.overload_threshold;
+    PlanningRound round = run_round(problem, pool, data, disruptions, time,
+                                    cfg.ga, cfg.seed + round_idx, options);
+    ++outcome.planning_rounds;
+    if (!round.plan_valid) {
+      outcome.note = "planner found no valid plan on the degraded grid";
+      outcome.rounds.push_back(std::move(round));
+      break;
+    }
+    outcome.total_cost += round.execution.total_cost;
+    const bool completed = round.execution.completed;
+    const double makespan = round.execution.makespan;
+    const double abort_time = round.execution.abort_time;
+    data = round.execution.data_state;
+    outcome.rounds.push_back(std::move(round));
+    if (completed) {
+      outcome.completed = true;
+      outcome.makespan = makespan;
+      break;
+    }
+    time = abort_time;
+    outcome.makespan = abort_time;  // provisional until a round completes
+    outcome.note = "re-planning after abort";
+  }
+  if (!outcome.completed && outcome.note.empty()) {
+    outcome.note = "re-plan budget exhausted";
+  }
+  return outcome;
+}
+
+ReplanOutcome static_script_execute(const WorkflowProblem& problem,
+                                    ResourcePool& pool,
+                                    const std::vector<Disruption>& disruptions,
+                                    const ReplanConfig& cfg) {
+  ReplanOutcome outcome;
+  const util::DynamicBitset data = problem.initial_state();
+  PlanningRound round = run_round(problem, pool, data, disruptions, 0.0, cfg.ga,
+                                  cfg.seed, CoordinatorOptions{});
+  outcome.planning_rounds = 1;
+  if (!round.plan_valid) {
+    outcome.note = "script generation failed (planner found no plan)";
+    outcome.rounds.push_back(std::move(round));
+    return outcome;
+  }
+  outcome.completed = round.execution.completed;
+  outcome.total_cost = round.execution.total_cost;
+  outcome.makespan = outcome.completed ? round.execution.makespan
+                                       : round.execution.abort_time;
+  if (!outcome.completed) {
+    outcome.note = "static script aborted: " + round.execution.note;
+  }
+  outcome.rounds.push_back(std::move(round));
+  return outcome;
+}
+
+}  // namespace gaplan::grid

@@ -1,0 +1,61 @@
+// Dynamic workflow management (§1): plan with the GA, hand the activity graph
+// to the coordination service, and when the grid changes under the workflow
+// (overload, failure) re-plan *from the data state already reached* — the
+// multi-phase idea applied across execution attempts. This is the behaviour
+// the paper argues a static script cannot provide.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "grid/coordinator.hpp"
+
+namespace gaplan::grid {
+
+struct ReplanConfig {
+  ga::GaConfig ga;               ///< planner settings per (re-)planning round
+  std::size_t max_replans = 5;   ///< planning rounds after the initial one
+  std::uint64_t seed = 1;
+  /// Re-plan when a machine with pending tasks gets overloaded mid-run (the
+  /// coordinator aborts and the next plan routes around the slow site). The
+  /// static script never reacts, matching §1's argument.
+  bool react_to_overload = true;
+  double overload_threshold = 1.0;
+};
+
+struct PlanningRound {
+  std::vector<int> plan;
+  bool plan_valid = false;       ///< the GA found a goal-reaching plan
+  double planned_cost = 0.0;     ///< Σ op_cost of the plan when it was made
+  ExecutionReport execution;
+};
+
+struct ReplanOutcome {
+  bool completed = false;        ///< goal data produced
+  double makespan = 0.0;         ///< simulation time when the last task finished
+  double total_cost = 0.0;       ///< summed over all (partial) executions
+  std::size_t planning_rounds = 0;
+  std::vector<PlanningRound> rounds;
+  std::string note;
+};
+
+/// Plans and executes `problem`'s workflow to completion, re-planning after
+/// every aborted execution. `pool` is the live grid (mutated by disruptions);
+/// it must be the pool `problem` was built over. `disruptions` is the full
+/// timed scenario (sorted by time).
+ReplanOutcome plan_and_execute(const WorkflowProblem& problem, ResourcePool& pool,
+                               const std::vector<Disruption>& disruptions,
+                               const ReplanConfig& cfg);
+
+/// The static-script baseline: plan once on the healthy grid, then execute
+/// that fixed graph under the disruption scenario with no adaptation. The
+/// script "is incapable of taking advantage of the full range of
+/// alternatives" — it completes slowly under overload and simply fails when
+/// a machine it depends on dies.
+ReplanOutcome static_script_execute(const WorkflowProblem& problem,
+                                    ResourcePool& pool,
+                                    const std::vector<Disruption>& disruptions,
+                                    const ReplanConfig& cfg);
+
+}  // namespace gaplan::grid

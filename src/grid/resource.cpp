@@ -1,0 +1,55 @@
+#include "grid/resource.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace gaplan::grid {
+
+MachineId ResourcePool::add(Machine m) {
+  if (m.speed <= 0.0 || m.cost_rate < 0.0 || m.memory_gb <= 0.0 ||
+      m.bandwidth_gbps <= 0.0) {
+    throw std::invalid_argument("ResourcePool: bad machine parameters for " + m.name);
+  }
+  machines_.push_back(std::move(m));
+  return machines_.size() - 1;
+}
+
+void ResourcePool::set_load(MachineId id, double load) {
+  if (load < 0.0) throw std::invalid_argument("ResourcePool: negative load");
+  machines_.at(id).load = load;
+}
+
+void ResourcePool::set_up(MachineId id, bool up) { machines_.at(id).up = up; }
+
+ResourcePool ResourcePool::random_pool(std::size_t machines, double speed_spread,
+                                       util::Rng& rng) {
+  if (machines == 0 || speed_spread < 1.0) {
+    throw std::invalid_argument("ResourcePool::random_pool: bad parameters");
+  }
+  ResourcePool pool;
+  for (std::size_t i = 0; i < machines; ++i) {
+    Machine m;
+    m.name = "m" + std::to_string(i);
+    m.speed = std::exp(rng.uniform(0.0, std::log(speed_spread)));
+    // Faster machines are pricier, with ±30% market noise.
+    m.cost_rate = m.speed * rng.uniform(0.7, 1.3);
+    m.memory_gb = 2.0 * static_cast<double>(1 + rng.below(8));  // 2..16 GB
+    m.bandwidth_gbps = rng.uniform(0.5, 10.0);
+    pool.add(std::move(m));
+  }
+  return pool;
+}
+
+std::string ResourcePool::describe() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < machines_.size(); ++i) {
+    const auto& m = machines_[i];
+    os << m.name << ": speed=" << m.speed << " cost/s=" << m.cost_rate
+       << " mem=" << m.memory_gb << "GB bw=" << m.bandwidth_gbps
+       << "Gbps load=" << m.load << (m.up ? "" : " DOWN") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace gaplan::grid

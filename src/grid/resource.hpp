@@ -1,0 +1,60 @@
+// Heterogeneous hardware resources (the paper's §1 grid substrate).
+//
+// The paper motivates planning with a computational grid whose sites differ
+// in speed, cost and load, and whose availability changes while a workflow
+// runs. There is no grid here to deploy on, so this module *simulates* one:
+// machines with heterogeneous speed/cost/memory, dynamic load, and
+// overload/failure events the coordinator injects mid-execution (see
+// DESIGN.md, substitutions).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gaplan::grid {
+
+using MachineId = std::size_t;
+
+struct Machine {
+  std::string name;
+  double speed = 1.0;        ///< work units per second at zero load
+  double cost_rate = 1.0;    ///< currency units per second of execution
+  double memory_gb = 4.0;    ///< capacity precondition for programs
+  double bandwidth_gbps = 1.0;  ///< input staging bandwidth
+  double load = 0.0;         ///< background load; effective speed = speed/(1+load)
+  bool up = true;
+
+  double effective_speed() const noexcept {
+    return up ? speed / (1.0 + load) : 0.0;
+  }
+};
+
+/// The set of machines visible to the planner and coordinator.
+class ResourcePool {
+ public:
+  MachineId add(Machine m);
+
+  std::size_t size() const noexcept { return machines_.size(); }
+  const Machine& machine(MachineId id) const { return machines_.at(id); }
+  Machine& machine(MachineId id) { return machines_.at(id); }
+  const std::vector<Machine>& machines() const noexcept { return machines_; }
+
+  /// Raises `id`'s load (the paper's "site is overloaded" scenario).
+  void set_load(MachineId id, double load);
+  void set_up(MachineId id, bool up);
+
+  /// Random heterogeneous pool: speeds log-uniform in [1, speed_spread],
+  /// faster machines cost proportionally more (with jitter).
+  static ResourcePool random_pool(std::size_t machines, double speed_spread,
+                                  util::Rng& rng);
+
+  std::string describe() const;
+
+ private:
+  std::vector<Machine> machines_;
+};
+
+}  // namespace gaplan::grid

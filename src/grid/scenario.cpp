@@ -1,0 +1,88 @@
+#include "grid/scenario.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace gaplan::grid {
+
+Scenario image_pipeline() {
+  Scenario sc;
+  auto& cat = sc.catalog;
+  // Data products (footnote 2's genealogy: resolution x → histogram-equalized
+  // with parameter y → high-pass filtered at frequency z → zero-filled FFT).
+  const DataId raw = cat.add_data("raw-image", 4.0);
+  const DataId equalized = cat.add_data("equalized-image", 4.0);
+  const DataId denoised = cat.add_data("denoised-image", 4.0);
+  const DataId filtered = cat.add_data("filtered-image", 4.0);
+  const DataId spectrum = cat.add_data("fourier-spectrum", 8.0);
+  const DataId report = cat.add_data("analysis-report", 0.1);
+
+  cat.add_program({"histogram-eq", {raw}, {equalized}, 10.0, 2.0});
+  // Optional quality-improvement step (§1: "one may wish to increase the
+  // accuracy of some computation by ... noise reduction").
+  cat.add_program({"denoise", {equalized}, {denoised}, 25.0, 4.0});
+  // The high-pass filter accepts either the equalized or the denoised image.
+  cat.add_program({"highpass-basic", {equalized}, {filtered}, 15.0, 2.0});
+  cat.add_program({"highpass-denoised", {denoised}, {filtered}, 12.0, 2.0});
+  // Alternative FFT service versions: lean-and-slow vs fast-but-hungry.
+  cat.add_program({"fft-lean", {filtered}, {spectrum}, 60.0, 2.0});
+  cat.add_program({"fft-wide", {filtered}, {spectrum}, 20.0, 12.0});
+  cat.add_program({"analyze", {spectrum}, {report}, 30.0, 4.0});
+
+  sc.initial_data = {raw};
+  sc.goal_data = {report};
+  return sc;
+}
+
+Scenario random_layered(std::size_t layers, std::size_t width,
+                        std::size_t versions, util::Rng& rng) {
+  if (layers < 2 || width < 1 || versions < 1) {
+    throw std::invalid_argument("random_layered: need >= 2 layers, width/versions >= 1");
+  }
+  Scenario sc;
+  auto& cat = sc.catalog;
+  std::vector<std::vector<DataId>> layer_items(layers);
+  for (std::size_t l = 0; l < layers; ++l) {
+    for (std::size_t w = 0; w < width; ++w) {
+      const DataId d = cat.add_data("L" + std::to_string(l) + "D" + std::to_string(w),
+                                    rng.uniform(0.5, 8.0));
+      layer_items[l].push_back(d);
+      if (l == 0) sc.initial_data.push_back(d);
+      if (l + 1 == layers) sc.goal_data.push_back(d);
+    }
+  }
+  for (std::size_t l = 1; l < layers; ++l) {
+    for (std::size_t w = 0; w < width; ++w) {
+      for (std::size_t v = 0; v < versions; ++v) {
+        Program p;
+        p.name = "P" + std::to_string(l) + "-" + std::to_string(w) + "v" +
+                 std::to_string(v);
+        const std::size_t fan_in = 1 + rng.below(std::min<std::size_t>(3, width));
+        for (std::size_t k = 0; k < fan_in; ++k) {
+          p.inputs.push_back(layer_items[l - 1][rng.below(width)]);
+        }
+        p.outputs.push_back(layer_items[l][w]);
+        p.work = rng.uniform(5.0, 50.0);
+        // Some versions demand big machines in exchange for less work.
+        if (rng.chance(0.3)) {
+          p.min_memory_gb = 8.0;
+          p.work *= 0.5;
+        }
+        cat.add_program(std::move(p));
+      }
+    }
+  }
+  return sc;
+}
+
+ResourcePool demo_pool() {
+  ResourcePool pool;
+  pool.add({"fast-eu", 8.0, 6.0, 8.0, 10.0, 0.0, true});
+  pool.add({"mid-us", 4.0, 2.5, 8.0, 5.0, 0.0, true});
+  pool.add({"slow-campus", 1.0, 0.5, 4.0, 1.0, 0.0, true});
+  pool.add({"bigmem-hpc", 3.0, 4.0, 32.0, 8.0, 0.0, true});
+  return pool;
+}
+
+}  // namespace gaplan::grid

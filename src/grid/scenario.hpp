@@ -1,0 +1,46 @@
+// Synthetic grid workloads (repro_why: the paper never had a deployed grid
+// either — these scenarios make its §1 motivation executable).
+//
+// * image_pipeline() — the exact pipeline of the paper's footnote 2: camera
+//   image → histogram equalization → high-pass filter → Fourier transform →
+//   analysis, with alternative program versions differing in cost and
+//   resource demands (the "multiple versions of services" of a service grid).
+// * random_layered() — parameterised layered workflows for scaling studies.
+#pragma once
+
+#include <cstddef>
+
+#include "grid/resource.hpp"
+#include "grid/service.hpp"
+#include "grid/workflow.hpp"
+#include "util/rng.hpp"
+
+namespace gaplan::grid {
+
+/// A self-contained workload: catalog + initial/goal data.
+struct Scenario {
+  ServiceCatalog catalog;
+  std::vector<DataId> initial_data;
+  std::vector<DataId> goal_data;
+
+  WorkflowProblem problem(const ResourcePool& pool,
+                          WorkflowCostModel cost_model = {}) const {
+    return WorkflowProblem(catalog, pool, initial_data, goal_data, cost_model);
+  }
+};
+
+/// The §1 footnote-2 image-processing pipeline with alternative service
+/// versions (a fast memory-hungry FFT vs a slow lean one, etc.).
+Scenario image_pipeline();
+
+/// Random layered workflow: `layers` layers of `width` data items each; every
+/// item of layer k+1 is produced by `versions` alternative programs reading
+/// 1-3 items of layer k. Goal: all items of the last layer.
+Scenario random_layered(std::size_t layers, std::size_t width,
+                        std::size_t versions, util::Rng& rng);
+
+/// A small fixed heterogeneous pool used by the examples and benches: one
+/// fast expensive machine, one mid-range, one slow cheap, one big-memory.
+ResourcePool demo_pool();
+
+}  // namespace gaplan::grid

@@ -1,0 +1,222 @@
+#include "grid/scenario_reader.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "strips/sexpr.hpp"
+
+namespace gaplan::grid {
+
+namespace {
+
+using strips::sexpr::Node;
+using strips::sexpr::NodeList;
+using strips::sexpr::fail;
+using strips::sexpr::head;
+
+double number(const Node& n, const char* what) {
+  if (!n.is_word()) fail(n, std::string(what) + " must be a number");
+  try {
+    return std::stod(n.word());
+  } catch (const std::exception&) {
+    fail(n, std::string("bad ") + what + " '" + n.word() + "'");
+  }
+}
+
+/// Reads a (key value) property list starting at items[from].
+std::unordered_map<std::string, double> properties(const NodeList& items,
+                                                   std::size_t from) {
+  std::unordered_map<std::string, double> props;
+  for (std::size_t i = from; i < items.size(); ++i) {
+    const std::string& key = head(items[i]);
+    const auto& kv = items[i].list();
+    if (kv.size() != 2) fail(items[i], "property needs exactly one value");
+    props[key] = number(kv[1], key.c_str());
+  }
+  return props;
+}
+
+double prop_or(const std::unordered_map<std::string, double>& props,
+               const std::string& key, double fallback) {
+  const auto it = props.find(key);
+  return it == props.end() ? fallback : it->second;
+}
+
+Machine parse_machine(const Node& n) {
+  const auto& items = n.list();
+  if (items.size() < 2 || !items[1].is_word()) fail(n, "machine needs a name");
+  Machine m;
+  m.name = items[1].word();
+  const auto props = properties(items, 2);
+  for (const auto& [key, value] : props) {
+    if (key == "speed") {
+      m.speed = value;
+    } else if (key == "cost") {
+      m.cost_rate = value;
+    } else if (key == "memory") {
+      m.memory_gb = value;
+    } else if (key == "bandwidth") {
+      m.bandwidth_gbps = value;
+    } else if (key == "load") {
+      m.load = value;
+    } else {
+      fail(n, "unknown machine property '" + key + "'");
+    }
+  }
+  return m;
+}
+
+std::vector<std::string> name_list(const Node& section) {
+  std::vector<std::string> names;
+  const auto& items = section.list();
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    if (!items[i].is_word()) fail(items[i], "expected a name");
+    names.push_back(items[i].word());
+  }
+  return names;
+}
+
+}  // namespace
+
+ScenarioFile parse_scenario(std::string_view text) {
+  const NodeList top = strips::sexpr::parse(text);
+  ScenarioFile file;
+  std::unordered_map<std::string, MachineId> machine_ids;
+  std::unordered_map<std::string, DataId> data_ids;
+  bool saw_catalog = false, saw_workflow = false;
+
+  // First pass: grid and catalog (so workflow/disruptions can resolve names).
+  for (const Node& n : top) {
+    const std::string& kw = head(n);
+    if (kw == "grid") {
+      const auto& items = n.list();
+      for (std::size_t i = 1; i < items.size(); ++i) {
+        if (head(items[i]) != "machine") fail(items[i], "expected (machine ...)");
+        Machine m = parse_machine(items[i]);
+        const std::string name = m.name;
+        if (machine_ids.contains(name)) {
+          fail(items[i], "duplicate machine '" + name + "'");
+        }
+        machine_ids[name] = file.pool.add(std::move(m));
+      }
+    } else if (kw == "catalog") {
+      saw_catalog = true;
+      const auto& items = n.list();
+      // Data items first (programs may reference them in any file order, but
+      // within the catalog data must precede the programs that use it).
+      for (std::size_t i = 1; i < items.size(); ++i) {
+        const std::string& sec = head(items[i]);
+        const auto& entry = items[i].list();
+        if (sec == "data") {
+          if (entry.size() < 2 || !entry[1].is_word()) {
+            fail(items[i], "data needs a name");
+          }
+          const auto props = properties(entry, 2);
+          data_ids[entry[1].word()] = file.scenario.catalog.add_data(
+              entry[1].word(), prop_or(props, "volume", 1.0));
+        } else if (sec == "program") {
+          if (entry.size() < 2 || !entry[1].is_word()) {
+            fail(items[i], "program needs a name");
+          }
+          Program p;
+          p.name = entry[1].word();
+          for (std::size_t k = 2; k < entry.size(); ++k) {
+            const std::string& key = head(entry[k]);
+            if (key == "in" || key == "out") {
+              for (const auto& name : name_list(entry[k])) {
+                const auto it = data_ids.find(name);
+                if (it == data_ids.end()) {
+                  fail(entry[k], "unknown data item '" + name + "'");
+                }
+                (key == "in" ? p.inputs : p.outputs).push_back(it->second);
+              }
+            } else if (key == "work") {
+              p.work = number(entry[k].list().at(1), "work");
+            } else if (key == "memory") {
+              p.min_memory_gb = number(entry[k].list().at(1), "memory");
+            } else {
+              fail(entry[k], "unknown program property '" + key + "'");
+            }
+          }
+          file.scenario.catalog.add_program(std::move(p));
+        } else {
+          fail(items[i], "unknown catalog entry '" + sec + "'");
+        }
+      }
+    }
+  }
+
+  // Second pass: workflow and disruptions.
+  for (const Node& n : top) {
+    const std::string& kw = head(n);
+    if (kw == "workflow") {
+      saw_workflow = true;
+      const auto& items = n.list();
+      for (std::size_t i = 1; i < items.size(); ++i) {
+        const std::string& sec = head(items[i]);
+        if (sec != "init" && sec != "goal") {
+          fail(items[i], "unknown workflow section '" + sec + "'");
+        }
+        for (const auto& name : name_list(items[i])) {
+          const auto it = data_ids.find(name);
+          if (it == data_ids.end()) {
+            fail(items[i], "unknown data item '" + name + "'");
+          }
+          (sec == "init" ? file.scenario.initial_data : file.scenario.goal_data)
+              .push_back(it->second);
+        }
+      }
+    } else if (kw == "disruptions") {
+      const auto& items = n.list();
+      for (std::size_t i = 1; i < items.size(); ++i) {
+        const std::string& sec = head(items[i]);
+        const auto& entry = items[i].list();
+        Disruption d;
+        if (sec == "overload") {
+          if (entry.size() != 4) fail(items[i], "overload needs time machine load");
+          d.kind = Disruption::Kind::kOverload;
+          d.load = number(entry[3], "load");
+        } else if (sec == "failure") {
+          if (entry.size() != 3) fail(items[i], "failure needs time machine");
+          d.kind = Disruption::Kind::kFailure;
+        } else if (sec == "recovery") {
+          if (entry.size() != 3) fail(items[i], "recovery needs time machine");
+          d.kind = Disruption::Kind::kRecovery;
+        } else {
+          fail(items[i], "unknown disruption '" + sec + "'");
+        }
+        d.time = number(entry[1], "time");
+        if (!entry[2].is_word() || !machine_ids.contains(entry[2].word())) {
+          fail(entry[2], "unknown machine");
+        }
+        d.machine = machine_ids.at(entry[2].word());
+        file.disruptions.push_back(d);
+      }
+    } else if (kw != "grid" && kw != "catalog") {
+      fail(n, "unknown section '" + kw + "'");
+    }
+  }
+
+  if (!saw_catalog) throw strips::ParseError("no (catalog ...) section", 1, 1);
+  if (!saw_workflow) throw strips::ParseError("no (workflow ...) section", 1, 1);
+  if (file.pool.size() == 0) {
+    // A one-machine default grid keeps tiny files runnable.
+    file.pool.add({"default", 1.0, 1.0, 4.0, 1.0, 0.0, true});
+  }
+  std::sort(file.disruptions.begin(), file.disruptions.end(),
+            [](const Disruption& a, const Disruption& b) { return a.time < b.time; });
+  return file;
+}
+
+ScenarioFile parse_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("parse_scenario_file: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_scenario(buffer.str());
+}
+
+}  // namespace gaplan::grid

@@ -1,0 +1,48 @@
+// Text format for grid scenarios: machines, the service catalog (data items
+// and programs with pre/post-conditions), the workflow instance, and a timed
+// disruption script — everything needed to rerun the §1 experiment on a
+// user-defined grid. Shares the s-expression reader with the STRIPS formats.
+//
+//   (grid
+//     (machine fast-eu (speed 8) (cost 6) (memory 8) (bandwidth 10) (load 0)))
+//   (catalog
+//     (data raw-image (volume 4))
+//     (program histogram-eq (in raw-image) (out equalized-image)
+//              (work 10) (memory 2)))
+//   (workflow (init raw-image) (goal analysis-report))
+//   (disruptions
+//     (overload 10 slow-campus 3.0)   ; time, machine, new load
+//     (failure 60 slow-campus)
+//     (recovery 90 slow-campus))
+//
+// All sections are optional except (catalog) and (workflow); machines default
+// to speed/cost/bandwidth 1 and memory 4 GB.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "grid/coordinator.hpp"
+#include "grid/scenario.hpp"
+
+namespace gaplan::grid {
+
+struct ScenarioFile {
+  ResourcePool pool;
+  Scenario scenario;
+  std::vector<Disruption> disruptions;  ///< time-sorted
+
+  WorkflowProblem problem(WorkflowCostModel cost_model = {}) const {
+    return scenario.problem(pool, cost_model);
+  }
+};
+
+/// Parses a scenario description. Throws strips::ParseError on syntax errors
+/// and std::invalid_argument on semantic ones (unknown machine/data names).
+ScenarioFile parse_scenario(std::string_view text);
+
+/// File convenience wrapper.
+ScenarioFile parse_scenario_file(const std::string& path);
+
+}  // namespace gaplan::grid

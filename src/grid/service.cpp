@@ -1,0 +1,71 @@
+#include "grid/service.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace gaplan::grid {
+
+DataId ServiceCatalog::add_data(std::string name, double volume_gb) {
+  if (volume_gb < 0.0) {
+    throw std::invalid_argument("ServiceCatalog: negative data volume for " + name);
+  }
+  for (const auto& d : data_) {
+    if (d.name == name) {
+      throw std::invalid_argument("ServiceCatalog: duplicate data item " + name);
+    }
+  }
+  data_.push_back({std::move(name), volume_gb});
+  return data_.size() - 1;
+}
+
+ProgramId ServiceCatalog::add_program(Program p) {
+  if (p.work <= 0.0) {
+    throw std::invalid_argument("ServiceCatalog: program work must be positive: " +
+                                p.name);
+  }
+  if (p.outputs.empty()) {
+    throw std::invalid_argument("ServiceCatalog: program produces nothing: " + p.name);
+  }
+  for (const auto list : {&p.inputs, &p.outputs}) {
+    for (const DataId d : *list) {
+      if (d >= data_.size()) {
+        throw std::invalid_argument("ServiceCatalog: unknown data id in " + p.name);
+      }
+    }
+  }
+  programs_.push_back(std::move(p));
+  return programs_.size() - 1;
+}
+
+DataId ServiceCatalog::data_id(const std::string& name) const {
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (data_[i].name == name) return i;
+  }
+  throw std::invalid_argument("ServiceCatalog: unknown data item " + name);
+}
+
+double ServiceCatalog::input_volume_gb(ProgramId id) const {
+  double total = 0.0;
+  for (const DataId d : programs_.at(id).inputs) total += data_[d].volume_gb;
+  return total;
+}
+
+std::string ServiceCatalog::describe() const {
+  std::ostringstream os;
+  for (const auto& p : programs_) {
+    os << p.name << ": {";
+    for (std::size_t i = 0; i < p.inputs.size(); ++i) {
+      os << (i ? ", " : "") << data_[p.inputs[i]].name;
+    }
+    os << "} -> {";
+    for (std::size_t i = 0; i < p.outputs.size(); ++i) {
+      os << (i ? ", " : "") << data_[p.outputs[i]].name;
+    }
+    os << "} work=" << p.work;
+    if (p.min_memory_gb > 0.0) os << " mem>=" << p.min_memory_gb << "GB";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace gaplan::grid

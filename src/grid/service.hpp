@@ -1,0 +1,60 @@
+// Program/service ontology (paper §1): each program is described by
+// preconditions (the data items it consumes, the resources it needs) and
+// postconditions (the data items it produces) plus a cost model — "the type,
+// format, amount ... of the input data; ... the physical resources required
+// by the program to execute".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gaplan::grid {
+
+using DataId = std::size_t;
+using ProgramId = std::size_t;
+
+/// A named data product (the ontology's data concept). `volume_gb` drives
+/// the transfer-cost term of the workflow cost model.
+struct DataItem {
+  std::string name;
+  double volume_gb = 1.0;
+};
+
+/// A program (service version) with STRIPS-style pre/post-conditions over
+/// data items plus hardware requirements.
+struct Program {
+  std::string name;
+  std::vector<DataId> inputs;   ///< preconditions: data that must exist
+  std::vector<DataId> outputs;  ///< postconditions: data produced
+  double work = 1.0;            ///< abstract compute units
+  double min_memory_gb = 0.0;   ///< machine capability precondition
+};
+
+/// The catalog of data items and programs visible to the planner — the
+/// "ontologies describing data, programs, and hardware resources".
+class ServiceCatalog {
+ public:
+  DataId add_data(std::string name, double volume_gb = 1.0);
+  ProgramId add_program(Program p);
+
+  /// Data item lookup by name; throws on unknown names.
+  DataId data_id(const std::string& name) const;
+
+  std::size_t data_count() const noexcept { return data_.size(); }
+  std::size_t program_count() const noexcept { return programs_.size(); }
+  const DataItem& data(DataId id) const { return data_.at(id); }
+  const Program& program(ProgramId id) const { return programs_.at(id); }
+  const std::vector<Program>& programs() const noexcept { return programs_; }
+
+  /// Total input volume of a program (GB staged before it runs).
+  double input_volume_gb(ProgramId id) const;
+
+  std::string describe() const;
+
+ private:
+  std::vector<DataItem> data_;
+  std::vector<Program> programs_;
+};
+
+}  // namespace gaplan::grid

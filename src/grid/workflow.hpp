@@ -1,0 +1,91 @@
+// The workflow planning problem: the paper's target application (§1), cast
+// into the same PlanningProblem concept as the puzzle domains.
+//
+// A state is the set of data items that exist so far; an operation is
+// "run program P on machine M", valid when P's input data exist, M is up,
+// and M meets P's memory requirement. Applying it adds P's outputs. The goal
+// is a set of desired result data items. Operation cost is heterogeneous:
+//     cost = (execution seconds + staging seconds) · machine cost rate
+// so the GA's cost fitness (Eq. 2, inverse-cost variant) makes it prefer
+// cheap fast machines — the "alternative sites capable of executing the
+// program at lower costs" argument of §1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grid/resource.hpp"
+#include "grid/service.hpp"
+#include "util/bitset.hpp"
+
+namespace gaplan::grid {
+
+/// What an operation "costs" to the planner: a blend of money (execution
+/// seconds x the machine's rate) and wall-clock seconds. money_weight=1,
+/// time_weight=0 optimizes spend (the §1 "lower costs" story);
+/// money_weight=0, time_weight=1 approximates makespan minimization
+/// ("provide the results earlier").
+struct WorkflowCostModel {
+  double money_weight = 1.0;
+  double time_weight = 0.0;
+};
+
+class WorkflowProblem {
+ public:
+  using StateT = util::DynamicBitset;
+
+  /// `initial_data`/`goal_data` are data-item ids. The catalog and pool must
+  /// outlive the problem.
+  WorkflowProblem(const ServiceCatalog& catalog, const ResourcePool& pool,
+                  std::vector<DataId> initial_data, std::vector<DataId> goal_data,
+                  WorkflowCostModel cost_model = {});
+
+  // --- PlanningProblem concept ----------------------------------------------
+  StateT initial_state() const { return initial_; }
+
+  /// Canonical op id = program_id * pool.size() + machine_id. Operations
+  /// whose outputs already all exist are pruned (they cannot progress the
+  /// plan), which keeps the monotone search space finite.
+  void valid_ops(const StateT& s, std::vector<int>& out) const;
+
+  void apply(StateT& s, int op) const;
+  double op_cost(const StateT& s, int op) const;
+  std::string op_label(const StateT& s, int op) const;
+  double goal_fitness(const StateT& s) const;
+  bool is_goal(const StateT& s) const { return s.contains_all(goal_); }
+  std::uint64_t hash(const StateT& s) const { return s.hash(); }
+  // --- DirectEncodable --------------------------------------------------------
+  std::size_t op_count() const noexcept {
+    return catalog_->program_count() * pool_->size();
+  }
+  bool op_applicable(const StateT& s, int op) const;
+  // ----------------------------------------------------------------------------
+
+  ProgramId op_program(int op) const { return static_cast<std::size_t>(op) / pool_->size(); }
+  MachineId op_machine(int op) const { return static_cast<std::size_t>(op) % pool_->size(); }
+
+  /// Execution seconds of `program` on `machine` under its current load,
+  /// including input staging time. Infinite if the machine is down.
+  double execution_seconds(ProgramId program, MachineId machine) const;
+
+  const ServiceCatalog& catalog() const noexcept { return *catalog_; }
+  const ResourcePool& pool() const noexcept { return *pool_; }
+  const StateT& goal() const noexcept { return goal_; }
+  const WorkflowCostModel& cost_model() const noexcept { return cost_model_; }
+
+  /// State helper: a bitset with the given data items present.
+  StateT make_state(const std::vector<DataId>& data) const;
+
+ private:
+  const ServiceCatalog* catalog_;
+  const ResourcePool* pool_;
+  WorkflowCostModel cost_model_;
+  StateT initial_;
+  StateT goal_;
+  std::size_t goal_count_;
+  /// Precomputed per-program input/output bitsets for fast applicability.
+  std::vector<util::DynamicBitset> program_inputs_;
+  std::vector<util::DynamicBitset> program_outputs_;
+};
+
+}  // namespace gaplan::grid

@@ -1,0 +1,123 @@
+// A* and greedy best-first search over the PlanningProblem concept.
+//
+// A* with an admissible heuristic is the optimal baseline the GA's plan
+// lengths are compared against; greedy best-first (f = h) is the fast,
+// suboptimal cousin closer in spirit to HSP2 [Bonet & Geffner].
+#pragma once
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "search/common.hpp"
+
+namespace gaplan::search {
+
+namespace detail {
+
+/// Shared best-first core: f(n) = g_weight·g(n) + h(n).
+template <gaplan::ga::PlanningProblem P, typename Heuristic>
+SearchResult best_first(const P& problem, const typename P::StateT& start,
+                        Heuristic&& h, double g_weight,
+                        const SearchLimits& limits) {
+  using State = typename P::StateT;
+  struct Node {
+    State state;
+    std::size_t parent;
+    int op;
+    double g;
+  };
+  struct Entry {
+    double f;
+    double g;
+    std::size_t node;
+    bool operator>(const Entry& rhs) const {
+      if (f != rhs.f) return f > rhs.f;
+      return g < rhs.g;  // tie-break on larger g: deeper nodes first
+    }
+  };
+
+  SearchResult result;
+  util::Timer timer;
+  std::vector<Node> nodes;
+  std::unordered_map<State, double, StateHash<P>> best_g(64, StateHash<P>{&problem});
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> open;
+
+  nodes.push_back({start, 0, -1, 0.0});
+  best_g.emplace(start, 0.0);
+  open.push({h(start), 0.0, 0});
+
+  auto reconstruct = [&](std::size_t idx) {
+    std::vector<int> plan;
+    while (nodes[idx].op >= 0) {
+      plan.push_back(nodes[idx].op);
+      idx = nodes[idx].parent;
+    }
+    std::reverse(plan.begin(), plan.end());
+    return plan;
+  };
+
+  std::vector<int> ops;
+  while (!open.empty()) {
+    if (result.expanded >= limits.max_expanded ||
+        timer.seconds() > limits.max_seconds) {
+      result.seconds = timer.seconds();
+      return result;
+    }
+    const Entry top = open.top();
+    open.pop();
+    const Node& node = nodes[top.node];
+    // Stale entry: a cheaper path to this state was already expanded.
+    if (top.g > best_g.at(node.state)) continue;
+    if (problem.is_goal(node.state)) {
+      result.found = true;
+      result.plan = reconstruct(top.node);
+      result.cost = node.g;
+      result.seconds = timer.seconds();
+      return result;
+    }
+    ++result.expanded;
+    problem.valid_ops(node.state, ops);
+    // Copy what we need before nodes reallocates.
+    const State current = node.state;
+    const double g = node.g;
+    const std::size_t current_idx = top.node;
+    for (const int op : ops) {
+      State next = current;
+      const double step = problem.op_cost(current, op);
+      problem.apply(next, op);
+      ++result.generated;
+      const double ng = g + step;
+      const auto it = best_g.find(next);
+      if (it != best_g.end() && it->second <= ng) continue;
+      nodes.push_back({next, current_idx, op, ng});
+      if (it != best_g.end()) {
+        it->second = ng;
+      } else {
+        best_g.emplace(next, ng);
+      }
+      open.push({g_weight * ng + h(next), ng, nodes.size() - 1});
+    }
+  }
+  result.exhausted = true;
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace detail
+
+/// A*: optimal with an admissible, consistent heuristic.
+template <gaplan::ga::PlanningProblem P, typename Heuristic>
+SearchResult astar(const P& problem, const typename P::StateT& start,
+                   Heuristic&& h, const SearchLimits& limits = {}) {
+  return detail::best_first(problem, start, std::forward<Heuristic>(h), 1.0, limits);
+}
+
+/// Greedy best-first: f = h. Fast, not optimal.
+template <gaplan::ga::PlanningProblem P, typename Heuristic>
+SearchResult greedy_best_first(const P& problem, const typename P::StateT& start,
+                               Heuristic&& h, const SearchLimits& limits = {}) {
+  return detail::best_first(problem, start, std::forward<Heuristic>(h), 0.0, limits);
+}
+
+}  // namespace gaplan::search

@@ -1,0 +1,88 @@
+// Breadth-first search — the "general search strategy" the paper contrasts
+// against (§1). Complete and optimal in step count on unit-cost domains;
+// exhausts memory quickly, which is exactly the behaviour the comparison
+// bench demonstrates.
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "search/common.hpp"
+
+namespace gaplan::search {
+
+template <gaplan::ga::PlanningProblem P>
+SearchResult bfs(const P& problem, const typename P::StateT& start,
+                 const SearchLimits& limits = {}) {
+  using State = typename P::StateT;
+  struct Node {
+    State state;
+    std::size_t parent;
+    int op;
+  };
+
+  SearchResult result;
+  util::Timer timer;
+  std::deque<Node> nodes;
+  std::unordered_map<State, std::size_t, StateHash<P>> seen(
+      64, StateHash<P>{&problem});
+
+  auto reconstruct = [&](std::size_t idx) {
+    std::vector<int> plan;
+    while (nodes[idx].op >= 0) {
+      plan.push_back(nodes[idx].op);
+      idx = nodes[idx].parent;
+    }
+    std::reverse(plan.begin(), plan.end());
+    return plan;
+  };
+  auto plan_cost_from_start = [&](const std::vector<int>& plan) {
+    State s = start;
+    double cost = 0.0;
+    for (const int op : plan) {
+      cost += problem.op_cost(s, op);
+      problem.apply(s, op);
+    }
+    return cost;
+  };
+
+  nodes.push_back({start, 0, -1});
+  seen.emplace(start, 0);
+  if (problem.is_goal(start)) {
+    result.found = true;
+    result.seconds = timer.seconds();
+    return result;
+  }
+
+  std::vector<int> ops;
+  for (std::size_t head = 0; head < nodes.size(); ++head) {
+    if (result.expanded >= limits.max_expanded ||
+        timer.seconds() > limits.max_seconds) {
+      result.seconds = timer.seconds();
+      return result;
+    }
+    ++result.expanded;
+    problem.valid_ops(nodes[head].state, ops);
+    for (const int op : ops) {
+      State next = nodes[head].state;
+      problem.apply(next, op);
+      ++result.generated;
+      if (seen.contains(next)) continue;
+      nodes.push_back({std::move(next), head, op});
+      seen.emplace(nodes.back().state, nodes.size() - 1);
+      if (problem.is_goal(nodes.back().state)) {
+        result.found = true;
+        result.plan = reconstruct(nodes.size() - 1);
+        result.cost = plan_cost_from_start(result.plan);
+        result.seconds = timer.seconds();
+        return result;
+      }
+    }
+  }
+  result.exhausted = true;
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace gaplan::search

@@ -1,0 +1,54 @@
+// Shared types for the deterministic baseline planners (§2's related work:
+// breadth-first / forward chaining, heuristic search à la HSP, IDA* à la
+// Korf). All searches are templates over the same PlanningProblem concept the
+// GA planner uses, so every domain gets every baseline for free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "util/timer.hpp"
+
+namespace gaplan::search {
+
+struct SearchLimits {
+  std::size_t max_expanded = 10'000'000;  ///< node-expansion budget
+  double max_seconds = 60.0;              ///< wall-clock budget
+};
+
+struct SearchResult {
+  bool found = false;
+  bool exhausted = false;     ///< search space fully explored without a goal
+  std::vector<int> plan;      ///< operation ids, initial state to goal
+  double cost = 0.0;
+  std::size_t expanded = 0;   ///< states expanded
+  std::size_t generated = 0;  ///< successor states generated
+  double seconds = 0.0;
+};
+
+/// Hash/equality adapters so unordered containers can key on problem states.
+template <typename P>
+struct StateHash {
+  const P* problem;
+  std::size_t operator()(const typename P::StateT& s) const {
+    return static_cast<std::size_t>(problem->hash(s));
+  }
+};
+
+/// Generic heuristic built from the problem's own goal-fitness function:
+/// h(s) = (1 − F_goal(s)) · scale. Not admissible in general; intended for
+/// the greedy/hill-climbing baselines. Domain-specific admissible heuristics
+/// (Manhattan, linear conflict) are passed as plain lambdas instead.
+template <typename P>
+struct GoalFitnessHeuristic {
+  const P* problem;
+  double scale = 100.0;
+  double operator()(const typename P::StateT& s) const {
+    return (1.0 - problem->goal_fitness(s)) * scale;
+  }
+};
+
+}  // namespace gaplan::search

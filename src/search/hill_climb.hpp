@@ -1,0 +1,84 @@
+// Hill-climbing planner in the style of HSP [Bonet & Geffner 2001]: forward
+// state search moving to the best-heuristic successor, with sideways moves on
+// plateaus and random restarts when stuck. Not complete, often fast — the
+// paper positions heuristic planners like this as the competitive
+// deterministic alternative to its GA.
+#pragma once
+
+#include "search/common.hpp"
+#include "util/rng.hpp"
+
+namespace gaplan::search {
+
+struct HillClimbConfig {
+  std::size_t max_restarts = 20;
+  std::size_t max_steps_per_try = 10'000;  ///< moves before declaring a dead try
+  std::size_t max_plateau = 100;           ///< sideways moves tolerated in a row
+};
+
+template <gaplan::ga::PlanningProblem P, typename Heuristic>
+SearchResult hill_climb(const P& problem, const typename P::StateT& start,
+                        Heuristic&& h, util::Rng& rng,
+                        const HillClimbConfig& cfg = {},
+                        const SearchLimits& limits = {}) {
+  using State = typename P::StateT;
+  SearchResult result;
+  util::Timer timer;
+  std::vector<int> ops;
+
+  for (std::size_t attempt = 0; attempt <= cfg.max_restarts; ++attempt) {
+    State current = start;
+    std::vector<int> plan;
+    double current_h = h(current);
+    std::size_t plateau = 0;
+
+    for (std::size_t step = 0; step < cfg.max_steps_per_try; ++step) {
+      if (problem.is_goal(current)) {
+        result.found = true;
+        result.plan = std::move(plan);
+        result.cost = gaplan::ga::plan_cost(problem, start, result.plan);
+        result.seconds = timer.seconds();
+        return result;
+      }
+      if (result.expanded >= limits.max_expanded ||
+          timer.seconds() > limits.max_seconds) {
+        result.seconds = timer.seconds();
+        return result;
+      }
+      ++result.expanded;
+      problem.valid_ops(current, ops);
+      if (ops.empty()) break;  // dead end: restart
+
+      // Evaluate all successors; collect the argmin set for random
+      // tie-breaking (keeps plateau walks from cycling deterministically).
+      double best_h = std::numeric_limits<double>::infinity();
+      std::vector<int> best_ops;
+      for (const int op : ops) {
+        State next = current;
+        problem.apply(next, op);
+        ++result.generated;
+        const double nh = h(next);
+        if (nh < best_h) {
+          best_h = nh;
+          best_ops.assign(1, op);
+        } else if (nh == best_h) {
+          best_ops.push_back(op);
+        }
+      }
+      if (best_h > current_h) break;  // strict local minimum: restart
+      if (best_h == current_h) {
+        if (++plateau > cfg.max_plateau) break;
+      } else {
+        plateau = 0;
+      }
+      const int op = best_ops[static_cast<std::size_t>(rng.below(best_ops.size()))];
+      problem.apply(current, op);
+      plan.push_back(op);
+      current_h = best_h;
+    }
+  }
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace gaplan::search

@@ -1,0 +1,78 @@
+// IDA* — iterative-deepening A* (Korf), the memory-frugal optimal search used
+// for the larger sliding-tile instances (the paper cites Korf & Taylor's
+// 24-puzzle work).
+#pragma once
+
+#include <cmath>
+
+#include "search/common.hpp"
+
+namespace gaplan::search {
+
+template <gaplan::ga::PlanningProblem P, typename Heuristic>
+SearchResult ida_star(const P& problem, const typename P::StateT& start,
+                      Heuristic&& h, const SearchLimits& limits = {}) {
+  using State = typename P::StateT;
+  SearchResult result;
+  util::Timer timer;
+  std::vector<int> path;
+  bool out_of_budget = false;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Depth-first contour search; returns the smallest f-value that exceeded
+  // the threshold (the next threshold), or -1 when the goal was found.
+  auto dfs = [&](auto&& self, const State& s, double g, double threshold,
+                 std::uint64_t parent_hash) -> double {
+    const double f = g + h(s);
+    if (f > threshold) return f;
+    if (problem.is_goal(s)) {
+      result.found = true;
+      result.cost = g;
+      return -1.0;
+    }
+    if (result.expanded >= limits.max_expanded ||
+        timer.seconds() > limits.max_seconds) {
+      out_of_budget = true;
+      return kInf;
+    }
+    ++result.expanded;
+    double next_threshold = kInf;
+    std::vector<int> ops;  // per-frame: valid_ops would clobber a shared buffer
+    problem.valid_ops(s, ops);
+    for (const int op : ops) {
+      State next = s;
+      const double step = problem.op_cost(s, op);
+      problem.apply(next, op);
+      ++result.generated;
+      // Cheap 1-step cycle avoidance: never return to the parent state.
+      if (problem.hash(next) == parent_hash) continue;
+      path.push_back(op);
+      const double t = self(self, next, g + step, threshold, problem.hash(s));
+      if (t < 0.0) return -1.0;  // goal found below; keep path
+      if (t < next_threshold) next_threshold = t;
+      path.pop_back();
+      if (out_of_budget) return kInf;
+    }
+    return next_threshold;
+  };
+
+  double threshold = h(start);
+  const std::uint64_t no_parent = ~problem.hash(start);
+  for (;;) {
+    path.clear();
+    const double t = dfs(dfs, start, 0.0, threshold, no_parent);
+    if (t < 0.0) {
+      result.plan = path;
+      result.seconds = timer.seconds();
+      return result;
+    }
+    if (out_of_budget || t == kInf) {
+      result.exhausted = !out_of_budget;
+      result.seconds = timer.seconds();
+      return result;
+    }
+    threshold = t;
+  }
+}
+
+}  // namespace gaplan::search

@@ -1,0 +1,56 @@
+// Random-walk baseline: applies uniformly random valid operations. The
+// floor any non-trivial planner must beat; also the sanity check that a
+// domain's operation enumeration cannot dead-end unexpectedly.
+#pragma once
+
+#include "search/common.hpp"
+#include "util/rng.hpp"
+
+namespace gaplan::search {
+
+struct RandomWalkConfig {
+  std::size_t max_steps = 100'000;  ///< total moves across all tries
+  std::size_t restart_every = 10'000;  ///< steps per walk before restarting
+};
+
+template <gaplan::ga::PlanningProblem P>
+SearchResult random_walk(const P& problem, const typename P::StateT& start,
+                         util::Rng& rng, const RandomWalkConfig& cfg = {},
+                         const SearchLimits& limits = {}) {
+  using State = typename P::StateT;
+  SearchResult result;
+  util::Timer timer;
+  std::vector<int> ops;
+
+  State current = start;
+  std::vector<int> plan;
+  for (std::size_t step = 0; step < cfg.max_steps; ++step) {
+    if (problem.is_goal(current)) {
+      result.found = true;
+      result.plan = std::move(plan);
+      result.cost = gaplan::ga::plan_cost(problem, start, result.plan);
+      result.seconds = timer.seconds();
+      return result;
+    }
+    if (timer.seconds() > limits.max_seconds) break;
+    if (cfg.restart_every > 0 && step > 0 && step % cfg.restart_every == 0) {
+      current = start;
+      plan.clear();
+    }
+    problem.valid_ops(current, ops);
+    if (ops.empty()) {
+      current = start;
+      plan.clear();
+      continue;
+    }
+    ++result.expanded;
+    const int op = ops[static_cast<std::size_t>(rng.below(ops.size()))];
+    plan.push_back(op);
+    problem.apply(current, op);
+    ++result.generated;
+  }
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace gaplan::search

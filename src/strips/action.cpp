@@ -1,0 +1,12 @@
+#include "strips/action.hpp"
+
+namespace gaplan::strips {
+
+Action::Action(std::string name, std::size_t universe_size, double cost)
+    : name_(std::move(name)),
+      cost_(cost),
+      pre_(universe_size),
+      add_(universe_size),
+      del_(universe_size) {}
+
+}  // namespace gaplan::strips

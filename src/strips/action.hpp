@@ -1,0 +1,52 @@
+// Ground STRIPS action: preconditions, add effects, delete effects, cost.
+//
+// Matches the paper's operation definition: "Each operation has three
+// attributes: a set of preconditions, a set of postconditions, and a cost."
+// Postconditions split into add/del lists as in classical STRIPS [Fikes &
+// Nilsson 1971].
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "strips/state.hpp"
+#include "strips/symbols.hpp"
+
+namespace gaplan::strips {
+
+class Action {
+ public:
+  /// Builds an action over a universe of `universe_size` atoms.
+  Action(std::string name, std::size_t universe_size, double cost = 1.0);
+
+  void add_precondition(AtomId a) { pre_.set(a); }
+  void add_add_effect(AtomId a) { add_.set(a); }
+  void add_delete_effect(AtomId a) { del_.set(a); }
+
+  const std::string& name() const noexcept { return name_; }
+  double cost() const noexcept { return cost_; }
+  void set_cost(double c) noexcept { cost_ = c; }
+
+  const State& preconditions() const noexcept { return pre_; }
+  const State& add_effects() const noexcept { return add_; }
+  const State& delete_effects() const noexcept { return del_; }
+
+  /// "An operation is valid if and only if its preconditions are a subset of
+  /// the current system state."
+  bool applicable(const State& s) const noexcept { return s.contains_all(pre_); }
+
+  /// result(s) = (s \ del) ∪ add. Precondition: applicable(s).
+  void apply(State& s) const noexcept {
+    s.set_difference(del_);
+    s.set_union(add_);
+  }
+
+ private:
+  std::string name_;
+  double cost_;
+  State pre_;
+  State add_;
+  State del_;
+};
+
+}  // namespace gaplan::strips

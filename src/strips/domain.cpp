@@ -1,0 +1,79 @@
+#include "strips/domain.hpp"
+
+namespace gaplan::strips {
+
+AtomId Domain::atom(std::string_view name) {
+  if (frozen_) {
+    const auto existing = symbols_.lookup(name);
+    if (!existing) {
+      throw std::logic_error("Domain::atom: universe frozen, unknown atom '" +
+                             std::string(name) + "'");
+    }
+    return *existing;
+  }
+  return symbols_.intern(name);
+}
+
+AtomId Domain::require_atom(std::string_view name) const {
+  const auto id = symbols_.lookup(name);
+  if (!id) {
+    throw std::invalid_argument("Domain: unknown atom '" + std::string(name) + "'");
+  }
+  return *id;
+}
+
+std::size_t Domain::freeze() {
+  frozen_ = true;
+  return symbols_.size();
+}
+
+std::size_t Domain::universe_size() const {
+  if (!frozen_) throw std::logic_error("Domain: universe_size before freeze()");
+  return symbols_.size();
+}
+
+std::size_t Domain::add_action(Action action) {
+  if (!frozen_) throw std::logic_error("Domain: add_action before freeze()");
+  if (action.preconditions().size() != universe_size()) {
+    throw std::invalid_argument("Domain: action '" + action.name() +
+                                "' built for a different universe size");
+  }
+  actions_.push_back(std::move(action));
+  return actions_.size() - 1;
+}
+
+std::string Domain::describe(const State& s) const {
+  std::string out = "{";
+  bool first = true;
+  for (std::size_t i = s.find_next(0); i < s.size(); i = s.find_next(i + 1)) {
+    if (!first) out += ", ";
+    out += symbols_.name(i);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+Problem::Problem(const Domain& domain, State initial, State goal)
+    : domain_(&domain),
+      initial_(std::move(initial)),
+      goal_(std::move(goal)),
+      goal_count_(goal_.count()) {
+  if (!domain.frozen()) {
+    throw std::logic_error("Problem: domain universe must be frozen");
+  }
+  if (initial_.size() != domain.universe_size() ||
+      goal_.size() != domain.universe_size()) {
+    throw std::invalid_argument("Problem: state size does not match universe");
+  }
+}
+
+void Problem::valid_ops(const State& s, std::vector<int>& out) const {
+  out.clear();
+  const auto& actions = domain_->actions();
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (actions[i].applicable(s)) out.push_back(static_cast<int>(i));
+  }
+}
+
+}  // namespace gaplan::strips

@@ -1,0 +1,107 @@
+// STRIPS domain and problem: the paper's four-tuple ⟨C, O, s_I, s_G⟩.
+//
+// Domain = atom universe C + ground operations O; Problem adds the initial
+// state s_I and (positive, conjunctive) goal s_G. Problem satisfies the
+// gaplan::ga::PlanningProblem concept so the GA planner and every baseline
+// search run on text-defined STRIPS domains unchanged.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "strips/action.hpp"
+#include "strips/state.hpp"
+#include "strips/symbols.hpp"
+
+namespace gaplan::strips {
+
+class Domain {
+ public:
+  /// Interns an atom name (callable until freeze()).
+  AtomId atom(std::string_view name);
+
+  /// Atom id lookup that throws on unknown names (for goals/initial states).
+  AtomId require_atom(std::string_view name) const;
+
+  /// Declares the atom universe closed and returns its size. Actions may only
+  /// be added after freeze() because they store universe-sized bitsets.
+  std::size_t freeze();
+  bool frozen() const noexcept { return frozen_; }
+  std::size_t universe_size() const;
+
+  /// Adds a ground action; returns its index in the operation set O.
+  std::size_t add_action(Action action);
+
+  const std::vector<Action>& actions() const noexcept { return actions_; }
+  const Action& action(std::size_t i) const { return actions_.at(i); }
+  const SymbolTable& symbols() const noexcept { return symbols_; }
+
+  /// Builds an empty state over the universe.
+  State make_state() const { return State(universe_size()); }
+
+  /// Renders a state as its atom-name set (debugging/tests).
+  std::string describe(const State& s) const;
+
+ private:
+  SymbolTable symbols_;
+  std::vector<Action> actions_;
+  bool frozen_ = false;
+};
+
+/// A concrete planning problem over a Domain. Satisfies PlanningProblem.
+class Problem {
+ public:
+  Problem(const Domain& domain, State initial, State goal);
+
+  using StateT = State;
+
+  // --- PlanningProblem concept surface -------------------------------------
+  State initial_state() const { return initial_; }
+
+  /// Fills `out` with the indices of applicable actions, in increasing index
+  /// order (the canonical order the indirect encoding maps genes onto).
+  void valid_ops(const State& s, std::vector<int>& out) const;
+
+  void apply(State& s, int op) const { domain_->action(static_cast<std::size_t>(op)).apply(s); }
+
+  double op_cost(const State&, int op) const {
+    return domain_->action(static_cast<std::size_t>(op)).cost();
+  }
+
+  std::string op_label(const State&, int op) const {
+    return domain_->action(static_cast<std::size_t>(op)).name();
+  }
+
+  /// Goal-count fitness: fraction of goal atoms satisfied, in [0, 1].
+  double goal_fitness(const State& s) const {
+    if (goal_count_ == 0) return 1.0;
+    return static_cast<double>(s.count_common(goal_)) /
+           static_cast<double>(goal_count_);
+  }
+
+  bool is_goal(const State& s) const { return s.contains_all(goal_); }
+
+  std::uint64_t hash(const State& s) const { return s.hash(); }
+  // --------------------------------------------------------------------------
+
+  const Domain& domain() const noexcept { return *domain_; }
+  const State& goal() const noexcept { return goal_; }
+
+  /// True iff `op` is applicable in `s` (used by the validator and the
+  /// direct-encoding decoder, which may select invalid operations).
+  bool op_applicable(const State& s, int op) const {
+    return domain_->action(static_cast<std::size_t>(op)).applicable(s);
+  }
+
+  std::size_t op_count() const noexcept { return domain_->actions().size(); }
+
+ private:
+  const Domain* domain_;  // non-owning; the Domain must outlive the Problem
+  State initial_;
+  State goal_;
+  std::size_t goal_count_;
+};
+
+}  // namespace gaplan::strips

@@ -1,0 +1,335 @@
+#include "strips/lifted.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace gaplan::strips {
+
+namespace {
+
+using sexpr::Node;
+using sexpr::NodeList;
+using sexpr::fail;
+using sexpr::head;
+
+// ---------------------------------------------------------------------------
+// Grounding
+// ---------------------------------------------------------------------------
+
+using Binding = std::unordered_map<std::string, std::string>;
+
+std::string instantiate(const SchemaAtom& atom, const Binding& binding) {
+  std::string name = atom.predicate;
+  for (const Term& t : atom.args) {
+    name += ' ';
+    if (t.is_variable) {
+      const auto it = binding.find(t.name);
+      if (it == binding.end()) {
+        throw std::invalid_argument("ground: unbound variable '" + t.name + "'");
+      }
+      name += it->second;
+    } else {
+      name += t.name;
+    }
+  }
+  return name;
+}
+
+void validate_schema(const ActionSchema& schema) {
+  std::unordered_set<std::string> params(schema.params.begin(),
+                                         schema.params.end());
+  if (params.size() != schema.params.size()) {
+    throw std::invalid_argument("ground: duplicate parameter in schema '" +
+                                schema.name + "'");
+  }
+  auto check_atoms = [&](const std::vector<SchemaAtom>& atoms) {
+    for (const auto& atom : atoms) {
+      for (const Term& t : atom.args) {
+        if (t.is_variable && !params.contains(t.name)) {
+          throw std::invalid_argument("ground: variable '" + t.name +
+                                      "' not a parameter of schema '" +
+                                      schema.name + "'");
+        }
+      }
+    }
+  };
+  check_atoms(schema.pre);
+  check_atoms(schema.add);
+  check_atoms(schema.del);
+  for (const auto& [x, y] : schema.distinct) {
+    if (!params.contains(x) || !params.contains(y)) {
+      throw std::invalid_argument("ground: distinct constraint on non-parameter "
+                                  "in schema '" + schema.name + "'");
+    }
+  }
+}
+
+struct GroundAction {
+  std::string name;
+  std::vector<std::string> pre, add, del;
+  double cost;
+};
+
+/// Enumerates all bindings of schema params to objects (with distinct
+/// constraints) and instantiates the schema.
+void enumerate_ground_actions(const ActionSchema& schema,
+                              const std::vector<std::string>& objects,
+                              std::vector<GroundAction>& out) {
+  validate_schema(schema);
+  Binding binding;
+  std::vector<std::size_t> choice(schema.params.size(), 0);
+
+  auto violates_distinct = [&]() {
+    for (const auto& [x, y] : schema.distinct) {
+      const auto ix = binding.find(x);
+      const auto iy = binding.find(y);
+      if (ix != binding.end() && iy != binding.end() && ix->second == iy->second) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  auto recurse = [&](auto&& self, std::size_t depth) -> void {
+    if (depth == schema.params.size()) {
+      GroundAction ga;
+      ga.name = schema.name;
+      for (const auto& p : schema.params) ga.name += ' ' + binding.at(p);
+      ga.cost = schema.cost;
+      for (const auto& a : schema.pre) ga.pre.push_back(instantiate(a, binding));
+      for (const auto& a : schema.add) ga.add.push_back(instantiate(a, binding));
+      for (const auto& a : schema.del) ga.del.push_back(instantiate(a, binding));
+      out.push_back(std::move(ga));
+      return;
+    }
+    for (const auto& obj : objects) {
+      binding[schema.params[depth]] = obj;
+      if (!violates_distinct()) self(self, depth + 1);
+    }
+    binding.erase(schema.params[depth]);
+  };
+  recurse(recurse, 0);
+}
+
+}  // namespace
+
+GroundResult ground(const LiftedDomain& lifted,
+                    const std::vector<LiftedProblem>& problems) {
+  // Union object universe across problems (deterministic order, deduplicated).
+  std::vector<std::string> objects;
+  std::unordered_set<std::string> seen;
+  for (const auto& p : problems) {
+    for (const auto& obj : p.objects) {
+      if (seen.insert(obj).second) objects.push_back(obj);
+    }
+  }
+  if (objects.empty()) {
+    throw std::invalid_argument("ground: no objects declared in any problem");
+  }
+
+  std::vector<GroundAction> ground_actions;
+  for (const auto& schema : lifted.schemas) {
+    enumerate_ground_actions(schema, objects, ground_actions);
+  }
+
+  GroundResult result;
+  result.domain = std::make_unique<Domain>();
+  auto& dom = *result.domain;
+  for (const auto& ga : ground_actions) {
+    for (const auto& a : ga.pre) dom.atom(a);
+    for (const auto& a : ga.add) dom.atom(a);
+    for (const auto& a : ga.del) dom.atom(a);
+  }
+  for (const auto& p : problems) {
+    for (const auto& a : p.init_atoms) dom.atom(a);
+    for (const auto& a : p.goal_atoms) dom.atom(a);
+  }
+  const std::size_t universe = dom.freeze();
+
+  for (const auto& ga : ground_actions) {
+    Action action(ga.name, universe, ga.cost);
+    for (const auto& a : ga.pre) action.add_precondition(dom.require_atom(a));
+    for (const auto& a : ga.add) action.add_add_effect(dom.require_atom(a));
+    for (const auto& a : ga.del) action.add_delete_effect(dom.require_atom(a));
+    dom.add_action(std::move(action));
+  }
+
+  for (const auto& p : problems) {
+    ParsedProblem parsed;
+    parsed.name = p.name;
+    parsed.initial = dom.make_state();
+    parsed.goal = dom.make_state();
+    for (const auto& a : p.init_atoms) parsed.initial.set(dom.require_atom(a));
+    for (const auto& a : p.goal_atoms) parsed.goal.set(dom.require_atom(a));
+    result.problems.push_back(std::move(parsed));
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Lifted text reader
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Term parse_term(const Node& n) {
+  if (!n.is_word()) fail(n, "schema atom terms must be words");
+  const std::string& w = n.word();
+  if (w.size() > 1 && w.front() == '?') {
+    return Term::variable(w);
+  }
+  return Term::constant(w);
+}
+
+SchemaAtom parse_schema_atom(const Node& n) {
+  if (n.is_word()) {
+    return SchemaAtom{n.word(), {}};  // propositional atom, e.g. (hand-free)
+  }
+  const auto& items = n.list();
+  if (items.empty() || !items.front().is_word()) fail(n, "bad schema atom");
+  SchemaAtom atom;
+  atom.predicate = items.front().word();
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    atom.args.push_back(parse_term(items[i]));
+  }
+  return atom;
+}
+
+std::vector<SchemaAtom> parse_schema_atoms(const Node& section) {
+  std::vector<SchemaAtom> atoms;
+  const auto& items = section.list();
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    atoms.push_back(parse_schema_atom(items[i]));
+  }
+  return atoms;
+}
+
+ActionSchema parse_schema(const Node& n) {
+  ActionSchema schema;
+  const auto& items = n.list();
+  if (items.size() < 2 || !items[1].is_word()) fail(n, "schema needs a name");
+  schema.name = items[1].word();
+  for (std::size_t i = 2; i < items.size(); ++i) {
+    const std::string& kw = head(items[i]);
+    const auto& section = items[i].list();
+    if (kw == "params") {
+      for (std::size_t k = 1; k < section.size(); ++k) {
+        if (!section[k].is_word() || section[k].word().front() != '?') {
+          fail(section[k], "params must be ?variables");
+        }
+        schema.params.push_back(section[k].word());
+      }
+    } else if (kw == "pre") {
+      schema.pre = parse_schema_atoms(items[i]);
+    } else if (kw == "add") {
+      schema.add = parse_schema_atoms(items[i]);
+    } else if (kw == "del") {
+      schema.del = parse_schema_atoms(items[i]);
+    } else if (kw == "distinct") {
+      if (section.size() != 3 || !section[1].is_word() || !section[2].is_word()) {
+        fail(items[i], "distinct needs exactly two variables");
+      }
+      schema.distinct.emplace_back(section[1].word(), section[2].word());
+    } else if (kw == "cost") {
+      if (section.size() != 2 || !section[1].is_word()) {
+        fail(items[i], "cost needs one number");
+      }
+      try {
+        schema.cost = std::stod(section[1].word());
+      } catch (const std::exception&) {
+        fail(section[1], "bad cost value");
+      }
+    } else {
+      fail(items[i], "unknown schema section '" + kw + "'");
+    }
+  }
+  return schema;
+}
+
+/// Ground atom name from a (pred obj ...) node (no variables allowed).
+std::string parse_ground_atom(const Node& n) {
+  if (n.is_word()) {
+    if (n.word().front() == '?') fail(n, "variables not allowed here");
+    return n.word();
+  }
+  std::string name;
+  for (const auto& part : n.list()) {
+    if (!part.is_word()) fail(part, "atom terms must be words");
+    if (part.word().front() == '?') fail(part, "variables not allowed here");
+    if (!name.empty()) name += ' ';
+    name += part.word();
+  }
+  if (name.empty()) fail(n, "empty atom");
+  return name;
+}
+
+}  // namespace
+
+LiftedParseResult parse_lifted(std::string_view text) {
+  const NodeList top = sexpr::parse(text);
+  LiftedParseResult result;
+  bool saw_domain = false;
+
+  for (const Node& n : top) {
+    const std::string& kw = head(n);
+    if (kw == "domain") {
+      if (saw_domain) fail(n, "multiple (domain ...) blocks");
+      saw_domain = true;
+      const auto& items = n.list();
+      if (items.size() < 2 || !items[1].is_word()) fail(n, "domain needs a name");
+      result.domain.name = items[1].word();
+      for (std::size_t i = 2; i < items.size(); ++i) {
+        const std::string& sec = head(items[i]);
+        if (sec == "schema") {
+          result.domain.schemas.push_back(parse_schema(items[i]));
+        } else {
+          fail(items[i], "unknown lifted domain section '" + sec + "'");
+        }
+      }
+    } else if (kw == "problem") {
+      const auto& items = n.list();
+      if (items.size() < 2 || !items[1].is_word()) fail(n, "problem needs a name");
+      LiftedProblem p;
+      p.name = items[1].word();
+      for (std::size_t i = 2; i < items.size(); ++i) {
+        const std::string& sec = head(items[i]);
+        const auto& section = items[i].list();
+        if (sec == "objects") {
+          for (std::size_t k = 1; k < section.size(); ++k) {
+            if (!section[k].is_word()) fail(section[k], "objects must be words");
+            p.objects.push_back(section[k].word());
+          }
+        } else if (sec == "init") {
+          for (std::size_t k = 1; k < section.size(); ++k) {
+            p.init_atoms.push_back(parse_ground_atom(section[k]));
+          }
+        } else if (sec == "goal") {
+          for (std::size_t k = 1; k < section.size(); ++k) {
+            p.goal_atoms.push_back(parse_ground_atom(section[k]));
+          }
+        } else {
+          fail(items[i], "unknown problem section '" + sec + "'");
+        }
+      }
+      result.problems.push_back(std::move(p));
+    } else {
+      fail(n, "expected (domain ...) or (problem ...), got '" + kw + "'");
+    }
+  }
+  if (!saw_domain) throw ParseError("no (domain ...) block found", 1, 1);
+  return result;
+}
+
+LiftedParseResult parse_lifted_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("parse_lifted_file: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_lifted(buffer.str());
+}
+
+}  // namespace gaplan::strips

@@ -1,0 +1,108 @@
+// Lifted STRIPS: parameterised action schemas over a finite object universe,
+// ground-instantiated into the paper's four-tuple representation.
+//
+// The paper's operation descriptions live at the schema level ("the
+// description of each program includes a set of pre-conditions ..."); this
+// module is the substrate that turns "move(?disk, ?from, ?to)"-style schemas
+// plus an object list into the ground operation set O the planner searches.
+//
+// Text syntax (shares the s-expression reader):
+//
+//   (domain gripper
+//     (schema pick
+//       (params ?ball ?room)
+//       (pre (at ?ball ?room) (robot-at ?room) (hand-free))
+//       (add (holding ?ball))
+//       (del (at ?ball ?room) (hand-free))
+//       (cost 1)))
+//   (problem p
+//     (objects b1 b2 roomA roomB)
+//     (init (at b1 roomA) ...)
+//     (goal (at b1 roomB)))
+//
+// Variables start with '?'. A (distinct ?x ?y) section forbids bindings that
+// assign both variables the same object. Grounding is over all object
+// tuples; atoms never mentioned by any ground action, the initial state, or
+// the goal do not exist.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "strips/domain.hpp"
+#include "strips/reader.hpp"  // ParsedProblem
+#include "strips/sexpr.hpp"
+
+namespace gaplan::strips {
+
+/// A schema-level term: either a variable (leading '?') or a constant.
+struct Term {
+  bool is_variable = false;
+  std::string name;
+
+  static Term variable(std::string n) { return {true, std::move(n)}; }
+  static Term constant(std::string n) { return {false, std::move(n)}; }
+  bool operator==(const Term&) const = default;
+};
+
+/// predicate applied to terms, e.g. (on ?x ?y).
+struct SchemaAtom {
+  std::string predicate;
+  std::vector<Term> args;
+};
+
+/// A parameterised action.
+struct ActionSchema {
+  std::string name;
+  std::vector<std::string> params;  ///< variable names, binding order
+  std::vector<SchemaAtom> pre, add, del;
+  std::vector<std::pair<std::string, std::string>> distinct;  ///< ?x != ?y
+  double cost = 1.0;
+};
+
+/// A lifted domain: schemas + the object universe to ground over.
+struct LiftedDomain {
+  std::string name;
+  std::vector<ActionSchema> schemas;
+};
+
+struct LiftedProblem {
+  std::string name;
+  std::vector<std::string> objects;
+  std::vector<std::string> init_atoms;  ///< ground atom names ("at b1 roomA")
+  std::vector<std::string> goal_atoms;
+};
+
+/// Result of grounding: a ground Domain plus the instantiated problems.
+struct GroundResult {
+  std::unique_ptr<Domain> domain;
+  std::vector<ParsedProblem> problems;
+
+  Problem problem(std::size_t i = 0) const {
+    const auto& p = problems.at(i);
+    return Problem(*domain, p.initial, p.goal);
+  }
+};
+
+/// Grounds `lifted` over each problem's objects. All problems must share one
+/// object universe (the union is used). Throws std::invalid_argument on
+/// schema errors (unbound variables, bad distinct constraints).
+GroundResult ground(const LiftedDomain& lifted,
+                    const std::vector<LiftedProblem>& problems);
+
+struct LiftedParseResult {
+  LiftedDomain domain;
+  std::vector<LiftedProblem> problems;
+
+  GroundResult grounded() const { return ground(domain, problems); }
+};
+
+/// Parses the lifted text format. Throws ParseError.
+LiftedParseResult parse_lifted(std::string_view text);
+
+/// File convenience wrapper.
+LiftedParseResult parse_lifted_file(const std::string& path);
+
+}  // namespace gaplan::strips

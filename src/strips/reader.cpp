@@ -1,0 +1,169 @@
+#include "strips/reader.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "strips/sexpr.hpp"
+
+namespace gaplan::strips {
+
+namespace {
+
+using sexpr::Node;
+using sexpr::NodeList;
+using sexpr::fail;
+using sexpr::head;
+
+/// An atom node is either a bare word or a list of words; its canonical name
+/// joins the words with spaces, e.g. (on d1 a) -> "on d1 a".
+std::string atom_name(const Node& n) {
+  if (n.is_word()) return n.word();
+  std::string name;
+  for (const auto& part : n.list()) {
+    if (!part.is_word()) fail(part, "atom terms must be words");
+    if (!name.empty()) name += ' ';
+    name += part.word();
+  }
+  if (name.empty()) fail(n, "empty atom");
+  return name;
+}
+
+struct RawAction {
+  std::string name;
+  std::vector<std::string> pre, add, del;
+  double cost = 1.0;
+};
+
+std::vector<std::string> atom_list(const Node& section) {
+  std::vector<std::string> atoms;
+  const auto& items = section.list();
+  for (std::size_t i = 1; i < items.size(); ++i) atoms.push_back(atom_name(items[i]));
+  return atoms;
+}
+
+RawAction interpret_action(const Node& n) {
+  RawAction a;
+  const auto& items = n.list();
+  if (items.size() < 2 || !items[1].is_word()) fail(n, "action needs a name");
+  a.name = items[1].word();
+  for (std::size_t i = 2; i < items.size(); ++i) {
+    const std::string& kw = head(items[i]);
+    if (kw == "pre") {
+      a.pre = atom_list(items[i]);
+    } else if (kw == "add") {
+      a.add = atom_list(items[i]);
+    } else if (kw == "del") {
+      a.del = atom_list(items[i]);
+    } else if (kw == "cost") {
+      const auto& cl = items[i].list();
+      if (cl.size() != 2 || !cl[1].is_word()) fail(items[i], "cost needs one number");
+      try {
+        a.cost = std::stod(cl[1].word());
+      } catch (const std::exception&) {
+        fail(cl[1], "bad cost value '" + cl[1].word() + "'");
+      }
+    } else {
+      fail(items[i], "unknown action section '" + kw + "'");
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+ParseResult parse_strips(std::string_view text) {
+  const NodeList top = sexpr::parse(text);
+
+  ParseResult result;
+  result.domain = std::make_unique<Domain>();
+  std::vector<RawAction> raw_actions;
+  struct RawProblem {
+    std::string name;
+    std::vector<std::string> init, goal;
+  };
+  std::vector<RawProblem> raw_problems;
+
+  bool saw_domain = false;
+  for (const Node& n : top) {
+    const std::string& kw = head(n);
+    if (kw == "domain") {
+      if (saw_domain) fail(n, "multiple (domain ...) blocks");
+      saw_domain = true;
+      const auto& items = n.list();
+      if (items.size() < 2 || !items[1].is_word()) fail(n, "domain needs a name");
+      result.domain_name = items[1].word();
+      for (std::size_t i = 2; i < items.size(); ++i) {
+        const std::string& sec = head(items[i]);
+        if (sec == "action") {
+          raw_actions.push_back(interpret_action(items[i]));
+        } else if (sec == "atoms") {
+          for (const auto& a : atom_list(items[i])) result.domain->atom(a);
+        } else {
+          fail(items[i], "unknown domain section '" + sec + "'");
+        }
+      }
+    } else if (kw == "problem") {
+      const auto& items = n.list();
+      if (items.size() < 2 || !items[1].is_word()) fail(n, "problem needs a name");
+      RawProblem p;
+      p.name = items[1].word();
+      for (std::size_t i = 2; i < items.size(); ++i) {
+        const std::string& sec = head(items[i]);
+        if (sec == "init") {
+          p.init = atom_list(items[i]);
+        } else if (sec == "goal") {
+          p.goal = atom_list(items[i]);
+        } else {
+          fail(items[i], "unknown problem section '" + sec + "'");
+        }
+      }
+      raw_problems.push_back(std::move(p));
+    } else {
+      fail(n, "expected (domain ...) or (problem ...), got '" + kw + "'");
+    }
+  }
+  if (!saw_domain) {
+    throw ParseError("no (domain ...) block found", 1, 1);
+  }
+
+  // Intern every atom mentioned anywhere, then freeze the universe.
+  for (const auto& a : raw_actions) {
+    for (const auto& s : a.pre) result.domain->atom(s);
+    for (const auto& s : a.add) result.domain->atom(s);
+    for (const auto& s : a.del) result.domain->atom(s);
+  }
+  for (const auto& p : raw_problems) {
+    for (const auto& s : p.init) result.domain->atom(s);
+    for (const auto& s : p.goal) result.domain->atom(s);
+  }
+  const std::size_t universe = result.domain->freeze();
+
+  for (const auto& raw : raw_actions) {
+    Action action(raw.name, universe, raw.cost);
+    for (const auto& s : raw.pre) action.add_precondition(result.domain->require_atom(s));
+    for (const auto& s : raw.add) action.add_add_effect(result.domain->require_atom(s));
+    for (const auto& s : raw.del) action.add_delete_effect(result.domain->require_atom(s));
+    result.domain->add_action(std::move(action));
+  }
+
+  for (const auto& raw : raw_problems) {
+    ParsedProblem p;
+    p.name = raw.name;
+    p.initial = result.domain->make_state();
+    p.goal = result.domain->make_state();
+    for (const auto& s : raw.init) p.initial.set(result.domain->require_atom(s));
+    for (const auto& s : raw.goal) p.goal.set(result.domain->require_atom(s));
+    result.problems.push_back(std::move(p));
+  }
+  return result;
+}
+
+ParseResult parse_strips_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("parse_strips_file: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_strips(buffer.str());
+}
+
+}  // namespace gaplan::strips

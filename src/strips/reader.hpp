@@ -1,0 +1,54 @@
+// Text reader for STRIPS domains/problems, using a small s-expression syntax
+// (a PDDL-flavoured ground subset):
+//
+//   (domain hanoi3
+//     (action move-d1-a-b
+//       (pre  (clear d1) (on d1 a) (top a d1))   ; atom = (word word ...)
+//       (add  (on d1 b))
+//       (del  (on d1 a))
+//       (cost 1.0)))
+//   (problem start
+//     (init (on d1 a) (on d2 a))
+//     (goal (on d1 b)))
+//
+// Atoms are interned on first mention; a bare word is also accepted as an
+// atom. The reader returns the Domain plus every (problem ...) block found.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "strips/domain.hpp"
+#include "strips/sexpr.hpp"
+
+namespace gaplan::strips {
+
+struct ParsedProblem {
+  std::string name;
+  State initial;
+  State goal;
+};
+
+struct ParseResult {
+  // unique_ptr keeps Problem's non-owning Domain pointer stable.
+  std::unique_ptr<Domain> domain;
+  std::string domain_name;
+  std::vector<ParsedProblem> problems;
+
+  /// Builds a Problem view over the parsed domain.
+  Problem problem(std::size_t i = 0) const {
+    const auto& p = problems.at(i);
+    return Problem(*domain, p.initial, p.goal);
+  }
+};
+
+/// Parses one domain (and its problems) from `text`. Throws ParseError.
+ParseResult parse_strips(std::string_view text);
+
+/// Convenience: reads a file then parses it. Throws std::runtime_error on I/O
+/// failure and ParseError on syntax errors.
+ParseResult parse_strips_file(const std::string& path);
+
+}  // namespace gaplan::strips

@@ -1,0 +1,124 @@
+#include "strips/sexpr.hpp"
+
+#include <cctype>
+
+namespace gaplan::strips::sexpr {
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  struct Token {
+    enum class Kind { kLParen, kRParen, kWord, kEnd } kind;
+    std::string word;
+    std::size_t line;
+    std::size_t column;
+  };
+
+  Token next() {
+    skip_space_and_comments();
+    const Token base{Token::Kind::kEnd, "", line_, col_};
+    if (pos_ >= text_.size()) return base;
+    const char c = text_[pos_];
+    if (c == '(') {
+      advance();
+      return {Token::Kind::kLParen, "(", base.line, base.column};
+    }
+    if (c == ')') {
+      advance();
+      return {Token::Kind::kRParen, ")", base.line, base.column};
+    }
+    std::string word;
+    while (pos_ < text_.size() &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_])) &&
+           text_[pos_] != '(' && text_[pos_] != ')' && text_[pos_] != ';') {
+      word += text_[pos_];
+      advance();
+    }
+    return {Token::Kind::kWord, std::move(word), base.line, base.column};
+  }
+
+ private:
+  void advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  void skip_space_and_comments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == ';') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t col_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lexer_(text) { tok_ = lexer_.next(); }
+
+  NodeList parse_all() {
+    NodeList nodes;
+    while (tok_.kind != Lexer::Token::Kind::kEnd) nodes.push_back(parse_node());
+    return nodes;
+  }
+
+ private:
+  Node parse_node() {
+    using Kind = Lexer::Token::Kind;
+    if (tok_.kind == Kind::kWord) {
+      Node n{tok_.word, tok_.line, tok_.column};
+      tok_ = lexer_.next();
+      return n;
+    }
+    if (tok_.kind == Kind::kLParen) {
+      const std::size_t line = tok_.line, col = tok_.column;
+      tok_ = lexer_.next();
+      NodeList children;
+      while (tok_.kind != Kind::kRParen) {
+        if (tok_.kind == Kind::kEnd) throw ParseError("unterminated list", line, col);
+        children.push_back(parse_node());
+      }
+      tok_ = lexer_.next();  // consume ')'
+      return Node{std::move(children), line, col};
+    }
+    throw ParseError("unexpected ')'", tok_.line, tok_.column);
+  }
+
+  Lexer lexer_;
+  Lexer::Token tok_;
+};
+
+}  // namespace
+
+NodeList parse(std::string_view text) { return Parser(text).parse_all(); }
+
+void fail(const Node& n, const std::string& msg) {
+  throw ParseError(msg, n.line, n.column);
+}
+
+const std::string& head(const Node& n) {
+  if (n.is_word() || n.list().empty() || !n.list().front().is_word()) {
+    fail(n, "expected a (keyword ...) list");
+  }
+  return n.list().front().word();
+}
+
+}  // namespace gaplan::strips::sexpr

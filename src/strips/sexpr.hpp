@@ -1,0 +1,56 @@
+// Minimal s-expression parser shared by the ground and lifted STRIPS readers.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace gaplan::strips {
+
+/// Parse failure with 1-based line/column of the offending token.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& msg, std::size_t line, std::size_t column)
+      : std::runtime_error(msg + " (line " + std::to_string(line) + ", col " +
+                           std::to_string(column) + ")"),
+        line_(line),
+        column_(column) {}
+
+  std::size_t line() const noexcept { return line_; }
+  std::size_t column() const noexcept { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+namespace sexpr {
+
+struct Node;
+using NodeList = std::vector<Node>;
+
+/// Either a bare word or a parenthesised list, with source position.
+struct Node {
+  std::variant<std::string, NodeList> value;
+  std::size_t line = 0;
+  std::size_t column = 0;
+
+  bool is_word() const { return std::holds_alternative<std::string>(value); }
+  const std::string& word() const { return std::get<std::string>(value); }
+  const NodeList& list() const { return std::get<NodeList>(value); }
+};
+
+/// Parses every top-level form in `text`. `;` comments run to end of line.
+/// Throws ParseError on malformed input.
+NodeList parse(std::string_view text);
+
+/// Error helper: throws ParseError anchored at `n`.
+[[noreturn]] void fail(const Node& n, const std::string& msg);
+
+/// First word of a (keyword ...) list; fails otherwise.
+const std::string& head(const Node& n);
+
+}  // namespace sexpr
+}  // namespace gaplan::strips

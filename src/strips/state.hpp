@@ -1,0 +1,10 @@
+// STRIPS state: the set of ground atoms that currently hold.
+#pragma once
+
+#include "util/bitset.hpp"
+
+namespace gaplan::strips {
+
+using State = util::DynamicBitset;
+
+}  // namespace gaplan::strips

@@ -1,0 +1,20 @@
+#include "strips/symbols.hpp"
+
+namespace gaplan::strips {
+
+AtomId SymbolTable::intern(std::string_view name) {
+  const auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  const AtomId id = names_.size();
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<AtomId> SymbolTable::lookup(std::string_view name) const {
+  const auto it = index_.find(std::string(name));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace gaplan::strips

@@ -1,0 +1,38 @@
+// Interned symbol table mapping ground-atom names to dense indices.
+//
+// The paper defines a planning problem over "a finite set of ground atomic
+// conditions" C; we give each atom a dense id so states are bitsets over
+// [0, |C|) and actions are three bitsets (pre/add/del).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gaplan::strips {
+
+/// Dense atom identifier (index into the universe).
+using AtomId = std::size_t;
+
+class SymbolTable {
+ public:
+  /// Returns the id for `name`, interning it on first use.
+  AtomId intern(std::string_view name);
+
+  /// Returns the id for `name` if already interned.
+  std::optional<AtomId> lookup(std::string_view name) const;
+
+  /// Name for an id; precondition: id < size().
+  const std::string& name(AtomId id) const { return names_.at(id); }
+
+  std::size_t size() const noexcept { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, AtomId> index_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace gaplan::strips

@@ -1,0 +1,35 @@
+#include "strips/validator.hpp"
+
+namespace gaplan::strips {
+
+ValidationResult validate_plan(const Problem& problem, const std::vector<int>& plan) {
+  ValidationResult r;
+  State s = problem.initial_state();
+  r.first_invalid = plan.size();
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const int op = plan[i];
+    if (op < 0 || static_cast<std::size_t>(op) >= problem.op_count() ||
+        !problem.op_applicable(s, op)) {
+      r.first_invalid = i;
+      r.final_state = s;
+      r.goal_reached = problem.is_goal(s);
+      r.valid = false;
+      r.message = "step " + std::to_string(i) + " (" +
+                  (op >= 0 && static_cast<std::size_t>(op) < problem.op_count()
+                       ? problem.domain().action(static_cast<std::size_t>(op)).name()
+                       : std::string("<bad index>")) +
+                  ") is not applicable";
+      return r;
+    }
+    r.total_cost += problem.op_cost(s, op);
+    problem.apply(s, op);
+  }
+  r.final_state = s;
+  r.goal_reached = problem.is_goal(s);
+  r.valid = r.goal_reached;
+  r.message = r.valid ? "valid plan"
+                      : "all steps applicable but goal not reached";
+  return r;
+}
+
+}  // namespace gaplan::strips

@@ -1,0 +1,26 @@
+// Plan validator: checks the paper's definition of a solution — every
+// operation valid in the state where it executes, and the final state
+// satisfying the goal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "strips/domain.hpp"
+
+namespace gaplan::strips {
+
+struct ValidationResult {
+  bool valid = false;            ///< every step applicable AND goal reached
+  bool goal_reached = false;     ///< final state ⊇ goal
+  std::size_t first_invalid = 0; ///< index of first inapplicable step (or length)
+  double total_cost = 0.0;       ///< cost of the applicable prefix
+  State final_state;             ///< state after the applicable prefix
+  std::string message;           ///< human-readable verdict
+};
+
+/// Validates `plan` (action indices into the problem's domain) from the
+/// problem's initial state. Execution stops at the first invalid step.
+ValidationResult validate_plan(const Problem& problem, const std::vector<int>& plan);
+
+}  // namespace gaplan::strips

@@ -1,0 +1,91 @@
+#include "util/bitset.hpp"
+
+#include <bit>
+
+namespace gaplan::util {
+
+std::size_t DynamicBitset::count() const noexcept {
+  std::size_t n = 0;
+  for (const auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool DynamicBitset::contains_all(const DynamicBitset& other) const noexcept {
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((other.words_[i] & ~words_[i]) != 0) return false;
+  }
+  for (std::size_t i = n; i < other.words_.size(); ++i) {
+    if (other.words_[i] != 0) return false;
+  }
+  return true;
+}
+
+bool DynamicBitset::intersects(const DynamicBitset& other) const noexcept {
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+std::size_t DynamicBitset::count_common(const DynamicBitset& other) const noexcept {
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    c += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
+  }
+  return c;
+}
+
+void DynamicBitset::set_union(const DynamicBitset& other) noexcept {
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i) words_[i] |= other.words_[i];
+}
+
+void DynamicBitset::set_difference(const DynamicBitset& other) noexcept {
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i) words_[i] &= ~other.words_[i];
+}
+
+std::uint64_t DynamicBitset::hash() const noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const auto w : words_) {
+    h ^= w;
+    h *= 0x100000001B3ULL;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+std::string DynamicBitset::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for (std::size_t i = find_next(0); i < nbits_; i = find_next(i + 1)) {
+    if (!first) out += ", ";
+    out += std::to_string(i);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+std::size_t DynamicBitset::find_next(std::size_t from) const noexcept {
+  if (from >= nbits_) return nbits_;
+  std::size_t word = from / kWordBits;
+  std::uint64_t w = words_[word] >> (from % kWordBits);
+  if (w != 0) {
+    const std::size_t bit = from + static_cast<std::size_t>(std::countr_zero(w));
+    return bit < nbits_ ? bit : nbits_;
+  }
+  for (++word; word < words_.size(); ++word) {
+    if (words_[word] != 0) {
+      const std::size_t bit =
+          word * kWordBits + static_cast<std::size_t>(std::countr_zero(words_[word]));
+      return bit < nbits_ ? bit : nbits_;
+    }
+  }
+  return nbits_;
+}
+
+}  // namespace gaplan::util

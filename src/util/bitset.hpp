@@ -1,0 +1,78 @@
+// Dynamic bitset used as the STRIPS state representation.
+//
+// A planning state is "the set of ground atomic conditions that currently
+// hold" (paper §1's four-tuple), i.e. a subset of a fixed atom universe. A
+// packed word array gives O(atoms/64) apply/subset tests and a cheap hash,
+// which dominates GA decode throughput.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gaplan::util {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  /// Creates a bitset of `nbits` bits, all clear.
+  explicit DynamicBitset(std::size_t nbits)
+      : nbits_(nbits), words_((nbits + kWordBits - 1) / kWordBits, 0) {}
+
+  std::size_t size() const noexcept { return nbits_; }
+  bool empty() const noexcept { return nbits_ == 0; }
+
+  bool test(std::size_t i) const noexcept {
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1ULL;
+  }
+  void set(std::size_t i) noexcept { words_[i / kWordBits] |= 1ULL << (i % kWordBits); }
+  void reset(std::size_t i) noexcept { words_[i / kWordBits] &= ~(1ULL << (i % kWordBits)); }
+  void assign(std::size_t i, bool v) noexcept { v ? set(i) : reset(i); }
+  void clear() noexcept { for (auto& w : words_) w = 0; }
+
+  /// Number of set bits.
+  std::size_t count() const noexcept;
+
+  /// True if every bit set in `other` is also set here (other ⊆ this).
+  bool contains_all(const DynamicBitset& other) const noexcept;
+
+  /// True if this and `other` share at least one set bit.
+  bool intersects(const DynamicBitset& other) const noexcept;
+
+  /// Number of bits set in `other` that are also set here (|this ∩ other|).
+  std::size_t count_common(const DynamicBitset& other) const noexcept;
+
+  /// this |= other  (add-effects application).
+  void set_union(const DynamicBitset& other) noexcept;
+  /// this &= ~other (delete-effects application).
+  void set_difference(const DynamicBitset& other) noexcept;
+
+  bool operator==(const DynamicBitset& rhs) const noexcept {
+    return nbits_ == rhs.nbits_ && words_ == rhs.words_;
+  }
+
+  /// 64-bit FNV-1a-style hash over the packed words.
+  std::uint64_t hash() const noexcept;
+
+  /// "{0, 3, 17}"-style rendering of the set-bit indices (debugging/tests).
+  std::string to_string() const;
+
+  /// Index of the first set bit at or after `from`, or size() if none.
+  std::size_t find_next(std::size_t from) const noexcept;
+
+ private:
+  static constexpr std::size_t kWordBits = 64;
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace gaplan::util
+
+template <>
+struct std::hash<gaplan::util::DynamicBitset> {
+  std::size_t operator()(const gaplan::util::DynamicBitset& b) const noexcept {
+    return static_cast<std::size_t>(b.hash());
+  }
+};

@@ -1,0 +1,37 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace gaplan::util {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> headers)
+    : path_(path), out_(path), arity_(headers.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  add_row(headers);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  if (cells.size() != arity_) {
+    throw std::invalid_argument("CsvWriter: expected " + std::to_string(arity_) +
+                                " cells, got " + std::to_string(cells.size()));
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (const char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace gaplan::util

@@ -1,0 +1,30 @@
+// CSV writer for experiment data exports (one file per table/figure so that
+// downstream plotting does not have to scrape bench stdout).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace gaplan::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on I/O error.
+  CsvWriter(const std::string& path, std::vector<std::string> headers);
+
+  /// Appends one data row; must match the header arity.
+  void add_row(const std::vector<std::string>& cells);
+
+  /// RFC-4180 quoting for cells containing commas/quotes/newlines.
+  static std::string escape(const std::string& cell);
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t arity_;
+};
+
+}  // namespace gaplan::util

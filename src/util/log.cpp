@@ -1,0 +1,55 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "util/env.hpp"
+
+namespace gaplan::util {
+
+namespace {
+
+LogLevel parse_level(const std::string& s) {
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  if (s == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level{
+      static_cast<int>(parse_level(env_str("GAPLAN_LOG", "warn")))};
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(level_storage().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) noexcept {
+  level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log_line(LogLevel level, const std::string& msg) {
+  static std::mutex mu;
+  std::lock_guard lock(mu);
+  std::fprintf(stderr, "[gaplan %s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace gaplan::util

@@ -1,0 +1,64 @@
+// Streaming and batch descriptive statistics for the benchmark harnesses.
+//
+// Every table in EXPERIMENTS.md reports means over replicated GA runs; Welford
+// accumulation keeps those numerically stable without storing samples, while
+// Summary offers median/min/max for the ablation benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gaplan::util {
+
+/// Welford online mean/variance accumulator.
+class RunningStat {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  /// Merges another accumulator (parallel reduction; Chan et al.).
+  void merge(const RunningStat& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a sample vector.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p25 = 0.0;
+  double p75 = 0.0;
+};
+
+/// Computes a five-number-style summary. The input is copied (sorted inside).
+Summary summarize(std::vector<double> samples);
+
+/// Linear-interpolated percentile of a *sorted* sample, q in [0, 1].
+double percentile_sorted(const std::vector<double>& sorted, double q) noexcept;
+
+}  // namespace gaplan::util

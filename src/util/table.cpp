@@ -1,0 +1,55 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace gaplan::util {
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table::add_row: expected " +
+                                std::to_string(headers_.size()) + " cells, got " +
+                                std::to_string(cells.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::integer(long long v) { return std::to_string(v); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    out += "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += " ";
+      out += row[c];
+      out.append(widths[c] - row[c].size(), ' ');
+      out += " |";
+    }
+    out += "\n";
+  };
+  std::string out;
+  emit_row(headers_, out);
+  out += "|";
+  for (const auto w : widths) {
+    out.append(w + 2, '-');
+    out += "|";
+  }
+  out += "\n";
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+}  // namespace gaplan::util

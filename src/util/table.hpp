@@ -1,0 +1,31 @@
+// Minimal ASCII table renderer so the bench binaries can print rows in the
+// same layout as the paper's Tables 1-5.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gaplan::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  /// Appends one row; the cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string num(double v, int precision = 3);
+  static std::string integer(long long v);
+
+  /// Renders the table with a header separator and column alignment.
+  std::string render() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gaplan::util

@@ -1,0 +1,72 @@
+// Fixed-size worker pool with a blocking task queue and a structured
+// parallel_for helper.
+//
+// Following the C++ Core Guidelines concurrency rules: the pool owns its
+// threads (RAII, joined in the destructor — CP.23/CP.25), tasks communicate
+// only through the queue and returned futures (CP.2: no data races), and
+// callers never see raw threads.
+//
+// On a single hardware thread (this repro environment) parallel_for degrades
+// to a serial loop with zero queueing overhead, so benchmarks stay honest.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gaplan::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the future resolves with its result (or exception).
+  template <typename F>
+  std::future<std::invoke_result_t<F>> submit(F&& fn) {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs fn(i) for i in [begin, end), blocking until all complete. Work is
+  /// split into contiguous chunks, one per worker. Exceptions propagate (the
+  /// first one thrown rethrows here). With <= 1 worker, runs serially on the
+  /// calling thread so results are identical and deterministic.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool sized to hardware concurrency; created on first use.
+ThreadPool& global_pool();
+
+}  // namespace gaplan::util

@@ -1,0 +1,26 @@
+// Monotonic wall-clock stopwatch used by the table harnesses (Table 4 reports
+// average seconds per run).
+#pragma once
+
+#include <chrono>
+
+namespace gaplan::util {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gaplan::util

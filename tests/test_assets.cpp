@@ -1,0 +1,85 @@
+// The shipped STRIPS domain files under assets/: they must parse, ground, and
+// be solvable by both a baseline search and the GA planner.
+#include <gtest/gtest.h>
+
+#include "core/multiphase.hpp"
+#include "search/bfs.hpp"
+#include "strips/lifted.hpp"
+#include "strips/reader.hpp"
+#include "strips/validator.hpp"
+
+namespace {
+
+using namespace gaplan;
+
+std::string asset(const std::string& name) {
+  return std::string(GAPLAN_ASSET_DIR) + "/" + name;
+}
+
+ga::GaConfig planner_config() {
+  ga::GaConfig cfg;
+  cfg.population_size = 100;
+  cfg.generations = 60;
+  cfg.phases = 4;
+  cfg.initial_length = 10;
+  cfg.max_length = 60;
+  cfg.crossover = ga::CrossoverKind::kMixed;
+  return cfg;
+}
+
+TEST(Assets, GripperParsesAndGrounds) {
+  const auto parsed = strips::parse_lifted_file(asset("gripper.strips"));
+  EXPECT_EQ(parsed.domain.name, "gripper");
+  EXPECT_EQ(parsed.domain.schemas.size(), 3u);
+  const auto grounded = parsed.grounded();
+  EXPECT_GT(grounded.domain->actions().size(), 0u);
+}
+
+TEST(Assets, GripperSolvableByBfsAndGa) {
+  const auto grounded = strips::parse_lifted_file(asset("gripper.strips")).grounded();
+  const auto problem = grounded.problem(0);
+  const auto optimal = search::bfs(problem, problem.initial_state());
+  ASSERT_TRUE(optimal.found);
+  // pick b1, move, drop, move back, pick b2, move, drop = 7 steps.
+  EXPECT_EQ(optimal.plan.size(), 7u);
+
+  const auto result = ga::run_multiphase(problem, planner_config(), 1);
+  ASSERT_TRUE(result.valid);
+  EXPECT_TRUE(strips::validate_plan(problem, result.plan).valid);
+  EXPECT_GE(result.plan.size(), optimal.plan.size());
+}
+
+TEST(Assets, FerryParsesWithCosts) {
+  const auto parsed = strips::parse_strips_file(asset("ferry.strips"));
+  EXPECT_EQ(parsed.domain_name, "ferry");
+  EXPECT_EQ(parsed.domain->actions().size(), 6u);
+  // Sailing costs 5, everything else 1.
+  double max_cost = 0;
+  for (const auto& a : parsed.domain->actions()) max_cost = std::max(max_cost, a.cost());
+  EXPECT_DOUBLE_EQ(max_cost, 5.0);
+}
+
+TEST(Assets, FerrySolvableByGa) {
+  const auto parsed = strips::parse_strips_file(asset("ferry.strips"));
+  const auto problem = parsed.problem(0);
+  const auto result = ga::run_multiphase(problem, planner_config(), 2);
+  ASSERT_TRUE(result.valid);
+  const auto verdict = strips::validate_plan(problem, result.plan);
+  EXPECT_TRUE(verdict.valid);
+  // Minimum: sail to left (5), board (1), sail right (5), debark (1) = 12.
+  EXPECT_GE(verdict.total_cost, 12.0);
+}
+
+TEST(Assets, BlocksInversionSolvable) {
+  const auto grounded = strips::parse_lifted_file(asset("blocks.strips")).grounded();
+  const auto problem = grounded.problem(0);
+  const auto optimal = search::bfs(problem, problem.initial_state());
+  ASSERT_TRUE(optimal.found);
+  EXPECT_EQ(optimal.plan.size(), 4u);  // unstack a b, unstack b c, stack b a, stack c b
+
+  const auto result = ga::run_multiphase(problem, planner_config(), 3);
+  ASSERT_TRUE(result.valid);
+  EXPECT_TRUE(strips::validate_plan(problem, result.plan).valid);
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+#include "util/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using gaplan::util::DynamicBitset;
+
+TEST(Bitset, StartsEmpty) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(Bitset, SetResetAssign) {
+  DynamicBitset b(70);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(69);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(69));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  b.assign(63, true);
+  EXPECT_TRUE(b.test(63));
+  b.assign(63, false);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(Bitset, ClearRemovesEverything) {
+  DynamicBitset b(130);
+  for (std::size_t i = 0; i < 130; i += 7) b.set(i);
+  b.clear();
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(Bitset, ContainsAllSubsetSemantics) {
+  DynamicBitset super(80), sub(80), other(80);
+  for (const std::size_t i : {3u, 17u, 64u, 79u}) super.set(i);
+  sub.set(17);
+  sub.set(79);
+  other.set(17);
+  other.set(40);
+  EXPECT_TRUE(super.contains_all(sub));
+  EXPECT_FALSE(super.contains_all(other));
+  EXPECT_TRUE(super.contains_all(super));
+  EXPECT_TRUE(super.contains_all(DynamicBitset(80)));  // empty set always subset
+}
+
+TEST(Bitset, IntersectsAndCountCommon) {
+  DynamicBitset a(128), b(128);
+  a.set(1);
+  a.set(100);
+  b.set(2);
+  b.set(101);
+  EXPECT_FALSE(a.intersects(b));
+  EXPECT_EQ(a.count_common(b), 0u);
+  b.set(100);
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_EQ(a.count_common(b), 1u);
+}
+
+TEST(Bitset, UnionAndDifference) {
+  DynamicBitset s(70), add(70), del(70);
+  s.set(5);
+  s.set(65);
+  add.set(6);
+  add.set(65);
+  del.set(5);
+  del.set(7);
+  s.set_union(add);
+  EXPECT_TRUE(s.test(5));
+  EXPECT_TRUE(s.test(6));
+  EXPECT_TRUE(s.test(65));
+  s.set_difference(del);
+  EXPECT_FALSE(s.test(5));
+  EXPECT_TRUE(s.test(6));
+  EXPECT_TRUE(s.test(65));
+}
+
+TEST(Bitset, StripsApplySemantics) {
+  // result = (s \ del) ∪ add — and a bit in both del and add survives.
+  DynamicBitset s(10), add(10), del(10);
+  s.set(1);
+  add.set(1);
+  del.set(1);
+  s.set_difference(del);
+  s.set_union(add);
+  EXPECT_TRUE(s.test(1));
+}
+
+TEST(Bitset, EqualityAndHash) {
+  DynamicBitset a(90), b(90);
+  EXPECT_EQ(a, b);
+  a.set(42);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.hash(), b.hash());
+  b.set(42);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(Bitset, HashRarelyCollidesOnRandomSets) {
+  gaplan::util::Rng rng(7);
+  std::unordered_set<std::uint64_t> hashes;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    DynamicBitset b(200);
+    for (int k = 0; k < 20; ++k) b.set(rng.below(200));
+    hashes.insert(b.hash());
+  }
+  // Distinct sets may repeat (same set drawn twice) but collisions should be
+  // essentially absent at this scale.
+  EXPECT_GT(hashes.size(), static_cast<std::size_t>(n - 5));
+}
+
+TEST(Bitset, FindNextWalksSetBits) {
+  DynamicBitset b(150);
+  for (const std::size_t i : {0u, 63u, 64u, 127u, 149u}) b.set(i);
+  std::vector<std::size_t> found;
+  for (std::size_t i = b.find_next(0); i < b.size(); i = b.find_next(i + 1)) {
+    found.push_back(i);
+  }
+  EXPECT_EQ(found, (std::vector<std::size_t>{0, 63, 64, 127, 149}));
+}
+
+TEST(Bitset, FindNextPastEndReturnsSize) {
+  DynamicBitset b(65);
+  EXPECT_EQ(b.find_next(0), 65u);
+  EXPECT_EQ(b.find_next(64), 65u);
+  EXPECT_EQ(b.find_next(1000), 65u);
+}
+
+TEST(Bitset, ToStringListsIndices) {
+  DynamicBitset b(20);
+  EXPECT_EQ(b.to_string(), "{}");
+  b.set(3);
+  b.set(17);
+  EXPECT_EQ(b.to_string(), "{3, 17}");
+}
+
+TEST(Bitset, StdHashSpecialization) {
+  DynamicBitset a(40);
+  a.set(13);
+  std::unordered_set<DynamicBitset> set;
+  set.insert(a);
+  EXPECT_TRUE(set.contains(a));
+  DynamicBitset b(40);
+  EXPECT_FALSE(set.contains(b));
+}
+
+TEST(Bitset, DifferentSizesNeverEqual) {
+  DynamicBitset a(10), b(11);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/problem.hpp"
+#include "domains/blocks_world.hpp"
+
+namespace {
+
+using gaplan::domains::BlocksState;
+using gaplan::domains::BlocksWorld;
+constexpr int kTable = BlocksState::kTable;
+
+static_assert(gaplan::ga::PlanningProblem<BlocksWorld>);
+static_assert(gaplan::ga::DirectEncodable<BlocksWorld>);
+
+TEST(BlocksWorld, TowerInstanceShape) {
+  const auto w = BlocksWorld::tower_instance(3);
+  const auto s = w.initial_state();
+  for (int b = 0; b < 3; ++b) EXPECT_EQ(s.support[b], kTable);
+  EXPECT_FALSE(w.is_goal(s));
+}
+
+TEST(BlocksWorld, RejectsBadConfigurations) {
+  EXPECT_THROW(BlocksWorld(2, {0, kTable}, {kTable, kTable}), std::invalid_argument)
+      << "self-support";
+  EXPECT_THROW(BlocksWorld(3, {1, 0, kTable}, {kTable, kTable, kTable}),
+               std::invalid_argument)
+      << "cycle";
+  EXPECT_THROW(BlocksWorld(3, {2, 2, kTable}, {kTable, kTable, kTable}),
+               std::invalid_argument)
+      << "two blocks on one";
+  EXPECT_THROW(BlocksWorld(0, {}, {}), std::invalid_argument);
+  EXPECT_THROW(BlocksWorld(2, {kTable}, {kTable, kTable}), std::invalid_argument)
+      << "size mismatch";
+}
+
+TEST(BlocksWorld, ClearDetection) {
+  // b on a; c on table.
+  const BlocksWorld w(3, {kTable, 0, kTable}, {kTable, kTable, kTable});
+  const auto s = w.initial_state();
+  EXPECT_FALSE(w.clear(s, 0));
+  EXPECT_TRUE(w.clear(s, 1));
+  EXPECT_TRUE(w.clear(s, 2));
+}
+
+TEST(BlocksWorld, OnlyClearBlocksMove) {
+  const BlocksWorld w(3, {kTable, 0, kTable}, {kTable, kTable, kTable});
+  const auto s = w.initial_state();
+  const int stride = 4;  // blocks + 1
+  EXPECT_FALSE(w.op_applicable(s, 0 * stride + 2));  // a is buried under b
+  EXPECT_TRUE(w.op_applicable(s, 1 * stride + 2));   // b (clear) onto c (clear)
+  EXPECT_FALSE(w.op_applicable(s, 1 * stride + 0));  // b already sits on a
+}
+
+TEST(BlocksWorld, CannotStackOnOccupiedOrSelf) {
+  // a on table, b on a, c on table: a is occupied by b.
+  const BlocksWorld w(3, {kTable, 0, kTable}, {kTable, kTable, kTable});
+  const auto s = w.initial_state();
+  const int stride = 4;
+  EXPECT_FALSE(w.op_applicable(s, 2 * stride + 0));  // c onto occupied a
+  EXPECT_FALSE(w.op_applicable(s, 2 * stride + 2));  // c onto itself
+  EXPECT_FALSE(w.op_applicable(s, 2 * stride + 3));  // c to table: already there
+}
+
+TEST(BlocksWorld, MoveToSameSupportInvalid) {
+  const BlocksWorld w(2, {1, kTable}, {kTable, kTable});  // a on b
+  const int stride = 3;
+  EXPECT_FALSE(w.op_applicable(w.initial_state(), 0 * stride + 1));  // a onto b again
+}
+
+TEST(BlocksWorld, ApplyUpdatesSupport) {
+  const BlocksWorld w(3, {kTable, kTable, kTable}, {1, kTable, kTable});
+  auto s = w.initial_state();
+  const int stride = 4;
+  w.apply(s, 0 * stride + 1);  // a onto b
+  EXPECT_EQ(s.support[0], 1);
+  EXPECT_TRUE(w.is_goal(s));
+  w.apply(s, 0 * stride + 3);  // a to table
+  EXPECT_EQ(s.support[0], kTable);
+}
+
+TEST(BlocksWorld, GoalFitnessCountsMatchedSupports) {
+  const auto w = BlocksWorld::tower_instance(4);  // goal: a-b-c-d tower
+  auto s = w.initial_state();
+  // d (block 3) is already on the table, matching its goal.
+  EXPECT_DOUBLE_EQ(w.goal_fitness(s), 0.25);
+  const int stride = 5;
+  w.apply(s, 2 * stride + 3);  // c onto d
+  EXPECT_DOUBLE_EQ(w.goal_fitness(s), 0.5);
+}
+
+TEST(BlocksWorld, TowerSolvedByCanonicalPlan) {
+  const auto w = BlocksWorld::tower_instance(4);
+  const int stride = 5;
+  // stack c on d, b on c, a on b.
+  const std::vector<int> plan{2 * stride + 3, 1 * stride + 2, 0 * stride + 1};
+  EXPECT_TRUE(gaplan::ga::plan_solves(w, w.initial_state(), plan));
+}
+
+TEST(BlocksWorld, ValidOpsMatchApplicability) {
+  const auto w = BlocksWorld::tower_instance(4);
+  std::vector<int> ops;
+  w.valid_ops(w.initial_state(), ops);
+  for (int op = 0; op < static_cast<int>(w.op_count()); ++op) {
+    const bool listed = std::find(ops.begin(), ops.end(), op) != ops.end();
+    EXPECT_EQ(listed, w.op_applicable(w.initial_state(), op)) << "op " << op;
+  }
+}
+
+TEST(BlocksWorld, HashAndLabels) {
+  const auto w = BlocksWorld::tower_instance(3);
+  auto a = w.initial_state();
+  auto b = a;
+  const int stride = 4;
+  w.apply(b, 0 * stride + 1);
+  EXPECT_NE(w.hash(a), w.hash(b));
+  EXPECT_EQ(w.op_label(a, 0 * stride + 1), "move a onto b");
+  EXPECT_EQ(w.op_label(a, 2 * stride + 3), "move c to table");
+}
+
+TEST(BlocksWorld, RenderShowsTowers) {
+  const BlocksWorld w(3, {1, kTable, kTable}, {kTable, kTable, kTable});
+  const auto art = w.render(w.initial_state());
+  EXPECT_NE(art.find("table: b a"), std::string::npos);
+  EXPECT_NE(art.find("table: c"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,219 @@
+// Indirect and direct genome decoding — the paper's §3.1 encoding claims.
+#include <gtest/gtest.h>
+
+#include "core/decoder.hpp"
+#include "domains/hanoi.hpp"
+#include "domains/sliding_tile.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gaplan;
+using ga::DecodeOptions;
+using ga::Genome;
+
+Genome random_genome(std::size_t len, util::Rng& rng) {
+  Genome g(len);
+  for (auto& x : g) x = rng.uniform();
+  return g;
+}
+
+TEST(GeneToIndex, MapsPaperExample) {
+  // §3.1: with four valid operations, [0, .25) -> op0, [.25, .5) -> op1, ...
+  EXPECT_EQ(ga::gene_to_index(0.0, 4), 0u);
+  EXPECT_EQ(ga::gene_to_index(0.24, 4), 0u);
+  EXPECT_EQ(ga::gene_to_index(0.25, 4), 1u);
+  EXPECT_EQ(ga::gene_to_index(0.5, 4), 2u);
+  EXPECT_EQ(ga::gene_to_index(0.99, 4), 3u);
+}
+
+TEST(GeneToIndex, ClampsAtUpperEdge) {
+  // Genes are in [0,1) but a defensive clamp guards g == 1.0.
+  EXPECT_EQ(ga::gene_to_index(1.0, 3), 2u);
+  EXPECT_EQ(ga::gene_to_index(0.999999, 1), 0u);
+}
+
+TEST(DecodeIndirect, EveryGeneMapsToValidOp) {
+  // The core §3.1 claim: indirect encoding cannot produce invalid operations.
+  const domains::Hanoi h(4);
+  util::Rng rng(1);
+  std::vector<int> scratch;
+  DecodeOptions opt;
+  opt.truncate_at_goal = false;
+  for (int trial = 0; trial < 50; ++trial) {
+    const Genome g = random_genome(40, rng);
+    const auto ev = ga::decode_indirect(h, h.initial_state(), g, opt, scratch);
+    EXPECT_DOUBLE_EQ(ev.match_fit, 1.0);
+    // Replaying the ops must find each valid where it is applied.
+    auto s = h.initial_state();
+    for (const int op : ev.ops) {
+      ASSERT_TRUE(h.op_applicable(s, op));
+      h.apply(s, op);
+    }
+    EXPECT_EQ(ev.ops.size(), g.size());  // Hanoi never dead-ends
+  }
+}
+
+TEST(DecodeIndirect, DeterministicForSameGenome) {
+  const domains::SlidingTile p(3);
+  util::Rng rng(2);
+  const Genome g = random_genome(30, rng);
+  std::vector<int> scratch;
+  DecodeOptions opt;
+  const auto a = ga::decode_indirect(p, p.initial_state(), g, opt, scratch);
+  const auto b = ga::decode_indirect(p, p.initial_state(), g, opt, scratch);
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.state_hashes, b.state_hashes);
+  EXPECT_TRUE(a.final_state == b.final_state);
+}
+
+TEST(DecodeIndirect, HashesTrackTrajectory) {
+  const domains::Hanoi h(3);
+  util::Rng rng(3);
+  const Genome g = random_genome(10, rng);
+  std::vector<int> scratch;
+  DecodeOptions opt;
+  opt.truncate_at_goal = false;
+  const auto ev = ga::decode_indirect(h, h.initial_state(), g, opt, scratch);
+  ASSERT_EQ(ev.state_hashes.size(), ev.ops.size() + 1);
+  auto s = h.initial_state();
+  EXPECT_EQ(ev.state_hashes[0], h.hash(s));
+  for (std::size_t i = 0; i < ev.ops.size(); ++i) {
+    h.apply(s, ev.ops[i]);
+    EXPECT_EQ(ev.state_hashes[i + 1], h.hash(s));
+  }
+  EXPECT_TRUE(ev.final_state == s);
+}
+
+TEST(DecodeIndirect, RecordHashesOffLeavesThemEmpty) {
+  const domains::Hanoi h(3);
+  util::Rng rng(4);
+  const Genome g = random_genome(10, rng);
+  std::vector<int> scratch;
+  DecodeOptions opt;
+  opt.record_hashes = false;
+  const auto ev = ga::decode_indirect(h, h.initial_state(), g, opt, scratch);
+  EXPECT_TRUE(ev.state_hashes.empty());
+}
+
+TEST(DecodeIndirect, TruncatesAtGoal) {
+  // Genome encoding the 1-disk solution then junk: truncation keeps 1 op.
+  const domains::Hanoi h(1);
+  // Initial valid ops: A->B (id 1), A->C (id 2); gene 0.0 -> A->B = goal.
+  const Genome g{0.0, 0.9, 0.9, 0.9};
+  std::vector<int> scratch;
+  DecodeOptions opt;
+  opt.truncate_at_goal = true;
+  const auto ev = ga::decode_indirect(h, h.initial_state(), g, opt, scratch);
+  EXPECT_TRUE(ev.valid);
+  EXPECT_EQ(ev.goal_index, 1u);
+  EXPECT_EQ(ev.ops.size(), 1u);
+  EXPECT_EQ(ev.effective_length, 1u);
+  EXPECT_TRUE(h.is_goal(ev.final_state));
+}
+
+TEST(DecodeIndirect, NoTruncationRecordsGoalIndexButKeepsGoing) {
+  const domains::Hanoi h(1);
+  // Gene 1 reaches the goal (disk to B); gene 2 moves B->C; gene 3 selects
+  // C->A, ending *off* the goal stake.
+  const Genome g{0.0, 0.9, 0.1};
+  std::vector<int> scratch;
+  DecodeOptions opt;
+  opt.truncate_at_goal = false;
+  const auto ev = ga::decode_indirect(h, h.initial_state(), g, opt, scratch);
+  EXPECT_EQ(ev.goal_index, 1u);
+  EXPECT_EQ(ev.ops.size(), 3u);
+  EXPECT_FALSE(ev.valid) << "final state left the goal";
+}
+
+TEST(DecodeIndirect, StartAtGoalIsImmediatelyValid) {
+  const domains::Hanoi h(2);
+  auto goal = h.initial_state();
+  for (const int op : h.optimal_plan()) h.apply(goal, op);
+  const Genome g{0.5, 0.5};
+  std::vector<int> scratch;
+  DecodeOptions opt;
+  const auto ev = ga::decode_indirect(h, goal, g, opt, scratch);
+  EXPECT_TRUE(ev.valid);
+  EXPECT_EQ(ev.goal_index, 0u);
+  EXPECT_TRUE(ev.ops.empty());
+}
+
+TEST(DecodeIndirect, PlanCostAccumulates) {
+  const domains::Hanoi h(4);
+  util::Rng rng(5);
+  const Genome g = random_genome(20, rng);
+  std::vector<int> scratch;
+  DecodeOptions opt;
+  opt.truncate_at_goal = false;
+  const auto ev = ga::decode_indirect(h, h.initial_state(), g, opt, scratch);
+  EXPECT_DOUBLE_EQ(ev.plan_cost, static_cast<double>(ev.ops.size()));  // unit costs
+}
+
+TEST(DecodeIndirect, EmptyGenome) {
+  const domains::Hanoi h(3);
+  std::vector<int> scratch;
+  DecodeOptions opt;
+  const auto ev =
+      ga::decode_indirect(h, h.initial_state(), Genome{}, opt, scratch);
+  EXPECT_FALSE(ev.valid);
+  EXPECT_TRUE(ev.ops.empty());
+  EXPECT_EQ(ev.effective_length, 0u);
+}
+
+// --- Direct encoding (the paper's discarded preliminary design) -------------
+
+TEST(DecodeDirect, InvalidSelectionsLeaveStateUnchanged) {
+  const domains::Hanoi h(3);
+  // Global ops 0..8; op 0 is A->A (always invalid), op 3 is B->A (invalid at
+  // start since B is empty).
+  const Genome g{0.01, 0.34};  // op 0, op 3 with 9 global ops (0.34*9=3.06)
+  std::vector<int> scratch;
+  DecodeOptions opt;
+  const auto ev = ga::decode_direct(h, h.initial_state(), g, opt);
+  EXPECT_TRUE(ev.ops.empty());
+  EXPECT_DOUBLE_EQ(ev.match_fit, 0.0);
+  EXPECT_TRUE(ev.final_state == h.initial_state());
+}
+
+TEST(DecodeDirect, MatchFitnessEq1Fraction) {
+  const domains::Hanoi h(3);
+  // 0.12*9=1.08 -> op1 (A->B, valid at start); 0.01 -> op0 invalid.
+  const Genome g{0.12, 0.01};
+  std::vector<int> scratch;
+  DecodeOptions opt;
+  opt.truncate_at_goal = false;
+  const auto ev = ga::decode_direct(h, h.initial_state(), g, opt);
+  EXPECT_EQ(ev.ops.size(), 1u);
+  EXPECT_DOUBLE_EQ(ev.match_fit, 0.5);
+}
+
+TEST(DecodeDirect, SolvesWithCorrectGenes) {
+  const domains::Hanoi h(1);
+  // One disk: A->B is global op 1; gene in [1/9, 2/9).
+  const Genome g{0.15};
+  std::vector<int> scratch;
+  DecodeOptions opt;
+  const auto ev = ga::decode_direct(h, h.initial_state(), g, opt);
+  EXPECT_TRUE(ev.valid);
+  EXPECT_DOUBLE_EQ(ev.match_fit, 1.0);
+}
+
+TEST(DecodeDirect, AgreesWithIndirectOnAppliedOpsValidity) {
+  const domains::SlidingTile p(3);
+  util::Rng rng(6);
+  DecodeOptions opt;
+  opt.truncate_at_goal = false;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Genome g = random_genome(25, rng);
+    const auto ev = ga::decode_direct(p, p.initial_state(), g, opt);
+    auto s = p.initial_state();
+    for (const int op : ev.ops) {
+      ASSERT_TRUE(p.op_applicable(s, op));
+      p.apply(s, op);
+    }
+    EXPECT_TRUE(ev.final_state == s);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,201 @@
+// Single-phase GA engine behaviour (§3.4).
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "domains/hanoi.hpp"
+#include "domains/sliding_tile.hpp"
+
+namespace {
+
+using namespace gaplan;
+using domains::Hanoi;
+
+ga::GaConfig small_config() {
+  ga::GaConfig cfg;
+  cfg.population_size = 50;
+  cfg.generations = 60;
+  cfg.initial_length = 15;
+  cfg.max_length = 80;
+  return cfg;
+}
+
+TEST(Engine, SolvesTrivialHanoi) {
+  const Hanoi h(2);
+  auto cfg = small_config();
+  cfg.initial_length = 3;
+  cfg.max_length = 30;
+  ga::Engine<Hanoi> engine(h, cfg);
+  util::Rng rng(1);
+  const auto result = engine.run_phase(h.initial_state(), rng);
+  ASSERT_TRUE(result.found_valid);
+  EXPECT_TRUE(result.best.eval.valid);
+  EXPECT_TRUE(h.is_goal(result.best.eval.final_state));
+  EXPECT_TRUE(ga::plan_solves(h, h.initial_state(), result.best.eval.ops));
+}
+
+TEST(Engine, StopOnValidEndsEarly) {
+  const Hanoi h(2);
+  auto cfg = small_config();
+  cfg.initial_length = 3;
+  cfg.stop_on_valid = true;
+  ga::Engine<Hanoi> engine(h, cfg);
+  util::Rng rng(2);
+  const auto result = engine.run_phase(h.initial_state(), rng);
+  ASSERT_TRUE(result.found_valid);
+  EXPECT_EQ(result.generations_run, result.generation_found + 1);
+  EXPECT_LT(result.generations_run, cfg.generations);
+}
+
+TEST(Engine, NoStopRunsFullBudget) {
+  const Hanoi h(2);
+  auto cfg = small_config();
+  // Slack beyond the optimal 3 moves: goal-hitting prefixes are truncated, so
+  // longer genomes only raise the chance a random individual is valid.
+  cfg.population_size = 100;
+  cfg.initial_length = 8;
+  ga::Engine<Hanoi> engine(h, cfg);
+  util::Rng rng(3);
+  const auto result = engine.run_phase(h.initial_state(), rng, /*stop_on_valid=*/false);
+  EXPECT_EQ(result.generations_run, cfg.generations);
+  EXPECT_TRUE(result.found_valid);
+  EXPECT_LT(result.generation_found, cfg.generations);
+}
+
+TEST(Engine, DeterministicGivenSeed) {
+  const Hanoi h(4);
+  const auto cfg = small_config();
+  ga::Engine<Hanoi> engine(h, cfg);
+  util::Rng r1(7), r2(7);
+  const auto a = engine.run_phase(h.initial_state(), r1);
+  const auto b = engine.run_phase(h.initial_state(), r2);
+  EXPECT_EQ(a.generations_run, b.generations_run);
+  EXPECT_EQ(a.best.genes, b.best.genes);
+  EXPECT_DOUBLE_EQ(a.best.eval.fitness, b.best.eval.fitness);
+}
+
+TEST(Engine, DifferentSeedsDiffer) {
+  const Hanoi h(4);
+  const auto cfg = small_config();
+  ga::Engine<Hanoi> engine(h, cfg);
+  util::Rng r1(7), r2(8);
+  const auto a = engine.run_phase(h.initial_state(), r1);
+  const auto b = engine.run_phase(h.initial_state(), r2);
+  EXPECT_NE(a.best.genes, b.best.genes);
+}
+
+TEST(Engine, HistoryTracksEveryGeneration) {
+  const Hanoi h(4);
+  auto cfg = small_config();
+  cfg.generations = 20;
+  ga::Engine<Hanoi> engine(h, cfg);
+  util::Rng rng(9);
+  const auto result = engine.run_phase(h.initial_state(), rng, false);
+  ASSERT_EQ(result.history.size(), 20u);
+  for (std::size_t g = 0; g < result.history.size(); ++g) {
+    EXPECT_EQ(result.history[g].generation, g);
+    EXPECT_GE(result.history[g].best_fitness, result.history[g].mean_fitness);
+  }
+}
+
+TEST(Engine, BestOfPhaseFitnessNeverDecreasesInHistorySense) {
+  // result.best must dominate (paper ordering) every generation's best.
+  const Hanoi h(5);
+  auto cfg = small_config();
+  cfg.generations = 40;
+  ga::Engine<Hanoi> engine(h, cfg);
+  util::Rng rng(10);
+  const auto result = engine.run_phase(h.initial_state(), rng, false);
+  for (const auto& gen : result.history) {
+    EXPECT_GE(result.best.eval.goal_fit, gen.best_goal_fit - 1e-12);
+  }
+}
+
+TEST(Engine, SelectionImprovesMeanFitness) {
+  const Hanoi h(5);
+  auto cfg = small_config();
+  cfg.generations = 50;
+  ga::Engine<Hanoi> engine(h, cfg);
+  util::Rng rng(11);
+  const auto result = engine.run_phase(h.initial_state(), rng, false);
+  const double early = result.history.front().mean_fitness;
+  const double late = result.history.back().mean_fitness;
+  EXPECT_GT(late, early);
+}
+
+TEST(Engine, RespectsMaxLenAcrossGenerations) {
+  const Hanoi h(5);
+  auto cfg = small_config();
+  cfg.max_length = 40;
+  cfg.generations = 30;
+  ga::Engine<Hanoi> engine(h, cfg);
+  util::Rng rng(12);
+  const auto result = engine.run_phase(h.initial_state(), rng, false);
+  EXPECT_LE(result.best.genes.size(), 40u);
+  for (const auto& gen : result.history) {
+    EXPECT_LE(gen.mean_length, 40.0 + 1e-9);
+  }
+}
+
+TEST(Engine, ParallelEvaluationMatchesSerial) {
+  const Hanoi h(4);
+  const auto cfg = small_config();
+  util::ThreadPool pool(4);
+  ga::Engine<Hanoi> serial(h, cfg, nullptr);
+  ga::Engine<Hanoi> parallel(h, cfg, &pool);
+  util::Rng r1(13), r2(13);
+  const auto a = serial.run_phase(h.initial_state(), r1);
+  const auto b = parallel.run_phase(h.initial_state(), r2);
+  EXPECT_EQ(a.best.genes, b.best.genes);
+  EXPECT_DOUBLE_EQ(a.best.eval.fitness, b.best.eval.fitness);
+  EXPECT_EQ(a.generations_run, b.generations_run);
+}
+
+TEST(Engine, WorksWithEveryCrossoverKind) {
+  const Hanoi h(3);
+  for (const auto kind :
+       {ga::CrossoverKind::kRandom, ga::CrossoverKind::kStateAware,
+        ga::CrossoverKind::kMixed, ga::CrossoverKind::kUniform}) {
+    auto cfg = small_config();
+    cfg.crossover = kind;
+    cfg.population_size = 100;
+    cfg.generations = 100;
+    cfg.initial_length = 14;  // 2x the optimal 7 moves
+    ga::Engine<Hanoi> engine(h, cfg);
+    util::Rng rng(14);
+    const auto result = engine.run_phase(h.initial_state(), rng);
+    EXPECT_TRUE(result.found_valid) << ga::to_string(kind);
+  }
+}
+
+TEST(Engine, RouletteSelectionAlsoConverges) {
+  const Hanoi h(2);
+  auto cfg = small_config();
+  cfg.initial_length = 3;
+  cfg.selection = ga::SelectionKind::kRoulette;
+  ga::Engine<Hanoi> engine(h, cfg);
+  util::Rng rng(15);
+  EXPECT_TRUE(engine.run_phase(h.initial_state(), rng).found_valid);
+}
+
+TEST(Engine, RejectsInvalidConfig) {
+  const Hanoi h(2);
+  ga::GaConfig cfg;
+  cfg.population_size = 0;
+  EXPECT_THROW(ga::Engine<Hanoi>(h, cfg), std::invalid_argument);
+}
+
+TEST(Engine, StateAwareStatsAreRecorded) {
+  const Hanoi h(3);
+  auto cfg = small_config();
+  cfg.crossover = ga::CrossoverKind::kStateAware;
+  cfg.generations = 20;
+  cfg.initial_length = 7;
+  ga::Engine<Hanoi> engine(h, cfg);
+  util::Rng rng(16);
+  const auto result = engine.run_phase(h.initial_state(), rng, false);
+  const auto& st = result.crossover_stats;
+  EXPECT_GT(st.pairs, 0u);
+  EXPECT_EQ(st.pairs, st.state_aware_done + st.no_match + st.too_short);
+}
+
+}  // namespace

@@ -1,0 +1,90 @@
+// The replicated-run experiment harness every table bench is built on.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "domains/hanoi.hpp"
+
+namespace {
+
+using namespace gaplan;
+using domains::Hanoi;
+
+ga::GaConfig quick_config() {
+  ga::GaConfig cfg;
+  cfg.population_size = 50;
+  cfg.generations = 30;
+  cfg.phases = 3;
+  cfg.initial_length = 7;
+  cfg.max_length = 70;
+  return cfg;
+}
+
+TEST(Replicate, ProducesOneRecordPerRun) {
+  const Hanoi h(3);
+  const auto records = ga::replicate(h, quick_config(), 4, 1);
+  EXPECT_EQ(records.size(), 4u);
+  for (const auto& r : records) {
+    EXPECT_GE(r.seconds, 0.0);
+    EXPECT_GT(r.generations, 0u);
+  }
+}
+
+TEST(Replicate, SeedsAreConsecutiveAndDeterministic) {
+  const Hanoi h(4);
+  const auto a = ga::replicate(h, quick_config(), 3, 10);
+  const auto b = ga::replicate(h, quick_config(), 3, 10);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].valid, b[i].valid);
+    EXPECT_EQ(a[i].plan_length, b[i].plan_length);
+    EXPECT_EQ(a[i].generations, b[i].generations);
+  }
+  // Run 2 of a batch starting at seed 10 == run 0 of a batch starting at 12.
+  const auto c = ga::replicate(h, quick_config(), 1, 12);
+  EXPECT_EQ(c[0].plan_length, a[2].plan_length);
+  EXPECT_EQ(c[0].valid, a[2].valid);
+}
+
+TEST(Aggregate, AveragesMatchHandComputation) {
+  std::vector<ga::RunRecord> records(3);
+  records[0] = {true, 1.0, 0.95, 10, 100, 0, 1.0};
+  records[1] = {true, 1.0, 0.95, 20, 200, 1, 3.0};
+  records[2] = {false, 0.5, 0.45, 30, 300, ga::kNoGoal, 5.0};
+  const auto agg = ga::aggregate(records, 5);
+  EXPECT_EQ(agg.runs, 3u);
+  EXPECT_EQ(agg.solved, 2u);
+  EXPECT_NEAR(agg.avg_goal_fitness, (1.0 + 1.0 + 0.5) / 3, 1e-12);
+  EXPECT_NEAR(agg.avg_plan_length, 20.0, 1e-12);
+  EXPECT_NEAR(agg.avg_generations_to_solve, 150.0, 1e-12) << "solved runs only";
+  EXPECT_NEAR(agg.avg_seconds, 3.0, 1e-12);
+  ASSERT_EQ(agg.solved_in_phase.size(), 5u);
+  EXPECT_EQ(agg.solved_in_phase[0], 1u);
+  EXPECT_EQ(agg.solved_in_phase[1], 1u);
+  EXPECT_EQ(agg.solved_in_phase[2], 0u);
+}
+
+TEST(Aggregate, EmptyAndUnsolvedInputs) {
+  const auto empty = ga::aggregate({}, 2);
+  EXPECT_EQ(empty.runs, 0u);
+  EXPECT_EQ(empty.solved, 0u);
+  EXPECT_EQ(empty.avg_generations_to_solve, 0.0);
+
+  std::vector<ga::RunRecord> unsolved(2);
+  unsolved[0].goal_fitness = 0.25;
+  unsolved[1].goal_fitness = 0.75;
+  const auto agg = ga::aggregate(unsolved, 2);
+  EXPECT_EQ(agg.solved, 0u);
+  EXPECT_NEAR(agg.avg_goal_fitness, 0.5, 1e-12);
+  EXPECT_EQ(agg.avg_generations_to_solve, 0.0);
+}
+
+TEST(Aggregate, PhaseIndexOutOfRangeIsIgnored) {
+  std::vector<ga::RunRecord> records(1);
+  records[0].valid = true;
+  records[0].phase_found = 9;  // histogram only has 3 buckets
+  const auto agg = ga::aggregate(records, 3);
+  EXPECT_EQ(agg.solved, 1u);
+  for (const auto count : agg.solved_in_phase) EXPECT_EQ(count, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+// Goal-fitness override adapter + PDB-based goal fitness (the paper's
+// "more accurate goal fitness functions" future work).
+#include <gtest/gtest.h>
+
+#include "core/fitness_override.hpp"
+#include "core/multiphase.hpp"
+#include "domains/sliding_tile.hpp"
+#include "domains/tile_pdb.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gaplan;
+using domains::DisjointPatternHeuristic;
+using domains::SlidingTile;
+using domains::TileState;
+
+/// PDB-backed goal fitness: 1 − h_pdb(s)/bound, exactly 1.0 at the goal.
+auto pdb_fitness(const SlidingTile& puzzle, const DisjointPatternHeuristic& pdb) {
+  // The PDB value of any state is bounded by the sum of per-tile worst-case
+  // walks; 4x the Manhattan bound is a safe normaliser for small boards.
+  const double bound =
+      4.0 * 2.0 * (puzzle.n() - 1) * static_cast<double>(puzzle.tiles());
+  return [&puzzle, &pdb, bound](const TileState& s) {
+    return 1.0 - static_cast<double>(pdb(s)) / bound;
+  };
+}
+
+TEST(FitnessOverride, SatisfiesConceptAndDelegates) {
+  const SlidingTile p(3);
+  const auto wrapped =
+      ga::with_goal_fitness(p, [](const TileState&) { return 0.5; });
+  static_assert(ga::PlanningProblem<std::remove_const_t<decltype(wrapped)>>);
+  EXPECT_DOUBLE_EQ(wrapped.goal_fitness(p.goal_state()), 0.5);
+  EXPECT_TRUE(wrapped.is_goal(p.goal_state()));  // is_goal stays authoritative
+  std::vector<int> a, b;
+  p.valid_ops(p.goal_state(), a);
+  wrapped.valid_ops(p.goal_state(), b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(wrapped.hash(p.goal_state()), p.hash(p.goal_state()));
+  EXPECT_EQ(wrapped.op_label(p.goal_state(), 0), p.op_label(p.goal_state(), 0));
+}
+
+TEST(FitnessOverride, PdbFitnessIsOneExactlyAtGoal) {
+  const SlidingTile p(3);
+  const auto pdb = DisjointPatternHeuristic::standard(3);
+  const auto fitness = pdb_fitness(p, pdb);
+  EXPECT_DOUBLE_EQ(fitness(p.goal_state()), 1.0);
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const auto s = p.random_solvable(rng);
+    const double f = fitness(s);
+    ASSERT_GT(f, 0.0);
+    ASSERT_LT(f, 1.0);
+  }
+}
+
+TEST(FitnessOverride, PdbFitnessSeesThroughTranspositionDeception) {
+  // The MD-deceptive board: 2-1 and 7-6 transposed (MD 5, real distance
+  // far greater). Manhattan fitness ranks it close to the goal; the PDB
+  // knows better.
+  const SlidingTile gen(3);
+  const auto board = gen.board({2, 1, 3, 4, 5, 0, 8, 7, 6});
+  const auto pdb = DisjointPatternHeuristic::standard(3);
+  EXPECT_GT(pdb(board), gen.manhattan(board))
+      << "the PDB must expose the hidden distance";
+}
+
+TEST(FitnessOverride, GaWithPdbFitnessSolvesDeceptiveBoard) {
+  // The headline future-work result: on the deceptive board, the MD-fitness
+  // GA stalls on the plateau while the PDB-fitness GA solves it.
+  const SlidingTile gen(3);
+  const auto board = gen.board({2, 1, 3, 4, 5, 0, 8, 7, 6});
+  const SlidingTile puzzle(3, board);
+  const auto pdb = DisjointPatternHeuristic::standard(3);
+  const auto wrapped = ga::with_goal_fitness(puzzle, pdb_fitness(puzzle, pdb));
+
+  ga::GaConfig cfg;
+  cfg.population_size = 200;
+  cfg.generations = 120;
+  cfg.phases = 5;
+  cfg.initial_length = 29;
+  cfg.max_length = 290;
+
+  int md_solved = 0, pdb_solved = 0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    md_solved += ga::run_multiphase(puzzle, cfg, seed).valid;
+    pdb_solved += ga::run_multiphase(wrapped, cfg, seed).valid;
+  }
+  EXPECT_GE(pdb_solved, md_solved);
+  EXPECT_GE(pdb_solved, 2) << "PDB fitness should usually crack this board";
+}
+
+TEST(FitnessOverride, ValidPlansAgreeWithBaseProblem) {
+  const SlidingTile gen(3);
+  util::Rng rng(4);
+  const SlidingTile puzzle(3, gen.scrambled(14, rng));
+  const auto pdb = DisjointPatternHeuristic::standard(3);
+  const auto wrapped = ga::with_goal_fitness(puzzle, pdb_fitness(puzzle, pdb));
+  ga::GaConfig cfg;
+  cfg.population_size = 100;
+  cfg.generations = 60;
+  cfg.phases = 4;
+  cfg.initial_length = 29;
+  cfg.max_length = 290;
+  const auto result = ga::run_multiphase(wrapped, cfg, 5);
+  if (result.valid) {
+    // A plan found under the override must be a plan of the base problem.
+    EXPECT_TRUE(ga::plan_solves(puzzle, puzzle.initial_state(), result.plan));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,83 @@
+// ASCII Gantt rendering of coordination-service schedules.
+#include <gtest/gtest.h>
+
+#include "grid/gantt.hpp"
+#include "grid/scenario.hpp"
+
+namespace {
+
+using namespace gaplan::grid;
+
+struct Fixture {
+  Scenario scenario = image_pipeline();
+  ResourcePool pool = demo_pool();
+  WorkflowProblem problem = scenario.problem(pool);
+
+  int op(std::size_t program, std::size_t machine) const {
+    return static_cast<int>(program * pool.size() + machine);
+  }
+};
+
+TEST(Gantt, RendersOneRowPerMachine) {
+  Fixture f;
+  const std::vector<int> plan{f.op(0, 1), f.op(2, 1), f.op(4, 3), f.op(6, 1)};
+  const auto graph =
+      ActivityGraph::from_plan(f.problem, f.problem.initial_state(), plan);
+  Coordinator c(f.problem, f.pool);
+  const auto report = c.execute(graph, f.problem.initial_state(), {});
+  ASSERT_TRUE(report.completed);
+
+  const auto art = render_gantt(f.problem, graph, report);
+  for (const auto& m : f.pool.machines()) {
+    EXPECT_NE(art.find(m.name), std::string::npos) << m.name;
+  }
+  // Four tasks → glyphs A-D somewhere, plus legend entries.
+  for (const char g : {'A', 'B', 'C', 'D'}) {
+    EXPECT_NE(art.find(g), std::string::npos);
+  }
+  EXPECT_NE(art.find("histogram-eq @ mid-us"), std::string::npos);
+  EXPECT_NE(art.find("fft-lean @ bigmem-hpc"), std::string::npos);
+}
+
+TEST(Gantt, MachinesWithNoTasksStayEmpty) {
+  Fixture f;
+  const std::vector<int> plan{f.op(0, 2)};
+  const auto graph =
+      ActivityGraph::from_plan(f.problem, f.problem.initial_state(), plan);
+  Coordinator c(f.problem, f.pool);
+  const auto report = c.execute(graph, f.problem.initial_state(), {});
+  const auto art = render_gantt(f.problem, graph, report, {40, false});
+  // fast-eu row (first line) is all dots between the pipes.
+  const auto first_line = art.substr(0, art.find('\n'));
+  const auto bar = first_line.substr(first_line.find('|') + 1, 40);
+  EXPECT_EQ(bar, std::string(40, '.'));
+}
+
+TEST(Gantt, KilledTaskMarkedWithX) {
+  Fixture f;
+  const std::vector<int> plan{f.op(0, 2)};
+  const auto graph =
+      ActivityGraph::from_plan(f.problem, f.problem.initial_state(), plan);
+  Coordinator c(f.problem, f.pool);
+  const double t0 = f.problem.execution_seconds(0, 2);
+  const auto report =
+      c.execute(graph, f.problem.initial_state(),
+                {{t0 * 0.5, 2, Disruption::Kind::kFailure, 0.0}});
+  ASSERT_FALSE(report.completed);
+  const auto art = render_gantt(f.problem, graph, report);
+  EXPECT_NE(art.find('x'), std::string::npos);
+  EXPECT_NE(art.find("(killed)"), std::string::npos);
+}
+
+TEST(Gantt, EmptyReportStillRenders) {
+  Fixture f;
+  const auto graph =
+      ActivityGraph::from_plan(f.problem, f.problem.initial_state(), {});
+  Coordinator c(f.problem, f.pool);
+  const auto report = c.execute(graph, f.problem.initial_state(), {});
+  const auto art = render_gantt(f.problem, graph, report);
+  EXPECT_NE(art.find("fast-eu"), std::string::npos);
+  EXPECT_NE(art.find("time"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+// Machines, pools, and the service catalog / ontology.
+#include <gtest/gtest.h>
+
+#include "grid/resource.hpp"
+#include "grid/service.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gaplan::grid;
+
+TEST(Machine, EffectiveSpeedUnderLoad) {
+  Machine m;
+  m.speed = 8.0;
+  EXPECT_DOUBLE_EQ(m.effective_speed(), 8.0);
+  m.load = 3.0;
+  EXPECT_DOUBLE_EQ(m.effective_speed(), 2.0);
+  m.up = false;
+  EXPECT_DOUBLE_EQ(m.effective_speed(), 0.0);
+}
+
+TEST(ResourcePool, AddAndMutate) {
+  ResourcePool pool;
+  const auto id = pool.add({"alpha", 2.0, 1.0, 8.0, 1.0, 0.0, true});
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.machine(id).name, "alpha");
+  pool.set_load(id, 1.5);
+  EXPECT_DOUBLE_EQ(pool.machine(id).load, 1.5);
+  pool.set_up(id, false);
+  EXPECT_FALSE(pool.machine(id).up);
+  EXPECT_THROW(pool.set_load(id, -1.0), std::invalid_argument);
+}
+
+TEST(ResourcePool, RejectsBadMachines) {
+  ResourcePool pool;
+  EXPECT_THROW(pool.add({"bad", 0.0, 1.0, 8.0, 1.0, 0.0, true}),
+               std::invalid_argument);
+  EXPECT_THROW(pool.add({"bad", 1.0, -1.0, 8.0, 1.0, 0.0, true}),
+               std::invalid_argument);
+  EXPECT_THROW(pool.add({"bad", 1.0, 1.0, 0.0, 1.0, 0.0, true}),
+               std::invalid_argument);
+}
+
+TEST(ResourcePool, RandomPoolIsHeterogeneous) {
+  gaplan::util::Rng rng(1);
+  const auto pool = ResourcePool::random_pool(16, 10.0, rng);
+  EXPECT_EQ(pool.size(), 16u);
+  double min_speed = 1e9, max_speed = 0;
+  for (const auto& m : pool.machines()) {
+    EXPECT_GE(m.speed, 1.0);
+    EXPECT_LE(m.speed, 10.0);
+    min_speed = std::min(min_speed, m.speed);
+    max_speed = std::max(max_speed, m.speed);
+  }
+  EXPECT_GT(max_speed / min_speed, 1.5) << "pool came out homogeneous";
+}
+
+TEST(ResourcePool, DescribeListsMachines) {
+  ResourcePool pool;
+  pool.add({"zeta", 2.0, 1.0, 8.0, 1.0, 0.0, false});
+  const auto text = pool.describe();
+  EXPECT_NE(text.find("zeta"), std::string::npos);
+  EXPECT_NE(text.find("DOWN"), std::string::npos);
+}
+
+TEST(ServiceCatalog, DataAndPrograms) {
+  ServiceCatalog cat;
+  const auto a = cat.add_data("input", 2.0);
+  const auto b = cat.add_data("output", 1.0);
+  const auto p = cat.add_program({"transform", {a}, {b}, 5.0, 1.0});
+  EXPECT_EQ(cat.data_count(), 2u);
+  EXPECT_EQ(cat.program_count(), 1u);
+  EXPECT_EQ(cat.data_id("input"), a);
+  EXPECT_EQ(cat.program(p).name, "transform");
+  EXPECT_DOUBLE_EQ(cat.input_volume_gb(p), 2.0);
+}
+
+TEST(ServiceCatalog, RejectsBadEntries) {
+  ServiceCatalog cat;
+  const auto a = cat.add_data("x");
+  EXPECT_THROW(cat.add_data("x"), std::invalid_argument) << "duplicate";
+  EXPECT_THROW(cat.add_data("neg", -1.0), std::invalid_argument);
+  EXPECT_THROW(cat.add_program({"no-output", {a}, {}, 1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(cat.add_program({"zero-work", {a}, {a}, 0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(cat.add_program({"bad-ref", {99}, {a}, 1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(cat.data_id("missing"), std::invalid_argument);
+}
+
+TEST(ServiceCatalog, DescribeShowsPrePost) {
+  ServiceCatalog cat;
+  const auto a = cat.add_data("in");
+  const auto b = cat.add_data("out");
+  cat.add_program({"f", {a}, {b}, 3.0, 2.0});
+  const auto text = cat.describe();
+  EXPECT_NE(text.find("{in} -> {out}"), std::string::npos);
+  EXPECT_NE(text.find("mem>=2"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,241 @@
+// Towers of Hanoi domain, native and STRIPS encodings.
+#include <gtest/gtest.h>
+
+#include "core/problem.hpp"
+#include "domains/hanoi.hpp"
+#include "domains/hanoi_strips.hpp"
+#include "strips/validator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using gaplan::domains::Hanoi;
+using gaplan::domains::HanoiState;
+
+static_assert(gaplan::ga::PlanningProblem<Hanoi>);
+static_assert(gaplan::ga::DirectEncodable<Hanoi>);
+
+TEST(Hanoi, InitialStateAllOnA) {
+  const Hanoi h(5);
+  const auto s = h.initial_state();
+  for (int d = 1; d <= 5; ++d) EXPECT_EQ(h.stake_of(s, d), 0);
+  EXPECT_FALSE(h.is_goal(s));
+  EXPECT_DOUBLE_EQ(h.goal_fitness(s), 0.0);
+}
+
+TEST(Hanoi, RejectsBadConstruction) {
+  EXPECT_THROW(Hanoi(0), std::invalid_argument);
+  EXPECT_THROW(Hanoi(33), std::invalid_argument);
+  EXPECT_THROW(Hanoi(3, 1, 1), std::invalid_argument);
+  EXPECT_THROW(Hanoi(3, -1, 1), std::invalid_argument);
+}
+
+TEST(Hanoi, InitialStateHasExactlyTwoMoves) {
+  // From the start tower only the smallest disk can move, to 2 targets.
+  const Hanoi h(4);
+  std::vector<int> ops;
+  h.valid_ops(h.initial_state(), ops);
+  EXPECT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0], 0 * 3 + 1);  // A->B
+  EXPECT_EQ(ops[1], 0 * 3 + 2);  // A->C
+}
+
+TEST(Hanoi, LargerDiskCannotSitOnSmaller) {
+  const Hanoi h(3);
+  auto s = h.initial_state();
+  h.apply(s, 0 * 3 + 1);  // d1 to B
+  // Now d2 is top of A; moving A->B would put d2 on d1: illegal.
+  EXPECT_FALSE(h.op_applicable(s, 0 * 3 + 1));
+  EXPECT_TRUE(h.op_applicable(s, 0 * 3 + 2));   // d2 onto empty C
+  EXPECT_TRUE(h.op_applicable(s, 1 * 3 + 0));   // d1 back onto d2? d1 < d2: legal
+  EXPECT_TRUE(h.op_applicable(s, 1 * 3 + 2));   // d1 onto empty C
+  EXPECT_FALSE(h.op_applicable(s, 2 * 3 + 0));  // C is empty
+}
+
+TEST(Hanoi, MoveFromEmptyStakeInvalid) {
+  const Hanoi h(2);
+  EXPECT_FALSE(h.op_applicable(h.initial_state(), 1 * 3 + 0));
+  EXPECT_FALSE(h.op_applicable(h.initial_state(), 2 * 3 + 1));
+}
+
+TEST(Hanoi, SelfMoveAlwaysInvalid) {
+  const Hanoi h(3);
+  for (const int stake : {0, 1, 2}) {
+    EXPECT_FALSE(h.op_applicable(h.initial_state(), stake * 3 + stake));
+  }
+}
+
+TEST(Hanoi, TopDiskTracksStacks) {
+  const Hanoi h(3);
+  auto s = h.initial_state();
+  EXPECT_EQ(h.top_disk(s, 0), 1);
+  EXPECT_EQ(h.top_disk(s, 1), 0);
+  h.apply(s, 1);  // A->B: d1
+  EXPECT_EQ(h.top_disk(s, 0), 2);
+  EXPECT_EQ(h.top_disk(s, 1), 1);
+}
+
+TEST(Hanoi, OptimalPlanHasClosedFormLength) {
+  for (const int n : {1, 2, 3, 5, 7}) {
+    const Hanoi h(n);
+    EXPECT_EQ(h.optimal_plan().size(), (1u << n) - 1);
+  }
+}
+
+TEST(Hanoi, OptimalPlanSolves) {
+  for (const int n : {1, 2, 3, 4, 5, 6, 7}) {
+    const Hanoi h(n);
+    EXPECT_TRUE(gaplan::ga::plan_solves(h, h.initial_state(), h.optimal_plan()))
+        << n << " disks";
+  }
+}
+
+TEST(Hanoi, GoalFitnessMatchesEq5Weights) {
+  // All disks but the largest on B scores just under 0.5 (the paper's trap).
+  const int n = 5;
+  const Hanoi h(n);
+  auto s = h.initial_state();
+  // Build the state directly: run the optimal plan for the top n-1 disks
+  // (tower of 4 from A to B uses only legal moves).
+  const Hanoi sub(n - 1);
+  for (const int op : sub.optimal_plan()) h.apply(s, op);
+  for (int d = 1; d < n; ++d) EXPECT_EQ(h.stake_of(s, d), 1);
+  EXPECT_EQ(h.stake_of(s, n), 0);
+  const double expected =
+      static_cast<double>((1u << (n - 1)) - 1) / static_cast<double>((1u << n) - 1);
+  EXPECT_DOUBLE_EQ(h.goal_fitness(s), expected);
+  EXPECT_LT(h.goal_fitness(s), 0.5);
+}
+
+TEST(Hanoi, GoalFitnessOneIffGoal) {
+  const Hanoi h(3);
+  auto s = h.initial_state();
+  for (const int op : h.optimal_plan()) h.apply(s, op);
+  EXPECT_TRUE(h.is_goal(s));
+  EXPECT_DOUBLE_EQ(h.goal_fitness(s), 1.0);
+}
+
+TEST(Hanoi, HashDistinguishesStates) {
+  const Hanoi h(4);
+  auto a = h.initial_state();
+  auto b = a;
+  h.apply(b, 1);
+  EXPECT_NE(h.hash(a), h.hash(b));
+  EXPECT_EQ(h.hash(a), h.hash(h.initial_state()));
+}
+
+TEST(Hanoi, LabelsAreReadable) {
+  const Hanoi h(2);
+  EXPECT_EQ(h.op_label(h.initial_state(), 0 * 3 + 1), "move A->B");
+  EXPECT_EQ(h.op_label(h.initial_state(), 2 * 3 + 0), "move C->A");
+}
+
+TEST(Hanoi, RenderShowsStakeNames) {
+  const Hanoi h(2);
+  const auto art = h.render(h.initial_state());
+  EXPECT_NE(art.find('A'), std::string::npos);
+  EXPECT_NE(art.find('B'), std::string::npos);
+  EXPECT_NE(art.find("==="), std::string::npos);
+}
+
+TEST(Hanoi, AlternativeGoalStake) {
+  const Hanoi h(3, 0, 2);  // goal on C
+  auto s = h.initial_state();
+  for (const int op : h.optimal_plan()) h.apply(s, op);
+  EXPECT_TRUE(h.is_goal(s));
+  for (int d = 1; d <= 3; ++d) EXPECT_EQ(h.stake_of(s, d), 2);
+}
+
+// --- STRIPS cross-validation -------------------------------------------------
+
+TEST(HanoiStrips, UniverseAndActionCounts) {
+  const auto enc = gaplan::domains::build_hanoi_strips(3);
+  // Atoms: clear per disk (3) + clear per stake (3) + on(d, y) for each disk
+  // and each larger-disk-or-stake support.
+  // d1: 2+3=5, d2: 1+3=4, d3: 0+3=3 → 12 on-atoms + 6 clear = 18.
+  EXPECT_EQ(enc.domain->universe_size(), 18u);
+  // Actions: per disk, ordered support pairs: d1: 5*4=20, d2: 4*3=12, d3: 3*2=6.
+  EXPECT_EQ(enc.domain->actions().size(), 38u);
+}
+
+TEST(HanoiStrips, OptimalPlanLengthMatchesNative) {
+  const auto enc = gaplan::domains::build_hanoi_strips(3);
+  const auto problem = enc.problem();
+  // Execute the native optimal plan by matching move semantics: at each
+  // native state, exactly one STRIPS action mirrors the native move.
+  const Hanoi h(3);
+  auto native = h.initial_state();
+  auto strips_state = problem.initial_state();
+  for (const int op : h.optimal_plan()) {
+    const int from = op / 3;
+    const int to = op % 3;
+    const int disk = h.top_disk(native, from);
+    const int to_top = h.top_disk(native, to);
+    // Find the unique STRIPS action encoding this move: its "from" support is
+    // the next larger disk on the source stake (or the stake itself) and its
+    // destination is the target stake's top disk (or the stake itself).
+    std::string target = "move d" + std::to_string(disk) + " ";
+    int under = 0;
+    for (int d = disk + 1; d <= 3; ++d) {
+      if (h.stake_of(native, d) == from) {
+        under = d;
+        break;
+      }
+    }
+    target += under ? "d" + std::to_string(under)
+                    : std::string(1, static_cast<char>('A' + from));
+    target += " ";
+    target += to_top ? "d" + std::to_string(to_top)
+                     : std::string(1, static_cast<char>('A' + to));
+    int found = -1;
+    for (std::size_t i = 0; i < problem.op_count(); ++i) {
+      if (problem.domain().action(i).name() == target) {
+        found = static_cast<int>(i);
+        break;
+      }
+    }
+    ASSERT_GE(found, 0) << "no STRIPS action named '" << target << "'";
+    ASSERT_TRUE(problem.op_applicable(strips_state, found));
+    problem.apply(strips_state, found);
+    h.apply(native, op);
+  }
+  EXPECT_TRUE(problem.is_goal(strips_state));
+  EXPECT_TRUE(h.is_goal(native));
+}
+
+TEST(HanoiStrips, ValidMoveCountsMatchNativeAlongRandomWalk) {
+  // The STRIPS encoding and the native domain must expose exactly the same
+  // number of legal moves in corresponding states.
+  const int n = 4;
+  const auto enc = gaplan::domains::build_hanoi_strips(n);
+  const auto problem = enc.problem();
+  const Hanoi h(n);
+  gaplan::util::Rng rng(77);
+  auto native = h.initial_state();
+  std::vector<int> native_ops, strips_ops;
+  for (int step = 0; step < 200; ++step) {
+    const auto strips_state =
+        gaplan::domains::hanoi_to_strips_state(h, native, enc);
+    h.valid_ops(native, native_ops);
+    problem.valid_ops(strips_state, strips_ops);
+    ASSERT_EQ(native_ops.size(), strips_ops.size()) << "at step " << step;
+    const int op = native_ops[rng.below(native_ops.size())];
+    h.apply(native, op);
+  }
+}
+
+TEST(HanoiStrips, ConverterMatchesInitialState) {
+  const int n = 3;
+  const auto enc = gaplan::domains::build_hanoi_strips(n);
+  const Hanoi h(n);
+  const auto converted = gaplan::domains::hanoi_to_strips_state(
+      h, h.initial_state(), enc);
+  EXPECT_EQ(converted, enc.initial);
+}
+
+TEST(HanoiStrips, RejectsOutOfRange) {
+  EXPECT_THROW(gaplan::domains::build_hanoi_strips(0), std::invalid_argument);
+  EXPECT_THROW(gaplan::domains::build_hanoi_strips(17), std::invalid_argument);
+}
+
+}  // namespace

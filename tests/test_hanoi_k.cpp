@@ -1,0 +1,124 @@
+// Generalized k-stake Hanoi (Frame-Stewart / Reve's puzzle).
+#include <gtest/gtest.h>
+
+#include "core/multiphase.hpp"
+#include "core/problem.hpp"
+#include "domains/hanoi.hpp"
+#include "domains/hanoi_k.hpp"
+#include "search/bfs.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gaplan;
+using domains::HanoiK;
+
+static_assert(ga::PlanningProblem<HanoiK>);
+static_assert(ga::DirectEncodable<HanoiK>);
+
+TEST(HanoiK, RejectsBadArguments) {
+  EXPECT_THROW(HanoiK(0, 4), std::invalid_argument);
+  EXPECT_THROW(HanoiK(22, 4), std::invalid_argument);
+  EXPECT_THROW(HanoiK(3, 2), std::invalid_argument);
+  EXPECT_THROW(HanoiK(3, 9), std::invalid_argument);
+}
+
+TEST(HanoiK, FrameStewartMatchesClassicAtThreeStakes) {
+  for (const int n : {1, 3, 5, 8, 12}) {
+    const HanoiK h(n, 3);
+    EXPECT_EQ(h.frame_stewart_length(), (std::uint64_t{1} << n) - 1) << n;
+  }
+}
+
+TEST(HanoiK, FrameStewartKnownFourStakeValues) {
+  // Reve's puzzle: 1, 3, 5, 9, 13, 17, 25, 33, 41, 49 for n = 1..10.
+  const std::uint64_t expected[] = {1, 3, 5, 9, 13, 17, 25, 33, 41, 49};
+  for (int n = 1; n <= 10; ++n) {
+    const HanoiK h(n, 4);
+    EXPECT_EQ(h.frame_stewart_length(), expected[n - 1]) << n << " disks";
+  }
+}
+
+TEST(HanoiK, BfsOptimaMatchFrameStewartOnFourStakes) {
+  // Bousch (2014): Frame-Stewart is exactly optimal for k = 4. Verify by
+  // exhaustive search on small instances.
+  for (const int n : {1, 2, 3, 4, 5, 6}) {
+    const HanoiK h(n, 4);
+    const auto r = search::bfs(h, h.initial_state());
+    ASSERT_TRUE(r.found) << n;
+    EXPECT_EQ(r.plan.size(), h.frame_stewart_length()) << n << " disks";
+  }
+}
+
+TEST(HanoiK, ThreeStakeVariantMatchesClassicDomain) {
+  // HanoiK(n, 3) and Hanoi(n) must expose the same number of legal moves
+  // along identical random walks.
+  const int n = 5;
+  const HanoiK generalized(n, 3);
+  const domains::Hanoi classic(n);
+  auto gs = generalized.initial_state();
+  auto cs = classic.initial_state();
+  util::Rng rng(3);
+  std::vector<int> gops, cops;
+  for (int step = 0; step < 200; ++step) {
+    generalized.valid_ops(gs, gops);
+    classic.valid_ops(cs, cops);
+    ASSERT_EQ(gops.size(), cops.size()) << "step " << step;
+    // Both enumerate (from, to) pairs in ascending order with the same
+    // stake indexing, so the k-th ops correspond.
+    const std::size_t pick = rng.below(gops.size());
+    generalized.apply(gs, gops[pick]);
+    classic.apply(cs, cops[pick]);
+    ASSERT_EQ(generalized.is_goal(gs), classic.is_goal(cs));
+  }
+}
+
+TEST(HanoiK, MoreStakesNeverLengthenThePlan) {
+  for (int n = 2; n <= 12; ++n) {
+    std::uint64_t prev = std::numeric_limits<std::uint64_t>::max();
+    for (const int k : {3, 4, 5, 6}) {
+      const HanoiK h(n, k);
+      const auto len = h.frame_stewart_length();
+      EXPECT_LE(len, prev) << n << " disks, " << k << " stakes";
+      prev = len;
+    }
+  }
+}
+
+TEST(HanoiK, GaSolvesFourStakeInstancesWithShorterPlans) {
+  const int n = 6;
+  ga::GaConfig cfg;
+  cfg.population_size = 100;
+  cfg.generations = 60;
+  cfg.phases = 4;
+  cfg.initial_length = 17;  // FS(6,4) = 17
+  cfg.max_length = 170;
+  const HanoiK four(n, 4);
+  const auto result = ga::run_multiphase(four, cfg, 2);
+  ASSERT_TRUE(result.valid);
+  EXPECT_TRUE(ga::plan_solves(four, four.initial_state(), result.plan));
+  EXPECT_GE(result.plan.size(), four.frame_stewart_length());
+  // The 4-stake GA plan should be far below the 3-stake optimum of 63.
+  EXPECT_LT(result.plan.size(), 63u);
+}
+
+TEST(HanoiK, GoalFitnessUsesEq5Weights) {
+  const HanoiK h(4, 5);
+  auto s = h.initial_state();
+  EXPECT_DOUBLE_EQ(h.goal_fitness(s), 0.0);
+  // Move d1 straight to the goal stake: weight 1 of 15.
+  ASSERT_TRUE(h.op_applicable(s, 0 * 5 + 1));
+  h.apply(s, 0 * 5 + 1);
+  EXPECT_DOUBLE_EQ(h.goal_fitness(s), 1.0 / 15.0);
+}
+
+TEST(HanoiK, HashAndLabels) {
+  const HanoiK h(3, 4);
+  auto a = h.initial_state();
+  auto b = a;
+  h.apply(b, 0 * 4 + 3);
+  EXPECT_NE(h.hash(a), h.hash(b));
+  EXPECT_EQ(h.op_label(a, 0 * 4 + 3), "move A->D");
+}
+
+}  // namespace

@@ -1,0 +1,169 @@
+// Cross-module integration: GA planner over the STRIPS substrate, GA vs
+// baseline agreement, end-to-end grid workflow runs.
+#include <gtest/gtest.h>
+
+#include "core/island.hpp"
+#include "core/multiphase.hpp"
+#include "domains/hanoi.hpp"
+#include "domains/hanoi_strips.hpp"
+#include "domains/sliding_tile.hpp"
+#include "grid/replanner.hpp"
+#include "grid/scenario.hpp"
+#include "search/astar.hpp"
+#include "search/bfs.hpp"
+#include "strips/reader.hpp"
+#include "strips/validator.hpp"
+
+namespace {
+
+using namespace gaplan;
+
+TEST(Integration, GaSolvesStripsHanoi) {
+  // The same planner that runs native domains runs the STRIPS substrate.
+  const auto enc = domains::build_hanoi_strips(3);
+  const auto problem = enc.problem();
+  ga::GaConfig cfg;
+  cfg.population_size = 100;
+  cfg.generations = 60;
+  cfg.phases = 4;
+  cfg.initial_length = 14;
+  cfg.max_length = 70;
+  const auto result = ga::run_multiphase(problem, cfg, 1);
+  ASSERT_TRUE(result.valid);
+  const auto verdict = strips::validate_plan(problem, result.plan);
+  EXPECT_TRUE(verdict.valid) << verdict.message;
+}
+
+TEST(Integration, GaPlanNeverBeatsOptimalLength) {
+  const domains::Hanoi h(4);
+  ga::GaConfig cfg;
+  cfg.population_size = 100;
+  cfg.generations = 60;
+  cfg.phases = 5;
+  cfg.initial_length = 15;
+  cfg.max_length = 150;
+  const auto optimal = search::bfs(h, h.initial_state());
+  ASSERT_TRUE(optimal.found);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto result = ga::run_multiphase(h, cfg, seed);
+    if (result.valid) {
+      EXPECT_GE(result.plan.size(), optimal.plan.size());
+    }
+  }
+}
+
+TEST(Integration, GaSolvesParsedTextDomain) {
+  const auto parsed = strips::parse_strips(R"(
+(domain ferry
+  (action board   (pre (car a) (ferry here))   (add (car onboard)) (del (car a)))
+  (action sail-out(pre (ferry here))           (add (ferry there)) (del (ferry here)))
+  (action sail-in (pre (ferry there))          (add (ferry here))  (del (ferry there)))
+  (action debark  (pre (car onboard) (ferry there)) (add (car b)) (del (car onboard))))
+(problem move-car (init (car a) (ferry here)) (goal (car b) (ferry here)))
+)");
+  const auto problem = parsed.problem(0);
+  ga::GaConfig cfg;
+  cfg.population_size = 80;
+  cfg.generations = 40;
+  cfg.phases = 3;
+  cfg.initial_length = 8;
+  cfg.max_length = 40;
+  cfg.crossover = ga::CrossoverKind::kMixed;
+  const auto result = ga::run_multiphase(problem, cfg, 2);
+  ASSERT_TRUE(result.valid);
+  EXPECT_TRUE(strips::validate_plan(problem, result.plan).valid);
+  EXPECT_GE(result.plan.size(), 4u);  // board, sail, debark, sail back
+}
+
+TEST(Integration, GaSolvesEasyEightPuzzleReliably) {
+  util::Rng inst_rng(3);
+  const domains::SlidingTile gen(3);
+  const auto start = gen.scrambled(12, inst_rng);
+  const domains::SlidingTile p(3, start);
+  ga::GaConfig cfg;
+  cfg.population_size = 100;
+  cfg.generations = 80;
+  cfg.phases = 5;
+  cfg.initial_length = 29;  // paper's n² ⌈log2 n²⌉ near 3x3
+  cfg.max_length = 290;
+  int solved = 0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto result = ga::run_multiphase(p, cfg, seed);
+    if (result.valid) {
+      ++solved;
+      EXPECT_TRUE(ga::plan_solves(p, start, result.plan));
+    }
+  }
+  EXPECT_GE(solved, 2) << "GA failed an easy 8-puzzle repeatedly";
+}
+
+TEST(Integration, IslandModelAgreesWithValidator) {
+  const auto enc = domains::build_hanoi_strips(3);
+  const auto problem = enc.problem();
+  ga::GaConfig cfg;
+  cfg.population_size = 50;
+  cfg.generations = 60;
+  cfg.initial_length = 14;
+  cfg.max_length = 70;
+  ga::IslandConfig icfg;
+  icfg.islands = 3;
+  icfg.migration_interval = 10;
+  util::Rng rng(4);
+  const auto result = ga::run_islands(problem, cfg, icfg, rng);
+  if (result.found_valid) {
+    EXPECT_TRUE(strips::validate_plan(problem, result.best.eval.ops).valid);
+  }
+}
+
+TEST(Integration, WorkflowPlanAlwaysBuildsExecutableGraph) {
+  // Any valid GA workflow plan must convert to an activity graph the
+  // coordinator can run to completion on the healthy grid.
+  const auto sc = grid::image_pipeline();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    grid::ResourcePool pool = grid::demo_pool();
+    const auto problem = sc.problem(pool);
+    ga::GaConfig cfg;
+    cfg.population_size = 60;
+    cfg.generations = 40;
+    cfg.phases = 3;
+    cfg.initial_length = 8;
+    cfg.max_length = 32;
+    const auto planned = ga::run_multiphase(problem, cfg, seed);
+    if (!planned.valid) continue;
+    const auto graph = grid::ActivityGraph::from_plan(
+        problem, problem.initial_state(), planned.plan);
+    grid::Coordinator coordinator(problem, pool);
+    const auto report =
+        coordinator.execute(graph, problem.initial_state(), {});
+    EXPECT_TRUE(report.completed) << "seed " << seed;
+    EXPECT_TRUE(problem.is_goal(report.data_state));
+  }
+}
+
+TEST(Integration, CostSensitiveGaPrefersCheaperPlans) {
+  // With inverse-cost fitness, raising every machine's price except one
+  // should steer the plan toward the cheap machine.
+  const auto sc = grid::image_pipeline();
+  grid::ResourcePool pool = grid::demo_pool();
+  // Make machine 1 dramatically cheaper than everything else.
+  pool.machine(0).cost_rate = 100.0;
+  pool.machine(2).cost_rate = 100.0;
+  pool.machine(3).cost_rate = 100.0;
+  pool.machine(1).cost_rate = 0.01;
+  const auto problem = sc.problem(pool);
+  ga::GaConfig cfg;
+  cfg.population_size = 100;
+  cfg.generations = 60;
+  cfg.phases = 3;
+  cfg.initial_length = 8;
+  cfg.max_length = 32;
+  cfg.cost_fitness = ga::CostFitnessKind::kInverseCost;
+  const auto result = ga::run_multiphase(problem, cfg, 9);
+  ASSERT_TRUE(result.valid);
+  std::size_t on_cheap = 0;
+  for (const int op : result.plan) on_cheap += problem.op_machine(op) == 1;
+  // Most steps should land on the cheap machine (fft-wide may need bigmem).
+  EXPECT_GE(on_cheap * 2, result.plan.size());
+}
+
+}  // namespace

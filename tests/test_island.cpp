@@ -1,0 +1,132 @@
+// Island-model GA extension.
+#include <gtest/gtest.h>
+
+#include "core/island.hpp"
+#include "domains/hanoi.hpp"
+
+namespace {
+
+using namespace gaplan;
+using domains::Hanoi;
+
+ga::GaConfig base_config() {
+  ga::GaConfig cfg;
+  cfg.population_size = 30;
+  cfg.generations = 40;
+  cfg.initial_length = 15;
+  cfg.max_length = 80;
+  cfg.stop_on_valid = true;
+  return cfg;
+}
+
+TEST(Island, SolvesHanoiAcrossIslands) {
+  const Hanoi h(3);
+  auto cfg = base_config();
+  cfg.initial_length = 7;
+  ga::IslandConfig icfg;
+  icfg.islands = 3;
+  icfg.migration_interval = 10;
+  util::Rng rng(1);
+  const auto result = ga::run_islands(h, cfg, icfg, rng);
+  ASSERT_TRUE(result.found_valid);
+  EXPECT_TRUE(result.best.eval.valid);
+  EXPECT_TRUE(ga::plan_solves(h, h.initial_state(), result.best.eval.ops));
+  EXPECT_LT(result.best_island, icfg.islands);
+}
+
+TEST(Island, ReportsPerIslandResults) {
+  const Hanoi h(4);
+  const auto cfg = base_config();
+  ga::IslandConfig icfg;
+  icfg.islands = 4;
+  util::Rng rng(2);
+  const auto result = ga::run_islands(h, cfg, icfg, rng);
+  EXPECT_EQ(result.islands.size(), 4u);
+  for (const auto& island : result.islands) {
+    EXPECT_EQ(island.history.size(), island.generations_run);
+  }
+}
+
+TEST(Island, BestDominatesAllIslandBests) {
+  const Hanoi h(5);
+  auto cfg = base_config();
+  cfg.stop_on_valid = false;
+  cfg.generations = 25;
+  ga::IslandConfig icfg;
+  icfg.islands = 3;
+  icfg.migration_interval = 8;
+  util::Rng rng(3);
+  const auto result = ga::run_islands(h, cfg, icfg, rng);
+  for (const auto& island : result.islands) {
+    EXPECT_FALSE(
+        ga::better_solution(island.best.eval, result.best.eval));
+  }
+}
+
+TEST(Island, MigrationCountMatchesSchedule) {
+  const Hanoi h(6);  // hard: no early stop expected at this budget
+  auto cfg = base_config();
+  cfg.generations = 30;
+  cfg.population_size = 20;
+  cfg.stop_on_valid = false;
+  ga::IslandConfig icfg;
+  icfg.islands = 2;
+  icfg.migration_interval = 10;
+  util::Rng rng(4);
+  const auto result = ga::run_islands(h, cfg, icfg, rng);
+  EXPECT_EQ(result.generations_run, 30u);
+  // Migrations at generation boundaries 10 and 20 (not after the last gen).
+  EXPECT_EQ(result.migrations, 2u);
+}
+
+TEST(Island, SingleIslandNeverMigrates) {
+  const Hanoi h(4);
+  auto cfg = base_config();
+  cfg.stop_on_valid = false;
+  cfg.generations = 20;
+  ga::IslandConfig icfg;
+  icfg.islands = 1;
+  icfg.migration_interval = 5;
+  util::Rng rng(5);
+  const auto result = ga::run_islands(h, cfg, icfg, rng);
+  EXPECT_EQ(result.migrations, 0u);
+  EXPECT_EQ(result.islands.size(), 1u);
+}
+
+TEST(Island, ZeroIntervalDisablesMigration) {
+  const Hanoi h(4);
+  auto cfg = base_config();
+  cfg.stop_on_valid = false;
+  cfg.generations = 15;
+  ga::IslandConfig icfg;
+  icfg.islands = 3;
+  icfg.migration_interval = 0;
+  util::Rng rng(6);
+  const auto result = ga::run_islands(h, cfg, icfg, rng);
+  EXPECT_EQ(result.migrations, 0u);
+}
+
+TEST(Island, DeterministicBySeed) {
+  const Hanoi h(4);
+  const auto cfg = base_config();
+  ga::IslandConfig icfg;
+  icfg.islands = 3;
+  icfg.migration_interval = 7;
+  util::Rng r1(9), r2(9);
+  const auto a = ga::run_islands(h, cfg, icfg, r1);
+  const auto b = ga::run_islands(h, cfg, icfg, r2);
+  EXPECT_EQ(a.best.genes, b.best.genes);
+  EXPECT_EQ(a.generations_run, b.generations_run);
+  EXPECT_EQ(a.migrations, b.migrations);
+}
+
+TEST(Island, RejectsZeroIslands) {
+  const Hanoi h(3);
+  const auto cfg = base_config();
+  ga::IslandConfig icfg;
+  icfg.islands = 0;
+  util::Rng rng(10);
+  EXPECT_THROW(ga::run_islands(h, cfg, icfg, rng), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,174 @@
+// Multi-phase GA planning (§3.5).
+#include <gtest/gtest.h>
+
+#include "core/multiphase.hpp"
+#include "domains/hanoi.hpp"
+
+namespace {
+
+using namespace gaplan;
+using domains::Hanoi;
+
+ga::GaConfig multiphase_config() {
+  ga::GaConfig cfg;
+  cfg.population_size = 60;
+  cfg.generations = 40;
+  cfg.phases = 5;
+  cfg.initial_length = 15;
+  cfg.max_length = 150;
+  return cfg;
+}
+
+TEST(MultiPhase, SolvesFourDiskHanoi) {
+  const Hanoi h(4);
+  const auto result = ga::run_multiphase(h, multiphase_config(), /*seed=*/1);
+  ASSERT_TRUE(result.valid);
+  EXPECT_TRUE(ga::plan_solves(h, h.initial_state(), result.plan));
+  EXPECT_DOUBLE_EQ(result.goal_fitness, 1.0);
+}
+
+TEST(MultiPhase, ConcatenatedPlanMatchesPhaseBests) {
+  const Hanoi h(4);
+  auto cfg = multiphase_config();
+  cfg.monotone_phases = false;  // every phase best is appended
+  const auto result = ga::run_multiphase(h, cfg, 2);
+  std::size_t total = 0;
+  for (const auto& phase : result.phases) total += phase.best.eval.ops.size();
+  EXPECT_EQ(result.plan.size(), total);
+}
+
+TEST(MultiPhase, MonotoneGuardNeverLowersGoalFitness) {
+  // With the guard on, the chained state's goal fitness is non-decreasing
+  // across phases even when individual phases regress.
+  const Hanoi h(7);  // hard: phases will fail and regress at this tiny budget
+  auto cfg = multiphase_config();
+  cfg.population_size = 20;
+  cfg.generations = 8;
+  cfg.phases = 6;
+  cfg.monotone_phases = true;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto result = ga::run_multiphase(h, cfg, seed);
+    // Replay the accepted plan; fitness at the final state must be at least
+    // the initial state's.
+    auto s = h.initial_state();
+    const double start_fit = h.goal_fitness(s);
+    for (const int op : result.plan) h.apply(s, op);
+    EXPECT_GE(h.goal_fitness(s), start_fit);
+    EXPECT_DOUBLE_EQ(h.goal_fitness(s), result.goal_fitness);
+  }
+}
+
+TEST(MultiPhase, PhasesRunFullGenerationBudget) {
+  // The paper's procedure checks validity at phase boundaries, so a phase
+  // never ends early even if a valid individual appears mid-phase.
+  const Hanoi h(4);
+  auto cfg = multiphase_config();
+  const auto result = ga::run_multiphase(h, cfg, 3);
+  for (const auto& phase : result.phases) {
+    EXPECT_EQ(phase.generations_run, cfg.generations);
+  }
+  EXPECT_EQ(result.generations_total, result.phases_run * cfg.generations);
+}
+
+TEST(MultiPhase, StopsAtFirstValidPhase) {
+  const Hanoi h(3);
+  auto cfg = multiphase_config();
+  cfg.initial_length = 7;
+  cfg.max_length = 70;
+  const auto result = ga::run_multiphase(h, cfg, 4);
+  ASSERT_TRUE(result.valid);
+  EXPECT_EQ(result.phase_found, result.phases_run - 1);
+  EXPECT_EQ(result.phases.size(), result.phases_run);
+  EXPECT_LE(result.phases_run, cfg.phases);
+}
+
+TEST(MultiPhase, SinglePhaseDegeneratesToEngineRun) {
+  const Hanoi h(3);
+  auto cfg = multiphase_config();
+  cfg.phases = 1;
+  cfg.initial_length = 7;
+  cfg.stop_on_valid = true;
+  const auto result = ga::run_multiphase(h, cfg, 5);
+  ASSERT_TRUE(result.valid);
+  // Early stop: fewer generations than the budget were consumed.
+  EXPECT_LT(result.generations_total, cfg.generations);
+}
+
+TEST(MultiPhase, PhaseStartsChainThroughBestFinalStates) {
+  const Hanoi h(6);  // hard enough that several phases run
+  auto cfg = multiphase_config();
+  cfg.generations = 15;
+  cfg.monotone_phases = false;  // paper-faithful chaining: every phase accepted
+  const auto result = ga::run_multiphase(h, cfg, 6);
+  ASSERT_GE(result.phases.size(), 2u);
+  // Replay the concatenated plan; after each phase's segment the state must
+  // equal that phase's best final state.
+  auto s = h.initial_state();
+  for (const auto& phase : result.phases) {
+    for (const int op : phase.best.eval.ops) h.apply(s, op);
+    EXPECT_TRUE(s == phase.best.eval.final_state);
+  }
+}
+
+TEST(MultiPhase, InvalidRunStillReportsBestEffort) {
+  const Hanoi h(8);  // far too hard for this tiny budget
+  auto cfg = multiphase_config();
+  cfg.population_size = 20;
+  cfg.generations = 5;
+  cfg.phases = 2;
+  const auto result = ga::run_multiphase(h, cfg, 7);
+  EXPECT_FALSE(result.valid);
+  EXPECT_EQ(result.phases_run, 2u);
+  EXPECT_EQ(result.phase_found, ga::kNoGoal);
+  EXPECT_GT(result.goal_fitness, 0.0);
+  EXPECT_LT(result.goal_fitness, 1.0);
+  EXPECT_FALSE(result.plan.empty());
+}
+
+TEST(MultiPhase, DeterministicBySeed) {
+  const Hanoi h(5);
+  const auto cfg = multiphase_config();
+  const auto a = ga::run_multiphase(h, cfg, 42);
+  const auto b = ga::run_multiphase(h, cfg, 42);
+  EXPECT_EQ(a.valid, b.valid);
+  EXPECT_EQ(a.plan, b.plan);
+  EXPECT_EQ(a.generations_total, b.generations_total);
+}
+
+TEST(MultiPhase, RunFromExplicitStartState) {
+  const Hanoi h(4);
+  // Start halfway along the optimal plan: the planner finishes the job.
+  auto mid = h.initial_state();
+  const auto optimal = h.optimal_plan();
+  for (std::size_t i = 0; i < optimal.size() / 2; ++i) h.apply(mid, optimal[i]);
+  util::Rng rng(8);
+  const auto result =
+      ga::run_multiphase_from(h, multiphase_config(), mid, rng);
+  ASSERT_TRUE(result.valid);
+  EXPECT_TRUE(ga::plan_solves(h, mid, result.plan));
+}
+
+TEST(MultiPhase, MultiPhaseBeatsSinglePhaseOnSixDisks) {
+  // The paper's Table 2 headline: at 6 disks the multi-phase GA reaches a
+  // strictly better average goal fitness than the single-phase GA with the
+  // same total generation budget.
+  const Hanoi h(6);
+  ga::GaConfig single = multiphase_config();
+  single.phases = 1;
+  single.generations = 150;
+  single.initial_length = 63;
+  single.max_length = 630;
+  ga::GaConfig multi = single;
+  multi.phases = 5;
+  multi.generations = 30;
+
+  double single_sum = 0, multi_sum = 0;
+  const int runs = 3;
+  for (int r = 0; r < runs; ++r) {
+    single_sum += ga::run_multiphase(h, single, 100 + r).goal_fitness;
+    multi_sum += ga::run_multiphase(h, multi, 100 + r).goal_fitness;
+  }
+  EXPECT_GE(multi_sum, single_sum);
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "core/problem.hpp"
+#include "domains/navigation.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using gaplan::domains::Navigation;
+using gaplan::domains::NavState;
+
+static_assert(gaplan::ga::PlanningProblem<Navigation>);
+static_assert(gaplan::ga::DirectEncodable<Navigation>);
+
+Navigation corridor() {
+  // 5x1 corridor, robot at left end, goal at right end.
+  return Navigation(5, 1, {}, {0}, {4});
+}
+
+TEST(Navigation, RejectsBadInstances) {
+  EXPECT_THROW(Navigation(0, 5, {}, {0}, {1}), std::invalid_argument);
+  EXPECT_THROW(Navigation(3, 3, {}, {}, {}), std::invalid_argument);
+  EXPECT_THROW(Navigation(3, 3, {0}, {0}, {1}), std::invalid_argument)
+      << "start on obstacle";
+  EXPECT_THROW(Navigation(3, 3, {99}, {0}, {1}), std::invalid_argument);
+  EXPECT_THROW(Navigation(3, 3, {}, {0, 0}, {1, 2}), std::invalid_argument)
+      << "robots share a start";
+  EXPECT_THROW(Navigation(3, 3, {}, {0, 1, 2, 3, 4}, {5, 6, 7, 8, 2}),
+               std::invalid_argument)
+      << "too many robots";
+}
+
+TEST(Navigation, CorridorMoves) {
+  const auto nav = corridor();
+  std::vector<int> ops;
+  nav.valid_ops(nav.initial_state(), ops);
+  ASSERT_EQ(ops.size(), 1u);  // only East from the left end of a 1-high strip
+  EXPECT_EQ(ops[0], Navigation::kEast);
+}
+
+TEST(Navigation, WallsBlockMovement) {
+  // Cell 4 = (1,1), the centre of the 3x3 grid, is blocked.
+  const Navigation nav(3, 3, {4}, {0}, {8});
+  std::vector<int> ops;
+  nav.valid_ops(nav.initial_state(), ops);
+  // From corner (0,0): S and E; E leads to (1,0), S to (0,1). Center (1,1)
+  // is blocked so no op reaches it directly from the corner anyway.
+  EXPECT_EQ(ops.size(), 2u);
+  auto s = nav.initial_state();
+  nav.apply(s, Navigation::kEast);  // at (1,0)
+  EXPECT_FALSE(nav.op_applicable(s, Navigation::kSouth));  // (1,1) blocked
+}
+
+TEST(Navigation, RobotsCollide) {
+  const Navigation nav(3, 1, {}, {0, 1}, {2, 0});
+  const auto s = nav.initial_state();
+  // Robot 0 at cell 0 cannot move east into robot 1 at cell 1.
+  EXPECT_FALSE(nav.op_applicable(s, 0 * 4 + Navigation::kEast));
+  // Robot 1 can move east into free cell 2.
+  EXPECT_TRUE(nav.op_applicable(s, 1 * 4 + Navigation::kEast));
+}
+
+TEST(Navigation, TwoRobotSwapRequiresSidestep) {
+  // Classic 2-robot pass: corridor with a bay. Solvable plan exists.
+  //   . . .
+  //   # . #
+  const Navigation nav(3, 2, {3, 5}, {0, 2}, {2, 0});
+  auto s = nav.initial_state();
+  const std::vector<int> plan{
+      1 * 4 + Navigation::kWest,   // B to middle
+      1 * 4 + Navigation::kSouth,  // B into bay
+      0 * 4 + Navigation::kEast,   // A to middle
+      0 * 4 + Navigation::kEast,   // A to right end (B's old spot)
+      1 * 4 + Navigation::kNorth,  // B out of bay
+      1 * 4 + Navigation::kWest,   // B to left end
+  };
+  EXPECT_TRUE(gaplan::ga::plan_solves(nav, s, plan));
+}
+
+TEST(Navigation, ManhattanAndGoalFitness) {
+  const auto nav = corridor();
+  auto s = nav.initial_state();
+  EXPECT_EQ(nav.manhattan(s), 4);
+  EXPECT_DOUBLE_EQ(nav.goal_fitness(s), 0.0);  // worst case on this grid
+  nav.apply(s, Navigation::kEast);
+  EXPECT_EQ(nav.manhattan(s), 3);
+  EXPECT_GT(nav.goal_fitness(s), 0.0);
+  for (int i = 0; i < 3; ++i) nav.apply(s, Navigation::kEast);
+  EXPECT_TRUE(nav.is_goal(s));
+  EXPECT_DOUBLE_EQ(nav.goal_fitness(s), 1.0);
+}
+
+TEST(Navigation, RandomInstanceRespectsFractions) {
+  gaplan::util::Rng rng(3);
+  const auto nav = Navigation::random_instance(10, 10, 2, 0.2, rng);
+  int blocked = 0;
+  for (int c = 0; c < 100; ++c) blocked += nav.blocked(c);
+  EXPECT_EQ(blocked, 20);
+  EXPECT_EQ(nav.robots(), 2);
+  EXPECT_FALSE(nav.is_goal(nav.initial_state()));
+}
+
+TEST(Navigation, HashAndRender) {
+  const auto nav = corridor();
+  auto a = nav.initial_state();
+  auto b = a;
+  nav.apply(b, Navigation::kEast);
+  EXPECT_NE(nav.hash(a), nav.hash(b));
+  const auto art = nav.render(a);
+  EXPECT_NE(art.find('A'), std::string::npos);  // robot
+  EXPECT_NE(art.find('a'), std::string::npos);  // its goal
+  EXPECT_EQ(nav.op_label(a, Navigation::kEast), "robot0 E");
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+// Dynamic re-planning vs the static script (§1's motivating argument).
+#include <gtest/gtest.h>
+
+#include "grid/replanner.hpp"
+#include "grid/scenario.hpp"
+
+namespace {
+
+using namespace gaplan;
+using namespace gaplan::grid;
+
+ReplanConfig quick_config(std::uint64_t seed) {
+  ReplanConfig cfg;
+  cfg.seed = seed;
+  cfg.ga.population_size = 60;
+  cfg.ga.generations = 40;
+  cfg.ga.phases = 3;
+  cfg.ga.initial_length = 8;
+  cfg.ga.max_length = 32;
+  cfg.ga.cost_fitness = ga::CostFitnessKind::kInverseCost;
+  return cfg;
+}
+
+TEST(Replanner, CompletesOnHealthyGrid) {
+  const Scenario sc = image_pipeline();
+  ResourcePool pool = demo_pool();
+  const auto problem = sc.problem(pool);
+  const auto outcome = plan_and_execute(problem, pool, {}, quick_config(1));
+  ASSERT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.planning_rounds, 1u);
+  EXPECT_GT(outcome.makespan, 0.0);
+  EXPECT_GT(outcome.total_cost, 0.0);
+}
+
+TEST(Replanner, StaticScriptMatchesOnHealthyGrid) {
+  const Scenario sc = image_pipeline();
+  ResourcePool pool = demo_pool();
+  const auto problem = sc.problem(pool);
+  const auto outcome = static_script_execute(problem, pool, {}, quick_config(1));
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.planning_rounds, 1u);
+}
+
+TEST(Replanner, SurvivesTotalFailureOfPlannedMachine) {
+  // Kill every machine's favourite one by one: whichever machine the first
+  // plan uses at t=1, fail it; re-planning must route around the failure.
+  const Scenario sc = image_pipeline();
+  for (MachineId victim = 0; victim < 4; ++victim) {
+    ResourcePool pool = demo_pool();
+    const auto problem = sc.problem(pool);
+    const std::vector<Disruption> disruptions = {
+        {1.0, victim, Disruption::Kind::kFailure, 0.0}};
+    const auto outcome =
+        plan_and_execute(problem, pool, disruptions, quick_config(2));
+    EXPECT_TRUE(outcome.completed) << "victim machine " << victim;
+  }
+}
+
+TEST(Replanner, ReplansFromReachedDataState) {
+  // Fail the slow machine mid-workflow; the second round must not redo work
+  // whose outputs already exist.
+  const Scenario sc = image_pipeline();
+  ResourcePool pool = demo_pool();
+  const auto problem = sc.problem(pool);
+  // Force traffic to machine 2 by making it free and everything else pricey:
+  // use the cost-sensitive config; demo pool's slow-campus is the cheap one.
+  const std::vector<Disruption> disruptions = {
+      {60.0, 2, Disruption::Kind::kFailure, 0.0}};
+  const auto outcome = plan_and_execute(problem, pool, disruptions, quick_config(3));
+  ASSERT_TRUE(outcome.completed);
+  if (outcome.planning_rounds > 1) {
+    const auto& first = outcome.rounds.front();
+    const auto& second = outcome.rounds[1];
+    EXPECT_GT(first.execution.tasks_completed, 0u);
+    EXPECT_LT(second.plan.size(), sc.catalog.program_count());
+    // Nothing in round 2 runs on the dead machine.
+    for (const int op : second.plan) {
+      EXPECT_NE(problem.op_machine(op), 2u);
+    }
+  }
+}
+
+TEST(Replanner, FailsGracefullyWhenGoalUnreachable) {
+  // The whole grid is down before anything runs: no plan can exist and the
+  // re-planner must report failure rather than loop.
+  const Scenario sc = image_pipeline();
+  ResourcePool pool = demo_pool();
+  const auto problem = sc.problem(pool);
+  for (MachineId m = 0; m < pool.size(); ++m) pool.set_up(m, false);
+  const auto outcome = plan_and_execute(problem, pool, {}, quick_config(4));
+  EXPECT_FALSE(outcome.completed);
+  EXPECT_NE(outcome.note.find("no valid plan"), std::string::npos);
+  EXPECT_EQ(outcome.planning_rounds, 1u);
+}
+
+TEST(Replanner, StaticScriptAbortsWhereReplannerCompletes) {
+  const Scenario sc = image_pipeline();
+  const auto cfg = quick_config(5);
+  // Find the machine the static plan uses first, then fail it mid-run.
+  ResourcePool probe_pool = demo_pool();
+  const auto probe_problem = sc.problem(probe_pool);
+  const auto probe = static_script_execute(probe_problem, probe_pool, {}, cfg);
+  ASSERT_TRUE(probe.completed);
+  ASSERT_FALSE(probe.rounds.front().execution.tasks.empty());
+  const auto& first_task = probe.rounds.front().execution.tasks.front();
+  const MachineId victim = first_task.machine;
+  const double when = (first_task.start + first_task.finish) / 2.0;
+  const std::vector<Disruption> disruptions = {
+      {when, victim, Disruption::Kind::kFailure, 0.0}};
+
+  ResourcePool static_pool = demo_pool();
+  const auto static_problem = sc.problem(static_pool);
+  const auto static_outcome =
+      static_script_execute(static_problem, static_pool, disruptions, cfg);
+  EXPECT_FALSE(static_outcome.completed);
+
+  ResourcePool dynamic_pool = demo_pool();
+  const auto dynamic_problem = sc.problem(dynamic_pool);
+  const auto dynamic_outcome =
+      plan_and_execute(dynamic_problem, dynamic_pool, disruptions, cfg);
+  EXPECT_TRUE(dynamic_outcome.completed);
+  EXPECT_GT(dynamic_outcome.planning_rounds, 1u);
+}
+
+TEST(Replanner, OutcomeAccountingIsConsistent) {
+  const Scenario sc = image_pipeline();
+  ResourcePool pool = demo_pool();
+  const auto problem = sc.problem(pool);
+  const std::vector<Disruption> disruptions = {
+      {30.0, 2, Disruption::Kind::kFailure, 0.0}};
+  const auto outcome = plan_and_execute(problem, pool, disruptions, quick_config(6));
+  EXPECT_EQ(outcome.rounds.size(), outcome.planning_rounds);
+  double cost = 0.0;
+  for (const auto& round : outcome.rounds) cost += round.execution.total_cost;
+  EXPECT_NEAR(outcome.total_cost, cost, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+// Property suite: every schedule the coordination service produces — over
+// random workloads, random pools, and GA-produced plans — satisfies the
+// discrete-event invariants (no machine overlap, dependency ordering,
+// consistent accounting, goal data produced).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/multiphase.hpp"
+#include "grid/coordinator.hpp"
+#include "grid/replanner.hpp"
+#include "grid/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gaplan;
+using namespace gaplan::grid;
+
+class ScheduleProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScheduleProperties, RandomWorkloadsScheduleConsistently) {
+  const std::uint64_t seed = GetParam();
+  util::Rng rng(seed);
+
+  // Random workload and random heterogeneous pool.
+  const auto scenario = random_layered(2 + rng.below(3), 2 + rng.below(3),
+                                       1 + rng.below(2), rng);
+  ResourcePool pool = ResourcePool::random_pool(2 + rng.below(4), 8.0, rng);
+  const auto problem = scenario.problem(pool);
+
+  // GA-plan it; skip seeds where the quick budget fails (validity of the
+  // planner is covered elsewhere).
+  ga::GaConfig cfg;
+  cfg.population_size = 80;
+  cfg.generations = 50;
+  cfg.phases = 4;
+  cfg.initial_length = 16;
+  cfg.max_length = 80;
+  const auto planned = ga::run_multiphase(problem, cfg, seed);
+  if (!planned.valid) GTEST_SKIP() << "planner budget miss on seed " << seed;
+
+  const auto graph =
+      ActivityGraph::from_plan(problem, problem.initial_state(), planned.plan);
+  Coordinator coordinator(problem, pool);
+  const auto report = coordinator.execute(graph, problem.initial_state(), {});
+
+  ASSERT_TRUE(report.completed);
+  EXPECT_EQ(report.tasks_completed, graph.size());
+  EXPECT_TRUE(problem.is_goal(report.data_state));
+
+  // Per-task sanity and dependency ordering.
+  std::map<std::size_t, const TaskRecord*> by_node;
+  double expected_cost = 0.0;
+  double max_finish = 0.0;
+  for (const auto& task : report.tasks) {
+    EXPECT_TRUE(task.completed);
+    EXPECT_GE(task.start, 0.0);
+    EXPECT_GT(task.finish, task.start);
+    by_node[task.node] = &task;
+    const auto& node = graph.nodes()[task.node];
+    EXPECT_EQ(task.machine, node.machine);
+    const double duration = task.finish - task.start;
+    EXPECT_NEAR(duration, problem.execution_seconds(node.program, node.machine),
+                1e-9);
+    expected_cost += duration * pool.machine(task.machine).cost_rate;
+    max_finish = std::max(max_finish, task.finish);
+  }
+  EXPECT_NEAR(report.total_cost, expected_cost, 1e-6);
+  EXPECT_NEAR(report.makespan, max_finish, 1e-9);
+
+  for (const auto& task : report.tasks) {
+    for (const std::size_t dep : graph.nodes()[task.node].deps) {
+      ASSERT_TRUE(by_node.contains(dep));
+      EXPECT_GE(task.start, by_node.at(dep)->finish - 1e-9)
+          << "task " << task.node << " started before dependency " << dep;
+    }
+  }
+
+  // No two tasks overlap on one machine.
+  std::map<MachineId, std::vector<const TaskRecord*>> per_machine;
+  for (const auto& task : report.tasks) per_machine[task.machine].push_back(&task);
+  for (auto& [machine, tasks] : per_machine) {
+    std::sort(tasks.begin(), tasks.end(),
+              [](const TaskRecord* a, const TaskRecord* b) {
+                return a->start < b->start;
+              });
+    for (std::size_t i = 1; i < tasks.size(); ++i) {
+      EXPECT_GE(tasks[i]->start, tasks[i - 1]->finish - 1e-9)
+          << "overlap on machine " << machine;
+    }
+  }
+
+  // The makespan can never beat the critical path.
+  EXPECT_GE(report.makespan, graph.critical_path_seconds(problem) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleProperties,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12));
+
+class ReplanProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReplanProperties, OutcomesAreInternallyConsistent) {
+  const std::uint64_t seed = GetParam();
+  util::Rng rng(seed * 77);
+  const auto scenario = image_pipeline();
+  ResourcePool pool = demo_pool();
+  const auto problem = scenario.problem(pool);
+
+  // Random disruption scenario: 0-2 overloads, 0-1 failure, time-sorted.
+  std::vector<Disruption> disruptions;
+  double t = 0.0;
+  const std::size_t count = rng.below(4);
+  for (std::size_t i = 0; i < count; ++i) {
+    t += rng.uniform(5.0, 60.0);
+    Disruption d;
+    d.time = t;
+    d.machine = rng.below(4);
+    d.kind = rng.chance(0.4) ? Disruption::Kind::kFailure
+                             : Disruption::Kind::kOverload;
+    d.load = rng.uniform(2.0, 6.0);
+    disruptions.push_back(d);
+  }
+
+  ReplanConfig cfg;
+  cfg.seed = seed;
+  cfg.ga.population_size = 60;
+  cfg.ga.generations = 40;
+  cfg.ga.phases = 3;
+  cfg.ga.initial_length = 8;
+  cfg.ga.max_length = 32;
+  const auto outcome = plan_and_execute(problem, pool, disruptions, cfg);
+
+  EXPECT_EQ(outcome.rounds.size(), outcome.planning_rounds);
+  double cost = 0.0;
+  for (const auto& round : outcome.rounds) cost += round.execution.total_cost;
+  EXPECT_NEAR(outcome.total_cost, cost, 1e-6);
+  if (outcome.completed) {
+    EXPECT_GT(outcome.makespan, 0.0);
+    // The final round's data state must contain the goal.
+    EXPECT_TRUE(problem.is_goal(outcome.rounds.back().execution.data_state));
+    // Rounds' executions advance in simulated time.
+    for (std::size_t r = 1; r < outcome.rounds.size(); ++r) {
+      if (outcome.rounds[r].execution.tasks.empty() ||
+          outcome.rounds[r - 1].execution.tasks.empty()) {
+        continue;
+      }
+      EXPECT_GE(outcome.rounds[r].execution.tasks.front().start,
+                outcome.rounds[r - 1].execution.tasks.front().start - 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplanProperties,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace

@@ -1,0 +1,81 @@
+// Tournament and roulette selection (§3.4.1).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/selection.hpp"
+
+namespace {
+
+using namespace gaplan;
+
+TEST(Tournament, SizeOneIsUniform) {
+  util::Rng rng(1);
+  const std::vector<double> fit{0.1, 0.9, 0.5, 0.7};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[ga::tournament_select(fit, 1, rng)];
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 1000);
+}
+
+TEST(Tournament, PrefersFitterIndividuals) {
+  util::Rng rng(2);
+  const std::vector<double> fit{0.1, 0.9};
+  int best = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) best += (ga::tournament_select(fit, 2, rng) == 1);
+  // Binary tournament picks the better of two uniform draws: P(best) = 3/4.
+  EXPECT_NEAR(static_cast<double>(best) / n, 0.75, 0.02);
+}
+
+TEST(Tournament, LargerTournamentsIncreasePressure) {
+  util::Rng rng(3);
+  std::vector<double> fit(10);
+  for (int i = 0; i < 10; ++i) fit[i] = i * 0.1;
+  auto mean_rank = [&](std::size_t k) {
+    util::Rng local(17);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      sum += static_cast<double>(ga::tournament_select(fit, k, local));
+    }
+    return sum / n;
+  };
+  EXPECT_LT(mean_rank(2), mean_rank(4));
+}
+
+TEST(Tournament, SingletonPopulation) {
+  util::Rng rng(4);
+  const std::vector<double> fit{0.5};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ga::tournament_select(fit, 2, rng), 0u);
+}
+
+TEST(Roulette, ProportionalToFitness) {
+  util::Rng rng(5);
+  const std::vector<double> fit{1.0, 3.0};
+  int second = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) second += (ga::roulette_select(fit, rng) == 1);
+  EXPECT_NEAR(static_cast<double>(second) / n, 0.75, 0.02);
+}
+
+TEST(Roulette, ZeroTotalFallsBackToUniform) {
+  util::Rng rng(6);
+  const std::vector<double> fit{0.0, 0.0, 0.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) ++counts[ga::roulette_select(fit, rng)];
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 1000);
+}
+
+TEST(Roulette, NegativeFitnessTreatedAsZero) {
+  util::Rng rng(7);
+  const std::vector<double> fit{-5.0, 1.0};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(ga::roulette_select(fit, rng), 1u);
+}
+
+TEST(Roulette, NeverSelectsOutOfRange) {
+  util::Rng rng(8);
+  const std::vector<double> fit{0.2, 0.3, 0.5};
+  for (int i = 0; i < 10000; ++i) ASSERT_LT(ga::roulette_select(fit, rng), 3u);
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// Plan simplification: loop excision and goal truncation.
+#include <gtest/gtest.h>
+
+#include "core/multiphase.hpp"
+#include "core/simplify.hpp"
+#include "domains/hanoi.hpp"
+#include "domains/sliding_tile.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gaplan;
+using domains::Hanoi;
+
+TEST(Simplify, EmptyAndOptimalPlansUntouched) {
+  const Hanoi h(3);
+  EXPECT_TRUE(ga::simplify_plan(h, h.initial_state(), {}).empty());
+  const auto optimal = h.optimal_plan();
+  EXPECT_EQ(ga::simplify_plan(h, h.initial_state(), optimal), optimal);
+}
+
+TEST(Simplify, RemovesImmediateBacktrack) {
+  const Hanoi h(3);
+  // A->B then B->A is a null loop; then the optimal plan.
+  std::vector<int> plan{1, 3};
+  const auto optimal = h.optimal_plan();
+  plan.insert(plan.end(), optimal.begin(), optimal.end());
+  const auto simplified = ga::simplify_plan(h, h.initial_state(), plan);
+  EXPECT_EQ(simplified, optimal);
+}
+
+TEST(Simplify, TruncatesAfterGoal) {
+  const Hanoi h(2);
+  auto plan = h.optimal_plan();
+  plan.push_back(3);  // wander off after solving (B->A is legal at goal)
+  plan.push_back(1);  // and return
+  const auto simplified = ga::simplify_plan(h, h.initial_state(), plan);
+  EXPECT_EQ(simplified, h.optimal_plan());
+}
+
+TEST(Simplify, StartAtGoalYieldsEmptyPlan) {
+  const Hanoi h(2);
+  auto goal = h.initial_state();
+  for (const int op : h.optimal_plan()) h.apply(goal, op);
+  EXPECT_TRUE(ga::simplify_plan(h, goal, {3, 1}).empty());
+}
+
+TEST(Simplify, NestedLoopsAllRemoved) {
+  const Hanoi h(3);
+  // Build a plan with nested wandering: A->B, B->C, C->B, B->A (back to
+  // start), then optimal.
+  std::vector<int> plan{1, 5, 7, 3};
+  const auto optimal = h.optimal_plan();
+  plan.insert(plan.end(), optimal.begin(), optimal.end());
+  const auto simplified = ga::simplify_plan(h, h.initial_state(), plan);
+  EXPECT_EQ(simplified, optimal);
+}
+
+TEST(Simplify, GaPlansShrinkButStayValid) {
+  const Hanoi h(5);
+  ga::GaConfig cfg;
+  cfg.population_size = 100;
+  cfg.generations = 60;
+  cfg.phases = 5;
+  cfg.initial_length = 31;
+  cfg.max_length = 310;
+  std::size_t raw_total = 0, simplified_total = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto result = ga::run_multiphase(h, cfg, seed);
+    if (!result.valid) continue;
+    const auto simplified =
+        ga::simplify_plan(h, h.initial_state(), result.plan);
+    EXPECT_TRUE(ga::plan_solves(h, h.initial_state(), simplified));
+    EXPECT_LE(simplified.size(), result.plan.size());
+    EXPECT_GE(simplified.size(), h.optimal_plan().size());
+    raw_total += result.plan.size();
+    simplified_total += simplified.size();
+  }
+  EXPECT_LT(simplified_total, raw_total)
+      << "simplification never removed anything from any GA plan";
+}
+
+TEST(Simplify, RandomWalkCollapsesCompletely) {
+  // A random walk that happens to return to its start simplifies to nothing.
+  const domains::SlidingTile p(3);
+  util::Rng rng(6);
+  auto s = p.initial_state();
+  std::vector<int> ops, plan;
+  // Out-and-back: a move followed by its inverse, several times.
+  constexpr int kInverse[4] = {1, 0, 3, 2};
+  for (int i = 0; i < 10; ++i) {
+    p.valid_ops(s, ops);
+    const int op = ops[rng.below(ops.size())];
+    plan.push_back(op);
+    plan.push_back(kInverse[op]);
+  }
+  EXPECT_TRUE(ga::simplify_plan(p, p.initial_state(), plan).empty());
+}
+
+TEST(Simplify, IdempotentOnItsOwnOutput) {
+  const Hanoi h(4);
+  ga::GaConfig cfg;
+  cfg.population_size = 80;
+  cfg.generations = 50;
+  cfg.phases = 4;
+  cfg.initial_length = 15;
+  cfg.max_length = 150;
+  const auto result = ga::run_multiphase(h, cfg, 11);
+  ASSERT_TRUE(result.valid);
+  const auto once = ga::simplify_plan(h, h.initial_state(), result.plan);
+  const auto twice = ga::simplify_plan(h, h.initial_state(), once);
+  EXPECT_EQ(once, twice);
+}
+
+}  // namespace

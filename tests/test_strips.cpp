@@ -1,0 +1,191 @@
+// STRIPS substrate: symbols, actions, domains, problems, validator.
+#include <gtest/gtest.h>
+
+#include "strips/action.hpp"
+#include "strips/domain.hpp"
+#include "strips/symbols.hpp"
+#include "strips/validator.hpp"
+
+namespace {
+
+using namespace gaplan::strips;
+
+TEST(SymbolTable, InternIsIdempotent) {
+  SymbolTable t;
+  const auto a = t.intern("foo");
+  const auto b = t.intern("bar");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.intern("foo"), a);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.name(a), "foo");
+}
+
+TEST(SymbolTable, LookupUnknownIsEmpty) {
+  SymbolTable t;
+  EXPECT_FALSE(t.lookup("nope").has_value());
+  t.intern("yes");
+  EXPECT_TRUE(t.lookup("yes").has_value());
+}
+
+// Builds the canonical two-atom toggle domain:
+//   atoms: p, q;  op1: {} => +p;  op2: {p} => +q, -p
+struct ToggleFixture {
+  Domain domain;
+  AtomId p, q;
+
+  ToggleFixture() {
+    p = domain.atom("p");
+    q = domain.atom("q");
+    const std::size_t n = domain.freeze();
+    Action make_p("make-p", n, 1.0);
+    make_p.add_add_effect(p);
+    domain.add_action(std::move(make_p));
+    Action swap("swap-p-for-q", n, 2.0);
+    swap.add_precondition(p);
+    swap.add_add_effect(q);
+    swap.add_delete_effect(p);
+    domain.add_action(std::move(swap));
+  }
+
+  Problem problem() const {
+    State init = domain.make_state();
+    State goal = domain.make_state();
+    goal.set(q);
+    return Problem(domain, init, goal);
+  }
+};
+
+TEST(Action, ApplicabilityIsPreconditionSubset) {
+  ToggleFixture f;
+  State s = f.domain.make_state();
+  EXPECT_TRUE(f.domain.action(0).applicable(s));   // no preconditions
+  EXPECT_FALSE(f.domain.action(1).applicable(s));  // needs p
+  s.set(f.p);
+  EXPECT_TRUE(f.domain.action(1).applicable(s));
+}
+
+TEST(Action, ApplyAddsAndDeletes) {
+  ToggleFixture f;
+  State s = f.domain.make_state();
+  f.domain.action(0).apply(s);
+  EXPECT_TRUE(s.test(f.p));
+  f.domain.action(1).apply(s);
+  EXPECT_FALSE(s.test(f.p));
+  EXPECT_TRUE(s.test(f.q));
+}
+
+TEST(Domain, FreezeGuardsUniverse) {
+  Domain d;
+  d.atom("a");
+  EXPECT_THROW(d.universe_size(), std::logic_error);
+  EXPECT_THROW(d.add_action(Action("x", 1)), std::logic_error);
+  d.freeze();
+  EXPECT_EQ(d.universe_size(), 1u);
+  EXPECT_NO_THROW(d.atom("a"));               // lookup of existing is fine
+  EXPECT_THROW(d.atom("new"), std::logic_error);  // new atoms rejected
+}
+
+TEST(Domain, ActionUniverseSizeMustMatch) {
+  Domain d;
+  d.atom("a");
+  d.freeze();
+  EXPECT_THROW(d.add_action(Action("wrong", 99)), std::invalid_argument);
+}
+
+TEST(Domain, DescribeNamesAtoms) {
+  ToggleFixture f;
+  State s = f.domain.make_state();
+  s.set(f.p);
+  EXPECT_EQ(f.domain.describe(s), "{p}");
+}
+
+TEST(Problem, ValidOpsInCanonicalOrder) {
+  ToggleFixture f;
+  const Problem prob = f.problem();
+  std::vector<int> ops;
+  State s = f.domain.make_state();
+  prob.valid_ops(s, ops);
+  EXPECT_EQ(ops, (std::vector<int>{0}));
+  s.set(f.p);
+  prob.valid_ops(s, ops);
+  EXPECT_EQ(ops, (std::vector<int>{0, 1}));
+}
+
+TEST(Problem, GoalFitnessIsGoalCount) {
+  ToggleFixture f;
+  State init = f.domain.make_state();
+  State goal = f.domain.make_state();
+  goal.set(f.p);
+  goal.set(f.q);
+  const Problem prob(f.domain, init, goal);
+  State s = f.domain.make_state();
+  EXPECT_DOUBLE_EQ(prob.goal_fitness(s), 0.0);
+  s.set(f.p);
+  EXPECT_DOUBLE_EQ(prob.goal_fitness(s), 0.5);
+  s.set(f.q);
+  EXPECT_DOUBLE_EQ(prob.goal_fitness(s), 1.0);
+  EXPECT_TRUE(prob.is_goal(s));
+}
+
+TEST(Problem, OpCostComesFromAction) {
+  ToggleFixture f;
+  const Problem prob = f.problem();
+  const State s = f.domain.make_state();
+  EXPECT_DOUBLE_EQ(prob.op_cost(s, 0), 1.0);
+  EXPECT_DOUBLE_EQ(prob.op_cost(s, 1), 2.0);
+  EXPECT_EQ(prob.op_label(s, 1), "swap-p-for-q");
+}
+
+TEST(Problem, RejectsUnfrozenOrMismatchedStates) {
+  Domain d;
+  d.atom("a");
+  EXPECT_THROW(Problem(d, State(1), State(1)), std::logic_error);
+  d.freeze();
+  EXPECT_THROW(Problem(d, State(5), State(1)), std::invalid_argument);
+}
+
+TEST(Validator, AcceptsSolvingPlan) {
+  ToggleFixture f;
+  const Problem prob = f.problem();
+  const auto r = validate_plan(prob, {0, 1});
+  EXPECT_TRUE(r.valid);
+  EXPECT_TRUE(r.goal_reached);
+  EXPECT_DOUBLE_EQ(r.total_cost, 3.0);
+  EXPECT_EQ(r.first_invalid, 2u);
+}
+
+TEST(Validator, RejectsInvalidStep) {
+  ToggleFixture f;
+  const Problem prob = f.problem();
+  const auto r = validate_plan(prob, {1, 0});  // swap before p exists
+  EXPECT_FALSE(r.valid);
+  EXPECT_EQ(r.first_invalid, 0u);
+  EXPECT_NE(r.message.find("not applicable"), std::string::npos);
+}
+
+TEST(Validator, RejectsNonGoalPlan) {
+  ToggleFixture f;
+  const Problem prob = f.problem();
+  const auto r = validate_plan(prob, {0});
+  EXPECT_FALSE(r.valid);
+  EXPECT_FALSE(r.goal_reached);
+  EXPECT_EQ(r.first_invalid, 1u);  // all steps applicable
+}
+
+TEST(Validator, RejectsBadOpIndex) {
+  ToggleFixture f;
+  const Problem prob = f.problem();
+  const auto r = validate_plan(prob, {99});
+  EXPECT_FALSE(r.valid);
+  EXPECT_NE(r.message.find("bad index"), std::string::npos);
+}
+
+TEST(Validator, OperationRepetitionIsAllowed) {
+  // "An operation may occur more than once in a plan."
+  ToggleFixture f;
+  const Problem prob = f.problem();
+  const auto r = validate_plan(prob, {0, 0, 0, 1});
+  EXPECT_TRUE(r.valid);
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Disjoint pattern databases (Korf & Felner, paper §2): admissibility,
+// dominance over Manhattan distance, and search-effort reduction.
+#include <gtest/gtest.h>
+
+#include "domains/sliding_tile.hpp"
+#include "domains/tile_pdb.hpp"
+#include "search/astar.hpp"
+#include "search/bfs.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gaplan;
+using domains::DisjointPatternHeuristic;
+using domains::PatternDatabase;
+using domains::SlidingTile;
+using domains::TileState;
+
+TEST(PatternDatabase, GoalPlacementIsZero) {
+  const SlidingTile p(3);
+  const PatternDatabase db(3, {1, 2, 3, 4});
+  EXPECT_EQ(db.lookup(p.goal_state()), 0);
+}
+
+TEST(PatternDatabase, SingleTileEqualsItsManhattan) {
+  // A one-tile pattern's value is exactly that tile's Manhattan distance.
+  const SlidingTile p(3);
+  const PatternDatabase db(3, {5});
+  util::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto s = p.random_solvable(rng);
+    int cell = 0;
+    for (int c = 0; c < 9; ++c) {
+      if (s.cells[c] == 5) cell = c;
+    }
+    const int md = std::abs(cell / 3 - 4 / 3) + std::abs(cell % 3 - 4 % 3);
+    EXPECT_EQ(db.lookup(s), md);
+  }
+}
+
+TEST(PatternDatabase, RejectsBadArguments) {
+  EXPECT_THROW(PatternDatabase(1, {1}), std::invalid_argument);
+  EXPECT_THROW(PatternDatabase(3, {}), std::invalid_argument);
+  EXPECT_THROW(PatternDatabase(3, {9}), std::invalid_argument) << "tile 9 on 3x3";
+  EXPECT_THROW(PatternDatabase(3, {0}), std::invalid_argument) << "blank not a tile";
+  EXPECT_THROW(PatternDatabase(4, {1, 2, 3, 4, 5, 6, 7}), std::invalid_argument);
+}
+
+TEST(DisjointPdb, RejectsOverlappingGroups) {
+  EXPECT_THROW(DisjointPatternHeuristic(3, {{1, 2}, {2, 3}}), std::invalid_argument);
+}
+
+TEST(DisjointPdb, DominatesManhattanOnRandomBoards) {
+  const SlidingTile p(3);
+  const auto pdb = DisjointPatternHeuristic::standard(3);
+  util::Rng rng(2);
+  int strictly_better = 0;
+  for (int i = 0; i < 300; ++i) {
+    const auto s = p.random_solvable(rng);
+    const int h = pdb(s);
+    ASSERT_GE(h, p.manhattan(s));
+    strictly_better += h > p.manhattan(s);
+  }
+  EXPECT_GT(strictly_better, 0) << "PDB never exceeded Manhattan";
+}
+
+TEST(DisjointPdb, AdmissibleAgainstBfsOptimum) {
+  const auto pdb = DisjointPatternHeuristic::standard(3);
+  util::Rng rng(3);
+  const SlidingTile gen(3);
+  for (int i = 0; i < 15; ++i) {
+    const auto start = gen.scrambled(16 + rng.below(10), rng);
+    const SlidingTile p(3, start);
+    const auto optimal = search::bfs(p, start);
+    ASSERT_TRUE(optimal.found);
+    ASSERT_LE(pdb(start), static_cast<int>(optimal.plan.size()))
+        << "inadmissible PDB value";
+  }
+}
+
+TEST(DisjointPdb, AStarStaysOptimalAndExpandsNoMore) {
+  const auto pdb = DisjointPatternHeuristic::standard(3);
+  util::Rng rng(4);
+  const SlidingTile gen(3);
+  std::size_t pdb_nodes = 0, md_nodes = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto start = gen.random_solvable(rng);
+    const SlidingTile p(3, start);
+    const auto with_md = search::astar(p, start, [&](const TileState& s) {
+      return static_cast<double>(p.manhattan(s));
+    });
+    const auto with_pdb = search::astar(p, start, [&](const TileState& s) {
+      return static_cast<double>(pdb(s));
+    });
+    ASSERT_TRUE(with_md.found);
+    ASSERT_TRUE(with_pdb.found);
+    ASSERT_EQ(with_pdb.plan.size(), with_md.plan.size()) << "lost optimality";
+    md_nodes += with_md.expanded;
+    pdb_nodes += with_pdb.expanded;
+  }
+  EXPECT_LE(pdb_nodes, md_nodes);
+}
+
+TEST(DisjointPdb, FifteenPuzzleTablesBuild) {
+  const auto pdb = DisjointPatternHeuristic::standard(4);
+  EXPECT_EQ(pdb.databases().size(), 3u);
+  const SlidingTile p(4);
+  EXPECT_EQ(pdb(p.goal_state()), 0);
+  util::Rng rng(5);
+  const auto s = p.random_solvable(rng);
+  EXPECT_GE(pdb(s), p.manhattan(s));
+}
+
+TEST(DisjointPdb, StandardPartitionsExistForAllSizes) {
+  for (const int n : {2, 3, 4}) {
+    EXPECT_NO_THROW(DisjointPatternHeuristic::standard(n)) << n;
+  }
+  EXPECT_THROW(DisjointPatternHeuristic::standard(7), std::invalid_argument);
+}
+
+}  // namespace
