@@ -154,5 +154,6 @@ int main() {
               "are valid but longer, with evaluation counts far above informed "
               "search on these small domains — and no heuristic required.\n");
   std::printf("CSV: %s\n", csv.path().c_str());
+  bench::export_metrics("baselines");
   return 0;
 }

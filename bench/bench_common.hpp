@@ -7,12 +7,16 @@
 //   GAPLAN_SEED=N         base seed (default 1)
 //   GAPLAN_PAPER_SCALE=1  use the paper's full protocol (10/50 runs, 500 gens)
 //   GAPLAN_CSV_DIR=path   where CSV exports go (default: current directory)
+//   GAPLAN_METRICS=1|dir  dump a metrics-registry snapshot (JSON) next to the
+//                         CSVs (=1) or into `dir`
+//   GAPLAN_TRACE=path     append a JSONL run journal (see docs/API.md)
 #pragma once
 
 #include <cstdio>
 #include <string>
 
 #include "core/config.hpp"
+#include "obs/report.hpp"
 #include "util/csv.hpp"
 #include "util/env.hpp"
 #include "util/table.hpp"
@@ -46,6 +50,21 @@ inline BenchParams resolve(std::size_t quick_runs, std::size_t quick_gens,
 
 inline std::string csv_path(const std::string& name) {
   return util::env_str("GAPLAN_CSV_DIR", ".") + "/" + name;
+}
+
+/// Dumps the process-wide metrics registry as `<bench>_metrics.json` when
+/// GAPLAN_METRICS is set: "1" puts it next to the CSVs, anything else is
+/// treated as a destination directory. Call at the end of main().
+inline void export_metrics(const std::string& bench_name) {
+  const std::string dest = util::env_str("GAPLAN_METRICS", "");
+  if (dest.empty() || dest == "0") return;
+  const std::string file = bench_name + "_metrics.json";
+  const std::string path = dest == "1" ? csv_path(file) : dest + "/" + file;
+  if (obs::write_metrics_json(path)) {
+    std::printf("metrics: %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "metrics: cannot write %s\n", path.c_str());
+  }
 }
 
 inline void print_header(const char* title, const ga::GaConfig& cfg,

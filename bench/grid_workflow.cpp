@@ -111,5 +111,6 @@ int main() {
               "script dies while the re-planner completes with ~1 extra "
               "planning round and moderately higher cost.\n");
   std::printf("CSV: %s\n", csv.path().c_str());
+  bench::export_metrics("grid_workflow");
   return 0;
 }

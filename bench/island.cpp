@@ -76,5 +76,6 @@ int main() {
               "one big population; occasional migration preserves diversity "
               "while spreading elites.\n");
   std::printf("CSV: %s\n", csv.path().c_str());
+  bench::export_metrics("island");
   return 0;
 }

@@ -78,5 +78,6 @@ int main() {
               "single-phase at every size; multi-phase solves 5- and 6-disk in "
               "every run; multi-phase solutions are longer.\n");
   std::printf("CSV: %s\n", csv.path().c_str());
+  bench::export_metrics("table2_hanoi");
   return 0;
 }

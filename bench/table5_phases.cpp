@@ -74,5 +74,6 @@ int main() {
               "mostly in phase 1; random needs phase 2 more often; nearly all "
               "runs finish within the first two phases.\n");
   std::printf("CSV: %s\n", csv.path().c_str());
+  bench::export_metrics("table5_phases");
   return 0;
 }

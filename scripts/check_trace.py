@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validates a gaplan run journal (JSONL trace, see docs/API.md).
+
+Usage:
+  scripts/check_trace.py journal.jsonl [--require EV ...]
+  scripts/check_trace.py --exec BINARY [ARGS ...] [--require EV ...]
+
+With --exec, the binary is run with GAPLAN_TRACE pointing at a temporary
+journal, which is then validated. Every line must be a JSON object carrying
+ts_ms (non-negative, non-decreasing per thread), ev, and tid; --require
+asserts that at least one event of each named type is present. Span events
+must carry a non-negative dur_ms.
+
+Exit status: 0 on a valid journal, 1 otherwise.
+"""
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SPAN_EVENTS = {"run", "phase", "replan", "grid_execute"}
+
+
+def validate(path, required):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as err:
+        return [f"cannot read journal: {err}"]
+
+    errors = []
+    if not lines:
+        errors.append("journal is empty")
+    seen = {}
+    last_ts = {}
+    for i, line in enumerate(lines, start=1):
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as err:
+            errors.append(f"line {i}: not valid JSON ({err})")
+            continue
+        if not isinstance(event, dict):
+            errors.append(f"line {i}: not a JSON object")
+            continue
+        for key in ("ts_ms", "ev", "tid"):
+            if key not in event:
+                errors.append(f"line {i}: missing required key '{key}'")
+        ev = event.get("ev")
+        ts = event.get("ts_ms")
+        tid = event.get("tid")
+        if ev == "trace_start":
+            # A new process (or reopened sink) appended to this journal;
+            # its monotonic clock restarts from zero.
+            last_ts.clear()
+        if isinstance(ts, (int, float)):
+            if ts < 0:
+                errors.append(f"line {i}: negative ts_ms {ts}")
+            if isinstance(tid, int):
+                if tid in last_ts and ts < last_ts[tid]:
+                    errors.append(
+                        f"line {i}: ts_ms went backwards on tid {tid} "
+                        f"({last_ts[tid]} -> {ts})"
+                    )
+                last_ts[tid] = ts
+        if isinstance(ev, str):
+            seen[ev] = seen.get(ev, 0) + 1
+            if ev in SPAN_EVENTS:
+                dur = event.get("dur_ms")
+                if not isinstance(dur, (int, float)) or dur < 0:
+                    errors.append(f"line {i}: span '{ev}' lacks a valid dur_ms")
+    for ev in required:
+        if ev not in seen:
+            errors.append(f"required event type '{ev}' never appears")
+    if not errors:
+        summary = ", ".join(f"{ev}:{n}" for ev, n in sorted(seen.items()))
+        print(f"check_trace: OK — {len(lines)} events ({summary})")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("journal", nargs="?", help="journal file to validate")
+    parser.add_argument(
+        "--exec",
+        dest="exec_argv",
+        nargs="+",
+        metavar="ARG",
+        help="run this command with GAPLAN_TRACE set, then validate its journal",
+    )
+    parser.add_argument(
+        "--require",
+        nargs="+",
+        default=[],
+        metavar="EV",
+        help="event types that must appear at least once",
+    )
+    args = parser.parse_args()
+
+    if bool(args.journal) == bool(args.exec_argv):
+        parser.error("pass exactly one of: a journal path, or --exec")
+
+    if args.exec_argv:
+        with tempfile.TemporaryDirectory(prefix="gaplan_trace_") as tmp:
+            journal = os.path.join(tmp, "journal.jsonl")
+            env = dict(os.environ, GAPLAN_TRACE=journal)
+            proc = subprocess.run(args.exec_argv, env=env)
+            if proc.returncode != 0:
+                sys.exit(f"check_trace: command exited {proc.returncode}")
+            errors = validate(journal, args.require)
+    else:
+        errors = validate(args.journal, args.require)
+
+    for err in errors:
+        print(f"check_trace: {err}", file=sys.stderr)
+    sys.exit(1 if errors else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -2,13 +2,20 @@
 """Plots the CSVs the bench harnesses export (matplotlib required).
 
 Usage: scripts/plot_results.py [results_dir] [output_dir]
+       scripts/plot_results.py journal.jsonl [output_dir]
 
 Produces:
   convergence.png   — best/mean fitness and genome length per crossover
   difficulty.png    — 8-puzzle solve rate vs scramble depth
   table2.png        — Hanoi goal fitness, single- vs multi-phase
+
+When the first argument is a run journal (a .jsonl file written under
+GAPLAN_TRACE, see docs/API.md "Observability"), plots journal.png instead:
+per-generation best/mean fitness from the journal's "generation" events,
+with phase boundaries marked from its "phase" spans.
 """
 import csv
+import json
 import pathlib
 import sys
 
@@ -18,9 +25,43 @@ def read_csv(path):
         return list(csv.DictReader(handle))
 
 
+def read_journal(path):
+    with open(path, encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+def plot_journal(journal, out, plt):
+    events = read_journal(journal)
+    gens = [e for e in events if e.get("ev") == "generation"]
+    if not gens:
+        sys.exit(f"{journal}: no 'generation' events to plot")
+    # Phase restarts reset the generation counter; number them globally.
+    xs, best, mean, phase_starts = [], [], [], []
+    for i, e in enumerate(gens):
+        if e["gen"] == 0 and xs:
+            phase_starts.append(i)
+        xs.append(i)
+        best.append(e["best_fitness"])
+        mean.append(e["mean_fitness"])
+    fig, ax = plt.subplots(figsize=(8, 4.5))
+    ax.plot(xs, best, label="best fitness")
+    ax.plot(xs, mean, label="mean fitness", alpha=0.7)
+    for x in phase_starts:
+        ax.axvline(x, color="grey", linestyle=":", linewidth=0.8)
+    ax.set_xlabel("generation (cumulative across phases)")
+    ax.set_ylabel("fitness")
+    ax.set_title(f"run journal: {journal.name}")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(out / "journal.png", dpi=150)
+    print(f"wrote {out / 'journal.png'}")
+
+
 def main():
     results = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "results")
-    out = pathlib.Path(sys.argv[2] if len(sys.argv) > 2 else results)
+    journal = results if results.is_file() and results.suffix == ".jsonl" else None
+    default_out = journal.parent if journal else results
+    out = pathlib.Path(sys.argv[2]) if len(sys.argv) > 2 else default_out
     out.mkdir(parents=True, exist_ok=True)
 
     try:
@@ -30,6 +71,10 @@ def main():
         import matplotlib.pyplot as plt
     except ImportError:
         sys.exit("matplotlib not available; install it to plot the CSVs")
+
+    if journal:
+        plot_journal(journal, out, plt)
+        return
 
     conv = results / "figure_convergence.csv"
     if conv.exists():

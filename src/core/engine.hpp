@@ -17,8 +17,11 @@
 #include "core/individual.hpp"
 #include "core/mutation.hpp"
 #include "core/selection.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace gaplan::ga {
 
@@ -87,6 +90,7 @@ class PhaseRunner {
   /// Evaluates the population, updates best-of-phase/validity tracking and
   /// appends a GenerationStat. Returns the stat.
   const GenerationStat& step_evaluate() {
+    util::Timer eval_timer;
     auto eval_one = [&](std::size_t i) {
       thread_local std::vector<int> scratch;
       pop_[i].eval = evaluate(*problem_, *cfg_, start_, pop_[i].genes, scratch);
@@ -123,16 +127,45 @@ class PhaseRunner {
     }
     result_.history.push_back(stat);
     result_.generations_run = ++generation_;
+
+    const double eval_ms = eval_timer.millis();
+    static obs::Counter& c_generations = obs::counter("ga.generations");
+    static obs::Counter& c_evaluations = obs::counter("ga.evaluations");
+    static obs::Histogram& h_eval = obs::histogram("ga.eval_ms", obs::latency_buckets_ms());
+    c_generations.inc();
+    c_evaluations.inc(pop_.size());
+    h_eval.observe(eval_ms);
+    if (obs::trace_enabled()) {
+      obs::TraceEvent("generation")
+          .f("gen", stat.generation)
+          .f("best_fitness", stat.best_fitness)
+          .f("mean_fitness", stat.mean_fitness)
+          .f("best_goal_fit", stat.best_goal_fit)
+          .f("mean_length", stat.mean_length)
+          .f("valid", stat.valid_count)
+          .f("eval_ms", eval_ms)
+          .emit();
+    }
     return result_.history.back();
   }
 
   /// Tournament/roulette selection, crossover, mutation, replacement (with
-  /// optional elitism), or deterministic crowding.
+  /// optional elitism), or deterministic crowding. Timed into the
+  /// ga.reproduce_ms histogram either way.
   void step_reproduce(util::Rng& rng) {
+    util::Timer timer;
     if (cfg_->replacement == ReplacementKind::kCrowding) {
       step_reproduce_crowding(rng);
-      return;
+    } else {
+      step_reproduce_generational(rng);
     }
+    static obs::Histogram& h_repro =
+        obs::histogram("ga.reproduce_ms", obs::latency_buckets_ms());
+    h_repro.observe(timer.millis());
+  }
+
+  /// Generational replacement with optional elitism.
+  void step_reproduce_generational(util::Rng& rng) {
     std::vector<Individual<State>> next;
     next.reserve(pop_.size());
     if (cfg_->elite_count > 0) {
@@ -320,6 +353,7 @@ class Engine {
   /// phases to completion, per the paper's procedure).
   PhaseResult<State> run_phase(const State& start, util::Rng& rng,
                                bool stop_on_valid) {
+    obs::TraceSpan span("phase");
     PhaseRunner<P> runner(*problem_, cfg_, pool_);
     runner.init(start, rng);
     for (std::size_t gen = 0; gen < cfg_.generations; ++gen) {
@@ -328,10 +362,39 @@ class Engine {
       if (gen + 1 == cfg_.generations) break;  // no point breeding a final pop
       runner.step_reproduce(rng);
     }
-    return runner.take_result();
+    PhaseResult<State> result = runner.take_result();
+    record_phase_metrics(result);
+    span.f("generations", result.generations_run)
+        .f("found_valid", result.found_valid)
+        .f("generation_found", result.generation_found)
+        .f("best_goal_fit", result.best.eval.goal_fit)
+        .f("best_fitness", result.best.eval.fitness);
+    return result;
   }
 
  private:
+  /// Folds a finished phase into the process-wide registry: phase/validity
+  /// counts plus the crossover outcome tallies from CrossoverStats.
+  static void record_phase_metrics(const PhaseResult<State>& result) {
+    static obs::Counter& c_phases = obs::counter("ga.phases");
+    static obs::Counter& c_valid = obs::counter("ga.phases_valid");
+    static obs::Counter& c_pairs = obs::counter("ga.crossover.pairs");
+    static obs::Counter& c_random = obs::counter("ga.crossover.random_done");
+    static obs::Counter& c_state = obs::counter("ga.crossover.state_aware_done");
+    static obs::Counter& c_uniform = obs::counter("ga.crossover.uniform_done");
+    static obs::Counter& c_no_match = obs::counter("ga.crossover.no_match");
+    static obs::Counter& c_too_short = obs::counter("ga.crossover.too_short");
+    c_phases.inc();
+    if (result.found_valid) c_valid.inc();
+    const CrossoverStats& xs = result.crossover_stats;
+    c_pairs.inc(xs.pairs);
+    c_random.inc(xs.random_done);
+    c_state.inc(xs.state_aware_done);
+    c_uniform.inc(xs.uniform_done);
+    c_no_match.inc(xs.no_match);
+    c_too_short.inc(xs.too_short);
+  }
+
   const P* problem_;
   GaConfig cfg_;
   util::ThreadPool* pool_;

@@ -106,6 +106,17 @@ IslandResult<typename P::StateT> run_islands(const P& problem, const GaConfig& c
         runners[(i + 1) % runners.size()].replace_worst(outgoing[i]);
       }
       ++result.migrations;
+      static obs::Counter& c_migrations = obs::counter("ga.migrations");
+      c_migrations.inc();
+      if (obs::trace_enabled()) {
+        obs::TraceEvent("migration")
+            .f("gen", gen)
+            .f("islands", icfg.islands)
+            .f("migrants_per_edge", icfg.migrants)
+            .f("best_goal_fit", result.best.eval.goal_fit)
+            .f("best_island", result.best_island)
+            .emit();
+      }
     }
     for (std::size_t i = 0; i < runners.size(); ++i) {
       runners[i].step_reproduce(rngs[i]);

@@ -41,6 +41,10 @@ MultiPhaseResult<typename P::StateT> run_multiphase_from(
   State current = start;
   result.final_state = current;
 
+  static obs::Counter& c_runs = obs::counter("ga.runs");
+  c_runs.inc();
+  obs::TraceSpan run_span("run");
+
   const bool single_phase = cfg.phases == 1;
   result.goal_fitness = problem.goal_fitness(current);
   for (std::size_t phase = 0; phase < cfg.phases; ++phase) {
@@ -56,6 +60,18 @@ MultiPhaseResult<typename P::StateT> run_multiphase_from(
     // Monotone guard: discard non-improving phase plans (see GaConfig).
     const bool accept = best.valid || !cfg.monotone_phases ||
                         best.goal_fit > problem.goal_fitness(current);
+    if (obs::trace_enabled()) {
+      // Start-state handoff: what this phase's best contributed to the plan
+      // prefix the next phase searches from.
+      obs::TraceEvent("phase_handoff")
+          .f("phase", phase)
+          .f("accepted", accept)
+          .f("goal_fit_before", problem.goal_fitness(current))
+          .f("goal_fit_after", best.goal_fit)
+          .f("phase_ops", best.ops.size())
+          .f("plan_ops_total", result.plan.size() + (accept ? best.ops.size() : 0))
+          .emit();
+    }
     if (accept) {
       result.plan.insert(result.plan.end(), best.ops.begin(), best.ops.end());
       current = best.final_state;
@@ -71,6 +87,11 @@ MultiPhaseResult<typename P::StateT> run_multiphase_from(
       break;
     }
   }
+  run_span.f("phases_run", result.phases_run)
+      .f("valid", result.valid)
+      .f("generations_total", result.generations_total)
+      .f("goal_fitness", result.goal_fitness)
+      .f("plan_ops", result.plan.size());
   return result;
 }
 

@@ -39,6 +39,9 @@
 #include "grid/scenario_reader.hpp"   // IWYU pragma: export
 #include "grid/service.hpp"           // IWYU pragma: export
 #include "grid/workflow.hpp"          // IWYU pragma: export
+#include "obs/metrics.hpp"            // IWYU pragma: export
+#include "obs/report.hpp"             // IWYU pragma: export
+#include "obs/trace.hpp"              // IWYU pragma: export
 #include "search/astar.hpp"           // IWYU pragma: export
 #include "search/bfs.hpp"             // IWYU pragma: export
 #include "search/common.hpp"          // IWYU pragma: export

@@ -4,9 +4,35 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace gaplan::grid {
 
+namespace {
+
+const char* disruption_name(Disruption::Kind kind) {
+  switch (kind) {
+    case Disruption::Kind::kOverload: return "overload";
+    case Disruption::Kind::kFailure: return "failure";
+    case Disruption::Kind::kRecovery: return "recovery";
+  }
+  return "?";
+}
+
+}  // namespace
+
 void Coordinator::apply_disruption(const Disruption& d) {
+  static obs::Counter& c_disruptions = obs::counter("grid.disruptions");
+  c_disruptions.inc();
+  if (obs::trace_enabled()) {
+    obs::TraceEvent("grid_disruption")
+        .f("sim_time", d.time)
+        .f("machine", static_cast<std::uint64_t>(d.machine))
+        .f("kind", std::string_view(disruption_name(d.kind)))
+        .f("load", d.load)
+        .emit();
+  }
   switch (d.kind) {
     case Disruption::Kind::kOverload:
       pool_->set_load(d.machine, d.load);
@@ -31,6 +57,19 @@ ExecutionReport Coordinator::execute(const ActivityGraph& graph,
                       })) {
     throw std::invalid_argument("Coordinator: disruptions must be time-sorted");
   }
+
+  obs::TraceSpan span("grid_execute");
+  static obs::Counter& c_tasks = obs::counter("grid.tasks_completed");
+  static obs::Counter& c_aborts = obs::counter("grid.aborts");
+  auto finalize = [&](ExecutionReport& r) {
+    c_tasks.inc(r.tasks_completed);
+    if (!r.completed) c_aborts.inc();
+    span.f("completed", r.completed)
+        .f("tasks", r.tasks_completed)
+        .f("makespan", r.makespan)
+        .f("total_cost", r.total_cost);
+    if (!r.note.empty()) span.f("note", std::string_view(r.note));
+  };
 
   ExecutionReport report;
   report.data_state = initial_data;
@@ -111,6 +150,7 @@ ExecutionReport Coordinator::execute(const ActivityGraph& graph,
         report.note = "machine " +
                       pool_->machine(static_cast<MachineId>(overloaded_machine)).name +
                       " overloaded; aborting for re-planning";
+        finalize(report);
         return report;
       }
       overloaded_machine = -1;  // no pending work there: keep going
@@ -122,6 +162,7 @@ ExecutionReport Coordinator::execute(const ActivityGraph& graph,
       report.note = "machine " + machine.name + " is down; task '" +
                     problem_->catalog().program(node.program).name +
                     "' cannot start";
+      finalize(report);
       return report;
     }
     const double duration = problem_->execution_seconds(node.program, node.machine);
@@ -139,6 +180,7 @@ ExecutionReport Coordinator::execute(const ActivityGraph& graph,
                       problem_->catalog().program(node.program).name + "'";
         TaskRecord rec{best, node.machine, best_start, disruptions[d].time, false};
         report.tasks.push_back(rec);
+        finalize(report);
         return report;
       }
     }
@@ -155,6 +197,7 @@ ExecutionReport Coordinator::execute(const ActivityGraph& graph,
     }
   }
   report.completed = true;
+  finalize(report);
   return report;
 }
 

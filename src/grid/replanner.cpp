@@ -1,21 +1,48 @@
 #include "grid/replanner.hpp"
 
 #include "core/multiphase.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/timer.hpp"
 
 namespace gaplan::grid {
 
 namespace {
 
 /// One planning round: GA-plan from `data`, then hand the graph to the
-/// coordinator at simulation time `time`.
+/// coordinator at simulation time `time`. `round_idx` 0 is the initial plan;
+/// later rounds are re-plans reacting to a resource change, and their GA
+/// latency (plan_ms) is the paper's change-to-new-plan reaction time.
 PlanningRound run_round(const WorkflowProblem& problem, ResourcePool& pool,
                         const util::DynamicBitset& data,
                         const std::vector<Disruption>& disruptions, double time,
                         const ga::GaConfig& gacfg, std::uint64_t seed,
-                        const CoordinatorOptions& options) {
+                        const CoordinatorOptions& options, std::size_t round_idx) {
   PlanningRound round;
   util::Rng rng(seed);
+  obs::TraceSpan span("replan");
+  util::Timer plan_timer;
   const auto planned = ga::run_multiphase_from(problem, gacfg, data, rng);
+  const double plan_ms = plan_timer.millis();
+
+  static obs::Counter& c_rounds = obs::counter("grid.planning_rounds");
+  static obs::Counter& c_replans = obs::counter("grid.replans");
+  static obs::Histogram& h_plan =
+      obs::histogram("grid.plan_ms", obs::latency_buckets_ms());
+  static obs::Histogram& h_replan =
+      obs::histogram("grid.replan_ms", obs::latency_buckets_ms());
+  c_rounds.inc();
+  h_plan.observe(plan_ms);
+  if (round_idx > 0) {
+    c_replans.inc();
+    h_replan.observe(plan_ms);
+  }
+  span.f("round", round_idx)
+      .f("sim_time", time)
+      .f("plan_ms", plan_ms)
+      .f("plan_valid", planned.valid)
+      .f("plan_ops", planned.plan.size());
+
   round.plan = planned.plan;
   round.plan_valid = planned.valid;
   if (!planned.valid) return round;
@@ -24,6 +51,8 @@ PlanningRound run_round(const WorkflowProblem& problem, ResourcePool& pool,
   const ActivityGraph graph = ActivityGraph::from_plan(problem, data, round.plan);
   Coordinator coordinator(problem, pool, options);
   round.execution = coordinator.execute(graph, data, disruptions, time);
+  span.f("executed_tasks", round.execution.tasks_completed)
+      .f("execution_completed", round.execution.completed);
   return round;
 }
 
@@ -45,7 +74,8 @@ ReplanOutcome plan_and_execute(const WorkflowProblem& problem, ResourcePool& poo
     options.abort_on_overload = cfg.react_to_overload;
     options.overload_threshold = cfg.overload_threshold;
     PlanningRound round = run_round(problem, pool, data, disruptions, time,
-                                    cfg.ga, cfg.seed + round_idx, options);
+                                    cfg.ga, cfg.seed + round_idx, options,
+                                    round_idx);
     ++outcome.planning_rounds;
     if (!round.plan_valid) {
       outcome.note = "planner found no valid plan on the degraded grid";
@@ -80,7 +110,7 @@ ReplanOutcome static_script_execute(const WorkflowProblem& problem,
   ReplanOutcome outcome;
   const util::DynamicBitset data = problem.initial_state();
   PlanningRound round = run_round(problem, pool, data, disruptions, 0.0, cfg.ga,
-                                  cfg.seed, CoordinatorOptions{});
+                                  cfg.seed, CoordinatorOptions{}, 0);
   outcome.planning_rounds = 1;
   if (!round.plan_valid) {
     outcome.note = "script generation failed (planner found no plan)";

@@ -1,0 +1,346 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace gaplan::obs {
+
+namespace {
+
+// Shard cells live in fixed-position chunks so the hot path never observes a
+// reallocation: the owner thread allocates a chunk at most once per slot and
+// scrapers only ever follow the atomic chunk pointers.
+constexpr std::uint32_t kChunkShift = 8;
+constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+constexpr std::uint32_t kMaxChunks = 64;
+constexpr std::uint32_t kMaxCells = kChunkSize * kMaxChunks;
+
+struct Chunk {
+  std::atomic<std::uint64_t> cells[kChunkSize] = {};
+};
+
+struct Shard {
+  std::atomic<Chunk*> chunks[kMaxChunks] = {};
+
+  Shard();
+  ~Shard();
+
+  std::atomic<std::uint64_t>& cell(std::uint32_t c) {
+    const std::uint32_t slot = c >> kChunkShift;
+    Chunk* ch = chunks[slot].load(std::memory_order_acquire);
+    if (ch == nullptr) {
+      ch = new Chunk();
+      chunks[slot].store(ch, std::memory_order_release);  // owner thread only
+    }
+    return ch->cells[c & (kChunkSize - 1)];
+  }
+};
+
+Shard& local_shard() {
+  thread_local Shard shard;
+  return shard;
+}
+
+enum class Kind { kCounter, kGauge, kHistogram };
+
+struct Def {
+  Kind kind = Kind::kCounter;
+  std::uint32_t cell = 0;       ///< first shard cell (counter/histogram)
+  std::size_t index = 0;        ///< index into the per-kind handle vector
+};
+
+}  // namespace
+
+struct MetricsRegistry::Impl {
+  std::mutex mu;
+  std::unordered_map<std::string, Def> defs;
+  std::vector<std::unique_ptr<Counter>> counters;
+  std::vector<std::unique_ptr<Gauge>> gauges;
+  std::vector<std::unique_ptr<Histogram>> histograms;
+  std::vector<std::unique_ptr<std::vector<double>>> bucket_bounds;
+  std::vector<std::string> names_by_kind[3];
+  std::vector<Shard*> shards;
+  /// Totals from shards whose threads have exited. Cells flagged in
+  /// `double_cell` hold bit-cast doubles and merge by double addition.
+  std::vector<std::uint64_t> retired;
+  std::vector<bool> double_cell;
+  std::uint32_t next_cell = 0;
+
+  std::uint32_t alloc_cells(std::uint32_t n, bool last_is_double) {
+    if (next_cell + n > kMaxCells) {
+      throw std::logic_error("obs: metric cell capacity exhausted");
+    }
+    const std::uint32_t first = next_cell;
+    next_cell += n;
+    retired.resize(next_cell, 0);
+    double_cell.resize(next_cell, false);
+    if (last_is_double) double_cell[next_cell - 1] = true;
+    return first;
+  }
+
+  void merge_cell(std::uint64_t* into, std::uint32_t c, std::uint64_t raw) const {
+    if (double_cell[c]) {
+      into[c] = std::bit_cast<std::uint64_t>(std::bit_cast<double>(into[c]) +
+                                             std::bit_cast<double>(raw));
+    } else {
+      into[c] += raw;
+    }
+  }
+
+  /// Folds one shard into `into` (which must have next_cell entries).
+  void merge_shard(std::uint64_t* into, const Shard& shard) const {
+    for (std::uint32_t slot = 0; slot * kChunkSize < next_cell; ++slot) {
+      const Chunk* ch = shard.chunks[slot].load(std::memory_order_acquire);
+      if (ch == nullptr) continue;
+      const std::uint32_t base = slot * kChunkSize;
+      const std::uint32_t hi = std::min(kChunkSize, next_cell - base);
+      for (std::uint32_t i = 0; i < hi; ++i) {
+        const std::uint64_t raw = ch->cells[i].load(std::memory_order_relaxed);
+        if (raw != 0) merge_cell(into, base + i, raw);
+      }
+    }
+  }
+};
+
+namespace {
+
+MetricsRegistry::Impl* g_impl() {
+  static auto* impl = new MetricsRegistry::Impl();  // immortal
+  return impl;
+}
+
+Shard::Shard() {
+  auto* impl = g_impl();
+  std::lock_guard lock(impl->mu);
+  impl->shards.push_back(this);
+}
+
+Shard::~Shard() {
+  auto* impl = g_impl();
+  {
+    std::lock_guard lock(impl->mu);
+    if (!impl->retired.empty()) {
+      impl->merge_shard(impl->retired.data(), *this);
+    }
+    std::erase(impl->shards, this);
+  }
+  for (auto& slot : chunks) delete slot.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+namespace detail {
+
+void shard_add(std::uint32_t cell, std::uint64_t n) noexcept {
+  auto& c = local_shard().cell(cell);
+  c.store(c.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+}
+
+void shard_add_double(std::uint32_t cell, double x) noexcept {
+  auto& c = local_shard().cell(cell);
+  const double cur = std::bit_cast<double>(c.load(std::memory_order_relaxed));
+  c.store(std::bit_cast<std::uint64_t>(cur + x), std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+void Histogram::observe(double x) noexcept {
+  const auto& b = *bounds_;
+  const auto it = std::lower_bound(b.begin(), b.end(), x);
+  const auto idx = static_cast<std::uint32_t>(it - b.begin());
+  detail::shard_add(cell_ + idx, 1);
+  detail::shard_add_double(cell_ + static_cast<std::uint32_t>(b.size()) + 1, x);
+}
+
+double HistogramSample::percentile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double next = cum + static_cast<double>(counts[i]);
+    if (target <= next && counts[i] > 0) {
+      if (i >= bounds.size()) return bounds.back();  // overflow bucket
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double frac = (target - cum) / static_cast<double>(counts[i]);
+      return lo + frac * (bounds[i] - lo);
+    }
+    cum = next;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+const CounterSample* MetricsSnapshot::find_counter(const std::string& name) const noexcept {
+  for (const auto& c : counters)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+const GaugeSample* MetricsSnapshot::find_gauge(const std::string& name) const noexcept {
+  for (const auto& g : gauges)
+    if (g.name == name) return &g;
+  return nullptr;
+}
+
+const HistogramSample* MetricsSnapshot::find_histogram(const std::string& name) const noexcept {
+  for (const auto& h : histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static auto* registry = new MetricsRegistry();  // immortal
+  return *registry;
+}
+
+MetricsRegistry::Impl* MetricsRegistry::impl() { return g_impl(); }
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  auto* im = impl();
+  std::lock_guard lock(im->mu);
+  auto it = im->defs.find(name);
+  if (it != im->defs.end()) {
+    if (it->second.kind != Kind::kCounter) {
+      throw std::logic_error("obs: '" + name + "' is not a counter");
+    }
+    return *im->counters[it->second.index];
+  }
+  Def def;
+  def.kind = Kind::kCounter;
+  def.cell = im->alloc_cells(1, false);
+  def.index = im->counters.size();
+  im->counters.emplace_back(new Counter(def.cell));
+  im->names_by_kind[0].push_back(name);
+  im->defs.emplace(name, def);
+  return *im->counters.back();
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  auto* im = impl();
+  std::lock_guard lock(im->mu);
+  auto it = im->defs.find(name);
+  if (it != im->defs.end()) {
+    if (it->second.kind != Kind::kGauge) {
+      throw std::logic_error("obs: '" + name + "' is not a gauge");
+    }
+    return *im->gauges[it->second.index];
+  }
+  Def def;
+  def.kind = Kind::kGauge;
+  def.index = im->gauges.size();
+  im->gauges.emplace_back(new Gauge());
+  im->names_by_kind[1].push_back(name);
+  im->defs.emplace(name, def);
+  return *im->gauges.back();
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<double>& bounds) {
+  auto* im = impl();
+  std::lock_guard lock(im->mu);
+  auto it = im->defs.find(name);
+  if (it != im->defs.end()) {
+    if (it->second.kind != Kind::kHistogram) {
+      throw std::logic_error("obs: '" + name + "' is not a histogram");
+    }
+    return *im->histograms[it->second.index];
+  }
+  if (bounds.empty() || !std::is_sorted(bounds.begin(), bounds.end()) ||
+      std::adjacent_find(bounds.begin(), bounds.end()) != bounds.end()) {
+    throw std::invalid_argument("obs: histogram bounds must be strictly increasing");
+  }
+  Def def;
+  def.kind = Kind::kHistogram;
+  // bounds.size()+1 bucket cells (incl. overflow) plus one double sum cell.
+  def.cell = im->alloc_cells(static_cast<std::uint32_t>(bounds.size()) + 2, true);
+  def.index = im->histograms.size();
+  im->bucket_bounds.emplace_back(new std::vector<double>(bounds));
+  im->histograms.emplace_back(new Histogram(def.cell, im->bucket_bounds.back().get()));
+  im->names_by_kind[2].push_back(name);
+  im->defs.emplace(name, def);
+  return *im->histograms.back();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() {
+  auto* im = impl();
+  MetricsSnapshot snap;
+  std::lock_guard lock(im->mu);
+  std::vector<std::uint64_t> totals = im->retired;
+  totals.resize(im->next_cell, 0);
+  for (const Shard* shard : im->shards) {
+    im->merge_shard(totals.data(), *shard);
+  }
+  for (const auto& [name, def] : im->defs) {
+    switch (def.kind) {
+      case Kind::kCounter:
+        snap.counters.push_back({name, totals[def.cell]});
+        break;
+      case Kind::kGauge:
+        snap.gauges.push_back({name, im->gauges[def.index]->value()});
+        break;
+      case Kind::kHistogram: {
+        HistogramSample h;
+        h.name = name;
+        h.bounds = *im->bucket_bounds[def.index];
+        h.counts.resize(h.bounds.size() + 1);
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+          h.counts[i] = totals[def.cell + i];
+          h.count += h.counts[i];
+        }
+        h.sum = std::bit_cast<double>(
+            totals[def.cell + h.bounds.size() + 1]);
+        snap.histograms.push_back(std::move(h));
+        break;
+      }
+    }
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  auto* im = impl();
+  std::lock_guard lock(im->mu);
+  std::fill(im->retired.begin(), im->retired.end(), 0);
+  for (auto& g : im->gauges) g->set(0);
+  for (Shard* shard : im->shards) {
+    for (auto& slot : shard->chunks) {
+      Chunk* ch = slot.load(std::memory_order_acquire);
+      if (ch == nullptr) continue;
+      for (auto& cell : ch->cells) cell.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+Counter& counter(const std::string& name) {
+  return MetricsRegistry::instance().counter(name);
+}
+
+Gauge& gauge(const std::string& name) {
+  return MetricsRegistry::instance().gauge(name);
+}
+
+Histogram& histogram(const std::string& name, const std::vector<double>& bounds) {
+  return MetricsRegistry::instance().histogram(name, bounds);
+}
+
+MetricsSnapshot snapshot_metrics() { return MetricsRegistry::instance().snapshot(); }
+
+void reset_metrics() { MetricsRegistry::instance().reset(); }
+
+const std::vector<double>& latency_buckets_ms() {
+  static const std::vector<double> buckets{
+      0.05, 0.1, 0.25, 0.5, 1.0,  2.5,   5.0,   10.0,   25.0,
+      50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0};
+  return buckets;
+}
+
+}  // namespace gaplan::obs

@@ -1,0 +1,157 @@
+// Low-overhead metrics registry: counters, gauges, and fixed-bucket
+// histograms shared by every layer of the planner.
+//
+// Counters and histograms write to *thread-local shards* — plain relaxed
+// stores into cells owned by the writing thread, no read-modify-write, no
+// lock — and the shards are summed only when a snapshot is taken. A shard
+// that outlives its thread folds its totals into a retired accumulator, so
+// counts survive `ThreadPool` teardown. Gauges are last-write-wins and live
+// directly in the registry as atomics.
+//
+// The registry is process-wide and immortal (never destroyed), so metric
+// handles obtained from it stay valid through static destruction — worker
+// threads may flush shards while other statics are being torn down.
+//
+// Intentionally dependency-free (standard library only): util/ links against
+// obs/ so that ThreadPool and the logger can be instrumented.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gaplan::obs {
+
+namespace detail {
+/// Adds `n` to this thread's shard cell (relaxed store; owner thread only).
+void shard_add(std::uint32_t cell, std::uint64_t n) noexcept;
+/// Accumulates a double into a shard cell (stored as bit-cast uint64).
+void shard_add_double(std::uint32_t cell, double x) noexcept;
+}  // namespace detail
+
+/// Monotonically increasing count. inc() is wait-free and atomic-free on the
+/// hot path (one relaxed load + one relaxed store to a thread-owned cell).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { detail::shard_add(cell_, n); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::uint32_t cell) noexcept : cell_(cell) {}
+  std::uint32_t cell_;
+};
+
+/// Last-write-wins instantaneous value (queue depth, busy workers).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) noexcept { v_.fetch_add(d, std::memory_order_relaxed); }
+  /// Raises the stored maximum to at least `v` (best-effort CAS loop).
+  void set_max(std::int64_t v) noexcept {
+    std::int64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() noexcept = default;
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram. `bounds` are inclusive upper edges; an observation
+/// x lands in the first bucket with x <= bound, or the implicit overflow
+/// bucket past the last edge. observe() costs two shard writes.
+class Histogram {
+ public:
+  void observe(double x) noexcept;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::uint32_t cell, const std::vector<double>* bounds) noexcept
+      : cell_(cell), bounds_(bounds) {}
+  std::uint32_t cell_;                  ///< first bucket cell; +n_buckets = sum cell
+  const std::vector<double>* bounds_;   ///< owned by the registry (immortal)
+};
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::vector<double> bounds;        ///< upper edges; counts has bounds.size()+1
+  std::vector<std::uint64_t> counts; ///< per-bucket counts, last = overflow
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  double mean() const noexcept { return count ? sum / static_cast<double>(count) : 0.0; }
+  /// Linear-interpolated percentile estimate from the bucket counts,
+  /// q in [0, 1]. Values in the overflow bucket report the last edge.
+  double percentile(double q) const noexcept;
+  double p95() const noexcept { return percentile(0.95); }
+};
+
+/// Point-in-time merged view of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  const CounterSample* find_counter(const std::string& name) const noexcept;
+  const GaugeSample* find_gauge(const std::string& name) const noexcept;
+  const HistogramSample* find_histogram(const std::string& name) const noexcept;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry (created on first use, never destroyed).
+  static MetricsRegistry& instance();
+
+  /// Returns the metric registered under `name`, creating it on first call.
+  /// References stay valid for the life of the process. Registering the same
+  /// name as two different kinds throws std::logic_error.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` must be strictly increasing and non-empty; it is only consulted
+  /// on the first registration of `name`.
+  Histogram& histogram(const std::string& name, const std::vector<double>& bounds);
+
+  /// Merges live shards + retired totals into a consistent snapshot.
+  MetricsSnapshot snapshot();
+
+  /// Zeroes every value (registrations survive). Intended for tests; counts
+  /// from threads incrementing concurrently with the reset may survive it.
+  void reset();
+
+  /// Opaque shared state (defined in metrics.cpp; public so the shard
+  /// machinery in that translation unit can reach it).
+  struct Impl;
+
+ private:
+  MetricsRegistry() = default;
+  Impl* impl();
+};
+
+/// Convenience wrappers over MetricsRegistry::instance().
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name, const std::vector<double>& bounds);
+MetricsSnapshot snapshot_metrics();
+void reset_metrics();
+
+/// Shared latency bucket edges in milliseconds: 0.05 ms … 10 s, roughly
+/// 1-2.5-5 per decade. Every *_ms histogram in the planner uses these, so
+/// snapshots stay comparable across subsystems.
+const std::vector<double>& latency_buckets_ms();
+
+}  // namespace gaplan::obs

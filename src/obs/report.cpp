@@ -1,0 +1,115 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+
+#include "obs/trace.hpp"  // append_json_string
+
+namespace gaplan::obs {
+
+namespace {
+
+void append_num(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string render_metrics_text(const MetricsSnapshot& snap) {
+  std::string out;
+  char line[256];
+  if (!snap.counters.empty()) {
+    out += "counters:\n";
+    for (const auto& c : snap.counters) {
+      std::snprintf(line, sizeof line, "  %-32s %llu\n", c.name.c_str(),
+                    static_cast<unsigned long long>(c.value));
+      out += line;
+    }
+  }
+  if (!snap.gauges.empty()) {
+    out += "gauges:\n";
+    for (const auto& g : snap.gauges) {
+      std::snprintf(line, sizeof line, "  %-32s %lld\n", g.name.c_str(),
+                    static_cast<long long>(g.value));
+      out += line;
+    }
+  }
+  if (!snap.histograms.empty()) {
+    out += "histograms:                        count      mean       p50       p95\n";
+    for (const auto& h : snap.histograms) {
+      std::snprintf(line, sizeof line, "  %-32s %5llu %9.3g %9.3g %9.3g\n",
+                    h.name.c_str(), static_cast<unsigned long long>(h.count),
+                    h.mean(), h.percentile(0.5), h.p95());
+      out += line;
+    }
+  }
+  if (out.empty()) out = "(no metrics registered)\n";
+  return out;
+}
+
+std::string render_metrics_json(const MetricsSnapshot& snap) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& c : snap.counters) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, c.name);
+    out += ':';
+    out += std::to_string(c.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& g : snap.gauges) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, g.name);
+    out += ':';
+    out += std::to_string(g.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snap.histograms) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, h.name);
+    out += ":{\"count\":";
+    out += std::to_string(h.count);
+    out += ",\"sum\":";
+    append_num(out, h.sum);
+    out += ",\"mean\":";
+    append_num(out, h.mean());
+    out += ",\"p50\":";
+    append_num(out, h.percentile(0.5));
+    out += ",\"p95\":";
+    append_num(out, h.p95());
+    out += ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i != 0) out += ',';
+      out += "{\"le\":";
+      if (i < h.bounds.size()) {
+        append_num(out, h.bounds[i]);
+      } else {
+        out += "null";  // overflow bucket
+      }
+      out += ",\"n\":";
+      out += std::to_string(h.counts[i]);
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+bool write_metrics_json(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = render_metrics_json(snapshot_metrics());
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace gaplan::obs

@@ -1,0 +1,26 @@
+// Metrics exporters: render a MetricsSnapshot as human-readable text or as a
+// JSON document, and dump the live registry to a file. The bench harnesses
+// call write_metrics_json() next to their CSVs when GAPLAN_METRICS is set, so
+// every table run leaves behind the counters/latency distributions that
+// produced it.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace gaplan::obs {
+
+/// Aligned text report: counters, gauges, then histograms with count / mean /
+/// p50 / p95 / max-edge columns.
+std::string render_metrics_text(const MetricsSnapshot& snap);
+
+/// JSON document: {"counters":{...},"gauges":{...},"histograms":{name:
+/// {"count":…,"sum":…,"mean":…,"p50":…,"p95":…,"buckets":[{"le":…,"n":…}…]}}}.
+std::string render_metrics_json(const MetricsSnapshot& snap);
+
+/// Snapshots the registry and writes the JSON report to `path`.
+/// Returns false (and logs nothing) when the file cannot be opened.
+bool write_metrics_json(const std::string& path);
+
+}  // namespace gaplan::obs

@@ -1,0 +1,148 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace gaplan::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+SteadyClock::time_point process_epoch() noexcept {
+  static const SteadyClock::time_point t0 = SteadyClock::now();
+  return t0;
+}
+
+struct Sink {
+  std::mutex mu;
+  std::FILE* file = nullptr;
+};
+
+Sink& sink() {
+  static auto* s = new Sink();  // immortal: events may fire during static dtors
+  return *s;
+}
+
+/// Reads GAPLAN_TRACE and opens the journal at program start, so TraceEvent
+/// construction never needs an init check beyond the enabled flag.
+const bool g_env_init = [] {
+  process_epoch();
+  reinit_trace_from_env();
+  return true;
+}();
+
+}  // namespace
+
+double monotonic_ms() noexcept {
+  return std::chrono::duration<double, std::milli>(SteadyClock::now() -
+                                                   process_epoch())
+      .count();
+}
+
+int thread_ordinal() noexcept {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+bool trace_enabled() noexcept {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void set_trace_path(const std::string& path) {
+  Sink& s = sink();
+  std::lock_guard lock(s.mu);
+  if (s.file != nullptr) {
+    std::fclose(s.file);
+    s.file = nullptr;
+  }
+  if (!path.empty()) {
+    s.file = std::fopen(path.c_str(), "a");
+    if (s.file != nullptr) {
+      // Journals are opened in append mode, so successive processes can share
+      // one file; this marker lets readers reset their per-thread clocks at
+      // each process (ts_ms restarts from 0).
+      std::fprintf(s.file, "{\"ts_ms\":%.3f,\"ev\":\"trace_start\",\"tid\":%d}\n",
+                   monotonic_ms(), thread_ordinal());
+    }
+  }
+  detail::g_trace_enabled.store(s.file != nullptr, std::memory_order_relaxed);
+}
+
+void reinit_trace_from_env() {
+  const char* v = std::getenv("GAPLAN_TRACE");
+  set_trace_path(v != nullptr ? std::string(v) : std::string());
+}
+
+void flush_trace() {
+  Sink& s = sink();
+  std::lock_guard lock(s.mu);
+  if (s.file != nullptr) std::fflush(s.file);
+}
+
+void append_json_string(std::string& out, std::string_view v) {
+  out += '"';
+  for (const char c : v) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof esc, "\\u%04x", c);
+          out += esc;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+namespace detail {
+
+void append_json_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no inf/nan
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += buf;
+}
+
+void trace_begin(std::string& buf, const char* type) {
+  // The ts_ms stamp is added in trace_write, so a span's timestamp is its
+  // *emission* time and per-thread timestamps are non-decreasing in the file
+  // (span start = ts_ms - dur_ms).
+  buf += "\"ev\":\"";
+  buf += type;
+  buf += "\",\"tid\":";
+  buf += std::to_string(thread_ordinal());
+}
+
+void trace_write(std::string& line) {
+  char head[40];
+  Sink& s = sink();
+  std::lock_guard lock(s.mu);
+  if (s.file == nullptr) return;
+  std::snprintf(head, sizeof head, "{\"ts_ms\":%.3f,", monotonic_ms());
+  std::fwrite(head, 1, std::char_traits<char>::length(head), s.file);
+  line += "}\n";
+  std::fwrite(line.data(), 1, line.size(), s.file);
+}
+
+}  // namespace detail
+
+}  // namespace gaplan::obs

@@ -1,0 +1,158 @@
+// Structured run-journal tracing: one JSON object per line (JSONL), written
+// to the file named by GAPLAN_TRACE. Every event carries a monotonic
+// millisecond timestamp (process-relative) and a small per-thread ordinal so
+// interleaved island / thread-pool activity stays attributable.
+//
+// Tracing is disabled by default; trace_enabled() is a single relaxed atomic
+// load, and a TraceEvent constructed while disabled allocates nothing and
+// writes nothing — instrumentation is free to stay in hot-ish paths.
+//
+//   if (obs::trace_enabled()) {
+//     obs::TraceEvent("generation").f("gen", g).f("best", best).emit();
+//   }
+//   obs::TraceSpan span("phase");       // emits "phase" with dur_ms on close
+//   span.f("generations", n);
+//
+// Event schema (docs/API.md "Observability"): {"ts_ms":…,"ev":"…","tid":…,
+// <event fields>…} and spans additionally {"dur_ms":…}.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/timer.hpp"
+
+namespace gaplan::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+void trace_write(std::string& line);  // appends "}\n" and writes under a mutex
+void trace_begin(std::string& buf, const char* type);
+void append_json_number(std::string& out, double v);
+}  // namespace detail
+
+/// Appends `s` to `out` as a quoted, escaped JSON string.
+void append_json_string(std::string& out, std::string_view s);
+
+/// Milliseconds since the process-wide trace clock epoch (first obs use).
+double monotonic_ms() noexcept;
+
+/// Small dense per-thread ordinal (0 = first thread to log or trace).
+int thread_ordinal() noexcept;
+
+/// True when a journal file is open. Reads the env var GAPLAN_TRACE once at
+/// first use; set_trace_path() overrides it at runtime.
+bool trace_enabled() noexcept;
+
+/// Opens (appends to) `path` as the journal; an empty path disables tracing.
+/// Thread-safe; flushes and closes any previous journal.
+void set_trace_path(const std::string& path);
+
+/// Re-reads GAPLAN_TRACE and reconfigures the sink (tests use this after
+/// setenv; normal code never needs it).
+void reinit_trace_from_env();
+
+/// Flushes buffered journal output to disk.
+void flush_trace();
+
+/// One journal line. Field setters are chainable; the event is written on
+/// emit() or destruction, whichever comes first. No-op when tracing was
+/// disabled at construction time.
+class TraceEvent {
+ public:
+  explicit TraceEvent(const char* type) {
+    if (detail::g_trace_enabled.load(std::memory_order_relaxed)) {
+      active_ = true;
+      detail::trace_begin(buf_, type);
+    }
+  }
+  TraceEvent(const TraceEvent&) = delete;
+  TraceEvent& operator=(const TraceEvent&) = delete;
+  ~TraceEvent() { emit(); }
+
+  TraceEvent& f(const char* key, double v) {
+    if (active_) {
+      key_(key);
+      detail::append_json_number(buf_, v);
+    }
+    return *this;
+  }
+  TraceEvent& f(const char* key, std::int64_t v) {
+    if (active_) {
+      key_(key);
+      buf_ += std::to_string(v);
+    }
+    return *this;
+  }
+  TraceEvent& f(const char* key, std::uint64_t v) {
+    if (active_) {
+      key_(key);
+      buf_ += std::to_string(v);
+    }
+    return *this;
+  }
+  TraceEvent& f(const char* key, int v) { return f(key, static_cast<std::int64_t>(v)); }
+  TraceEvent& f(const char* key, unsigned v) { return f(key, static_cast<std::uint64_t>(v)); }
+  TraceEvent& f(const char* key, bool v) {
+    if (active_) {
+      key_(key);
+      buf_ += v ? "true" : "false";
+    }
+    return *this;
+  }
+  TraceEvent& f(const char* key, std::string_view v) {
+    if (active_) {
+      key_(key);
+      append_json_string(buf_, v);
+    }
+    return *this;
+  }
+
+  void emit() {
+    if (active_) {
+      active_ = false;
+      detail::trace_write(buf_);
+    }
+  }
+
+ private:
+  void key_(const char* key) {
+    buf_ += ",\"";
+    buf_ += key;
+    buf_ += "\":";
+  }
+
+  std::string buf_;
+  bool active_ = false;
+};
+
+/// A timed event: records wall-clock time from construction and emits the
+/// event with a dur_ms field on close() or destruction.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* type) : ev_(type) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() { close(); }
+
+  template <typename V>
+  TraceSpan& f(const char* key, V v) {
+    ev_.f(key, v);
+    return *this;
+  }
+
+  double elapsed_ms() const noexcept { return timer_.millis(); }
+
+  void close() {
+    ev_.f("dur_ms", timer_.millis());
+    ev_.emit();
+  }
+
+ private:
+  util::Timer timer_;
+  TraceEvent ev_;
+};
+
+}  // namespace gaplan::obs

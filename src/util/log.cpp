@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <mutex>
 
+#include "obs/trace.hpp"
 #include "util/env.hpp"
 
 namespace gaplan::util {
@@ -47,9 +48,16 @@ void set_log_level(LogLevel level) noexcept {
 }
 
 void log_line(LogLevel level, const std::string& msg) {
+  // Monotonic seconds since process start + a small per-thread ordinal (the
+  // same clock/ids the trace journal uses), so interleaved island/thread-pool
+  // lines stay attributable. The single mutex keeps lines atomic even when
+  // stderr is block-buffered (e.g. redirected to a file).
+  const double secs = obs::monotonic_ms() / 1e3;
+  const int tid = obs::thread_ordinal();
   static std::mutex mu;
   std::lock_guard lock(mu);
-  std::fprintf(stderr, "[gaplan %s] %s\n", level_name(level), msg.c_str());
+  std::fprintf(stderr, "[gaplan %s +%.3fs T%02d] %s\n", level_name(level), secs,
+               tid, msg.c_str());
 }
 
 }  // namespace gaplan::util

@@ -48,6 +48,7 @@ Summary summarize(std::vector<double> samples) {
   s.median = percentile_sorted(samples, 0.5);
   s.p25 = percentile_sorted(samples, 0.25);
   s.p75 = percentile_sorted(samples, 0.75);
+  s.p95 = percentile_sorted(samples, 0.95);
   return s;
 }
 

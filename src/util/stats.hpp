@@ -53,6 +53,7 @@ struct Summary {
   double median = 0.0;
   double p25 = 0.0;
   double p75 = 0.0;
+  double p95 = 0.0;  ///< tail latency; the obs exporter reports p95s
 };
 
 /// Computes a five-number-style summary. The input is copied (sorted inside).

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/timer.hpp"
+
 namespace gaplan::util {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -24,6 +26,11 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  static obs::Counter& c_executed = obs::counter("pool.tasks_executed");
+  static obs::Gauge& g_depth = obs::gauge("pool.queue_depth");
+  static obs::Gauge& g_busy = obs::gauge("pool.workers_busy");
+  static obs::Histogram& h_task =
+      obs::histogram("pool.task_ms", obs::latency_buckets_ms());
   for (;;) {
     std::function<void()> task;
     {
@@ -32,14 +39,22 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop();
+      g_depth.set(static_cast<std::int64_t>(queue_.size()));
     }
+    g_busy.add(1);
+    Timer timer;
     task();
+    h_task.observe(timer.millis());
+    g_busy.add(-1);
+    c_executed.inc();
   }
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn) {
   if (begin >= end) return;
+  static obs::Counter& c_pfor = obs::counter("pool.parallel_for");
+  c_pfor.inc();
   const std::size_t n = end - begin;
   const std::size_t workers = thread_count();
   if (workers <= 1 || n == 1) {

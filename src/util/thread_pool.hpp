@@ -19,6 +19,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace gaplan::util {
 
 class ThreadPool {
@@ -40,11 +42,18 @@ class ThreadPool {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
+    static obs::Counter& c_submitted = obs::counter("pool.tasks_submitted");
+    static obs::Gauge& g_depth = obs::gauge("pool.queue_depth");
+    static obs::Gauge& g_depth_max = obs::gauge("pool.queue_depth_max");
     {
       std::lock_guard lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
       queue_.emplace([task] { (*task)(); });
+      const auto depth = static_cast<std::int64_t>(queue_.size());
+      g_depth.set(depth);
+      g_depth_max.set_max(depth);
     }
+    c_submitted.inc();
     cv_.notify_one();
     return fut;
   }

@@ -1,0 +1,167 @@
+// Metrics-registry tests: shard-merge correctness under real ThreadPool
+// concurrency, survival of counts past worker-thread exit, histogram bucket
+// edge semantics, and percentile estimation.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace {
+
+namespace obs = gaplan::obs;
+
+std::uint64_t counter_value(const std::string& name) {
+  const auto snap = obs::snapshot_metrics();
+  const auto* c = snap.find_counter(name);
+  return c != nullptr ? c->value : 0;
+}
+
+TEST(Metrics, CounterAccumulates) {
+  obs::Counter& c = obs::counter("test.counter_accumulates");
+  const std::uint64_t before = counter_value("test.counter_accumulates");
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(counter_value("test.counter_accumulates"), before + 42);
+}
+
+TEST(Metrics, SameNameReturnsSameHandle) {
+  obs::Counter& a = obs::counter("test.same_name");
+  obs::Counter& b = obs::counter("test.same_name");
+  EXPECT_EQ(&a, &b);
+  // Kind mismatch on a registered name is a programming error.
+  EXPECT_THROW(obs::gauge("test.same_name"), std::logic_error);
+  EXPECT_THROW(obs::histogram("test.same_name", {1.0}), std::logic_error);
+}
+
+TEST(Metrics, GaugeSetAddMax) {
+  obs::Gauge& g = obs::gauge("test.gauge");
+  g.set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.add(3);
+  EXPECT_EQ(g.value(), 10);
+  g.add(-4);
+  EXPECT_EQ(g.value(), 6);
+  obs::Gauge& m = obs::gauge("test.gauge_max");
+  m.set(5);
+  m.set_max(3);
+  EXPECT_EQ(m.value(), 5);
+  m.set_max(9);
+  EXPECT_EQ(m.value(), 9);
+  const auto snap = obs::snapshot_metrics();
+  ASSERT_NE(snap.find_gauge("test.gauge_max"), nullptr);
+  EXPECT_EQ(snap.find_gauge("test.gauge_max")->value, 9);
+}
+
+TEST(Metrics, ShardMergeUnderThreadPoolConcurrency) {
+  obs::Counter& c = obs::counter("test.concurrent_counter");
+  const std::uint64_t before = counter_value("test.concurrent_counter");
+  constexpr std::size_t kTasks = 64;
+  constexpr std::size_t kIncsPerTask = 1000;
+  {
+    gaplan::util::ThreadPool pool(4);
+    pool.parallel_for(0, kTasks, [&](std::size_t) {
+      for (std::size_t k = 0; k < kIncsPerTask; ++k) c.inc();
+    });
+    // Snapshot while worker threads (and their live shards) still exist.
+    EXPECT_EQ(counter_value("test.concurrent_counter"),
+              before + kTasks * kIncsPerTask);
+  }
+  // Workers are joined: their shards retired. Nothing may be lost.
+  EXPECT_EQ(counter_value("test.concurrent_counter"),
+            before + kTasks * kIncsPerTask);
+}
+
+TEST(Metrics, HistogramSumSurvivesThreadExit) {
+  obs::Histogram& h = obs::histogram("test.hist_retire", {10.0, 20.0});
+  double expected_sum = 0.0;
+  {
+    gaplan::util::ThreadPool pool(3);
+    pool.parallel_for(0, 30, [&](std::size_t i) {
+      h.observe(static_cast<double>(i));
+    });
+  }
+  for (std::size_t i = 0; i < 30; ++i) expected_sum += static_cast<double>(i);
+  const auto snap = obs::snapshot_metrics();
+  const auto* s = snap.find_histogram("test.hist_retire");
+  ASSERT_NE(s, nullptr);
+  EXPECT_GE(s->count, 30u);  // >= in case the binary reuses the name
+  EXPECT_NEAR(s->sum, expected_sum, 1e-9);
+}
+
+TEST(Metrics, HistogramBucketEdges) {
+  // Bounds are inclusive upper edges: x lands in the first bucket with
+  // x <= bound; past the last edge is the overflow bucket.
+  obs::Histogram& h = obs::histogram("test.hist_edges", {1.0, 2.0});
+  h.observe(0.5);   // bucket 0
+  h.observe(1.0);   // bucket 0 (inclusive edge)
+  h.observe(1.5);   // bucket 1
+  h.observe(2.0);   // bucket 1 (inclusive edge)
+  h.observe(3.0);   // overflow
+  const auto snap = obs::snapshot_metrics();
+  const auto* s = snap.find_histogram("test.hist_edges");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->counts.size(), 3u);
+  EXPECT_EQ(s->counts[0], 2u);
+  EXPECT_EQ(s->counts[1], 2u);
+  EXPECT_EQ(s->counts[2], 1u);
+  EXPECT_EQ(s->count, 5u);
+  EXPECT_DOUBLE_EQ(s->sum, 8.0);
+}
+
+TEST(Metrics, HistogramPercentile) {
+  obs::Histogram& h = obs::histogram("test.hist_pct", {1.0, 2.0, 4.0});
+  for (int i = 0; i < 90; ++i) h.observe(0.5);
+  for (int i = 0; i < 10; ++i) h.observe(3.0);
+  const auto snap = obs::snapshot_metrics();
+  const auto* s = snap.find_histogram("test.hist_pct");
+  ASSERT_NE(s, nullptr);
+  // p50 interpolates inside the first bucket (edge 1.0).
+  EXPECT_LE(s->percentile(0.5), 1.0);
+  EXPECT_GT(s->percentile(0.5), 0.0);
+  // p95 lands in the (2, 4] bucket.
+  EXPECT_GT(s->p95(), 2.0);
+  EXPECT_LE(s->p95(), 4.0);
+  // Degenerate queries.
+  EXPECT_EQ(obs::HistogramSample{}.percentile(0.5), 0.0);
+}
+
+TEST(Metrics, HistogramRejectsBadBounds) {
+  EXPECT_THROW(obs::histogram("test.hist_bad_empty", {}), std::invalid_argument);
+  EXPECT_THROW(obs::histogram("test.hist_bad_order", {2.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(obs::histogram("test.hist_bad_dup", {1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(Metrics, ResetZeroesValuesButKeepsRegistrations) {
+  obs::Counter& c = obs::counter("test.reset_counter");
+  obs::Gauge& g = obs::gauge("test.reset_gauge");
+  c.inc(5);
+  g.set(5);
+  obs::reset_metrics();
+  EXPECT_EQ(counter_value("test.reset_counter"), 0u);
+  EXPECT_EQ(g.value(), 0);
+  c.inc(2);  // the handle stays usable after reset
+  EXPECT_EQ(counter_value("test.reset_counter"), 2u);
+}
+
+TEST(Metrics, SnapshotIsSortedByName) {
+  obs::counter("test.zz_sorted");
+  obs::counter("test.aa_sorted");
+  const auto snap = obs::snapshot_metrics();
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+  }
+}
+
+TEST(Metrics, LatencyBucketsAreSane) {
+  const auto& b = obs::latency_buckets_ms();
+  ASSERT_FALSE(b.empty());
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+}
+
+}  // namespace

@@ -67,6 +67,50 @@ TEST(RunningStat, MergeWithEmpty) {
   EXPECT_EQ(b.mean(), mean);
 }
 
+TEST(RunningStat, MergeWithEmptyPreservesMinMax) {
+  // Merging an empty accumulator must not drag min toward the empty
+  // accumulator's zero-initialised fields, in either direction — this
+  // matters for all-positive (or all-negative) samples.
+  RunningStat a, empty;
+  a.add(5.0);
+  a.add(9.0);
+  a.merge(empty);
+  EXPECT_EQ(a.min(), 5.0);
+  EXPECT_EQ(a.max(), 9.0);
+
+  RunningStat b;
+  b.merge(a);  // empty absorbs non-empty wholesale
+  EXPECT_EQ(b.min(), 5.0);
+  EXPECT_EQ(b.max(), 9.0);
+
+  RunningStat neg, empty2;
+  neg.add(-3.0);
+  neg.merge(empty2);
+  EXPECT_EQ(neg.min(), -3.0);
+  EXPECT_EQ(neg.max(), -3.0);  // not pulled up to 0 by the empty side
+
+  RunningStat both_empty, other_empty;
+  both_empty.merge(other_empty);
+  EXPECT_EQ(both_empty.count(), 0u);
+}
+
+TEST(RunningStat, MergeChainMatchesSequentialMinMax) {
+  gaplan::util::Rng rng(11);
+  RunningStat whole;
+  RunningStat parts[4];
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(1.0, 100.0);
+    whole.add(x);
+    parts[i % 4].add(x);
+  }
+  RunningStat merged;
+  for (const auto& p : parts) merged.merge(p);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_EQ(merged.min(), whole.min());
+  EXPECT_EQ(merged.max(), whole.max());
+  EXPECT_NEAR(merged.variance(), whole.variance(), 1e-9);
+}
+
 TEST(Percentile, EdgesAndInterpolation) {
   const std::vector<double> sorted{1.0, 2.0, 3.0, 4.0};
   EXPECT_EQ(percentile_sorted(sorted, 0.0), 1.0);
@@ -98,6 +142,17 @@ TEST(Summarize, Empty) {
   const auto s = summarize({});
   EXPECT_EQ(s.n, 0u);
   EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.p95, 0.0);
+}
+
+TEST(Summarize, P95) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(static_cast<double>(i));
+  const auto s = summarize(samples);
+  // percentile_sorted interpolates over n-1 intervals: 0.95 * 99 = 94.05
+  // → between the 95th and 96th samples.
+  EXPECT_NEAR(s.p95, 95.05, 1e-9);
+  EXPECT_EQ(summarize({7.0}).p95, 7.0);
 }
 
 }  // namespace

@@ -1,0 +1,182 @@
+// Trace/run-journal tests: disabled-by-default no-op, GAPLAN_TRACE env
+// round-trip (via util/env), JSONL well-formedness incl. string escaping, and
+// journal content from a real GA run.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/multiphase.hpp"
+#include "domains/hanoi.hpp"
+#include "util/env.hpp"
+
+namespace {
+
+namespace obs = gaplan::obs;
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Minimal JSON-object well-formedness check: one object per line, balanced
+/// braces outside strings, no control characters, terminated exactly at the
+/// closing brace.
+bool looks_like_json_object(const std::string& line) {
+  if (line.empty() || line.front() != '{') return false;
+  int depth = 0;
+  bool in_string = false, escaped = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control char
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{') ++depth;
+    else if (c == '}') {
+      --depth;
+      if (depth == 0) return i + 1 == line.size();
+    }
+  }
+  return false;
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ::unsetenv("GAPLAN_TRACE");
+    obs::reinit_trace_from_env();  // leave tracing off for later tests
+  }
+
+  std::string journal_path(const char* name) {
+    return ::testing::TempDir() + "gaplan_" + name + ".jsonl";
+  }
+};
+
+TEST_F(TraceTest, DisabledByDefault) {
+  ::unsetenv("GAPLAN_TRACE");
+  obs::reinit_trace_from_env();
+  EXPECT_FALSE(obs::trace_enabled());
+  // Events constructed while disabled are inert.
+  obs::TraceEvent("noop").f("x", 1).emit();
+  obs::TraceSpan span("noop_span");
+  span.f("y", 2.0);
+}
+
+TEST_F(TraceTest, EnvRoundTripViaUtilEnv) {
+  const std::string path = journal_path("env_roundtrip");
+  std::remove(path.c_str());
+  ::setenv("GAPLAN_TRACE", path.c_str(), 1);
+  // The trace sink and util::env must agree on the variable.
+  EXPECT_EQ(gaplan::util::env_str("GAPLAN_TRACE", ""), path);
+  obs::reinit_trace_from_env();
+  EXPECT_TRUE(obs::trace_enabled());
+  obs::TraceEvent("roundtrip").f("answer", 42).emit();
+  obs::set_trace_path("");  // close + flush
+  EXPECT_FALSE(obs::trace_enabled());
+
+  const auto lines = read_lines(path);  // trace_start marker + the event
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"ev\":\"trace_start\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"ev\":\"roundtrip\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"answer\":42"), std::string::npos);
+}
+
+TEST_F(TraceTest, JsonlWellFormedness) {
+  const std::string path = journal_path("wellformed");
+  std::remove(path.c_str());
+  obs::set_trace_path(path);
+  obs::TraceEvent("types")
+      .f("i", std::int64_t{-7})
+      .f("u", std::uint64_t{7})
+      .f("d", 1.5)
+      .f("b", true)
+      .f("s", std::string_view("plain"))
+      .emit();
+  obs::TraceEvent("escapes")
+      .f("tricky", std::string_view("quote\" backslash\\ newline\n tab\t"))
+      .emit();
+  obs::TraceEvent("nonfinite").f("inf", 1e308 * 10).emit();
+  { obs::TraceSpan span("timed"); }  // emitted by destructor with dur_ms
+  obs::set_trace_path("");
+
+  const auto lines = read_lines(path);  // trace_start marker + four events
+  ASSERT_EQ(lines.size(), 5u);
+  for (const auto& line : lines) {
+    EXPECT_TRUE(looks_like_json_object(line)) << line;
+    EXPECT_NE(line.find("\"ts_ms\":"), std::string::npos);
+    EXPECT_NE(line.find("\"tid\":"), std::string::npos);
+  }
+  EXPECT_NE(lines[0].find("\"ev\":\"trace_start\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"i\":-7"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"b\":true"), std::string::npos);
+  EXPECT_NE(lines[2].find("quote\\\""), std::string::npos);
+  EXPECT_NE(lines[2].find("newline\\n"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"inf\":null"), std::string::npos);
+  EXPECT_NE(lines[4].find("\"ev\":\"timed\""), std::string::npos);
+  EXPECT_NE(lines[4].find("\"dur_ms\":"), std::string::npos);
+}
+
+TEST_F(TraceTest, MultiphaseRunWritesJournal) {
+  const std::string path = journal_path("multiphase");
+  std::remove(path.c_str());
+  obs::set_trace_path(path);
+
+  gaplan::domains::Hanoi hanoi(3);
+  gaplan::ga::GaConfig cfg;
+  cfg.phases = 3;
+  cfg.generations = 20;
+  cfg.population_size = 40;
+  cfg.initial_length = 7;
+  cfg.max_length = 70;
+  const auto result = gaplan::ga::run_multiphase(hanoi, cfg, /*seed=*/7);
+  obs::set_trace_path("");
+  EXPECT_TRUE(result.valid);
+
+  const auto lines = read_lines(path);
+  ASSERT_FALSE(lines.empty());
+  std::size_t runs = 0, phases = 0, generations = 0;
+  for (const auto& line : lines) {
+    EXPECT_TRUE(looks_like_json_object(line)) << line;
+    if (line.find("\"ev\":\"run\"") != std::string::npos) ++runs;
+    if (line.find("\"ev\":\"phase\"") != std::string::npos) ++phases;
+    if (line.find("\"ev\":\"generation\"") != std::string::npos) ++generations;
+  }
+  EXPECT_EQ(runs, 1u);
+  EXPECT_GE(phases, 1u);
+  EXPECT_GE(generations, phases);  // every phase evaluates >= 1 generation
+}
+
+TEST_F(TraceTest, AppendsAcrossReopens) {
+  const std::string path = journal_path("append");
+  std::remove(path.c_str());
+  obs::set_trace_path(path);
+  obs::TraceEvent("first").emit();
+  obs::set_trace_path("");
+  obs::set_trace_path(path);
+  obs::TraceEvent("second").emit();
+  obs::set_trace_path("");
+  const auto lines = read_lines(path);  // each open writes a trace_start marker
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines[0].find("\"ev\":\"trace_start\""), std::string::npos);
+  EXPECT_NE(lines[1].find("first"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"ev\":\"trace_start\""), std::string::npos);
+  EXPECT_NE(lines[3].find("second"), std::string::npos);
+}
+
+}  // namespace
