@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Validates a BENCH_eval.json produced by bench_eval (see docs/API.md).
+
+Usage:
+  scripts/check_bench.py BENCH_eval.json
+  scripts/check_bench.py --exec BINARY [ARGS ...]
+
+With --exec, the binary is run with GAPLAN_CSV_DIR pointing at a temporary
+directory (and reduced iteration counts unless GAPLAN_RUNS/GAPLAN_GENS are
+already set), then the BENCH_eval.json it wrote is validated.
+
+Checks: the document is a JSON object with the expected top-level keys, the
+config entries carry numeric throughput fields with sane signs, hit rates lie
+in [0, 1], and the headline speedup is a positive number.
+
+Exit status: 0 on a valid report, 1 otherwise.
+"""
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+CONFIG_KEYS = {
+    "name": str,
+    "seconds": (int, float),
+    "evaluations": int,
+    "evals_per_sec": (int, float),
+    "ops_decoded": int,
+    "ops_decoded_per_sec": (int, float),
+    "cache_hits": int,
+    "cache_misses": int,
+    "cache_hit_rate": (int, float),
+    "resume_genes_skipped": int,
+    "eval_ms": (int, float),
+    "reproduce_ms": (int, float),
+}
+
+
+def check_config(entry, where, errors):
+    if not isinstance(entry, dict):
+        errors.append(f"{where}: not a JSON object")
+        return
+    for key, kind in CONFIG_KEYS.items():
+        if key not in entry:
+            errors.append(f"{where}: missing key '{key}'")
+        elif not isinstance(entry[key], kind) or isinstance(entry[key], bool):
+            errors.append(f"{where}: '{key}' has wrong type")
+    for key in ("seconds", "evals_per_sec", "ops_decoded_per_sec"):
+        if isinstance(entry.get(key), (int, float)) and entry[key] <= 0:
+            errors.append(f"{where}: '{key}' must be positive, got {entry[key]}")
+    rate = entry.get("cache_hit_rate")
+    if isinstance(rate, (int, float)) and not 0.0 <= rate <= 1.0:
+        errors.append(f"{where}: cache_hit_rate {rate} outside [0, 1]")
+
+
+def validate(path):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        return [f"cannot parse {path}: {err}"]
+    if not isinstance(doc, dict):
+        return [f"{path}: top level is not a JSON object"]
+
+    for key in ("bench", "schema_version", "workload", "configs",
+                "speedup_evals_per_sec", "sokoban_cache"):
+        if key not in doc:
+            errors.append(f"missing top-level key '{key}'")
+    if doc.get("bench") != "bench_eval":
+        errors.append(f"unexpected bench name: {doc.get('bench')!r}")
+
+    configs = doc.get("configs")
+    if not isinstance(configs, list) or len(configs) < 2:
+        errors.append("'configs' must be a list with at least two entries")
+    else:
+        for i, entry in enumerate(configs):
+            check_config(entry, f"configs[{i}]", errors)
+        names = [c.get("name") for c in configs if isinstance(c, dict)]
+        for want in ("cold", "incremental"):
+            if want not in names:
+                errors.append(f"no config named '{want}'")
+
+    speedup = doc.get("speedup_evals_per_sec")
+    if not isinstance(speedup, (int, float)) or speedup <= 0:
+        errors.append(f"speedup_evals_per_sec must be positive, got {speedup!r}")
+
+    sok = doc.get("sokoban_cache")
+    if isinstance(sok, dict):
+        rate = sok.get("cache_hit_rate")
+        if not isinstance(rate, (int, float)) or not 0.0 <= rate <= 1.0:
+            errors.append(f"sokoban_cache.cache_hit_rate invalid: {rate!r}")
+    elif sok is not None:
+        errors.append("'sokoban_cache' is not a JSON object")
+
+    if not errors and isinstance(speedup, (int, float)):
+        print(f"check_bench: OK — speedup {speedup:.2f}x, "
+              f"{len(configs)} configs")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", nargs="?", help="BENCH_eval.json to validate")
+    parser.add_argument(
+        "--exec",
+        dest="exec_argv",
+        nargs="+",
+        metavar="ARG",
+        help="run this command with GAPLAN_CSV_DIR set, then validate",
+    )
+    args = parser.parse_args()
+
+    if bool(args.report) == bool(args.exec_argv):
+        parser.error("pass exactly one of: a report path, or --exec")
+
+    if args.exec_argv:
+        with tempfile.TemporaryDirectory(prefix="gaplan_bench_") as tmp:
+            env = dict(os.environ, GAPLAN_CSV_DIR=tmp)
+            # Smoke scale: tiny protocol unless the caller already chose one.
+            env.setdefault("GAPLAN_RUNS", "1")
+            env.setdefault("GAPLAN_GENS", "25")
+            env.setdefault("GAPLAN_POP", "60")
+            proc = subprocess.run(args.exec_argv, env=env)
+            if proc.returncode != 0:
+                sys.exit(f"check_bench: command exited {proc.returncode}")
+            errors = validate(os.path.join(tmp, "BENCH_eval.json"))
+    else:
+        errors = validate(args.report)
+
+    for err in errors:
+        print(f"check_bench: {err}", file=sys.stderr)
+    sys.exit(1 if errors else 0)
+
+
+if __name__ == "__main__":
+    main()

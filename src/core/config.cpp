@@ -83,6 +83,8 @@ void GaConfig::validate() const {
         "seed_fraction must be in [0, 1]");
   check(seed_greediness >= 0.0 && seed_greediness <= 1.0,
         "seed_greediness must be in [0, 1]");
+  check(!incremental_eval || eval_checkpoint_stride >= 1,
+        "eval_checkpoint_stride must be >= 1 when incremental_eval is on");
 }
 
 std::string GaConfig::summary() const {
@@ -101,6 +103,12 @@ std::string GaConfig::summary() const {
      << " w_g=" << goal_weight << " w_c=" << cost_weight
      << " len0=" << initial_length << " maxlen=" << max_length
      << " enc=" << to_string(encoding);
+  if (incremental_eval) {
+    os << " inc-eval(stride=" << eval_checkpoint_stride
+       << ",cache=" << ops_cache_size << ")";
+  } else {
+    os << " cold-eval";
+  }
   return os.str();
 }
 

@@ -97,6 +97,20 @@ struct GaConfig {
   /// Single-phase engines stop as soon as a valid individual appears; the
   /// paper's multi-phase driver instead checks validity at phase boundaries.
   bool stop_on_valid = true;
+  // --- evaluation engine (PR 2: incremental decode; see docs/API.md
+  // "Evaluation pipeline") --------------------------------------------------
+  /// Re-decode children from the checkpointed trajectory of their parent
+  /// instead of from the phase start state. Bit-identical results either way
+  /// (decode_indirect_resume); off = always cold-decode, for A/B benching.
+  bool incremental_eval = true;
+  /// Record a decode checkpoint every this many applied operations; resuming
+  /// replays at most this many states. 0 disables checkpoints (resume then
+  /// falls back to cold decodes). Memory cost ≈ pop · len/stride states.
+  std::size_t eval_checkpoint_stride = 16;
+  /// Entries in each per-thread valid-ops transposition cache (rounded up to
+  /// a power of two; 0 disables). Only domains declaring kCacheableOps use it.
+  std::size_t ops_cache_size = 2048;
+
   /// Monotone multi-phase: a phase's best plan is appended only when it
   /// improves goal fitness over the phase's start state; otherwise the plan
   /// is discarded and the next phase restarts from the same state. Guards

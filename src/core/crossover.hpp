@@ -16,9 +16,16 @@
 // State matching uses the 64-bit trajectory hashes recorded at evaluation
 // time; a hash collision (~2^-64 per candidate pair) could admit a spurious
 // match, which is harmless: the child is still a well-formed genome.
+//
+// The *_core functions work on raw genomes with caller-owned scratch buffers
+// (allocation-free splicing for the engine's hot reproduction loop) and
+// report each child's first modified gene index, which is what the
+// incremental decoder resumes from. The Individual-based entry points wrap
+// them and draw identical random-number sequences.
 #pragma once
 
 #include <cstddef>
+#include <limits>
 
 #include "core/config.hpp"
 #include "core/individual.hpp"
@@ -45,19 +52,50 @@ struct CrossoverStats {
   }
 };
 
+/// "Nothing changed": a child whose genome is untouched from position 0 on
+/// reports this as its first-dirty index (min() with genome length makes it a
+/// safe universal upper bound).
+inline constexpr std::size_t kCleanGenome =
+    std::numeric_limits<std::size_t>::max();
+
+/// Reusable buffers for allocation-free crossover (one per breeding thread).
+struct CrossoverScratch {
+  Genome buf1;
+  Genome buf2;
+  std::vector<std::size_t> match_buffer;
+};
+
 namespace detail {
 
-/// Exchanges tails at (c1, c2) and truncates both children to max_length.
-inline void splice(Genome& a, Genome& b, std::size_t c1, std::size_t c2,
-                   std::size_t max_length) {
-  Genome child1(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(c1));
-  child1.insert(child1.end(), b.begin() + static_cast<std::ptrdiff_t>(c2), b.end());
-  Genome child2(b.begin(), b.begin() + static_cast<std::ptrdiff_t>(c2));
-  child2.insert(child2.end(), a.begin() + static_cast<std::ptrdiff_t>(c1), a.end());
+/// Assembles child1 = a[0..c1) + b[c2..) and child2 = b[0..c2) + a[c1..),
+/// truncated to max_length, into caller-owned buffers. The parents are read
+/// only — this is the engine's copy-free reproduction primitive (children are
+/// built straight from the population's genomes, no parent copy first).
+inline void splice_into(const Genome& a, const Genome& b, std::size_t c1,
+                        std::size_t c2, std::size_t max_length, Genome& child1,
+                        Genome& child2) {
+  child1.clear();
+  child2.clear();
+  const auto i1 = a.begin() + static_cast<std::ptrdiff_t>(c1);
+  const auto i2 = b.begin() + static_cast<std::ptrdiff_t>(c2);
+  child1.reserve(c1 + (b.size() - c2));
+  child1.insert(child1.end(), a.begin(), i1);
+  child1.insert(child1.end(), i2, b.end());
+  child2.reserve(c2 + (a.size() - c1));
+  child2.insert(child2.end(), b.begin(), i2);
+  child2.insert(child2.end(), i1, a.end());
   if (child1.size() > max_length) child1.resize(max_length);
   if (child2.size() > max_length) child2.resize(max_length);
-  a = std::move(child1);
-  b = std::move(child2);
+}
+
+/// Exchanges tails at (c1, c2) and truncates both children to max_length,
+/// assembling into `scr`'s buffers and swapping them in (no allocation once
+/// the buffers are warm).
+inline void splice(Genome& a, Genome& b, std::size_t c1, std::size_t c2,
+                   std::size_t max_length, CrossoverScratch& scr) {
+  splice_into(a, b, c1, c2, max_length, scr.buf1, scr.buf2);
+  std::swap(a, scr.buf1);
+  std::swap(b, scr.buf2);
 }
 
 /// Picks a uniformly random interior cut point of a genome with `len` >= 2.
@@ -67,85 +105,255 @@ inline std::size_t interior_cut(std::size_t len, util::Rng& rng) {
 
 }  // namespace detail
 
-/// Random one-point crossover. Cut points range over [0, len] — boundary
-/// cuts let one child inherit a whole parent plus a prefix, which is the
-/// mechanism that lets genome lengths *grow* (the paper's solution sizes grow
-/// far past the initial length; interior-only cuts make length variance decay
-/// and the population collapses onto short local optima). Degenerate cuts
-/// that would produce an empty child are resampled; returns false if either
-/// parent is empty.
-template <typename State>
-bool crossover_random(Individual<State>& a, Individual<State>& b,
-                      std::size_t max_length, util::Rng& rng) {
-  if (a.genes.empty() || b.genes.empty()) return false;
-  std::size_t c1 = 0, c2 = 0;
+/// Random one-point crossover (genome-level core). Cut points range over
+/// [0, len] — boundary cuts let one child inherit a whole parent plus a
+/// prefix, which is the mechanism that lets genome lengths *grow* (the
+/// paper's solution sizes grow far past the initial length; interior-only
+/// cuts make length variance decay and the population collapses onto short
+/// local optima). Degenerate cuts that would produce an empty child are
+/// resampled; returns false if either parent is empty. On success dirty_a /
+/// dirty_b hold each child's cut point — its first possibly-changed gene.
+inline bool crossover_random_into(const Genome& a, const Genome& b,
+                                  std::size_t max_length, util::Rng& rng,
+                                  Genome& out1, Genome& out2,
+                                  std::size_t& dirty_a, std::size_t& dirty_b) {
+  dirty_a = dirty_b = kCleanGenome;
+  if (a.empty() || b.empty()) return false;
   for (int attempt = 0; attempt < 8; ++attempt) {
-    c1 = static_cast<std::size_t>(rng.below(a.genes.size() + 1));
-    c2 = static_cast<std::size_t>(rng.below(b.genes.size() + 1));
-    const bool child1_empty = c1 == 0 && c2 == b.genes.size();
-    const bool child2_empty = c2 == 0 && c1 == a.genes.size();
+    const auto c1 = static_cast<std::size_t>(rng.below(a.size() + 1));
+    const auto c2 = static_cast<std::size_t>(rng.below(b.size() + 1));
+    const bool child1_empty = c1 == 0 && c2 == b.size();
+    const bool child2_empty = c2 == 0 && c1 == a.size();
     if (!child1_empty && !child2_empty) {
-      detail::splice(a.genes, b.genes, c1, c2, max_length);
+      detail::splice_into(a, b, c1, c2, max_length, out1, out2);
+      dirty_a = c1;
+      dirty_b = c2;
       return true;
     }
   }
   return false;
 }
 
-/// State-aware crossover. Picks c1 on `a`, then restricts c2 to interior
-/// positions of `b` whose trajectory state matches a's cut state — by
-/// identical ordered valid-operation lists (kValidOps, the default reading of
-/// §3.4.2) or by full state equality (kExactState). One match is chosen
-/// uniformly. Returns false if parents are too short or no matching point
-/// exists. Requires both parents to carry trajectory records (evaluated with
-/// record_hashes on).
-template <typename State>
-bool crossover_state_aware(Individual<State>& a, Individual<State>& b,
-                           std::size_t max_length, StateMatchKind match,
-                           util::Rng& rng,
-                           std::vector<std::size_t>& match_buffer) {
-  if (a.genes.size() < 2 || b.genes.size() < 2) return false;
-  const auto& keys_a = match == StateMatchKind::kExactState
-                           ? a.eval.state_hashes
-                           : a.eval.op_signatures;
-  const auto& keys_b = match == StateMatchKind::kExactState
-                           ? b.eval.state_hashes
-                           : b.eval.op_signatures;
+/// In-place variant of crossover_random_into (children replace the parents;
+/// identical random-number draws).
+inline bool crossover_random_core(Genome& a, Genome& b, std::size_t max_length,
+                                  util::Rng& rng, CrossoverScratch& scr,
+                                  std::size_t& dirty_a, std::size_t& dirty_b) {
+  if (crossover_random_into(a, b, max_length, rng, scr.buf1, scr.buf2, dirty_a,
+                            dirty_b)) {
+    std::swap(a, scr.buf1);
+    std::swap(b, scr.buf2);
+    return true;
+  }
+  return false;
+}
+
+/// State-aware crossover (genome-level core). Picks c1 on `a`, then restricts
+/// c2 to positions of `b` whose trajectory state matches a's cut state;
+/// `keys_a` / `keys_b` are the parents' per-position match keys (state hashes
+/// for kExactState, valid-op signatures for kValidOps — see Evaluation). One
+/// match is chosen uniformly. Returns false if parents are too short or no
+/// matching point exists.
+inline bool crossover_state_aware_into(
+    const Genome& a, const std::vector<std::uint64_t>& keys_a, const Genome& b,
+    const std::vector<std::uint64_t>& keys_b, std::size_t max_length,
+    util::Rng& rng, CrossoverScratch& scr, Genome& out1, Genome& out2,
+    std::size_t& dirty_a, std::size_t& dirty_b) {
+  dirty_a = dirty_b = kCleanGenome;
+  if (a.size() < 2 || b.size() < 2) return false;
   // States are only known along the decoded prefix of each genome. Cut
   // positions range over [0, decoded]: boundary matches (e.g. the donated
   // tail being all of b, spliced where a's trajectory matches b's start) are
   // the growth mechanism, exactly as in crossover_random.
   const std::size_t decoded_a = keys_a.empty() ? 0 : keys_a.size() - 1;
   const std::size_t decoded_b = keys_b.empty() ? 0 : keys_b.size() - 1;
-  const std::size_t hi_a = std::min(a.genes.size(), decoded_a);
-  const std::size_t hi_b = std::min(b.genes.size(), decoded_b);
+  const std::size_t hi_a = std::min(a.size(), decoded_a);
+  const std::size_t hi_b = std::min(b.size(), decoded_b);
   if (hi_a < 1 || hi_b < 1) return false;
 
   const std::size_t c1 = 1 + static_cast<std::size_t>(rng.below(hi_a));
   const std::uint64_t want = keys_a[c1];
-  match_buffer.clear();
+  scr.match_buffer.clear();
   for (std::size_t c2 = 0; c2 <= hi_b; ++c2) {
-    if (keys_b[c2] == want && !(c1 == a.genes.size() && c2 == 0)) {
-      match_buffer.push_back(c2);
+    if (keys_b[c2] == want && !(c1 == a.size() && c2 == 0)) {
+      scr.match_buffer.push_back(c2);
     }
   }
-  if (match_buffer.empty()) return false;
+  if (scr.match_buffer.empty()) return false;
   const std::size_t c2 =
-      match_buffer[static_cast<std::size_t>(rng.below(match_buffer.size()))];
-  detail::splice(a.genes, b.genes, c1, c2, max_length);
+      scr.match_buffer[static_cast<std::size_t>(rng.below(scr.match_buffer.size()))];
+  detail::splice_into(a, b, c1, c2, max_length, out1, out2);
+  dirty_a = c1;
+  dirty_b = c2;
   return true;
+}
+
+/// In-place variant of crossover_state_aware_into (children replace the
+/// parents; identical random-number draws).
+inline bool crossover_state_aware_core(Genome& a,
+                                       const std::vector<std::uint64_t>& keys_a,
+                                       Genome& b,
+                                       const std::vector<std::uint64_t>& keys_b,
+                                       std::size_t max_length, util::Rng& rng,
+                                       CrossoverScratch& scr,
+                                       std::size_t& dirty_a,
+                                       std::size_t& dirty_b) {
+  if (crossover_state_aware_into(a, keys_a, b, keys_b, max_length, rng, scr,
+                                 scr.buf1, scr.buf2, dirty_a, dirty_b)) {
+    std::swap(a, scr.buf1);
+    std::swap(b, scr.buf2);
+    return true;
+  }
+  return false;
+}
+
+/// Uniform crossover over the shared prefix (genome-level core). dirty_a /
+/// dirty_b report the first gene actually exchanged on each side
+/// (kCleanGenome when the coin flips exchanged nothing).
+inline bool crossover_uniform_core(Genome& a, Genome& b, util::Rng& rng,
+                                   std::size_t& dirty_a, std::size_t& dirty_b) {
+  dirty_a = dirty_b = kCleanGenome;
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n == 0) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.chance(0.5)) {
+      std::swap(a[i], b[i]);
+      if (dirty_a == kCleanGenome) dirty_a = dirty_b = i;
+    }
+  }
+  return true;
+}
+
+/// Dispatches on the configured mechanism over const parent genomes, writing
+/// the children into `out1` / `out2`; updates `stats` and reports each
+/// child's first modified gene index. Returns false when no children were
+/// produced (too-short parents, no state match) — the outputs are then
+/// unspecified and the caller keeps/copies the parents itself. This is the
+/// engine's reproduction path: children are assembled straight from the
+/// population's genomes, so a crossed pair never pays a parent copy that the
+/// splice would immediately overwrite. `keys_a` / `keys_b` are the parents'
+/// state-match key trajectories; pass empty vectors when unavailable
+/// (state-aware then degrades exactly as with unevaluated parents).
+inline bool crossover_genomes_into(const GaConfig& cfg, const Genome& a,
+                                   const std::vector<std::uint64_t>& keys_a,
+                                   const Genome& b,
+                                   const std::vector<std::uint64_t>& keys_b,
+                                   util::Rng& rng, CrossoverStats& stats,
+                                   CrossoverScratch& scr, Genome& out1,
+                                   Genome& out2, std::size_t& dirty_a,
+                                   std::size_t& dirty_b) {
+  ++stats.pairs;
+  dirty_a = dirty_b = kCleanGenome;
+  switch (cfg.crossover) {
+    case CrossoverKind::kRandom:
+      if (crossover_random_into(a, b, cfg.max_length, rng, out1, out2, dirty_a,
+                                dirty_b)) {
+        ++stats.random_done;
+        return true;
+      }
+      ++stats.too_short;
+      return false;
+    case CrossoverKind::kStateAware:
+      if (crossover_state_aware_into(a, keys_a, b, keys_b, cfg.max_length, rng,
+                                     scr, out1, out2, dirty_a, dirty_b)) {
+        ++stats.state_aware_done;
+        return true;
+      }
+      ++stats.no_match;
+      return false;
+    case CrossoverKind::kMixed:
+      if (crossover_state_aware_into(a, keys_a, b, keys_b, cfg.max_length, rng,
+                                     scr, out1, out2, dirty_a, dirty_b)) {
+        ++stats.state_aware_done;
+        return true;
+      }
+      if (crossover_random_into(a, b, cfg.max_length, rng, out1, out2, dirty_a,
+                                dirty_b)) {
+        ++stats.random_done;
+        return true;
+      }
+      ++stats.too_short;
+      return false;
+    case CrossoverKind::kUniform:
+      // Uniform exchanges genes in place over the shared prefix, so the
+      // children start as parent copies either way.
+      out1 = a;
+      out2 = b;
+      if (crossover_uniform_core(out1, out2, rng, dirty_a, dirty_b)) {
+        ++stats.uniform_done;
+      } else {
+        ++stats.too_short;
+      }
+      return true;
+  }
+  return false;
+}
+
+/// Dispatches on the configured mechanism over raw genomes; updates `stats`
+/// and reports each child's first modified gene index (kCleanGenome when the
+/// genome is untouched). Children replace the parents in place; identical
+/// random-number draws to crossover_genomes_into.
+inline void crossover_genomes(const GaConfig& cfg, Genome& a,
+                              const std::vector<std::uint64_t>& keys_a,
+                              Genome& b,
+                              const std::vector<std::uint64_t>& keys_b,
+                              util::Rng& rng, CrossoverStats& stats,
+                              CrossoverScratch& scr, std::size_t& dirty_a,
+                              std::size_t& dirty_b) {
+  if (crossover_genomes_into(cfg, a, keys_a, b, keys_b, rng, stats, scr,
+                             scr.buf1, scr.buf2, dirty_a, dirty_b)) {
+    std::swap(a, scr.buf1);
+    std::swap(b, scr.buf2);
+  }
+}
+
+namespace detail {
+
+/// Match-key trajectory an evaluation offers for `match` (state hashes for
+/// exact-state matching, valid-op signatures otherwise).
+template <typename State>
+const std::vector<std::uint64_t>& match_keys(const Evaluation<State>& ev,
+                                             StateMatchKind match) {
+  return match == StateMatchKind::kExactState ? ev.state_hashes
+                                              : ev.op_signatures;
+}
+
+}  // namespace detail
+
+/// Random one-point crossover on a pair of individuals (see
+/// crossover_random_core).
+template <typename State>
+bool crossover_random(Individual<State>& a, Individual<State>& b,
+                      std::size_t max_length, util::Rng& rng) {
+  CrossoverScratch scr;
+  std::size_t da = kCleanGenome, db = kCleanGenome;
+  return crossover_random_core(a.genes, b.genes, max_length, rng, scr, da, db);
+}
+
+/// State-aware crossover on a pair of individuals. Requires both parents to
+/// carry trajectory records (evaluated with record_hashes on); see
+/// crossover_state_aware_core.
+template <typename State>
+bool crossover_state_aware(Individual<State>& a, Individual<State>& b,
+                           std::size_t max_length, StateMatchKind match,
+                           util::Rng& rng,
+                           std::vector<std::size_t>& match_buffer) {
+  CrossoverScratch scr;
+  scr.match_buffer = std::move(match_buffer);
+  std::size_t da = kCleanGenome, db = kCleanGenome;
+  const bool done = crossover_state_aware_core(
+      a.genes, detail::match_keys(a.eval, match), b.genes,
+      detail::match_keys(b.eval, match), max_length, rng, scr, da, db);
+  match_buffer = std::move(scr.match_buffer);
+  return done;
 }
 
 /// Uniform crossover over the shared prefix (extension).
 template <typename State>
 bool crossover_uniform(Individual<State>& a, Individual<State>& b,
                        util::Rng& rng) {
-  const std::size_t n = std::min(a.genes.size(), b.genes.size());
-  if (n == 0) return false;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (rng.chance(0.5)) std::swap(a.genes[i], b.genes[i]);
-  }
-  return true;
+  std::size_t da = kCleanGenome, db = kCleanGenome;
+  return crossover_uniform_core(a.genes, b.genes, rng, da, db);
 }
 
 /// Dispatches on the configured mechanism; updates `stats`. The pair is
@@ -155,41 +363,13 @@ template <typename State>
 void crossover_pair(const GaConfig& cfg, Individual<State>& a, Individual<State>& b,
                     util::Rng& rng, CrossoverStats& stats,
                     std::vector<std::size_t>& match_buffer) {
-  ++stats.pairs;
-  switch (cfg.crossover) {
-    case CrossoverKind::kRandom:
-      if (crossover_random(a, b, cfg.max_length, rng)) {
-        ++stats.random_done;
-      } else {
-        ++stats.too_short;
-      }
-      return;
-    case CrossoverKind::kStateAware:
-      if (crossover_state_aware(a, b, cfg.max_length, cfg.state_match, rng,
-                                match_buffer)) {
-        ++stats.state_aware_done;
-      } else {
-        ++stats.no_match;
-      }
-      return;
-    case CrossoverKind::kMixed:
-      if (crossover_state_aware(a, b, cfg.max_length, cfg.state_match, rng,
-                                match_buffer)) {
-        ++stats.state_aware_done;
-      } else if (crossover_random(a, b, cfg.max_length, rng)) {
-        ++stats.random_done;
-      } else {
-        ++stats.too_short;
-      }
-      return;
-    case CrossoverKind::kUniform:
-      if (crossover_uniform(a, b, rng)) {
-        ++stats.uniform_done;
-      } else {
-        ++stats.too_short;
-      }
-      return;
-  }
+  CrossoverScratch scr;
+  scr.match_buffer = std::move(match_buffer);
+  std::size_t da = kCleanGenome, db = kCleanGenome;
+  crossover_genomes(cfg, a.genes, detail::match_keys(a.eval, cfg.state_match),
+                    b.genes, detail::match_keys(b.eval, cfg.state_match), rng,
+                    stats, scr, da, db);
+  match_buffer = std::move(scr.match_buffer);
 }
 
 }  // namespace gaplan::ga

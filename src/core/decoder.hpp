@@ -9,14 +9,27 @@
 // Direct: gene g selects global operation ⌊g·|O|⌋; if it is inapplicable the
 // system "stays at the current state" (Eq. 1's match-fitness denominator
 // counts it as a mismatch).
+//
+// The indirect decoder is the planner's hot kernel, so it comes in three
+// entry points sharing one loop:
+//   * decode_indirect        — legacy by-value API (tests, one-off decodes)
+//   * decode_indirect_into   — cold decode into a recycled Evaluation, with
+//                              optional valid-ops transposition caching
+//   * decode_indirect_resume — incremental re-decode: restart from the
+//                              checkpointed state nearest the first gene that
+//                              crossover/mutation changed, bit-identical to a
+//                              cold decode of the same genome
 #pragma once
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <span>
 
+#include "core/eval_cache.hpp"
 #include "core/individual.hpp"
 #include "core/problem.hpp"
+#include "obs/metrics.hpp"
 
 namespace gaplan::ga {
 
@@ -26,6 +39,10 @@ struct DecodeOptions {
   /// Record per-position state hashes (needed by state-aware crossover; can
   /// be disabled for pure search baselines).
   bool record_hashes = true;
+  /// Record a state checkpoint every this many applied operations (0 = none).
+  /// Checkpoints are what decode_indirect_resume restarts from, so resuming
+  /// costs O(stride) state replay instead of O(prefix).
+  std::size_t checkpoint_stride = 0;
 };
 
 /// Maps a gene to an index in [0, m). m must be > 0.
@@ -36,7 +53,7 @@ inline std::size_t gene_to_index(Gene g, std::size_t m) noexcept {
 
 /// Hash of an ordered valid-operation list — the state-match key for the
 /// default (valid-ops) state-aware crossover.
-inline std::uint64_t ops_signature(const std::vector<int>& ops) noexcept {
+inline std::uint64_t ops_signature(std::span<const int> ops) noexcept {
   std::uint64_t h = 0xCBF29CE484222325ULL ^ ops.size();
   for (const int op : ops) {
     h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(op));
@@ -45,53 +62,243 @@ inline std::uint64_t ops_signature(const std::vector<int>& ops) noexcept {
   return h;
 }
 
-/// Decodes `genes` from `start` using the indirect encoding. `scratch` is a
-/// reusable valid-operation buffer (avoids per-gene allocation).
-template <PlanningProblem P>
-Evaluation<typename P::StateT> decode_indirect(const P& problem,
-                                               const typename P::StateT& start,
-                                               std::span<const Gene> genes,
-                                               const DecodeOptions& opt,
-                                               std::vector<int>& scratch) {
-  using State = typename P::StateT;
-  Evaluation<State> ev;
-  ev.match_fit = 1.0;  // indirect encoding: all operations valid by construction
-  ev.ops.reserve(genes.size());
-  if (opt.record_hashes) {
-    ev.state_hashes.reserve(genes.size() + 1);
-    ev.op_signatures.reserve(genes.size() + 1);
-  }
+namespace detail {
 
-  State s = start;
-  if (opt.record_hashes) ev.state_hashes.push_back(problem.hash(s));
-  bool done = false;
-  if (problem.is_goal(s)) {
-    ev.goal_index = 0;
-    done = opt.truncate_at_goal;
+/// Per-decode work tally, flushed to the metrics registry once per decode
+/// (obs counters are cheap, but one inc per decode beats one per gene).
+struct DecodeTally {
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t ops_decoded = 0;
+
+  void flush() const noexcept {
+    static obs::Counter& c_hits = obs::counter("eval.cache_hits");
+    static obs::Counter& c_misses = obs::counter("eval.cache_misses");
+    static obs::Counter& c_ops = obs::counter("eval.ops_decoded");
+    if (cache_hits) c_hits.inc(cache_hits);
+    if (cache_misses) c_misses.inc(cache_misses);
+    if (ops_decoded) c_ops.inc(ops_decoded);
   }
-  if (!done) {
-    for (const Gene g : genes) {
-      problem.valid_ops(s, scratch);
-      // Signature of the state the upcoming gene decodes in (position ops()).
-      if (opt.record_hashes && ev.op_signatures.size() < ev.state_hashes.size()) {
-        ev.op_signatures.push_back(ops_signature(scratch));
+};
+
+/// Resolves the valid-operation list of `s`, through the transposition cache
+/// when one is supplied. `hash` is the state's hash when already known
+/// (kHashUnknown otherwise; it is only computed if the cache needs it).
+/// The ops view stays valid until the next call; `sig` is
+/// ops_signature(ops), memoized in the cache so hits skip the hash loop —
+/// it is only computed when `want_sig` is set or the entry is cached.
+inline constexpr std::uint64_t kHashUnknown = ~std::uint64_t{0};
+
+struct ResolvedOps {
+  std::span<const int> ops;
+  std::uint64_t sig;
+};
+
+template <PlanningProblem P>
+ResolvedOps resolve_valid_ops(const P& problem, const typename P::StateT& s,
+                              std::uint64_t hash, bool want_sig,
+                              std::vector<int>& scratch,
+                              OpsCache<typename P::StateT>* cache,
+                              DecodeTally& tally) {
+  if (cache != nullptr && cache->enabled()) {
+    const std::uint64_t h = hash == kHashUnknown ? problem.hash(s) : hash;
+    if (const auto* hit = cache->find(h, s)) {
+      ++tally.cache_hits;
+      return {hit->ops(), hit->sig};
+    }
+    problem.valid_ops(s, scratch);
+    ++tally.cache_misses;
+    const auto* e = cache->insert(h, s, scratch, ops_signature(scratch));
+    return {e->ops(), e->sig};
+  }
+  problem.valid_ops(s, scratch);
+  return {scratch, want_sig ? ops_signature(scratch) : 0};
+}
+
+/// The shared indirect-decode loop: consumes genes[from..) with `s` holding
+/// the trajectory state at position `from` and `ev` holding a consistent
+/// prefix (ops/hashes/signatures/checkpoints/plan_cost for positions < from).
+template <PlanningProblem P>
+void indirect_decode_loop(const P& problem, std::span<const Gene> genes,
+                          std::size_t from, const DecodeOptions& opt,
+                          std::vector<int>& scratch,
+                          OpsCache<typename P::StateT>* cache,
+                          DecodeTally& tally,
+                          Evaluation<typename P::StateT>& ev,
+                          typename P::StateT& s) {
+  // Ops-until-next-checkpoint countdown: checkpoints land where
+  // ops.size() % stride == 0, and a runtime-divisor modulo per decoded op is
+  // measurable on trivial domains.
+  std::size_t until_ckpt = std::numeric_limits<std::size_t>::max();
+  if (opt.checkpoint_stride != 0) {
+    until_ckpt = opt.checkpoint_stride - from % opt.checkpoint_stride;
+  }
+  for (std::size_t i = from; i < genes.size(); ++i) {
+    const std::uint64_t cur_hash =
+        opt.record_hashes ? ev.state_hashes.back() : kHashUnknown;
+    const ResolvedOps res = resolve_valid_ops(problem, s, cur_hash,
+                                              opt.record_hashes, scratch,
+                                              cache, tally);
+    // Signature of the state the upcoming gene decodes in (position ops()).
+    if (opt.record_hashes && ev.op_signatures.size() < ev.state_hashes.size()) {
+      ev.op_signatures.push_back(res.sig);
+    }
+    if (res.ops.empty()) {  // dead end: remaining genes are inert
+      ev.dead_end = true;
+      break;
+    }
+    const int op = res.ops[gene_to_index(genes[i], res.ops.size())];
+    ev.plan_cost += problem.op_cost(s, op);
+    problem.apply(s, op);
+    ev.ops.push_back(op);
+    ++tally.ops_decoded;
+    if (opt.record_hashes) ev.state_hashes.push_back(problem.hash(s));
+    if (--until_ckpt == 0) {
+      ev.checkpoint_states.push_back(s);
+      ev.checkpoint_costs.push_back(ev.plan_cost);
+      until_ckpt = opt.checkpoint_stride;
+    }
+    if (ev.goal_index == kNoGoal && problem.is_goal(s)) {
+      ev.goal_index = ev.ops.size();
+      if (opt.truncate_at_goal) break;
+    }
+  }
+}
+
+/// Ops-identical fast-forward for resumed decodes. Precondition: `ev` holds a
+/// consistent prefix whose ops are exactly prev.ops[0..from), `s` is the
+/// trajectory state at position `from`, `from` is a checkpoint boundary, and
+/// opt.checkpoint_stride != 0. While that ops-identity holds, the child is
+/// walking prev's own trajectory, so runs of bitwise-equal genes can be
+/// skipped checkpoint-to-checkpoint by copying prev's ops/hashes/ladder —
+/// prev's partial cost sums are the same additions in the same order a cold
+/// decode would perform, hence bit-identical. A differing gene is decoded
+/// normally; when it still selects prev's op at that position (common under
+/// small valid-op sets) the identity survives and skipping resumes at the
+/// next boundary. The first op that differs ends the fast-forward for good —
+/// the trajectories diverge — and the caller finishes with the plain loop.
+/// Returns the position decoding should continue from; sets `done` when the
+/// decode terminated inside the fast-forward (goal truncation, dead end, or
+/// genome exhausted) and adds the skipped gene count to `skipped`.
+template <PlanningProblem P>
+std::size_t indirect_fast_forward(
+    const P& problem, std::span<const Gene> genes,
+    std::span<const Gene> parent_genes, std::size_t from,
+    const DecodeOptions& opt, std::vector<int>& scratch,
+    OpsCache<typename P::StateT>* cache, DecodeTally& tally,
+    const Evaluation<typename P::StateT>& prev,
+    Evaluation<typename P::StateT>& ev, typename P::StateT& s,
+    std::size_t& skipped, bool& done) {
+  const std::size_t stride = opt.checkpoint_stride;
+  // Gene equality implies op equality only where prev's ops are positionally
+  // 1:1 with the parent genes that produced them.
+  const std::size_t scan_lim =
+      std::min({genes.size(), parent_genes.size(), prev.ops.size()});
+  const auto at = [](const auto& v, std::size_t i) {
+    return v.begin() + static_cast<std::ptrdiff_t>(i);
+  };
+  std::size_t pos = from;
+  while (pos < genes.size()) {
+    if (pos % stride == 0 && pos < scan_lim) {
+      // At a checkpoint boundary: jump over the bitwise-identical gene run.
+      std::size_t d = pos;
+      while (d < scan_lim && genes[d] == parent_genes[d]) ++d;
+      const std::size_t kk = std::min(d / stride, prev.checkpoint_states.size());
+      const std::size_t jump = kk * stride;
+      if (jump > pos) {
+        ev.ops.insert(ev.ops.end(), at(prev.ops, pos), at(prev.ops, jump));
+        if (opt.record_hashes) {
+          ev.state_hashes.insert(ev.state_hashes.end(),
+                                 at(prev.state_hashes, pos + 1),
+                                 at(prev.state_hashes, jump + 1));
+          ev.op_signatures.insert(ev.op_signatures.end(),
+                                  at(prev.op_signatures, pos),
+                                  at(prev.op_signatures, jump));
+        }
+        ev.checkpoint_states.insert(ev.checkpoint_states.end(),
+                                    at(prev.checkpoint_states, pos / stride),
+                                    at(prev.checkpoint_states, kk));
+        ev.checkpoint_costs.insert(ev.checkpoint_costs.end(),
+                                   at(prev.checkpoint_costs, pos / stride),
+                                   at(prev.checkpoint_costs, kk));
+        ev.plan_cost = prev.checkpoint_costs[kk - 1];
+        s = prev.checkpoint_states[kk - 1];
+        skipped += jump - pos;
+        pos = jump;
+        if (ev.goal_index == kNoGoal && prev.goal_index != kNoGoal &&
+            prev.goal_index <= jump) {
+          // With truncation prev.ops end at prev's goal, so jump == goal here
+          // and `s` *is* the goal state; finish() trims nothing extra.
+          ev.goal_index = prev.goal_index;
+          if (opt.truncate_at_goal) {
+            done = true;
+            return pos;
+          }
+        }
+        continue;  // rescan: kk may have been clamped by the ladder
       }
-      if (scratch.empty()) break;  // dead end: remaining genes are inert
-      const int op = scratch[gene_to_index(g, scratch.size())];
-      ev.plan_cost += problem.op_cost(s, op);
-      problem.apply(s, op);
-      ev.ops.push_back(op);
-      if (opt.record_hashes) ev.state_hashes.push_back(problem.hash(s));
-      if (ev.goal_index == kNoGoal && problem.is_goal(s)) {
-        ev.goal_index = ev.ops.size();
-        if (opt.truncate_at_goal) break;
+    }
+    // Decode the next gene exactly as the plain loop would, additionally
+    // checking that it still selects prev's op at this position.
+    const std::uint64_t cur_hash =
+        opt.record_hashes ? ev.state_hashes.back() : kHashUnknown;
+    const ResolvedOps res = resolve_valid_ops(problem, s, cur_hash,
+                                              opt.record_hashes, scratch,
+                                              cache, tally);
+    if (opt.record_hashes && ev.op_signatures.size() < ev.state_hashes.size()) {
+      ev.op_signatures.push_back(res.sig);
+    }
+    if (res.ops.empty()) {
+      ev.dead_end = true;
+      done = true;
+      return pos;
+    }
+    const int op = res.ops[gene_to_index(genes[pos], res.ops.size())];
+    if (pos >= prev.ops.size() || op != prev.ops[pos]) {
+      return pos;  // diverged: the plain loop re-decodes from here on
+    }
+    ev.plan_cost += problem.op_cost(s, op);
+    problem.apply(s, op);
+    ev.ops.push_back(op);
+    ++tally.ops_decoded;
+    ++pos;
+    if (opt.record_hashes) ev.state_hashes.push_back(problem.hash(s));
+    if (pos % stride == 0) {
+      ev.checkpoint_states.push_back(s);
+      ev.checkpoint_costs.push_back(ev.plan_cost);
+    }
+    if (ev.goal_index == kNoGoal && problem.is_goal(s)) {
+      ev.goal_index = pos;
+      if (opt.truncate_at_goal) {
+        done = true;
+        return pos;
       }
     }
   }
+  done = true;  // genome exhausted inside the fast-forward
+  return pos;
+}
+
+/// Post-loop bookkeeping shared by the cold and resume paths: goal
+/// truncation, signature-trajectory closure, final state.
+template <PlanningProblem P>
+void indirect_decode_finish(const P& problem, const DecodeOptions& opt,
+                            std::vector<int>& scratch,
+                            OpsCache<typename P::StateT>* cache,
+                            DecodeTally& tally,
+                            Evaluation<typename P::StateT>& ev,
+                            typename P::StateT& s) {
   if (opt.truncate_at_goal && ev.goal_index != kNoGoal) {
     ev.valid = true;
     ev.ops.resize(ev.goal_index);
     if (opt.record_hashes) ev.state_hashes.resize(ev.goal_index + 1);
+    if (opt.checkpoint_stride != 0) {
+      const std::size_t keep = ev.goal_index / opt.checkpoint_stride;
+      if (ev.checkpoint_states.size() > keep) {
+        ev.checkpoint_states.resize(keep);
+        ev.checkpoint_costs.resize(keep);
+      }
+    }
   } else {
     ev.valid = problem.is_goal(s);
   }
@@ -102,13 +309,186 @@ Evaluation<typename P::StateT> decode_indirect(const P& problem,
       ev.op_signatures.resize(ev.state_hashes.size());
     }
     while (ev.op_signatures.size() < ev.state_hashes.size()) {
-      problem.valid_ops(s, scratch);
-      ev.op_signatures.push_back(ops_signature(scratch));
+      const ResolvedOps res =
+          resolve_valid_ops(problem, s, ev.state_hashes.back(),
+                            /*want_sig=*/true, scratch, cache, tally);
+      ev.op_signatures.push_back(res.sig);
     }
   }
   ev.effective_length = ev.ops.size();
+  ev.checkpoint_stride = opt.checkpoint_stride;
   ev.final_state = std::move(s);
+  ev.decoded = true;
+  tally.flush();
+}
+
+/// Cold decode into `ev` (recycled: reset() keeps capacity).
+template <PlanningProblem P>
+void decode_indirect_impl(const P& problem, const typename P::StateT& start,
+                          std::span<const Gene> genes, const DecodeOptions& opt,
+                          std::vector<int>& scratch,
+                          OpsCache<typename P::StateT>* cache,
+                          Evaluation<typename P::StateT>& ev) {
+  using State = typename P::StateT;
+  ev.reset();
+  ev.match_fit = 1.0;  // indirect encoding: all operations valid by construction
+  ev.ops.reserve(genes.size());
+  if (opt.record_hashes) {
+    ev.state_hashes.reserve(genes.size() + 1);
+    ev.op_signatures.reserve(genes.size() + 1);
+  }
+
+  DecodeTally tally;
+  State s = start;
+  if (opt.record_hashes) ev.state_hashes.push_back(problem.hash(s));
+  bool done = false;
+  if (problem.is_goal(s)) {
+    ev.goal_index = 0;
+    done = opt.truncate_at_goal;
+  }
+  if (!done) {
+    indirect_decode_loop(problem, genes, 0, opt, scratch, cache, tally, ev, s);
+  }
+  indirect_decode_finish(problem, opt, scratch, cache, tally, ev, s);
+}
+
+}  // namespace detail
+
+/// Decodes `genes` from `start` using the indirect encoding. `scratch` is a
+/// reusable valid-operation buffer (avoids per-gene allocation).
+template <PlanningProblem P>
+Evaluation<typename P::StateT> decode_indirect(const P& problem,
+                                               const typename P::StateT& start,
+                                               std::span<const Gene> genes,
+                                               const DecodeOptions& opt,
+                                               std::vector<int>& scratch) {
+  Evaluation<typename P::StateT> ev;
+  detail::decode_indirect_impl(problem, start, genes, opt, scratch, nullptr, ev);
   return ev;
+}
+
+/// Cold decode into a recycled Evaluation, using the context's valid-ops
+/// transposition cache when it is enabled (EvalContext::sync sizes it).
+template <PlanningProblem P>
+void decode_indirect_into(const P& problem, const typename P::StateT& start,
+                          std::span<const Gene> genes, const DecodeOptions& opt,
+                          EvalContext<typename P::StateT>& ctx,
+                          Evaluation<typename P::StateT>& ev) {
+  detail::decode_indirect_impl(problem, start, genes, opt, ctx.scratch,
+                               ctx.cache.enabled() ? &ctx.cache : nullptr, ev);
+}
+
+/// Incremental re-decode. `prev` must be an evaluation (same problem, same
+/// `start`, same options) of the genome `parent_genes`, whose first
+/// `first_dirty` genes equal genes[0..first_dirty); crossover and mutation
+/// report that index. The decode restarts from the checkpointed state nearest
+/// below the dirty gene — or reuses `prev` outright when it provably
+/// terminated before it — then fast-forwards through any later gene runs
+/// that are bitwise-identical to the parent's for as long as the decoded ops
+/// match prev's (indirect_fast_forward), and produces results bit-identical
+/// to a cold decode of `genes`. `parent_genes` may be empty (no fast-forward,
+/// resume only). Falls back to a cold decode whenever `prev` cannot seed a
+/// resume. Returns the number of gene positions whose re-decode was skipped.
+template <PlanningProblem P>
+std::size_t decode_indirect_resume(const P& problem,
+                                   const typename P::StateT& start,
+                                   std::span<const Gene> genes,
+                                   const DecodeOptions& opt,
+                                   EvalContext<typename P::StateT>& ctx,
+                                   const Evaluation<typename P::StateT>& prev,
+                                   std::span<const Gene> parent_genes,
+                                   std::size_t first_dirty,
+                                   Evaluation<typename P::StateT>& ev) {
+  using State = typename P::StateT;
+  OpsCache<State>* cache = ctx.cache.enabled() ? &ctx.cache : nullptr;
+  if (!prev.decoded || &prev == &ev ||
+      prev.checkpoint_stride != opt.checkpoint_stride ||
+      (opt.record_hashes && prev.state_hashes.size() != prev.ops.size() + 1)) {
+    detail::decode_indirect_impl(problem, start, genes, opt, ctx.scratch, cache, ev);
+    return 0;
+  }
+  const std::size_t dirty = std::min(first_dirty, genes.size());
+
+  // Whole-evaluation reuse: prev's decode provably terminated at or before
+  // the first modified gene, so the child decodes to the very same record.
+  // (dead_end marks that the state after ops has an empty valid-op set — a
+  // property of the state, so it transfers with the copy.)
+  const bool goal_terminated = opt.truncate_at_goal &&
+                               prev.goal_index != kNoGoal &&
+                               prev.goal_index <= dirty;
+  const bool dead_terminated = prev.dead_end && prev.ops.size() <= dirty;
+  const bool genome_unchanged =
+      prev.ops.size() == genes.size() && dirty >= genes.size();
+  if (goal_terminated || dead_terminated || genome_unchanged) {
+    ev = prev;  // copy-assign recycles ev's buffers
+    static obs::Counter& c_reused = obs::counter("eval.resume_genes_skipped");
+    static obs::Counter& c_whole = obs::counter("eval.reuse_whole");
+    c_reused.inc(genes.size());
+    c_whole.inc();
+    return genes.size();
+  }
+
+  const std::size_t limit = std::min(dirty, prev.ops.size());
+  const std::size_t stride = prev.checkpoint_stride;
+  std::size_t k = stride == 0 ? 0 : limit / stride;
+  k = std::min(k, prev.checkpoint_states.size());
+  const std::size_t resume_at = k * stride;
+  if (resume_at == 0) {  // no checkpoint below the dirty gene: cold decode
+    detail::decode_indirect_impl(problem, start, genes, opt, ctx.scratch, cache, ev);
+    return 0;
+  }
+
+  ev.reset();
+  ev.match_fit = 1.0;
+  ev.ops.reserve(genes.size());
+  ev.ops.assign(prev.ops.begin(),
+                prev.ops.begin() + static_cast<std::ptrdiff_t>(resume_at));
+  if (opt.record_hashes) {
+    ev.state_hashes.reserve(genes.size() + 1);
+    ev.op_signatures.reserve(genes.size() + 1);
+    ev.state_hashes.assign(
+        prev.state_hashes.begin(),
+        prev.state_hashes.begin() + static_cast<std::ptrdiff_t>(resume_at + 1));
+    ev.op_signatures.assign(
+        prev.op_signatures.begin(),
+        prev.op_signatures.begin() + static_cast<std::ptrdiff_t>(resume_at));
+  }
+  ev.checkpoint_states.assign(
+      prev.checkpoint_states.begin(),
+      prev.checkpoint_states.begin() + static_cast<std::ptrdiff_t>(k));
+  ev.checkpoint_costs.assign(
+      prev.checkpoint_costs.begin(),
+      prev.checkpoint_costs.begin() + static_cast<std::ptrdiff_t>(k));
+  ev.plan_cost = prev.checkpoint_costs[k - 1];
+  // Goal sightings inside the kept prefix transfer; later ones are
+  // re-discovered by the loop. (With truncate_at_goal, a goal at or below the
+  // resume point was already handled by the whole-reuse branch above.)
+  if (prev.goal_index != kNoGoal && prev.goal_index <= resume_at) {
+    ev.goal_index = prev.goal_index;
+  }
+
+  State s = prev.checkpoint_states[k - 1];
+  detail::DecodeTally tally;
+  static obs::Counter& c_resumed = obs::counter("eval.resume_genes_skipped");
+  static obs::Counter& c_partial = obs::counter("eval.resume_partial");
+  static obs::Counter& c_ff = obs::counter("eval.ff_genes_skipped");
+  c_partial.inc();
+  std::size_t ff_skipped = 0;
+  bool done = false;
+  std::size_t cont = resume_at;
+  if (!parent_genes.empty()) {
+    cont = detail::indirect_fast_forward(problem, genes, parent_genes,
+                                         resume_at, opt, ctx.scratch, cache,
+                                         tally, prev, ev, s, ff_skipped, done);
+  }
+  if (!done) {
+    detail::indirect_decode_loop(problem, genes, cont, opt, ctx.scratch, cache,
+                                 tally, ev, s);
+  }
+  detail::indirect_decode_finish(problem, opt, ctx.scratch, cache, tally, ev, s);
+  c_resumed.inc(resume_at + ff_skipped);
+  if (ff_skipped != 0) c_ff.inc(ff_skipped);
+  return resume_at + ff_skipped;
 }
 
 /// Decodes `genes` using the direct encoding (DirectEncodable problems only).
@@ -161,6 +541,7 @@ Evaluation<typename P::StateT> decode_direct(const P& problem,
   }
   ev.effective_length = ev.ops.size();
   ev.final_state = std::move(s);
+  ev.decoded = true;
   return ev;
 }
 

@@ -5,6 +5,19 @@
 // The generation loop is exposed as a steppable PhaseRunner so the island
 // model (core/island.hpp) can interleave migration between generations; the
 // Engine facade drives a complete phase.
+//
+// Evaluation is the planner's hot kernel, so the runner is built around the
+// incremental decode engine (decoder.hpp):
+//  * the population is double-buffered — reproduction assembles children into
+//    the retired parent buffer (recycling every genome/Evaluation allocation)
+//    and swaps, instead of growing a freshly-allocated vector each generation;
+//  * children carry (parent index, first dirty gene) bookkeeping, so
+//    step_evaluate re-decodes only from the parent's checkpointed state
+//    nearest the first gene crossover/mutation actually changed;
+//  * per-thread EvalContexts hold the valid-ops transposition cache for
+//    domains that opt in (CacheableOps).
+// All of it is bit-identical to cold evaluation (GaConfig::incremental_eval
+// toggles the machinery for A/B benching; random draws are unaffected).
 #pragma once
 
 #include <algorithm>
@@ -13,6 +26,7 @@
 
 #include "core/config.hpp"
 #include "core/crossover.hpp"
+#include "core/eval_cache.hpp"
 #include "core/fitness.hpp"
 #include "core/individual.hpp"
 #include "core/mutation.hpp"
@@ -67,10 +81,14 @@ class PhaseRunner {
       : problem_(&problem), cfg_(&cfg), pool_(pool) {}
 
   /// Fresh population (§3.2) searching from `start`: random genomes, plus an
-  /// optional greedily-seeded fraction (GaConfig::seed_fraction).
+  /// optional greedily-seeded fraction (GaConfig::seed_fraction). Reuses the
+  /// runner's existing buffers; bumps the global eval epoch so thread-local
+  /// transposition caches filled for a previous (possibly destroyed) problem
+  /// can never serve this run.
   void init(const State& start, util::Rng& rng) {
     start_ = start;
-    pop_.assign(cfg_->population_size, Individual<State>{});
+    epoch_ = next_eval_epoch();
+    pop_.resize(cfg_->population_size);
     const std::size_t seeded = static_cast<std::size_t>(
         cfg_->seed_fraction * static_cast<double>(pop_.size()));
     for (std::size_t i = 0; i < pop_.size(); ++i) {
@@ -85,21 +103,61 @@ class PhaseRunner {
     result_ = PhaseResult<State>{};
     have_best_ = false;
     generation_ = 0;
+    children_pending_ = false;
+    evals_current_ = false;
   }
 
   /// Evaluates the population, updates best-of-phase/validity tracking and
   /// appends a GenerationStat. Returns the stat.
   const GenerationStat& step_evaluate() {
     util::Timer eval_timer;
+    // Touch the eval counters up front so they are registered (and exported)
+    // even on runs where the cache/resume paths never fire.
+    static obs::Counter& c_hits = obs::counter("eval.cache_hits");
+    static obs::Counter& c_misses = obs::counter("eval.cache_misses");
+    static obs::Counter& c_skipped = obs::counter("eval.resume_genes_skipped");
+    (void)c_hits;
+    (void)c_misses;
+    (void)c_skipped;
+
+    const bool use_incremental = cfg_->incremental_eval &&
+                                 cfg_->encoding == EncodingKind::kIndirect;
+    const std::size_t cache_entries =
+        CacheableOps<P> ? cfg_->ops_cache_size : 0;
+    const bool resumable = use_incremental && children_pending_;
+    // After crowding reproduction every slot already holds a current
+    // evaluation (children are evaluated in-line against their parents), so
+    // the decode pass is pure recomputation and is skipped.
+    const bool skip_decode = use_incremental && evals_current_;
     auto eval_one = [&](std::size_t i) {
-      thread_local std::vector<int> scratch;
-      pop_[i].eval = evaluate(*problem_, *cfg_, start_, pop_[i].genes, scratch);
+      thread_local EvalContext<State> ctx;
+      ctx.sync(problem_, epoch_, cache_entries);
+      if (resumable) {
+        const std::uint32_t dirty = dirty_of_[i];
+        if (dirty == kEvalReady) return;  // elite: evaluation carried over
+        if (dirty != kDirtyAll) {
+          // prev_ holds the retired parent generation (double-buffered), so
+          // the parent's genome is available for the ops-identical
+          // fast-forward alongside its evaluation.
+          const Individual<State>& par = prev_[parent_of_[i]];
+          if (par.eval.decoded) {
+            evaluate_resume(*problem_, *cfg_, start_, pop_[i].genes, ctx,
+                            par.eval, par.genes, dirty, pop_[i].eval);
+            return;
+          }
+        }
+      }
+      evaluate_into(*problem_, *cfg_, start_, pop_[i].genes, ctx, pop_[i].eval);
     };
-    if (pool_ != nullptr && pool_->thread_count() > 1) {
-      pool_->parallel_for(0, pop_.size(), eval_one);
-    } else {
-      for (std::size_t i = 0; i < pop_.size(); ++i) eval_one(i);
+    if (!skip_decode) {
+      if (pool_ != nullptr && pool_->thread_count() > 1) {
+        pool_->parallel_for(0, pop_.size(), eval_one);
+      } else {
+        for (std::size_t i = 0; i < pop_.size(); ++i) eval_one(i);
+      }
     }
+    children_pending_ = false;
+    evals_current_ = true;
 
     GenerationStat stat;
     stat.generation = generation_;
@@ -164,12 +222,20 @@ class PhaseRunner {
     h_repro.observe(timer.millis());
   }
 
-  /// Generational replacement with optional elitism.
+  /// Generational replacement with optional elitism. Children are assembled
+  /// into the retired parent buffer (genes-only copies; the stale evaluations
+  /// left in the slots are recycled by the next step_evaluate), then the
+  /// buffers swap — no per-generation vector churn, no deep copies of parent
+  /// trajectories into individuals that are about to be re-evaluated.
   void step_reproduce_generational(util::Rng& rng) {
-    std::vector<Individual<State>> next;
-    next.reserve(pop_.size());
+    const std::size_t n = pop_.size();
+    prev_.resize(n);
+    parent_of_.resize(n);
+    dirty_of_.assign(n, kDirtyAll);
+
+    std::size_t filled = 0;
     if (cfg_->elite_count > 0) {
-      std::vector<std::size_t> order(pop_.size());
+      std::vector<std::size_t> order(n);
       for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
       std::partial_sort(order.begin(),
                         order.begin() + static_cast<std::ptrdiff_t>(
@@ -177,22 +243,50 @@ class PhaseRunner {
                         order.end(), [&](std::size_t a, std::size_t b) {
                           return better_solution(pop_[a].eval, pop_[b].eval);
                         });
-      for (std::size_t e = 0; e < cfg_->elite_count; ++e) {
-        next.push_back(pop_[order[e]]);
+      for (; filled < cfg_->elite_count; ++filled) {
+        prev_[filled] = pop_[order[filled]];  // elites keep genes *and* eval
+        parent_of_[filled] = order[filled];
+        dirty_of_[filled] = kEvalReady;
       }
     }
-    while (next.size() < pop_.size()) {
-      Individual<State> a = pop_[select(rng)];
-      Individual<State> b = pop_[select(rng)];
+    while (filled < n) {
+      const std::size_t ia = select(rng);
+      const std::size_t ib = select(rng);
+      const bool keep_b = filled + 1 < n;
+      Individual<State>& ca = prev_[filled];
+      // The last slot of an odd remainder still breeds a full pair (identical
+      // random sequence to always-paired breeding); the spare child is
+      // discarded but its buffers persist for the next generation.
+      Individual<State>& cb = keep_b ? prev_[filled + 1] : spare_child_;
+      std::size_t da = kCleanGenome;
+      std::size_t db = kCleanGenome;
+      bool bred = false;
       if (rng.chance(cfg_->crossover_rate)) {
-        crossover_pair(*cfg_, a, b, rng, result_.crossover_stats, match_buffer_);
+        bred = crossover_genomes_into(
+            *cfg_, pop_[ia].genes,
+            detail::match_keys(pop_[ia].eval, cfg_->state_match),
+            pop_[ib].genes,
+            detail::match_keys(pop_[ib].eval, cfg_->state_match), rng,
+            result_.crossover_stats, xscratch_, ca.genes, cb.genes, da, db);
       }
-      mutate(a.genes, cfg_->mutation_rate, rng);
-      mutate(b.genes, cfg_->mutation_rate, rng);
-      next.push_back(std::move(a));
-      if (next.size() < pop_.size()) next.push_back(std::move(b));
+      if (!bred) {  // no crossover drawn or possible: children copy parents
+        ca.genes = pop_[ia].genes;
+        cb.genes = pop_[ib].genes;
+      }
+      mutate_tracked(ca.genes, cfg_->mutation_rate, rng, da);
+      mutate_tracked(cb.genes, cfg_->mutation_rate, rng, db);
+      parent_of_[filled] = ia;
+      dirty_of_[filled] = dirty_index(da, ca.genes.size());
+      ++filled;
+      if (keep_b) {
+        parent_of_[filled] = ib;
+        dirty_of_[filled] = dirty_index(db, cb.genes.size());
+        ++filled;
+      }
     }
-    pop_ = std::move(next);
+    std::swap(pop_, prev_);  // prev_ now holds the parents the dirty info refers to
+    children_pending_ = true;
+    evals_current_ = false;
   }
 
   /// Replaces the lowest-fitness individuals with `migrants` (island model).
@@ -220,6 +314,16 @@ class PhaseRunner {
   std::size_t generation() const noexcept { return generation_; }
 
  private:
+  /// Child bookkeeping consumed by step_evaluate: which prev_ slot bred the
+  /// child and the first gene that may differ from that parent.
+  static constexpr std::uint32_t kDirtyAll = 0xFFFFFFFFu;   ///< cold decode
+  static constexpr std::uint32_t kEvalReady = 0xFFFFFFFEu;  ///< eval current, skip
+
+  static std::uint32_t dirty_index(std::size_t dirty, std::size_t len) noexcept {
+    const std::size_t d = std::min(dirty, len);
+    return d >= kEvalReady ? kEvalReady - 1 : static_cast<std::uint32_t>(d);
+  }
+
   std::size_t select(util::Rng& rng) const {
     return cfg_->selection == SelectionKind::kTournament
                ? tournament_select(fitness_, cfg_->tournament_size, rng)
@@ -239,24 +343,48 @@ class PhaseRunner {
   }
 
   /// Deterministic crowding: random disjoint parent pairs; children are
-  /// evaluated immediately and replace their more-similar parent when at
-  /// least as fit (paper ordering).
+  /// evaluated immediately (resuming from their parents' trajectories) and
+  /// replace their more-similar parent when at least as fit (paper ordering).
+  /// Replacement swaps child and parent slots, so the loser's buffers become
+  /// the scratch for the next pair.
   void step_reproduce_crowding(util::Rng& rng) {
     std::vector<std::size_t> order(pop_.size());
     for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
     rng.shuffle(order);
-    std::vector<int> scratch;
+    const bool use_incremental = cfg_->incremental_eval &&
+                                 cfg_->encoding == EncodingKind::kIndirect;
+    const std::size_t cache_entries =
+        CacheableOps<P> ? cfg_->ops_cache_size : 0;
+    thread_local EvalContext<State> ctx;
+    ctx.sync(problem_, epoch_, cache_entries);
+    auto eval_child = [&](Individual<State>& child, const Individual<State>& parent,
+                          std::size_t dirty) {
+      if (use_incremental && parent.eval.decoded) {
+        evaluate_resume(*problem_, *cfg_, start_, child.genes, ctx, parent.eval,
+                        parent.genes, dirty, child.eval);
+      } else {
+        evaluate_into(*problem_, *cfg_, start_, child.genes, ctx, child.eval);
+      }
+    };
     for (std::size_t k = 0; k + 1 < order.size(); k += 2) {
       const std::size_t p1 = order[k], p2 = order[k + 1];
-      Individual<State> a = pop_[p1];
-      Individual<State> b = pop_[p2];
+      Individual<State>& a = child_a_;
+      Individual<State>& b = child_b_;
+      a.genes = pop_[p1].genes;
+      b.genes = pop_[p2].genes;
+      std::size_t da = kCleanGenome;
+      std::size_t db = kCleanGenome;
       if (rng.chance(cfg_->crossover_rate)) {
-        crossover_pair(*cfg_, a, b, rng, result_.crossover_stats, match_buffer_);
+        crossover_genomes(*cfg_, a.genes,
+                          detail::match_keys(pop_[p1].eval, cfg_->state_match),
+                          b.genes,
+                          detail::match_keys(pop_[p2].eval, cfg_->state_match),
+                          rng, result_.crossover_stats, xscratch_, da, db);
       }
-      mutate(a.genes, cfg_->mutation_rate, rng);
-      mutate(b.genes, cfg_->mutation_rate, rng);
-      a.eval = evaluate(*problem_, *cfg_, start_, a.genes, scratch);
-      b.eval = evaluate(*problem_, *cfg_, start_, b.genes, scratch);
+      mutate_tracked(a.genes, cfg_->mutation_rate, rng, da);
+      mutate_tracked(b.genes, cfg_->mutation_rate, rng, db);
+      eval_child(a, pop_[p1], da);
+      eval_child(b, pop_[p2], db);
       // Pair each child with its closer parent.
       const double straight = genome_distance(a.genes, pop_[p1].genes) +
                               genome_distance(b.genes, pop_[p2].genes);
@@ -265,14 +393,18 @@ class PhaseRunner {
       const std::size_t a_parent = straight <= crossed ? p1 : p2;
       const std::size_t b_parent = straight <= crossed ? p2 : p1;
       if (!better_solution(pop_[a_parent].eval, a.eval)) {
-        pop_[a_parent] = std::move(a);
+        std::swap(pop_[a_parent], a);
         fitness_[a_parent] = pop_[a_parent].eval.fitness;
       }
       if (!better_solution(pop_[b_parent].eval, b.eval)) {
-        pop_[b_parent] = std::move(b);
+        std::swap(pop_[b_parent], b);
         fitness_[b_parent] = pop_[b_parent].eval.fitness;
       }
     }
+    // Every slot (survivor or freshly-evaluated child) now carries a current
+    // evaluation; the next step_evaluate can skip the decode pass.
+    children_pending_ = false;
+    evals_current_ = true;
   }
 
   /// Builds a genome whose genes decode, with probability seed_greediness,
@@ -322,11 +454,19 @@ class PhaseRunner {
   const GaConfig* cfg_;
   util::ThreadPool* pool_;
   State start_{};
-  std::vector<Individual<State>> pop_;
+  std::vector<Individual<State>> pop_;    ///< current population
+  std::vector<Individual<State>> prev_;   ///< retired parents / child build buffer
+  std::vector<std::size_t> parent_of_;    ///< child i's parent slot in prev_
+  std::vector<std::uint32_t> dirty_of_;   ///< child i's first modified gene
+  Individual<State> spare_child_;         ///< discarded odd-pair second child
+  Individual<State> child_a_, child_b_;   ///< crowding child buffers
+  CrossoverScratch xscratch_;
   std::vector<double> fitness_;
-  std::vector<std::size_t> match_buffer_;
   PhaseResult<State> result_;
   bool have_best_ = false;
+  bool children_pending_ = false;  ///< pop_ holds unevaluated children with dirty info
+  bool evals_current_ = false;     ///< every pop_ slot carries a current evaluation
+  std::uint64_t epoch_ = 0;
   std::size_t generation_ = 0;
 };
 

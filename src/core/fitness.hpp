@@ -9,6 +9,7 @@
 #pragma once
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 
 #include "core/config.hpp"
@@ -47,6 +48,19 @@ void score(const P& problem, const GaConfig& cfg, Evaluation<typename P::StateT>
   }
 }
 
+/// The decode options a config implies. State hashes are only recorded when
+/// state-aware crossover needs them; checkpoints only when incremental
+/// re-evaluation is on (they change nothing about the decode result, only
+/// what is retained for resuming).
+inline DecodeOptions decode_options(const GaConfig& cfg) {
+  DecodeOptions opt;
+  opt.truncate_at_goal = cfg.truncate_at_goal;
+  opt.record_hashes = (cfg.crossover == CrossoverKind::kStateAware ||
+                       cfg.crossover == CrossoverKind::kMixed);
+  opt.checkpoint_stride = cfg.incremental_eval ? cfg.eval_checkpoint_stride : 0;
+  return opt;
+}
+
 /// Decode + score in one step, honouring the configured encoding. `scratch`
 /// is the reusable valid-op buffer used by the indirect decoder.
 template <PlanningProblem P>
@@ -54,10 +68,7 @@ Evaluation<typename P::StateT> evaluate(const P& problem, const GaConfig& cfg,
                                         const typename P::StateT& start,
                                         const Genome& genes,
                                         std::vector<int>& scratch) {
-  DecodeOptions opt;
-  opt.truncate_at_goal = cfg.truncate_at_goal;
-  opt.record_hashes = (cfg.crossover == CrossoverKind::kStateAware ||
-                       cfg.crossover == CrossoverKind::kMixed);
+  const DecodeOptions opt = decode_options(cfg);
   Evaluation<typename P::StateT> ev;
   if constexpr (DirectEncodable<P>) {
     ev = cfg.encoding == EncodingKind::kDirect
@@ -72,6 +83,56 @@ Evaluation<typename P::StateT> evaluate(const P& problem, const GaConfig& cfg,
   }
   score(problem, cfg, ev);
   return ev;
+}
+
+/// Cold decode + score into a recycled Evaluation, routed through a
+/// per-thread EvalContext (valid-ops scratch + transposition cache).
+template <PlanningProblem P>
+void evaluate_into(const P& problem, const GaConfig& cfg,
+                   const typename P::StateT& start, const Genome& genes,
+                   EvalContext<typename P::StateT>& ctx,
+                   Evaluation<typename P::StateT>& ev) {
+  const DecodeOptions opt = decode_options(cfg);
+  if constexpr (DirectEncodable<P>) {
+    if (cfg.encoding == EncodingKind::kDirect) {
+      ev = decode_direct(problem, start, genes, opt);
+      score(problem, cfg, ev);
+      return;
+    }
+  } else {
+    if (cfg.encoding == EncodingKind::kDirect) {
+      throw std::logic_error(
+          "GaConfig: direct encoding requires a DirectEncodable problem");
+    }
+  }
+  decode_indirect_into(problem, start, genes, opt, ctx, ev);
+  score(problem, cfg, ev);
+}
+
+/// Incremental decode + score: resumes from `prev`'s checkpoint ladder given
+/// that `prev` evaluated `parent_genes` and genes[0..first_dirty) match it
+/// (see decode_indirect_resume; later bitwise-identical gene runs are
+/// fast-forwarded through prev's trajectory). Bit-identical to evaluate_into
+/// on the same genome; falls back to a cold decode whenever resuming is
+/// impossible. Returns the number of gene positions skipped.
+template <PlanningProblem P>
+std::size_t evaluate_resume(const P& problem, const GaConfig& cfg,
+                            const typename P::StateT& start, const Genome& genes,
+                            EvalContext<typename P::StateT>& ctx,
+                            const Evaluation<typename P::StateT>& prev,
+                            std::span<const Gene> parent_genes,
+                            std::size_t first_dirty,
+                            Evaluation<typename P::StateT>& ev) {
+  if (cfg.encoding == EncodingKind::kDirect || !cfg.incremental_eval) {
+    evaluate_into(problem, cfg, start, genes, ctx, ev);
+    return 0;
+  }
+  const DecodeOptions opt = decode_options(cfg);
+  const std::size_t skipped =
+      decode_indirect_resume(problem, start, genes, opt, ctx, prev,
+                             parent_genes, first_dirty, ev);
+  score(problem, cfg, ev);
+  return skipped;
 }
 
 }  // namespace gaplan::ga

@@ -17,6 +17,14 @@ using Genome = std::vector<Gene>;
 inline constexpr std::size_t kNoGoal = std::numeric_limits<std::size_t>::max();
 
 /// Evaluation record produced by decoding a genome from a start state.
+///
+/// Besides the fitness components, it carries the decode trajectory (operation
+/// ids, per-position state hashes and valid-op signatures) and a sparse ladder
+/// of *checkpointed states* along that trajectory. The checkpoints are what
+/// make incremental re-evaluation cheap: a child whose genome shares a prefix
+/// with its parent resumes decoding from the nearest checkpoint at or below
+/// the first modified gene instead of replaying the whole prefix from the
+/// phase start state (decoder.hpp, decode_indirect_resume).
 template <typename State>
 struct Evaluation {
   double fitness = 0.0;       ///< Eq. (3)/(4) combined score
@@ -25,6 +33,8 @@ struct Evaluation {
   double match_fit = 1.0;     ///< F_match (≡ 1 under indirect encoding, Eq. 1)
   double plan_cost = 0.0;     ///< summed op costs over the effective plan
   bool valid = false;         ///< plan reaches the goal
+  bool decoded = false;       ///< a decode populated this record
+  bool dead_end = false;      ///< decode stopped on an empty valid-op set
   std::size_t goal_index = kNoGoal;  ///< ops applied when goal first held
   std::size_t effective_length = 0;  ///< ops in the reported plan
 
@@ -40,8 +50,32 @@ struct Evaluation {
   /// valid-ops match (two states match when the same genetic code maps to the
   /// same operations there).
   std::vector<std::uint64_t> op_signatures;
+  /// Sparse state checkpoints for incremental re-decoding: checkpoint_states[k]
+  /// is the trajectory state after (k+1)*checkpoint_stride operations, and
+  /// checkpoint_costs[k] the plan cost accumulated to that point. Empty when
+  /// the decode ran with checkpoint_stride == 0.
+  std::vector<State> checkpoint_states;
+  std::vector<double> checkpoint_costs;
+  std::size_t checkpoint_stride = 0;
   /// Final state of the effective plan (start state of the next phase).
   State final_state{};
+
+  /// Clears the record for reuse, keeping vector capacity (buffer recycling:
+  /// the engine's double-buffered populations re-decode into the same
+  /// allocations generation after generation).
+  void reset() noexcept {
+    fitness = goal_fit = cost_fit = plan_cost = 0.0;
+    match_fit = 1.0;
+    valid = decoded = dead_end = false;
+    goal_index = kNoGoal;
+    effective_length = 0;
+    checkpoint_stride = 0;
+    ops.clear();
+    state_hashes.clear();
+    op_signatures.clear();
+    checkpoint_states.clear();
+    checkpoint_costs.clear();
+  }
 };
 
 template <typename State>

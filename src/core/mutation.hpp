@@ -9,16 +9,28 @@
 namespace gaplan::ga {
 
 /// Mutates each gene independently with probability `rate`; returns the
-/// number of genes replaced.
-inline std::size_t mutate(Genome& genes, double rate, util::Rng& rng) {
+/// number of genes replaced and records the index of the first replaced gene
+/// in `first_mutated` (untouched when nothing mutates — seed it with the
+/// caller's current dirty bound, e.g. kCleanGenome). Draws the same random
+/// sequence as mutate() below.
+inline std::size_t mutate_tracked(Genome& genes, double rate, util::Rng& rng,
+                                  std::size_t& first_mutated) {
   std::size_t mutated = 0;
-  for (Gene& g : genes) {
+  for (std::size_t i = 0; i < genes.size(); ++i) {
     if (rng.chance(rate)) {
-      g = rng.uniform();
+      genes[i] = rng.uniform();
+      if (mutated == 0 && i < first_mutated) first_mutated = i;
       ++mutated;
     }
   }
   return mutated;
+}
+
+/// Mutates each gene independently with probability `rate`; returns the
+/// number of genes replaced.
+inline std::size_t mutate(Genome& genes, double rate, util::Rng& rng) {
+  std::size_t first = kNoGoal;  // unused
+  return mutate_tracked(genes, rate, rng, first);
 }
 
 }  // namespace gaplan::ga

@@ -38,6 +38,17 @@ concept PlanningProblem = requires(const P& p, typename P::StateT& s,
   { p.hash(cs) } -> std::convertible_to<std::uint64_t>;
 };
 
+/// Opt-in trait for the per-thread valid-ops transposition cache (see
+/// core/eval_cache.hpp): a domain declares `static constexpr bool
+/// kCacheableOps = true` to assert that valid_ops is a pure function of the
+/// state (no hidden mutable inputs), so its result may be memoized by state.
+/// Domains whose valid_ops is already trivial (Hanoi's bit tests) gain
+/// nothing from the cache and simply stay out.
+template <typename P>
+concept CacheableOps = PlanningProblem<P> && requires {
+  { P::kCacheableOps } -> std::convertible_to<bool>;
+} && P::kCacheableOps;
+
 /// Additional surface needed by the *direct* integer encoding (the paper's
 /// discarded preliminary design, kept for the ablation study): a global
 /// operation universe with an applicability test, so a gene can select an

@@ -1,11 +1,16 @@
 #include "domains/hanoi.hpp"
 
+#include <bit>
 #include <stdexcept>
 
 namespace gaplan::domains {
 
 namespace {
 constexpr char kStakeNames[3] = {'A', 'B', 'C'};
+
+/// Low bit of every 2-bit field; multiplying by a stake value in {0,1,2}
+/// replicates it into every field.
+constexpr std::uint64_t kFieldLow = 0x5555555555555555ULL;
 
 std::uint64_t mix_hash(std::uint64_t x) noexcept {
   x ^= x >> 33;
@@ -27,13 +32,18 @@ Hanoi::Hanoi(int disks, int initial_stake, int goal_stake)
     throw std::invalid_argument("Hanoi: bad initial/goal stakes");
   }
   for (int d = 1; d <= disks_; ++d) set_stake(initial_, d, initial_stake);
+  disk_mask_ = disks_ == kMaxDisks
+                   ? ~std::uint64_t{0}
+                   : (std::uint64_t{1} << (2 * disks_)) - 1;
+  goal_pegs_ =
+      (kFieldLow * static_cast<std::uint64_t>(goal_stake_)) & disk_mask_;
 }
 
 int Hanoi::top_disk(const HanoiState& s, int stake) const noexcept {
-  for (int d = 1; d <= disks_; ++d) {
-    if (stake_of(s, d) == stake) return d;
-  }
-  return 0;
+  const std::uint64_t x =
+      s.pegs ^ (kFieldLow * static_cast<std::uint64_t>(stake));
+  const std::uint64_t on = ~(x | (x >> 1)) & kFieldLow & disk_mask_;
+  return on == 0 ? 0 : std::countr_zero(on) / 2 + 1;
 }
 
 bool Hanoi::op_applicable(const HanoiState& s, int op) const noexcept {
@@ -84,13 +94,6 @@ double Hanoi::goal_fitness(const HanoiState& s) const noexcept {
   }
   const std::uint64_t total = (std::uint64_t{1} << disks_) - 1;
   return static_cast<double>(on_goal) / static_cast<double>(total);
-}
-
-bool Hanoi::is_goal(const HanoiState& s) const noexcept {
-  for (int d = 1; d <= disks_; ++d) {
-    if (stake_of(s, d) != goal_stake_) return false;
-  }
-  return true;
 }
 
 std::uint64_t Hanoi::hash(const HanoiState& s) const noexcept {

@@ -18,7 +18,9 @@
 namespace gaplan::domains {
 
 /// Packed Hanoi state: two bits per disk holding its stake (0=A, 1=B, 2=C).
-/// Supports up to 32 disks.
+/// Supports up to 32 disks. Invariant: fields above the problem's disk count
+/// stay zero (states are only produced by initial_state + apply), which lets
+/// the goal test compare the whole word at once.
 struct HanoiState {
   std::uint64_t pegs = 0;
 
@@ -31,6 +33,12 @@ class Hanoi {
 
   static constexpr int kStakes = 3;
   static constexpr int kMaxDisks = 32;
+
+  /// valid_ops depends only on the packed state word, and the reachable space
+  /// is tiny (3^n states), so the valid-ops cache converges to a full
+  /// memo table: a hit replaces the O(disks) top-scan and up to six
+  /// push_backs with one probe on a 64-bit key (core/eval_cache.hpp).
+  static constexpr bool kCacheableOps = true;
 
   /// `disks` in [1, 32]. Initial stake defaults to A (0), goal stake to B (1)
   /// as in the paper's Figures 1-2.
@@ -59,7 +67,11 @@ class Hanoi {
 
   double goal_fitness(const HanoiState& s) const noexcept;
 
-  bool is_goal(const HanoiState& s) const noexcept;
+  /// O(1): all disks on the goal stake is one precomputed word (decode hot
+  /// path — called once per decoded op).
+  bool is_goal(const HanoiState& s) const noexcept {
+    return s.pegs == goal_pegs_;
+  }
 
   std::uint64_t hash(const HanoiState& s) const noexcept;
   // --- DirectEncodable ---------------------------------------------------------
@@ -72,7 +84,9 @@ class Hanoi {
     return static_cast<int>((s.pegs >> (2 * (disk - 1))) & 3ULL);
   }
 
-  /// Smallest (top) disk on `stake`, or 0 if the stake is empty.
+  /// Smallest (top) disk on `stake`, or 0 if the stake is empty. O(1): a
+  /// field equals `stake` iff both bits of `pegs ^ (stake replicated)` are
+  /// clear there; the lowest such field is the top disk (apply hot path).
   int top_disk(const HanoiState& s, int stake) const noexcept;
 
   /// The classical recursive optimal plan as op ids (for tests/baselines).
@@ -91,6 +105,8 @@ class Hanoi {
   int disks_;
   int goal_stake_;
   HanoiState initial_;
+  std::uint64_t disk_mask_ = 0;   ///< low 2*disks bits set
+  std::uint64_t goal_pegs_ = 0;   ///< goal stake replicated into every field
 };
 
 }  // namespace gaplan::domains

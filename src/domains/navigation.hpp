@@ -24,6 +24,9 @@ struct NavState {
 class Navigation {
  public:
   using StateT = NavState;
+  /// valid_ops is a pure function of the joint robot configuration; memoizing
+  /// it collapses the per-robot collision scans (core/eval_cache.hpp).
+  static constexpr bool kCacheableOps = true;
 
   enum Dir : int { kNorth = 0, kSouth = 1, kWest = 2, kEast = 3 };
 

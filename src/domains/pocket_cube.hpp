@@ -30,6 +30,9 @@ struct CubeState {
 class PocketCube {
  public:
   using StateT = CubeState;
+  /// valid_ops is a pure function of the state; memoizable per
+  /// core/eval_cache.hpp.
+  static constexpr bool kCacheableOps = true;
 
   /// Operations: face * 3 + (turns - 1); faces U=0, R=1, F=2; turns 1..3
   /// quarter-turns clockwise (so op 1 = U2, op 2 = U').

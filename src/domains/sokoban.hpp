@@ -32,6 +32,10 @@ struct SokobanState {
 class Sokoban {
  public:
   using StateT = SokobanState;
+  /// valid_ops runs a player-reachability BFS per state — the planner's
+  /// costliest enumeration — and depends only on the state, so it is safe and
+  /// very profitable to memoize (core/eval_cache.hpp).
+  static constexpr bool kCacheableOps = true;
 
   enum Dir : int { kUp = 0, kDown = 1, kLeft = 2, kRight = 3 };
 

@@ -56,6 +56,10 @@ class Problem {
   Problem(const Domain& domain, State initial, State goal);
 
   using StateT = State;
+  /// valid_ops scans every ground action's precondition bitset against the
+  /// state — pure in the state once the domain is frozen, and expensive
+  /// enough to memoize (core/eval_cache.hpp).
+  static constexpr bool kCacheableOps = true;
 
   // --- PlanningProblem concept surface -------------------------------------
   State initial_state() const { return initial_; }

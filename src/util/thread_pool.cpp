@@ -51,7 +51,8 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t min_grain) {
   if (begin >= end) return;
   static obs::Counter& c_pfor = obs::counter("pool.parallel_for");
   c_pfor.inc();
@@ -61,8 +62,13 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
-  const std::size_t chunks = std::min(workers, n);
-  const std::size_t chunk = (n + chunks - 1) / chunks;
+  // Oversubscribe: ~kChunksPerWorker chunks per worker, so uneven per-index
+  // costs rebalance through the queue instead of serializing on the slowest
+  // statically-assigned range. min_grain floors the chunk size.
+  const std::size_t target = workers * kChunksPerWorker;
+  const std::size_t chunk =
+      std::max({min_grain, std::size_t{1}, (n + target - 1) / target});
+  const std::size_t chunks = (n + chunk - 1) / chunk;
   std::vector<std::future<void>> futs;
   futs.reserve(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {

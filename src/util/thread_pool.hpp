@@ -59,11 +59,21 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for i in [begin, end), blocking until all complete. Work is
-  /// split into contiguous chunks, one per worker. Exceptions propagate (the
-  /// first one thrown rethrows here). With <= 1 worker, runs serially on the
-  /// calling thread so results are identical and deterministic.
+  /// split into contiguous chunks, oversubscribed ~kChunksPerWorker× per
+  /// worker so a worker that draws short tasks picks up further chunks
+  /// instead of idling while a long chunk finishes elsewhere (iteration costs
+  /// vary widely under variable-length genomes). `min_grain` bounds how small
+  /// a chunk may get, for loops whose per-index work is tiny. Exceptions
+  /// propagate (the first one thrown rethrows here). With <= 1 worker, runs
+  /// serially on the calling thread so results are identical and
+  /// deterministic.
   void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t)>& fn);
+                    const std::function<void(std::size_t)>& fn,
+                    std::size_t min_grain = 1);
+
+  /// Target chunks per worker in parallel_for (static-partition imbalance
+  /// fix; see docs/API.md).
+  static constexpr std::size_t kChunksPerWorker = 4;
 
  private:
   void worker_loop();

@@ -1,0 +1,322 @@
+// Incremental-evaluation parity: resumed decodes (dirty-prefix restart from
+// checkpointed states) and transposition-cached decodes must be bit-identical
+// to a cold decode of the same genome — across domains, truncation/recording
+// options, serial and pooled engines, and a randomized crossover/mutate fuzz
+// loop. This is the contract that lets the engine skip prefix re-decoding at
+// all (ISSUE 2 acceptance criterion).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "core/decoder.hpp"
+#include "core/engine.hpp"
+#include "core/eval_cache.hpp"
+#include "domains/hanoi.hpp"
+#include "domains/hanoi_strips.hpp"
+#include "domains/sliding_tile.hpp"
+#include "domains/sokoban.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace gaplan;
+using ga::Genome;
+
+Genome random_genome(std::size_t len, util::Rng& rng) {
+  Genome g(len);
+  for (auto& x : g) x = rng.uniform();
+  return g;
+}
+
+// Exact-equality comparison of everything a decode produces. dead_end is
+// deliberately excluded: it records a property of the final *state* (empty
+// valid-op set) and a whole-evaluation reuse may legitimately know it when a
+// cold decode of an exactly-exhausted genome never probed.
+template <typename State>
+void expect_same_decode(const ga::Evaluation<State>& got,
+                        const ga::Evaluation<State>& want) {
+  EXPECT_EQ(got.valid, want.valid);
+  EXPECT_EQ(got.goal_index, want.goal_index);
+  EXPECT_EQ(got.effective_length, want.effective_length);
+  EXPECT_EQ(got.match_fit, want.match_fit);
+  EXPECT_EQ(got.plan_cost, want.plan_cost);
+  EXPECT_EQ(got.ops, want.ops);
+  EXPECT_EQ(got.state_hashes, want.state_hashes);
+  EXPECT_EQ(got.op_signatures, want.op_signatures);
+  EXPECT_EQ(got.checkpoint_stride, want.checkpoint_stride);
+  EXPECT_EQ(got.checkpoint_costs, want.checkpoint_costs);
+  ASSERT_EQ(got.checkpoint_states.size(), want.checkpoint_states.size());
+  for (std::size_t k = 0; k < got.checkpoint_states.size(); ++k) {
+    EXPECT_TRUE(got.checkpoint_states[k] == want.checkpoint_states[k]);
+  }
+  EXPECT_TRUE(got.final_state == want.final_state);
+  EXPECT_TRUE(got.decoded);
+}
+
+// Evolution-shaped fuzz: keep a parent (genome, evaluation); repeatedly
+// derive a child by a random genome edit, resume-decode it from the parent
+// record, and compare against an independent cold decode. The child
+// occasionally becomes the next parent, so resume chains over generations.
+template <typename P>
+void fuzz_resume_parity(const P& problem, const typename P::StateT& start,
+                        std::uint64_t seed, std::size_t genome_len,
+                        const ga::DecodeOptions& opt, std::size_t cache_entries) {
+  using State = typename P::StateT;
+  util::Rng rng(seed);
+  ga::EvalContext<State> ctx;
+  ctx.sync(&problem, ga::next_eval_epoch(), cache_entries);
+  std::vector<int> cold_scratch;
+
+  auto cold = [&](const Genome& g) {
+    return ga::decode_indirect(problem, start, g, opt, cold_scratch);
+  };
+
+  Genome parent = random_genome(genome_len, rng);
+  ga::Evaluation<State> parent_ev;
+  ga::decode_indirect_into(problem, start, parent, opt, ctx, parent_ev);
+  expect_same_decode(parent_ev, cold(parent));
+
+  Genome child;
+  ga::Evaluation<State> child_ev;  // recycled across iterations, like the engine's
+  for (int iter = 0; iter < 60; ++iter) {
+    child = parent;
+    std::size_t dirty = child.size();  // "unchanged" until an edit lowers it
+    const int kind = static_cast<int>(rng.below(5));
+    if (kind == 0 && !child.empty()) {
+      // Point mutations.
+      const std::size_t count = 1 + rng.below(3);
+      for (std::size_t m = 0; m < count; ++m) {
+        const std::size_t i = static_cast<std::size_t>(rng.below(child.size()));
+        child[i] = rng.uniform();
+        dirty = std::min(dirty, i);
+      }
+    } else if (kind == 1) {
+      // Tail replacement at a random cut (one-point crossover shape).
+      const std::size_t cut = static_cast<std::size_t>(rng.below(child.size() + 1));
+      const std::size_t tail = rng.below(genome_len + 1);
+      child.resize(cut);
+      for (std::size_t t = 0; t < tail; ++t) child.push_back(rng.uniform());
+      dirty = std::min(dirty, cut);
+      if (child.empty()) child.push_back(rng.uniform());
+    } else if (kind == 2) {
+      // Pure truncation: the child is a clean prefix of the parent.
+      const std::size_t cut = 1 + rng.below(child.size());
+      child.resize(cut);
+      dirty = std::min(dirty, child.size());
+    } else if (kind == 3 && !child.empty()) {
+      // Nudge: a small perturbation that often re-selects the same op, so
+      // the ops-identical fast-forward re-syncs and keeps jumping instead of
+      // falling back to a plain decode at the first changed gene.
+      const std::size_t count = 1 + rng.below(2);
+      for (std::size_t m = 0; m < count; ++m) {
+        const std::size_t i = static_cast<std::size_t>(rng.below(child.size()));
+        const double delta = (rng.uniform() - 0.5) * 0.04;
+        child[i] = std::clamp(child[i] + delta, 0.0, 0x1.fffffffffffffp-1);
+        dirty = std::min(dirty, i);
+      }
+    }  // kind == 4: identical genome, dirty = len (full-reuse path)
+    // A conservative caller may under-report the dirty index; that must only
+    // cost work, never correctness.
+    if (rng.chance(0.2)) dirty = dirty / 2;
+
+    // Occasionally withhold the parent genome: resume must stay correct
+    // (fast-forward disabled) when the caller cannot supply it.
+    const std::span<const ga::Gene> pg =
+        rng.chance(0.15) ? std::span<const ga::Gene>{}
+                         : std::span<const ga::Gene>{parent};
+    ga::decode_indirect_resume(problem, start, child, opt, ctx, parent_ev, pg,
+                               dirty, child_ev);
+    expect_same_decode(child_ev, cold(child));
+    if (rng.chance(0.5)) {
+      parent = child;
+      parent_ev = child_ev;
+    }
+  }
+}
+
+template <typename P>
+void fuzz_all_options(const P& problem, const typename P::StateT& start,
+                      std::uint64_t seed, std::size_t genome_len) {
+  for (const bool truncate : {true, false}) {
+    for (const bool hashes : {true, false}) {
+      for (const std::size_t stride : {std::size_t{1}, std::size_t{4},
+                                       std::size_t{16}}) {
+        ga::DecodeOptions opt;
+        opt.truncate_at_goal = truncate;
+        opt.record_hashes = hashes;
+        opt.checkpoint_stride = stride;
+        // Cache on for domains that opt in; 256 entries forces evictions.
+        const std::size_t cache = ga::CacheableOps<P> ? 256 : 0;
+        fuzz_resume_parity(problem, start, seed + stride, genome_len, opt, cache);
+      }
+    }
+  }
+}
+
+TEST(IncrementalDecodeParity, Hanoi) {
+  const domains::Hanoi h(6);
+  fuzz_all_options(h, h.initial_state(), 11, 120);
+}
+
+TEST(IncrementalDecodeParity, SlidingTile) {
+  const domains::SlidingTile t(3);
+  util::Rng scramble(7);
+  fuzz_all_options(t, t.scrambled(40, scramble), 13, 80);
+}
+
+TEST(IncrementalDecodeParity, Sokoban) {
+  const domains::Sokoban level({
+      "#######",
+      "#.....#",
+      "#.$.$.#",
+      "#..@..#",
+      "#.o.o.#",
+      "#######",
+  });
+  static_assert(ga::CacheableOps<domains::Sokoban>);
+  fuzz_all_options(level, level.initial_state(), 17, 60);
+}
+
+TEST(IncrementalDecodeParity, HanoiStrips) {
+  const auto enc = domains::build_hanoi_strips(3);
+  const auto problem = enc.problem();
+  static_assert(ga::CacheableOps<strips::Problem>);
+  fuzz_all_options(problem, problem.initial_state(), 19, 60);
+}
+
+TEST(IncrementalDecodeParity, CacheCannotServeAcrossEpochs) {
+  // Two Sokoban levels whose states collide (same boxes/player coordinates,
+  // different walls) must never share cache entries: sync() with a new epoch
+  // clears the per-thread cache even at a recycled problem address.
+  const domains::Sokoban a({
+      "#####",
+      "#@$o#",
+      "#####",
+  });
+  const domains::Sokoban b({
+      "######",
+      "#@$.o#",
+      "######",
+  });
+  ga::DecodeOptions opt;
+  ga::EvalContext<domains::SokobanState> ctx;
+  std::vector<int> cold_scratch;
+  util::Rng rng(3);
+  const Genome g = random_genome(12, rng);
+  for (int round = 0; round < 3; ++round) {
+    ga::Evaluation<domains::SokobanState> ev;
+    ctx.sync(&a, ga::next_eval_epoch(), 64);
+    ga::decode_indirect_into(a, a.initial_state(), g, opt, ctx, ev);
+    expect_same_decode(ev, ga::decode_indirect(a, a.initial_state(), g, opt,
+                                               cold_scratch));
+    ctx.sync(&b, ga::next_eval_epoch(), 64);
+    ga::decode_indirect_into(b, b.initial_state(), g, opt, ctx, ev);
+    expect_same_decode(ev, ga::decode_indirect(b, b.initial_state(), g, opt,
+                                               cold_scratch));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level parity: a run with the incremental machinery must be
+// indistinguishable (same random draws, same populations, same stats) from a
+// run that cold-decodes everything.
+// ---------------------------------------------------------------------------
+
+template <typename P>
+void expect_same_runs(const P& problem, const ga::GaConfig& base,
+                      std::uint64_t seed, util::ThreadPool* pool) {
+  ga::GaConfig inc = base;
+  inc.incremental_eval = true;
+  ga::GaConfig cold = base;
+  cold.incremental_eval = false;
+  cold.ops_cache_size = 0;
+
+  ga::Engine<P> e_inc(problem, inc, pool);
+  ga::Engine<P> e_cold(problem, cold, nullptr);
+  util::Rng r1(seed), r2(seed);
+  const auto a = e_inc.run_phase(problem.initial_state(), r1, false);
+  const auto b = e_cold.run_phase(problem.initial_state(), r2, false);
+
+  EXPECT_EQ(a.found_valid, b.found_valid);
+  EXPECT_EQ(a.generation_found, b.generation_found);
+  EXPECT_EQ(a.best.genes, b.best.genes);
+  EXPECT_EQ(a.best.eval.ops, b.best.eval.ops);
+  EXPECT_EQ(a.best.eval.fitness, b.best.eval.fitness);
+  EXPECT_EQ(a.best.eval.plan_cost, b.best.eval.plan_cost);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t g = 0; g < a.history.size(); ++g) {
+    EXPECT_EQ(a.history[g].mean_fitness, b.history[g].mean_fitness) << "gen " << g;
+    EXPECT_EQ(a.history[g].best_fitness, b.history[g].best_fitness) << "gen " << g;
+    EXPECT_EQ(a.history[g].mean_length, b.history[g].mean_length) << "gen " << g;
+    EXPECT_EQ(a.history[g].valid_count, b.history[g].valid_count) << "gen " << g;
+  }
+}
+
+ga::GaConfig small_config() {
+  ga::GaConfig cfg;
+  cfg.population_size = 40;
+  cfg.generations = 25;
+  cfg.initial_length = 24;
+  cfg.max_length = 120;
+  cfg.stop_on_valid = false;
+  cfg.eval_checkpoint_stride = 8;
+  return cfg;
+}
+
+TEST(IncrementalEngineParity, HanoiGenerationalSerial) {
+  const domains::Hanoi h(5);
+  expect_same_runs(h, small_config(), 101, nullptr);
+}
+
+TEST(IncrementalEngineParity, HanoiGenerationalPooled) {
+  const domains::Hanoi h(5);
+  util::ThreadPool pool(4);
+  expect_same_runs(h, small_config(), 103, &pool);
+}
+
+TEST(IncrementalEngineParity, HanoiElitesAndMixedCrossover) {
+  const domains::Hanoi h(5);
+  auto cfg = small_config();
+  cfg.crossover = ga::CrossoverKind::kMixed;
+  cfg.elite_count = 3;
+  expect_same_runs(h, cfg, 107, nullptr);
+}
+
+TEST(IncrementalEngineParity, SokobanStateAwareCrowding) {
+  const domains::Sokoban level({
+      "#######",
+      "#.....#",
+      "#.$.$.#",
+      "#..@..#",
+      "#.o.o.#",
+      "#######",
+  });
+  auto cfg = small_config();
+  cfg.crossover = ga::CrossoverKind::kStateAware;
+  cfg.replacement = ga::ReplacementKind::kCrowding;
+  expect_same_runs(level, cfg, 109, nullptr);
+}
+
+TEST(IncrementalEngineParity, StripsPooled) {
+  const auto enc = domains::build_hanoi_strips(3);
+  const auto problem = enc.problem();
+  auto cfg = small_config();
+  cfg.generations = 15;
+  util::ThreadPool pool(3);
+  expect_same_runs(problem, cfg, 113, &pool);
+}
+
+TEST(IncrementalEngineParity, NoTruncateRouletteUniform) {
+  const domains::Hanoi h(4);
+  auto cfg = small_config();
+  cfg.truncate_at_goal = false;
+  cfg.selection = ga::SelectionKind::kRoulette;
+  cfg.crossover = ga::CrossoverKind::kUniform;
+  cfg.generations = 15;
+  expect_same_runs(h, cfg, 127, nullptr);
+}
+
+}  // namespace

@@ -8,6 +8,10 @@
 #include <string>
 #include <vector>
 
+#include "core/engine.hpp"
+#include "domains/pocket_cube.hpp"
+#include "obs/report.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -156,6 +160,42 @@ TEST(Metrics, SnapshotIsSortedByName) {
   for (std::size_t i = 1; i < snap.counters.size(); ++i) {
     EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
   }
+}
+
+TEST(Metrics, EvalCountersAppearInExport) {
+  // The incremental-decode engine must surface its work through the registry:
+  // after a short GA run on a cacheable domain the cache and resume counters
+  // are registered, populated, and present in the GAPLAN_METRICS JSON export.
+  namespace ga = gaplan::ga;
+  namespace domains = gaplan::domains;
+  domains::PocketCube cube;
+  gaplan::util::Rng scramble(5);
+  cube.set_initial(cube.scrambled(8, scramble));
+  ga::GaConfig cfg;
+  cfg.population_size = 30;
+  cfg.generations = 12;
+  cfg.initial_length = 16;
+  cfg.max_length = 64;
+  cfg.stop_on_valid = false;
+  ga::Engine<domains::PocketCube> engine(cube, cfg);
+  gaplan::util::Rng rng(17);
+  engine.run_phase(cube.initial_state(), rng, false);
+
+  const auto snap = obs::snapshot_metrics();
+  for (const char* name : {"eval.cache_hits", "eval.cache_misses",
+                           "eval.resume_genes_skipped", "eval.ops_decoded"}) {
+    ASSERT_NE(snap.find_counter(name), nullptr) << name;
+  }
+  // PocketCube opts into the cache and every state repeats across the
+  // population, so hits must actually accrue — as must resumed genes.
+  EXPECT_GT(counter_value("eval.cache_hits"), 0u);
+  EXPECT_GT(counter_value("eval.resume_genes_skipped"), 0u);
+  EXPECT_GT(counter_value("eval.ops_decoded"), 0u);
+
+  const std::string json = obs::render_metrics_json(snap);
+  EXPECT_NE(json.find("eval.cache_hits"), std::string::npos);
+  EXPECT_NE(json.find("eval.cache_misses"), std::string::npos);
+  EXPECT_NE(json.find("eval.resume_genes_skipped"), std::string::npos);
 }
 
 TEST(Metrics, LatencyBucketsAreSane) {

@@ -123,6 +123,46 @@ TEST(ThreadPool, SingleWorkerRunsSerially) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
 }
 
+TEST(ThreadPool, ParallelForOversubscribesChunks) {
+  // The static-partition fix: with enough iterations, parallel_for must queue
+  // ~kChunksPerWorker chunks per worker (not one), so fast workers steal the
+  // leftovers of slow ones. Chunk count is observed via the pool's
+  // tasks_submitted counter delta.
+  auto submitted = [] {
+    const auto snap = gaplan::obs::snapshot_metrics();
+    const auto* c = snap.find_counter("pool.tasks_submitted");
+    return c != nullptr ? c->value : 0;
+  };
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(160);
+  const auto before = submitted();
+  pool.parallel_for(0, 160, [&](std::size_t i) { ++hits[i]; });
+  const auto chunks = submitted() - before;
+  EXPECT_EQ(chunks, pool.thread_count() * ThreadPool::kChunksPerWorker);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForHonorsMinGrain) {
+  auto submitted = [] {
+    const auto snap = gaplan::obs::snapshot_metrics();
+    const auto* c = snap.find_counter("pool.tasks_submitted");
+    return c != nullptr ? c->value : 0;
+  };
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  const auto before = submitted();
+  pool.parallel_for(0, 100, [&](std::size_t i) { ++hits[i]; }, /*min_grain=*/50);
+  EXPECT_EQ(submitted() - before, 2u);  // 100 items / grain 50
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForTinyRangeStillCoversOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(0, 3, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(ThreadPool, ParallelForPropagatesTaskException) {
   ThreadPool pool(3);
   EXPECT_THROW(pool.parallel_for(0, 10,
