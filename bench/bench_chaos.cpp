@@ -1,0 +1,222 @@
+// Chaos sweep: the resilient workflow manager vs the static script under
+// seeded random fault injection (grid/chaos.hpp). For each per-machine
+// failure rate, N random disruption scenarios are drawn (failures followed
+// by recoveries, overload episodes with optional load drops) and both
+// managers run the image pipeline through them — completion rate, makespan,
+// monetary cost, replans and recovery waits.
+//
+// The §1 claim under test, sharpened by PR 3: with recovery-aware waiting
+// and retry escalation the adaptive manager completes *strictly* more often
+// than the script at every non-zero failure rate, because a script dies with
+// its machine while the manager waits the failure out and re-plans.
+//
+// Every scenario is also audited: no exception may escape, and each
+// execution's cost must equal the sum over its task records (including the
+// start→kill portion of killed tasks) — the "no silent wrong cost" guard.
+// Results go to BENCH_chaos.json (schema checked by scripts/check_bench.py).
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <vector>
+
+#include "grid/chaos.hpp"
+#include "grid/replanner.hpp"
+#include "grid/scenario.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace gaplan;
+
+grid::ReplanConfig make_config(std::uint64_t seed, std::size_t pop,
+                               std::size_t gens) {
+  grid::ReplanConfig cfg;
+  cfg.seed = seed;
+  cfg.ga.population_size = pop;
+  cfg.ga.generations = gens;
+  cfg.ga.phases = 3;
+  cfg.ga.crossover = ga::CrossoverKind::kMixed;
+  cfg.ga.initial_length = 10;
+  cfg.ga.max_length = 40;
+  cfg.ga.cost_fitness = ga::CostFitnessKind::kInverseCost;
+  cfg.max_replans = 10;  // chaos scenarios can need several wait+replan turns
+  return cfg;
+}
+
+/// Audit: execution cost must equal Σ (finish - start) · cost_rate over every
+/// task record — completed or killed. Catches unbilled killed tasks.
+bool billing_consistent(const grid::ReplanOutcome& outcome,
+                        const grid::ResourcePool& pool) {
+  double rounds_cost = 0.0;
+  for (const auto& round : outcome.rounds) {
+    double records = 0.0;
+    for (const auto& task : round.execution.tasks) {
+      records += (task.finish - task.start) * pool.machine(task.machine).cost_rate;
+    }
+    if (std::abs(records - round.execution.total_cost) > 1e-6) return false;
+    rounds_cost += round.execution.total_cost;
+  }
+  return std::abs(rounds_cost - outcome.total_cost) <= 1e-6;
+}
+
+struct Aggregate {
+  std::size_t completed = 0;
+  std::size_t runs = 0;
+  util::RunningStat makespan, cost, replans, waits;
+
+  double completion_rate() const {
+    return runs > 0 ? static_cast<double>(completed) / static_cast<double>(runs)
+                    : 0.0;
+  }
+};
+
+void json_side(std::FILE* f, const char* name, const Aggregate& a, bool last) {
+  std::fprintf(f,
+               "      \"%s\": {\"completed\": %zu, \"runs\": %zu,"
+               " \"completion_rate\": %.6f, \"avg_makespan\": %.3f,"
+               " \"avg_cost\": %.3f, \"avg_replans\": %.3f,"
+               " \"avg_waits\": %.3f}%s\n",
+               name, a.completed, a.runs, a.completion_rate(),
+               a.completed ? a.makespan.mean() : 0.0,
+               a.completed ? a.cost.mean() : 0.0, a.replans.mean(),
+               a.waits.mean(), last ? "" : ",");
+}
+
+}  // namespace
+
+int main() {
+  const auto params = bench::resolve(12, 45, 30, 90);
+  const auto base_cfg = make_config(params.seed, 100, params.generations);
+  bench::print_header(
+      "Chaos sweep: resilient manager vs static script under random "
+      "failure/overload injection (image pipeline, 4-machine grid)",
+      base_cfg.ga, params);
+
+  const double rates[] = {0.0, 0.5, 0.75, 1.0};
+  bool clean = true;
+  bool dominates = true;
+
+  util::Table table({"Failure rate", "Manager", "Completed", "Avg Makespan (s)",
+                     "Avg Cost", "Avg Replans", "Avg Waits"});
+  std::vector<std::pair<double, std::pair<Aggregate, Aggregate>>> sweep;
+
+  for (const double rate : rates) {
+    Aggregate adaptive, script;
+    for (std::size_t run = 0; run < params.runs; ++run) {
+      grid::ChaosConfig chaos;
+      chaos.failure_rate = rate;
+      chaos.overload_rate = 0.5;
+      util::Rng chaos_rng(params.seed ^ (0x9E3779B97F4A7C15ULL *
+                                         (run + 1 + 1000 * static_cast<std::uint64_t>(
+                                                              rate * 100))));
+      const grid::Scenario scenario = grid::image_pipeline();
+      grid::ResourcePool proto_pool = grid::demo_pool();
+      const auto disruptions =
+          grid::chaos_disruptions(proto_pool, chaos, chaos_rng);
+
+      for (const bool dynamic : {true, false}) {
+        grid::ResourcePool pool = grid::demo_pool();
+        const auto problem = scenario.problem(pool);
+        auto cfg = base_cfg;
+        cfg.seed = params.seed + 17 * run;
+        Aggregate& agg = dynamic ? adaptive : script;
+        ++agg.runs;
+        try {
+          const auto outcome =
+              dynamic ? grid::plan_and_execute(problem, pool, disruptions, cfg)
+                      : grid::static_script_execute(problem, pool, disruptions,
+                                                    cfg);
+          if (!billing_consistent(outcome, pool)) {
+            clean = false;
+            std::fprintf(stderr,
+                         "AUDIT: inconsistent billing (rate %.2f run %zu %s)\n",
+                         rate, run, dynamic ? "adaptive" : "static");
+          }
+          if (!outcome.completed && outcome.note.empty()) {
+            clean = false;  // degradation must be noted, never silent
+            std::fprintf(stderr,
+                         "AUDIT: silent degradation (rate %.2f run %zu %s)\n",
+                         rate, run, dynamic ? "adaptive" : "static");
+          }
+          if (outcome.completed) {
+            ++agg.completed;
+            agg.makespan.add(outcome.makespan);
+            agg.cost.add(outcome.total_cost);
+          }
+          agg.replans.add(
+              static_cast<double>(outcome.planning_rounds > 0
+                                      ? outcome.planning_rounds - 1
+                                      : 0));
+          agg.waits.add(static_cast<double>(outcome.waits));
+        } catch (const std::exception& e) {
+          clean = false;
+          std::fprintf(stderr, "AUDIT: exception (rate %.2f run %zu %s): %s\n",
+                       rate, run, dynamic ? "adaptive" : "static", e.what());
+        }
+      }
+    }
+    if (rate > 0.0 &&
+        adaptive.completion_rate() <= script.completion_rate()) {
+      dominates = false;
+    }
+    for (const auto* agg : {&adaptive, &script}) {
+      const bool is_adaptive = agg == &adaptive;
+      table.add_row(
+          {util::Table::num(rate, 2), is_adaptive ? "adaptive" : "static script",
+           util::Table::integer(static_cast<long long>(agg->completed)) + "/" +
+               util::Table::integer(static_cast<long long>(agg->runs)),
+           agg->completed ? util::Table::num(agg->makespan.mean(), 1) : "-",
+           agg->completed ? util::Table::num(agg->cost.mean(), 1) : "-",
+           util::Table::num(agg->replans.mean(), 2),
+           util::Table::num(agg->waits.mean(), 2)});
+    }
+    std::printf("  done: rate %.2f — adaptive %zu/%zu, static %zu/%zu\n", rate,
+                adaptive.completed, adaptive.runs, script.completed,
+                script.runs);
+    sweep.push_back({rate, {adaptive, script}});
+  }
+
+  std::printf("\n%s\n", table.render().c_str());
+  std::printf("adaptive dominates at non-zero failure rates: %s; audits clean: %s\n",
+              dominates ? "yes" : "NO", clean ? "yes" : "NO");
+
+  const std::string path = bench::csv_path("BENCH_chaos.json");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_chaos\",\n  \"schema_version\": 1,\n");
+  std::fprintf(f,
+               "  \"workload\": {\"scenario\": \"image_pipeline\","
+               " \"machines\": 4, \"population\": %zu, \"phases\": %zu,"
+               " \"generations_per_phase\": %zu, \"scenarios_per_rate\": %zu,"
+               " \"seed\": %llu, \"max_replans\": %zu,"
+               " \"overload_rate\": 0.5},\n",
+               base_cfg.ga.population_size, base_cfg.ga.phases,
+               base_cfg.ga.generations, params.runs,
+               static_cast<unsigned long long>(params.seed),
+               base_cfg.max_replans);
+  std::fprintf(f, "  \"sweep\": [\n");
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    std::fprintf(f, "    {\"failure_rate\": %.4f,\n", sweep[i].first);
+    json_side(f, "adaptive", sweep[i].second.first, false);
+    json_side(f, "static", sweep[i].second.second, true);
+    std::fprintf(f, "    }%s\n", i + 1 == sweep.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"adaptive_dominates\": %s,\n", dominates ? "true" : "false");
+  std::fprintf(f, "  \"clean\": %s,\n", clean ? "true" : "false");
+  std::fprintf(f,
+               "  \"notes\": \"per-machine failure probability sweep; every"
+               " failure schedules a recovery, so the adaptive manager can"
+               " wait out dead grids; clean=false flags an exception, silent"
+               " degradation, or a billing mismatch\"\n}\n");
+  std::fclose(f);
+  std::printf("json: %s\n", path.c_str());
+
+  bench::export_metrics("bench_chaos");
+  return (clean && dominates) ? 0 : 1;
+}

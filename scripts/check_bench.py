@@ -1,28 +1,34 @@
 #!/usr/bin/env python3
-"""Validates a BENCH_eval.json produced by bench_eval (see docs/API.md).
+"""Validates BENCH_*.json reports (bench_eval, bench_chaos; see docs/API.md).
 
 Usage:
-  scripts/check_bench.py BENCH_eval.json
+  scripts/check_bench.py BENCH_eval.json [BENCH_chaos.json ...]
   scripts/check_bench.py --exec BINARY [ARGS ...]
 
 With --exec, the binary is run with GAPLAN_CSV_DIR pointing at a temporary
 directory (and reduced iteration counts unless GAPLAN_RUNS/GAPLAN_GENS are
-already set), then the BENCH_eval.json it wrote is validated.
+already set), then every BENCH_*.json it wrote is validated. The schema is
+chosen per file from the report's top-level "bench" key.
 
-Checks: the document is a JSON object with the expected top-level keys, the
-config entries carry numeric throughput fields with sane signs, hit rates lie
-in [0, 1], and the headline speedup is a positive number.
+bench_eval checks: config entries carry numeric throughput fields with sane
+signs, hit rates lie in [0, 1], and the headline speedup is positive.
 
-Exit status: 0 on a valid report, 1 otherwise.
+bench_chaos checks: the sweep covers a zero and at least one non-zero failure
+rate, completion rates lie in [0, 1], the adaptive manager's completion rate
+strictly exceeds the static script's at every non-zero failure rate, and the
+run was clean (no exception, silent degradation, or billing mismatch).
+
+Exit status: 0 when every report is valid, 1 otherwise.
 """
 import argparse
+import glob
 import json
 import os
 import subprocess
 import sys
 import tempfile
 
-CONFIG_KEYS = {
+EVAL_CONFIG_KEYS = {
     "name": str,
     "seconds": (int, float),
     "evaluations": int,
@@ -37,12 +43,22 @@ CONFIG_KEYS = {
     "reproduce_ms": (int, float),
 }
 
+CHAOS_SIDE_KEYS = {
+    "completed": int,
+    "runs": int,
+    "completion_rate": (int, float),
+    "avg_makespan": (int, float),
+    "avg_cost": (int, float),
+    "avg_replans": (int, float),
+    "avg_waits": (int, float),
+}
 
-def check_config(entry, where, errors):
+
+def check_eval_config(entry, where, errors):
     if not isinstance(entry, dict):
         errors.append(f"{where}: not a JSON object")
         return
-    for key, kind in CONFIG_KEYS.items():
+    for key, kind in EVAL_CONFIG_KEYS.items():
         if key not in entry:
             errors.append(f"{where}: missing key '{key}'")
         elif not isinstance(entry[key], kind) or isinstance(entry[key], bool):
@@ -55,29 +71,17 @@ def check_config(entry, where, errors):
         errors.append(f"{where}: cache_hit_rate {rate} outside [0, 1]")
 
 
-def validate(path):
-    errors = []
-    try:
-        with open(path, encoding="utf-8") as handle:
-            doc = json.load(handle)
-    except (OSError, json.JSONDecodeError) as err:
-        return [f"cannot parse {path}: {err}"]
-    if not isinstance(doc, dict):
-        return [f"{path}: top level is not a JSON object"]
-
-    for key in ("bench", "schema_version", "workload", "configs",
-                "speedup_evals_per_sec", "sokoban_cache"):
+def validate_eval(doc, errors):
+    for key in ("workload", "configs", "speedup_evals_per_sec", "sokoban_cache"):
         if key not in doc:
             errors.append(f"missing top-level key '{key}'")
-    if doc.get("bench") != "bench_eval":
-        errors.append(f"unexpected bench name: {doc.get('bench')!r}")
 
     configs = doc.get("configs")
     if not isinstance(configs, list) or len(configs) < 2:
         errors.append("'configs' must be a list with at least two entries")
     else:
         for i, entry in enumerate(configs):
-            check_config(entry, f"configs[{i}]", errors)
+            check_eval_config(entry, f"configs[{i}]", errors)
         names = [c.get("name") for c in configs if isinstance(c, dict)]
         for want in ("cold", "incremental"):
             if want not in names:
@@ -96,26 +100,125 @@ def validate(path):
         errors.append("'sokoban_cache' is not a JSON object")
 
     if not errors and isinstance(speedup, (int, float)):
-        print(f"check_bench: OK — speedup {speedup:.2f}x, "
+        print(f"check_bench: OK (bench_eval) — speedup {speedup:.2f}x, "
               f"{len(configs)} configs")
+
+
+def check_chaos_side(entry, where, errors):
+    if not isinstance(entry, dict):
+        errors.append(f"{where}: not a JSON object")
+        return
+    for key, kind in CHAOS_SIDE_KEYS.items():
+        if key not in entry:
+            errors.append(f"{where}: missing key '{key}'")
+        elif not isinstance(entry[key], kind) or isinstance(entry[key], bool):
+            errors.append(f"{where}: '{key}' has wrong type")
+    rate = entry.get("completion_rate")
+    if isinstance(rate, (int, float)) and not 0.0 <= rate <= 1.0:
+        errors.append(f"{where}: completion_rate {rate} outside [0, 1]")
+    completed, runs = entry.get("completed"), entry.get("runs")
+    if isinstance(completed, int) and isinstance(runs, int):
+        if runs <= 0:
+            errors.append(f"{where}: runs must be positive")
+        elif not 0 <= completed <= runs:
+            errors.append(f"{where}: completed {completed} outside [0, {runs}]")
+
+
+def validate_chaos(doc, errors):
+    for key in ("workload", "sweep", "adaptive_dominates", "clean"):
+        if key not in doc:
+            errors.append(f"missing top-level key '{key}'")
+
+    sweep = doc.get("sweep")
+    nonzero = 0
+    if not isinstance(sweep, list) or len(sweep) < 2:
+        errors.append("'sweep' must be a list with at least two entries")
+    else:
+        rates = []
+        for i, entry in enumerate(sweep):
+            where = f"sweep[{i}]"
+            if not isinstance(entry, dict):
+                errors.append(f"{where}: not a JSON object")
+                continue
+            rate = entry.get("failure_rate")
+            if not isinstance(rate, (int, float)) or isinstance(rate, bool) \
+                    or not 0.0 <= rate <= 1.0:
+                errors.append(f"{where}: failure_rate invalid: {rate!r}")
+                continue
+            rates.append(rate)
+            check_chaos_side(entry.get("adaptive"), f"{where}.adaptive", errors)
+            check_chaos_side(entry.get("static"), f"{where}.static", errors)
+            if rate > 0.0 and isinstance(entry.get("adaptive"), dict) \
+                    and isinstance(entry.get("static"), dict):
+                nonzero += 1
+                a = entry["adaptive"].get("completion_rate")
+                s = entry["static"].get("completion_rate")
+                if isinstance(a, (int, float)) and isinstance(s, (int, float)) \
+                        and a <= s:
+                    errors.append(
+                        f"{where}: adaptive completion rate {a} does not "
+                        f"strictly exceed static {s} at failure rate {rate}")
+        if rates and 0.0 not in rates:
+            errors.append("sweep has no zero-failure-rate baseline entry")
+        if not nonzero:
+            errors.append("sweep has no non-zero failure-rate entry")
+
+    if doc.get("adaptive_dominates") is not True:
+        errors.append(f"adaptive_dominates is {doc.get('adaptive_dominates')!r},"
+                      " expected true")
+    if doc.get("clean") is not True:
+        errors.append(f"clean is {doc.get('clean')!r}, expected true"
+                      " (exception, silent degradation, or billing mismatch)")
+
+    if not errors:
+        print(f"check_bench: OK (bench_chaos) — {nonzero} non-zero failure "
+              f"rates, adaptive dominates, audits clean")
+
+
+SCHEMAS = {
+    "bench_eval": validate_eval,
+    "bench_chaos": validate_chaos,
+}
+
+
+def validate(path):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        return [f"cannot parse {path}: {err}"]
+    if not isinstance(doc, dict):
+        return [f"{path}: top level is not a JSON object"]
+    for key in ("bench", "schema_version"):
+        if key not in doc:
+            errors.append(f"missing top-level key '{key}'")
+    checker = SCHEMAS.get(doc.get("bench"))
+    if checker is None:
+        errors.append(f"unknown bench name: {doc.get('bench')!r}")
+        return errors
+    checker(doc, errors)
     return errors
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("report", nargs="?", help="BENCH_eval.json to validate")
+    parser.add_argument("reports", nargs="*",
+                        help="BENCH_*.json file(s) to validate")
     parser.add_argument(
         "--exec",
         dest="exec_argv",
         nargs="+",
         metavar="ARG",
-        help="run this command with GAPLAN_CSV_DIR set, then validate",
+        help="run this command with GAPLAN_CSV_DIR set, then validate every "
+             "BENCH_*.json it wrote",
     )
     args = parser.parse_args()
 
-    if bool(args.report) == bool(args.exec_argv):
-        parser.error("pass exactly one of: a report path, or --exec")
+    if bool(args.reports) == bool(args.exec_argv):
+        parser.error("pass exactly one of: report path(s), or --exec")
 
+    errors = []
     if args.exec_argv:
         with tempfile.TemporaryDirectory(prefix="gaplan_bench_") as tmp:
             env = dict(os.environ, GAPLAN_CSV_DIR=tmp)
@@ -126,9 +229,14 @@ def main():
             proc = subprocess.run(args.exec_argv, env=env)
             if proc.returncode != 0:
                 sys.exit(f"check_bench: command exited {proc.returncode}")
-            errors = validate(os.path.join(tmp, "BENCH_eval.json"))
+            reports = sorted(glob.glob(os.path.join(tmp, "BENCH_*.json")))
+            if not reports:
+                sys.exit("check_bench: command wrote no BENCH_*.json")
+            for report in reports:
+                errors.extend(validate(report))
     else:
-        errors = validate(args.report)
+        for report in args.reports:
+            errors.extend(validate(report))
 
     for err in errors:
         print(f"check_bench: {err}", file=sys.stderr)

@@ -87,6 +87,23 @@ void GaConfig::validate() const {
         "eval_checkpoint_stride must be >= 1 when incremental_eval is on");
 }
 
+GaConfig GaConfig::scaled(double generations_factor, double population_factor,
+                          std::size_t max_population) const {
+  GaConfig out = *this;
+  out.generations = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(static_cast<double>(generations) * generations_factor)));
+  std::size_t pop = static_cast<std::size_t>(
+      std::llround(static_cast<double>(population_size) * population_factor));
+  std::size_t cap = std::max<std::size_t>(2, max_population);
+  cap -= cap % 2;  // the cap itself must be reachable by an even population
+  pop = std::min(std::max<std::size_t>(2, pop), cap);
+  pop += pop % 2;
+  out.population_size = pop;
+  out.elite_count = std::min(elite_count, pop - 1);
+  return out;
+}
+
 std::string GaConfig::summary() const {
   std::ostringstream os;
   os << "pop=" << population_size << " gens=" << generations

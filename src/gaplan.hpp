@@ -31,6 +31,7 @@
 #include "domains/sokoban.hpp"        // IWYU pragma: export
 #include "domains/tile_pdb.hpp"       // IWYU pragma: export
 #include "grid/activity_graph.hpp"    // IWYU pragma: export
+#include "grid/chaos.hpp"             // IWYU pragma: export
 #include "grid/coordinator.hpp"       // IWYU pragma: export
 #include "grid/gantt.hpp"             // IWYU pragma: export
 #include "grid/replanner.hpp"         // IWYU pragma: export

@@ -1,0 +1,58 @@
+#include "grid/chaos.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gaplan::grid {
+
+std::vector<Disruption> chaos_disruptions(const ResourcePool& pool,
+                                          const ChaosConfig& cfg,
+                                          util::Rng& rng) {
+  if (cfg.horizon <= cfg.min_event_time) {
+    throw std::invalid_argument("chaos_disruptions: horizon must exceed min_event_time");
+  }
+  if (cfg.failure_window <= 0.0 || cfg.failure_window > 1.0) {
+    throw std::invalid_argument("chaos_disruptions: failure_window must be in (0, 1]");
+  }
+  std::vector<Disruption> out;
+  for (MachineId m = 0; m < pool.size(); ++m) {
+    // Draw both episode gates up front so the Rng consumption pattern (and
+    // with it every later draw) is identical across machines regardless of
+    // which episodes fire — scenarios at different rates stay comparable.
+    const bool fails = rng.chance(cfg.failure_rate);
+    const bool overloads = rng.chance(cfg.overload_rate);
+    const double fail_at = rng.uniform(
+        cfg.min_event_time, cfg.min_event_time +
+                                (cfg.horizon - cfg.min_event_time) *
+                                    cfg.failure_window);
+    const double recover_delay =
+        rng.uniform(cfg.recovery_delay_min, cfg.recovery_delay_max);
+    const double load_at = rng.uniform(cfg.min_event_time, cfg.horizon);
+    const double load = rng.uniform(cfg.overload_min, cfg.overload_max);
+    const bool drops = rng.chance(cfg.load_drop_rate);
+    const double drop_delay =
+        rng.uniform(cfg.recovery_delay_min, cfg.recovery_delay_max);
+
+    if (fails) {
+      out.push_back({fail_at, m, Disruption::Kind::kFailure, 0.0});
+      if (cfg.always_recover) {
+        out.push_back(
+            {fail_at + recover_delay, m, Disruption::Kind::kRecovery, 0.0});
+      }
+    }
+    if (overloads) {
+      out.push_back({load_at, m, Disruption::Kind::kOverload, load});
+      if (drops) {
+        out.push_back(
+            {load_at + drop_delay, m, Disruption::Kind::kOverload, 0.0});
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Disruption& a, const Disruption& b) {
+                     return a.time < b.time;
+                   });
+  return out;
+}
+
+}  // namespace gaplan::grid

@@ -1,0 +1,47 @@
+// Seeded random disruption-scenario generator for fault-injection testing
+// (PR 3). The paper's §1 grid "overloads, fails and recovers" — this module
+// makes that stochastic: per-machine failure/overload episodes drawn from a
+// deterministic Rng, so the chaos bench and the fuzz tests can sweep failure
+// rates reproducibly.
+#pragma once
+
+#include <vector>
+
+#include "grid/coordinator.hpp"
+#include "grid/resource.hpp"
+#include "util/rng.hpp"
+
+namespace gaplan::grid {
+
+/// Knobs for one random disruption scenario. Rates are per-machine event
+/// probabilities over the horizon, so failure_rate 1.0 means every machine
+/// dies at some point.
+struct ChaosConfig {
+  double horizon = 120.0;          ///< events land inside (min_event_time, horizon)
+  double min_event_time = 1.0;
+  double failure_rate = 0.5;       ///< P(machine fails once during the horizon)
+  double overload_rate = 0.5;      ///< P(machine gets an overload episode)
+  /// Failures strike inside the first `failure_window` fraction of the
+  /// horizon, so a recovery drawn from [recovery_delay_min, max] still fits
+  /// the scenario and an adaptive manager always has something to wait for.
+  double failure_window = 0.6;
+  double recovery_delay_min = 5.0;
+  double recovery_delay_max = 40.0;
+  double overload_min = 1.5;       ///< load drawn uniformly from [min, max]
+  double overload_max = 6.0;
+  /// Schedule a kRecovery after every failure (clean, survivable chaos —
+  /// the §1 story). With this off, a failed machine may stay dead and
+  /// adaptive completion is no longer guaranteed.
+  bool always_recover = true;
+  /// P(an overload episode later relaxes back to load 0) — the "load drop"
+  /// relief event recovery-aware waiting can also wake on.
+  double load_drop_rate = 0.5;
+};
+
+/// Draws one time-sorted disruption scenario over `pool` from `rng`.
+/// Deterministic for a given (pool size, config, rng state).
+std::vector<Disruption> chaos_disruptions(const ResourcePool& pool,
+                                          const ChaosConfig& cfg,
+                                          util::Rng& rng);
+
+}  // namespace gaplan::grid

@@ -180,6 +180,11 @@ ExecutionReport Coordinator::execute(const ActivityGraph& graph,
                       problem_->catalog().program(node.program).name + "'";
         TaskRecord rec{best, node.machine, best_start, disruptions[d].time, false};
         report.tasks.push_back(rec);
+        // The grid bills machine time whether or not the task finished: the
+        // start→kill portion is charged at the machine's rate, so adaptive
+        // runs don't look artificially cheap against the static script.
+        report.total_cost +=
+            (disruptions[d].time - best_start) * machine.cost_rate;
         finalize(report);
         return report;
       }

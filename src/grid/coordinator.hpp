@@ -38,7 +38,9 @@ struct TaskRecord {
 struct ExecutionReport {
   bool completed = false;
   double makespan = 0.0;     ///< finish time of the last completed task
-  double total_cost = 0.0;   ///< Σ duration · cost_rate over completed tasks
+  /// Σ duration · cost_rate over every task record — completed tasks in
+  /// full, a task killed by a machine failure for its start→kill portion.
+  double total_cost = 0.0;
   std::size_t tasks_completed = 0;
   std::vector<TaskRecord> tasks;
   double abort_time = 0.0;   ///< simulation time when the workflow aborted

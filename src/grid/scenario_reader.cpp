@@ -1,6 +1,8 @@
 #include "grid/scenario_reader.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -17,13 +19,25 @@ using strips::sexpr::NodeList;
 using strips::sexpr::fail;
 using strips::sexpr::head;
 
+/// Strict numeric parse: the whole token must be a finite, non-negative
+/// number (every quantity in the format — times, loads, volumes, work,
+/// speeds, costs — is physically non-negative). std::stod's laxness
+/// ("1.5x" → 1.5, "inf"/"nan" accepted) silently corrupted scenarios.
 double number(const Node& n, const char* what) {
   if (!n.is_word()) fail(n, std::string(what) + " must be a number");
-  try {
-    return std::stod(n.word());
-  } catch (const std::exception&) {
-    fail(n, std::string("bad ") + what + " '" + n.word() + "'");
+  const std::string& w = n.word();
+  double v = 0.0;
+  const char* first = w.data();
+  const char* last = w.data() + w.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc() || ptr != last || !std::isfinite(v)) {
+    fail(n, std::string("bad ") + what + " '" + w +
+               "' (expected a finite number)");
   }
+  if (v < 0.0) {
+    fail(n, std::string(what) + " '" + w + "' must be non-negative");
+  }
+  return v;
 }
 
 /// Reads a (key value) property list starting at items[from].

@@ -1,0 +1,152 @@
+// Fault-injection fuzz: the resilient workflow manager under seeded random
+// disruption scenarios (grid/chaos.hpp). Every scenario must end in either
+// completion or a clean, noted degradation — never a throw, a hang (bounded
+// rounds/waits guarantee termination; the suite timeout backstops), or a
+// silently wrong cost.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grid/chaos.hpp"
+#include "grid/replanner.hpp"
+#include "grid/scenario.hpp"
+
+namespace {
+
+using namespace gaplan;
+using namespace gaplan::grid;
+
+ReplanConfig fuzz_config(std::uint64_t seed) {
+  ReplanConfig cfg;
+  cfg.seed = seed;
+  cfg.ga.population_size = 40;
+  cfg.ga.generations = 16;
+  cfg.ga.phases = 2;
+  cfg.ga.initial_length = 6;
+  cfg.ga.max_length = 24;
+  cfg.max_replans = 10;
+  return cfg;
+}
+
+/// The bench_chaos audit, as assertions: per-round cost equals the sum over
+/// its task records (killed tasks billed start→kill), rounds sum to the
+/// outcome total, and nothing about the trajectory is self-contradictory.
+void check_outcome(const ReplanOutcome& outcome, const ResourcePool& pool,
+                   const std::string& context) {
+  EXPECT_EQ(outcome.rounds.size(), outcome.planning_rounds) << context;
+  double rounds_cost = 0.0;
+  for (std::size_t i = 0; i < outcome.rounds.size(); ++i) {
+    const auto& round = outcome.rounds[i];
+    double records = 0.0;
+    for (const auto& task : round.execution.tasks) {
+      EXPECT_GE(task.finish, task.start) << context << " round " << i;
+      records += (task.finish - task.start) * pool.machine(task.machine).cost_rate;
+    }
+    EXPECT_NEAR(records, round.execution.total_cost, 1e-6)
+        << context << " round " << i << ": unbilled or misbilled task";
+    rounds_cost += round.execution.total_cost;
+    if (round.stale || !round.graph_valid) {
+      EXPECT_TRUE(round.execution.tasks.empty())
+          << context << " round " << i << ": stale/invalid round executed";
+    }
+  }
+  EXPECT_NEAR(rounds_cost, outcome.total_cost, 1e-6) << context;
+  if (outcome.completed) {
+    EXPECT_GT(outcome.makespan, 0.0) << context;
+  } else {
+    EXPECT_FALSE(outcome.note.empty())
+        << context << ": degradation must be noted, never silent";
+  }
+  EXPECT_TRUE(std::isfinite(outcome.makespan)) << context;
+  EXPECT_TRUE(std::isfinite(outcome.total_cost)) << context;
+}
+
+TEST(Chaos, GeneratorIsSeededAndSorted) {
+  const ResourcePool pool = demo_pool();
+  ChaosConfig cfg;
+  cfg.failure_rate = 1.0;
+  cfg.overload_rate = 1.0;
+  util::Rng rng_a(42), rng_b(42), rng_c(7);
+  const auto a = chaos_disruptions(pool, cfg, rng_a);
+  const auto b = chaos_disruptions(pool, cfg, rng_b);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].machine, b[i].machine);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+  }
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_LE(a[i - 1].time, a[i].time) << "disruptions must be time-sorted";
+  }
+  // Every failure is paired with a later recovery (always_recover default).
+  std::size_t failures = 0, recoveries = 0;
+  for (const auto& d : a) {
+    failures += d.kind == Disruption::Kind::kFailure;
+    recoveries += d.kind == Disruption::Kind::kRecovery;
+  }
+  EXPECT_EQ(failures, pool.size());
+  EXPECT_EQ(recoveries, failures);
+  // A different seed gives a different scenario.
+  const auto c = chaos_disruptions(pool, cfg, rng_c);
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].time != c[i].time || a[i].machine != c[i].machine;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Chaos, GeneratorRejectsBadConfig) {
+  const ResourcePool pool = demo_pool();
+  util::Rng rng(1);
+  ChaosConfig bad_horizon;
+  bad_horizon.horizon = 0.5;  // below min_event_time
+  EXPECT_THROW(chaos_disruptions(pool, bad_horizon, rng), std::invalid_argument);
+  ChaosConfig bad_window;
+  bad_window.failure_window = 0.0;
+  EXPECT_THROW(chaos_disruptions(pool, bad_window, rng), std::invalid_argument);
+}
+
+TEST(Chaos, FuzzManagerNeverThrowsOrSilentlyDegrades) {
+  // >= 100 seeded scenarios across failure/overload intensities, adaptive and
+  // static manager both. ASan-clean by construction (runs under the sanitized
+  // CI job like every other test).
+  const Scenario sc = image_pipeline();
+  const double rates[] = {0.25, 0.75, 1.0};
+  std::size_t scenarios = 0;
+  std::size_t completed_adaptive = 0;
+  for (const double rate : rates) {
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+      ChaosConfig chaos;
+      chaos.failure_rate = rate;
+      chaos.overload_rate = rate;
+      util::Rng rng(0xC0FFEEULL + seed * 977 +
+                    static_cast<std::uint64_t>(rate * 100));
+      ResourcePool proto = demo_pool();
+      const auto disruptions = chaos_disruptions(proto, chaos, rng);
+
+      for (const bool dynamic : {true, false}) {
+        ++scenarios;
+        ResourcePool pool = demo_pool();
+        const auto problem = sc.problem(pool);
+        const auto cfg = fuzz_config(100 + seed);
+        const std::string context =
+            (dynamic ? "adaptive" : "static") + std::string(" rate=") +
+            std::to_string(rate) + " seed=" + std::to_string(seed);
+        ASSERT_NO_THROW({
+          const auto outcome =
+              dynamic ? plan_and_execute(problem, pool, disruptions, cfg)
+                      : static_script_execute(problem, pool, disruptions, cfg);
+          check_outcome(outcome, pool, context);
+          completed_adaptive += dynamic && outcome.completed;
+        }) << context;
+      }
+    }
+  }
+  EXPECT_GE(scenarios, 100u);
+  // Recovery-aware waiting must rescue a healthy majority of adaptive runs —
+  // every failure schedules a recovery, so completion is always reachable.
+  EXPECT_GT(completed_adaptive, 40u);
+}
+
+}  // namespace

@@ -137,6 +137,43 @@ TEST(Coordinator, FailureMidTaskKillsIt) {
   EXPECT_FALSE(f.pool.machine(2).up);
 }
 
+TEST(Coordinator, KilledTaskIsBilledForItsPartialRun) {
+  // A task killed mid-flight consumed the machine from start to kill — that
+  // span must be billed, or every chaos scenario under-reports its spend.
+  Fixture f;
+  const auto g = f.graph({f.op(0, 2)});
+  Coordinator c(f.problem, f.pool);
+  const double t0 = f.problem.execution_seconds(0, 2);
+  const double kill_at = t0 * 0.5;
+  const auto r = c.execute(g, f.problem.initial_state(),
+                           {{kill_at, 2, Disruption::Kind::kFailure, 0.0}});
+  ASSERT_FALSE(r.completed);
+  ASSERT_EQ(r.tasks.size(), 1u);
+  EXPECT_NEAR(r.tasks[0].finish, kill_at, 1e-9);
+  EXPECT_NEAR(r.total_cost, kill_at * f.pool.machine(2).cost_rate, 1e-9);
+  // Invariant used by the chaos audit: cost == Σ (finish-start)·rate.
+  double records = 0.0;
+  for (const auto& t : r.tasks) {
+    records += (t.finish - t.start) * f.pool.machine(t.machine).cost_rate;
+  }
+  EXPECT_NEAR(r.total_cost, records, 1e-9);
+}
+
+TEST(Coordinator, KilledTaskBillingAddsToCompletedWork) {
+  // One task completes on m1, the next dies halfway: total cost must cover
+  // the full first task plus the killed portion of the second.
+  Fixture f;
+  const auto g = f.graph({f.op(0, 1), f.op(2, 1)});
+  Coordinator c(f.problem, f.pool);
+  const double t0 = f.problem.execution_seconds(0, 1);
+  const double t1 = f.problem.execution_seconds(2, 1);
+  const auto r = c.execute(g, f.problem.initial_state(),
+                           {{t0 + t1 * 0.5, 1, Disruption::Kind::kFailure, 0.0}});
+  ASSERT_FALSE(r.completed);
+  EXPECT_EQ(r.tasks_completed, 1u);
+  EXPECT_NEAR(r.total_cost, (t0 + t1 * 0.5) * f.pool.machine(1).cost_rate, 1e-9);
+}
+
 TEST(Coordinator, FailureOnOtherMachineIsHarmless) {
   Fixture f;
   const auto g = f.graph({f.op(0, 1)});

@@ -1,13 +1,28 @@
-// Dynamic re-planning vs the static script (§1's motivating argument).
+// Dynamic re-planning vs the static script (§1's motivating argument), plus
+// the PR 3 resilience layer: recovery-aware waiting, retry escalation,
+// planning-latency accounting / stale-plan detection, and deadlines.
 #include <gtest/gtest.h>
 
 #include "grid/replanner.hpp"
 #include "grid/scenario.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
 using namespace gaplan;
 using namespace gaplan::grid;
+
+std::uint64_t counter_value(const char* name) {
+  const auto snap = obs::snapshot_metrics();
+  const auto* c = snap.find_counter(name);
+  return c != nullptr ? c->value : 0;
+}
+
+std::uint64_t histogram_count(const char* name) {
+  const auto snap = obs::snapshot_metrics();
+  const auto* h = snap.find_histogram(name);
+  return h != nullptr ? h->count : 0;
+}
 
 ReplanConfig quick_config(std::uint64_t seed) {
   ReplanConfig cfg;
@@ -120,6 +135,190 @@ TEST(Replanner, StaticScriptAbortsWhereReplannerCompletes) {
       plan_and_execute(dynamic_problem, dynamic_pool, disruptions, cfg);
   EXPECT_TRUE(dynamic_outcome.completed);
   EXPECT_GT(dynamic_outcome.planning_rounds, 1u);
+}
+
+TEST(Replanner, WaitsOutFailureAndCompletesAfterRecovery) {
+  // One machine only: when it dies at t=5 nothing can run, but the scenario
+  // schedules a recovery at t=50 — the resilient manager must wait it out,
+  // re-plan from the data state already reached, and finish after t=50
+  // instead of reporting failure (the pre-PR-3 behaviour).
+  const Scenario sc = image_pipeline();
+  ResourcePool pool;
+  // Bandwidth high enough that the first task (histogram-eq: 10 work / 4
+  // speed + 4 GB · 8 / 32 Gbps = 3.5 s) finishes before the t=5 failure.
+  pool.add({"solo", 4.0, 1.0, 8.0, 32.0, 0.0, true});
+  const auto problem = sc.problem(pool);
+  const std::vector<Disruption> disruptions = {
+      {5.0, 0, Disruption::Kind::kFailure, 0.0},
+      {50.0, 0, Disruption::Kind::kRecovery, 0.0}};
+
+  const auto waits_before = counter_value("grid.waits");
+  const auto wait_hist_before = histogram_count("grid.wait_for_recovery_ms");
+  const auto outcome = plan_and_execute(problem, pool, disruptions, quick_config(7));
+
+  ASSERT_TRUE(outcome.completed) << outcome.note;
+  EXPECT_EQ(outcome.planning_rounds, 2u);
+  EXPECT_EQ(outcome.waits, 1u);
+  EXPECT_GT(outcome.waited_seconds, 0.0);
+  EXPECT_GT(outcome.makespan, 50.0);  // nothing could finish before recovery
+  // Round 1 made progress before the failure; round 2 resumed, not restarted.
+  ASSERT_EQ(outcome.rounds.size(), 2u);
+  EXPECT_GT(outcome.rounds.front().execution.tasks_completed, 0u);
+  EXPECT_LT(outcome.rounds.back().plan.size(), sc.catalog.program_count());
+  EXPECT_EQ(counter_value("grid.waits"), waits_before + 1);
+  EXPECT_EQ(histogram_count("grid.wait_for_recovery_ms"), wait_hist_before + 1);
+}
+
+TEST(Replanner, WaitingCanBeDisabled) {
+  const Scenario sc = image_pipeline();
+  ResourcePool pool;
+  pool.add({"solo", 4.0, 1.0, 8.0, 5.0, 0.0, true});
+  const auto problem = sc.problem(pool);
+  const std::vector<Disruption> disruptions = {
+      {5.0, 0, Disruption::Kind::kFailure, 0.0},
+      {50.0, 0, Disruption::Kind::kRecovery, 0.0}};
+  auto cfg = quick_config(7);
+  cfg.wait_for_recovery = false;
+  const auto outcome = plan_and_execute(problem, pool, disruptions, cfg);
+  EXPECT_FALSE(outcome.completed);
+  EXPECT_EQ(outcome.waits, 0u);
+  EXPECT_NE(outcome.note.find("no valid plan"), std::string::npos);
+}
+
+TEST(Replanner, StalePlanDetectedWhenGridChangesWhilePlanning) {
+  // Planning charges 10 simulated seconds; the whole grid dies at t=5 —
+  // inside the planning window — and recovers at t=30. The fresh plan must
+  // be flagged stale (its machines are down at dispatch time), then the
+  // manager waits for the recovery and completes.
+  const Scenario sc = image_pipeline();
+  ResourcePool pool = demo_pool();
+  const auto problem = sc.problem(pool);
+  std::vector<Disruption> disruptions;
+  for (MachineId m = 0; m < pool.size(); ++m) {
+    disruptions.push_back({5.0, m, Disruption::Kind::kFailure, 0.0});
+  }
+  for (MachineId m = 0; m < pool.size(); ++m) {
+    disruptions.push_back({30.0, m, Disruption::Kind::kRecovery, 0.0});
+  }
+  auto cfg = quick_config(8);
+  cfg.planning_latency.fixed_seconds = 10.0;
+
+  const auto stale_before = counter_value("grid.stale_plans");
+  const auto outcome = plan_and_execute(problem, pool, disruptions, cfg);
+
+  ASSERT_TRUE(outcome.completed) << outcome.note;
+  ASSERT_GE(outcome.rounds.size(), 2u);
+  EXPECT_TRUE(outcome.rounds.front().stale);
+  EXPECT_TRUE(outcome.rounds.front().execution.tasks.empty());
+  EXPECT_NE(outcome.rounds.front().note.find("stale"), std::string::npos);
+  EXPECT_EQ(outcome.waits, 1u);
+  // Dispatch of the completing round happens after recovery + planning charge.
+  EXPECT_GT(outcome.rounds.back().dispatch_time, 30.0);
+  EXPECT_GT(outcome.makespan, 30.0);
+  EXPECT_EQ(counter_value("grid.stale_plans"), stale_before + 1);
+}
+
+TEST(Replanner, RetryEscalationRunsAllAttempts) {
+  // No machine can satisfy the program's memory requirement, so every GA
+  // attempt fails: the round must run 1 + max_plan_retries attempts with the
+  // escalated budget and count each retry.
+  ServiceCatalog cat;
+  const DataId in = cat.add_data("in");
+  const DataId out = cat.add_data("out");
+  cat.add_program({"impossible", {in}, {out}, 10.0, 1000.0});
+  ResourcePool pool = demo_pool();
+  const WorkflowProblem problem(cat, pool, {in}, {out});
+  auto cfg = quick_config(9);
+  cfg.max_plan_retries = 2;
+
+  const auto retries_before = counter_value("grid.retries");
+  const auto outcome = plan_and_execute(problem, pool, {}, cfg);
+
+  EXPECT_FALSE(outcome.completed);
+  EXPECT_NE(outcome.note.find("no valid plan"), std::string::npos);
+  ASSERT_EQ(outcome.rounds.size(), 1u);
+  EXPECT_EQ(outcome.rounds.front().ga_attempts, 3u);
+  EXPECT_EQ(counter_value("grid.retries"), retries_before + 2);
+}
+
+TEST(Replanner, RoundDeadlineStopsEscalation) {
+  // Same unplannable grid, but the per-round wall-clock budget is tiny: the
+  // first (futile) attempt exhausts it and no retry may start.
+  ServiceCatalog cat;
+  const DataId in = cat.add_data("in");
+  const DataId out = cat.add_data("out");
+  cat.add_program({"impossible", {in}, {out}, 10.0, 1000.0});
+  ResourcePool pool = demo_pool();
+  const WorkflowProblem problem(cat, pool, {in}, {out});
+  auto cfg = quick_config(10);
+  cfg.max_plan_retries = 5;
+  cfg.round_deadline_ms = 1e-3;  // any real GA attempt exceeds a microsecond
+
+  const auto outcome = plan_and_execute(problem, pool, {}, cfg);
+  EXPECT_FALSE(outcome.completed);
+  ASSERT_EQ(outcome.rounds.size(), 1u);
+  EXPECT_EQ(outcome.rounds.front().ga_attempts, 1u);
+}
+
+TEST(Replanner, WorkflowDeadlineEndsCleanly) {
+  // The solo machine dies and recovers much later; with a workflow deadline
+  // far below one GA round's wall time, the manager must stop with a
+  // deadline note after the aborted first round instead of waiting.
+  const Scenario sc = image_pipeline();
+  ResourcePool pool;
+  pool.add({"solo", 4.0, 1.0, 8.0, 5.0, 0.0, true});
+  const auto problem = sc.problem(pool);
+  const std::vector<Disruption> disruptions = {
+      {5.0, 0, Disruption::Kind::kFailure, 0.0},
+      {50.0, 0, Disruption::Kind::kRecovery, 0.0}};
+  auto cfg = quick_config(11);
+  cfg.workflow_deadline_ms = 1e-2;  // exceeded once the first GA round ran
+
+  const auto outcome = plan_and_execute(problem, pool, disruptions, cfg);
+  EXPECT_FALSE(outcome.completed);
+  EXPECT_NE(outcome.note.find("deadline"), std::string::npos);
+  // Depending on host timing the deadline trips before or right after the
+  // first round — never later, and never mid-round.
+  EXPECT_LE(outcome.planning_rounds, 1u);
+  EXPECT_EQ(outcome.waits, 0u);
+}
+
+TEST(Replanner, TryPlanGraphReportsUnsatisfiedDependency) {
+  // A plan whose first program consumes data nobody produced must come back
+  // as a diagnostic, not a std::invalid_argument flying out of the manager.
+  ServiceCatalog cat;
+  const DataId a = cat.add_data("a");
+  const DataId b = cat.add_data("b");
+  const DataId c = cat.add_data("c");
+  ResourcePool pool = demo_pool();
+  cat.add_program({"needs-b", {b}, {c}, 1.0, 0.0});
+  const WorkflowProblem problem(cat, pool, {a}, {c});
+
+  ActivityGraph graph;
+  std::string note;
+  const int op_needs_b_on_m0 = 0;  // program 0 * pool.size() + machine 0
+  EXPECT_FALSE(try_plan_graph(problem, problem.initial_state(),
+                              {op_needs_b_on_m0}, graph, note));
+  EXPECT_NE(note.find("invalid plan graph"), std::string::npos);
+
+  std::string ok_note;
+  EXPECT_TRUE(try_plan_graph(problem, problem.make_state({a, b}),
+                             {op_needs_b_on_m0}, graph, ok_note));
+  EXPECT_TRUE(ok_note.empty());
+}
+
+TEST(Replanner, ScaledConfigGrowsAndStaysEven) {
+  ga::GaConfig base;
+  base.generations = 40;
+  base.population_size = 60;
+  base.elite_count = 2;
+  const auto grown = base.scaled(2.0, 1.5, 2000);
+  EXPECT_EQ(grown.generations, 80u);
+  EXPECT_EQ(grown.population_size, 90u);
+  const auto capped = base.scaled(1.0, 100.0, 97);
+  EXPECT_EQ(capped.generations, 40u);
+  EXPECT_EQ(capped.population_size, 96u);  // capped, kept even
+  EXPECT_LT(capped.elite_count, capped.population_size);
 }
 
 TEST(Replanner, OutcomeAccountingIsConsistent) {

@@ -72,13 +72,15 @@ TEST(ScenarioReader, EndToEndWithReplanning) {
   cfg.ga.phases = 2;
   cfg.ga.initial_length = 4;
   cfg.ga.max_length = 16;
-  // big fails at t=5 and recovers at t=20: with only one capable machine the
-  // re-planner must wait out the failure... it cannot (planning sees the
-  // machine down), so the outcome depends on whether execution finishes
-  // before t=5. work 8 / speed 4 + staging 2*8/4 = 6s > 5: aborted, replan
-  // fails while big is down.
+  // big fails at t=5 and recovers at t=20, and only big can run the program
+  // (8 GB). Execution cannot finish before the failure (work 8 / speed 4 +
+  // staging 2*8/4 = 6s > 5), so the first round aborts — and the resilient
+  // manager waits out the outage until the scheduled recovery and completes
+  // after t=20 (pre-PR-3 it gave up here).
   const auto outcome = plan_and_execute(problem, pool, file.disruptions, cfg);
-  EXPECT_FALSE(outcome.completed);
+  EXPECT_TRUE(outcome.completed) << outcome.note;
+  EXPECT_GE(outcome.waits, 1u);
+  EXPECT_GT(outcome.makespan, 20.0);
   // With no disruptions it completes.
   ResourcePool pool2 = file.pool;
   const auto problem2 = file.scenario.problem(pool2);
@@ -124,6 +126,44 @@ TEST(ScenarioReader, DiagnosesErrors) {
 (workflow (init a) (goal b))
 (disruptions (failure 5 ghost))
 )"), ParseError) << "unknown machine in disruption";
+}
+
+TEST(ScenarioReader, RejectsMalformedNumbers) {
+  using ParseError = gaplan::strips::ParseError;
+  const auto grid_with_speed = [](const char* lexeme) {
+    return std::string("(grid (machine m (speed ") + lexeme + R"()))
+(catalog (data a) (data b) (program f (in a) (out b) (work 1)))
+(workflow (init a) (goal b))
+)";
+  };
+  // Strict parsing: the whole token must be a finite, non-negative number.
+  EXPECT_THROW(parse_scenario(grid_with_speed("1.5x")), ParseError)
+      << "trailing garbage";
+  EXPECT_THROW(parse_scenario(grid_with_speed("2.0.0")), ParseError)
+      << "double decimal point";
+  EXPECT_THROW(parse_scenario(grid_with_speed("inf")), ParseError)
+      << "infinity is not a machine speed";
+  EXPECT_THROW(parse_scenario(grid_with_speed("nan")), ParseError) << "nan";
+  EXPECT_THROW(parse_scenario(grid_with_speed("-3")), ParseError)
+      << "negative quantity";
+  EXPECT_THROW(parse_scenario(grid_with_speed("1e999")), ParseError)
+      << "overflow to infinity";
+  // Plain and scientific notation still parse.
+  EXPECT_DOUBLE_EQ(
+      parse_scenario(grid_with_speed("2.5e1")).pool.machine(0).speed, 25.0);
+  EXPECT_DOUBLE_EQ(
+      parse_scenario(grid_with_speed("0.25")).pool.machine(0).speed, 0.25);
+  // Disruption times and loads go through the same strict path.
+  EXPECT_THROW(parse_scenario(R"(
+(catalog (data a) (data b) (program f (in a) (out b) (work 1)))
+(workflow (init a) (goal b))
+(disruptions (failure -1 default))
+)"), ParseError) << "negative disruption time";
+  EXPECT_THROW(parse_scenario(R"(
+(catalog (data a) (data b) (program f (in a) (out b) (work 1)))
+(workflow (init a) (goal b))
+(disruptions (overload 5 default 1.5trailing))
+)"), ParseError) << "trailing garbage in load";
 }
 
 TEST(ScenarioReader, AssetFileLoadsAndMatchesBuiltin) {
