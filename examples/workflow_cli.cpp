@@ -9,6 +9,7 @@
 #include <cstring>
 #include <optional>
 
+#include "analysis/scenario_lint.hpp"
 #include "grid/gantt.hpp"
 #include "grid/replanner.hpp"
 #include "grid/scenario_reader.hpp"
@@ -91,6 +92,24 @@ int main(int argc, char** argv) {
 
   try {
     const auto file = grid::parse_scenario_file(opt.file);
+
+    // Static analysis before any planning: hard errors abort with the
+    // diagnostics; warnings print (unless --quiet) and go to the run journal.
+    {
+      const auto report = analysis::lint_scenario(file, opt.file);
+      report.emit_to_journal("workflow_cli");
+      if (report.has_errors()) {
+        std::fprintf(stderr, "%s", report.text().c_str());
+        std::fprintf(stderr, "workflow_cli: scenario rejected by gaplan-lint "
+                             "(%zu error(s))\n",
+                     report.count(analysis::Severity::kError));
+        return 1;
+      }
+      if (!opt.quiet && !report.empty()) {
+        std::printf("%s\n", report.text().c_str());
+      }
+    }
+
     const grid::WorkflowCostModel cost_model{1.0, opt.time_weight};
     if (!opt.quiet) {
       std::printf("grid (%zu machines):\n%s\n", file.pool.size(),

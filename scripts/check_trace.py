@@ -22,6 +22,27 @@ import tempfile
 
 SPAN_EVENTS = {"run", "phase", "replan", "grid_execute"}
 
+LINT_SEVERITIES = {"error", "warning", "info"}
+
+
+def check_lint_event(event, i, errors):
+    """Static-analysis findings (ev == "lint") must carry a stable dotted
+    code, a known severity, a message, and the emitting context."""
+    code = event.get("code")
+    if not isinstance(code, str) or "." not in code:
+        errors.append(f"line {i}: lint event needs a dotted 'code' string")
+    if event.get("severity") not in LINT_SEVERITIES:
+        errors.append(
+            f"line {i}: lint severity must be one of {sorted(LINT_SEVERITIES)}"
+        )
+    if not isinstance(event.get("msg"), str) or not event.get("msg"):
+        errors.append(f"line {i}: lint event needs a non-empty 'msg'")
+    if not isinstance(event.get("ctx"), str):
+        errors.append(f"line {i}: lint event needs a 'ctx' string")
+    line_no = event.get("line")
+    if line_no is not None and (not isinstance(line_no, int) or line_no < 1):
+        errors.append(f"line {i}: lint 'line' must be a positive integer")
+
 
 def validate(path, required):
     try:
@@ -70,6 +91,8 @@ def validate(path, required):
                 dur = event.get("dur_ms")
                 if not isinstance(dur, (int, float)) or dur < 0:
                     errors.append(f"line {i}: span '{ev}' lacks a valid dur_ms")
+            if ev == "lint":
+                check_lint_event(event, i, errors)
     for ev in required:
         if ev not in seen:
             errors.append(f"required event type '{ev}' never appears")

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Builds and runs the full test suite under AddressSanitizer and
+# UndefinedBehaviorSanitizer in one command. Each sanitizer gets its own
+# build tree (build-asan/, build-ubsan/) so the lanes never contaminate the
+# regular build/ directory, and both use -fno-sanitize-recover semantics —
+# any finding fails the suite.
+#
+#   scripts/run_sanitizers.sh [asan|ubsan|all]   (default: all)
+#
+# Extra ctest args can follow the lane name, e.g.:
+#   scripts/run_sanitizers.sh ubsan -R Replanner
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+lane="${1:-all}"
+shift || true
+
+run_lane() {
+  local name="$1" sanitize="$2"
+  shift 2
+  local dir="build-${name}"
+  echo "=== ${name}: configure (${dir}) ==="
+  cmake -B "${dir}" -S . -DGAPLAN_SANITIZE="${sanitize}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  echo "=== ${name}: build ==="
+  cmake --build "${dir}" -j"$(nproc)"
+  echo "=== ${name}: test ==="
+  # halt_on_error makes ASan findings fail the run the way
+  # -fno-sanitize-recover=all already does for UBSan.
+  ASAN_OPTIONS="halt_on_error=1:detect_leaks=0" \
+    ctest --test-dir "${dir}" --output-on-failure -j"$(nproc)" "$@"
+}
+
+case "${lane}" in
+  asan)  run_lane asan address "$@" ;;
+  ubsan) run_lane ubsan undefined "$@" ;;
+  all)   run_lane ubsan undefined "$@"
+         run_lane asan address "$@" ;;
+  *) echo "usage: $0 [asan|ubsan|all] [ctest args...]" >&2; exit 2 ;;
+esac
+
+echo "=== sanitizers: all lanes passed ==="

@@ -1,0 +1,243 @@
+#include "analysis/domain_lint.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+
+namespace gaplan::analysis {
+
+namespace {
+
+using strips::Action;
+using strips::AtomId;
+using strips::Domain;
+using strips::SrcPos;
+using strips::State;
+
+SourceLoc loc_of(const std::string& file, const std::vector<SrcPos>& table,
+                 std::size_t i) {
+  SourceLoc loc;
+  loc.file = file;
+  if (i < table.size()) {
+    loc.line = table[i].line;
+    loc.column = table[i].column;
+  }
+  return loc;
+}
+
+/// Schema name of a ground-instantiated action ("pick b1 roomA" -> "pick").
+std::string schema_of(const std::string& action_name) {
+  const std::size_t space = action_name.find(' ');
+  return space == std::string::npos ? action_name : action_name.substr(0, space);
+}
+
+/// For-each over the set bits of a state.
+template <typename F>
+void for_each_atom(const State& s, F&& f) {
+  for (std::size_t i = s.find_next(0); i < s.size(); i = s.find_next(i + 1)) {
+    f(static_cast<AtomId>(i));
+  }
+}
+
+}  // namespace
+
+State relaxed_reachable(const Domain& domain, const State& initial) {
+  State reached = initial;
+  const auto& actions = domain.actions();
+  std::vector<bool> fired(actions.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+      if (fired[i]) continue;
+      if (!reached.contains_all(actions[i].preconditions())) continue;
+      fired[i] = true;
+      // Delete relaxation: ignore delete effects; atoms only accumulate, so
+      // the fixpoint is monotone and terminates in <= |actions| sweeps.
+      reached.set_union(actions[i].add_effects());
+      changed = true;
+    }
+  }
+  return reached;
+}
+
+Report lint_domain(const Domain& domain,
+                   const std::vector<strips::ParsedProblem>& problems,
+                   const std::vector<SrcPos>& action_pos,
+                   const std::vector<SrcPos>& atom_pos,
+                   const DomainLintOptions& opt) {
+  Report report;
+  const auto& actions = domain.actions();
+  const std::size_t universe = domain.universe_size();
+  const auto& symbols = domain.symbols();
+
+  // --- structural checks (problem-independent) -----------------------------
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    const Action& a = actions[i];
+    const SourceLoc loc = loc_of(opt.file, action_pos, i);
+    if (!std::isfinite(a.cost()) || a.cost() < 0.0) {
+      report.error("domain.bad-cost",
+                   "action '" + a.name() + "' has cost " +
+                       std::to_string(a.cost()) +
+                       " (must be finite and non-negative)",
+                   a.name(), loc);
+    }
+    if (a.add_effects().intersects(a.delete_effects())) {
+      std::string atoms;
+      for_each_atom(a.add_effects(), [&](AtomId id) {
+        if (!a.delete_effects().test(id)) return;
+        if (!atoms.empty()) atoms += ", ";
+        atoms += symbols.name(id);
+      });
+      report.warning("domain.self-cancelling-effect",
+                     "action '" + a.name() + "' both adds and deletes {" +
+                         atoms + "}",
+                     a.name(), loc);
+    }
+  }
+
+  // Duplicate actions: identical pre/add/del (cost may differ — the decoder
+  // treats them as two operations, doubling the search space for nothing).
+  {
+    std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>,
+             std::size_t>
+        seen;
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+      const Action& a = actions[i];
+      const auto key = std::make_tuple(a.preconditions().hash(),
+                                       a.add_effects().hash(),
+                                       a.delete_effects().hash());
+      const auto [it, inserted] = seen.emplace(key, i);
+      if (inserted) continue;
+      const Action& first = actions[it->second];
+      if (first.preconditions() == a.preconditions() &&
+          first.add_effects() == a.add_effects() &&
+          first.delete_effects() == a.delete_effects()) {
+        report.warning("domain.duplicate-action",
+                       "action '" + a.name() +
+                           "' duplicates the pre/add/del sets of '" +
+                           first.name() + "'",
+                       a.name(), loc_of(opt.file, action_pos, i));
+      }
+    }
+  }
+
+  // --- atom usage: dead/constant predicates --------------------------------
+  // An atom is "read" when some precondition or goal tests it; an atom that
+  // is only ever written (added, deleted, or asserted in init) is dead.
+  {
+    State read_atoms(universe);
+    State written_atoms(universe);
+    for (const Action& a : actions) {
+      read_atoms.set_union(a.preconditions());
+      written_atoms.set_union(a.add_effects());
+      written_atoms.set_union(a.delete_effects());
+    }
+    for (const auto& p : problems) {
+      read_atoms.set_union(p.goal);
+      written_atoms.set_union(p.initial);
+    }
+    for_each_atom(written_atoms, [&](AtomId id) {
+      if (read_atoms.test(id)) return;
+      report.warning("domain.dead-atom",
+                     "atom '" + symbols.name(id) +
+                         "' is never required by any precondition or goal",
+                     symbols.name(id), loc_of(opt.file, atom_pos, id));
+    });
+  }
+
+  // --- per-problem reachability (delete relaxation) ------------------------
+  // Which atoms does *some* action add? (Pre atoms outside this set and
+  // outside init can never become true — an unsatisfiable precondition.)
+  State ever_added(universe);
+  for (const Action& a : actions) ever_added.set_union(a.add_effects());
+
+  for (const auto& problem : problems) {
+    const std::string suffix =
+        problems.size() > 1 ? " (problem '" + problem.name + "')" : "";
+    const State reached = relaxed_reachable(domain, problem.initial);
+
+    std::vector<bool> unsat(actions.size(), false);
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+      const Action& a = actions[i];
+      if (problem.initial.contains_all(a.preconditions())) continue;
+      for_each_atom(a.preconditions(), [&](AtomId id) {
+        if (unsat[i] || problem.initial.test(id) || ever_added.test(id)) return;
+        unsat[i] = true;
+        if (!opt.grounded_from_lifted) {
+          report.warning("domain.unsat-precondition",
+                         "action '" + a.name() + "' requires atom '" +
+                             symbols.name(id) +
+                             "' which is not in the initial state and is "
+                             "added by no action" +
+                             suffix,
+                         a.name(), loc_of(opt.file, action_pos, i));
+        }
+      });
+    }
+
+    if (opt.grounded_from_lifted) {
+      // Untyped grounding makes ill-typed instances inevitable; only a schema
+      // with *no* reachable instance indicates a real defect.
+      std::map<std::string, std::pair<std::size_t, std::size_t>> by_schema;
+      for (std::size_t i = 0; i < actions.size(); ++i) {
+        auto& [total, unreachable] = by_schema[schema_of(actions[i].name())];
+        ++total;
+        if (!reached.contains_all(actions[i].preconditions())) ++unreachable;
+      }
+      for (const auto& [schema, counts] : by_schema) {
+        if (counts.second == counts.first) {
+          report.warning("domain.unreachable-schema",
+                         "no ground instance of schema '" + schema +
+                             "' is reachable from the initial state" + suffix,
+                         schema, SourceLoc{opt.file, 0, 0});
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < actions.size(); ++i) {
+        if (unsat[i]) continue;  // already diagnosed with the precise cause
+        if (reached.contains_all(actions[i].preconditions())) continue;
+        report.warning("domain.unreachable-action",
+                       "action '" + actions[i].name() +
+                           "' can never become applicable (its preconditions "
+                           "are not reachable from the initial state)" +
+                           suffix,
+                       actions[i].name(), loc_of(opt.file, action_pos, i));
+      }
+    }
+
+    for_each_atom(problem.goal, [&](AtomId id) {
+      if (reached.test(id)) return;
+      const char* why = ever_added.test(id)
+                            ? "' is not reachable from the initial state"
+                            : "' is not in the initial state and is added by "
+                              "no action";
+      report.error("domain.unreachable-goal",
+                   "goal atom '" + symbols.name(id) + why + suffix,
+                   symbols.name(id),
+                   loc_of(opt.file, atom_pos, id));
+    });
+  }
+
+  return report;
+}
+
+Report lint_domain(const strips::ParseResult& parsed,
+                   const DomainLintOptions& opt) {
+  return lint_domain(*parsed.domain, parsed.problems, parsed.action_pos,
+                     parsed.atom_pos, opt);
+}
+
+Report lint_domain(const Domain& domain, const State& initial,
+                   const State& goal, const DomainLintOptions& opt) {
+  std::vector<strips::ParsedProblem> problems(1);
+  problems[0].name = "problem";
+  problems[0].initial = initial;
+  problems[0].goal = goal;
+  return lint_domain(domain, problems, {}, {}, opt);
+}
+
+}  // namespace gaplan::analysis

@@ -1,0 +1,67 @@
+// Static analyzer for ground STRIPS domains/problems (gaplan-lint).
+//
+// Runs a delete-relaxation reachability fixpoint from each problem's initial
+// state — the cheap decidable core of plan validation (cf. the relaxed
+// reachability analyses behind heuristic-search planning) — plus structural
+// action/atom checks. Diagnostic codes:
+//
+//   domain.bad-cost             [error]   action cost is NaN/inf/negative
+//   domain.unreachable-goal     [error]   goal atom not relaxed-reachable
+//   domain.unsat-precondition   [warning] pre atom not in init and never added
+//   domain.unreachable-action   [warning] action never fires in the relaxed
+//                                         fixpoint (pre atoms individually
+//                                         addable, but their producers never
+//                                         become applicable)
+//   domain.unreachable-schema   [warning] grounded-from-lifted mode: every
+//                                         ground instance of a schema is
+//                                         unreachable (per-instance noise from
+//                                         untyped grounding is suppressed)
+//   domain.self-cancelling-effect [warning] add ∩ del non-empty
+//   domain.duplicate-action     [warning] identical pre/add/del to an earlier
+//                                         action
+//   domain.dead-atom            [warning] atom is written (add/del/init) but
+//                                         never read by any precondition or
+//                                         goal — a dead/constant predicate
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "strips/domain.hpp"
+#include "strips/reader.hpp"
+
+namespace gaplan::analysis {
+
+struct DomainLintOptions {
+  std::string file;  ///< source file for diagnostic locations (may be empty)
+  /// The domain was ground-instantiated from lifted schemas: untyped
+  /// grounding produces ill-typed instances whose preconditions can never
+  /// hold, so per-action reachability findings are aggregated per schema.
+  bool grounded_from_lifted = false;
+};
+
+/// Full analysis over a domain and its problems. `action_pos` / `atom_pos`
+/// are optional location tables parallel to domain.actions() / the symbol
+/// table (empty = no locations).
+Report lint_domain(const strips::Domain& domain,
+                   const std::vector<strips::ParsedProblem>& problems,
+                   const std::vector<strips::SrcPos>& action_pos = {},
+                   const std::vector<strips::SrcPos>& atom_pos = {},
+                   const DomainLintOptions& opt = {});
+
+/// Analyzes a parsed ground STRIPS file (locations threaded from the reader).
+Report lint_domain(const strips::ParseResult& parsed,
+                   const DomainLintOptions& opt = {});
+
+/// Single-problem convenience (programmatic domains, e.g. build_hanoi_strips).
+Report lint_domain(const strips::Domain& domain, const strips::State& initial,
+                   const strips::State& goal,
+                   const DomainLintOptions& opt = {});
+
+/// Atoms reachable from `initial` under delete relaxation (exposed for tests
+/// and for the scenario analyzer's shared fixpoint idiom).
+strips::State relaxed_reachable(const strips::Domain& domain,
+                                const strips::State& initial);
+
+}  // namespace gaplan::analysis

@@ -1,0 +1,75 @@
+// Generic smoke lint over any PlanningProblem (gaplan-lint).
+//
+// Native (non-STRIPS) domains expose no pre/add/del structure to analyze, but
+// the PlanningProblem contract itself is checkable: valid operations must
+// exist somewhere, costs must be finite and non-negative, and goal fitness
+// must stay inside [0, 1]. A deterministic bounded probe (always take the
+// first valid operation) walks real states so the checks see live data, not
+// just the initial state. Diagnostic codes:
+//
+//   problem.no-valid-ops      [error]   the initial state has no valid
+//                                       operations (every genome decodes to
+//                                       the empty plan)
+//   problem.bad-op-cost       [error]   op_cost returned NaN/inf/negative
+//   problem.bad-goal-fitness  [error]   goal_fitness left [0, 1] or went NaN
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "core/problem.hpp"
+
+namespace gaplan::analysis {
+
+template <ga::PlanningProblem P>
+Report lint_problem(const P& problem, const std::string& name,
+                    std::size_t probe_depth = 64) {
+  Report report;
+  typename P::StateT state = problem.initial_state();
+  std::vector<int> ops;
+  bool reported_cost = false, reported_fitness = false;
+
+  auto check_fitness = [&](const typename P::StateT& s) {
+    const double g = problem.goal_fitness(s);
+    if (!reported_fitness && (!std::isfinite(g) || g < 0.0 || g > 1.0)) {
+      reported_fitness = true;
+      report.error("problem.bad-goal-fitness",
+                   "goal_fitness returned " + std::to_string(g) +
+                       " (must stay in [0, 1])",
+                   name);
+    }
+  };
+
+  check_fitness(state);
+  problem.valid_ops(state, ops);
+  if (ops.empty()) {
+    report.error("problem.no-valid-ops",
+                 "the initial state has no valid operations — every genome "
+                 "decodes to the empty plan",
+                 name);
+    return report;
+  }
+
+  for (std::size_t depth = 0; depth < probe_depth; ++depth) {
+    if (ops.empty() || problem.is_goal(state)) break;
+    for (const int op : ops) {
+      const double c = problem.op_cost(state, op);
+      if (!reported_cost && (!std::isfinite(c) || c < 0.0)) {
+        reported_cost = true;
+        report.error("problem.bad-op-cost",
+                     "op_cost(" + problem.op_label(state, op) + ") returned " +
+                         std::to_string(c) +
+                         " (must be finite and non-negative)",
+                     name);
+      }
+    }
+    problem.apply(state, ops.front());
+    check_fitness(state);
+    problem.valid_ops(state, ops);
+  }
+  return report;
+}
+
+}  // namespace gaplan::analysis

@@ -1,0 +1,282 @@
+#include "analysis/scenario_lint.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace gaplan::analysis {
+
+namespace {
+
+using grid::DataId;
+using grid::Disruption;
+using grid::ProgramId;
+using strips::SrcPos;
+
+SourceLoc loc_of(const std::string& file, const std::vector<SrcPos>* table,
+                 std::size_t i) {
+  SourceLoc loc;
+  loc.file = file;
+  if (table != nullptr && i < table->size()) {
+    loc.line = (*table)[i].line;
+    loc.column = (*table)[i].column;
+  }
+  return loc;
+}
+
+}  // namespace
+
+Report lint_scenario(const ScenarioLintInput& input) {
+  Report report;
+  const auto& catalog = *input.catalog;
+  const auto& pool = *input.pool;
+  const std::size_t n_data = catalog.data_count();
+  const std::size_t n_programs = catalog.program_count();
+
+  // --- machine capability (full health: ignore up/load) --------------------
+  if (pool.size() == 0) {
+    report.error("scenario.no-machines", "the resource pool has no machines");
+  }
+  double max_memory = 0.0;
+  for (const auto& m : pool.machines()) {
+    max_memory = std::max(max_memory, m.memory_gb);
+  }
+  std::vector<bool> servable(n_programs, pool.size() > 0);
+  for (ProgramId p = 0; p < n_programs; ++p) {
+    const auto& prog = catalog.program(p);
+    if (pool.size() > 0 && prog.min_memory_gb > max_memory) {
+      servable[p] = false;
+      report.warning(
+          "scenario.unservable-program",
+          "program '" + prog.name + "' needs " +
+              std::to_string(prog.min_memory_gb) +
+              " GB but the largest machine has " + std::to_string(max_memory) +
+              " GB — no machine can ever serve it",
+          prog.name, loc_of(input.file, input.program_pos, p));
+    }
+  }
+
+  // --- producer index + missing producers ----------------------------------
+  std::vector<std::vector<ProgramId>> producers(n_data);
+  for (ProgramId p = 0; p < n_programs; ++p) {
+    for (const DataId d : catalog.program(p).outputs) {
+      producers[d].push_back(p);
+    }
+  }
+  std::vector<bool> initial(n_data, false);
+  for (const DataId d : input.initial) {
+    if (d < n_data) initial[d] = true;
+  }
+
+  std::vector<bool> consumed(n_data, false);
+  for (ProgramId p = 0; p < n_programs; ++p) {
+    for (const DataId d : catalog.program(p).inputs) consumed[d] = true;
+  }
+  for (DataId d = 0; d < n_data; ++d) {
+    if (consumed[d] && !initial[d] && producers[d].empty()) {
+      report.warning("scenario.missing-producer",
+                     "data item '" + catalog.data(d).name +
+                         "' is consumed but is neither initial data nor the "
+                         "output of any program",
+                     catalog.data(d).name,
+                     loc_of(input.file, input.data_pos, d));
+    }
+  }
+
+  // --- full-health reachability fixpoint -----------------------------------
+  std::vector<bool> reachable = initial;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ProgramId p = 0; p < n_programs; ++p) {
+      if (!servable[p]) continue;
+      const auto& prog = catalog.program(p);
+      bool ready = true;
+      for (const DataId d : prog.inputs) ready = ready && reachable[d];
+      if (!ready) continue;
+      for (const DataId d : prog.outputs) {
+        if (!reachable[d]) {
+          reachable[d] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // --- dependency cycles ----------------------------------------------------
+  // Among unreachable data items, d depends on e when every chance of
+  // producing d goes through some producer that needs the unreachable e. A
+  // cycle in that graph means the items can only produce each other — the
+  // classic deadlocked sub-workflow. Only consider producers that could
+  // otherwise run (servable), so memory problems don't masquerade as cycles.
+  {
+    std::vector<std::set<DataId>> blocked_on(n_data);
+    for (DataId d = 0; d < n_data; ++d) {
+      if (reachable[d]) continue;
+      for (const ProgramId p : producers[d]) {
+        if (!servable[p]) continue;
+        for (const DataId in : catalog.program(p).inputs) {
+          if (!reachable[in]) blocked_on[d].insert(in);
+        }
+      }
+    }
+    std::set<std::set<DataId>> reported_cycles;
+    for (DataId start = 0; start < n_data; ++start) {
+      if (reachable[start] || blocked_on[start].empty()) continue;
+      // DFS from `start`; a path back to `start` is a cycle.
+      std::vector<DataId> stack{start};
+      std::vector<bool> visited(n_data, false);
+      std::vector<DataId> parent(n_data, start);
+      visited[start] = true;
+      bool cyclic = false;
+      while (!stack.empty() && !cyclic) {
+        const DataId d = stack.back();
+        stack.pop_back();
+        for (const DataId e : blocked_on[d]) {
+          if (e == start) {
+            cyclic = true;
+            parent[start] = d;
+            break;
+          }
+          if (!visited[e]) {
+            visited[e] = true;
+            parent[e] = d;
+            stack.push_back(e);
+          }
+        }
+      }
+      if (!cyclic) continue;
+      // Recover one cycle path start -> ... -> start for the message.
+      std::vector<DataId> cycle{start};
+      for (DataId d = parent[start]; d != start; d = parent[d]) {
+        cycle.push_back(d);
+      }
+      std::reverse(cycle.begin() + 1, cycle.end());
+      std::set<DataId> key(cycle.begin(), cycle.end());
+      if (!reported_cycles.insert(key).second) continue;
+      std::string path;
+      for (const DataId d : cycle) path += catalog.data(d).name + " -> ";
+      path += catalog.data(start).name;
+      report.warning("scenario.dependency-cycle",
+                     "data items can only be produced through a circular "
+                         "dependency: " +
+                         path,
+                     catalog.data(start).name,
+                     loc_of(input.file, input.data_pos, start));
+    }
+  }
+
+  // --- goal reachability ----------------------------------------------------
+  for (const DataId d : input.goal) {
+    if (d >= n_data) {
+      report.error("scenario.unreachable-goal",
+                   "goal references data id " + std::to_string(d) +
+                       " outside the catalog (" + std::to_string(n_data) +
+                       " items)",
+                   std::to_string(d));
+      continue;
+    }
+    if (reachable[d]) continue;
+    const bool has_producer = !producers[d].empty();
+    report.error(
+        "scenario.unreachable-goal",
+        "goal data '" + catalog.data(d).name +
+            (has_producer
+                 ? "' cannot be produced even with every machine healthy"
+                 : "' is not initial data and no program produces it"),
+        catalog.data(d).name, loc_of(input.file, input.data_pos, d));
+  }
+
+  // --- disruption script ----------------------------------------------------
+  if (input.disruptions != nullptr) {
+    std::vector<bool> degraded(pool.size(), false);
+    for (std::size_t i = 0; i < input.disruptions->size(); ++i) {
+      const Disruption& d = (*input.disruptions)[i];
+      const SourceLoc loc = loc_of(input.file, input.disruption_pos, i);
+      if (d.machine >= pool.size()) {
+        report.error("scenario.unknown-machine",
+                     "disruption at t=" + std::to_string(d.time) +
+                         " references machine id " + std::to_string(d.machine) +
+                         " but the pool has " + std::to_string(pool.size()) +
+                         " machine(s)",
+                     std::to_string(d.machine), loc);
+        continue;
+      }
+      if (d.kind == Disruption::Kind::kRecovery) {
+        if (!degraded[d.machine]) {
+          report.warning("scenario.recovery-without-failure",
+                         "recovery of machine '" +
+                             pool.machine(d.machine).name + "' at t=" +
+                             std::to_string(d.time) +
+                             " has no earlier failure or overload to recover "
+                             "from",
+                         pool.machine(d.machine).name, loc);
+        }
+        degraded[d.machine] = false;
+      } else {
+        degraded[d.machine] = true;
+      }
+    }
+  }
+
+  return report;
+}
+
+Report lint_scenario(const grid::ScenarioFile& file, std::string path) {
+  ScenarioLintInput input;
+  input.catalog = &file.scenario.catalog;
+  input.pool = &file.pool;
+  input.initial = file.scenario.initial_data;
+  input.goal = file.scenario.goal_data;
+  input.disruptions = &file.disruptions;
+  input.data_pos = &file.data_pos;
+  input.program_pos = &file.program_pos;
+  input.disruption_pos = &file.disruption_pos;
+  input.file = std::move(path);
+  return lint_scenario(input);
+}
+
+Report lint_workflow(const grid::WorkflowProblem& problem,
+                     const std::vector<grid::Disruption>& disruptions) {
+  ScenarioLintInput input;
+  input.catalog = &problem.catalog();
+  input.pool = &problem.pool();
+  const auto initial = problem.initial_state();
+  for (std::size_t i = initial.find_next(0); i < initial.size();
+       i = initial.find_next(i + 1)) {
+    input.initial.push_back(i);
+  }
+  const auto& goal = problem.goal();
+  for (std::size_t i = goal.find_next(0); i < goal.size();
+       i = goal.find_next(i + 1)) {
+    input.goal.push_back(i);
+  }
+  input.disruptions = &disruptions;
+  return lint_scenario(input);
+}
+
+Report lint_replan_config(const grid::ReplanConfig& cfg) {
+  Report report;
+  if (cfg.workflow_deadline_ms > 0.0 &&
+      cfg.round_deadline_ms > cfg.workflow_deadline_ms) {
+    report.error("scenario.impossible-deadline",
+                 "round_deadline_ms (" + std::to_string(cfg.round_deadline_ms) +
+                     ") exceeds workflow_deadline_ms (" +
+                     std::to_string(cfg.workflow_deadline_ms) +
+                     ") — no planning round can ever fit the workflow budget",
+                 "round_deadline_ms");
+  }
+  if (cfg.planning_latency.fixed_seconds < 0.0 ||
+      cfg.planning_latency.seconds_per_wall_ms < 0.0) {
+    report.error("scenario.negative-latency",
+                 "planning-latency model charges negative simulation time "
+                 "(fixed_seconds=" +
+                     std::to_string(cfg.planning_latency.fixed_seconds) +
+                     ", seconds_per_wall_ms=" +
+                     std::to_string(cfg.planning_latency.seconds_per_wall_ms) +
+                     ")",
+                 "planning_latency");
+  }
+  return report;
+}
+
+}  // namespace gaplan::analysis

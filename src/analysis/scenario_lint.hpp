@@ -1,0 +1,67 @@
+// Static analyzer for grid scenarios / workflows (gaplan-lint).
+//
+// Checks a scenario *at full grid health* (every machine up, zero load): a
+// defect found here is static — no disruption schedule or GA luck can ever
+// make the workflow complete — so the replanner aborts with a diagnostic
+// instead of burning futile planning rounds. Diagnostic codes:
+//
+//   scenario.no-machines          [error]   the resource pool is empty
+//   scenario.unreachable-goal     [error]   goal data not producible even at
+//                                           full health
+//   scenario.unknown-machine      [error]   disruption references a machine
+//                                           id outside the pool
+//   scenario.impossible-deadline  [error]   round deadline exceeds the whole
+//                                           workflow deadline
+//   scenario.negative-latency     [error]   planning-latency model charges
+//                                           negative simulation time
+//   scenario.unservable-program   [warning] no machine meets the program's
+//                                           memory requirement (even at full
+//                                           health)
+//   scenario.missing-producer     [warning] a program consumes a data item
+//                                           that is neither initial nor
+//                                           produced by any program
+//   scenario.dependency-cycle     [warning] data items only producible
+//                                           through a circular dependency
+//   scenario.recovery-without-failure [warning] recovery event for a machine
+//                                           with no earlier failure/overload
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "grid/replanner.hpp"
+#include "grid/scenario_reader.hpp"
+
+namespace gaplan::analysis {
+
+/// Core input: catalog/pool/workflow plus optional disruptions + locations.
+struct ScenarioLintInput {
+  const grid::ServiceCatalog* catalog = nullptr;
+  const grid::ResourcePool* pool = nullptr;
+  std::vector<grid::DataId> initial;
+  std::vector<grid::DataId> goal;
+  const std::vector<grid::Disruption>* disruptions = nullptr;  ///< optional
+  // Optional location tables (parallel to catalog data/programs, pool
+  // machines, and disruptions).
+  const std::vector<strips::SrcPos>* data_pos = nullptr;
+  const std::vector<strips::SrcPos>* program_pos = nullptr;
+  const std::vector<strips::SrcPos>* disruption_pos = nullptr;
+  std::string file;
+};
+
+Report lint_scenario(const ScenarioLintInput& input);
+
+/// Analyzes a parsed .grid file (locations threaded from the reader).
+Report lint_scenario(const grid::ScenarioFile& file, std::string path = {});
+
+/// Analyzes a live workflow problem + disruption script (the replanner's
+/// entry point; no source locations).
+Report lint_workflow(const grid::WorkflowProblem& problem,
+                     const std::vector<grid::Disruption>& disruptions);
+
+/// Checks a ReplanConfig's deadline/latency knobs for trivially-unsatisfiable
+/// combinations (the GaConfig inside is linted separately by config_lint).
+Report lint_replan_config(const grid::ReplanConfig& cfg);
+
+}  // namespace gaplan::analysis

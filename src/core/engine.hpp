@@ -24,6 +24,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "analysis/config_lint.hpp"
 #include "core/config.hpp"
 #include "core/crossover.hpp"
 #include "core/eval_cache.hpp"
@@ -479,7 +480,7 @@ class Engine {
   /// to the serial run because evaluation is pure per individual.
   Engine(const P& problem, GaConfig cfg, util::ThreadPool* pool = nullptr)
       : problem_(&problem), cfg_(std::move(cfg)), pool_(pool) {
-    cfg_.validate();
+    analysis::enforce_config(cfg_, "engine");
   }
 
   const GaConfig& config() const noexcept { return cfg_; }

@@ -40,7 +40,7 @@ IslandResult<typename P::StateT> run_islands(const P& problem, const GaConfig& c
                                              util::Rng& rng,
                                              util::ThreadPool* pool = nullptr) {
   using State = typename P::StateT;
-  cfg.validate();
+  analysis::enforce_config(cfg, "island");
   if (icfg.islands == 0) throw std::invalid_argument("IslandConfig: islands must be >= 1");
 
   std::vector<util::Rng> rngs;

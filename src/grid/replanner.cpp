@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "analysis/scenario_lint.hpp"
 #include "core/multiphase.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -210,6 +211,23 @@ ReplanOutcome plan_and_execute(const WorkflowProblem& problem, ResourcePool& poo
                                const std::vector<Disruption>& disruptions,
                                const ReplanConfig& cfg) {
   ReplanOutcome outcome;
+
+  // Up-front static analysis: a defect found here holds at full grid health,
+  // so no disruption schedule or GA budget can ever make the workflow
+  // complete. Abort with structured diagnostics instead of burning futile
+  // planning rounds; warnings ride along in the outcome (and run journal).
+  {
+    analysis::Report report = analysis::lint_workflow(problem, disruptions);
+    report.merge(analysis::lint_replan_config(cfg));
+    report.emit_to_journal("replanner");
+    outcome.lint = report.diagnostics();
+    if (report.has_errors()) {
+      outcome.note =
+          "static analysis rejected the scenario: " + report.first_error();
+      return outcome;
+    }
+  }
+
   util::DynamicBitset data = problem.initial_state();
   double time = 0.0;
   util::Timer wall;

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostic.hpp"
 #include "core/config.hpp"
 #include "grid/coordinator.hpp"
 
@@ -108,6 +109,11 @@ struct ReplanOutcome {
   double waited_seconds = 0.0;   ///< simulation time spent waiting
   std::vector<PlanningRound> rounds;
   std::string note;
+  /// Static-analysis findings from the up-front scenario/config lint. When
+  /// any is an error the manager aborts before the first planning round
+  /// (completed = false, note = "static analysis rejected the scenario");
+  /// warnings are carried along (and journaled) but do not block planning.
+  std::vector<analysis::Diagnostic> lint;
 };
 
 /// Builds the activity graph for `plan` executed from `data`. Returns false

@@ -115,6 +115,7 @@ ScenarioFile parse_scenario(std::string_view text) {
           fail(items[i], "duplicate machine '" + name + "'");
         }
         machine_ids[name] = file.pool.add(std::move(m));
+        file.machine_pos.push_back({items[i].line, items[i].column});
       }
     } else if (kw == "catalog") {
       saw_catalog = true;
@@ -131,6 +132,7 @@ ScenarioFile parse_scenario(std::string_view text) {
           const auto props = properties(entry, 2);
           data_ids[entry[1].word()] = file.scenario.catalog.add_data(
               entry[1].word(), prop_or(props, "volume", 1.0));
+          file.data_pos.push_back({items[i].line, items[i].column});
         } else if (sec == "program") {
           if (entry.size() < 2 || !entry[1].is_word()) {
             fail(items[i], "program needs a name");
@@ -156,6 +158,7 @@ ScenarioFile parse_scenario(std::string_view text) {
             }
           }
           file.scenario.catalog.add_program(std::move(p));
+          file.program_pos.push_back({items[i].line, items[i].column});
         } else {
           fail(items[i], "unknown catalog entry '" + sec + "'");
         }
@@ -208,6 +211,7 @@ ScenarioFile parse_scenario(std::string_view text) {
         }
         d.machine = machine_ids.at(entry[2].word());
         file.disruptions.push_back(d);
+        file.disruption_pos.push_back({items[i].line, items[i].column});
       }
     } else if (kw != "grid" && kw != "catalog") {
       fail(n, "unknown section '" + kw + "'");
@@ -220,8 +224,22 @@ ScenarioFile parse_scenario(std::string_view text) {
     // A one-machine default grid keeps tiny files runnable.
     file.pool.add({"default", 1.0, 1.0, 4.0, 1.0, 0.0, true});
   }
-  std::sort(file.disruptions.begin(), file.disruptions.end(),
-            [](const Disruption& a, const Disruption& b) { return a.time < b.time; });
+  // Time-sort disruptions, carrying their source positions along.
+  std::vector<std::size_t> order(file.disruptions.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&file](std::size_t a, std::size_t b) {
+    return file.disruptions[a].time < file.disruptions[b].time;
+  });
+  std::vector<Disruption> sorted;
+  std::vector<strips::SrcPos> sorted_pos;
+  sorted.reserve(order.size());
+  sorted_pos.reserve(order.size());
+  for (const std::size_t i : order) {
+    sorted.push_back(file.disruptions[i]);
+    sorted_pos.push_back(file.disruption_pos[i]);
+  }
+  file.disruptions = std::move(sorted);
+  file.disruption_pos = std::move(sorted_pos);
   return file;
 }
 
@@ -230,7 +248,11 @@ ScenarioFile parse_scenario_file(const std::string& path) {
   if (!in) throw std::runtime_error("parse_scenario_file: cannot open " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return parse_scenario(buffer.str());
+  try {
+    return parse_scenario(buffer.str());
+  } catch (const strips::ParseError& e) {
+    throw strips::ParseError::prefixed(path, e);
+  }
 }
 
 }  // namespace gaplan::grid

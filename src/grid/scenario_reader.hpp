@@ -25,6 +25,7 @@
 
 #include "grid/coordinator.hpp"
 #include "grid/scenario.hpp"
+#include "strips/reader.hpp"  // strips::SrcPos
 
 namespace gaplan::grid {
 
@@ -32,6 +33,13 @@ struct ScenarioFile {
   ResourcePool pool;
   Scenario scenario;
   std::vector<Disruption> disruptions;  ///< time-sorted
+
+  // Source positions (parallel to pool.machines(), catalog data/programs and
+  // `disruptions`) so analysis/ diagnostics can point at the offending form.
+  std::vector<strips::SrcPos> machine_pos;
+  std::vector<strips::SrcPos> data_pos;
+  std::vector<strips::SrcPos> program_pos;
+  std::vector<strips::SrcPos> disruption_pos;
 
   WorkflowProblem problem(WorkflowCostModel cost_model = {}) const {
     return scenario.problem(pool, cost_model);

@@ -14,10 +14,18 @@ using sexpr::NodeList;
 using sexpr::fail;
 using sexpr::head;
 
-/// An atom node is either a bare word or a list of words; its canonical name
-/// joins the words with spaces, e.g. (on d1 a) -> "on d1 a".
-std::string atom_name(const Node& n) {
-  if (n.is_word()) return n.word();
+SrcPos pos_of(const Node& n) { return SrcPos{n.line, n.column}; }
+
+/// An atom mention: canonical name plus where it appeared. An atom node is
+/// either a bare word or a list of words; its canonical name joins the words
+/// with spaces, e.g. (on d1 a) -> "on d1 a".
+struct RawAtom {
+  std::string name;
+  SrcPos pos;
+};
+
+RawAtom atom_name(const Node& n) {
+  if (n.is_word()) return {n.word(), pos_of(n)};
   std::string name;
   for (const auto& part : n.list()) {
     if (!part.is_word()) fail(part, "atom terms must be words");
@@ -25,17 +33,18 @@ std::string atom_name(const Node& n) {
     name += part.word();
   }
   if (name.empty()) fail(n, "empty atom");
-  return name;
+  return {std::move(name), pos_of(n)};
 }
 
 struct RawAction {
   std::string name;
-  std::vector<std::string> pre, add, del;
+  std::vector<RawAtom> pre, add, del;
   double cost = 1.0;
+  SrcPos pos;
 };
 
-std::vector<std::string> atom_list(const Node& section) {
-  std::vector<std::string> atoms;
+std::vector<RawAtom> atom_list(const Node& section) {
+  std::vector<RawAtom> atoms;
   const auto& items = section.list();
   for (std::size_t i = 1; i < items.size(); ++i) atoms.push_back(atom_name(items[i]));
   return atoms;
@@ -43,6 +52,7 @@ std::vector<std::string> atom_list(const Node& section) {
 
 RawAction interpret_action(const Node& n) {
   RawAction a;
+  a.pos = pos_of(n);
   const auto& items = n.list();
   if (items.size() < 2 || !items[1].is_word()) fail(n, "action needs a name");
   a.name = items[1].word();
@@ -79,9 +89,19 @@ ParseResult parse_strips(std::string_view text) {
   std::vector<RawAction> raw_actions;
   struct RawProblem {
     std::string name;
-    std::vector<std::string> init, goal;
+    std::vector<RawAtom> init, goal;
+    SrcPos pos;
   };
   std::vector<RawProblem> raw_problems;
+
+  // Interns an atom, recording the first-mention position of new atoms in
+  // result.atom_pos (kept parallel to the symbol table).
+  auto intern = [&result](const RawAtom& a) {
+    const AtomId id = result.domain->atom(a.name);
+    if (id >= result.atom_pos.size()) result.atom_pos.resize(id + 1);
+    if (!result.atom_pos[id].known()) result.atom_pos[id] = a.pos;
+    return id;
+  };
 
   bool saw_domain = false;
   for (const Node& n : top) {
@@ -97,7 +117,7 @@ ParseResult parse_strips(std::string_view text) {
         if (sec == "action") {
           raw_actions.push_back(interpret_action(items[i]));
         } else if (sec == "atoms") {
-          for (const auto& a : atom_list(items[i])) result.domain->atom(a);
+          for (const auto& a : atom_list(items[i])) intern(a);
         } else {
           fail(items[i], "unknown domain section '" + sec + "'");
         }
@@ -107,6 +127,7 @@ ParseResult parse_strips(std::string_view text) {
       if (items.size() < 2 || !items[1].is_word()) fail(n, "problem needs a name");
       RawProblem p;
       p.name = items[1].word();
+      p.pos = pos_of(n);
       for (std::size_t i = 2; i < items.size(); ++i) {
         const std::string& sec = head(items[i]);
         if (sec == "init") {
@@ -128,31 +149,34 @@ ParseResult parse_strips(std::string_view text) {
 
   // Intern every atom mentioned anywhere, then freeze the universe.
   for (const auto& a : raw_actions) {
-    for (const auto& s : a.pre) result.domain->atom(s);
-    for (const auto& s : a.add) result.domain->atom(s);
-    for (const auto& s : a.del) result.domain->atom(s);
+    for (const auto& s : a.pre) intern(s);
+    for (const auto& s : a.add) intern(s);
+    for (const auto& s : a.del) intern(s);
   }
   for (const auto& p : raw_problems) {
-    for (const auto& s : p.init) result.domain->atom(s);
-    for (const auto& s : p.goal) result.domain->atom(s);
+    for (const auto& s : p.init) intern(s);
+    for (const auto& s : p.goal) intern(s);
   }
   const std::size_t universe = result.domain->freeze();
+  result.atom_pos.resize(universe);
 
   for (const auto& raw : raw_actions) {
     Action action(raw.name, universe, raw.cost);
-    for (const auto& s : raw.pre) action.add_precondition(result.domain->require_atom(s));
-    for (const auto& s : raw.add) action.add_add_effect(result.domain->require_atom(s));
-    for (const auto& s : raw.del) action.add_delete_effect(result.domain->require_atom(s));
+    for (const auto& s : raw.pre) action.add_precondition(result.domain->require_atom(s.name));
+    for (const auto& s : raw.add) action.add_add_effect(result.domain->require_atom(s.name));
+    for (const auto& s : raw.del) action.add_delete_effect(result.domain->require_atom(s.name));
     result.domain->add_action(std::move(action));
+    result.action_pos.push_back(raw.pos);
   }
 
   for (const auto& raw : raw_problems) {
     ParsedProblem p;
     p.name = raw.name;
+    p.pos = raw.pos;
     p.initial = result.domain->make_state();
     p.goal = result.domain->make_state();
-    for (const auto& s : raw.init) p.initial.set(result.domain->require_atom(s));
-    for (const auto& s : raw.goal) p.goal.set(result.domain->require_atom(s));
+    for (const auto& s : raw.init) p.initial.set(result.domain->require_atom(s.name));
+    for (const auto& s : raw.goal) p.goal.set(result.domain->require_atom(s.name));
     result.problems.push_back(std::move(p));
   }
   return result;
@@ -163,7 +187,11 @@ ParseResult parse_strips_file(const std::string& path) {
   if (!in) throw std::runtime_error("parse_strips_file: cannot open " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return parse_strips(buffer.str());
+  try {
+    return parse_strips(buffer.str());
+  } catch (const ParseError& e) {
+    throw ParseError::prefixed(path, e);
+  }
 }
 
 }  // namespace gaplan::strips

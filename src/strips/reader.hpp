@@ -25,10 +25,22 @@
 
 namespace gaplan::strips {
 
+/// 1-based line/column of a form in the source text; line 0 = unknown (e.g.
+/// domains built programmatically). Threaded from the s-expression nodes into
+/// ParseResult so downstream consumers (analysis/ diagnostics) can report
+/// *where* an action or atom was defined, not just what is wrong with it.
+struct SrcPos {
+  std::size_t line = 0;
+  std::size_t column = 0;
+
+  bool known() const noexcept { return line > 0; }
+};
+
 struct ParsedProblem {
   std::string name;
   State initial;
   State goal;
+  SrcPos pos;  ///< the (problem ...) form
 };
 
 struct ParseResult {
@@ -36,6 +48,10 @@ struct ParseResult {
   std::unique_ptr<Domain> domain;
   std::string domain_name;
   std::vector<ParsedProblem> problems;
+  /// Source of each action, parallel to domain->actions().
+  std::vector<SrcPos> action_pos;
+  /// First mention of each atom, parallel to domain->symbols() ids.
+  std::vector<SrcPos> atom_pos;
 
   /// Builds a Problem view over the parsed domain.
   Problem problem(std::size_t i = 0) const {
@@ -48,7 +64,8 @@ struct ParseResult {
 ParseResult parse_strips(std::string_view text);
 
 /// Convenience: reads a file then parses it. Throws std::runtime_error on I/O
-/// failure and ParseError on syntax errors.
+/// failure and ParseError on syntax errors; the error message is prefixed
+/// with `path` so multi-file pipelines report which input was malformed.
 ParseResult parse_strips_file(const std::string& path);
 
 }  // namespace gaplan::strips

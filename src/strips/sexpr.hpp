@@ -18,10 +18,21 @@ class ParseError : public std::runtime_error {
         line_(line),
         column_(column) {}
 
+  /// Rethrow helper: the same error with "prefix: " prepended (file readers
+  /// use it to name the offending file while keeping line/column intact).
+  static ParseError prefixed(const std::string& prefix, const ParseError& e) {
+    return ParseError(kRendered, prefix + ": " + e.what(), e.line(), e.column());
+  }
+
   std::size_t line() const noexcept { return line_; }
   std::size_t column() const noexcept { return column_; }
 
  private:
+  enum Rendered { kRendered };
+  ParseError(Rendered, const std::string& rendered, std::size_t line,
+             std::size_t column)
+      : std::runtime_error(rendered), line_(line), column_(column) {}
+
   std::size_t line_;
   std::size_t column_;
 };

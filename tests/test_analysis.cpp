@@ -1,0 +1,417 @@
+// gaplan-lint: every diagnostic code has a triggering fixture, the bundled
+// corpus comes out clean, the JSON output follows its schema, and the
+// config/scenario linters gate the engine and replanner.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/config_lint.hpp"
+#include "analysis/domain_lint.hpp"
+#include "analysis/problem_lint.hpp"
+#include "analysis/scenario_lint.hpp"
+#include "domains/hanoi.hpp"
+#include "domains/hanoi_strips.hpp"
+#include "grid/replanner.hpp"
+#include "grid/scenario.hpp"
+#include "grid/scenario_reader.hpp"
+#include "strips/lifted.hpp"
+#include "strips/reader.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gaplan;
+using analysis::Report;
+using analysis::Severity;
+
+std::string fixture(const std::string& name) {
+  return std::string(GAPLAN_TEST_DATA_DIR) + "/lint/" + name;
+}
+
+std::string asset(const std::string& name) {
+  return std::string(GAPLAN_ASSET_DIR) + "/" + name;
+}
+
+Report lint_ground_fixture(const std::string& name) {
+  const auto parsed = strips::parse_strips_file(fixture(name));
+  analysis::DomainLintOptions opt;
+  opt.file = fixture(name);
+  return analysis::lint_domain(parsed, opt);
+}
+
+Report lint_lifted_fixture(const std::string& name) {
+  const auto grounded = strips::parse_lifted_file(fixture(name)).grounded();
+  analysis::DomainLintOptions opt;
+  opt.file = fixture(name);
+  opt.grounded_from_lifted = true;
+  return analysis::lint_domain(*grounded.domain, grounded.problems, {}, {},
+                               opt);
+}
+
+Report lint_grid_fixture(const std::string& name) {
+  const auto file = grid::parse_scenario_file(fixture(name));
+  return analysis::lint_scenario(file, fixture(name));
+}
+
+/// Asserts the report holds exactly `n` findings, all with `code`.
+void expect_only(const Report& report, const std::string& code,
+                 std::size_t n = 1) {
+  EXPECT_EQ(report.count_code(code), n) << report.text();
+  EXPECT_EQ(report.diagnostics().size(), n) << report.text();
+}
+
+// --- one fixture per domain diagnostic code --------------------------------
+
+TEST(DomainLint, BadCostFixture) {
+  const auto report = lint_ground_fixture("bad_cost.strips");
+  expect_only(report, "domain.bad-cost");
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(DomainLint, UnreachableGoalFixture) {
+  const auto report = lint_ground_fixture("unreachable_goal.strips");
+  expect_only(report, "domain.unreachable-goal");
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(DomainLint, UnsatPreconditionFixture) {
+  const auto report = lint_ground_fixture("unsat_precondition.strips");
+  expect_only(report, "domain.unsat-precondition");
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(DomainLint, UnreachableActionFixture) {
+  // The two-action cycle: both producers are individually well-formed but
+  // neither can ever fire.
+  const auto report = lint_ground_fixture("unreachable_action.strips");
+  expect_only(report, "domain.unreachable-action", 2);
+}
+
+TEST(DomainLint, SelfCancellingFixture) {
+  const auto report = lint_ground_fixture("self_cancelling.strips");
+  expect_only(report, "domain.self-cancelling-effect");
+}
+
+TEST(DomainLint, DuplicateActionFixture) {
+  const auto report = lint_ground_fixture("duplicate_action.strips");
+  expect_only(report, "domain.duplicate-action");
+}
+
+TEST(DomainLint, DeadAtomFixture) {
+  const auto report = lint_ground_fixture("dead_atom.strips");
+  expect_only(report, "domain.dead-atom");
+}
+
+TEST(DomainLint, UnreachableSchemaFixture) {
+  const auto report = lint_lifted_fixture("unreachable_schema.strips");
+  expect_only(report, "domain.unreachable-schema");
+}
+
+TEST(DomainLint, NanCostCaughtProgrammatically) {
+  // The reader accepts "nan" as a cost; the analyzer must reject it.
+  const auto parsed = strips::parse_strips(
+      "(domain d (action a (pre (p)) (add (q)) (cost nan)))"
+      "(problem x (init (p)) (goal (q)))");
+  const auto report = analysis::lint_domain(parsed);
+  EXPECT_TRUE(report.has_code("domain.bad-cost")) << report.text();
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(DomainLint, FindingsCarrySourceLocations) {
+  const auto report = lint_ground_fixture("bad_cost.strips");
+  ASSERT_EQ(report.diagnostics().size(), 1u);
+  const auto& d = report.diagnostics().front();
+  EXPECT_EQ(d.loc.file, fixture("bad_cost.strips"));
+  EXPECT_EQ(d.loc.line, 3u);  // the (action ...) form
+  EXPECT_GT(d.loc.column, 0u);
+}
+
+TEST(DomainLint, RelaxedReachabilityFixpoint) {
+  const auto parsed = strips::parse_strips(
+      "(domain chain"
+      "  (action s1 (pre (a)) (add (b)))"
+      "  (action s2 (pre (b)) (add (c)))"
+      "  (action s3 (pre (z)) (add (w))))"
+      "(problem p (init (a)) (goal (c)))");
+  const auto reached = analysis::relaxed_reachable(
+      *parsed.domain, parsed.problems.front().initial);
+  const auto& symbols = parsed.domain->symbols();
+  EXPECT_TRUE(reached.test(*symbols.lookup("c")));
+  EXPECT_FALSE(reached.test(*symbols.lookup("w")));
+}
+
+// --- one fixture per scenario diagnostic code ------------------------------
+
+TEST(ScenarioLint, UnservableProgramFixture) {
+  const auto report = lint_grid_fixture("unservable_program.grid");
+  expect_only(report, "scenario.unservable-program");
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(ScenarioLint, MissingProducerFixture) {
+  const auto report = lint_grid_fixture("missing_producer.grid");
+  expect_only(report, "scenario.missing-producer");
+}
+
+TEST(ScenarioLint, DependencyCycleFixture) {
+  const auto report = lint_grid_fixture("dependency_cycle.grid");
+  expect_only(report, "scenario.dependency-cycle");
+}
+
+TEST(ScenarioLint, UnreachableGoalFixture) {
+  const auto report = lint_grid_fixture("unreachable_goal.grid");
+  expect_only(report, "scenario.unreachable-goal");
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(ScenarioLint, RecoveryWithoutFailureFixture) {
+  const auto report = lint_grid_fixture("recovery_without_failure.grid");
+  expect_only(report, "scenario.recovery-without-failure");
+}
+
+TEST(ScenarioLint, NoMachines) {
+  const grid::Scenario sc = grid::image_pipeline();
+  grid::ResourcePool empty;
+  analysis::ScenarioLintInput input;
+  input.catalog = &sc.catalog;
+  input.pool = &empty;
+  input.initial = sc.initial_data;
+  input.goal = sc.goal_data;
+  const auto report = analysis::lint_scenario(input);
+  EXPECT_TRUE(report.has_code("scenario.no-machines")) << report.text();
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(ScenarioLint, UnknownMachineInDisruption) {
+  const grid::Scenario sc = grid::image_pipeline();
+  grid::ResourcePool pool = grid::demo_pool();
+  const auto problem = sc.problem(pool);
+  const std::vector<grid::Disruption> disruptions = {
+      {5.0, 99, grid::Disruption::Kind::kFailure, 0.0}};
+  const auto report = analysis::lint_workflow(problem, disruptions);
+  EXPECT_TRUE(report.has_code("scenario.unknown-machine")) << report.text();
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(ScenarioLint, ImpossibleDeadline) {
+  grid::ReplanConfig cfg;
+  cfg.workflow_deadline_ms = 100.0;
+  cfg.round_deadline_ms = 500.0;  // one round may not outlast the workflow
+  const auto report = analysis::lint_replan_config(cfg);
+  EXPECT_TRUE(report.has_code("scenario.impossible-deadline")) << report.text();
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(ScenarioLint, NegativeLatency) {
+  grid::ReplanConfig cfg;
+  cfg.planning_latency.fixed_seconds = -1.0;
+  const auto report = analysis::lint_replan_config(cfg);
+  EXPECT_TRUE(report.has_code("scenario.negative-latency")) << report.text();
+  EXPECT_TRUE(report.has_errors());
+}
+
+// --- config linter ----------------------------------------------------------
+
+TEST(ConfigLint, ErrorsMirrorValidate) {
+  ga::GaConfig cfg;
+  cfg.population_size = 7;
+  EXPECT_TRUE(analysis::lint_config(cfg).has_code("config.population-odd"));
+  cfg.population_size = 1;
+  EXPECT_TRUE(
+      analysis::lint_config(cfg).has_code("config.population-too-small"));
+  cfg = {};
+  cfg.generations = 0;
+  EXPECT_TRUE(analysis::lint_config(cfg).has_code("config.no-generations"));
+  cfg = {};
+  cfg.phases = 0;
+  EXPECT_TRUE(analysis::lint_config(cfg).has_code("config.no-phases"));
+  cfg = {};
+  cfg.max_length = cfg.initial_length - 1;
+  EXPECT_TRUE(analysis::lint_config(cfg).has_code("config.bad-length"));
+  cfg = {};
+  cfg.mutation_rate = 1.5;
+  EXPECT_TRUE(analysis::lint_config(cfg).has_code("config.rate-out-of-range"));
+  cfg = {};
+  cfg.tournament_size = 0;
+  EXPECT_TRUE(analysis::lint_config(cfg).has_code("config.bad-tournament"));
+  cfg = {};
+  cfg.goal_weight = -1.0;
+  EXPECT_TRUE(analysis::lint_config(cfg).has_code("config.bad-weights"));
+  cfg = {};
+  cfg.elite_count = cfg.population_size;
+  EXPECT_TRUE(analysis::lint_config(cfg).has_code("config.elite-too-large"));
+  cfg = {};
+  cfg.seed_fraction = 2.0;
+  EXPECT_TRUE(analysis::lint_config(cfg).has_code("config.bad-seeding"));
+  cfg = {};
+  cfg.incremental_eval = true;
+  cfg.eval_checkpoint_stride = 0;
+  EXPECT_TRUE(
+      analysis::lint_config(cfg).has_code("config.bad-checkpoint-stride"));
+}
+
+TEST(ConfigLint, WarningsOnDegradedButLegalConfigs) {
+  ga::GaConfig cfg;
+  cfg.goal_weight = 0.9;
+  cfg.cost_weight = 0.9;
+  EXPECT_TRUE(
+      analysis::lint_config(cfg).has_code("config.weights-not-normalized"));
+  cfg = {};
+  cfg.incremental_eval = true;
+  cfg.eval_checkpoint_stride = cfg.max_length + 1;
+  EXPECT_TRUE(
+      analysis::lint_config(cfg).has_code("config.stride-exceeds-max-length"));
+  cfg = {};
+  cfg.tournament_size = cfg.population_size + 1;
+  EXPECT_TRUE(analysis::lint_config(cfg).has_code(
+      "config.tournament-exceeds-population"));
+  cfg = {};
+  cfg.mutation_rate = 0.8;
+  EXPECT_TRUE(
+      analysis::lint_config(cfg).has_code("config.high-mutation-rate"));
+}
+
+TEST(ConfigLint, DefaultConfigIsClean) {
+  EXPECT_TRUE(analysis::lint_config(ga::GaConfig{}).empty());
+}
+
+TEST(ConfigLint, EnforceThrowsWithCodeAndValidatePrefix) {
+  ga::GaConfig cfg;
+  cfg.population_size = 7;
+  try {
+    analysis::enforce_config(cfg, "test");
+    FAIL() << "enforce_config must throw on an invalid config";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(what.find("GaConfig: "), 0u) << what;
+    EXPECT_NE(what.find("config.population-odd"), std::string::npos) << what;
+  }
+}
+
+// --- generic problem lint ----------------------------------------------------
+
+TEST(ProblemLint, NativeDomainsAreClean) {
+  EXPECT_TRUE(
+      analysis::lint_problem(domains::Hanoi(4), "hanoi4").empty());
+  const grid::Scenario sc = grid::image_pipeline();
+  grid::ResourcePool pool = grid::demo_pool();
+  EXPECT_TRUE(
+      analysis::lint_problem(sc.problem(pool), "image_pipeline").empty());
+}
+
+TEST(ProblemLint, FlagsDeadInitialState) {
+  // A workflow over a pool whose only machine lacks the memory for any
+  // program: no operation is ever valid.
+  const grid::Scenario sc = grid::image_pipeline();
+  grid::ResourcePool pool;
+  pool.add({"tiny", 1.0, 1.0, 0.5, 1.0, 0.0, true});
+  const auto report =
+      analysis::lint_problem(sc.problem(pool), "starved");
+  EXPECT_TRUE(report.has_code("problem.no-valid-ops")) << report.text();
+}
+
+// --- clean corpus ------------------------------------------------------------
+
+TEST(CleanCorpus, GroundAssetsLintClean) {
+  analysis::DomainLintOptions opt;
+  opt.file = asset("ferry.strips");
+  const auto report =
+      analysis::lint_domain(strips::parse_strips_file(opt.file), opt);
+  EXPECT_TRUE(report.empty()) << report.text();
+}
+
+TEST(CleanCorpus, LiftedAssetsLintClean) {
+  for (const char* name : {"blocks.strips", "gripper.strips"}) {
+    analysis::DomainLintOptions opt;
+    opt.file = asset(name);
+    opt.grounded_from_lifted = true;
+    const auto grounded = strips::parse_lifted_file(opt.file).grounded();
+    const auto report = analysis::lint_domain(*grounded.domain,
+                                              grounded.problems, {}, {}, opt);
+    EXPECT_TRUE(report.empty()) << name << ":\n" << report.text();
+  }
+}
+
+TEST(CleanCorpus, ProgrammaticHanoiLintsClean) {
+  const auto enc = domains::build_hanoi_strips(4);
+  const auto report =
+      analysis::lint_domain(*enc.domain, enc.initial, enc.goal);
+  EXPECT_TRUE(report.empty()) << report.text();
+}
+
+TEST(CleanCorpus, GridAssetsLintClean) {
+  for (const char* name : {"image_pipeline.grid", "genomics_pipeline.grid"}) {
+    const auto file = grid::parse_scenario_file(asset(name));
+    const auto report = analysis::lint_scenario(file, asset(name));
+    EXPECT_TRUE(report.empty()) << name << ":\n" << report.text();
+  }
+}
+
+TEST(CleanCorpus, BuiltInScenariosLintClean) {
+  grid::ResourcePool pool = grid::demo_pool();
+  {
+    const grid::Scenario sc = grid::image_pipeline();
+    const auto report = analysis::lint_workflow(sc.problem(pool), {});
+    EXPECT_TRUE(report.empty()) << report.text();
+  }
+  {
+    util::Rng rng(7);
+    const grid::Scenario sc = grid::random_layered(3, 3, 2, rng);
+    const auto report = analysis::lint_workflow(sc.problem(pool), {});
+    EXPECT_TRUE(report.empty()) << report.text();
+  }
+}
+
+// --- output formats ----------------------------------------------------------
+
+TEST(Diagnostics, JsonFollowsSchema) {
+  const auto report = lint_ground_fixture("bad_cost.strips");
+  const std::string json = report.json();
+  // Spot-check the schema: top-level counts plus one diagnostic object with
+  // severity/code/message/file/line/column.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"diagnostics\":[{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"severity\":\"error\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"code\":\"domain.bad-cost\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"message\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"line\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"column\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"errors\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"warnings\":0"), std::string::npos) << json;
+}
+
+TEST(Diagnostics, TextIsCompilerStyle) {
+  const auto report = lint_ground_fixture("bad_cost.strips");
+  const std::string text = report.text();
+  EXPECT_NE(text.find(":3:"), std::string::npos) << text;
+  EXPECT_NE(text.find("error: "), std::string::npos) << text;
+  EXPECT_NE(text.find("(domain.bad-cost)"), std::string::npos) << text;
+}
+
+TEST(Diagnostics, ParseErrorsCarryFileAndPosition) {
+  try {
+    strips::parse_strips_file(fixture("bad_cost.strips") + ".does-not-exist");
+    FAIL() << "missing file must throw";
+  } catch (const std::runtime_error&) {
+  }
+  try {
+    strips::parse_strips("(domain broken (action");
+    FAIL() << "malformed input must throw ParseError";
+  } catch (const strips::ParseError& e) {
+    EXPECT_GT(e.line(), 0u);
+    EXPECT_GT(e.column(), 0u);
+  }
+}
+
+TEST(Diagnostics, ReaderThreadsActionPositions) {
+  const auto parsed = strips::parse_strips_file(fixture("bad_cost.strips"));
+  ASSERT_EQ(parsed.action_pos.size(), parsed.domain->actions().size());
+  EXPECT_EQ(parsed.action_pos.front().line, 3u);
+  ASSERT_EQ(parsed.atom_pos.size(), parsed.domain->universe_size());
+}
+
+}  // namespace

@@ -219,17 +219,17 @@ TEST(Replanner, StalePlanDetectedWhenGridChangesWhilePlanning) {
 }
 
 TEST(Replanner, RetryEscalationRunsAllAttempts) {
-  // No machine can satisfy the program's memory requirement, so every GA
-  // attempt fails: the round must run 1 + max_plan_retries attempts with the
-  // escalated budget and count each retry.
-  ServiceCatalog cat;
-  const DataId in = cat.add_data("in");
-  const DataId out = cat.add_data("out");
-  cat.add_program({"impossible", {in}, {out}, 10.0, 1000.0});
+  // The whole grid is down (a *dynamic* failure — at full health the
+  // workflow is fine, so the static analyzer lets it through) and waiting is
+  // off, so every GA attempt fails: the round must run 1 + max_plan_retries
+  // attempts with the escalated budget and count each retry.
+  const Scenario sc = image_pipeline();
   ResourcePool pool = demo_pool();
-  const WorkflowProblem problem(cat, pool, {in}, {out});
+  const auto problem = sc.problem(pool);
+  for (MachineId m = 0; m < pool.size(); ++m) pool.set_up(m, false);
   auto cfg = quick_config(9);
   cfg.max_plan_retries = 2;
+  cfg.wait_for_recovery = false;
 
   const auto retries_before = counter_value("grid.retries");
   const auto outcome = plan_and_execute(problem, pool, {}, cfg);
@@ -241,17 +241,44 @@ TEST(Replanner, RetryEscalationRunsAllAttempts) {
   EXPECT_EQ(counter_value("grid.retries"), retries_before + 2);
 }
 
-TEST(Replanner, RoundDeadlineStopsEscalation) {
-  // Same unplannable grid, but the per-round wall-clock budget is tiny: the
-  // first (futile) attempt exhausts it and no retry may start.
+TEST(Replanner, StaticAnalysisRejectsUnservableWorkflow) {
+  // No machine can ever satisfy the program's memory requirement — a static
+  // defect. The manager must abort with a diagnostic before the first GA
+  // round instead of burning futile attempts.
   ServiceCatalog cat;
   const DataId in = cat.add_data("in");
   const DataId out = cat.add_data("out");
   cat.add_program({"impossible", {in}, {out}, 10.0, 1000.0});
   ResourcePool pool = demo_pool();
   const WorkflowProblem problem(cat, pool, {in}, {out});
+
+  const auto retries_before = counter_value("grid.retries");
+  const auto outcome = plan_and_execute(problem, pool, {}, quick_config(9));
+
+  EXPECT_FALSE(outcome.completed);
+  EXPECT_EQ(outcome.planning_rounds, 0u);
+  EXPECT_TRUE(outcome.rounds.empty());
+  EXPECT_NE(outcome.note.find("static analysis rejected"), std::string::npos);
+  EXPECT_NE(outcome.note.find("scenario.unreachable-goal"), std::string::npos);
+  EXPECT_EQ(counter_value("grid.retries"), retries_before);  // no GA ran
+  ASSERT_FALSE(outcome.lint.empty());
+  bool has_unservable = false;
+  for (const auto& d : outcome.lint) {
+    if (d.code == "scenario.unservable-program") has_unservable = true;
+  }
+  EXPECT_TRUE(has_unservable);
+}
+
+TEST(Replanner, RoundDeadlineStopsEscalation) {
+  // Same dynamically-dead grid, but the per-round wall-clock budget is tiny:
+  // the first (futile) attempt exhausts it and no retry may start.
+  const Scenario sc = image_pipeline();
+  ResourcePool pool = demo_pool();
+  const auto problem = sc.problem(pool);
+  for (MachineId m = 0; m < pool.size(); ++m) pool.set_up(m, false);
   auto cfg = quick_config(10);
   cfg.max_plan_retries = 5;
+  cfg.wait_for_recovery = false;
   cfg.round_deadline_ms = 1e-3;  // any real GA attempt exceeds a microsecond
 
   const auto outcome = plan_and_execute(problem, pool, {}, cfg);
