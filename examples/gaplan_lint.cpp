@@ -1,14 +1,15 @@
 // gaplan_lint: static analyzer front end — lint STRIPS domains, grid
 // scenarios, and GA configurations without running a single GA generation.
 //
-//   gaplan_lint [--json] [--lifted] <file.strips|file.grid> [more files...]
+//   gaplan_lint [--json] [--lifted] <file.strips|file.grid|file.serve> [more files...]
 //   gaplan_lint [--json] --config [--pop N] [--gens N] [--phases N]
 //               [--max-len N] [--crossover-rate R] [--mutation-rate R]
 //               [--tournament N] [--goal-weight W] [--cost-weight W]
 //               [--elite N] [--stride N]
 //
 // File mode is auto-detected per file: `.grid` files run the scenario
-// analyzer, everything else the domain analyzer. Lifted (schema) domains are
+// analyzer, `.serve` files the planning-service config analyzer
+// (server_lint), everything else the domain analyzer. Lifted (schema) domains are
 // detected by content sniffing (a `(schema` form) or forced with --lifted;
 // they are ground-instantiated first and analyzed in schema-aggregation mode.
 // Config mode lints a GaConfig assembled from the flags (defaults are the
@@ -29,6 +30,8 @@
 #include "analysis/domain_lint.hpp"
 #include "analysis/scenario_lint.hpp"
 #include "grid/scenario_reader.hpp"
+#include "server/server_config.hpp"
+#include "server/server_lint.hpp"
 #include "strips/lifted.hpp"
 #include "strips/reader.hpp"
 
@@ -120,6 +123,14 @@ analysis::Report lint_one_file(const Options& opt, const std::string& path) {
       const auto file = grid::parse_scenario_file(path);
       return analysis::lint_scenario(file, path);
     }
+    if (has_suffix(path, ".serve")) {
+      // Planning-service configs: parse findings (unknown keys, bad values)
+      // plus the semantic server_lint pass over the resulting config.
+      auto file = serve::parse_server_config_file(path);
+      analysis::Report report = std::move(file.parse_report);
+      report.merge(serve::lint_server_config(file.config));
+      return report;
+    }
     if (opt.lifted || sniff_lifted(path)) {
       const auto grounded = strips::parse_lifted_file(path).grounded();
       analysis::DomainLintOptions dopt;
@@ -150,7 +161,8 @@ int main(int argc, char** argv) {
   if (!parsed) {
     std::fprintf(
         stderr,
-        "usage: gaplan_lint [--json] [--lifted] <file.strips|file.grid>...\n"
+        "usage: gaplan_lint [--json] [--lifted] "
+        "<file.strips|file.grid|file.serve>...\n"
         "       gaplan_lint [--json] --config [--pop N] [--gens N] "
         "[--phases N]\n"
         "                   [--max-len N] [--crossover-rate R] "

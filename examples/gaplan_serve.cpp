@@ -1,0 +1,435 @@
+// gaplan_serve: the planning service front end.
+//
+// Speaks newline-delimited JSON (one request object in, one response object
+// out, per line) over stdin/stdout — and optionally over a localhost TCP
+// port (--tcp PORT), one thread per connection, same protocol. Backed by
+// serve::PlanService: bounded priority queue, sharded plan cache, lint-gated
+// admission, worker scheduling on a thread pool.
+//
+// Commands (docs/API.md "Planning service" has the full schema):
+//
+//   {"cmd":"submit","problem":"hanoi:4","gens":60,"seed":3,"priority":1}
+//     -> {"ok":true,"id":1,"state":"queued"}   (or "done" on a cache hit)
+//   {"cmd":"wait","id":1,"timeout_ms":5000}
+//     -> {"ok":true,"id":1,"state":"done","valid":true,"plan":[...],...}
+//   {"cmd":"poll","id":1}        non-blocking status
+//   {"cmd":"cancel","id":1}      cancel queued / stop planning
+//   {"cmd":"stats"}              service + cache snapshot
+//   {"cmd":"shutdown"}           drain and exit ({"drain":false} aborts work)
+//
+// EOF on stdin drains and exits like {"cmd":"shutdown"}. Run
+//   printf '%s\n' '{"cmd":"submit","problem":"hanoi:3"}' '{"cmd":"wait","id":1}' | gaplan_serve
+// for a one-shot session.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/config.hpp"
+#include "server/plan_service.hpp"
+#include "server/server_config.hpp"
+#include "server/wire.hpp"
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define GAPLAN_SERVE_TCP 1
+#endif
+
+namespace {
+
+using gaplan::serve::JsonWriter;
+using gaplan::serve::PlanRequest;
+using gaplan::serve::PlanService;
+using gaplan::serve::ProblemSpec;
+using gaplan::serve::RequestState;
+using gaplan::serve::RequestStatus;
+using gaplan::serve::ServerConfig;
+using gaplan::serve::WireMessage;
+
+std::string error_response(const std::string& message) {
+  JsonWriter w;
+  w.field("ok", false).field("error", std::string_view(message));
+  return w.finish();
+}
+
+std::string render_status(const RequestStatus& st) {
+  JsonWriter w;
+  w.field("ok", true)
+      .field("id", st.id)
+      .field("state", std::string_view(to_string(st.state)))
+      .field("cached", st.cached);
+  if (st.state == RequestState::kDone) {
+    std::string plan = "[";
+    for (std::size_t i = 0; i < st.plan.size(); ++i) {
+      if (i) plan += ',';
+      plan += std::to_string(st.plan[i]);
+    }
+    plan += ']';
+    w.field("valid", st.plan_valid)
+        .field("steps", static_cast<std::uint64_t>(st.plan.size()))
+        .raw_field("plan", plan)
+        .field("plan_cost", st.plan_cost)
+        .field("goal_fitness", st.goal_fitness)
+        .field("phases", static_cast<std::uint64_t>(st.phases_run))
+        .field("generations", static_cast<std::uint64_t>(st.generations_total));
+  }
+  if (!st.detail.empty()) w.field("detail", std::string_view(st.detail));
+  w.field("yields", static_cast<std::uint64_t>(st.yields))
+      .field("queue_ms", st.queue_ms)
+      .field("plan_ms", st.plan_ms)
+      .field("total_ms", st.total_ms);
+  return w.finish();
+}
+
+bool parse_crossover(const std::string& name, gaplan::ga::CrossoverKind& out) {
+  using gaplan::ga::CrossoverKind;
+  if (name == "random") out = CrossoverKind::kRandom;
+  else if (name == "state-aware") out = CrossoverKind::kStateAware;
+  else if (name == "mixed") out = CrossoverKind::kMixed;
+  else if (name == "uniform") out = CrossoverKind::kUniform;
+  else return false;
+  return true;
+}
+
+std::string handle_submit(PlanService& service, const WireMessage& msg) {
+  const std::string* problem = msg.get_string("problem");
+  if (!problem) return error_response("submit needs a 'problem' spec string");
+  std::string parse_error;
+  const auto spec = ProblemSpec::parse(*problem, parse_error);
+  if (!spec) return error_response(parse_error);
+
+  PlanRequest req;
+  req.problem = *spec;
+  if (const auto v = msg.get_number("pop"))
+    req.config.population_size = static_cast<std::size_t>(*v);
+  if (const auto v = msg.get_number("gens"))
+    req.config.generations = static_cast<std::size_t>(*v);
+  if (const auto v = msg.get_number("phases"))
+    req.config.phases = static_cast<std::size_t>(*v);
+  if (const auto v = msg.get_number("initlen"))
+    req.config.initial_length = static_cast<std::size_t>(*v);
+  if (const auto v = msg.get_number("maxlen"))
+    req.config.max_length = static_cast<std::size_t>(*v);
+  if (const auto v = msg.get_number("mutation")) req.config.mutation_rate = *v;
+  if (const auto v = msg.get_number("crossover_rate"))
+    req.config.crossover_rate = *v;
+  if (const auto b = msg.get_bool("stop_on_valid"))
+    req.config.stop_on_valid = *b;
+  if (const std::string* s = msg.get_string("crossover")) {
+    if (!parse_crossover(*s, req.config.crossover)) {
+      return error_response("unknown crossover '" + *s +
+                            "' (random|state-aware|mixed|uniform)");
+    }
+  }
+  if (const auto v = msg.get_number("seed"))
+    req.seed = static_cast<std::uint64_t>(*v);
+  if (const auto v = msg.get_number("priority"))
+    req.priority = static_cast<int>(*v);
+  if (const auto v = msg.get_number("deadline_ms")) req.deadline_ms = *v;
+  if (const std::string* s = msg.get_string("client")) req.client = *s;
+
+  const auto outcome = service.submit(std::move(req));
+  JsonWriter w;
+  w.field("ok", outcome.accepted)
+      .field("id", outcome.id)
+      .field("state", std::string_view(to_string(outcome.state)));
+  if (!outcome.accepted) {
+    w.field("error", std::string_view(outcome.reason));
+    if (!outcome.diagnostics.empty()) {
+      w.field("diagnostic", outcome.diagnostics.first_error());
+    }
+  }
+  return w.finish();
+}
+
+std::string render_stats(const PlanService& service) {
+  const auto s = service.snapshot();
+  JsonWriter w;
+  w.field("ok", true)
+      .field("submitted", s.submitted)
+      .field("admitted", s.admitted)
+      .field("rejected", s.rejected)
+      .field("completed", s.completed)
+      .field("failed", s.failed)
+      .field("timed_out", s.timed_out)
+      .field("cancelled", s.cancelled)
+      .field("yields", s.yields)
+      .field("queue_depth", static_cast<std::uint64_t>(s.queue_depth))
+      .field("planning", static_cast<std::uint64_t>(s.planning))
+      .field("cache_hits", s.cache.hits)
+      .field("cache_misses", s.cache.misses)
+      .field("cache_evictions", s.cache.evictions)
+      .field("cache_entries", static_cast<std::uint64_t>(s.cache.entries))
+      .field("cache_capacity", static_cast<std::uint64_t>(s.cache.capacity));
+  return w.finish();
+}
+
+/// Handles one protocol line. Sets `want_exit` / `drain_on_exit` on a
+/// shutdown command; the caller stops reading and quiesces the service.
+std::string handle_line(PlanService& service, const std::string& line,
+                        bool& want_exit, bool& drain_on_exit) {
+  WireMessage msg;
+  std::string parse_error;
+  if (!parse_wire_message(line, msg, parse_error)) {
+    return error_response("parse: " + parse_error);
+  }
+  const std::string* cmd = msg.get_string("cmd");
+  if (!cmd) return error_response("missing 'cmd'");
+
+  if (*cmd == "submit") return handle_submit(service, msg);
+
+  if (*cmd == "poll" || *cmd == "wait" || *cmd == "cancel") {
+    const auto id_num = msg.get_number("id");
+    if (!id_num || *id_num < 1) return error_response(*cmd + " needs an 'id'");
+    const auto id = static_cast<std::uint64_t>(*id_num);
+    if (*cmd == "cancel") {
+      const bool cancelled = service.cancel(id);
+      JsonWriter w;
+      w.field("ok", true).field("id", id).field("cancelled", cancelled);
+      return w.finish();
+    }
+    std::optional<RequestStatus> st;
+    if (*cmd == "poll") {
+      st = service.status(id);
+    } else {
+      st = service.wait(id, msg.get_number("timeout_ms").value_or(-1.0));
+    }
+    if (!st) return error_response("unknown id " + std::to_string(id));
+    return render_status(*st);
+  }
+
+  if (*cmd == "stats") return render_stats(service);
+
+  if (*cmd == "shutdown") {
+    want_exit = true;
+    drain_on_exit = msg.get_bool("drain").value_or(true);
+    JsonWriter w;
+    w.field("ok", true).field("state", "shutting-down")
+        .field("drain", drain_on_exit);
+    return w.finish();
+  }
+
+  return error_response("unknown cmd '" + *cmd +
+                        "' (submit|poll|wait|cancel|stats|shutdown)");
+}
+
+#ifdef GAPLAN_SERVE_TCP
+
+/// Localhost TCP listener: same NDJSON protocol, one thread per connection.
+/// A shutdown command from any client stops the listener and the stdin loop.
+class TcpFrontEnd {
+ public:
+  TcpFrontEnd(PlanService& service, std::atomic<bool>& stop,
+              std::atomic<bool>& drain)
+      : service_(service), stop_(stop), drain_(drain) {}
+
+  bool start(int port) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return false;
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // localhost only
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+        ::listen(listen_fd_, 16) < 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    accept_thread_ = std::thread([this] { accept_loop(); });
+    return true;
+  }
+
+  void stop() {
+    if (listen_fd_ >= 0) {
+      ::shutdown(listen_fd_, SHUT_RDWR);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    if (accept_thread_.joinable()) accept_thread_.join();
+    {
+      // Unblock client threads parked in read(); they close their own fd.
+      std::lock_guard lock(clients_mu_);
+      for (const int fd : client_fds_) ::shutdown(fd, SHUT_RDWR);
+    }
+    for (std::thread& t : client_threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  ~TcpFrontEnd() { stop(); }
+
+ private:
+  void accept_loop() {
+    for (;;) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) break;  // listener closed (shutdown) or hard error
+      {
+        std::lock_guard lock(clients_mu_);
+        client_fds_.push_back(fd);
+      }
+      client_threads_.emplace_back([this, fd] { serve_client(fd); });
+    }
+  }
+
+  void serve_client(int fd) {
+    std::string buf;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n <= 0) break;
+      buf.append(chunk, static_cast<std::size_t>(n));
+      std::size_t pos = 0, nl = 0;
+      bool exit_connection = false;
+      while ((nl = buf.find('\n', pos)) != std::string::npos) {
+        const std::string line = buf.substr(pos, nl - pos);
+        pos = nl + 1;
+        if (line.empty()) continue;
+        bool want_exit = false, drain_on_exit = true;
+        std::string resp =
+            handle_line(service_, line, want_exit, drain_on_exit);
+        resp += '\n';
+        if (::write(fd, resp.data(), resp.size()) < 0) exit_connection = true;
+        if (want_exit) {
+          drain_.store(drain_on_exit);
+          stop_.store(true);
+          exit_connection = true;
+        }
+      }
+      buf.erase(0, pos);
+      if (exit_connection) break;
+    }
+    {
+      std::lock_guard lock(clients_mu_);
+      std::erase(client_fds_, fd);
+    }
+    ::close(fd);
+  }
+
+  PlanService& service_;
+  std::atomic<bool>& stop_;
+  std::atomic<bool>& drain_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::vector<std::thread> client_threads_;
+  std::mutex clients_mu_;
+  std::vector<int> client_fds_;
+};
+
+#endif  // GAPLAN_SERVE_TCP
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--config FILE.serve] [--workers N] [--queue N]\n"
+               "          [--cache N] [--tcp PORT]\n"
+               "Speaks NDJSON on stdin/stdout; see docs/API.md.\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerConfig cfg;
+  int tcp_port = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--config") {
+      const char* path = next();
+      if (!path) return usage(argv[0]);
+      const auto file = gaplan::serve::parse_server_config_file(path);
+      if (file.parse_report.has_errors()) {
+        std::fprintf(stderr, "%s", file.parse_report.text().c_str());
+        return 2;
+      }
+      cfg = file.config;
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      cfg.workers = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--queue") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      cfg.queue_capacity = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--cache") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      cfg.cache_capacity = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--tcp") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      tcp_port = std::atoi(v);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  std::unique_ptr<PlanService> service;
+  try {
+    service = std::make_unique<PlanService>(cfg);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gaplan_serve: bad config: %s\n", e.what());
+    return 2;
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> drain{true};
+
+#ifdef GAPLAN_SERVE_TCP
+  std::unique_ptr<TcpFrontEnd> tcp;
+  if (tcp_port > 0) {
+    tcp = std::make_unique<TcpFrontEnd>(*service, stop, drain);
+    if (!tcp->start(tcp_port)) {
+      std::fprintf(stderr, "gaplan_serve: cannot listen on 127.0.0.1:%d\n",
+                   tcp_port);
+      return 2;
+    }
+    std::fprintf(stderr, "gaplan_serve: listening on 127.0.0.1:%d\n", tcp_port);
+  }
+#else
+  if (tcp_port > 0) {
+    std::fprintf(stderr, "gaplan_serve: --tcp unsupported on this platform\n");
+    return 2;
+  }
+#endif
+
+  std::string line;
+  while (!stop.load() && std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    bool want_exit = false, drain_on_exit = true;
+    const std::string resp = handle_line(*service, line, want_exit, drain_on_exit);
+    std::fwrite(resp.data(), 1, resp.size(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+    if (want_exit) {
+      drain.store(drain_on_exit);
+      stop.store(true);
+    }
+  }
+
+#ifdef GAPLAN_SERVE_TCP
+  // stdin EOF with a live TCP listener: keep serving until a client sends
+  // {"cmd":"shutdown"}.
+  while (tcp && !stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (tcp) tcp->stop();
+#endif
+  service->shutdown(drain.load());
+  return 0;
+}

@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Validates BENCH_*.json reports (bench_eval, bench_chaos; see docs/API.md).
+"""Validates BENCH_*.json reports (bench_eval, bench_chaos, bench_serve; see
+docs/API.md).
 
 Usage:
   scripts/check_bench.py BENCH_eval.json [BENCH_chaos.json ...]
@@ -17,6 +18,11 @@ bench_chaos checks: the sweep covers a zero and at least one non-zero failure
 rate, completion rates lie in [0, 1], the adaptive manager's completion rate
 strictly exceeds the static script's at every non-zero failure rate, and the
 run was clean (no exception, silent degradation, or billing mismatch).
+
+bench_serve checks: the client sweep covers 1 and 8 clients with positive
+throughput, p95 >= p50, cache hit rates lie in [0, 1], the 8-client speedup
+over the serialized baseline is at least 4x, and the warm cache-hit median
+is under 1 ms.
 
 Exit status: 0 when every report is valid, 1 otherwise.
 """
@@ -175,9 +181,101 @@ def validate_chaos(doc, errors):
               f"rates, adaptive dominates, audits clean")
 
 
+SERVE_LOAD_KEYS = {
+    "seconds": (int, float),
+    "requests_per_sec": (int, float),
+    "p50_ms": (int, float),
+    "p95_ms": (int, float),
+    "cache_hit_rate": (int, float),
+    "completed": int,
+    "rejected": int,
+}
+
+
+def check_serve_load(entry, where, errors, require_hit_rate=True):
+    if not isinstance(entry, dict):
+        errors.append(f"{where}: not a JSON object")
+        return
+    for key, kind in SERVE_LOAD_KEYS.items():
+        if key not in entry:
+            errors.append(f"{where}: missing key '{key}'")
+        elif not isinstance(entry[key], kind) or isinstance(entry[key], bool):
+            errors.append(f"{where}: '{key}' has wrong type")
+    for key in ("seconds", "requests_per_sec"):
+        if isinstance(entry.get(key), (int, float)) and entry[key] <= 0:
+            errors.append(f"{where}: '{key}' must be positive, got {entry[key]}")
+    p50, p95 = entry.get("p50_ms"), entry.get("p95_ms")
+    if isinstance(p50, (int, float)) and isinstance(p95, (int, float)) \
+            and p95 < p50:
+        errors.append(f"{where}: p95_ms {p95} below p50_ms {p50}")
+    rate = entry.get("cache_hit_rate")
+    if isinstance(rate, (int, float)) and require_hit_rate \
+            and not 0.0 <= rate <= 1.0:
+        errors.append(f"{where}: cache_hit_rate {rate} outside [0, 1]")
+    if isinstance(entry.get("completed"), int) and entry["completed"] <= 0:
+        errors.append(f"{where}: no requests completed")
+    if isinstance(entry.get("rejected"), int) and entry["rejected"] != 0:
+        errors.append(f"{where}: {entry['rejected']} requests rejected "
+                      "(bench queues must be sized to the offered load)")
+
+
+def validate_serve(doc, errors):
+    for key in ("workload", "client_sweep", "mix_sweep", "baseline_serialized",
+                "speedup_8_clients", "warm_hit_p50_ms", "warm_hit_p95_ms"):
+        if key not in doc:
+            errors.append(f"missing top-level key '{key}'")
+
+    sweep = doc.get("client_sweep")
+    if not isinstance(sweep, list) or len(sweep) < 2:
+        errors.append("'client_sweep' must be a list with at least two entries")
+    else:
+        clients = []
+        for i, entry in enumerate(sweep):
+            where = f"client_sweep[{i}]"
+            check_serve_load(entry, where, errors)
+            if isinstance(entry, dict) and isinstance(entry.get("clients"), int):
+                clients.append(entry["clients"])
+        for want in (1, 8):
+            if want not in clients:
+                errors.append(f"client_sweep has no {want}-client entry")
+
+    mix = doc.get("mix_sweep")
+    if not isinstance(mix, list) or len(mix) < 2:
+        errors.append("'mix_sweep' must be a list with at least two entries")
+    else:
+        distinct = set()
+        for i, entry in enumerate(mix):
+            where = f"mix_sweep[{i}]"
+            check_serve_load(entry, where, errors)
+            if isinstance(entry, dict) and isinstance(entry.get("distinct"), int):
+                distinct.add(entry["distinct"])
+        if len(distinct) < 2:
+            errors.append("mix_sweep does not vary the distinct-request count")
+
+    check_serve_load(doc.get("baseline_serialized"), "baseline_serialized",
+                     errors, require_hit_rate=False)
+
+    speedup = doc.get("speedup_8_clients")
+    if not isinstance(speedup, (int, float)) or isinstance(speedup, bool):
+        errors.append(f"speedup_8_clients must be a number, got {speedup!r}")
+    elif speedup < 4.0:
+        errors.append(f"speedup_8_clients {speedup} below the 4x floor")
+
+    warm = doc.get("warm_hit_p50_ms")
+    if not isinstance(warm, (int, float)) or isinstance(warm, bool):
+        errors.append(f"warm_hit_p50_ms must be a number, got {warm!r}")
+    elif not 0.0 < warm < 1.0:
+        errors.append(f"warm_hit_p50_ms {warm} not inside (0, 1) ms")
+
+    if not errors:
+        print(f"check_bench: OK (bench_serve) — speedup {speedup:.2f}x at 8 "
+              f"clients, warm hit p50 {warm:.4f} ms")
+
+
 SCHEMAS = {
     "bench_eval": validate_eval,
     "bench_chaos": validate_chaos,
+    "bench_serve": validate_serve,
 }
 
 

@@ -11,6 +11,11 @@ ts_ms (non-negative, non-decreasing per thread), ev, and tid; --require
 asserts that at least one event of each named type is present. Span events
 must carry a non-negative dur_ms.
 
+Planning-service events (ev == "server", emitted by serve::PlanService) must
+carry a known op; lifecycle ops reference a positive request id, rejections a
+reason, and "complete" a terminal state plus non-negative queue/plan/total
+timings.
+
 Exit status: 0 on a valid journal, 1 otherwise.
 """
 import argparse
@@ -23,6 +28,12 @@ import tempfile
 SPAN_EVENTS = {"run", "phase", "replan", "grid_execute"}
 
 LINT_SEVERITIES = {"error", "warning", "info"}
+
+SERVER_OPS = {"submit", "reject", "yield", "complete", "cancel", "drain",
+              "shutdown"}
+
+SERVER_TERMINAL_STATES = {"done", "failed", "timed-out", "cancelled",
+                          "rejected"}
 
 
 def check_lint_event(event, i, errors):
@@ -42,6 +53,42 @@ def check_lint_event(event, i, errors):
     line_no = event.get("line")
     if line_no is not None and (not isinstance(line_no, int) or line_no < 1):
         errors.append(f"line {i}: lint 'line' must be a positive integer")
+
+
+def check_server_event(event, i, errors):
+    """Planning-service lifecycle events (ev == "server")."""
+    op = event.get("op")
+    if op not in SERVER_OPS:
+        errors.append(
+            f"line {i}: server op must be one of {sorted(SERVER_OPS)}, "
+            f"got {op!r}"
+        )
+        return
+    if op in ("submit", "yield", "cancel", "complete"):
+        req = event.get("req")
+        if not isinstance(req, int) or isinstance(req, bool) or req < 1:
+            errors.append(f"line {i}: server '{op}' needs a positive 'req' id")
+        if not isinstance(event.get("state"), str) or not event.get("state"):
+            errors.append(f"line {i}: server '{op}' needs a 'state' string")
+    if op == "reject":
+        if not isinstance(event.get("reason"), str) or not event.get("reason"):
+            errors.append(f"line {i}: server reject needs a 'reason' string")
+    if op == "complete":
+        if event.get("state") not in SERVER_TERMINAL_STATES:
+            errors.append(
+                f"line {i}: server complete state must be terminal "
+                f"({sorted(SERVER_TERMINAL_STATES)}), got {event.get('state')!r}"
+            )
+        for key in ("queue_ms", "plan_ms", "dur_ms"):
+            val = event.get(key)
+            if not isinstance(val, (int, float)) or isinstance(val, bool) \
+                    or val < 0:
+                errors.append(
+                    f"line {i}: server complete needs non-negative '{key}'"
+                )
+        for key in ("cached", "valid"):
+            if not isinstance(event.get(key), bool):
+                errors.append(f"line {i}: server complete needs boolean '{key}'")
 
 
 def validate(path, required):
@@ -93,6 +140,8 @@ def validate(path, required):
                     errors.append(f"line {i}: span '{ev}' lacks a valid dur_ms")
             if ev == "lint":
                 check_lint_event(event, i, errors)
+            if ev == "server":
+                check_server_event(event, i, errors)
     for ev in required:
         if ev not in seen:
             errors.append(f"required event type '{ev}' never appears")

@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
 # Builds and runs the full test suite under AddressSanitizer and
 # UndefinedBehaviorSanitizer in one command. Each sanitizer gets its own
-# build tree (build-asan/, build-ubsan/) so the lanes never contaminate the
-# regular build/ directory, and both use -fno-sanitize-recover semantics —
-# any finding fails the suite.
+# build tree (build-asan/, build-ubsan/, build-tsan/) so the lanes never
+# contaminate the regular build/ directory, and both use
+# -fno-sanitize-recover semantics — any finding fails the suite.
 #
-#   scripts/run_sanitizers.sh [asan|ubsan|all]   (default: all)
+# The tsan lane runs ThreadSanitizer over the concurrent subsystems only
+# (the planning service, its thread pool, and the islands model) — TSan's
+# ~10x slowdown makes the full suite impractical, and the single-threaded
+# tests have nothing for it to find. It is not part of "all" for the same
+# reason; run it explicitly.
+#
+#   scripts/run_sanitizers.sh [asan|ubsan|tsan|all]   (default: all)
 #
 # Extra ctest args can follow the lane name, e.g.:
 #   scripts/run_sanitizers.sh ubsan -R Replanner
@@ -35,9 +41,11 @@ run_lane() {
 case "${lane}" in
   asan)  run_lane asan address "$@" ;;
   ubsan) run_lane ubsan undefined "$@" ;;
+  tsan)  run_lane tsan thread \
+           -R 'PlanService|PlanCache|ThreadPool|Serve|Island|serve_smoke' "$@" ;;
   all)   run_lane ubsan undefined "$@"
          run_lane asan address "$@" ;;
-  *) echo "usage: $0 [asan|ubsan|all] [ctest args...]" >&2; exit 2 ;;
+  *) echo "usage: $0 [asan|ubsan|tsan|all] [ctest args...]" >&2; exit 2 ;;
 esac
 
 echo "=== sanitizers: all lanes passed ==="

@@ -102,6 +102,11 @@ class TraceEvent {
     }
     return *this;
   }
+  /// Without this overload a string literal would decay to the bool
+  /// overload, silently journalling `true` instead of the text.
+  TraceEvent& f(const char* key, const char* v) {
+    return f(key, std::string_view(v));
+  }
   TraceEvent& f(const char* key, std::string_view v) {
     if (active_) {
       key_(key);

@@ -1,0 +1,59 @@
+// Canonical problem fingerprints for the plan cache.
+//
+// A fingerprint is a 128-bit digest of everything that determines a planning
+// result bit-for-bit: the problem (domain kind, its parameters, start and
+// goal), the full GaConfig, and the RNG seed. Two requests share a cache
+// entry iff their fingerprints are equal, so the digest must cover *every*
+// input the GA reads — a missed field would let distinct problems alias and
+// serve each other's plans (tested in tests/test_server.cpp).
+//
+// 128 bits (two independently-keyed 64-bit accumulators over the same input
+// stream) makes accidental collisions implausible at any realistic cache
+// size; the cache still stores nothing but the digest, so a collision would
+// be silent — hence the width.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/config.hpp"
+
+namespace gaplan::serve {
+
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const Fingerprint&) const = default;
+
+  /// 16 lowercase hex digits of each half — stable wire/log rendering.
+  std::string hex() const;
+};
+
+/// Accumulates words/doubles/strings into the two digest streams. The mixing
+/// function is splitmix64 applied per word with distinct stream keys, so the
+/// two halves never degenerate into each other.
+class FingerprintHasher {
+ public:
+  FingerprintHasher() noexcept;
+
+  void mix(std::uint64_t v) noexcept;
+  void mix_signed(std::int64_t v) noexcept {
+    mix(static_cast<std::uint64_t>(v));
+  }
+  /// Doubles are hashed by bit pattern (bit-identical inputs only).
+  void mix(double v) noexcept;
+  /// Length-prefixed, so "ab"+"c" never collides with "a"+"bc".
+  void mix(std::string_view s) noexcept;
+
+  Fingerprint digest() const noexcept { return fp_; }
+
+ private:
+  Fingerprint fp_;
+};
+
+/// Digest of every GaConfig field (any knob change misses the cache).
+void mix_config(FingerprintHasher& h, const ga::GaConfig& cfg);
+
+}  // namespace gaplan::serve

@@ -1,0 +1,80 @@
+#include "server/plan_cache.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace gaplan::serve {
+
+PlanCache::PlanCache(std::size_t capacity, std::size_t shards)
+    : capacity_total_(capacity),
+      shards_(std::max<std::size_t>(1, std::min(shards, std::max<std::size_t>(
+                                                            1, capacity)))) {
+  capacity_per_shard_ =
+      capacity == 0 ? 0 : std::max<std::size_t>(1, capacity / shards_.size());
+}
+
+std::optional<CachedPlan> PlanCache::lookup(const Fingerprint& key) {
+  static obs::Counter& c_hits = obs::counter("server.cache_hits");
+  static obs::Counter& c_misses = obs::counter("server.cache_misses");
+  if (capacity_total_ == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    c_misses.inc();
+    return std::nullopt;
+  }
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    c_misses.inc();
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  c_hits.inc();
+  return it->second->second;
+}
+
+void PlanCache::insert(const Fingerprint& key, CachedPlan value) {
+  static obs::Counter& c_evictions = obs::counter("server.cache_evictions");
+  if (capacity_total_ == 0) return;
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    it->second->second = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, std::move(value));
+  shard.map.emplace(key, shard.lru.begin());
+  while (shard.lru.size() > capacity_per_shard_) {
+    shard.map.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    c_evictions.inc();
+  }
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.entries = size();
+  s.capacity = capacity_total_;
+  s.shards = shards_.size();
+  return s;
+}
+
+std::size_t PlanCache::size() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    n += shard.lru.size();
+  }
+  return n;
+}
+
+}  // namespace gaplan::serve

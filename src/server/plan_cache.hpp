@@ -1,0 +1,101 @@
+// Sharded LRU plan cache keyed by canonical problem fingerprints.
+//
+// A warm hit turns a planning request into a map probe + a plan copy —
+// microseconds instead of a GA run — so repeated workflow requests (the
+// common case in a grid front end: many users asking for the same pipeline)
+// skip evolution entirely. Sharding bounds lock contention: each shard is an
+// independently locked LRU over fingerprint-keyed entries, chosen by the low
+// bits of the fingerprint, so concurrent lookups for different problems
+// rarely touch the same mutex.
+//
+// The cache is exact: the 128-bit fingerprint covers problem + GaConfig +
+// seed (server/fingerprint.hpp), and lookups compare the full fingerprint,
+// never just its hash. Capacity is a global entry bound split evenly across
+// shards; eviction is per-shard LRU. Hit/miss/eviction totals feed both the
+// metrics registry (server.cache_*) and snapshot().
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "server/fingerprint.hpp"
+
+namespace gaplan::serve {
+
+/// The cached outcome of one planning run — everything a response needs,
+/// nothing tied to the requesting client.
+struct CachedPlan {
+  std::vector<int> plan;
+  bool valid = false;
+  double plan_cost = 0.0;
+  double goal_fitness = 0.0;
+  std::size_t phases_run = 0;
+  std::size_t generations_total = 0;
+};
+
+class PlanCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+    std::size_t shards = 0;
+  };
+
+  /// `capacity` total entries split across `shards` LRUs. capacity == 0
+  /// disables the cache (lookups miss, inserts drop). shards is clamped to
+  /// at least 1; shards beyond capacity would leave empty shards and are
+  /// flagged by server_lint.
+  PlanCache(std::size_t capacity, std::size_t shards);
+
+  /// Returns a copy of the entry and refreshes its recency, or std::nullopt.
+  std::optional<CachedPlan> lookup(const Fingerprint& key);
+
+  /// Inserts (or refreshes) an entry, evicting the shard's LRU tail beyond
+  /// capacity.
+  void insert(const Fingerprint& key, CachedPlan value);
+
+  Stats stats() const;
+  std::size_t size() const;
+
+ private:
+  struct FingerprintHash {
+    std::size_t operator()(const Fingerprint& fp) const noexcept {
+      return static_cast<std::size_t>(fp.hi ^
+                                      (fp.lo * 0x9E3779B97F4A7C15ULL));
+    }
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used.
+    std::list<std::pair<Fingerprint, CachedPlan>> lru;
+    /// Keyed by the *full* fingerprint (equality, not just hash), so two
+    /// problems whose 128-bit digests differ can never share an entry.
+    std::unordered_map<Fingerprint,
+                       std::list<std::pair<Fingerprint, CachedPlan>>::iterator,
+                       FingerprintHash>
+        map;
+  };
+
+  Shard& shard_for(const Fingerprint& key) {
+    return shards_[static_cast<std::size_t>(key.lo) % shards_.size()];
+  }
+
+  std::size_t capacity_total_;
+  std::size_t capacity_per_shard_;
+  std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace gaplan::serve

@@ -1,0 +1,694 @@
+#include "server/plan_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "analysis/config_lint.hpp"
+#include "analysis/problem_lint.hpp"
+#include "core/engine.hpp"
+#include "core/problem.hpp"
+#include "domains/hanoi.hpp"
+#include "domains/sliding_tile.hpp"
+#include "domains/sokoban.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "server/server_lint.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace gaplan::serve {
+
+const char* to_string(RequestState s) noexcept {
+  switch (s) {
+    case RequestState::kQueued: return "queued";
+    case RequestState::kPlanning: return "planning";
+    case RequestState::kDone: return "done";
+    case RequestState::kFailed: return "failed";
+    case RequestState::kTimedOut: return "timed-out";
+    case RequestState::kCancelled: return "cancelled";
+    case RequestState::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+namespace detail {
+
+/// Type-erased incremental planning run: one GA phase per run_phase() call,
+/// so the scheduler can interleave cancellation, deadlines, and yields at
+/// phase boundaries without knowing the domain type.
+class JobBase {
+ public:
+  virtual ~JobBase() = default;
+  /// Runs the next phase. Returns true when the run is finished (valid plan
+  /// found, or the phase budget is exhausted).
+  virtual bool run_phase() = 0;
+  virtual CachedPlan take_result() = 0;
+};
+
+/// run_multiphase_from (core/multiphase.hpp) unrolled so each loop iteration
+/// is a separate call. The Engine is constructed once and the Rng advanced
+/// identically, so the finished plan is bit-identical to a direct
+/// run_multiphase(problem, cfg, seed) — the property the plan cache relies
+/// on (and tests assert).
+template <ga::PlanningProblem P>
+class Job final : public JobBase {
+ public:
+  Job(P problem, const ga::GaConfig& cfg, std::uint64_t seed,
+      util::ThreadPool* pool)
+      : problem_(std::move(problem)),
+        cfg_(cfg),
+        rng_(seed),
+        engine_(problem_, cfg_, pool),
+        current_(problem_.initial_state()),
+        single_phase_(cfg.phases == 1) {
+    out_.goal_fitness = problem_.goal_fitness(current_);
+  }
+
+  bool run_phase() override {
+    ga::PhaseResult<typename P::StateT> pr =
+        engine_.run_phase(current_, rng_, single_phase_ && cfg_.stop_on_valid);
+    out_.generations_total += pr.generations_run;
+    out_.phases_run = phase_ + 1;
+
+    const auto& best = pr.best.eval;
+    const bool accept = best.valid || !cfg_.monotone_phases ||
+                        best.goal_fit > problem_.goal_fitness(current_);
+    if (accept) {
+      out_.plan.insert(out_.plan.end(), best.ops.begin(), best.ops.end());
+      current_ = best.final_state;
+      out_.goal_fitness = best.goal_fit;
+    }
+    if (best.valid) out_.valid = true;
+    ++phase_;
+    return out_.valid || phase_ >= cfg_.phases;
+  }
+
+  CachedPlan take_result() override {
+    out_.plan_cost = ga::plan_cost(problem_, problem_.initial_state(), out_.plan);
+    return std::move(out_);
+  }
+
+ private:
+  P problem_;
+  ga::GaConfig cfg_;
+  util::Rng rng_;
+  ga::Engine<P> engine_;
+  typename P::StateT current_;
+  CachedPlan out_;
+  std::size_t phase_ = 0;
+  bool single_phase_;
+};
+
+std::unique_ptr<JobBase> make_job(const ProblemSpec& spec,
+                                  const ga::GaConfig& cfg, std::uint64_t seed,
+                                  util::ThreadPool* pool) {
+  switch (spec.kind) {
+    case ProblemKind::kHanoi:
+      return std::make_unique<Job<domains::Hanoi>>(
+          domains::Hanoi(spec.disks, spec.initial_stake, spec.goal_stake), cfg,
+          seed, pool);
+    case ProblemKind::kSokoban:
+      return std::make_unique<Job<domains::Sokoban>>(
+          domains::Sokoban(sokoban_catalog_level(spec.level)), cfg, seed, pool);
+    case ProblemKind::kTiles: {
+      util::Rng scramble(spec.scramble_seed);
+      const domains::SlidingTile gen(spec.tiles_n);
+      return std::make_unique<Job<domains::SlidingTile>>(
+          domains::SlidingTile(spec.tiles_n, gen.random_solvable(scramble)),
+          cfg, seed, pool);
+    }
+  }
+  throw std::logic_error("unknown problem kind");
+}
+
+analysis::Report lint_spec_problem(const ProblemSpec& spec) {
+  switch (spec.kind) {
+    case ProblemKind::kHanoi:
+      return analysis::lint_problem(
+          domains::Hanoi(spec.disks, spec.initial_stake, spec.goal_stake),
+          spec.text());
+    case ProblemKind::kSokoban:
+      return analysis::lint_problem(
+          domains::Sokoban(sokoban_catalog_level(spec.level)), spec.text());
+    case ProblemKind::kTiles: {
+      util::Rng scramble(spec.scramble_seed);
+      const domains::SlidingTile gen(spec.tiles_n);
+      return analysis::lint_problem(
+          domains::SlidingTile(spec.tiles_n, gen.random_solvable(scramble)),
+          spec.text());
+    }
+  }
+  return {};
+}
+
+/// One admitted request's full lifecycle. Guarded by PlanService::mu_ except
+/// where noted: `job` and the Job's internals are touched only by the worker
+/// that holds the record in kPlanning state, and `cancel_requested` is an
+/// atomic read outside the lock on the planning hot path.
+struct Record {
+  PlanRequest req;
+  ga::GaConfig cfg;  ///< tuned_config(req.problem, req.config)
+  std::uint64_t id = 0;
+  int priority = 0;
+  std::uint64_t seq = 0;  ///< current queue sequence (updated on re-queue)
+  RequestState state = RequestState::kQueued;
+  bool cached = false;
+  Fingerprint fp;
+  double deadline_ms = 0.0;  ///< resolved budget; 0 = none
+  double submit_ms = 0.0;
+  double start_ms = -1.0;  ///< first dequeue; < 0 while never scheduled
+  double finish_ms = 0.0;
+  double plan_ms = 0.0;  ///< accumulated time actually planning
+  std::size_t yields = 0;
+  std::atomic<bool> cancel_requested{false};
+  std::unique_ptr<JobBase> job;
+  CachedPlan result;
+  std::string detail;
+};
+
+}  // namespace detail
+
+namespace {
+
+void trace_request(const char* op, const detail::Record& r) {
+  if (!obs::trace_enabled()) return;
+  obs::TraceEvent("server")
+      .f("op", op)
+      .f("req", r.id)
+      .f("state", std::string_view(to_string(r.state)))
+      .f("problem", r.req.problem.text())
+      .f("priority", r.priority)
+      .f("client", r.req.client)
+      .f("cached", r.cached)
+      .emit();
+}
+
+double resolve_deadline(const ServerConfig& cfg, double requested) {
+  double d = requested > 0.0 ? requested : cfg.default_deadline_ms;
+  if (cfg.max_deadline_ms > 0.0 && (d <= 0.0 || d > cfg.max_deadline_ms)) {
+    d = cfg.max_deadline_ms;
+  }
+  return d;
+}
+
+}  // namespace
+
+PlanService::PlanService(ServerConfig cfg)
+    : cfg_(cfg), cache_(cfg.cache_capacity, cfg.cache_shards) {
+  enforce_server_config(cfg_, "server");
+  if (cfg_.ga_threads > 1) {
+    eval_pool_ = std::make_unique<util::ThreadPool>(cfg_.ga_threads);
+  }
+  pool_ = std::make_unique<util::ThreadPool>(cfg_.workers);
+  obs::gauge("server.queue_capacity").set(static_cast<std::int64_t>(cfg_.queue_capacity));
+}
+
+PlanService::~PlanService() { shutdown(/*drain_first=*/false); }
+
+Fingerprint PlanService::fingerprint(const PlanRequest& req) {
+  FingerprintHasher h;
+  req.problem.mix_into(h);
+  mix_config(h, tuned_config(req.problem, req.config));
+  h.mix(req.seed);
+  return h.digest();
+}
+
+SubmitOutcome PlanService::submit(PlanRequest req) {
+  static obs::Counter& c_submitted = obs::counter("server.submitted");
+  static obs::Counter& c_rejected = obs::counter("server.rejected");
+  static obs::Counter& c_admitted = obs::counter("server.admitted");
+  static obs::Gauge& g_depth = obs::gauge("server.queue_depth");
+  c_submitted.inc();
+
+  req.config = tuned_config(req.problem, req.config);
+
+  SubmitOutcome out;
+  const auto reject = [&](std::string reason) {
+    {
+      std::lock_guard lock(mu_);
+      ++submitted_;
+      ++rejected_;
+    }
+    c_rejected.inc();
+    if (obs::trace_enabled()) {
+      obs::TraceEvent("server")
+          .f("op", "reject")
+          .f("reason", reason)
+          .f("problem", req.problem.text())
+          .f("priority", req.priority)
+          .f("client", req.client)
+          .emit();
+    }
+    out.accepted = false;
+    out.state = RequestState::kRejected;
+    out.reason = std::move(reason);
+    return out;
+  };
+
+  // Admission gate 1: lint. A request that would run with a broken GaConfig
+  // (or an inconsistent problem) is rejected before it can occupy a slot.
+  if (cfg_.lint_requests) {
+    analysis::Report gate = analysis::lint_config(req.config);
+    gate.merge(detail::lint_spec_problem(req.problem));
+    if (gate.has_errors()) {
+      gate.emit_to_journal("server");
+      out.diagnostics = std::move(gate);
+      return reject("lint");
+    }
+  }
+
+  FingerprintHasher h;
+  req.problem.mix_into(h);
+  mix_config(h, req.config);  // already tuned above
+  h.mix(req.seed);
+  const Fingerprint fp = h.digest();
+
+  // Admission gate 2: the plan cache. A warm hit completes inside submit()
+  // without touching the queue.
+  if (std::optional<CachedPlan> hit = cache_.lookup(fp)) {
+    std::unique_lock lock(mu_);
+    ++submitted_;
+    if (stopping_) {
+      ++rejected_;
+      lock.unlock();
+      c_rejected.inc();
+      out.accepted = false;
+      out.state = RequestState::kRejected;
+      out.reason = "shutting-down";
+      return out;
+    }
+    ++admitted_;
+    auto rec = std::make_unique<detail::Record>();
+    detail::Record& r = *rec;
+    r.req = std::move(req);
+    r.cfg = r.req.config;
+    r.id = next_id_++;
+    r.priority = r.req.priority;
+    r.fp = fp;
+    r.submit_ms = obs::monotonic_ms();
+    r.start_ms = r.submit_ms;
+    r.cached = true;
+    r.result = std::move(*hit);
+    records_.emplace(r.id, std::move(rec));
+    finish_locked(r, RequestState::kDone, {});
+    lock.unlock();
+    c_admitted.inc();
+    trace_request("submit", r);
+    out.accepted = true;
+    out.id = r.id;
+    out.state = RequestState::kDone;
+    return out;
+  }
+
+  // Admission gate 3: the bounded priority queue.
+  std::unique_lock lock(mu_);
+  ++submitted_;
+  if (stopping_) {
+    ++rejected_;
+    lock.unlock();
+    c_rejected.inc();
+    out.accepted = false;
+    out.state = RequestState::kRejected;
+    out.reason = "shutting-down";
+    return out;
+  }
+  if (queue_.size() >= cfg_.queue_capacity) {
+    ++rejected_;
+    lock.unlock();
+    c_rejected.inc();
+    if (obs::trace_enabled()) {
+      obs::TraceEvent("server")
+          .f("op", "reject")
+          .f("reason", "queue-full")
+          .f("problem", req.problem.text())
+          .f("priority", req.priority)
+          .f("client", req.client)
+          .emit();
+    }
+    out.accepted = false;
+    out.state = RequestState::kRejected;
+    out.reason = "queue-full";
+    return out;
+  }
+  if (cfg_.shed_depth > 0 && queue_.size() >= cfg_.shed_depth &&
+      req.priority <= 0) {
+    ++rejected_;
+    lock.unlock();
+    c_rejected.inc();
+    if (obs::trace_enabled()) {
+      obs::TraceEvent("server")
+          .f("op", "reject")
+          .f("reason", "shed")
+          .f("problem", req.problem.text())
+          .f("priority", req.priority)
+          .f("client", req.client)
+          .emit();
+    }
+    out.accepted = false;
+    out.state = RequestState::kRejected;
+    out.reason = "shed";
+    return out;
+  }
+
+  ++admitted_;
+  auto rec = std::make_unique<detail::Record>();
+  detail::Record& r = *rec;
+  r.req = std::move(req);
+  r.cfg = r.req.config;
+  r.id = next_id_++;
+  r.priority = r.req.priority;
+  r.seq = next_seq_++;
+  r.fp = fp;
+  r.deadline_ms = resolve_deadline(cfg_, r.req.deadline_ms);
+  r.submit_ms = obs::monotonic_ms();
+  r.state = RequestState::kQueued;
+  records_.emplace(r.id, std::move(rec));
+  queue_.insert(QKey{r.priority, r.seq, r.id});
+  g_depth.set(static_cast<std::int64_t>(queue_.size()));
+  obs::gauge("server.queue_depth_max")
+      .set_max(static_cast<std::int64_t>(queue_.size()));
+  ensure_workers_locked();
+  trace_request("submit", r);
+  lock.unlock();
+
+  c_admitted.inc();
+  out.accepted = true;
+  out.id = r.id;
+  out.state = RequestState::kQueued;
+  return out;
+}
+
+void PlanService::ensure_workers_locked() {
+  // Spawn one scheduler loop per queued request until cfg_.workers loops
+  // exist. Loops already running will drain the rest; a loop exits when the
+  // queue is empty.
+  while (active_workers_ < cfg_.workers &&
+         queue_.size() > active_workers_ - planning_) {
+    auto fut = pool_->try_submit([this] { worker_main(); });
+    if (!fut) break;  // pool shutting down
+    ++active_workers_;
+  }
+}
+
+void PlanService::worker_main() {
+  static obs::Gauge& g_depth = obs::gauge("server.queue_depth");
+  static obs::Gauge& g_planning = obs::gauge("server.planning");
+  static obs::Counter& c_yields = obs::counter("server.yields");
+
+  std::unique_lock lock(mu_);
+  while (!queue_.empty()) {
+    const QKey key = *queue_.begin();
+    queue_.erase(queue_.begin());
+    g_depth.set(static_cast<std::int64_t>(queue_.size()));
+    detail::Record& r = *records_.at(key.id);
+
+    const double now = obs::monotonic_ms();
+    if (r.cancel_requested.load(std::memory_order_relaxed)) {
+      finish_locked(r, RequestState::kCancelled, "cancelled in queue");
+      continue;
+    }
+    if (r.deadline_ms > 0.0 && now - r.submit_ms > r.deadline_ms) {
+      finish_locked(r, RequestState::kTimedOut, "deadline expired in queue");
+      continue;
+    }
+    if (r.start_ms < 0.0) r.start_ms = now;
+    r.state = RequestState::kPlanning;
+    ++planning_;
+    g_planning.set(static_cast<std::int64_t>(planning_));
+    lock.unlock();
+
+    // Dequeue-time cache re-probe: an identical request may have completed
+    // while this one queued.
+    if (std::optional<CachedPlan> hit = cache_.lookup(r.fp)) {
+      lock.lock();
+      r.cached = true;
+      r.result = std::move(*hit);
+      finish_locked(r, RequestState::kDone, {});
+      continue;
+    }
+
+    if (!r.job) {
+      try {
+        r.job = detail::make_job(r.req.problem, r.cfg, r.req.seed,
+                                 eval_pool_.get());
+      } catch (const std::exception& e) {
+        lock.lock();
+        finish_locked(r, RequestState::kFailed, e.what());
+        continue;
+      }
+    }
+
+    // Slice loop: run cfg_.slice_phases GA phases, then reconsider
+    // cancellation, the deadline, and whether to yield the slot.
+    for (;;) {
+      if (r.cancel_requested.load(std::memory_order_relaxed)) {
+        lock.lock();
+        finish_locked(r, RequestState::kCancelled, "cancelled while planning");
+        break;
+      }
+      if (r.deadline_ms > 0.0 &&
+          obs::monotonic_ms() - r.submit_ms > r.deadline_ms) {
+        lock.lock();
+        finish_locked(r, RequestState::kTimedOut,
+                      "deadline expired while planning");
+        break;
+      }
+
+      util::Timer slice_timer;
+      bool finished = false;
+      bool failed = false;
+      std::string fail_reason;
+      try {
+        for (std::size_t s = 0; s < cfg_.slice_phases && !finished; ++s) {
+          finished = r.job->run_phase();
+        }
+      } catch (const std::exception& e) {
+        failed = true;
+        fail_reason = e.what();
+      }
+      const double slice_ms = slice_timer.millis();
+
+      if (failed) {
+        lock.lock();
+        r.plan_ms += slice_ms;
+        finish_locked(r, RequestState::kFailed, std::move(fail_reason));
+        break;
+      }
+      if (finished) {
+        CachedPlan result = r.job->take_result();
+        cache_.insert(r.fp, result);
+        lock.lock();
+        r.plan_ms += slice_ms;
+        r.result = std::move(result);
+        r.job.reset();
+        finish_locked(r, RequestState::kDone, {});
+        break;
+      }
+
+      lock.lock();
+      r.plan_ms += slice_ms;
+      // Yield between phases when equal- or higher-priority work waits:
+      // re-queue with a fresh sequence number (fair round-robin among
+      // equals) and let this loop pick the best candidate.
+      if (!queue_.empty() && queue_.begin()->priority >= r.priority) {
+        r.state = RequestState::kQueued;
+        r.seq = next_seq_++;
+        ++r.yields;
+        ++yields_;
+        --planning_;
+        g_planning.set(static_cast<std::int64_t>(planning_));
+        queue_.insert(QKey{r.priority, r.seq, r.id});
+        g_depth.set(static_cast<std::int64_t>(queue_.size()));
+        c_yields.inc();
+        trace_request("yield", r);
+        break;
+      }
+      lock.unlock();
+    }
+    // All slice-loop exits re-acquired the lock.
+  }
+  --active_workers_;
+  cv_done_.notify_all();
+}
+
+void PlanService::finish_locked(detail::Record& r, RequestState state,
+                                std::string detail_text) {
+  static obs::Counter& c_completed = obs::counter("server.completed");
+  static obs::Counter& c_failed = obs::counter("server.failed");
+  static obs::Counter& c_timed_out = obs::counter("server.timed_out");
+  static obs::Counter& c_cancelled = obs::counter("server.cancelled");
+  static obs::Gauge& g_planning = obs::gauge("server.planning");
+  static obs::Histogram& h_total =
+      obs::histogram("server.latency_ms", obs::latency_buckets_ms());
+  static obs::Histogram& h_plan =
+      obs::histogram("server.plan_ms", obs::latency_buckets_ms());
+
+  if (r.state == RequestState::kPlanning) {
+    --planning_;
+    g_planning.set(static_cast<std::int64_t>(planning_));
+  }
+  r.state = state;
+  r.detail = std::move(detail_text);
+  r.finish_ms = obs::monotonic_ms();
+  switch (state) {
+    case RequestState::kDone:
+      ++completed_;
+      c_completed.inc();
+      break;
+    case RequestState::kFailed:
+      ++failed_;
+      c_failed.inc();
+      break;
+    case RequestState::kTimedOut:
+      ++timed_out_;
+      c_timed_out.inc();
+      break;
+    case RequestState::kCancelled:
+      ++cancelled_;
+      c_cancelled.inc();
+      break;
+    default:
+      break;
+  }
+  h_total.observe(r.finish_ms - r.submit_ms);
+  h_plan.observe(r.plan_ms);
+  if (obs::trace_enabled()) {
+    obs::TraceEvent("server")
+        .f("op", "complete")
+        .f("req", r.id)
+        .f("state", std::string_view(to_string(r.state)))
+        .f("cached", r.cached)
+        .f("valid", r.result.valid)
+        .f("yields", r.yields)
+        .f("queue_ms", (r.start_ms >= 0.0 ? r.start_ms : r.finish_ms) - r.submit_ms)
+        .f("plan_ms", r.plan_ms)
+        .f("dur_ms", r.finish_ms - r.submit_ms)
+        .emit();
+  }
+  cv_done_.notify_all();
+}
+
+RequestStatus PlanService::status_locked(const detail::Record& r) const {
+  RequestStatus st;
+  st.id = r.id;
+  st.state = r.state;
+  st.cached = r.cached;
+  st.yields = r.yields;
+  st.detail = r.detail;
+  st.plan_ms = r.plan_ms;
+  const double now = obs::monotonic_ms();
+  const bool terminal = is_terminal(r.state);
+  const double end = terminal ? r.finish_ms : now;
+  st.queue_ms = (r.start_ms >= 0.0 ? r.start_ms : end) - r.submit_ms;
+  st.total_ms = end - r.submit_ms;
+  if (r.state == RequestState::kDone) {
+    st.plan_valid = r.result.valid;
+    st.plan = r.result.plan;
+    st.plan_cost = r.result.plan_cost;
+    st.goal_fitness = r.result.goal_fitness;
+    st.phases_run = r.result.phases_run;
+    st.generations_total = r.result.generations_total;
+  }
+  return st;
+}
+
+std::optional<RequestStatus> PlanService::status(std::uint64_t id) const {
+  std::lock_guard lock(mu_);
+  const auto it = records_.find(id);
+  if (it == records_.end()) return std::nullopt;
+  return status_locked(*it->second);
+}
+
+std::optional<RequestStatus> PlanService::wait(std::uint64_t id,
+                                               double timeout_ms) {
+  std::unique_lock lock(mu_);
+  const auto it = records_.find(id);
+  if (it == records_.end()) return std::nullopt;
+  detail::Record* r = it->second.get();
+  const auto done = [r] { return is_terminal(r->state); };
+  if (timeout_ms < 0.0) {
+    cv_done_.wait(lock, done);
+  } else {
+    cv_done_.wait_for(lock,
+                      std::chrono::duration<double, std::milli>(timeout_ms),
+                      done);
+  }
+  return status_locked(*r);
+}
+
+bool PlanService::cancel(std::uint64_t id) {
+  static obs::Gauge& g_depth = obs::gauge("server.queue_depth");
+  std::lock_guard lock(mu_);
+  const auto it = records_.find(id);
+  if (it == records_.end()) return false;
+  detail::Record& r = *it->second;
+  if (is_terminal(r.state)) return false;
+  r.cancel_requested.store(true, std::memory_order_relaxed);
+  trace_request("cancel", r);
+  if (r.state == RequestState::kQueued) {
+    queue_.erase(QKey{r.priority, r.seq, r.id});
+    g_depth.set(static_cast<std::int64_t>(queue_.size()));
+    finish_locked(r, RequestState::kCancelled, "cancelled by client");
+  }
+  return true;
+}
+
+ServiceSnapshot PlanService::snapshot() const {
+  ServiceSnapshot s;
+  {
+    std::lock_guard lock(mu_);
+    s.submitted = submitted_;
+    s.admitted = admitted_;
+    s.rejected = rejected_;
+    s.completed = completed_;
+    s.failed = failed_;
+    s.timed_out = timed_out_;
+    s.cancelled = cancelled_;
+    s.yields = yields_;
+    s.queue_depth = queue_.size();
+    s.planning = planning_;
+  }
+  s.cache = cache_.stats();
+  return s;
+}
+
+void PlanService::drain() {
+  std::unique_lock lock(mu_);
+  cv_done_.wait(lock, [this] { return queue_.empty() && planning_ == 0; });
+  if (obs::trace_enabled()) {
+    obs::TraceEvent("server").f("op", "drain").f("completed", completed_).emit();
+  }
+}
+
+void PlanService::shutdown(bool drain_first) {
+  static obs::Gauge& g_depth = obs::gauge("server.queue_depth");
+  std::unique_lock lock(mu_);
+  const bool was_stopping = stopping_;
+  stopping_ = true;
+  if (!drain_first) {
+    while (!queue_.empty()) {
+      const QKey key = *queue_.begin();
+      queue_.erase(queue_.begin());
+      finish_locked(*records_.at(key.id), RequestState::kCancelled,
+                    "service shutdown");
+    }
+    g_depth.set(0);
+    for (auto& [id, rec] : records_) {
+      if (rec->state == RequestState::kPlanning) {
+        rec->cancel_requested.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+  cv_done_.wait(lock, [this] { return queue_.empty() && planning_ == 0; });
+  lock.unlock();
+  if (!was_stopping && obs::trace_enabled()) {
+    obs::TraceEvent("server")
+        .f("op", "shutdown")
+        .f("drained", drain_first)
+        .emit();
+  }
+}
+
+}  // namespace gaplan::serve

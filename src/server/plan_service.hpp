@@ -1,0 +1,216 @@
+// PlanService: the in-process, multi-client planning service (gaplan-serve).
+//
+// Turns the one-shot engine/multiphase stack into a long-lived
+// request-serving subsystem:
+//
+//  * Admission control — a bounded, priority-aware queue. Submissions beyond
+//    queue_capacity are rejected outright; beyond shed_depth, only requests
+//    with priority > 0 are still admitted (load shedding). Every request
+//    passes the PR 4 lint gate (GaConfig + problem lint) before admission:
+//    lint errors reject with the diagnostics attached.
+//  * Plan cache — requests are fingerprinted (problem + GaConfig + seed,
+//    server/fingerprint.hpp) and looked up in a sharded LRU (plan_cache.hpp)
+//    both at submit and again at dequeue, so a request identical to one that
+//    completed while it queued never runs the GA. A warm hit completes
+//    inside submit() in microseconds.
+//  * Worker scheduler — cfg.workers planner slots multiplexed onto one
+//    util::ThreadPool, each GA run evaluating serially or on a shared
+//    cfg.ga_threads evaluation pool (never workers x ga_threads fresh
+//    threads, so the service cannot oversubscribe the machine). Long
+//    multiphase runs yield their slot between phases whenever equal- or
+//    higher-priority work waits, so short requests are not starved behind
+//    long ones.
+//  * Lifecycle — queued -> planning -> done | failed | timed-out | cancelled
+//    (or rejected at admission), with per-transition trace events
+//    (ev "server"), server.* metrics, and a snapshot() stats API.
+//
+// Thread-safety: every public method may be called from any thread.
+// Determinism: a served plan is bit-identical to run_multiphase() with the
+// same problem, config, and seed — cached or fresh (tested).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "core/config.hpp"
+#include "server/fingerprint.hpp"
+#include "server/plan_cache.hpp"
+#include "server/problem_spec.hpp"
+#include "server/server_config.hpp"
+#include "util/thread_pool.hpp"
+
+#include <condition_variable>
+#include <mutex>
+
+namespace gaplan::serve {
+
+enum class RequestState {
+  kQueued,
+  kPlanning,
+  kDone,
+  kFailed,
+  kTimedOut,
+  kCancelled,
+  kRejected,
+};
+
+const char* to_string(RequestState s) noexcept;
+
+inline bool is_terminal(RequestState s) noexcept {
+  return s != RequestState::kQueued && s != RequestState::kPlanning;
+}
+
+struct PlanRequest {
+  ProblemSpec problem;
+  /// Base GA configuration; genome lengths still at their stock defaults are
+  /// retuned to the problem's depth (tuned_config).
+  ga::GaConfig config;
+  std::uint64_t seed = 1;
+  /// Higher runs first; > 0 additionally survives load shedding.
+  int priority = 0;
+  /// Wall-clock budget from admission (ms); 0 = server default. Clamped to
+  /// ServerConfig::max_deadline_ms.
+  double deadline_ms = 0.0;
+  /// Free-form client tag, echoed in trace events.
+  std::string client;
+};
+
+/// Point-in-time view of one request (a copy; never aliases live state).
+struct RequestStatus {
+  std::uint64_t id = 0;
+  RequestState state = RequestState::kQueued;
+  bool cached = false;      ///< answered from the plan cache
+  bool plan_valid = false;  ///< the plan reaches the goal
+  std::vector<int> plan;
+  double plan_cost = 0.0;
+  double goal_fitness = 0.0;
+  std::size_t phases_run = 0;
+  std::size_t generations_total = 0;
+  std::size_t yields = 0;   ///< times the request gave up its worker slot
+  double queue_ms = 0.0;    ///< admission -> first dequeue
+  double plan_ms = 0.0;     ///< time actually spent planning
+  double total_ms = 0.0;    ///< admission -> terminal state
+  std::string detail;       ///< failure / timeout / cancel reason
+};
+
+struct SubmitOutcome {
+  bool accepted = false;
+  std::uint64_t id = 0;  ///< 0 when rejected
+  RequestState state = RequestState::kRejected;
+  std::string reason;            ///< rejection reason ("queue-full", ...)
+  analysis::Report diagnostics;  ///< lint findings when the gate rejected
+};
+
+struct ServiceSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t yields = 0;
+  std::size_t queue_depth = 0;
+  std::size_t planning = 0;
+  PlanCache::Stats cache;
+};
+
+namespace detail {
+class JobBase;
+struct Record;
+}  // namespace detail
+
+class PlanService {
+ public:
+  /// Enforces `cfg` through server_lint (errors throw, warnings journal) and
+  /// spawns the scheduler pool.
+  explicit PlanService(ServerConfig cfg);
+
+  /// Equivalent to shutdown(false): queued work is cancelled, in-flight runs
+  /// stop at their next phase boundary.
+  ~PlanService();
+
+  PlanService(const PlanService&) = delete;
+  PlanService& operator=(const PlanService&) = delete;
+
+  /// Admission: lint gate, cache probe, then the bounded priority queue.
+  /// Returns an accepted outcome whose state is kDone (cache hit) or
+  /// kQueued, or a rejection with the reason (and lint diagnostics, if any).
+  SubmitOutcome submit(PlanRequest req);
+
+  /// Status copy, or std::nullopt for an unknown id.
+  std::optional<RequestStatus> status(std::uint64_t id) const;
+
+  /// Blocks until the request reaches a terminal state (or `timeout_ms`
+  /// elapses; negative = wait forever). Returns the final status, or the
+  /// current one on timeout, or std::nullopt for an unknown id.
+  std::optional<RequestStatus> wait(std::uint64_t id, double timeout_ms = -1.0);
+
+  /// Cancels a queued request immediately; asks a planning request to stop
+  /// at its next phase boundary. Returns false when the request is unknown
+  /// or already terminal.
+  bool cancel(std::uint64_t id);
+
+  ServiceSnapshot snapshot() const;
+
+  /// Blocks until no request is queued or planning (new submissions are
+  /// still accepted, so callers coordinate their own quiesce).
+  void drain();
+
+  /// Stops accepting work; drains gracefully (default) or cancels
+  /// everything, then waits for in-flight runs to stop. Idempotent.
+  void shutdown(bool drain_first = true);
+
+  const ServerConfig& config() const noexcept { return cfg_; }
+
+  /// The request's cache fingerprint as the service computes it (tests).
+  static Fingerprint fingerprint(const PlanRequest& req);
+
+ private:
+  /// Queue key: higher priority first, then FIFO by admission (or re-queue)
+  /// sequence.
+  struct QKey {
+    int priority;
+    std::uint64_t seq;
+    std::uint64_t id;
+    bool operator<(const QKey& o) const noexcept {
+      if (priority != o.priority) return priority > o.priority;
+      return seq < o.seq;
+    }
+  };
+
+  void worker_main();
+  void ensure_workers_locked();
+  void finish_locked(detail::Record& r, RequestState state, std::string detail_text);
+  RequestStatus status_locked(const detail::Record& r) const;
+
+  ServerConfig cfg_;
+  PlanCache cache_;
+  std::unique_ptr<util::ThreadPool> eval_pool_;  ///< shared GA-eval budget
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_done_;  ///< terminal transitions + quiesce
+  std::unordered_map<std::uint64_t, std::unique_ptr<detail::Record>> records_;
+  std::set<QKey> queue_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
+  std::size_t active_workers_ = 0;
+  std::size_t planning_ = 0;
+  bool stopping_ = false;
+
+  // Lifetime tallies (under mu_), mirrored into server.* counters.
+  std::uint64_t submitted_ = 0, admitted_ = 0, rejected_ = 0, completed_ = 0,
+                failed_ = 0, timed_out_ = 0, cancelled_ = 0, yields_ = 0;
+
+  /// Declared last: destroyed first, so worker loops join while every other
+  /// member is still alive.
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace gaplan::serve

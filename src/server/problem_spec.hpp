@@ -1,0 +1,68 @@
+// Problem specifications the planning service accepts over the wire.
+//
+// A ProblemSpec is a small, canonical description of a planning problem —
+// domain kind plus parameters — that (a) fully determines the start and goal
+// states, (b) fingerprints deterministically for the plan cache, and (c)
+// instantiates the corresponding domain object on demand. Specs parse from
+// the same `name:arg[:arg]` strings planner_cli uses:
+//
+//   hanoi:DISKS[:INITIAL_STAKE:GOAL_STAKE]   Towers of Hanoi
+//   sokoban:LEVEL                            built-in Sokoban catalog level
+//   tiles:N[:SCRAMBLE_SEED]                  random solvable N x N puzzle
+//
+// The Sokoban catalog is a fixed set of small levels compiled into the
+// service, so a level index is a complete (and cheap to fingerprint) problem
+// description; arbitrary ASCII levels would be a straightforward extension.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "server/fingerprint.hpp"
+
+namespace gaplan::serve {
+
+enum class ProblemKind { kHanoi, kSokoban, kTiles };
+
+const char* to_string(ProblemKind k) noexcept;
+
+struct ProblemSpec {
+  ProblemKind kind = ProblemKind::kHanoi;
+  // hanoi
+  int disks = 4;
+  int initial_stake = 0;
+  int goal_stake = 1;
+  // sokoban
+  std::size_t level = 0;
+  // tiles
+  int tiles_n = 3;
+  std::uint64_t scramble_seed = 7;
+
+  /// The canonical "name:arg" rendering (parse(spec.text()) round-trips).
+  std::string text() const;
+
+  /// Folds the spec (kind tag + every parameter) into a fingerprint.
+  void mix_into(FingerprintHasher& h) const;
+
+  /// Parses a spec string; returns std::nullopt (with a reason) on malformed
+  /// or out-of-range input, so the service can reject instead of throw.
+  static std::optional<ProblemSpec> parse(const std::string& text,
+                                          std::string& error);
+};
+
+/// Number of levels in the built-in Sokoban catalog.
+std::size_t sokoban_catalog_size() noexcept;
+
+/// Rows of catalog level `index` (precondition: index < catalog size).
+const std::vector<std::string>& sokoban_catalog_level(std::size_t index);
+
+/// GA defaults tuned per problem shape (genome length scales with the
+/// domain's solution depth, as planner_cli does). Fields the caller already
+/// customised are preserved; only initial_length/max_length left at their
+/// GaConfig defaults are retuned.
+ga::GaConfig tuned_config(const ProblemSpec& spec, ga::GaConfig base);
+
+}  // namespace gaplan::serve

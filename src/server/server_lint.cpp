@@ -1,0 +1,108 @@
+#include "server/server_lint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace gaplan::serve {
+
+analysis::Report lint_server_config(const ServerConfig& cfg) {
+  analysis::Report report;
+
+  if (cfg.workers == 0) {
+    report.error("server.no-workers",
+                 "workers is 0 — no request would ever leave the queue",
+                 "workers");
+  }
+  if (cfg.ga_threads == 0) {
+    report.error("server.bad-worker-budget",
+                 "ga_threads is 0 — a GA run needs at least one evaluation "
+                 "thread",
+                 "ga_threads");
+  }
+  if (cfg.queue_capacity == 0) {
+    report.error("server.no-queue",
+                 "queue_capacity is 0 — every submission would be rejected",
+                 "queue_capacity");
+  }
+  if (cfg.slice_phases == 0) {
+    report.error("server.bad-slice",
+                 "slice_phases is 0 — scheduled requests could never make "
+                 "progress",
+                 "slice_phases");
+  }
+  if (cfg.cache_capacity > 0 && cfg.cache_shards == 0) {
+    report.error("server.no-shards",
+                 "cache_capacity is nonzero but cache_shards is 0",
+                 "cache_shards");
+  }
+  for (const auto& [value, name] :
+       {std::pair{cfg.default_deadline_ms, "default_deadline_ms"},
+        std::pair{cfg.max_deadline_ms, "max_deadline_ms"}}) {
+    if (std::isnan(value) || value < 0.0) {
+      report.error("server.bad-deadline",
+                   std::string(name) + " must be a non-negative number of "
+                   "milliseconds (0 = unlimited)",
+                   name);
+    }
+  }
+  if (cfg.default_deadline_ms > 0.0 && cfg.max_deadline_ms > 0.0 &&
+      cfg.default_deadline_ms > cfg.max_deadline_ms) {
+    report.error("server.deadline-inverted",
+                 "default_deadline_ms (" +
+                     std::to_string(cfg.default_deadline_ms) +
+                     ") exceeds max_deadline_ms (" +
+                     std::to_string(cfg.max_deadline_ms) +
+                     ") — every default-deadline request would be clamped "
+                     "below its own default",
+                 "default_deadline_ms");
+  }
+
+  const std::size_t hardware =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (cfg.workers > 0 && cfg.ga_threads > 0 &&
+      cfg.workers * cfg.ga_threads > hardware) {
+    report.warning("server.oversubscribed",
+                   std::to_string(cfg.workers) + " workers x " +
+                       std::to_string(cfg.ga_threads) +
+                       " GA threads exceeds the " + std::to_string(hardware) +
+                       " hardware thread(s) — concurrent runs will contend",
+                   "workers");
+  }
+  if (cfg.shed_depth > 0 && cfg.queue_capacity > 0 &&
+      cfg.shed_depth >= cfg.queue_capacity) {
+    report.warning("server.shed-beyond-queue",
+                   "shed_depth (" + std::to_string(cfg.shed_depth) +
+                       ") is not below queue_capacity (" +
+                       std::to_string(cfg.queue_capacity) +
+                       ") — the hard queue bound always fires first",
+                   "shed_depth");
+  }
+  if (cfg.cache_capacity > 0 && cfg.cache_shards > cfg.cache_capacity) {
+    report.warning("server.cache-smaller-than-shards",
+                   "cache_capacity (" + std::to_string(cfg.cache_capacity) +
+                       ") is below cache_shards (" +
+                       std::to_string(cfg.cache_shards) +
+                       ") — some shards can never hold an entry",
+                   "cache_capacity");
+  }
+  if (cfg.cache_capacity == 0) {
+    report.warning("server.no-cache",
+                   "plan cache disabled — every repeated request pays a full "
+                   "GA run",
+                   "cache_capacity");
+  }
+  return report;
+}
+
+void enforce_server_config(const ServerConfig& cfg, const char* context) {
+  const analysis::Report report = lint_server_config(cfg);
+  report.emit_to_journal(context);
+  if (report.has_errors()) {
+    throw std::invalid_argument("ServerConfig: " + report.first_error());
+  }
+}
+
+}  // namespace gaplan::serve

@@ -1,0 +1,39 @@
+// ServerConfig linter (gaplan-lint): every invariant of the planning
+// service's configuration as a structured diagnostic, mirroring
+// analysis/config_lint for GaConfig.
+//
+// Error codes (the service refuses to start on any of these):
+//   server.no-workers        workers == 0 (nothing would ever plan)
+//   server.bad-worker-budget ga_threads == 0 (a GA run needs >= 1 thread)
+//   server.no-queue          queue_capacity == 0 (every submit rejected)
+//   server.bad-slice         slice_phases == 0 (requests could never progress)
+//   server.no-shards         cache enabled with cache_shards == 0
+//   server.bad-deadline      a deadline is negative or NaN
+//   server.deadline-inverted default_deadline_ms > max_deadline_ms (both set):
+//                            every default-deadline request is clamped below
+//                            its own default
+//   server.bad-value         a .serve line that did not parse (from the reader)
+//
+// Warning codes (the service runs, but degraded):
+//   server.oversubscribed    workers * ga_threads exceeds the hardware
+//                            threads: GA runs fight each other for cores
+//   server.shed-beyond-queue shed_depth >= queue_capacity: the hard bound
+//                            fires first, shedding never does
+//   server.cache-smaller-than-shards  some shards can never hold an entry
+//   server.no-cache          cache_capacity == 0: every repeated request
+//                            pays a full GA run
+//   server.unknown-key       a .serve key the reader does not know (reader)
+#pragma once
+
+#include "analysis/diagnostic.hpp"
+#include "server/server_config.hpp"
+
+namespace gaplan::serve {
+
+analysis::Report lint_server_config(const ServerConfig& cfg);
+
+/// Lints `cfg`; throws std::invalid_argument("ServerConfig: ...") on the
+/// first error and journals every finding under the given context tag.
+void enforce_server_config(const ServerConfig& cfg, const char* context);
+
+}  // namespace gaplan::serve

@@ -1,0 +1,227 @@
+#include "server/wire.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/trace.hpp"  // append_json_string
+
+namespace gaplan::serve {
+
+namespace {
+
+struct Cursor {
+  const char* p;
+  const char* end;
+
+  bool done() const { return p >= end; }
+  char peek() const { return *p; }
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\r' || *p == '\n')) {
+      ++p;
+    }
+  }
+  std::size_t offset(const char* begin) const {
+    return static_cast<std::size_t>(p - begin);
+  }
+};
+
+bool fail(std::string& error, const Cursor& c, const char* begin,
+          const std::string& what) {
+  error = what + " at byte " + std::to_string(c.offset(begin));
+  return false;
+}
+
+/// Parses a JSON string literal (cursor on the opening quote) into `out`.
+bool parse_string(Cursor& c, const char* begin, std::string& out,
+                  std::string& error) {
+  ++c.p;  // opening quote
+  out.clear();
+  while (!c.done()) {
+    const char ch = *c.p++;
+    if (ch == '"') return true;
+    if (ch != '\\') {
+      out += ch;
+      continue;
+    }
+    if (c.done()) break;
+    const char esc = *c.p++;
+    switch (esc) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (c.end - c.p < 4) return fail(error, c, begin, "truncated \\u escape");
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = *c.p++;
+          code <<= 4;
+          if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+          else return fail(error, c, begin, "bad \\u escape");
+        }
+        // Encode as UTF-8 (surrogate pairs unsupported: protocol strings are
+        // problem specs and client tags, plain ASCII in practice).
+        if (code < 0x80) {
+          out += static_cast<char>(code);
+        } else if (code < 0x800) {
+          out += static_cast<char>(0xC0 | (code >> 6));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+          out += static_cast<char>(0xE0 | (code >> 12));
+          out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail(error, c, begin, "unknown escape");
+    }
+  }
+  return fail(error, c, begin, "unterminated string");
+}
+
+}  // namespace
+
+bool parse_wire_message(std::string_view line, WireMessage& out,
+                        std::string& error) {
+  out = WireMessage{};
+  Cursor c{line.data(), line.data() + line.size()};
+  const char* begin = line.data();
+
+  c.skip_ws();
+  if (c.done() || c.peek() != '{') {
+    return fail(error, c, begin, "expected '{'");
+  }
+  ++c.p;
+  c.skip_ws();
+  if (!c.done() && c.peek() == '}') {
+    ++c.p;
+  } else {
+    for (;;) {
+      c.skip_ws();
+      if (c.done() || c.peek() != '"') {
+        return fail(error, c, begin, "expected key string");
+      }
+      std::string key;
+      if (!parse_string(c, begin, key, error)) return false;
+      c.skip_ws();
+      if (c.done() || c.peek() != ':') {
+        return fail(error, c, begin, "expected ':'");
+      }
+      ++c.p;
+      c.skip_ws();
+      if (c.done()) return fail(error, c, begin, "missing value");
+
+      const char v = c.peek();
+      if (v == '"') {
+        std::string value;
+        if (!parse_string(c, begin, value, error)) return false;
+        out.strings[key] = std::move(value);
+      } else if (v == 't') {
+        if (std::string_view(c.p, c.end - c.p).substr(0, 4) != "true") {
+          return fail(error, c, begin, "bad literal");
+        }
+        c.p += 4;
+        out.bools[key] = true;
+      } else if (v == 'f') {
+        if (std::string_view(c.p, c.end - c.p).substr(0, 5) != "false") {
+          return fail(error, c, begin, "bad literal");
+        }
+        c.p += 5;
+        out.bools[key] = false;
+      } else if (v == 'n') {
+        if (std::string_view(c.p, c.end - c.p).substr(0, 4) != "null") {
+          return fail(error, c, begin, "bad literal");
+        }
+        c.p += 4;  // null: key is simply absent
+      } else if (v == '{' || v == '[') {
+        return fail(error, c, begin, "nested values unsupported");
+      } else if (v == '-' || (v >= '0' && v <= '9')) {
+        char* num_end = nullptr;
+        const double value = std::strtod(c.p, &num_end);
+        if (num_end == c.p || num_end > c.end) {
+          return fail(error, c, begin, "bad number");
+        }
+        c.p = num_end;
+        out.numbers[key] = value;
+      } else {
+        return fail(error, c, begin, "unexpected value");
+      }
+
+      c.skip_ws();
+      if (c.done()) return fail(error, c, begin, "unterminated object");
+      if (c.peek() == ',') {
+        ++c.p;
+        continue;
+      }
+      if (c.peek() == '}') {
+        ++c.p;
+        break;
+      }
+      return fail(error, c, begin, "expected ',' or '}'");
+    }
+  }
+  c.skip_ws();
+  if (!c.done()) return fail(error, c, begin, "trailing garbage");
+  return true;
+}
+
+void JsonWriter::key_(std::string_view key) {
+  if (!first_) buf_ += ',';
+  first_ = false;
+  obs::append_json_string(buf_, key);
+  buf_ += ':';
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::string_view value) {
+  key_(key);
+  obs::append_json_string(buf_, value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, double value) {
+  key_(key);
+  if (!std::isfinite(value)) {
+    buf_ += "null";  // inf/nan are not JSON numbers
+    return *this;
+  }
+  char tmp[32];
+  std::snprintf(tmp, sizeof(tmp), "%.10g", value);
+  buf_ += tmp;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::int64_t value) {
+  key_(key);
+  buf_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::uint64_t value) {
+  key_(key);
+  buf_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, bool value) {
+  key_(key);
+  buf_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw_field(std::string_view key,
+                                  std::string_view raw_json) {
+  key_(key);
+  buf_ += raw_json;
+  return *this;
+}
+
+}  // namespace gaplan::serve

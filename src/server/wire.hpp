@@ -1,0 +1,86 @@
+// Newline-delimited JSON wire helpers for gaplan_serve.
+//
+// The protocol is deliberately flat: every request and response is a single
+// JSON object per line whose values are strings, numbers, booleans, or null
+// (requests) — no nested objects or arrays on the way in, so a tiny
+// hand-rolled parser suffices and the service never allocates unbounded
+// structure for a hostile line. Responses may carry one array (the plan),
+// written by JsonWriter::raw_field.
+//
+//   {"cmd":"submit","problem":"hanoi:4","gens":40,"priority":1}
+//   {"ok":true,"id":3,"state":"queued"}
+//
+// Parsing never throws: parse_wire_message returns false with a
+// position-annotated error the front end echoes back to the client.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace gaplan::serve {
+
+/// One parsed wire line: flat key -> typed value maps. Key collisions keep
+/// the last value, like most JSON parsers.
+struct WireMessage {
+  std::map<std::string, std::string> strings;
+  std::map<std::string, double> numbers;
+  std::map<std::string, bool> bools;
+
+  const std::string* get_string(const std::string& key) const {
+    const auto it = strings.find(key);
+    return it == strings.end() ? nullptr : &it->second;
+  }
+  std::optional<double> get_number(const std::string& key) const {
+    const auto it = numbers.find(key);
+    if (it == numbers.end()) return std::nullopt;
+    return it->second;
+  }
+  std::optional<bool> get_bool(const std::string& key) const {
+    const auto it = bools.find(key);
+    if (it == bools.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+/// Parses one NDJSON line into `out` (cleared first). Returns false and sets
+/// `error` on malformed input, including nested objects/arrays.
+bool parse_wire_message(std::string_view line, WireMessage& out,
+                        std::string& error);
+
+/// Builds one flat JSON object; fields appear in call order. finish() closes
+/// the object — the writer is single-use.
+class JsonWriter {
+ public:
+  JsonWriter() : buf_("{") {}
+
+  JsonWriter& field(std::string_view key, std::string_view value);
+  /// Keeps string literals from decaying to the bool overload.
+  JsonWriter& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  JsonWriter& field(std::string_view key, double value);
+  JsonWriter& field(std::string_view key, std::int64_t value);
+  JsonWriter& field(std::string_view key, std::uint64_t value);
+  JsonWriter& field(std::string_view key, int value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+  JsonWriter& field(std::string_view key, bool value);
+  /// Splices pre-rendered JSON (e.g. a "[1,2,3]" plan array) as the value.
+  JsonWriter& raw_field(std::string_view key, std::string_view raw_json);
+
+  std::string finish() {
+    buf_ += '}';
+    return std::move(buf_);
+  }
+
+ private:
+  void key_(std::string_view key);
+
+  std::string buf_;
+  bool first_ = true;
+};
+
+}  // namespace gaplan::serve

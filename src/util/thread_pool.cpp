@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/timer.hpp"
 
@@ -50,6 +51,24 @@ void ThreadPool::worker_loop() {
   }
 }
 
+bool ThreadPool::try_run_one() {
+  static obs::Counter& c_executed = obs::counter("pool.tasks_executed");
+  static obs::Counter& c_helped = obs::counter("pool.tasks_helped");
+  static obs::Gauge& g_depth = obs::gauge("pool.queue_depth");
+  std::function<void()> task;
+  {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+    g_depth.set(static_cast<std::int64_t>(queue_.size()));
+  }
+  task();
+  c_executed.inc();
+  c_helped.inc();
+  return true;
+}
+
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn,
                               std::size_t min_grain) {
@@ -78,6 +97,18 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     futs.push_back(submit([lo, hi, &fn] {
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     }));
+  }
+  // Help while waiting: if a chunk is still queued (all workers busy — or the
+  // caller *is* the only worker, mid-task), run queued tasks here instead of
+  // blocking. Once the queue is dry, any unfinished chunk is running on
+  // another thread, so a plain wait cannot deadlock.
+  for (auto& f : futs) {
+    while (f.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      if (!try_run_one()) {
+        f.wait();
+        break;
+      }
+    }
   }
   for (auto& f : futs) f.get();  // rethrows the first task exception
 }

@@ -14,7 +14,9 @@
 #include <cstddef>
 #include <functional>
 #include <future>
+#include <limits>
 #include <mutex>
+#include <optional>
 #include <queue>
 #include <thread>
 #include <vector>
@@ -39,6 +41,17 @@ class ThreadPool {
   /// Enqueues a task; the future resolves with its result (or exception).
   template <typename F>
   std::future<std::invoke_result_t<F>> submit(F&& fn) {
+    auto fut = try_submit(std::forward<F>(fn));
+    if (!fut) throw std::runtime_error("ThreadPool: submit after shutdown");
+    return std::move(*fut);
+  }
+
+  /// Non-throwing submit for schedulers that must bound their own backlog:
+  /// returns std::nullopt instead of enqueueing when the pool is shutting
+  /// down or the queue already holds `max_queue` tasks. Never blocks.
+  template <typename F>
+  std::optional<std::future<std::invoke_result_t<F>>> try_submit(
+      F&& fn, std::size_t max_queue = std::numeric_limits<std::size_t>::max()) {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
@@ -47,7 +60,7 @@ class ThreadPool {
     static obs::Gauge& g_depth_max = obs::gauge("pool.queue_depth_max");
     {
       std::lock_guard lock(mutex_);
-      if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+      if (stopping_ || queue_.size() >= max_queue) return std::nullopt;
       queue_.emplace([task] { (*task)(); });
       const auto depth = static_cast<std::int64_t>(queue_.size());
       g_depth.set(depth);
@@ -58,6 +71,13 @@ class ThreadPool {
     return fut;
   }
 
+  /// Pops and runs one queued task on the *calling* thread; returns false when
+  /// the queue is empty. This is the budgeted-run primitive that makes nested
+  /// submission safe: a pool task waiting on work it enqueued into the same
+  /// pool helps drain the queue instead of deadlocking on an occupied worker
+  /// (parallel_for uses it while waiting on its chunk futures).
+  bool try_run_one();
+
   /// Runs fn(i) for i in [begin, end), blocking until all complete. Work is
   /// split into contiguous chunks, oversubscribed ~kChunksPerWorker× per
   /// worker so a worker that draws short tasks picks up further chunks
@@ -66,7 +86,9 @@ class ThreadPool {
   /// a chunk may get, for loops whose per-index work is tiny. Exceptions
   /// propagate (the first one thrown rethrows here). With <= 1 worker, runs
   /// serially on the calling thread so results are identical and
-  /// deterministic.
+  /// deterministic. Safe to call from inside a pool task: while waiting on
+  /// its chunks the caller runs queued tasks itself (try_run_one), so nested
+  /// parallel_for never deadlocks even on a single-worker pool.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn,
                     std::size_t min_grain = 1);

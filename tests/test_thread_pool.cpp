@@ -1,0 +1,132 @@
+// util::ThreadPool: nested-submission safety (the gaplan-serve scheduler
+// runs GA evaluation chunks on the same pool family its workers live on),
+// the try_submit backlog bound, and the try_run_one helping primitive.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using gaplan::util::ThreadPool;
+
+// Blocks a pool worker until released; lets tests pin the pool busy
+// deterministically.
+class Gate {
+ public:
+  void wait() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+  void open() {
+    {
+      std::lock_guard lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // Every worker enters an outer chunk that itself runs parallel_for on the
+  // same pool. Without the helping wait, the inner chunks would sit in the
+  // queue behind the outer chunks occupying all workers — a deadlock. The
+  // outer waiters must drain them instead.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 8, [&](std::size_t) {
+    pool.parallel_for(0, 100, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 8 * 100);
+}
+
+TEST(ThreadPool, TaskSubmittingBackIntoSamePoolCompletes) {
+  // A pool task enqueues follow-up work into its own pool and waits for it
+  // with the budgeted-run primitive. On a single-worker pool the inner task
+  // can only ever run on the waiting thread itself.
+  ThreadPool pool(1);
+  auto outer = pool.submit([&pool] {
+    auto inner = pool.submit([] { return 21; });
+    while (inner.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      pool.try_run_one();
+    }
+    return inner.get() * 2;
+  });
+  EXPECT_EQ(outer.get(), 42);
+}
+
+TEST(ThreadPool, TryRunOneDrainsQueueOnCallingThread) {
+  ThreadPool pool(1);
+  Gate gate;
+  std::atomic<bool> started{false};
+  auto blocker = pool.submit([&gate, &started] {
+    started.store(true);
+    gate.wait();
+  });
+  while (!started.load()) std::this_thread::yield();
+
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 5; ++i) {
+    futs.push_back(pool.submit([&ran] { ran.fetch_add(1); }));
+  }
+  // The worker is parked in the gate; only this thread can run the backlog.
+  int helped = 0;
+  while (pool.try_run_one()) ++helped;
+  EXPECT_EQ(helped, 5);
+  EXPECT_EQ(ran.load(), 5);
+  EXPECT_FALSE(pool.try_run_one());  // queue empty now
+
+  gate.open();
+  blocker.get();
+  for (auto& f : futs) f.get();
+}
+
+TEST(ThreadPool, TrySubmitHonorsBacklogBound) {
+  ThreadPool pool(1);
+  Gate gate;
+  std::atomic<bool> started{false};
+  auto blocker = pool.submit([&gate, &started] {
+    started.store(true);
+    gate.wait();
+  });
+  // Wait until the worker popped the blocker, so the queue is empty.
+  while (!started.load()) std::this_thread::yield();
+
+  auto first = pool.try_submit([] { return 1; }, /*max_queue=*/1);
+  EXPECT_TRUE(first.has_value());
+  auto second = pool.try_submit([] { return 2; }, /*max_queue=*/1);
+  EXPECT_FALSE(second.has_value());  // backlog already at the bound
+  auto zero = pool.try_submit([] { return 3; }, /*max_queue=*/0);
+  EXPECT_FALSE(zero.has_value());  // a zero bound never enqueues
+
+  gate.open();
+  blocker.get();
+  EXPECT_EQ(first->get(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 16,
+                                 [](std::size_t i) {
+                                   if (i == 7) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+}  // namespace
