@@ -26,6 +26,7 @@
 #include "core/multiphase.hpp"
 #include "domains/hanoi.hpp"
 #include "domains/sokoban.hpp"
+#include "obs/metrics.hpp"
 #include "server/plan_service.hpp"
 #include "server/problem_spec.hpp"
 #include "util/timer.hpp"
@@ -223,6 +224,31 @@ void warm_hit_latency(const ga::GaConfig& ga_cfg, double& p50, double& p95) {
   p95 = percentile(lat, 0.95);
 }
 
+/// Latency attribution from the service's own process-wide histograms — the
+/// same queue-wait / planning-slice / cache-probe split that
+/// scripts/analyze_trace.py rebuilds from a journal's span trees, so the
+/// histogram view and the span-tree view can be diffed against each other.
+/// Accumulated across every sweep in this process.
+void write_attribution(std::FILE* f) {
+  const auto snap = gaplan::obs::snapshot_metrics();
+  std::fprintf(f, "  \"attribution\": {");
+  bool first = true;
+  for (const auto& [key, metric] :
+       {std::pair{"queue_wait", "server.queue_wait_ms"},
+        std::pair{"slice", "server.slice_ms"},
+        std::pair{"cache_probe", "server.cache_probe_ms"}}) {
+    const auto* h = snap.find_histogram(metric);
+    std::fprintf(f,
+                 "%s\n    \"%s\": {\"count\": %llu, \"sum_ms\": %.4f, "
+                 "\"mean_ms\": %.6f, \"p95_ms\": %.6f}",
+                 first ? "" : ",", key,
+                 h ? static_cast<unsigned long long>(h->count) : 0ull,
+                 h ? h->sum : 0.0, h ? h->mean() : 0.0, h ? h->p95() : 0.0);
+    first = false;
+  }
+  std::fprintf(f, "\n  },\n");
+}
+
 void write_load_entry(std::FILE* f, const LoadResult& r, const char* indent) {
   std::fprintf(f,
                "%s\"seconds\": %.6f, \"requests_per_sec\": %.4f,\n"
@@ -322,6 +348,7 @@ int main() {
   std::fprintf(f, "  ],\n  \"baseline_serialized\": {\n");
   write_load_entry(f, baseline, "    ");
   std::fprintf(f, "},\n");
+  write_attribution(f);
   std::fprintf(f, "  \"speedup_8_clients\": %.4f,\n", speedup);
   std::fprintf(f, "  \"warm_hit_p50_ms\": %.6f,\n", warm_p50);
   std::fprintf(f, "  \"warm_hit_p95_ms\": %.6f\n", warm_p95);

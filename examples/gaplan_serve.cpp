@@ -14,8 +14,16 @@
 //     -> {"ok":true,"id":1,"state":"done","valid":true,"plan":[...],...}
 //   {"cmd":"poll","id":1}        non-blocking status
 //   {"cmd":"cancel","id":1}      cancel queued / stop planning
-//   {"cmd":"stats"}              service + cache snapshot
+//   {"cmd":"stats"}              service + cache snapshot + latency histograms
+//   {"cmd":"metrics"}            full metrics registry as JSON
+//   {"cmd":"metrics","format":"prometheus"}   text exposition (scrape-ready)
+//   {"cmd":"trace","id":1}       per-request span summary (trace id, timing)
 //   {"cmd":"shutdown"}           drain and exit ({"drain":false} aborts work)
+//
+// With --metrics-dump FILE (or metrics-dump-path in the config file, or the
+// GAPLAN_METRICS_DUMP env var) a background thread rewrites FILE with the
+// Prometheus exposition every --metrics-dump-ms milliseconds — the live
+// telemetry plane: `watch cat FILE` or point a file-based scraper at it.
 //
 // EOF on stdin drains and exits like {"cmd":"shutdown"}. Run
 //   printf '%s\n' '{"cmd":"submit","problem":"hanoi:3"}' '{"cmd":"wait","id":1}' | gaplan_serve
@@ -24,6 +32,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
@@ -33,6 +42,8 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "server/plan_service.hpp"
 #include "server/server_config.hpp"
 #include "server/wire.hpp"
@@ -85,9 +96,38 @@ std::string render_status(const RequestStatus& st) {
   }
   if (!st.detail.empty()) w.field("detail", std::string_view(st.detail));
   w.field("yields", static_cast<std::uint64_t>(st.yields))
+      .field("slices", static_cast<std::uint64_t>(st.slices))
       .field("queue_ms", st.queue_ms)
+      .field("queue_wait_ms", st.queue_wait_ms)
+      .field("cache_probe_ms", st.cache_probe_ms)
       .field("plan_ms", st.plan_ms)
       .field("total_ms", st.total_ms);
+  if (st.trace_id != 0) w.field("trace", st.trace_id);
+  return w.finish();
+}
+
+/// Per-request span summary: where the request's wall-clock went, plus the
+/// trace id to grep for in the GAPLAN_TRACE journal (analyze_trace.py keys
+/// on it). Unlike poll, carries no plan payload — it is pure telemetry.
+std::string render_trace(const RequestStatus& st) {
+  JsonWriter w;
+  w.field("ok", true)
+      .field("id", st.id)
+      .field("state", std::string_view(to_string(st.state)))
+      .field("tracing", gaplan::obs::trace_enabled());
+  if (st.trace_id != 0) w.field("trace", st.trace_id);
+  w.field("cached", st.cached)
+      .field("yields", static_cast<std::uint64_t>(st.yields))
+      .field("slices", static_cast<std::uint64_t>(st.slices))
+      .field("queue_ms", st.queue_ms)
+      .field("queue_wait_ms", st.queue_wait_ms)
+      .field("cache_probe_ms", st.cache_probe_ms)
+      .field("plan_ms", st.plan_ms)
+      .field("total_ms", st.total_ms);
+  // The unattributed remainder: lock waits, scheduling gaps, wire overhead.
+  const double other = st.total_ms - st.queue_wait_ms - st.plan_ms -
+                       st.cache_probe_ms;
+  w.field("other_ms", other > 0.0 ? other : 0.0);
   return w.finish();
 }
 
@@ -171,6 +211,40 @@ std::string render_stats(const PlanService& service) {
       .field("cache_evictions", s.cache.evictions)
       .field("cache_entries", static_cast<std::uint64_t>(s.cache.entries))
       .field("cache_capacity", static_cast<std::uint64_t>(s.cache.capacity));
+  const auto hist_fields = [&w](const char* prefix,
+                                const gaplan::obs::HistogramSample& h) {
+    const std::string p = prefix;
+    w.field(std::string_view(p + "_count"), h.count)
+        .field(std::string_view(p + "_mean_ms"), h.mean())
+        .field(std::string_view(p + "_p50_ms"), h.percentile(0.5))
+        .field(std::string_view(p + "_p95_ms"), h.p95());
+  };
+  hist_fields("queue_wait", s.queue_wait_ms);
+  hist_fields("slice", s.slice_ms);
+  hist_fields("cache_probe", s.cache_probe_ms);
+  return w.finish();
+}
+
+/// The `metrics` verb: the whole registry. Default format is the JSON
+/// document (spliced in as a nested object — the one place the wire carries
+/// nesting on the way out); "prometheus" returns the text exposition as a
+/// string field, ready to paste into a scrape endpoint.
+std::string render_metrics(const WireMessage& msg) {
+  const std::string* format = msg.get_string("format");
+  JsonWriter w;
+  w.field("ok", true);
+  if (format && *format == "prometheus") {
+    w.field("format", "prometheus")
+        .field("text", std::string_view(gaplan::obs::render_metrics_prometheus(
+                           gaplan::obs::snapshot_metrics())));
+  } else if (!format || *format == "json") {
+    w.field("format", "json")
+        .raw_field("metrics", gaplan::obs::render_metrics_json(
+                                  gaplan::obs::snapshot_metrics()));
+  } else {
+    return error_response("unknown metrics format '" + *format +
+                          "' (json|prometheus)");
+  }
   return w.finish();
 }
 
@@ -188,7 +262,7 @@ std::string handle_line(PlanService& service, const std::string& line,
 
   if (*cmd == "submit") return handle_submit(service, msg);
 
-  if (*cmd == "poll" || *cmd == "wait" || *cmd == "cancel") {
+  if (*cmd == "poll" || *cmd == "wait" || *cmd == "cancel" || *cmd == "trace") {
     const auto id_num = msg.get_number("id");
     if (!id_num || *id_num < 1) return error_response(*cmd + " needs an 'id'");
     const auto id = static_cast<std::uint64_t>(*id_num);
@@ -199,16 +273,17 @@ std::string handle_line(PlanService& service, const std::string& line,
       return w.finish();
     }
     std::optional<RequestStatus> st;
-    if (*cmd == "poll") {
+    if (*cmd == "poll" || *cmd == "trace") {
       st = service.status(id);
     } else {
       st = service.wait(id, msg.get_number("timeout_ms").value_or(-1.0));
     }
     if (!st) return error_response("unknown id " + std::to_string(id));
-    return render_status(*st);
+    return *cmd == "trace" ? render_trace(*st) : render_status(*st);
   }
 
   if (*cmd == "stats") return render_stats(service);
+  if (*cmd == "metrics") return render_metrics(msg);
 
   if (*cmd == "shutdown") {
     want_exit = true;
@@ -219,8 +294,9 @@ std::string handle_line(PlanService& service, const std::string& line,
     return w.finish();
   }
 
-  return error_response("unknown cmd '" + *cmd +
-                        "' (submit|poll|wait|cancel|stats|shutdown)");
+  return error_response(
+      "unknown cmd '" + *cmd +
+      "' (submit|poll|wait|cancel|stats|metrics|trace|shutdown)");
 }
 
 #ifdef GAPLAN_SERVE_TCP
@@ -334,6 +410,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--config FILE.serve] [--workers N] [--queue N]\n"
                "          [--cache N] [--tcp PORT]\n"
+               "          [--metrics-dump FILE] [--metrics-dump-ms MS]\n"
                "Speaks NDJSON on stdin/stdout; see docs/API.md.\n",
                argv0);
   return 2;
@@ -374,9 +451,21 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       tcp_port = std::atoi(v);
+    } else if (arg == "--metrics-dump") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      cfg.metrics_dump_path = v;
+    } else if (arg == "--metrics-dump-ms") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      cfg.metrics_dump_ms = std::atof(v);
     } else {
       return usage(argv[0]);
     }
+  }
+  if (const char* env = std::getenv("GAPLAN_METRICS_DUMP");
+      env != nullptr && *env != '\0') {
+    cfg.metrics_dump_path = env;
   }
 
   std::unique_ptr<PlanService> service;
@@ -385,6 +474,14 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "gaplan_serve: bad config: %s\n", e.what());
     return 2;
+  }
+
+  std::unique_ptr<gaplan::obs::MetricsDumper> dumper;
+  if (!cfg.metrics_dump_path.empty()) {
+    dumper = std::make_unique<gaplan::obs::MetricsDumper>(
+        cfg.metrics_dump_path, cfg.metrics_dump_ms);
+    std::fprintf(stderr, "gaplan_serve: metrics -> %s every %.0fms\n",
+                 cfg.metrics_dump_path.c_str(), cfg.metrics_dump_ms);
   }
 
   std::atomic<bool> stop{false};
@@ -431,5 +528,6 @@ int main(int argc, char** argv) {
   if (tcp) tcp->stop();
 #endif
   service->shutdown(drain.load());
+  if (dumper) dumper->stop();  // final dump reflects the drained service
   return 0;
 }

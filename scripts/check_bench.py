@@ -21,8 +21,10 @@ run was clean (no exception, silent degradation, or billing mismatch).
 
 bench_serve checks: the client sweep covers 1 and 8 clients with positive
 throughput, p95 >= p50, cache hit rates lie in [0, 1], the 8-client speedup
-over the serialized baseline is at least 4x, and the warm cache-hit median
-is under 1 ms.
+over the serialized baseline is at least 4x, the warm cache-hit median is
+under 1 ms, and the histogram-derived latency attribution (queue_wait /
+slice / cache_probe — the split analyze_trace.py rebuilds from span trees)
+is present with sane numbers.
 
 Exit status: 0 when every report is valid, 1 otherwise.
 """
@@ -254,6 +256,30 @@ def validate_serve(doc, errors):
 
     check_serve_load(doc.get("baseline_serialized"), "baseline_serialized",
                      errors, require_hit_rate=False)
+
+    # Histogram-derived latency attribution (the same queue/slice/cache split
+    # scripts/analyze_trace.py rebuilds from span trees).
+    attribution = doc.get("attribution")
+    if not isinstance(attribution, dict):
+        errors.append("missing 'attribution' object")
+    else:
+        for part in ("queue_wait", "slice", "cache_probe"):
+            entry = attribution.get(part)
+            if not isinstance(entry, dict):
+                errors.append(f"attribution.{part} missing")
+                continue
+            for key in ("count", "sum_ms", "mean_ms", "p95_ms"):
+                val = entry.get(key)
+                if not isinstance(val, (int, float)) or isinstance(val, bool) \
+                        or val < 0:
+                    errors.append(
+                        f"attribution.{part}.{key} must be a non-negative "
+                        f"number, got {val!r}"
+                    )
+        slice_entry = attribution.get("slice")
+        if isinstance(slice_entry, dict) and slice_entry.get("count") == 0:
+            errors.append("attribution.slice.count is 0 — the load sweeps "
+                          "never measured a planning slice")
 
     speedup = doc.get("speedup_8_clients")
     if not isinstance(speedup, (int, float)) or isinstance(speedup, bool):

@@ -16,6 +16,13 @@ carry a known op; lifecycle ops reference a positive request id, rejections a
 reason, and "complete" a terminal state plus non-negative queue/plan/total
 timings.
 
+Span-tree checks (obs v2): events carrying a "trace" id form per-trace span
+trees. Every "parent" must resolve to a span id defined within the same
+trace (and the same trace_start segment — trace ids restart with the
+process), every child span's [ts - dur, ts] interval must nest inside its
+parent's, and every admitted service request (a "server" submit event with a
+trace) must terminate in exactly one terminal-state "complete" event.
+
 Exit status: 0 on a valid journal, 1 otherwise.
 """
 import argparse
@@ -25,7 +32,13 @@ import subprocess
 import sys
 import tempfile
 
-SPAN_EVENTS = {"run", "phase", "replan", "grid_execute"}
+SPAN_EVENTS = {"run", "phase", "replan", "grid_execute", "islands", "island",
+               "slice", "queue_wait", "cache_probe"}
+
+# ts_ms prints with microsecond precision and dur_ms with 6 significant
+# digits, so parent/child bounds computed from independently rounded numbers
+# can disagree by a hair; anything past this is a real nesting violation.
+NEST_EPS_MS = 0.1
 
 LINT_SEVERITIES = {"error", "warning", "info"}
 
@@ -91,6 +104,110 @@ def check_server_event(event, i, errors):
                 errors.append(f"line {i}: server complete needs boolean '{key}'")
 
 
+def _is_id(v):
+    return isinstance(v, int) and not isinstance(v, bool) and v > 0
+
+
+def _is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def new_segment():
+    """Span-tree state for one trace_start segment (trace/span ids restart
+    with the process, so trees never span a trace_start marker)."""
+    return {
+        "spans": {},        # (trace, span) -> node dict
+        "annotations": [],  # events with trace+parent but no span id
+        "submits": {},      # trace -> first submit line
+        "completes": {},    # trace -> terminal "complete" count
+    }
+
+
+def collect_span(event, i, segment, errors):
+    """Files one event into the segment's span-tree state."""
+    trace = event.get("trace")
+    if trace is None:
+        return
+    if not _is_id(trace):
+        errors.append(f"line {i}: 'trace' must be a positive integer")
+        return
+    span = event.get("span")
+    parent = event.get("parent")
+    ts = event.get("ts_ms")
+    dur = event.get("dur_ms")
+    if span is not None:
+        if not _is_id(span):
+            errors.append(f"line {i}: 'span' must be a positive integer")
+            return
+        if parent is not None and (not _is_id(parent) or parent == span):
+            errors.append(f"line {i}: bad 'parent' {parent!r} for span {span}")
+            return
+        if not _is_num(dur) or dur < 0 or not _is_num(ts):
+            errors.append(f"line {i}: span {span} needs ts_ms and dur_ms >= 0")
+            return
+        key = (trace, span)
+        if key in segment["spans"]:
+            errors.append(
+                f"line {i}: span id {span} reused within trace {trace} "
+                f"(first at line {segment['spans'][key]['line']})"
+            )
+            return
+        segment["spans"][key] = {
+            "start": ts - dur, "end": ts, "parent": parent,
+            "ev": event.get("ev"), "line": i,
+        }
+    elif parent is not None:
+        if not _is_id(parent):
+            errors.append(f"line {i}: 'parent' must be a positive integer")
+            return
+        segment["annotations"].append((trace, parent, event.get("ev"), i))
+    if event.get("ev") == "server":
+        op = event.get("op")
+        if op == "submit":
+            segment["submits"].setdefault(trace, i)
+        elif op == "complete" and event.get("state") in SERVER_TERMINAL_STATES:
+            segment["completes"][trace] = segment["completes"].get(trace, 0) + 1
+
+
+def check_segment(segment, errors):
+    """Structural checks once a segment is complete: parents resolve within
+    their trace, children nest inside parent bounds, and every admitted
+    request's tree has exactly one terminal event."""
+    spans = segment["spans"]
+    for (trace, span), node in sorted(spans.items()):
+        parent_id = node["parent"]
+        if parent_id is None:
+            continue
+        parent = spans.get((trace, parent_id))
+        if parent is None:
+            errors.append(
+                f"line {node['line']}: span {span} ('{node['ev']}') references "
+                f"parent {parent_id} which never appears in trace {trace}"
+            )
+            continue
+        if (node["start"] < parent["start"] - NEST_EPS_MS
+                or node["end"] > parent["end"] + NEST_EPS_MS):
+            errors.append(
+                f"line {node['line']}: span {span} ('{node['ev']}') "
+                f"[{node['start']:.3f}, {node['end']:.3f}] escapes parent "
+                f"{parent_id} ('{parent['ev']}') "
+                f"[{parent['start']:.3f}, {parent['end']:.3f}]"
+            )
+    for trace, parent_id, ev, line in segment["annotations"]:
+        if (trace, parent_id) not in spans:
+            errors.append(
+                f"line {line}: annotation '{ev}' references parent "
+                f"{parent_id} which never appears in trace {trace}"
+            )
+    for trace, line in sorted(segment["submits"].items()):
+        n = segment["completes"].get(trace, 0)
+        if n != 1:
+            errors.append(
+                f"line {line}: request trace {trace} has {n} terminal "
+                f"'complete' events (want exactly one)"
+            )
+
+
 def validate(path, required):
     try:
         with open(path, encoding="utf-8") as handle:
@@ -103,6 +220,7 @@ def validate(path, required):
         errors.append("journal is empty")
     seen = {}
     last_ts = {}
+    segment = new_segment()
     for i, line in enumerate(lines, start=1):
         try:
             event = json.loads(line)
@@ -120,8 +238,11 @@ def validate(path, required):
         tid = event.get("tid")
         if ev == "trace_start":
             # A new process (or reopened sink) appended to this journal;
-            # its monotonic clock restarts from zero.
+            # its monotonic clock — and its trace/span id counters —
+            # restart from zero.
             last_ts.clear()
+            check_segment(segment, errors)
+            segment = new_segment()
         if isinstance(ts, (int, float)):
             if ts < 0:
                 errors.append(f"line {i}: negative ts_ms {ts}")
@@ -142,6 +263,8 @@ def validate(path, required):
                 check_lint_event(event, i, errors)
             if ev == "server":
                 check_server_event(event, i, errors)
+        collect_span(event, i, segment, errors)
+    check_segment(segment, errors)
     for ev in required:
         if ev not in seen:
             errors.append(f"required event type '{ev}' never appears")

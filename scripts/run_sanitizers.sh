@@ -42,7 +42,8 @@ case "${lane}" in
   asan)  run_lane asan address "$@" ;;
   ubsan) run_lane ubsan undefined "$@" ;;
   tsan)  run_lane tsan thread \
-           -R 'PlanService|PlanCache|ThreadPool|Serve|Island|serve_smoke' "$@" ;;
+           -R 'PlanService|PlanCache|ThreadPool|Serve|Island|serve_smoke|trace_analyze_smoke' \
+           "$@" ;;
   all)   run_lane ubsan undefined "$@"
          run_lane asan address "$@" ;;
   *) echo "usage: $0 [asan|ubsan|tsan|all] [ctest args...]" >&2; exit 2 ;;

@@ -195,14 +195,23 @@ class PhaseRunner {
     c_evaluations.inc(pop_.size());
     h_eval.observe(eval_ms);
     if (obs::trace_enabled()) {
-      obs::TraceEvent("generation")
-          .f("gen", stat.generation)
+      // A generation is a span of its own (dur = the evaluation pass, the
+      // phase's hot kernel) parented under the enclosing phase/island span,
+      // so per-request timelines attribute GA time generation by generation.
+      obs::TraceEvent ev("generation");
+      if (span_ctx_.valid()) {
+        ev.f("trace", span_ctx_.trace)
+            .f("span", obs::next_span_id())
+            .f("parent", span_ctx_.span);
+      }
+      ev.f("gen", stat.generation)
           .f("best_fitness", stat.best_fitness)
           .f("mean_fitness", stat.mean_fitness)
           .f("best_goal_fit", stat.best_goal_fit)
           .f("mean_length", stat.mean_length)
           .f("valid", stat.valid_count)
           .f("eval_ms", eval_ms)
+          .f("dur_ms", eval_ms)
           .emit();
     }
     return result_.history.back();
@@ -307,6 +316,11 @@ class PhaseRunner {
       fitness_[order[m]] = migrants[m].eval.fitness;
     }
   }
+
+  /// Attaches the runner's generation spans under `ctx` (a phase or island
+  /// span). Contexts are handed down explicitly — the runner never consults
+  /// thread-local state, so driving it from a pool thread changes nothing.
+  void set_span_context(obs::SpanContext ctx) noexcept { span_ctx_ = ctx; }
 
   const PhaseResult<State>& result() const noexcept { return result_; }
   PhaseResult<State> take_result() { return std::move(result_); }
@@ -464,6 +478,7 @@ class PhaseRunner {
   CrossoverScratch xscratch_;
   std::vector<double> fitness_;
   PhaseResult<State> result_;
+  obs::SpanContext span_ctx_;  ///< parent for generation spans
   bool have_best_ = false;
   bool children_pending_ = false;  ///< pop_ holds unevaluated children with dirty info
   bool evals_current_ = false;     ///< every pop_ slot carries a current evaluation
@@ -491,11 +506,16 @@ class Engine {
   }
 
   /// `stop_on_valid` overrides the config (the multi-phase driver always runs
-  /// phases to completion, per the paper's procedure).
+  /// phases to completion, per the paper's procedure). `parent` places the
+  /// phase span (and its generation children) in a caller's trace — the
+  /// multiphase run, a serve worker slice, a replanner round; with no parent
+  /// the phase roots a trace of its own.
   PhaseResult<State> run_phase(const State& start, util::Rng& rng,
-                               bool stop_on_valid) {
-    obs::TraceSpan span("phase");
+                               bool stop_on_valid,
+                               obs::SpanContext parent = {}) {
+    obs::ScopedSpan span("phase", parent);
     PhaseRunner<P> runner(*problem_, cfg_, pool_);
+    runner.set_span_context(span.context());
     runner.init(start, rng);
     for (std::size_t gen = 0; gen < cfg_.generations; ++gen) {
       runner.step_evaluate();

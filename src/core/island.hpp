@@ -33,12 +33,15 @@ struct IslandResult {
 
 /// Runs the island model from the problem's initial state for one phase worth
 /// of generations (cfg.generations). Per-island RNG streams are split off
-/// `rng` up front so results do not depend on evaluation order.
+/// `rng` up front so results do not depend on evaluation order. `parent`
+/// attaches the "islands" span (and its per-island / generation descendants)
+/// to a caller's trace; with no parent the run roots a fresh trace.
 template <PlanningProblem P>
 IslandResult<typename P::StateT> run_islands(const P& problem, const GaConfig& cfg,
                                              const IslandConfig& icfg,
                                              util::Rng& rng,
-                                             util::ThreadPool* pool = nullptr) {
+                                             util::ThreadPool* pool = nullptr,
+                                             obs::SpanContext parent = {}) {
   using State = typename P::StateT;
   analysis::enforce_config(cfg, "island");
   if (icfg.islands == 0) throw std::invalid_argument("IslandConfig: islands must be >= 1");
@@ -47,11 +50,26 @@ IslandResult<typename P::StateT> run_islands(const P& problem, const GaConfig& c
   rngs.reserve(icfg.islands);
   for (std::size_t i = 0; i < icfg.islands; ++i) rngs.push_back(rng.split());
 
+  obs::ScopedSpan islands_span("islands", parent);
+  islands_span.f("islands", icfg.islands)
+      .f("migration_interval", icfg.migration_interval);
+  // One child span context per island, allocated up front: every island's
+  // generation events parent under its own island node, so the journal keeps
+  // per-island timing attribution even though the islands interleave on one
+  // thread. The island spans themselves are emitted after the loop.
+  std::vector<obs::SpanContext> island_ctx(icfg.islands);
+  const obs::SpanContext tree = islands_span.context();
+  if (tree.valid()) {
+    for (auto& c : island_ctx) c = {tree.trace, obs::next_span_id()};
+  }
+  const double islands_t0 = obs::monotonic_ms();
+
   const State start = problem.initial_state();
   std::vector<PhaseRunner<P>> runners;
   runners.reserve(icfg.islands);
   for (std::size_t i = 0; i < icfg.islands; ++i) {
     runners.emplace_back(problem, cfg, pool);
+    runners[i].set_span_context(island_ctx[i]);
     runners[i].init(start, rngs[i]);
   }
 
@@ -110,6 +128,7 @@ IslandResult<typename P::StateT> run_islands(const P& problem, const GaConfig& c
       c_migrations.inc();
       if (obs::trace_enabled()) {
         obs::TraceEvent("migration")
+            .in(tree)
             .f("gen", gen)
             .f("islands", icfg.islands)
             .f("migrants_per_edge", icfg.migrants)
@@ -123,6 +142,31 @@ IslandResult<typename P::StateT> run_islands(const P& problem, const GaConfig& c
     }
   }
   for (auto& r : runners) result.islands.push_back(r.take_result());
+  if (tree.valid()) {
+    // Emit the per-island spans now that each island's work is done. The
+    // islands run interleaved on the caller thread, so each span covers the
+    // whole lockstep loop; its own generation children carry the per-step
+    // timing. dur_ms is shared loop wall time, not exclusive island time.
+    const double dur = obs::monotonic_ms() - islands_t0;
+    for (std::size_t i = 0; i < island_ctx.size(); ++i) {
+      const auto& pr = result.islands[i];
+      obs::TraceEvent("island")
+          .f("trace", tree.trace)
+          .f("span", island_ctx[i].span)
+          .f("parent", tree.span)
+          .f("island", i)
+          .f("generations_run", pr.generations_run)
+          .f("found_valid", pr.found_valid)
+          .f("best_goal_fit", pr.best.eval.goal_fit)
+          .f("dur_ms", dur)
+          .emit();
+    }
+  }
+  islands_span.f("generations_run", result.generations_run)
+      .f("migrations", result.migrations)
+      .f("found_valid", result.found_valid)
+      .f("best_island", result.best_island)
+      .f("best_goal_fit", result.best.eval.goal_fit);
   return result;
 }
 

@@ -31,10 +31,13 @@ struct MultiPhaseResult {
 /// re-planner plans from whatever data state execution has reached). With
 /// cfg.phases == 1 this degenerates to the paper's "single-phase GA" (early
 /// stop on the first valid individual, controlled by cfg.stop_on_valid).
+/// `parent` attaches the run span (and its phase/generation descendants) to
+/// a caller's trace; with no parent the run roots a fresh trace.
 template <PlanningProblem P>
 MultiPhaseResult<typename P::StateT> run_multiphase_from(
     const P& problem, const GaConfig& cfg, const typename P::StateT& start,
-    util::Rng& rng, util::ThreadPool* pool = nullptr) {
+    util::Rng& rng, util::ThreadPool* pool = nullptr,
+    obs::SpanContext parent = {}) {
   using State = typename P::StateT;
   Engine<P> engine(problem, cfg, pool);
   MultiPhaseResult<State> result;
@@ -43,7 +46,7 @@ MultiPhaseResult<typename P::StateT> run_multiphase_from(
 
   static obs::Counter& c_runs = obs::counter("ga.runs");
   c_runs.inc();
-  obs::TraceSpan run_span("run");
+  obs::ScopedSpan run_span("run", parent);
 
   const bool single_phase = cfg.phases == 1;
   result.goal_fitness = problem.goal_fitness(current);
@@ -51,8 +54,8 @@ MultiPhaseResult<typename P::StateT> run_multiphase_from(
     // Multi-phase: validity is checked at phase boundaries, so phases run
     // their full generation budget (§3.5 step 2); the single-phase GA may
     // stop as soon as a valid individual appears.
-    PhaseResult<State> pr =
-        engine.run_phase(current, rng, single_phase && cfg.stop_on_valid);
+    PhaseResult<State> pr = engine.run_phase(
+        current, rng, single_phase && cfg.stop_on_valid, run_span.context());
     result.generations_total += pr.generations_run;
     result.phases_run = phase + 1;
 
@@ -64,6 +67,7 @@ MultiPhaseResult<typename P::StateT> run_multiphase_from(
       // Start-state handoff: what this phase's best contributed to the plan
       // prefix the next phase searches from.
       obs::TraceEvent("phase_handoff")
+          .in(run_span.context())
           .f("phase", phase)
           .f("accepted", accept)
           .f("goal_fit_before", problem.goal_fitness(current))

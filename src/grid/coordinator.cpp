@@ -27,6 +27,7 @@ void Coordinator::apply_disruption(const Disruption& d) {
   c_disruptions.inc();
   if (obs::trace_enabled()) {
     obs::TraceEvent("grid_disruption")
+        .in(span_ctx_)
         .f("sim_time", d.time)
         .f("machine", static_cast<std::uint64_t>(d.machine))
         .f("kind", std::string_view(disruption_name(d.kind)))
@@ -50,7 +51,8 @@ void Coordinator::apply_disruption(const Disruption& d) {
 ExecutionReport Coordinator::execute(const ActivityGraph& graph,
                                      const util::DynamicBitset& initial_data,
                                      std::vector<Disruption> disruptions,
-                                     double start_time) {
+                                     double start_time,
+                                     obs::SpanContext parent) {
   if (!std::is_sorted(disruptions.begin(), disruptions.end(),
                       [](const Disruption& a, const Disruption& b) {
                         return a.time < b.time;
@@ -58,7 +60,8 @@ ExecutionReport Coordinator::execute(const ActivityGraph& graph,
     throw std::invalid_argument("Coordinator: disruptions must be time-sorted");
   }
 
-  obs::TraceSpan span("grid_execute");
+  obs::ScopedSpan span("grid_execute", parent);
+  span_ctx_ = span.context();
   static obs::Counter& c_tasks = obs::counter("grid.tasks_completed");
   static obs::Counter& c_aborts = obs::counter("grid.aborts");
   auto finalize = [&](ExecutionReport& r) {
@@ -69,6 +72,7 @@ ExecutionReport Coordinator::execute(const ActivityGraph& graph,
         .f("makespan", r.makespan)
         .f("total_cost", r.total_cost);
     if (!r.note.empty()) span.f("note", std::string_view(r.note));
+    span_ctx_ = {};
   };
 
   ExecutionReport report;

@@ -16,6 +16,7 @@
 
 #include "grid/activity_graph.hpp"
 #include "grid/resource.hpp"
+#include "obs/trace.hpp"
 
 namespace gaplan::grid {
 
@@ -69,11 +70,14 @@ class Coordinator {
 
   /// Runs `graph` starting from `initial_data` at simulation time
   /// `start_time`. `disruptions` must be sorted by time; entries before
-  /// start_time are applied immediately.
+  /// start_time are applied immediately. `parent` attaches the grid_execute
+  /// span (and the disruption events applied during the run) to a caller's
+  /// trace; with no parent the execution roots a fresh trace.
   ExecutionReport execute(const ActivityGraph& graph,
                           const util::DynamicBitset& initial_data,
                           std::vector<Disruption> disruptions,
-                          double start_time = 0.0);
+                          double start_time = 0.0,
+                          obs::SpanContext parent = {});
 
  private:
   void apply_disruption(const Disruption& d);
@@ -81,6 +85,7 @@ class Coordinator {
   const WorkflowProblem* problem_;
   ResourcePool* pool_;
   CoordinatorOptions options_;
+  obs::SpanContext span_ctx_;  ///< grid_execute span, while execute() runs
 };
 
 }  // namespace gaplan::grid

@@ -85,9 +85,9 @@ PlanningRound run_round(const WorkflowProblem& problem, ResourcePool& pool,
                         const std::vector<Disruption>& disruptions, double time,
                         const ReplanConfig& cfg,
                         const CoordinatorOptions& options,
-                        std::size_t round_idx) {
+                        std::size_t round_idx, obs::SpanContext parent) {
   PlanningRound round;
-  obs::TraceSpan span("replan");
+  obs::ScopedSpan span("replan", parent);
 
   static obs::Counter& c_rounds = obs::counter("grid.planning_rounds");
   static obs::Counter& c_replans = obs::counter("grid.replans");
@@ -116,7 +116,8 @@ PlanningRound run_round(const WorkflowProblem& problem, ResourcePool& pool,
     }
     util::Rng rng(attempt_seed(cfg.seed, round_idx, attempt));
     util::Timer plan_timer;
-    planned = ga::run_multiphase_from(problem, gacfg, data, rng);
+    planned = ga::run_multiphase_from(problem, gacfg, data, rng, nullptr,
+                                      span.context());
     round.plan_ms += plan_timer.millis();
     round.planning_latency += cfg.planning_latency.charge(plan_timer.millis());
     if (planned.valid) break;
@@ -186,7 +187,7 @@ PlanningRound run_round(const WorkflowProblem& problem, ResourcePool& pool,
   }
   Coordinator coordinator(problem, pool, options);
   round.execution = coordinator.execute(graph, data, disruptions,
-                                        round.dispatch_time);
+                                        round.dispatch_time, span.context());
   span.f("executed_tasks", round.execution.tasks_completed)
       .f("execution_completed", round.execution.completed);
   return round;
@@ -209,7 +210,8 @@ bool try_plan_graph(const WorkflowProblem& problem,
 
 ReplanOutcome plan_and_execute(const WorkflowProblem& problem, ResourcePool& pool,
                                const std::vector<Disruption>& disruptions,
-                               const ReplanConfig& cfg) {
+                               const ReplanConfig& cfg,
+                               obs::SpanContext parent) {
   ReplanOutcome outcome;
 
   // Up-front static analysis: a defect found here holds at full grid health,
@@ -248,6 +250,7 @@ ReplanOutcome plan_and_execute(const WorkflowProblem& problem, ResourcePool& poo
     h_wait.observe(waited * 1e3);  // simulated milliseconds
     if (obs::trace_enabled()) {
       obs::TraceEvent("grid_wait")
+          .in(parent)
           .f("sim_time", time)
           .f("until", target)
           .f("waited_s", waited)
@@ -289,7 +292,7 @@ ReplanOutcome plan_and_execute(const WorkflowProblem& problem, ResourcePool& poo
     options.abort_on_overload = cfg.react_to_overload;
     options.overload_threshold = cfg.overload_threshold;
     PlanningRound round = run_round(problem, pool, data, disruptions, time,
-                                    cfg, options, round_idx);
+                                    cfg, options, round_idx, parent);
     ++outcome.planning_rounds;
     ++round_idx;
     time = round.dispatch_time;  // planning latency elapses even on failure
@@ -346,7 +349,8 @@ ReplanOutcome plan_and_execute(const WorkflowProblem& problem, ResourcePool& poo
 ReplanOutcome static_script_execute(const WorkflowProblem& problem,
                                     ResourcePool& pool,
                                     const std::vector<Disruption>& disruptions,
-                                    const ReplanConfig& cfg) {
+                                    const ReplanConfig& cfg,
+                                    obs::SpanContext parent) {
   ReplanOutcome outcome;
   const util::DynamicBitset data = problem.initial_state();
   // A script is written offline: one GA attempt, no latency charge, no
@@ -356,7 +360,7 @@ ReplanOutcome static_script_execute(const WorkflowProblem& problem,
   script_cfg.round_deadline_ms = 0.0;
   script_cfg.planning_latency = PlanningLatencyModel{};
   PlanningRound round = run_round(problem, pool, data, disruptions, 0.0,
-                                  script_cfg, CoordinatorOptions{}, 0);
+                                  script_cfg, CoordinatorOptions{}, 0, parent);
   outcome.planning_rounds = 1;
   if (!round.plan_valid || !round.graph_valid) {
     outcome.note = !round.plan_valid

@@ -129,9 +129,14 @@ bool try_plan_graph(const WorkflowProblem& problem,
 /// every aborted execution. `pool` is the live grid (mutated by disruptions);
 /// it must be the pool `problem` was built over. `disruptions` is the full
 /// timed scenario (sorted by time).
+/// `parent` attaches every planning round's replan span (and the grid_execute
+/// / GA-run spans beneath it) to a caller's trace — a served workflow request
+/// passes its request context here; standalone runs omit it and each round
+/// roots its own trace.
 ReplanOutcome plan_and_execute(const WorkflowProblem& problem, ResourcePool& pool,
                                const std::vector<Disruption>& disruptions,
-                               const ReplanConfig& cfg);
+                               const ReplanConfig& cfg,
+                               obs::SpanContext parent = {});
 
 /// The static-script baseline: plan once on the healthy grid, then execute
 /// that fixed graph under the disruption scenario with no adaptation. The
@@ -142,6 +147,7 @@ ReplanOutcome plan_and_execute(const WorkflowProblem& problem, ResourcePool& poo
 ReplanOutcome static_script_execute(const WorkflowProblem& problem,
                                     ResourcePool& pool,
                                     const std::vector<Disruption>& disruptions,
-                                    const ReplanConfig& cfg);
+                                    const ReplanConfig& cfg,
+                                    obs::SpanContext parent = {});
 
 }  // namespace gaplan::grid

@@ -53,6 +53,16 @@ int thread_ordinal() noexcept {
   return id;
 }
 
+std::uint64_t next_span_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+SpanContext new_trace_context() noexcept {
+  if (!trace_enabled()) return {};
+  return SpanContext{detail::next_trace_id(), next_span_id()};
+}
+
 bool trace_enabled() noexcept {
   return detail::g_trace_enabled.load(std::memory_order_relaxed);
 }
@@ -111,6 +121,11 @@ void append_json_string(std::string& out, std::string_view v) {
 }
 
 namespace detail {
+
+std::uint64_t next_trace_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 void append_json_number(std::string& out, double v) {
   if (!std::isfinite(v)) {

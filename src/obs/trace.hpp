@@ -10,11 +10,21 @@
 //   if (obs::trace_enabled()) {
 //     obs::TraceEvent("generation").f("gen", g).f("best", best).emit();
 //   }
-//   obs::TraceSpan span("phase");       // emits "phase" with dur_ms on close
+//   obs::ScopedSpan span("phase", parent_ctx);  // emits "phase" on close
 //   span.f("generations", n);
+//   child_work(span.context());                 // explicit propagation
+//
+// Spans are hierarchical: every ScopedSpan carries a SpanContext — a
+// trace_id shared by the whole causal tree plus a process-unique span_id —
+// and emits "trace"/"span"/"parent" fields alongside dur_ms, so one
+// request's journal lines reassemble into a tree (scripts/analyze_trace.py).
+// Contexts are passed explicitly through call chains and thread-pool
+// boundaries; there is no thread-local ambient context.
 //
 // Event schema (docs/API.md "Observability"): {"ts_ms":…,"ev":"…","tid":…,
-// <event fields>…} and spans additionally {"dur_ms":…}.
+// <event fields>…} and spans additionally {"trace":…,"span":…,
+// "parent":…,"dur_ms":…}. A span's ts_ms is its *emission* (close) time;
+// its start is ts_ms - dur_ms.
 #pragma once
 
 #include <atomic>
@@ -30,8 +40,31 @@ namespace detail {
 extern std::atomic<bool> g_trace_enabled;
 void trace_write(std::string& line);  // appends "}\n" and writes under a mutex
 void trace_begin(std::string& buf, const char* type);
+/// Appends `v` as a JSON number; non-finite values (inf/nan) are not valid
+/// JSON and are emitted as null instead.
 void append_json_number(std::string& out, double v);
+std::uint64_t next_trace_id() noexcept;
 }  // namespace detail
+
+/// Position of a span in a request's causal tree: the trace it belongs to and
+/// the span children should name as their parent. trace == 0 means "no
+/// context" (tracing disabled, or the caller never created one); all span
+/// machinery treats such a context as inert.
+struct SpanContext {
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;
+  bool valid() const noexcept { return trace != 0; }
+};
+
+/// Process-unique span id (never 0). Ids are dense per process; a journal
+/// shared by several processes disambiguates via trace_start markers.
+std::uint64_t next_span_id() noexcept;
+
+/// Starts a fresh trace: a new trace id plus a pre-allocated root span id
+/// (the caller emits the root span itself — e.g. a request span that closes
+/// on a different thread than it opened). Returns an invalid context while
+/// tracing is disabled, so the fast path stays one relaxed load.
+SpanContext new_trace_context() noexcept;
 
 /// Appends `s` to `out` as a quoted, escaped JSON string.
 void append_json_string(std::string& out, std::string_view s);
@@ -115,6 +148,19 @@ class TraceEvent {
     return *this;
   }
 
+  /// Tags the event as an annotation inside `c`'s trace: "trace" plus a
+  /// "parent" naming c.span. No-op for invalid contexts, so call sites need
+  /// no branching. Annotations are tree leaves without their own span id.
+  TraceEvent& in(SpanContext c) {
+    if (c.valid()) {
+      f("trace", c.trace);
+      f("parent", c.span);
+    }
+    return *this;
+  }
+
+  bool active() const noexcept { return active_; }
+
   void emit() {
     if (active_) {
       active_ = false;
@@ -133,31 +179,49 @@ class TraceEvent {
   bool active_ = false;
 };
 
-/// A timed event: records wall-clock time from construction and emits the
-/// event with a dur_ms field on close() or destruction.
-class TraceSpan {
+/// A timed span node: records wall-clock time from construction and emits
+/// the event with trace/span/parent ids and a dur_ms field on close() or
+/// destruction. Pass `parent` to join an existing trace; with no (or an
+/// invalid) parent the span roots a fresh trace of its own. context() is the
+/// handle children use to attach — hand it to callees explicitly.
+class ScopedSpan {
  public:
-  explicit TraceSpan(const char* type) : ev_(type) {}
-  TraceSpan(const TraceSpan&) = delete;
-  TraceSpan& operator=(const TraceSpan&) = delete;
-  ~TraceSpan() { close(); }
+  explicit ScopedSpan(const char* type, SpanContext parent = {}) : ev_(type) {
+    if (ev_.active()) {
+      ctx_.trace = parent.trace != 0 ? parent.trace : detail::next_trace_id();
+      ctx_.span = next_span_id();
+      parent_ = parent.span;
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() { close(); }
 
   template <typename V>
-  TraceSpan& f(const char* key, V v) {
+  ScopedSpan& f(const char* key, V v) {
     ev_.f(key, v);
     return *this;
   }
 
+  /// This span's context, for children. Invalid while tracing is disabled.
+  SpanContext context() const noexcept { return ctx_; }
+
   double elapsed_ms() const noexcept { return timer_.millis(); }
 
   void close() {
-    ev_.f("dur_ms", timer_.millis());
+    if (ev_.active()) {
+      ev_.f("trace", ctx_.trace).f("span", ctx_.span);
+      if (parent_ != 0) ev_.f("parent", parent_);
+      ev_.f("dur_ms", timer_.millis());
+    }
     ev_.emit();
   }
 
  private:
   util::Timer timer_;
   TraceEvent ev_;
+  SpanContext ctx_;
+  std::uint64_t parent_ = 0;
 };
 
 }  // namespace gaplan::obs

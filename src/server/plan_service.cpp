@@ -42,8 +42,11 @@ class JobBase {
  public:
   virtual ~JobBase() = default;
   /// Runs the next phase. Returns true when the run is finished (valid plan
-  /// found, or the phase budget is exhausted).
-  virtual bool run_phase() = 0;
+  /// found, or the phase budget is exhausted). `ctx` is the enclosing worker
+  /// slice's span, passed explicitly (no thread-local ambient context — the
+  /// job migrates between workers across yields): the phase span and its
+  /// generation children parent under it in the run journal.
+  virtual bool run_phase(obs::SpanContext ctx) = 0;
   virtual CachedPlan take_result() = 0;
 };
 
@@ -66,9 +69,9 @@ class Job final : public JobBase {
     out_.goal_fitness = problem_.goal_fitness(current_);
   }
 
-  bool run_phase() override {
-    ga::PhaseResult<typename P::StateT> pr =
-        engine_.run_phase(current_, rng_, single_phase_ && cfg_.stop_on_valid);
+  bool run_phase(obs::SpanContext ctx) override {
+    ga::PhaseResult<typename P::StateT> pr = engine_.run_phase(
+        current_, rng_, single_phase_ && cfg_.stop_on_valid, ctx);
     out_.generations_total += pr.generations_run;
     out_.phases_run = phase_ + 1;
 
@@ -161,6 +164,14 @@ struct Record {
   double start_ms = -1.0;  ///< first dequeue; < 0 while never scheduled
   double finish_ms = 0.0;
   double plan_ms = 0.0;  ///< accumulated time actually planning
+  /// Request-scoped trace context: trace id + the root span's id, minted at
+  /// admission and carried through queue, cache, slices, phases, and
+  /// generations. Invalid (all-zero) when tracing was off at admission.
+  obs::SpanContext ctx;
+  double enqueue_ms = 0.0;      ///< last (re-)enqueue; start of a queue segment
+  double queue_wait_ms = 0.0;   ///< total queued time across segments
+  double cache_probe_ms = 0.0;  ///< submit probe + dequeue re-probes
+  std::size_t slices = 0;       ///< worker slices consumed
   std::size_t yields = 0;
   std::atomic<bool> cancel_requested{false};
   std::unique_ptr<JobBase> job;
@@ -175,6 +186,7 @@ namespace {
 void trace_request(const char* op, const detail::Record& r) {
   if (!obs::trace_enabled()) return;
   obs::TraceEvent("server")
+      .in(r.ctx)  // annotation on the request's root span
       .f("op", op)
       .f("req", r.id)
       .f("state", std::string_view(to_string(r.state)))
@@ -182,6 +194,21 @@ void trace_request(const char* op, const detail::Record& r) {
       .f("priority", r.priority)
       .f("client", r.req.client)
       .f("cached", r.cached)
+      .emit();
+}
+
+/// Emits the cache-probe span under the request's root span. The probe ran
+/// just before this call (dur_ms = `probe_ms`), so the implied start
+/// (emission ts - dur) stays inside the root span's bounds.
+void trace_cache_probe(const detail::Record& r, double probe_ms, bool hit) {
+  if (!r.ctx.valid()) return;
+  obs::TraceEvent("cache_probe")
+      .f("trace", r.ctx.trace)
+      .f("span", obs::next_span_id())
+      .f("parent", r.ctx.span)
+      .f("req", r.id)
+      .f("hit", hit)
+      .f("dur_ms", probe_ms)
       .emit();
 }
 
@@ -220,7 +247,17 @@ SubmitOutcome PlanService::submit(PlanRequest req) {
   static obs::Counter& c_rejected = obs::counter("server.rejected");
   static obs::Counter& c_admitted = obs::counter("server.admitted");
   static obs::Gauge& g_depth = obs::gauge("server.queue_depth");
+  static obs::Histogram& h_probe =
+      obs::histogram("server.cache_probe_ms", obs::latency_buckets_ms());
   c_submitted.inc();
+
+  // The request's span tree roots here: the admission timestamp and trace
+  // context are fixed before any gate runs, so every child span (lint, cache
+  // probe, queue waits, slices) lands inside the root's [submit, finish]
+  // bounds. ctx is invalid (and costs nothing downstream) while tracing is
+  // off.
+  const double submit_now = obs::monotonic_ms();
+  const obs::SpanContext ctx = obs::new_trace_context();
 
   req.config = tuned_config(req.problem, req.config);
 
@@ -267,7 +304,11 @@ SubmitOutcome PlanService::submit(PlanRequest req) {
 
   // Admission gate 2: the plan cache. A warm hit completes inside submit()
   // without touching the queue.
-  if (std::optional<CachedPlan> hit = cache_.lookup(fp)) {
+  util::Timer probe_timer;
+  std::optional<CachedPlan> hit = cache_.lookup(fp);
+  const double probe_ms = probe_timer.millis();
+  h_probe.observe(probe_ms);
+  if (hit) {
     std::unique_lock lock(mu_);
     ++submitted_;
     if (stopping_) {
@@ -287,15 +328,18 @@ SubmitOutcome PlanService::submit(PlanRequest req) {
     r.id = next_id_++;
     r.priority = r.req.priority;
     r.fp = fp;
-    r.submit_ms = obs::monotonic_ms();
+    r.ctx = ctx;
+    r.submit_ms = submit_now;
     r.start_ms = r.submit_ms;
     r.cached = true;
+    r.cache_probe_ms = probe_ms;
     r.result = std::move(*hit);
     records_.emplace(r.id, std::move(rec));
+    trace_request("submit", r);
+    trace_cache_probe(r, probe_ms, /*hit=*/true);
     finish_locked(r, RequestState::kDone, {});
     lock.unlock();
     c_admitted.inc();
-    trace_request("submit", r);
     out.accepted = true;
     out.id = r.id;
     out.state = RequestState::kDone;
@@ -361,10 +405,14 @@ SubmitOutcome PlanService::submit(PlanRequest req) {
   r.priority = r.req.priority;
   r.seq = next_seq_++;
   r.fp = fp;
+  r.ctx = ctx;
   r.deadline_ms = resolve_deadline(cfg_, r.req.deadline_ms);
-  r.submit_ms = obs::monotonic_ms();
+  r.submit_ms = submit_now;
+  r.cache_probe_ms = probe_ms;
   r.state = RequestState::kQueued;
   records_.emplace(r.id, std::move(rec));
+  trace_cache_probe(r, probe_ms, /*hit=*/false);
+  r.enqueue_ms = obs::monotonic_ms();
   queue_.insert(QKey{r.priority, r.seq, r.id});
   g_depth.set(static_cast<std::int64_t>(queue_.size()));
   obs::gauge("server.queue_depth_max")
@@ -396,6 +444,12 @@ void PlanService::worker_main() {
   static obs::Gauge& g_depth = obs::gauge("server.queue_depth");
   static obs::Gauge& g_planning = obs::gauge("server.planning");
   static obs::Counter& c_yields = obs::counter("server.yields");
+  static obs::Histogram& h_queue_wait =
+      obs::histogram("server.queue_wait_ms", obs::latency_buckets_ms());
+  static obs::Histogram& h_slice =
+      obs::histogram("server.slice_ms", obs::latency_buckets_ms());
+  static obs::Histogram& h_probe =
+      obs::histogram("server.cache_probe_ms", obs::latency_buckets_ms());
 
   std::unique_lock lock(mu_);
   while (!queue_.empty()) {
@@ -405,6 +459,22 @@ void PlanService::worker_main() {
     detail::Record& r = *records_.at(key.id);
 
     const double now = obs::monotonic_ms();
+    // One queue segment ends here. The first segment is the admission wait;
+    // later ones (enqueue_ms reset on yield) are yield-preemption waits —
+    // analyze_trace.py attributes them separately via the "seg" index.
+    const double waited = now - r.enqueue_ms;
+    r.queue_wait_ms += waited;
+    h_queue_wait.observe(waited);
+    if (r.ctx.valid()) {
+      obs::TraceEvent("queue_wait")
+          .f("trace", r.ctx.trace)
+          .f("span", obs::next_span_id())
+          .f("parent", r.ctx.span)
+          .f("req", r.id)
+          .f("seg", r.yields)  // 0 = admission wait, k = wait after yield k
+          .f("dur_ms", waited)
+          .emit();
+    }
     if (r.cancel_requested.load(std::memory_order_relaxed)) {
       finish_locked(r, RequestState::kCancelled, "cancelled in queue");
       continue;
@@ -421,12 +491,23 @@ void PlanService::worker_main() {
 
     // Dequeue-time cache re-probe: an identical request may have completed
     // while this one queued.
-    if (std::optional<CachedPlan> hit = cache_.lookup(r.fp)) {
+    {
+      util::Timer probe_timer;
+      std::optional<CachedPlan> hit = cache_.lookup(r.fp);
+      const double probe_ms = probe_timer.millis();
+      h_probe.observe(probe_ms);
+      trace_cache_probe(r, probe_ms, hit.has_value());
+      if (hit) {
+        lock.lock();
+        r.cache_probe_ms += probe_ms;
+        r.cached = true;
+        r.result = std::move(*hit);
+        finish_locked(r, RequestState::kDone, {});
+        continue;
+      }
       lock.lock();
-      r.cached = true;
-      r.result = std::move(*hit);
-      finish_locked(r, RequestState::kDone, {});
-      continue;
+      r.cache_probe_ms += probe_ms;
+      lock.unlock();
     }
 
     if (!r.job) {
@@ -460,19 +541,31 @@ void PlanService::worker_main() {
       bool finished = false;
       bool failed = false;
       std::string fail_reason;
-      try {
-        for (std::size_t s = 0; s < cfg_.slice_phases && !finished; ++s) {
-          finished = r.job->run_phase();
+      std::size_t phases_in_slice = 0;
+      {
+        // The slice span parents this slot occupancy's phases (and their
+        // generations); it closes before the lock is re-acquired so it never
+        // outlasts the request's terminal event.
+        obs::ScopedSpan slice_span("slice", r.ctx);
+        slice_span.f("req", r.id).f("slice", r.slices);
+        try {
+          for (std::size_t s = 0; s < cfg_.slice_phases && !finished; ++s) {
+            finished = r.job->run_phase(slice_span.context());
+            ++phases_in_slice;
+          }
+        } catch (const std::exception& e) {
+          failed = true;
+          fail_reason = e.what();
         }
-      } catch (const std::exception& e) {
-        failed = true;
-        fail_reason = e.what();
+        slice_span.f("phases", phases_in_slice).f("finished", finished);
       }
       const double slice_ms = slice_timer.millis();
+      h_slice.observe(slice_ms);
 
       if (failed) {
         lock.lock();
         r.plan_ms += slice_ms;
+        ++r.slices;
         finish_locked(r, RequestState::kFailed, std::move(fail_reason));
         break;
       }
@@ -481,6 +574,7 @@ void PlanService::worker_main() {
         cache_.insert(r.fp, result);
         lock.lock();
         r.plan_ms += slice_ms;
+        ++r.slices;
         r.result = std::move(result);
         r.job.reset();
         finish_locked(r, RequestState::kDone, {});
@@ -489,6 +583,7 @@ void PlanService::worker_main() {
 
       lock.lock();
       r.plan_ms += slice_ms;
+      ++r.slices;
       // Yield between phases when equal- or higher-priority work waits:
       // re-queue with a fresh sequence number (fair round-robin among
       // equals) and let this loop pick the best candidate.
@@ -499,6 +594,7 @@ void PlanService::worker_main() {
         ++yields_;
         --planning_;
         g_planning.set(static_cast<std::int64_t>(planning_));
+        r.enqueue_ms = obs::monotonic_ms();
         queue_.insert(QKey{r.priority, r.seq, r.id});
         g_depth.set(static_cast<std::int64_t>(queue_.size()));
         c_yields.inc();
@@ -555,14 +651,23 @@ void PlanService::finish_locked(detail::Record& r, RequestState state,
   h_total.observe(r.finish_ms - r.submit_ms);
   h_plan.observe(r.plan_ms);
   if (obs::trace_enabled()) {
-    obs::TraceEvent("server")
-        .f("op", "complete")
+    // The request's root span: trace + own span id, no parent. Its dur_ms
+    // spans admission -> terminal, so every child (cache_probe, queue_wait
+    // segments, slices, phases, generations) nests inside it; this is also
+    // the tree's single terminal event (check_trace.py asserts exactly one
+    // per trace).
+    obs::TraceEvent ev("server");
+    if (r.ctx.valid()) ev.f("trace", r.ctx.trace).f("span", r.ctx.span);
+    ev.f("op", "complete")
         .f("req", r.id)
         .f("state", std::string_view(to_string(r.state)))
         .f("cached", r.cached)
         .f("valid", r.result.valid)
         .f("yields", r.yields)
+        .f("slices", r.slices)
         .f("queue_ms", (r.start_ms >= 0.0 ? r.start_ms : r.finish_ms) - r.submit_ms)
+        .f("queue_wait_ms", r.queue_wait_ms)
+        .f("cache_probe_ms", r.cache_probe_ms)
         .f("plan_ms", r.plan_ms)
         .f("dur_ms", r.finish_ms - r.submit_ms)
         .emit();
@@ -576,6 +681,10 @@ RequestStatus PlanService::status_locked(const detail::Record& r) const {
   st.state = r.state;
   st.cached = r.cached;
   st.yields = r.yields;
+  st.slices = r.slices;
+  st.queue_wait_ms = r.queue_wait_ms;
+  st.cache_probe_ms = r.cache_probe_ms;
+  st.trace_id = r.ctx.trace;
   st.detail = r.detail;
   st.plan_ms = r.plan_ms;
   const double now = obs::monotonic_ms();
@@ -651,6 +760,10 @@ ServiceSnapshot PlanService::snapshot() const {
     s.planning = planning_;
   }
   s.cache = cache_.stats();
+  const obs::MetricsSnapshot m = obs::snapshot_metrics();
+  if (const auto* h = m.find_histogram("server.queue_wait_ms")) s.queue_wait_ms = *h;
+  if (const auto* h = m.find_histogram("server.slice_ms")) s.slice_ms = *h;
+  if (const auto* h = m.find_histogram("server.cache_probe_ms")) s.cache_probe_ms = *h;
   return s;
 }
 

@@ -39,6 +39,7 @@
 
 #include "analysis/diagnostic.hpp"
 #include "core/config.hpp"
+#include "obs/metrics.hpp"
 #include "server/fingerprint.hpp"
 #include "server/plan_cache.hpp"
 #include "server/problem_spec.hpp"
@@ -93,9 +94,19 @@ struct RequestStatus {
   std::size_t phases_run = 0;
   std::size_t generations_total = 0;
   std::size_t yields = 0;   ///< times the request gave up its worker slot
+  std::size_t slices = 0;   ///< worker slices consumed (yields + 1 when run)
   double queue_ms = 0.0;    ///< admission -> first dequeue
+  /// Total time spent queued, every segment: the admission wait plus each
+  /// post-yield re-queue wait (yield-preemption time). queue_ms is only the
+  /// first segment.
+  double queue_wait_ms = 0.0;
+  double cache_probe_ms = 0.0;  ///< submit probe + dequeue re-probes
   double plan_ms = 0.0;     ///< time actually spent planning
   double total_ms = 0.0;    ///< admission -> terminal state
+  /// Trace id of the request's span tree in the run journal (0 when tracing
+  /// was off at admission) — the handle `scripts/analyze_trace.py` and the
+  /// wire `trace` verb key on.
+  std::uint64_t trace_id = 0;
   std::string detail;       ///< failure / timeout / cancel reason
 };
 
@@ -119,6 +130,12 @@ struct ServiceSnapshot {
   std::size_t queue_depth = 0;
   std::size_t planning = 0;
   PlanCache::Stats cache;
+  /// Latency attribution histograms (process-wide server.* metrics, so
+  /// instances in one process share them): time requests spent waiting in
+  /// the queue per segment, worker slice durations, and cache probe costs.
+  obs::HistogramSample queue_wait_ms;
+  obs::HistogramSample slice_ms;
+  obs::HistogramSample cache_probe_ms;
 };
 
 namespace detail {

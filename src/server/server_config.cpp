@@ -25,6 +25,9 @@ std::string ServerConfig::summary() const {
       << " slice=" << slice_phases;
   if (default_deadline_ms > 0.0) out << " deadline=" << default_deadline_ms << "ms";
   if (!lint_requests) out << " lint=off";
+  if (!metrics_dump_path.empty()) {
+    out << " metrics=" << metrics_dump_path << "@" << metrics_dump_ms << "ms";
+  }
   return out.str();
 }
 
@@ -93,6 +96,10 @@ ServerConfigFile parse_lines(std::istream& in, const std::string& path) {
       std::size_t flag = 1;
       ok = parse_size(value, flag);
       file.config.lint_requests = flag != 0;
+    } else if (key == "metrics-dump-path") {
+      file.config.metrics_dump_path = value;
+    } else if (key == "metrics-dump-ms") {
+      ok = parse_ms(value, file.config.metrics_dump_ms);
     } else {
       file.parse_report.warning("server.unknown-key",
                                 "unknown ServerConfig key '" + key + "'", key,

@@ -51,6 +51,12 @@ struct ServerConfig {
   /// Run the static-analysis gate (config + problem lint) before admission;
   /// lint errors reject the request with its diagnostics attached.
   bool lint_requests = true;
+  /// Live telemetry plane: when non-empty, the server front end runs an
+  /// obs::MetricsDumper rewriting this file with the Prometheus text
+  /// exposition every metrics_dump_ms (the GAPLAN_METRICS_DUMP env var
+  /// overrides the path at startup). Empty disables the dumper.
+  std::string metrics_dump_path;
+  double metrics_dump_ms = 1000.0;
 
   /// Throws std::invalid_argument on the first server_lint error.
   void validate() const;

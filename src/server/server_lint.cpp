@@ -88,6 +88,19 @@ analysis::Report lint_server_config(const ServerConfig& cfg) {
                        ") — some shards can never hold an entry",
                    "cache_capacity");
   }
+  if (std::isnan(cfg.metrics_dump_ms) || cfg.metrics_dump_ms <= 0.0) {
+    if (!cfg.metrics_dump_path.empty()) {
+      report.error("server.bad-metrics-interval",
+                   "metrics_dump_ms must be a positive number of milliseconds "
+                   "when metrics_dump_path is set",
+                   "metrics_dump_ms");
+    }
+  } else if (!cfg.metrics_dump_path.empty() && cfg.metrics_dump_ms < 10.0) {
+    report.warning("server.metrics-interval-hot",
+                   "metrics_dump_ms below 10ms rewrites the exposition file "
+                   "hundreds of times per second",
+                   "metrics_dump_ms");
+  }
   if (cfg.cache_capacity == 0) {
     report.warning("server.no-cache",
                    "plan cache disabled — every repeated request pays a full "

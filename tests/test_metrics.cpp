@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -202,6 +206,66 @@ TEST(Metrics, LatencyBucketsAreSane) {
   const auto& b = obs::latency_buckets_ms();
   ASSERT_FALSE(b.empty());
   for (std::size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+}
+
+TEST(Metrics, PrometheusExpositionIsScrapeReady) {
+  obs::counter("test.prom_counter").inc(3);
+  obs::gauge("test.prom_gauge").set(42);  // gauges are integral
+  obs::Histogram& h =
+      obs::histogram("test.prom_hist", std::vector<double>{1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+
+  const std::string text =
+      obs::render_metrics_prometheus(obs::snapshot_metrics());
+  // Names are prefixed and sanitized; counters gain _total.
+  EXPECT_NE(text.find("# TYPE gaplan_test_prom_counter_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("gaplan_test_prom_counter_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE gaplan_test_prom_gauge gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("gaplan_test_prom_gauge 42"), std::string::npos);
+  // Histogram buckets are cumulative and terminate at le="+Inf" == _count.
+  EXPECT_NE(text.find("gaplan_test_prom_hist_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("gaplan_test_prom_hist_bucket{le=\"10\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("gaplan_test_prom_hist_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("gaplan_test_prom_hist_sum 55.5"), std::string::npos);
+  EXPECT_NE(text.find("gaplan_test_prom_hist_count 3"), std::string::npos);
+  // No unsanitized dotted names leak through.
+  EXPECT_EQ(text.find("test.prom_"), std::string::npos);
+}
+
+TEST(Metrics, JsonExportRendersNonFiniteAsNull) {
+  // An infinite observation poisons the histogram sum; the JSON export must
+  // degrade to null rather than emit the invalid-JSON literal "inf".
+  obs::Histogram& h =
+      obs::histogram("test.inf_hist", std::vector<double>{1.0});
+  h.observe(std::numeric_limits<double>::infinity());
+  const std::string json = obs::render_metrics_json(obs::snapshot_metrics());
+  const auto at = json.find("test.inf_hist");
+  ASSERT_NE(at, std::string::npos);
+  const std::string entry = json.substr(at, 200);
+  EXPECT_NE(entry.find("\"sum\":null"), std::string::npos) << entry;
+  EXPECT_EQ(entry.find("inf,"), std::string::npos) << entry;
+}
+
+TEST(Metrics, DumperWritesFinalExpositionOnStop) {
+  const std::string path = ::testing::TempDir() + "gaplan_metrics_dump.prom";
+  std::remove(path.c_str());
+  obs::counter("test.dumper_counter").inc();
+  {
+    obs::MetricsDumper dumper(path, /*interval_ms=*/50.0);
+    dumper.stop();  // stop() must leave one complete dump behind
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("gaplan_test_dumper_counter_total"), std::string::npos);
 }
 
 }  // namespace

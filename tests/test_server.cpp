@@ -6,6 +6,9 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
 #include <set>
 #include <string>
 #include <thread>
@@ -13,6 +16,8 @@
 
 #include "core/multiphase.hpp"
 #include "domains/hanoi.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "server/fingerprint.hpp"
 #include "server/plan_cache.hpp"
 #include "server/plan_service.hpp"
@@ -527,6 +532,88 @@ TEST(PlanServiceTest, ConcurrentClientsSeeConsistentResults) {
   const auto snap = svc.snapshot();
   EXPECT_EQ(snap.completed, 24u);
   EXPECT_GE(snap.cache.hits, 22u);  // 2 misses fill the cache, the rest hit
+}
+
+/// First integer after `"key":` in a JSONL line, or 0 when absent.
+std::uint64_t json_u64(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto at = line.find(needle);
+  if (at == std::string::npos) return 0;
+  return std::stoull(line.substr(at + needle.size()));
+}
+
+TEST(PlanServiceTrace, InterleavedRequestsKeepSpanTreesSeparate) {
+  // Eight requests race across two workers with tracing on. Every journal
+  // event that names a request must sit in that request's own trace — span
+  // ids minted on one worker must never leak into another request's tree —
+  // and the queue-wait / slice / cache-probe histograms must advance.
+  const std::string path =
+      ::testing::TempDir() + "gaplan_serve_interleaved.jsonl";
+  std::remove(path.c_str());
+
+  const auto* before_qw =
+      obs::snapshot_metrics().find_histogram("server.queue_wait_ms");
+  const std::uint64_t qw0 = before_qw ? before_qw->count : 0;
+
+  obs::set_trace_path(path);
+  std::map<std::uint64_t, std::uint64_t> req_to_trace;  // service id -> trace
+  {
+    ServerConfig cfg = small_server();
+    cfg.workers = 2;
+    PlanService svc(cfg);
+
+    ga::GaConfig gcfg;
+    gcfg.population_size = 40;
+    gcfg.generations = 10;
+    gcfg.phases = 4;
+
+    std::vector<std::uint64_t> ids;
+    std::string err;
+    for (int seed = 1; seed <= 8; ++seed) {
+      PlanRequest req;
+      req.problem = *ProblemSpec::parse("hanoi:3", err);
+      req.config = gcfg;
+      req.seed = static_cast<std::uint64_t>(seed);  // distinct: no cache hits
+      const auto out = svc.submit(req);
+      ASSERT_TRUE(out.accepted);
+      ids.push_back(out.id);
+    }
+    for (const auto id : ids) {
+      const auto st = svc.wait(id);
+      ASSERT_TRUE(st.has_value());
+      EXPECT_EQ(st->state, RequestState::kDone);
+      EXPECT_NE(st->trace_id, 0u);
+      EXPECT_GE(st->slices, 1u);
+      req_to_trace[id] = st->trace_id;
+    }
+
+    const auto snap = svc.snapshot();
+    EXPECT_GE(snap.queue_wait_ms.count, qw0 + 8);  // every request waited once
+    EXPECT_GE(snap.slice_ms.count, 8u);
+    EXPECT_GE(snap.cache_probe_ms.count, 8u);
+  }
+  obs::set_trace_path("");  // close before asserting so failures can't leak
+
+  // Eight requests, eight distinct traces.
+  std::set<std::uint64_t> distinct;
+  for (const auto& [id, trace] : req_to_trace) distinct.insert(trace);
+  EXPECT_EQ(distinct.size(), 8u);
+
+  // Every traced event naming a request must carry that request's trace id.
+  std::ifstream in(path);
+  std::string line;
+  std::size_t cross_checked = 0;
+  while (std::getline(in, line)) {
+    const std::uint64_t trace = json_u64(line, "trace");
+    const std::uint64_t req = json_u64(line, "req");
+    if (trace == 0 || req == 0) continue;
+    const auto it = req_to_trace.find(req);
+    ASSERT_NE(it, req_to_trace.end()) << line;
+    EXPECT_EQ(trace, it->second) << line;
+    ++cross_checked;
+  }
+  // submit + complete + queue_wait + slice + cache_probe per request, at least.
+  EXPECT_GE(cross_checked, 8u * 5u);
 }
 
 TEST(PlanServiceTest, ConstructorEnforcesServerLint) {

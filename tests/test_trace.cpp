@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -74,8 +75,12 @@ TEST_F(TraceTest, DisabledByDefault) {
   EXPECT_FALSE(obs::trace_enabled());
   // Events constructed while disabled are inert.
   obs::TraceEvent("noop").f("x", 1).emit();
-  obs::TraceSpan span("noop_span");
+  obs::ScopedSpan span("noop_span");
   span.f("y", 2.0);
+  // Disabled tracing mints no ids: contexts are invalid and propagate as
+  // no-ops through every layer.
+  EXPECT_FALSE(span.context().valid());
+  EXPECT_FALSE(obs::new_trace_context().valid());
 }
 
 TEST_F(TraceTest, EnvRoundTripViaUtilEnv) {
@@ -111,8 +116,12 @@ TEST_F(TraceTest, JsonlWellFormedness) {
   obs::TraceEvent("escapes")
       .f("tricky", std::string_view("quote\" backslash\\ newline\n tab\t"))
       .emit();
-  obs::TraceEvent("nonfinite").f("inf", 1e308 * 10).emit();
-  { obs::TraceSpan span("timed"); }  // emitted by destructor with dur_ms
+  obs::TraceEvent("nonfinite")
+      .f("inf", 1e308 * 10)
+      .f("neg_inf", -1e308 * 10)
+      .f("nan", std::nan(""))
+      .emit();
+  { obs::ScopedSpan span("timed"); }  // emitted by destructor with dur_ms
   obs::set_trace_path("");
 
   const auto lines = read_lines(path);  // trace_start marker + four events
@@ -127,9 +136,96 @@ TEST_F(TraceTest, JsonlWellFormedness) {
   EXPECT_NE(lines[1].find("\"b\":true"), std::string::npos);
   EXPECT_NE(lines[2].find("quote\\\""), std::string::npos);
   EXPECT_NE(lines[2].find("newline\\n"), std::string::npos);
+  // Non-finite doubles must render as null, never the invalid-JSON literals
+  // inf / -inf / nan (regression: they used to pass through %g verbatim).
   EXPECT_NE(lines[3].find("\"inf\":null"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"neg_inf\":null"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"nan\":null"), std::string::npos);
+  EXPECT_EQ(lines[3].find("inf,"), std::string::npos);
   EXPECT_NE(lines[4].find("\"ev\":\"timed\""), std::string::npos);
   EXPECT_NE(lines[4].find("\"dur_ms\":"), std::string::npos);
+  // A root span carries its trace + span ids.
+  EXPECT_NE(lines[4].find("\"trace\":"), std::string::npos);
+  EXPECT_NE(lines[4].find("\"span\":"), std::string::npos);
+}
+
+TEST_F(TraceTest, SpanContextPropagation) {
+  const std::string path = journal_path("spans");
+  std::remove(path.c_str());
+  obs::set_trace_path(path);
+
+  std::uint64_t trace_id = 0, root_id = 0, child_id = 0;
+  {
+    obs::ScopedSpan root("outer");
+    ASSERT_TRUE(root.context().valid());
+    trace_id = root.context().trace;
+    root_id = root.context().span;
+    {
+      obs::ScopedSpan child("inner", root.context());
+      // The child joins the parent's trace under a fresh span id.
+      EXPECT_EQ(child.context().trace, trace_id);
+      EXPECT_NE(child.context().span, root_id);
+      child_id = child.context().span;
+      obs::TraceEvent("note").in(child.context()).f("k", 1).emit();
+    }
+  }
+  obs::set_trace_path("");
+
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 4u);  // trace_start, note, inner, outer
+  const std::string trace_field = "\"trace\":" + std::to_string(trace_id);
+  // The annotation carries trace + parent (the child span), no span id.
+  EXPECT_NE(lines[1].find("\"ev\":\"note\""), std::string::npos);
+  EXPECT_NE(lines[1].find(trace_field), std::string::npos);
+  EXPECT_NE(lines[1].find("\"parent\":" + std::to_string(child_id)),
+            std::string::npos);
+  // Children close (and emit) before their parents; parent links resolve.
+  EXPECT_NE(lines[2].find("\"ev\":\"inner\""), std::string::npos);
+  EXPECT_NE(lines[2].find(trace_field), std::string::npos);
+  EXPECT_NE(lines[2].find("\"parent\":" + std::to_string(root_id)),
+            std::string::npos);
+  EXPECT_NE(lines[3].find("\"ev\":\"outer\""), std::string::npos);
+  EXPECT_NE(lines[3].find(trace_field), std::string::npos);
+  EXPECT_EQ(lines[3].find("\"parent\":"), std::string::npos);  // root
+}
+
+TEST_F(TraceTest, MultiphaseSpansShareOneTrace) {
+  const std::string path = journal_path("span_tree");
+  std::remove(path.c_str());
+  obs::set_trace_path(path);
+
+  gaplan::domains::Hanoi hanoi(3);
+  gaplan::ga::GaConfig cfg;
+  cfg.phases = 2;
+  cfg.generations = 10;
+  cfg.population_size = 30;
+  cfg.initial_length = 7;
+  cfg.max_length = 70;
+  cfg.stop_on_valid = false;
+  (void)gaplan::ga::run_multiphase(hanoi, cfg, std::uint64_t{11});
+  obs::set_trace_path("");
+
+  // Every run/phase/generation line must carry the same trace id, and every
+  // phase/generation a parent.
+  std::string run_trace;
+  std::size_t tagged = 0;
+  for (const auto& line : read_lines(path)) {
+    const bool is_span = line.find("\"ev\":\"run\"") != std::string::npos ||
+                         line.find("\"ev\":\"phase\"") != std::string::npos ||
+                         line.find("\"ev\":\"generation\"") != std::string::npos;
+    if (!is_span) continue;
+    ++tagged;
+    const std::size_t at = line.find("\"trace\":");
+    ASSERT_NE(at, std::string::npos) << line;
+    const std::size_t digits = at + 8;  // strlen("\"trace\":")
+    const std::string id = line.substr(digits, line.find(',', digits) - digits);
+    if (run_trace.empty()) run_trace = id;
+    EXPECT_EQ(id, run_trace) << line;
+    if (line.find("\"ev\":\"run\"") == std::string::npos) {
+      EXPECT_NE(line.find("\"parent\":"), std::string::npos) << line;
+    }
+  }
+  EXPECT_GE(tagged, 1u + 2u + 2u);  // 1 run + >=2 phases + >=1 gen per phase
 }
 
 TEST_F(TraceTest, MultiphaseRunWritesJournal) {
