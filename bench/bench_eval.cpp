@@ -1,15 +1,20 @@
-// Evaluation-throughput bench: A/B of the incremental decode engine against
-// a forced-cold configuration on the paper's hardest workload (7-disk Towers
-// of Hanoi, multi-phase GA, pop 200, Table 1 operator settings), plus a
-// cache-hit-rate section on a cacheable domain (Sokoban).
+// Evaluation-throughput bench: A/B/C of the struct-of-arrays batched decode
+// engine (soa) and the incremental scalar engine against a forced-cold
+// configuration on the paper's hardest workload (7-disk Towers of Hanoi,
+// multi-phase GA, pop 200, Table 1 operator settings), plus a cache-hit-rate
+// section on a cacheable domain (Sokoban).
 //
-// Both configs run the identical evolutionary trajectory (same seeds; the
-// incremental path is bit-identical to cold decode), so evaluations/second
-// over wall time is a fair apples-to-apples throughput measure. Results go
-// to BENCH_eval.json (schema checked by scripts/check_bench.py).
+// All configs run the identical evolutionary trajectory (same seeds; both the
+// incremental path and the pooled layout are bit-identical to cold decode),
+// so evaluations/second over wall time is a fair apples-to-apples throughput
+// measure. Results go to BENCH_eval.json (schema checked by
+// scripts/check_bench.py).
 #include "bench_common.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "domains/hanoi.hpp"
@@ -43,6 +48,30 @@ struct ConfigResult {
   std::uint64_t resume_genes_skipped = 0;
   double eval_ms = 0.0;       ///< ga.eval_ms histogram-sum delta
   double reproduce_ms = 0.0;  ///< ga.reproduce_ms histogram-sum delta
+  std::vector<double> rep_seconds;  ///< wall time of every repetition
+
+  double seconds_min() const {
+    return rep_seconds.empty()
+               ? seconds
+               : *std::min_element(rep_seconds.begin(), rep_seconds.end());
+  }
+  double seconds_median() const {
+    if (rep_seconds.empty()) return seconds;
+    std::vector<double> s = rep_seconds;
+    std::sort(s.begin(), s.end());
+    const std::size_t n = s.size();
+    return n % 2 == 1 ? s[n / 2] : 0.5 * (s[n / 2 - 1] + s[n / 2]);
+  }
+  double seconds_stddev() const {
+    const std::size_t n = rep_seconds.size();
+    if (n < 2) return 0.0;
+    double mean = 0.0;
+    for (double s : rep_seconds) mean += s;
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (double s : rep_seconds) var += (s - mean) * (s - mean);
+    return std::sqrt(var / static_cast<double>(n - 1));
+  }
 
   double evals_per_sec() const {
     return seconds > 0.0 ? static_cast<double>(evaluations) / seconds : 0.0;
@@ -93,16 +122,22 @@ ConfigResult run_config_once(const std::string& name, const P& problem,
 
 /// Best-of-N repetitions: the workload is deterministic (identical seeds →
 /// identical work), so the minimum wall time is the least-perturbed
-/// measurement; counter deltas are identical across reps.
+/// measurement; counter deltas are identical across reps. All rep wall times
+/// are kept so the JSON can report the spread (min/median/stddev) alongside
+/// the best — a speedup whose margin is inside the rep noise is not a result.
 template <typename P>
 ConfigResult run_config(const std::string& name, const P& problem,
                         const gaplan::ga::GaConfig& cfg, std::size_t runs,
                         std::uint64_t seed, int reps) {
   ConfigResult best;
+  std::vector<double> rep_seconds;
+  rep_seconds.reserve(static_cast<std::size_t>(reps));
   for (int rep = 0; rep < reps; ++rep) {
     ConfigResult r = run_config_once(name, problem, cfg, runs, seed);
+    rep_seconds.push_back(r.seconds);
     if (rep == 0 || r.seconds < best.seconds) best = r;
   }
+  best.rep_seconds = std::move(rep_seconds);
   return best;
 }
 
@@ -113,7 +148,9 @@ void json_config(std::FILE* f, const ConfigResult& r, bool last) {
                " \"ops_decoded\": %llu, \"ops_decoded_per_sec\": %.2f,"
                " \"cache_hits\": %llu, \"cache_misses\": %llu,"
                " \"cache_hit_rate\": %.6f, \"resume_genes_skipped\": %llu,"
-               " \"eval_ms\": %.3f, \"reproduce_ms\": %.3f}%s\n",
+               " \"eval_ms\": %.3f, \"reproduce_ms\": %.3f,"
+               " \"seconds_min\": %.6f, \"seconds_median\": %.6f,"
+               " \"seconds_stddev\": %.6f}%s\n",
                r.name.c_str(), r.seconds,
                static_cast<unsigned long long>(r.evaluations),
                r.evals_per_sec(),
@@ -122,7 +159,8 @@ void json_config(std::FILE* f, const ConfigResult& r, bool last) {
                static_cast<unsigned long long>(r.cache_misses),
                r.cache_hit_rate(),
                static_cast<unsigned long long>(r.resume_genes_skipped),
-               r.eval_ms, r.reproduce_ms, last ? "" : ",");
+               r.eval_ms, r.reproduce_ms, r.seconds_min(), r.seconds_median(),
+               r.seconds_stddev(), last ? "" : ",");
 }
 
 }  // namespace
@@ -158,12 +196,26 @@ int main() {
   if (util::env_str("GAPLAN_XOVER", "mixed") == "random") {
     base.crossover = ga::CrossoverKind::kRandom;
   }
+  base.eval_batch_width = static_cast<std::size_t>(
+      util::env_int("GAPLAN_BATCH", 8));
 
-  ga::GaConfig cold = base;
+  // cold and incremental pin the scalar layout (they are the PR 2 A/B pair;
+  // under kAuto Hanoi's SIMD kernel would take over both). soa is the same
+  // incremental trajectory through the pooled genome pool + batched kernel.
+  ga::GaConfig inc = base;
+  inc.eval_layout = ga::EvalLayout::kScalar;
+  ga::GaConfig cold = inc;
   cold.incremental_eval = false;
   cold.ops_cache_size = 0;
+  ga::GaConfig soa = base;
+  soa.eval_layout = ga::EvalLayout::kPooled;
+  // Population-wide batches let the vector path's longest-remaining-first
+  // grouping keep all 8 SIMD lanes busy (decoder.hpp run_vector); results
+  // are bit-identical at any width.
+  soa.eval_batch_width = static_cast<std::size_t>(util::env_int(
+      "GAPLAN_SOA_BATCH", static_cast<int>(base.population_size)));
 
-  bench::print_header("Evaluation throughput: cold vs incremental decode",
+  bench::print_header("Evaluation throughput: cold vs incremental vs soa",
                       base, params);
   std::printf("workload: Hanoi-7 multi-phase, pop %zu, %zu phases x %zu "
               "generations, %zu run(s)\n\n",
@@ -173,10 +225,15 @@ int main() {
   const ConfigResult cold_r =
       run_config("cold", hanoi, cold, params.runs, params.seed, reps);
   const ConfigResult inc_r =
-      run_config("incremental", hanoi, base, params.runs, params.seed, reps);
+      run_config("incremental", hanoi, inc, params.runs, params.seed, reps);
+  const ConfigResult soa_r =
+      run_config("soa", hanoi, soa, params.runs, params.seed, reps);
   const double speedup = cold_r.evals_per_sec() > 0.0
                              ? inc_r.evals_per_sec() / cold_r.evals_per_sec()
                              : 0.0;
+  const double speedup_soa = inc_r.evals_per_sec() > 0.0
+                                 ? soa_r.evals_per_sec() / inc_r.evals_per_sec()
+                                 : 0.0;
 
   // Second cache-hit-rate datapoint: Sokoban's valid_ops is much heavier
   // than Hanoi's (per-move reachability over the board) and its state space
@@ -202,7 +259,7 @@ int main() {
 
   util::Table table({"config", "seconds", "evals/s", "ops-decoded/s",
                      "cache hit rate", "genes skipped"});
-  for (const ConfigResult* r : {&cold_r, &inc_r, &sok_r}) {
+  for (const ConfigResult* r : {&cold_r, &inc_r, &soa_r, &sok_r}) {
     table.add_row({r->name, util::Table::num(r->seconds, 2),
                    util::Table::num(r->evals_per_sec(), 0),
                    util::Table::num(r->ops_per_sec(), 0),
@@ -212,6 +269,7 @@ int main() {
   }
   std::printf("\n%s\n", table.render().c_str());
   std::printf("speedup (incremental vs cold, evals/s): %.2fx\n", speedup);
+  std::printf("speedup (soa vs incremental, evals/s): %.2fx\n", speedup_soa);
 
   const std::string path = bench::csv_path("BENCH_eval.json");
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -226,24 +284,28 @@ int main() {
                " \"generations_per_phase\": %zu, \"runs\": %zu,"
                " \"seed\": %llu, \"crossover\": \"%s\","
                " \"checkpoint_stride\": %zu, \"ops_cache_size\": %zu,"
-               " \"reps\": %d},\n",
+               " \"eval_batch_width\": %zu, \"reps\": %d},\n",
                base.population_size, phases, base.generations, params.runs,
                static_cast<unsigned long long>(params.seed),
                base.crossover == ga::CrossoverKind::kRandom ? "random" : "mixed",
-               base.eval_checkpoint_stride, base.ops_cache_size, reps);
+               base.eval_checkpoint_stride, base.ops_cache_size,
+               base.eval_batch_width, reps);
   std::fprintf(f, "  \"configs\": [\n");
   json_config(f, cold_r, false);
-  json_config(f, inc_r, true);
+  json_config(f, inc_r, false);
+  json_config(f, soa_r, true);
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"speedup_evals_per_sec\": %.4f,\n", speedup);
+  std::fprintf(f, "  \"speedup_evals_per_sec_soa\": %.4f,\n", speedup_soa);
   std::fprintf(f, "  \"sokoban_cache\": {\"cache_hits\": %llu,"
                " \"cache_misses\": %llu, \"cache_hit_rate\": %.6f},\n",
                static_cast<unsigned long long>(sok_r.cache_hits),
                static_cast<unsigned long long>(sok_r.cache_misses),
                sok_r.cache_hit_rate());
   std::fprintf(f, "  \"notes\": \"identical seeds and evolutionary trajectory"
-               " in both configs; evals/s = ga.evaluations delta / wall;"
-               " best of %d reps per config\"\n}\n", reps);
+               " in all configs; evals/s = ga.evaluations delta / wall;"
+               " best of %d reps per config, spread in seconds_min/median/"
+               "stddev\"\n}\n", reps);
   std::fclose(f);
   std::printf("json: %s\n", path.c_str());
 

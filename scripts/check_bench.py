@@ -77,27 +77,60 @@ def check_eval_config(entry, where, errors):
     rate = entry.get("cache_hit_rate")
     if isinstance(rate, (int, float)) and not 0.0 <= rate <= 1.0:
         errors.append(f"{where}: cache_hit_rate {rate} outside [0, 1]")
+    # Rep-variance fields (PR 7): the headline best-of-reps number must come
+    # with its spread, and the reported seconds must be the recorded minimum.
+    for key in ("seconds_min", "seconds_median", "seconds_stddev"):
+        if key not in entry:
+            errors.append(f"{where}: missing rep-variance key '{key}'")
+        elif not isinstance(entry[key], (int, float)) or isinstance(entry[key], bool):
+            errors.append(f"{where}: '{key}' has wrong type")
+    smin, smed, sdev = (entry.get(k) for k in
+                        ("seconds_min", "seconds_median", "seconds_stddev"))
+    if isinstance(smin, (int, float)) and isinstance(smed, (int, float)):
+        if smin > smed:
+            errors.append(f"{where}: seconds_min {smin} > seconds_median {smed}")
+        secs = entry.get("seconds")
+        if isinstance(secs, (int, float)) and abs(secs - smin) > 1e-6:
+            errors.append(f"{where}: seconds {secs} != seconds_min {smin}")
+    if isinstance(sdev, (int, float)) and sdev < 0:
+        errors.append(f"{where}: seconds_stddev must be non-negative")
+
+
+# The pooled layout must beat the scalar incremental engine by at least this
+# factor on the recorded Hanoi-7 workload (ISSUE 7; the regression ctest uses
+# the same floor on a shorter run).
+SOA_SPEEDUP_FLOOR = 1.5
 
 
 def validate_eval(doc, errors):
-    for key in ("workload", "configs", "speedup_evals_per_sec", "sokoban_cache"):
+    for key in ("workload", "configs", "speedup_evals_per_sec",
+                "speedup_evals_per_sec_soa", "sokoban_cache"):
         if key not in doc:
             errors.append(f"missing top-level key '{key}'")
 
     configs = doc.get("configs")
-    if not isinstance(configs, list) or len(configs) < 2:
-        errors.append("'configs' must be a list with at least two entries")
+    if not isinstance(configs, list) or len(configs) < 3:
+        errors.append("'configs' must be a list with at least three entries")
     else:
         for i, entry in enumerate(configs):
             check_eval_config(entry, f"configs[{i}]", errors)
         names = [c.get("name") for c in configs if isinstance(c, dict)]
-        for want in ("cold", "incremental"):
+        for want in ("cold", "incremental", "soa"):
             if want not in names:
                 errors.append(f"no config named '{want}'")
 
     speedup = doc.get("speedup_evals_per_sec")
     if not isinstance(speedup, (int, float)) or speedup <= 0:
         errors.append(f"speedup_evals_per_sec must be positive, got {speedup!r}")
+
+    speedup_soa = doc.get("speedup_evals_per_sec_soa")
+    if not isinstance(speedup_soa, (int, float)) or speedup_soa <= 0:
+        errors.append(
+            f"speedup_evals_per_sec_soa must be positive, got {speedup_soa!r}")
+    elif speedup_soa < SOA_SPEEDUP_FLOOR:
+        errors.append(
+            f"speedup_evals_per_sec_soa {speedup_soa:.2f} below the "
+            f"{SOA_SPEEDUP_FLOOR}x floor (pooled layout regressed)")
 
     sok = doc.get("sokoban_cache")
     if isinstance(sok, dict):
@@ -109,7 +142,7 @@ def validate_eval(doc, errors):
 
     if not errors and isinstance(speedup, (int, float)):
         print(f"check_bench: OK (bench_eval) — speedup {speedup:.2f}x, "
-              f"{len(configs)} configs")
+              f"soa {speedup_soa:.2f}x, {len(configs)} configs")
 
 
 def check_chaos_side(entry, where, errors):

@@ -6,10 +6,13 @@
 # -fno-sanitize-recover semantics — any finding fails the suite.
 #
 # The tsan lane runs ThreadSanitizer over the concurrent subsystems only
-# (the planning service, its thread pool, and the islands model) — TSan's
-# ~10x slowdown makes the full suite impractical, and the single-threaded
-# tests have nothing for it to find. It is not part of "all" for the same
-# reason; run it explicitly.
+# (the planning service, its thread pool, the islands model, and the pooled
+# SoA evaluator's threaded lane splicing) — TSan's ~10x slowdown makes the
+# full suite impractical, and the single-threaded tests have nothing for it
+# to find. It is not part of "all" for the same reason; run it explicitly.
+# The asan/ubsan lanes run the whole suite, which includes the SoA layout
+# parity fuzz and the bench_eval smoke, so lane splicing and the batched
+# kernel decoder get exercised under both of those as well.
 #
 #   scripts/run_sanitizers.sh [asan|ubsan|tsan|all]   (default: all)
 #
@@ -42,7 +45,7 @@ case "${lane}" in
   asan)  run_lane asan address "$@" ;;
   ubsan) run_lane ubsan undefined "$@" ;;
   tsan)  run_lane tsan thread \
-           -R 'PlanService|PlanCache|ThreadPool|Serve|Island|serve_smoke|trace_analyze_smoke' \
+           -R 'PlanService|PlanCache|ThreadPool|Serve|Island|Soa|serve_smoke|trace_analyze_smoke' \
            "$@" ;;
   all)   run_lane ubsan undefined "$@"
          run_lane asan address "$@" ;;

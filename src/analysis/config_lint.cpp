@@ -83,6 +83,10 @@ Report lint_config(const ga::GaConfig& cfg) {
                  "is on",
                  "eval_checkpoint_stride");
   }
+  if (cfg.eval_batch_width < 1 || cfg.eval_batch_width > 1024) {
+    report.error("config.bad-batch-width",
+                 "eval_batch_width must be in [1, 1024]", "eval_batch_width");
+  }
   if (report.has_errors()) return report;  // warnings assume a sane base
 
   // --- warnings: legal but degraded ----------------------------------------
@@ -113,6 +117,15 @@ Report lint_config(const ga::GaConfig& cfg) {
                        "): selection degenerates to always picking the "
                        "population best",
                    "tournament_size");
+  }
+  if (cfg.eval_layout == ga::EvalLayout::kPooled &&
+      (cfg.replacement == ga::ReplacementKind::kCrowding ||
+       cfg.encoding == ga::EncodingKind::kDirect)) {
+    report.warning("config.pooled-layout-ignored",
+                   "eval_layout=pooled is ignored: only the generational "
+                   "indirect engine uses the struct-of-arrays genome pool "
+                   "(crowding and the direct encoding always run scalar)",
+                   "eval_layout");
   }
   if (cfg.mutation_rate > 0.5) {
     report.warning("config.high-mutation-rate",

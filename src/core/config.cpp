@@ -56,6 +56,15 @@ const char* to_string(ReplacementKind k) noexcept {
   return "?";
 }
 
+const char* to_string(EvalLayout k) noexcept {
+  switch (k) {
+    case EvalLayout::kAuto: return "auto";
+    case EvalLayout::kScalar: return "scalar";
+    case EvalLayout::kPooled: return "pooled";
+  }
+  return "?";
+}
+
 namespace {
 void check(bool ok, const char* what) {
   if (!ok) throw std::invalid_argument(std::string("GaConfig: ") + what);
@@ -85,6 +94,8 @@ void GaConfig::validate() const {
         "seed_greediness must be in [0, 1]");
   check(!incremental_eval || eval_checkpoint_stride >= 1,
         "eval_checkpoint_stride must be >= 1 when incremental_eval is on");
+  check(eval_batch_width >= 1 && eval_batch_width <= 1024,
+        "eval_batch_width must be in [1, 1024]");
 }
 
 GaConfig GaConfig::scaled(double generations_factor, double population_factor,
@@ -126,6 +137,10 @@ std::string GaConfig::summary() const {
   } else {
     os << " cold-eval";
   }
+  if (eval_layout != EvalLayout::kAuto) {
+    os << " layout=" << to_string(eval_layout);
+  }
+  os << " batch=" << eval_batch_width;
   return os.str();
 }
 

@@ -24,8 +24,10 @@
 // them and draw identical random-number sequences.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <limits>
+#include <span>
 
 #include "core/config.hpp"
 #include "core/individual.hpp"
@@ -65,7 +67,92 @@ struct CrossoverScratch {
   std::vector<std::size_t> match_buffer;
 };
 
+/// A writable gene lane of the struct-of-arrays genome pool
+/// (core/genome_pool.hpp): `data`/`capacity` locate the slot's contiguous
+/// storage, `size` is the genome length the writer produced. The lane path
+/// splices children with two flat copies instead of vector inserts; the
+/// engine sizes capacity to GaConfig::max_length so lane truncation and the
+/// Genome path's max_length truncation coincide.
+struct GeneLane {
+  Gene* data = nullptr;
+  std::size_t capacity = 0;
+  std::size_t size = 0;
+};
+
 namespace detail {
+
+/// Cut points drawn for a one-point crossover; ok=false means the operator
+/// declined (degenerate parents or no state match).
+struct CutPoints {
+  std::size_t c1 = 0;
+  std::size_t c2 = 0;
+  bool ok = false;
+};
+
+/// The cut-point draws of random one-point crossover, shared by the Genome
+/// and lane paths so both consume identical random sequences. Cut points
+/// range over [0, len] — boundary cuts let one child inherit a whole parent
+/// plus a prefix, the mechanism that lets genome lengths grow. Degenerate
+/// cuts that would produce an empty child are resampled (8 attempts).
+inline CutPoints pick_random_cuts(std::size_t a_len, std::size_t b_len,
+                                  util::Rng& rng) {
+  if (a_len == 0 || b_len == 0) return {};
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const auto c1 = static_cast<std::size_t>(rng.below(a_len + 1));
+    const auto c2 = static_cast<std::size_t>(rng.below(b_len + 1));
+    const bool child1_empty = c1 == 0 && c2 == b_len;
+    const bool child2_empty = c2 == 0 && c1 == a_len;
+    if (!child1_empty && !child2_empty) return {c1, c2, true};
+  }
+  return {};
+}
+
+/// The cut-point draws of state-aware crossover (see
+/// crossover_state_aware_into for the matching semantics), shared by the
+/// Genome and lane paths so both consume identical random sequences.
+inline CutPoints pick_state_aware_cuts(std::size_t a_len,
+                                       const std::vector<std::uint64_t>& keys_a,
+                                       std::size_t b_len,
+                                       const std::vector<std::uint64_t>& keys_b,
+                                       util::Rng& rng,
+                                       std::vector<std::size_t>& match_buffer) {
+  if (a_len < 2 || b_len < 2) return {};
+  // States are only known along the decoded prefix of each genome. Cut
+  // positions range over [0, decoded]: boundary matches (e.g. the donated
+  // tail being all of b, spliced where a's trajectory matches b's start) are
+  // the growth mechanism, exactly as in crossover_random.
+  const std::size_t decoded_a = keys_a.empty() ? 0 : keys_a.size() - 1;
+  const std::size_t decoded_b = keys_b.empty() ? 0 : keys_b.size() - 1;
+  const std::size_t hi_a = std::min(a_len, decoded_a);
+  const std::size_t hi_b = std::min(b_len, decoded_b);
+  if (hi_a < 1 || hi_b < 1) return {};
+
+  const std::size_t c1 = 1 + static_cast<std::size_t>(rng.below(hi_a));
+  const std::uint64_t want = keys_a[c1];
+  match_buffer.clear();
+  for (std::size_t c2 = 0; c2 <= hi_b; ++c2) {
+    if (keys_b[c2] == want && !(c1 == a_len && c2 == 0)) {
+      match_buffer.push_back(c2);
+    }
+  }
+  if (match_buffer.empty()) return {};
+  const std::size_t c2 =
+      match_buffer[static_cast<std::size_t>(rng.below(match_buffer.size()))];
+  return {c1, c2, true};
+}
+
+/// Assembles one child a[0..c1) + b[c2..) into a pool lane with two
+/// contiguous copies, truncated to min(max_length, lane capacity).
+inline void splice_lane(std::span<const Gene> a, std::span<const Gene> b,
+                        std::size_t c1, std::size_t c2, std::size_t max_length,
+                        GeneLane& out) {
+  const std::size_t cap = std::min(max_length, out.capacity);
+  const std::size_t head = std::min(c1, cap);
+  std::copy_n(a.data(), head, out.data);
+  const std::size_t tail = std::min(b.size() - c2, cap - head);
+  std::copy_n(b.data() + c2, tail, out.data + head);
+  out.size = head + tail;
+}
 
 /// Assembles child1 = a[0..c1) + b[c2..) and child2 = b[0..c2) + a[c1..),
 /// truncated to max_length, into caller-owned buffers. The parents are read
@@ -118,20 +205,12 @@ inline bool crossover_random_into(const Genome& a, const Genome& b,
                                   Genome& out1, Genome& out2,
                                   std::size_t& dirty_a, std::size_t& dirty_b) {
   dirty_a = dirty_b = kCleanGenome;
-  if (a.empty() || b.empty()) return false;
-  for (int attempt = 0; attempt < 8; ++attempt) {
-    const auto c1 = static_cast<std::size_t>(rng.below(a.size() + 1));
-    const auto c2 = static_cast<std::size_t>(rng.below(b.size() + 1));
-    const bool child1_empty = c1 == 0 && c2 == b.size();
-    const bool child2_empty = c2 == 0 && c1 == a.size();
-    if (!child1_empty && !child2_empty) {
-      detail::splice_into(a, b, c1, c2, max_length, out1, out2);
-      dirty_a = c1;
-      dirty_b = c2;
-      return true;
-    }
-  }
-  return false;
+  const detail::CutPoints cut = detail::pick_random_cuts(a.size(), b.size(), rng);
+  if (!cut.ok) return false;
+  detail::splice_into(a, b, cut.c1, cut.c2, max_length, out1, out2);
+  dirty_a = cut.c1;
+  dirty_b = cut.c2;
+  return true;
 }
 
 /// In-place variant of crossover_random_into (children replace the parents;
@@ -160,31 +239,12 @@ inline bool crossover_state_aware_into(
     util::Rng& rng, CrossoverScratch& scr, Genome& out1, Genome& out2,
     std::size_t& dirty_a, std::size_t& dirty_b) {
   dirty_a = dirty_b = kCleanGenome;
-  if (a.size() < 2 || b.size() < 2) return false;
-  // States are only known along the decoded prefix of each genome. Cut
-  // positions range over [0, decoded]: boundary matches (e.g. the donated
-  // tail being all of b, spliced where a's trajectory matches b's start) are
-  // the growth mechanism, exactly as in crossover_random.
-  const std::size_t decoded_a = keys_a.empty() ? 0 : keys_a.size() - 1;
-  const std::size_t decoded_b = keys_b.empty() ? 0 : keys_b.size() - 1;
-  const std::size_t hi_a = std::min(a.size(), decoded_a);
-  const std::size_t hi_b = std::min(b.size(), decoded_b);
-  if (hi_a < 1 || hi_b < 1) return false;
-
-  const std::size_t c1 = 1 + static_cast<std::size_t>(rng.below(hi_a));
-  const std::uint64_t want = keys_a[c1];
-  scr.match_buffer.clear();
-  for (std::size_t c2 = 0; c2 <= hi_b; ++c2) {
-    if (keys_b[c2] == want && !(c1 == a.size() && c2 == 0)) {
-      scr.match_buffer.push_back(c2);
-    }
-  }
-  if (scr.match_buffer.empty()) return false;
-  const std::size_t c2 =
-      scr.match_buffer[static_cast<std::size_t>(rng.below(scr.match_buffer.size()))];
-  detail::splice_into(a, b, c1, c2, max_length, out1, out2);
-  dirty_a = c1;
-  dirty_b = c2;
+  const detail::CutPoints cut = detail::pick_state_aware_cuts(
+      a.size(), keys_a, b.size(), keys_b, rng, scr.match_buffer);
+  if (!cut.ok) return false;
+  detail::splice_into(a, b, cut.c1, cut.c2, max_length, out1, out2);
+  dirty_a = cut.c1;
+  dirty_b = cut.c2;
   return true;
 }
 
@@ -207,11 +267,13 @@ inline bool crossover_state_aware_core(Genome& a,
   return false;
 }
 
-/// Uniform crossover over the shared prefix (genome-level core). dirty_a /
-/// dirty_b report the first gene actually exchanged on each side
-/// (kCleanGenome when the coin flips exchanged nothing).
-inline bool crossover_uniform_core(Genome& a, Genome& b, util::Rng& rng,
-                                   std::size_t& dirty_a, std::size_t& dirty_b) {
+/// Uniform crossover over the shared prefix (span core, shared by the Genome
+/// and lane paths). dirty_a / dirty_b report the first gene actually
+/// exchanged on each side (kCleanGenome when the coin flips exchanged
+/// nothing).
+inline bool crossover_uniform_spans(std::span<Gene> a, std::span<Gene> b,
+                                    util::Rng& rng, std::size_t& dirty_a,
+                                    std::size_t& dirty_b) {
   dirty_a = dirty_b = kCleanGenome;
   const std::size_t n = std::min(a.size(), b.size());
   if (n == 0) return false;
@@ -222,6 +284,13 @@ inline bool crossover_uniform_core(Genome& a, Genome& b, util::Rng& rng,
     }
   }
   return true;
+}
+
+/// Uniform crossover over the shared prefix (genome-level core).
+inline bool crossover_uniform_core(Genome& a, Genome& b, util::Rng& rng,
+                                   std::size_t& dirty_a, std::size_t& dirty_b) {
+  return crossover_uniform_spans(std::span<Gene>(a), std::span<Gene>(b), rng,
+                                 dirty_a, dirty_b);
 }
 
 /// Dispatches on the configured mechanism over const parent genomes, writing
@@ -285,6 +354,91 @@ inline bool crossover_genomes_into(const GaConfig& cfg, const Genome& a,
         ++stats.too_short;
       }
       return true;
+  }
+  return false;
+}
+
+/// Lane-path twin of crossover_genomes_into for the struct-of-arrays pool:
+/// the parents are read-only spans over pool lanes and the children are
+/// spliced straight into `out1` / `out2` lanes with flat copies. Draws the
+/// exact same random sequence, updates the same stats, and reports the same
+/// dirty indices as the Genome path — the pooled engine's trajectories stay
+/// bit-identical to the scalar engine's.
+inline bool crossover_lanes_into(const GaConfig& cfg, std::span<const Gene> a,
+                                 const std::vector<std::uint64_t>& keys_a,
+                                 std::span<const Gene> b,
+                                 const std::vector<std::uint64_t>& keys_b,
+                                 util::Rng& rng, CrossoverStats& stats,
+                                 CrossoverScratch& scr, GeneLane& out1,
+                                 GeneLane& out2, std::size_t& dirty_a,
+                                 std::size_t& dirty_b) {
+  ++stats.pairs;
+  dirty_a = dirty_b = kCleanGenome;
+  const auto splice_both = [&](const detail::CutPoints& cut) {
+    detail::splice_lane(a, b, cut.c1, cut.c2, cfg.max_length, out1);
+    detail::splice_lane(b, a, cut.c2, cut.c1, cfg.max_length, out2);
+    dirty_a = cut.c1;
+    dirty_b = cut.c2;
+  };
+  switch (cfg.crossover) {
+    case CrossoverKind::kRandom: {
+      const detail::CutPoints cut =
+          detail::pick_random_cuts(a.size(), b.size(), rng);
+      if (cut.ok) {
+        splice_both(cut);
+        ++stats.random_done;
+        return true;
+      }
+      ++stats.too_short;
+      return false;
+    }
+    case CrossoverKind::kStateAware: {
+      const detail::CutPoints cut = detail::pick_state_aware_cuts(
+          a.size(), keys_a, b.size(), keys_b, rng, scr.match_buffer);
+      if (cut.ok) {
+        splice_both(cut);
+        ++stats.state_aware_done;
+        return true;
+      }
+      ++stats.no_match;
+      return false;
+    }
+    case CrossoverKind::kMixed: {
+      const detail::CutPoints sa = detail::pick_state_aware_cuts(
+          a.size(), keys_a, b.size(), keys_b, rng, scr.match_buffer);
+      if (sa.ok) {
+        splice_both(sa);
+        ++stats.state_aware_done;
+        return true;
+      }
+      const detail::CutPoints cut =
+          detail::pick_random_cuts(a.size(), b.size(), rng);
+      if (cut.ok) {
+        splice_both(cut);
+        ++stats.random_done;
+        return true;
+      }
+      ++stats.too_short;
+      return false;
+    }
+    case CrossoverKind::kUniform: {
+      // Uniform exchanges genes in place over the shared prefix, so the
+      // children start as parent copies either way.
+      const std::size_t na = std::min(a.size(), out1.capacity);
+      const std::size_t nb = std::min(b.size(), out2.capacity);
+      std::copy_n(a.data(), na, out1.data);
+      std::copy_n(b.data(), nb, out2.data);
+      out1.size = na;
+      out2.size = nb;
+      if (crossover_uniform_spans(std::span<Gene>(out1.data, out1.size),
+                                  std::span<Gene>(out2.data, out2.size), rng,
+                                  dirty_a, dirty_b)) {
+        ++stats.uniform_done;
+      } else {
+        ++stats.too_short;
+      }
+      return true;
+    }
   }
   return false;
 }

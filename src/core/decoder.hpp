@@ -22,14 +22,23 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
+#include <cassert>
 #include <cmath>
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "core/eval_cache.hpp"
 #include "core/individual.hpp"
 #include "core/problem.hpp"
 #include "obs/metrics.hpp"
+#include "util/simd.hpp"
 
 namespace gaplan::ga {
 
@@ -490,6 +499,859 @@ std::size_t decode_indirect_resume(const P& problem,
   if (ff_skipped != 0) c_ff.inc(ff_skipped);
   return resume_at + ff_skipped;
 }
+
+namespace detail {
+
+/// One individual's decode request inside a KernelBatchDecoder batch.
+/// `prev == nullptr` forces a cold decode; otherwise the slot resumes from
+/// `prev` exactly like decode_indirect_resume (same fallback conditions, same
+/// whole-reuse / partial-resume / fast-forward structure).
+template <typename State>
+struct KernelSlot {
+  std::span<const Gene> genes;
+  const Evaluation<State>* prev = nullptr;
+  std::span<const Gene> parent_genes;
+  std::size_t first_dirty = 0;
+  Evaluation<State>* ev = nullptr;
+};
+
+}  // namespace detail
+
+/// Batched decoder over a domain's SIMD kernel (see SimdDecodable in
+/// problem.hpp). Where the scalar path re-enumerates valid operations into a
+/// scratch vector and re-hashes them into a crossover signature per decoded
+/// gene, this path folds both into table lookups: the kernel's packed-ops LUT
+/// yields the operation set as one 64-bit word, and `sig_` — built once per
+/// decoder from the same LUT — yields the matching ops_signature. run()
+/// decodes each lane of the batch to completion in a tight register-resident
+/// loop (state, position, cost, and checkpoint countdown all live in locals;
+/// record_hashes is specialized out at compile time), so the per-gene cost is
+/// a handful of table loads plus the mandatory trajectory pushes. The batch
+/// is the unit of thread-pool chunking and of the eval.batches /
+/// eval.simd_lanes_used counters.
+///
+/// Bit-identical contract: every branch below mirrors the corresponding
+/// scalar code (decode_indirect_impl / decode_indirect_resume /
+/// indirect_fast_forward / indirect_decode_finish) line for line, so the
+/// produced Evaluations — ops, hashes, signatures, checkpoint ladder, and the
+/// plan_cost addition order per lane — match the scalar decoder exactly.
+///
+/// Intentionally *not* constrained to SimdDecodable<P> at class scope so the
+/// engine can name KernelBatchDecoder<P> inside a std::conditional_t without
+/// instantiating it for kernel-less domains.
+template <typename P>
+class KernelBatchDecoder {
+ public:
+  using State = typename P::StateT;
+  using KernelT =
+      std::remove_cvref_t<decltype(std::declval<const P&>().simd_kernel())>;
+
+  /// `need_state_hashes` — whether anything downstream reads
+  /// Evaluation::state_hashes (only exact-state crossover matching does; see
+  /// detail::match_keys). The scalar decoder computes the state hash per gene
+  /// regardless, because it doubles as the ops-cache key; the LUT kernel has
+  /// no cache to key, so when the hashes are unread it skips both the hash
+  /// computation and the push — the decoded trajectory (ops, signatures,
+  /// checkpoint ladder, costs) is unaffected.
+  KernelBatchDecoder(const P& problem, const DecodeOptions& opt,
+                     bool need_state_hashes = true)
+      : kernel_(problem.simd_kernel()),
+        opt_(opt),
+        record_hashes_(opt.record_hashes && need_state_hashes),
+        record_sigs_(opt.record_hashes) {
+    // Precompute ops_signature per LUT slot: the scalar path hashes the
+    // valid-op list at every decoded gene; here it is one indexed load. The
+    // packed-ops and count columns are copied out as uint64 tables alongside
+    // so the vector path can fetch all three with 64-bit gathers.
+    sig_.resize(kernel_.lut_size());
+    vops_.resize(sig_.size());
+    vcnt_.resize(sig_.size());
+    std::vector<int> ops;
+    for (std::size_t i = 0; i < sig_.size(); ++i) {
+      const std::uint32_t slot = static_cast<std::uint32_t>(i);
+      const PackedOps po{kernel_.lut_ops(slot), kernel_.lut_count(slot)};
+      ops.clear();
+      for (std::uint32_t j = 0; j < po.m; ++j) ops.push_back(po.op(j));
+      sig_[i] = ops_signature(ops);
+      vops_[i] = po.packed;
+      vcnt_[i] = po.m;
+      // One-time audit of the kernel's popcount claim (see
+      // kLutCountIsPopcount): a lying trait would silently desync the vector
+      // path's op selection from the scalar decoder.
+      if constexpr (requires { requires KernelT::kLutCountIsPopcount; }) {
+        assert(vcnt_[i] == static_cast<std::uint64_t>(std::popcount(i)));
+      }
+    }
+  }
+
+  const DecodeOptions& options() const noexcept { return opt_; }
+
+  /// Decodes every slot of the batch from `start`. Thread-safe: per-call
+  /// state lives on the stack, so disjoint batches may run concurrently.
+  void run(const State& start,
+           std::span<detail::KernelSlot<State>> slots) const {
+    detail::DecodeTally tally;
+    bool vectored = false;
+#if GAPLAN_AVX512_DECODE
+    if constexpr (kVectorStep) {
+      // The vector step records no state hashes, so exact-state matching
+      // (record_hashes_) stays on the scalar-interleave path.
+      if (!record_hashes_ && vector_ok_) {
+        if (record_sigs_) {
+          run_vector<true>(start, slots, tally);
+        } else {
+          run_vector<false>(start, slots, tally);
+        }
+        vectored = true;
+      }
+    }
+#endif
+    if (!vectored) {
+      if (record_hashes_) {
+        run_impl<true, true>(start, slots, tally);
+      } else if (record_sigs_) {
+        run_impl<false, true>(start, slots, tally);
+      } else {
+        run_impl<false, false>(start, slots, tally);
+      }
+    }
+    static obs::Counter& c_batches = obs::counter("eval.batches");
+    static obs::Counter& c_lanes = obs::counter("eval.simd_lanes_used");
+    c_batches.inc();
+    c_lanes.inc(slots.size());
+    tally.flush();
+  }
+
+ private:
+#if GAPLAN_AVX512_DECODE
+  /// A kernel opts into the 8-lane vector decode (run_vector) by exposing the
+  /// three hooks lut_index8 / apply8 / is_goal8 plus the kUnitOpCost trait
+  /// (see HanoiKernel), for states that are one trivially-copyable 64-bit
+  /// word — the lane payload is the raw state bit pattern.
+  // (Expression-only checks: naming __m512i as a template argument of a
+  // return-type-requirement would drop its alignment attributes and warn.)
+  static constexpr bool kVectorStep =
+      sizeof(State) == 8 && std::is_trivially_copyable_v<State> &&
+      requires(const KernelT& k, __m512i v, __mmask8 lanes) {
+        requires KernelT::kUnitOpCost;
+        k.lut_index8(v);
+        k.apply8(v, v, lanes);
+        { k.is_goal8(v) } -> std::same_as<__mmask8>;
+      };
+#endif
+
+  struct Lane {
+    State s{};
+    std::size_t pos = 0;
+    std::size_t until_ckpt = 0;
+    double cost = 0.0;    ///< running plan cost (mirrors ev.plan_cost)
+    bool need_sig = true; ///< signature for the current position still owed
+    bool reused = false;  ///< whole-evaluation reuse: skip finish()
+    bool active = false;
+  };
+
+  /// Replicates the head of decode_indirect_resume (or the cold-decode init)
+  /// for one slot, leaving `ln` positioned where the main loop takes over.
+  void prepare(const State& start, detail::KernelSlot<State>& slot, Lane& ln,
+               detail::DecodeTally& tally) const {
+    Evaluation<State>& ev = *slot.ev;
+    const std::span<const Gene> genes = slot.genes;
+    const std::size_t stride = opt_.checkpoint_stride;
+    bool done = false;
+    bool cold = true;
+
+    if (slot.prev != nullptr) {
+      const Evaluation<State>& prev = *slot.prev;
+      if (prev.decoded && &prev != slot.ev &&
+          prev.checkpoint_stride == stride &&
+          (!record_hashes_ ||
+           prev.state_hashes.size() == prev.ops.size() + 1) &&
+          (!record_sigs_ ||
+           prev.op_signatures.size() == prev.ops.size() + 1)) {
+        const std::size_t dirty = std::min(slot.first_dirty, genes.size());
+        const bool goal_terminated = opt_.truncate_at_goal &&
+                                     prev.goal_index != kNoGoal &&
+                                     prev.goal_index <= dirty;
+        const bool dead_terminated = prev.dead_end && prev.ops.size() <= dirty;
+        const bool genome_unchanged =
+            prev.ops.size() == genes.size() && dirty >= genes.size();
+        if (goal_terminated || dead_terminated || genome_unchanged) {
+          ev = prev;
+          static obs::Counter& c_reused =
+              obs::counter("eval.resume_genes_skipped");
+          static obs::Counter& c_whole = obs::counter("eval.reuse_whole");
+          c_reused.inc(genes.size());
+          c_whole.inc();
+          ln.reused = true;
+          return;
+        }
+        const std::size_t limit = std::min(dirty, prev.ops.size());
+        std::size_t k = stride == 0 ? 0 : limit / stride;
+        k = std::min(k, prev.checkpoint_states.size());
+        const std::size_t resume_at = k * stride;
+        if (resume_at != 0) {
+          cold = false;
+          ev.reset();
+          ev.match_fit = 1.0;
+          ev.ops.reserve(genes.size());
+          ev.ops.assign(prev.ops.begin(),
+                        prev.ops.begin() +
+                            static_cast<std::ptrdiff_t>(resume_at));
+          if (record_hashes_) {
+            ev.state_hashes.reserve(genes.size() + 1);
+            ev.state_hashes.assign(
+                prev.state_hashes.begin(),
+                prev.state_hashes.begin() +
+                    static_cast<std::ptrdiff_t>(resume_at + 1));
+          }
+          if (record_sigs_) {
+            ev.op_signatures.reserve(genes.size() + 1);
+            ev.op_signatures.assign(
+                prev.op_signatures.begin(),
+                prev.op_signatures.begin() +
+                    static_cast<std::ptrdiff_t>(resume_at));
+          }
+          ev.checkpoint_states.assign(
+              prev.checkpoint_states.begin(),
+              prev.checkpoint_states.begin() + static_cast<std::ptrdiff_t>(k));
+          ev.checkpoint_costs.assign(
+              prev.checkpoint_costs.begin(),
+              prev.checkpoint_costs.begin() + static_cast<std::ptrdiff_t>(k));
+          ev.plan_cost = prev.checkpoint_costs[k - 1];
+          if (prev.goal_index != kNoGoal && prev.goal_index <= resume_at) {
+            ev.goal_index = prev.goal_index;
+          }
+          ln.s = prev.checkpoint_states[k - 1];
+          static obs::Counter& c_resumed =
+              obs::counter("eval.resume_genes_skipped");
+          static obs::Counter& c_partial = obs::counter("eval.resume_partial");
+          static obs::Counter& c_ff = obs::counter("eval.ff_genes_skipped");
+          c_partial.inc();
+          std::size_t ff_skipped = 0;
+          std::size_t cont = resume_at;
+          if (!slot.parent_genes.empty()) {
+            cont = fast_forward(genes, slot.parent_genes, resume_at, tally,
+                                prev, ev, ln.s, ff_skipped, done);
+          }
+          ln.pos = cont;
+          c_resumed.inc(resume_at + ff_skipped);
+          if (ff_skipped != 0) c_ff.inc(ff_skipped);
+        }
+      }
+    }
+
+    if (cold) {
+      ev.reset();
+      ev.match_fit = 1.0;
+      ev.ops.reserve(genes.size());
+      if (record_hashes_) ev.state_hashes.reserve(genes.size() + 1);
+      if (record_sigs_) ev.op_signatures.reserve(genes.size() + 1);
+      ln.s = start;
+      ln.pos = 0;
+      if (record_hashes_) ev.state_hashes.push_back(kernel_.hash(ln.s));
+      if (kernel_.is_goal(ln.s)) {
+        ev.goal_index = 0;
+        done = opt_.truncate_at_goal;
+      }
+    }
+    ln.until_ckpt = stride != 0 ? stride - ln.pos % stride
+                                : std::numeric_limits<std::size_t>::max();
+    ln.active = !done && ln.pos < genes.size();
+  }
+
+  /// Interleave width of the batched decode. Each lane's decode is a serial
+  /// state→LUT→op→state dependency chain whose latency dominates the scalar
+  /// engine's per-gene cost; stepping kIlv independent lanes in one loop body
+  /// lets the out-of-order core overlap their chains (~2x on the reference
+  /// box; diminishing returns past 4 as register pressure sets in).
+  static constexpr std::size_t kIlv = 4;
+
+  /// Drives the whole batch: prepares slots into up to kIlv live lanes,
+  /// steps the live lanes in bounded interleaved rounds, and refills a
+  /// retired lane from the pending slots so the chain overlap stays high.
+  /// Per-lane decode order is exactly decode_lane's — lanes only interleave
+  /// *between* individuals' trajectories, never within one — so the produced
+  /// Evaluations are unchanged.
+  template <bool RecordHashes, bool RecordSigs>
+  void run_impl(const State& start, std::span<detail::KernelSlot<State>> slots,
+                detail::DecodeTally& tally) const {
+    // A single-slot batch (eval_batch_width 1, or a chunk remainder) has no
+    // chains to overlap; the serial per-lane loop has less bookkeeping.
+    if (slots.size() == 1) {
+      Lane ln;
+      prepare(start, slots[0], ln, tally);
+      if (ln.active) decode_lane<RecordHashes, RecordSigs>(slots[0], ln, tally);
+      if (!ln.reused) finish(*slots[0].ev, ln.s);
+      return;
+    }
+
+    // Lane state as parallel plain-scalar locals (a lane-SoA): the compiler
+    // can prove nothing aliases them — vector push_backs write through
+    // Evaluation pointers, but these arrays' addresses never escape — so
+    // after unrolling the i-loop each lane's state lives in registers across
+    // the whole round instead of being reloaded after every push.
+    State s[kIlv];
+    const Gene* gp[kIlv] = {};
+    std::size_t n[kIlv] = {};
+    std::size_t pos[kIlv] = {};
+    std::size_t until[kIlv] = {};
+    double cost[kIlv] = {};
+    bool need_sig[kIlv] = {};
+    bool stopped[kIlv] = {};  // goal truncation / dead end inside a round
+    Evaluation<State>* evp[kIlv] = {};
+    std::size_t m = 0;     // live lanes (compacted into index range [0, m))
+    std::size_t next = 0;  // next pending slot
+
+    const auto pump = [&] {
+      while (m < kIlv && next < slots.size()) {
+        detail::KernelSlot<State>& slot = slots[next++];
+        Lane ln;
+        prepare(start, slot, ln, tally);
+        if (ln.active) {
+          s[m] = ln.s;
+          gp[m] = slot.genes.data();
+          n[m] = slot.genes.size();
+          pos[m] = ln.pos;
+          until[m] = ln.until_ckpt;
+          cost[m] = slot.ev->plan_cost;
+          need_sig[m] =
+              !RecordSigs || slot.ev->op_signatures.size() <= ln.pos;
+          stopped[m] = false;
+          evp[m] = slot.ev;
+          ++m;
+        } else if (!ln.reused) {
+          finish(*slot.ev, ln.s);
+        }
+      }
+    };
+
+    pump();
+    while (m > 0) {
+      // Round bound: no live lane runs past its genome inside a round, and
+      // the cap keeps retired lanes (goal/dead end) idle only briefly before
+      // the refill below replaces them.
+      std::size_t bound = 64;
+      for (std::size_t i = 0; i < m; ++i) {
+        bound = std::min(bound, n[i] - pos[i]);
+      }
+      bool refill = false;  // a lane stopped: retire + refill before more rounds
+      for (std::size_t t = 0; t < bound && !refill; ++t) {
+        for (std::size_t i = 0; i < kIlv; ++i) {
+          if (i >= m || stopped[i]) continue;
+          Evaluation<State>& ev = *evp[i];
+          const std::uint32_t li = kernel_.lut_index(s[i]);
+          const PackedOps po{kernel_.lut_ops(li), kernel_.lut_count(li)};
+          if constexpr (RecordSigs) {
+            if (need_sig[i]) {
+              ev.op_signatures.push_back(sig_[li]);
+            } else {
+              need_sig[i] = true;
+            }
+          }
+          if (po.m == 0) {  // dead end: remaining genes are inert
+            ev.dead_end = true;
+            stopped[i] = true;
+            refill = true;
+            continue;
+          }
+          const int op = po.op(gene_to_index(gp[i][pos[i]], po.m));
+          cost[i] += kernel_.op_cost(s[i], op);
+          kernel_.apply(s[i], op);
+          ev.ops.push_back(op);
+          ++tally.ops_decoded;
+          ++pos[i];
+          if constexpr (RecordHashes) {
+            ev.state_hashes.push_back(kernel_.hash(s[i]));
+          }
+          if (--until[i] == 0) {
+            ev.checkpoint_states.push_back(s[i]);
+            ev.checkpoint_costs.push_back(cost[i]);
+            until[i] = opt_.checkpoint_stride;
+          }
+          if (ev.goal_index == kNoGoal && kernel_.is_goal(s[i])) {
+            ev.goal_index = ev.ops.size();
+            if (opt_.truncate_at_goal) {
+              stopped[i] = true;
+              refill = true;
+            }
+          }
+        }
+      }
+      // Retire finished lanes (compacting), then refill from pending slots.
+      for (std::size_t i = 0; i < m;) {
+        if (stopped[i] || pos[i] >= n[i]) {
+          evp[i]->plan_cost = cost[i];
+          State fs = s[i];  // keep s[]'s address out of finish()
+          finish(*evp[i], fs);
+          --m;
+          s[i] = s[m];
+          gp[i] = gp[m];
+          n[i] = n[m];
+          pos[i] = pos[m];
+          until[i] = until[m];
+          cost[i] = cost[m];
+          need_sig[i] = need_sig[m];
+          stopped[i] = stopped[m];
+          evp[i] = evp[m];
+        } else {
+          ++i;
+        }
+      }
+      pump();
+    }
+  }
+
+#if GAPLAN_AVX512_DECODE
+  static constexpr std::size_t kVL = 8;      ///< uint64 lanes per zmm
+  static constexpr std::size_t kVChunk = 64; ///< steps between staging flushes
+
+  /// Data-parallel decode: 8 individuals advance one gene per iteration in
+  /// AVX-512 registers. The scalar-interleave loop above overlaps lanes'
+  /// dependency chains but still issues every lane's scalar op stream; here
+  /// one instruction stream serves all 8 lanes, and the kernel hooks
+  /// (lut_index8 / apply8 / is_goal8) keep the per-step state transition
+  /// entirely in zmm registers. Trajectory output goes through small
+  /// L1-resident staging columns — masked scatters during the chunk, one bulk
+  /// append per lane per kVChunk steps — replacing the per-op push_backs.
+  ///
+  /// Bit-identical contract: the step body performs decode_lane's operations
+  /// in decode_lane's order (signature push, dead-end stop, op select, unit
+  /// cost add, apply, op push, checkpoint, goal test, exhaustion), with
+  /// per-lane masks standing in for the scalar loop's early exits. Costs are
+  /// the same 1.0-addition sequence (kUnitOpCost), so plan_cost matches
+  /// bitwise. Lanes that retire mid-group (goal truncation, dead end,
+  /// genome exhausted) are masked out and their registers frozen until the
+  /// whole group retires through the shared finish().
+  ///
+  /// Only compiled for kVectorStep kernels and only entered behind
+  /// util::has_avx512_decode() (see run); never records state hashes — the
+  /// dispatch keeps exact-state matching on the scalar path.
+  template <bool RecordSigs>
+  GAPLAN_AVX512_TARGET void run_vector(
+      const State& start, std::span<detail::KernelSlot<State>> slots,
+      detail::DecodeTally& tally) const {
+    alignas(64) std::uint64_t sig_st[kVL][kVChunk];
+    alignas(64) int op_st[kVL][kVChunk];
+    alignas(64) std::uint64_t cks_st[kVL][kVChunk + 2];
+    alignas(64) double ckc_st[kVL][kVChunk + 2];
+
+    const bool truncate = opt_.truncate_at_goal;
+    const __m512i zero = _mm512_setzero_si512();
+    const __m512i one = _mm512_set1_epi64(1);
+    const __m512d oned = _mm512_set1_pd(1.0);
+    const __m512i stride_v =
+        _mm512_set1_epi64(static_cast<long long>(opt_.checkpoint_stride));
+    const __m512i lane_idx = _mm512_set_epi64(7, 6, 5, 4, 3, 2, 1, 0);
+    const std::uint64_t* const sig_tab = sig_.data();
+    const std::uint64_t* const ops_tab = vops_.data();
+    const std::uint64_t* const cnt_tab = vcnt_.data();
+    const auto base_of = [](const void* p) {
+      return static_cast<long long>(reinterpret_cast<std::uintptr_t>(p));
+    };
+
+    // Prepare every slot first; slots that prepare() resolves without
+    // decoding (whole reuse, cold goal, fast-forward to completion) retire
+    // inline exactly as in the scalar driver. The surviving lanes are then
+    // grouped longest-remaining-first: a group runs until its longest lane
+    // finishes, so homogeneous groups keep all 8 lanes busy — with the
+    // incremental resume in play, remaining lengths vary widely and arrival
+    // order would waste half the lanes.
+    struct VLane {
+      std::uint64_t p, pos, n, until, gaddr, opscnt;
+      double cost;
+      Evaluation<State>* ev;
+      // After a fast-forward divergence the signature for the resume position
+      // is already recorded (decode_lane's need_sig guard); the first flush
+      // drops the duplicate the step loop stages unconditionally.
+      bool skip_sig;
+      bool goal_found;  ///< goal_index preset by resume: no re-detection
+    };
+    std::vector<VLane> lanes;
+    lanes.reserve(slots.size());
+    for (detail::KernelSlot<State>& slot : slots) {
+      Lane ln;
+      prepare(start, slot, ln, tally);
+      if (!ln.active) {
+        if (!ln.reused) finish(*slot.ev, ln.s);
+        continue;
+      }
+      Evaluation<State>& ev = *slot.ev;
+      lanes.push_back(VLane{
+          std::bit_cast<std::uint64_t>(ln.s), ln.pos, slot.genes.size(),
+          ln.until_ckpt,
+          reinterpret_cast<std::uintptr_t>(slot.genes.data() + ln.pos),
+          ev.ops.size(), ev.plan_cost, &ev,
+          RecordSigs && ev.op_signatures.size() > ln.pos,
+          ev.goal_index != kNoGoal});
+    }
+    std::sort(lanes.begin(), lanes.end(), [](const VLane& a, const VLane& b) {
+      return a.n - a.pos > b.n - b.pos;
+    });
+
+    for (std::size_t base = 0; base < lanes.size(); base += kVL) {
+      const std::size_t nb = std::min(kVL, lanes.size() - base);
+      alignas(64) std::uint64_t p_a[kVL] = {};
+      alignas(64) std::uint64_t pos_a[kVL] = {}, n_a[kVL] = {},
+                                until_a[kVL] = {}, gaddr_a[kVL] = {},
+                                opscnt_a[kVL] = {};
+      alignas(64) double cost_a[kVL] = {};
+      Evaluation<State>* evp[kVL] = {};
+      bool skip_sig[kVL] = {};
+      __mmask8 gfound = 0;
+      for (std::size_t j = 0; j < nb; ++j) {
+        const VLane& vl = lanes[base + j];
+        p_a[j] = vl.p;
+        pos_a[j] = vl.pos;
+        n_a[j] = vl.n;
+        until_a[j] = vl.until;
+        gaddr_a[j] = vl.gaddr;
+        opscnt_a[j] = vl.opscnt;
+        cost_a[j] = vl.cost;
+        evp[j] = vl.ev;
+        skip_sig[j] = vl.skip_sig;
+        if (vl.goal_found) gfound |= static_cast<__mmask8>(1u << j);
+      }
+
+      __m512i p_v = _mm512_load_epi64(p_a);
+      __m512i pos_v = _mm512_load_epi64(pos_a);
+      const __m512i n_v = _mm512_load_epi64(n_a);
+      __m512i until_v = _mm512_load_epi64(until_a);
+      __m512i gaddr_v = _mm512_load_epi64(gaddr_a);
+      __m512i opscnt_v = _mm512_load_epi64(opscnt_a);
+      __m512d cost_v = _mm512_load_pd(cost_a);
+      __mmask8 alive = static_cast<__mmask8>((1u << nb) - 1);
+
+      while (alive) {
+        // Absolute staging cursors, one column per lane; the flush recovers
+        // each lane's element count from the cursor delta.
+        __m512i sig_ad = _mm512_add_epi64(
+            _mm512_set1_epi64(base_of(&sig_st[0][0])),
+            _mm512_mullo_epi64(lane_idx, _mm512_set1_epi64(kVChunk * 8)));
+        __m512i op_ad = _mm512_add_epi64(
+            _mm512_set1_epi64(base_of(&op_st[0][0])),
+            _mm512_mullo_epi64(lane_idx, _mm512_set1_epi64(kVChunk * 4)));
+        __m512i cks_ad = _mm512_add_epi64(
+            _mm512_set1_epi64(base_of(&cks_st[0][0])),
+            _mm512_mullo_epi64(lane_idx,
+                               _mm512_set1_epi64((kVChunk + 2) * 8)));
+        __m512i ckc_ad = _mm512_add_epi64(
+            _mm512_set1_epi64(base_of(&ckc_st[0][0])),
+            _mm512_mullo_epi64(lane_idx,
+                               _mm512_set1_epi64((kVChunk + 2) * 8)));
+        const __m512i sig_ad0 = sig_ad;
+        const __m512i op_ad0 = op_ad;
+        const __m512i cks_ad0 = cks_ad;
+
+        for (std::size_t step = 0; step < kVChunk && alive; ++step) {
+          const __m512i li = kernel_.lut_index8(p_v);
+          if constexpr (RecordSigs) {
+            const __m512i sig = _mm512_i64gather_epi64(li, sig_tab, 8);
+            _mm512_mask_i64scatter_epi64(nullptr, alive, sig_ad, sig, 1);
+            sig_ad = _mm512_mask_add_epi64(sig_ad, alive, sig_ad,
+                                           _mm512_set1_epi64(8));
+          }
+          __m512i m_v;
+          if constexpr (requires { requires KernelT::kLutCountIsPopcount; }) {
+            m_v = _mm512_popcnt_epi64(li);
+          } else {
+            m_v = _mm512_i64gather_epi64(li, cnt_tab, 8);
+          }
+          const __mmask8 dead = _mm512_cmpeq_epi64_mask(m_v, zero) & alive;
+          if (dead) [[unlikely]] {  // dead end: remaining genes are inert
+            for (std::size_t j = 0; j < nb; ++j) {
+              if (dead & (1u << j)) evp[j]->dead_end = true;
+            }
+            alive &= static_cast<__mmask8>(~dead);
+            if (!alive) break;
+          }
+          const __m512i packed = _mm512_i64gather_epi64(li, ops_tab, 8);
+          const __m512d g_v = _mm512_mask_i64gather_pd(
+              _mm512_setzero_pd(), alive, gaddr_v, nullptr, 1);
+          // gene_to_index: trunc(g * m) clamped to m - 1, identical fp ops.
+          const __m512i idx = _mm512_min_epu64(
+              _mm512_cvttpd_epu64(
+                  _mm512_mul_pd(g_v, _mm512_cvtepu64_pd(m_v))),
+              _mm512_sub_epi64(m_v, one));
+          const __m512i op = _mm512_and_epi64(
+              _mm512_srlv_epi64(packed, _mm512_slli_epi64(idx, 2)),
+              _mm512_set1_epi64(15));
+          p_v = kernel_.apply8(p_v, op, alive);
+          _mm512_mask_i64scatter_epi32(nullptr, alive, op_ad,
+                                       _mm512_cvtepi64_epi32(op), 1);
+          op_ad = _mm512_mask_add_epi64(op_ad, alive, op_ad,
+                                        _mm512_set1_epi64(4));
+          opscnt_v = _mm512_mask_add_epi64(opscnt_v, alive, opscnt_v, one);
+          cost_v = _mm512_mask_add_pd(cost_v, alive, cost_v, oned);
+          pos_v = _mm512_mask_add_epi64(pos_v, alive, pos_v, one);
+          gaddr_v = _mm512_mask_add_epi64(gaddr_v, alive, gaddr_v,
+                                          _mm512_set1_epi64(8));
+          tally.ops_decoded += std::popcount(static_cast<unsigned>(alive));
+          until_v = _mm512_mask_sub_epi64(until_v, alive, until_v, one);
+          const __mmask8 ck = _mm512_cmpeq_epi64_mask(until_v, zero) & alive;
+          if (ck) {
+            _mm512_mask_i64scatter_epi64(nullptr, ck, cks_ad, p_v, 1);
+            _mm512_mask_i64scatter_epi64(nullptr, ck, ckc_ad,
+                                         _mm512_castpd_si512(cost_v), 1);
+            cks_ad = _mm512_mask_add_epi64(cks_ad, ck, cks_ad,
+                                           _mm512_set1_epi64(8));
+            ckc_ad = _mm512_mask_add_epi64(ckc_ad, ck, ckc_ad,
+                                           _mm512_set1_epi64(8));
+            until_v = _mm512_mask_blend_epi64(ck, until_v, stride_v);
+          }
+          const __mmask8 gh = kernel_.is_goal8(p_v) & alive &
+                              static_cast<__mmask8>(~gfound);
+          if (gh) [[unlikely]] {
+            alignas(64) std::uint64_t oc[kVL];
+            _mm512_store_epi64(oc, opscnt_v);
+            for (std::size_t j = 0; j < nb; ++j) {
+              if (gh & (1u << j)) {
+                evp[j]->goal_index = static_cast<std::size_t>(oc[j]);
+              }
+            }
+            gfound |= gh;
+            if (truncate) alive &= static_cast<__mmask8>(~gh);
+          }
+          alive &=
+              static_cast<__mmask8>(~_mm512_cmpeq_epi64_mask(pos_v, n_v));
+        }
+
+        // Flush the staging columns into the Evaluation vectors.
+        alignas(64) std::uint64_t scnt[kVL], ocnt[kVL], ccnt[kVL];
+        _mm512_store_epi64(
+            scnt, _mm512_srli_epi64(_mm512_sub_epi64(sig_ad, sig_ad0), 3));
+        _mm512_store_epi64(
+            ocnt, _mm512_srli_epi64(_mm512_sub_epi64(op_ad, op_ad0), 2));
+        _mm512_store_epi64(
+            ccnt, _mm512_srli_epi64(_mm512_sub_epi64(cks_ad, cks_ad0), 3));
+        for (std::size_t j = 0; j < nb; ++j) {
+          Evaluation<State>& ev = *evp[j];
+          if constexpr (RecordSigs) {
+            std::size_t lo = 0;
+            if (skip_sig[j] && scnt[j] != 0) {
+              lo = 1;
+              skip_sig[j] = false;
+            }
+            if (scnt[j] > lo) {
+              ev.op_signatures.insert(ev.op_signatures.end(), &sig_st[j][lo],
+                                      &sig_st[j][scnt[j]]);
+            }
+          }
+          if (ocnt[j] != 0) {
+            ev.ops.insert(ev.ops.end(), &op_st[j][0], &op_st[j][ocnt[j]]);
+          }
+          for (std::size_t c = 0; c < ccnt[j]; ++c) {
+            ev.checkpoint_states.push_back(std::bit_cast<State>(cks_st[j][c]));
+          }
+          if (ccnt[j] != 0) {
+            ev.checkpoint_costs.insert(ev.checkpoint_costs.end(),
+                                       &ckc_st[j][0], &ckc_st[j][ccnt[j]]);
+          }
+        }
+      }
+
+      // Retire the whole group through the shared epilogue.
+      _mm512_store_epi64(p_a, p_v);
+      _mm512_store_pd(cost_a, cost_v);
+      for (std::size_t j = 0; j < nb; ++j) {
+        evp[j]->plan_cost = cost_a[j];
+        State fs = std::bit_cast<State>(p_a[j]);
+        finish(*evp[j], fs);
+      }
+    }
+  }
+#endif  // GAPLAN_AVX512_DECODE
+
+  /// Decodes one lane to completion — the kernel mirror of
+  /// indirect_decode_loop, with the per-gene loop state (trajectory state,
+  /// position, running cost, checkpoint countdown) held in locals so it stays
+  /// in registers, and the record_hashes branch lifted into the template
+  /// parameter. The trajectory pushes happen in exactly the scalar loop's
+  /// order, so the produced Evaluation is bit-identical.
+  template <bool RecordHashes, bool RecordSigs>
+  void decode_lane(detail::KernelSlot<State>& slot, Lane& ln,
+                   detail::DecodeTally& tally) const {
+    Evaluation<State>& ev = *slot.ev;
+    const Gene* const genes = slot.genes.data();
+    const std::size_t n = slot.genes.size();
+    State s = ln.s;
+    std::size_t pos = ln.pos;
+    std::size_t until_ckpt = ln.until_ckpt;
+    double cost = ev.plan_cost;
+    std::uint64_t decoded = 0;
+    // After a fast-forward divergence the signature for this position was
+    // already recorded (the scalar loop's sigs<hashes guard, rephrased on
+    // positions); only the first gene can hit that case — every later
+    // iteration pushes exactly one signature.
+    bool need_sig = !RecordSigs || ev.op_signatures.size() <= pos;
+    while (pos < n) {
+      const std::uint32_t li = kernel_.lut_index(s);
+      const PackedOps po{kernel_.lut_ops(li), kernel_.lut_count(li)};
+      if constexpr (RecordSigs) {
+        if (need_sig) {
+          ev.op_signatures.push_back(sig_[li]);
+        } else {
+          need_sig = true;
+        }
+      }
+      if (po.m == 0) {  // dead end: remaining genes are inert
+        ev.dead_end = true;
+        break;
+      }
+      const int op = po.op(gene_to_index(genes[pos], po.m));
+      cost += kernel_.op_cost(s, op);
+      kernel_.apply(s, op);
+      ev.ops.push_back(op);
+      ++decoded;
+      ++pos;
+      if constexpr (RecordHashes) ev.state_hashes.push_back(kernel_.hash(s));
+      if (--until_ckpt == 0) {
+        ev.checkpoint_states.push_back(s);
+        ev.checkpoint_costs.push_back(cost);
+        until_ckpt = opt_.checkpoint_stride;
+      }
+      if (ev.goal_index == kNoGoal && kernel_.is_goal(s)) {
+        ev.goal_index = ev.ops.size();
+        if (opt_.truncate_at_goal) break;
+      }
+    }
+    ev.plan_cost = cost;
+    tally.ops_decoded += decoded;
+    ln.s = s;
+  }
+
+  /// Kernel mirror of indirect_fast_forward — same jump/decode/divergence
+  /// structure, with LUT lookups in place of resolve_valid_ops.
+  std::size_t fast_forward(std::span<const Gene> genes,
+                           std::span<const Gene> parent_genes,
+                           std::size_t from, detail::DecodeTally& tally,
+                           const Evaluation<State>& prev,
+                           Evaluation<State>& ev, State& s,
+                           std::size_t& skipped, bool& done) const {
+    const std::size_t stride = opt_.checkpoint_stride;
+    const std::size_t scan_lim =
+        std::min({genes.size(), parent_genes.size(), prev.ops.size()});
+    const auto at = [](const auto& v, std::size_t i) {
+      return v.begin() + static_cast<std::ptrdiff_t>(i);
+    };
+    std::size_t pos = from;
+    while (pos < genes.size()) {
+      if (pos % stride == 0 && pos < scan_lim) {
+        std::size_t d = pos;
+        while (d < scan_lim && genes[d] == parent_genes[d]) ++d;
+        const std::size_t kk =
+            std::min(d / stride, prev.checkpoint_states.size());
+        const std::size_t jump = kk * stride;
+        if (jump > pos) {
+          ev.ops.insert(ev.ops.end(), at(prev.ops, pos), at(prev.ops, jump));
+          if (record_hashes_) {
+            ev.state_hashes.insert(ev.state_hashes.end(),
+                                   at(prev.state_hashes, pos + 1),
+                                   at(prev.state_hashes, jump + 1));
+          }
+          if (record_sigs_) {
+            ev.op_signatures.insert(ev.op_signatures.end(),
+                                    at(prev.op_signatures, pos),
+                                    at(prev.op_signatures, jump));
+          }
+          ev.checkpoint_states.insert(ev.checkpoint_states.end(),
+                                      at(prev.checkpoint_states, pos / stride),
+                                      at(prev.checkpoint_states, kk));
+          ev.checkpoint_costs.insert(ev.checkpoint_costs.end(),
+                                     at(prev.checkpoint_costs, pos / stride),
+                                     at(prev.checkpoint_costs, kk));
+          ev.plan_cost = prev.checkpoint_costs[kk - 1];
+          s = prev.checkpoint_states[kk - 1];
+          skipped += jump - pos;
+          pos = jump;
+          if (ev.goal_index == kNoGoal && prev.goal_index != kNoGoal &&
+              prev.goal_index <= jump) {
+            ev.goal_index = prev.goal_index;
+            if (opt_.truncate_at_goal) {
+              done = true;
+              return pos;
+            }
+          }
+          continue;
+        }
+      }
+      const std::uint32_t li = kernel_.lut_index(s);
+      const PackedOps po{kernel_.lut_ops(li), kernel_.lut_count(li)};
+      if (record_sigs_ && ev.op_signatures.size() <= pos) {
+        ev.op_signatures.push_back(sig_[li]);
+      }
+      if (po.m == 0) {
+        ev.dead_end = true;
+        done = true;
+        return pos;
+      }
+      const int op = po.op(gene_to_index(genes[pos], po.m));
+      if (pos >= prev.ops.size() || op != prev.ops[pos]) {
+        return pos;  // diverged: the main loop re-decodes from here on
+      }
+      ev.plan_cost += kernel_.op_cost(s, op);
+      kernel_.apply(s, op);
+      ev.ops.push_back(op);
+      ++tally.ops_decoded;
+      ++pos;
+      if (record_hashes_) ev.state_hashes.push_back(kernel_.hash(s));
+      if (pos % stride == 0) {
+        ev.checkpoint_states.push_back(s);
+        ev.checkpoint_costs.push_back(ev.plan_cost);
+      }
+      if (ev.goal_index == kNoGoal && kernel_.is_goal(s)) {
+        ev.goal_index = pos;
+        if (opt_.truncate_at_goal) {
+          done = true;
+          return pos;
+        }
+      }
+    }
+    done = true;
+    return pos;
+  }
+
+  /// Kernel mirror of indirect_decode_finish.
+  void finish(Evaluation<State>& ev, State& s) const {
+    if (opt_.truncate_at_goal && ev.goal_index != kNoGoal) {
+      ev.valid = true;
+      ev.ops.resize(ev.goal_index);
+      if (record_hashes_) ev.state_hashes.resize(ev.goal_index + 1);
+      if (opt_.checkpoint_stride != 0) {
+        const std::size_t keep = ev.goal_index / opt_.checkpoint_stride;
+        if (ev.checkpoint_states.size() > keep) {
+          ev.checkpoint_states.resize(keep);
+          ev.checkpoint_costs.resize(keep);
+        }
+      }
+    } else {
+      ev.valid = kernel_.is_goal(s);
+    }
+    // Close the signature trajectory: one signature per position, capped by
+    // the final state's (== state_hashes closure in the scalar decoder, which
+    // keeps hashes at ops+1 throughout).
+    if (record_sigs_) {
+      const std::size_t want = ev.ops.size() + 1;
+      if (ev.op_signatures.size() > want) ev.op_signatures.resize(want);
+      while (ev.op_signatures.size() < want) {
+        ev.op_signatures.push_back(sig_[kernel_.lut_index(s)]);
+      }
+    }
+    ev.effective_length = ev.ops.size();
+    ev.checkpoint_stride = opt_.checkpoint_stride;
+    ev.final_state = std::move(s);
+    ev.decoded = true;
+  }
+
+  KernelT kernel_;
+  DecodeOptions opt_;
+  bool record_hashes_ = true;  ///< state_hashes consumed (exact-state match)
+  bool record_sigs_ = true;    ///< op_signatures consumed (valid-ops match)
+  /// Running CPU executes the AVX-512 step (compile support is kVectorStep).
+  bool vector_ok_ = util::has_avx512_decode();
+  std::vector<std::uint64_t> sig_;   ///< ops_signature per LUT slot
+  std::vector<std::uint64_t> vops_;  ///< packed-ops LUT column, gather-ready
+  std::vector<std::uint64_t> vcnt_;  ///< valid-op count column, gather-ready
+};
 
 /// Decodes `genes` using the direct encoding (DirectEncodable problems only).
 /// Inapplicable selections leave the state unchanged and lower F_match.

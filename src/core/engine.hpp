@@ -21,7 +21,11 @@
 #pragma once
 
 #include <algorithm>
+#include <memory>
+#include <optional>
+#include <span>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
 #include "analysis/config_lint.hpp"
@@ -29,6 +33,7 @@
 #include "core/crossover.hpp"
 #include "core/eval_cache.hpp"
 #include "core/fitness.hpp"
+#include "core/genome_pool.hpp"
 #include "core/individual.hpp"
 #include "core/mutation.hpp"
 #include "core/selection.hpp"
@@ -70,6 +75,73 @@ bool better_solution(const Evaluation<State>& a, const Evaluation<State>& b) {
   return a.fitness > b.fitness;
 }
 
+namespace detail {
+
+/// Child bookkeeping consumed by step_evaluate: which retired-parent slot
+/// bred the child and the first gene that may differ from that parent.
+/// Shared by the scalar (vector-of-Individuals) and pooled (struct-of-arrays)
+/// phase runners.
+inline constexpr std::uint32_t kDirtyAll = 0xFFFFFFFFu;   ///< cold decode
+inline constexpr std::uint32_t kEvalReady = 0xFFFFFFFEu;  ///< eval current, skip
+
+inline std::uint32_t dirty_index(std::size_t dirty, std::size_t len) noexcept {
+  const std::size_t d = std::min(dirty, len);
+  return d >= kEvalReady ? kEvalReady - 1 : static_cast<std::uint32_t>(d);
+}
+
+/// Placeholder for PooledPhaseRunner's decoder slot on domains without a
+/// SIMD kernel (std::conditional_t needs a complete alternative type).
+struct NoKernelDecoder {};
+
+}  // namespace detail
+
+/// Builds a genome whose genes decode, with probability seed_greediness, to
+/// the valid operation whose successor has the best goal fitness (ties and
+/// the remaining probability mass fall to a uniform valid operation). §3.2's
+/// seeded initialisation, shared by both phase runners.
+template <PlanningProblem P>
+Genome greedy_seed_genome(const P& problem, const GaConfig& cfg,
+                          const typename P::StateT& start, util::Rng& rng) {
+  using State = typename P::StateT;
+  Genome genes;
+  genes.reserve(cfg.initial_length);
+  State s = start;
+  std::vector<int> ops;
+  for (std::size_t i = 0; i < cfg.initial_length; ++i) {
+    problem.valid_ops(s, ops);
+    if (ops.empty()) {
+      // Dead end: pad with random genes (they are inert past this point).
+      genes.push_back(rng.uniform());
+      continue;
+    }
+    std::size_t pick;
+    if (rng.chance(cfg.seed_greediness)) {
+      pick = 0;
+      double best_fit = -1.0;
+      for (std::size_t k = 0; k < ops.size(); ++k) {
+        State next = s;
+        problem.apply(next, ops[k]);
+        const double fit = problem.goal_fitness(next);
+        if (fit > best_fit) {
+          best_fit = fit;
+          pick = k;
+        }
+      }
+    } else {
+      pick = static_cast<std::size_t>(rng.below(ops.size()));
+    }
+    // A gene in [pick/m, (pick+1)/m) decodes back to index `pick`.
+    const double m = static_cast<double>(ops.size());
+    genes.push_back((static_cast<double>(pick) + rng.uniform()) / m);
+    problem.apply(s, ops[pick]);
+    if (problem.is_goal(s)) {
+      // Solution found during seeding: stop here, the decoder truncates.
+      break;
+    }
+  }
+  return genes;
+}
+
 /// One GA population mid-phase. init() → repeat { step_evaluate();
 /// step_reproduce(); }. Between the two steps the population is evaluated and
 /// may be inspected or modified (migration).
@@ -94,7 +166,7 @@ class PhaseRunner {
         cfg_->seed_fraction * static_cast<double>(pop_.size()));
     for (std::size_t i = 0; i < pop_.size(); ++i) {
       if (i < seeded) {
-        pop_[i].genes = greedy_seed(rng);
+        pop_[i].genes = greedy_seed_genome(*problem_, *cfg_, start_, rng);
       } else {
         pop_[i].genes.resize(cfg_->initial_length);
         for (Gene& g : pop_[i].genes) g = rng.uniform();
@@ -135,8 +207,8 @@ class PhaseRunner {
       ctx.sync(problem_, epoch_, cache_entries);
       if (resumable) {
         const std::uint32_t dirty = dirty_of_[i];
-        if (dirty == kEvalReady) return;  // elite: evaluation carried over
-        if (dirty != kDirtyAll) {
+        if (dirty == detail::kEvalReady) return;  // elite: evaluation carried over
+        if (dirty != detail::kDirtyAll) {
           // prev_ holds the retired parent generation (double-buffered), so
           // the parent's genome is available for the ops-identical
           // fast-forward alongside its evaluation.
@@ -241,7 +313,7 @@ class PhaseRunner {
     const std::size_t n = pop_.size();
     prev_.resize(n);
     parent_of_.resize(n);
-    dirty_of_.assign(n, kDirtyAll);
+    dirty_of_.assign(n, detail::kDirtyAll);
 
     std::size_t filled = 0;
     if (cfg_->elite_count > 0) {
@@ -256,7 +328,7 @@ class PhaseRunner {
       for (; filled < cfg_->elite_count; ++filled) {
         prev_[filled] = pop_[order[filled]];  // elites keep genes *and* eval
         parent_of_[filled] = order[filled];
-        dirty_of_[filled] = kEvalReady;
+        dirty_of_[filled] = detail::kEvalReady;
       }
     }
     while (filled < n) {
@@ -286,11 +358,11 @@ class PhaseRunner {
       mutate_tracked(ca.genes, cfg_->mutation_rate, rng, da);
       mutate_tracked(cb.genes, cfg_->mutation_rate, rng, db);
       parent_of_[filled] = ia;
-      dirty_of_[filled] = dirty_index(da, ca.genes.size());
+      dirty_of_[filled] = detail::dirty_index(da, ca.genes.size());
       ++filled;
       if (keep_b) {
         parent_of_[filled] = ib;
-        dirty_of_[filled] = dirty_index(db, cb.genes.size());
+        dirty_of_[filled] = detail::dirty_index(db, cb.genes.size());
         ++filled;
       }
     }
@@ -317,6 +389,26 @@ class PhaseRunner {
     }
   }
 
+  /// Appends this island's migration payload to `out`: the best-of-phase
+  /// first, then `count - 1` current-population elites. Only meaningful
+  /// directly after step_evaluate().
+  void collect_migrants(std::size_t count,
+                        std::vector<Individual<State>>& out) const {
+    out.push_back(result_.best);
+    const std::size_t extra = count > 1 ? count - 1 : 0;
+    std::vector<std::size_t> order(pop_.size());
+    for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(
+                                          std::min(extra, order.size())),
+                      order.end(), [&](std::size_t a, std::size_t b) {
+                        return better_solution(pop_[a].eval, pop_[b].eval);
+                      });
+    for (std::size_t k = 0; k < extra && k < order.size(); ++k) {
+      out.push_back(pop_[order[k]]);
+    }
+  }
+
   /// Attaches the runner's generation spans under `ctx` (a phase or island
   /// span). Contexts are handed down explicitly — the runner never consults
   /// thread-local state, so driving it from a pool thread changes nothing.
@@ -329,16 +421,6 @@ class PhaseRunner {
   std::size_t generation() const noexcept { return generation_; }
 
  private:
-  /// Child bookkeeping consumed by step_evaluate: which prev_ slot bred the
-  /// child and the first gene that may differ from that parent.
-  static constexpr std::uint32_t kDirtyAll = 0xFFFFFFFFu;   ///< cold decode
-  static constexpr std::uint32_t kEvalReady = 0xFFFFFFFEu;  ///< eval current, skip
-
-  static std::uint32_t dirty_index(std::size_t dirty, std::size_t len) noexcept {
-    const std::size_t d = std::min(dirty, len);
-    return d >= kEvalReady ? kEvalReady - 1 : static_cast<std::uint32_t>(d);
-  }
-
   std::size_t select(util::Rng& rng) const {
     return cfg_->selection == SelectionKind::kTournament
                ? tournament_select(fitness_, cfg_->tournament_size, rng)
@@ -422,49 +504,6 @@ class PhaseRunner {
     evals_current_ = true;
   }
 
-  /// Builds a genome whose genes decode, with probability seed_greediness,
-  /// to the valid operation whose successor has the best goal fitness (ties
-  /// and the remaining probability mass fall to a uniform valid operation).
-  Genome greedy_seed(util::Rng& rng) const {
-    Genome genes;
-    genes.reserve(cfg_->initial_length);
-    State s = start_;
-    std::vector<int> ops;
-    for (std::size_t i = 0; i < cfg_->initial_length; ++i) {
-      problem_->valid_ops(s, ops);
-      if (ops.empty()) {
-        // Dead end: pad with random genes (they are inert past this point).
-        genes.push_back(rng.uniform());
-        continue;
-      }
-      std::size_t pick;
-      if (rng.chance(cfg_->seed_greediness)) {
-        pick = 0;
-        double best_fit = -1.0;
-        for (std::size_t k = 0; k < ops.size(); ++k) {
-          State next = s;
-          problem_->apply(next, ops[k]);
-          const double fit = problem_->goal_fitness(next);
-          if (fit > best_fit) {
-            best_fit = fit;
-            pick = k;
-          }
-        }
-      } else {
-        pick = static_cast<std::size_t>(rng.below(ops.size()));
-      }
-      // A gene in [pick/m, (pick+1)/m) decodes back to index `pick`.
-      const double m = static_cast<double>(ops.size());
-      genes.push_back((static_cast<double>(pick) + rng.uniform()) / m);
-      problem_->apply(s, ops[pick]);
-      if (problem_->is_goal(s)) {
-        // Solution found during seeding: stop here, the decoder truncates.
-        break;
-      }
-    }
-    return genes;
-  }
-
   const P* problem_;
   const GaConfig* cfg_;
   util::ThreadPool* pool_;
@@ -482,6 +521,405 @@ class PhaseRunner {
   bool have_best_ = false;
   bool children_pending_ = false;  ///< pop_ holds unevaluated children with dirty info
   bool evals_current_ = false;     ///< every pop_ slot carries a current evaluation
+  std::uint64_t epoch_ = 0;
+  std::size_t generation_ = 0;
+};
+
+/// Whether `cfg` selects the struct-of-arrays evaluation layout for problem
+/// P. Pooled evaluation covers the indirect-encoding generational engine (the
+/// paper's configuration and the serve path's hot case); crowding and the
+/// direct encoding keep the scalar runner. kAuto opts in exactly the domains
+/// with a SIMD decode kernel, where the pooled path is a pure win; kPooled
+/// forces the lane layout (generic decode) on kernel-less domains too.
+template <typename P>
+bool use_pooled_layout(const GaConfig& cfg) {
+  if (cfg.encoding != EncodingKind::kIndirect) return false;
+  if (cfg.replacement != ReplacementKind::kGenerational) return false;
+  if (cfg.eval_layout == EvalLayout::kPooled) return true;
+  return cfg.eval_layout == EvalLayout::kAuto && SimdDecodable<P>;
+}
+
+/// PhaseRunner's struct-of-arrays twin: the population lives in a
+/// double-buffered GenomePool (flat gene lanes + parallel metadata arrays)
+/// instead of vector<Individual>, reproduction splices children between the
+/// pools with contiguous lane copies, and evaluation runs batched through the
+/// domain's SIMD kernel (KernelBatchDecoder) when one exists — falling back
+/// to the scalar per-slot decode (over lane spans) otherwise.
+///
+/// Bit-identical contract: every random draw, every selection input, every
+/// stat accumulation and counter below happens in the same order with the
+/// same values as PhaseRunner — tests/test_eval_soa.cpp fuzzes the two
+/// runners against each other across domains, configs, and seeds. Only
+/// ReplacementKind::kGenerational is supported (use_pooled_layout gates
+/// crowding away).
+template <PlanningProblem P>
+class PooledPhaseRunner {
+ public:
+  using State = typename P::StateT;
+  using KdecT = std::conditional_t<SimdDecodable<P>, KernelBatchDecoder<P>,
+                                   detail::NoKernelDecoder>;
+
+  PooledPhaseRunner(const P& problem, const GaConfig& cfg,
+                    util::ThreadPool* pool)
+      : problem_(&problem), cfg_(&cfg), pool_(pool) {}
+
+  /// Fresh population; same draws as PhaseRunner::init. Pool storage (gene
+  /// lanes, Evaluation buffers) is recycled across phases — the Engine keeps
+  /// one PooledPhaseRunner alive for the whole multi-phase run.
+  void init(const State& start, util::Rng& rng) {
+    start_ = start;
+    epoch_ = next_eval_epoch();
+    const std::size_t n = cfg_->population_size;
+    const std::size_t stride = cfg_->max_length;
+    cur_.reset(n, stride);
+    next_.reset(n, stride);
+    spare_buf_.resize(stride);
+    const std::size_t seeded = static_cast<std::size_t>(
+        cfg_->seed_fraction * static_cast<double>(n));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i < seeded) {
+        const Genome g = greedy_seed_genome(*problem_, *cfg_, start_, rng);
+        cur_.assign(i, g);
+      } else {
+        Gene* lane = cur_.lane(i);
+        for (std::size_t g = 0; g < cfg_->initial_length; ++g) {
+          lane[g] = rng.uniform();
+        }
+        cur_.set_len(i, cfg_->initial_length);
+      }
+    }
+    if constexpr (SimdDecodable<P>) {
+      // Built once per runner: the signature table only depends on the
+      // kernel's LUT, and the decode options are fixed by the config.
+      // state_hashes are only read by exact-state crossover matching, so the
+      // kernel decoder skips recording them under valid-ops matching.
+      if (!kdec_.has_value()) {
+        kdec_.emplace(*problem_, decode_options(*cfg_),
+                      cfg_->state_match == StateMatchKind::kExactState);
+      }
+    }
+    result_ = PhaseResult<State>{};
+    have_best_ = false;
+    generation_ = 0;
+    children_pending_ = false;
+    evals_current_ = false;
+  }
+
+  /// Evaluates the population (batched through the kernel when available),
+  /// updates best-of-phase/validity tracking and appends a GenerationStat.
+  const GenerationStat& step_evaluate() {
+    util::Timer eval_timer;
+    static obs::Counter& c_hits = obs::counter("eval.cache_hits");
+    static obs::Counter& c_misses = obs::counter("eval.cache_misses");
+    static obs::Counter& c_skipped = obs::counter("eval.resume_genes_skipped");
+    (void)c_hits;
+    (void)c_misses;
+    (void)c_skipped;
+
+    const bool use_incremental = cfg_->incremental_eval &&
+                                 cfg_->encoding == EncodingKind::kIndirect;
+    const bool resumable = use_incremental && children_pending_;
+    const bool skip_decode = use_incremental && evals_current_;
+    if (!skip_decode) {
+      if constexpr (SimdDecodable<P>) {
+        evaluate_kernel(resumable);
+      } else {
+        evaluate_generic(resumable);
+      }
+    }
+    children_pending_ = false;
+    evals_current_ = true;
+
+    GenerationStat stat;
+    stat.generation = generation_;
+    std::size_t best_idx = 0;
+    std::vector<double>& fitness = cur_.fitness();
+    for (std::size_t i = 0; i < cur_.slots(); ++i) {
+      const Evaluation<State>& ev = cur_.eval(i);
+      fitness[i] = ev.fitness;
+      stat.mean_fitness += ev.fitness;
+      stat.mean_length += static_cast<double>(cur_.len(i));
+      if (ev.valid) ++stat.valid_count;
+      if (better_solution(ev, cur_.eval(best_idx))) best_idx = i;
+    }
+    stat.mean_fitness /= static_cast<double>(cur_.slots());
+    stat.mean_length /= static_cast<double>(cur_.slots());
+    stat.best_fitness = cur_.eval(best_idx).fitness;
+    stat.best_goal_fit = cur_.eval(best_idx).goal_fit;
+
+    if (!have_best_ ||
+        better_solution(cur_.eval(best_idx), result_.best.eval)) {
+      const std::span<const Gene> g = cur_.genome(best_idx);
+      result_.best.genes.assign(g.begin(), g.end());
+      result_.best.eval = cur_.eval(best_idx);
+      have_best_ = true;
+    }
+    if (!result_.found_valid && stat.valid_count > 0) {
+      result_.found_valid = true;
+      result_.generation_found = generation_;
+    }
+    result_.history.push_back(stat);
+    result_.generations_run = ++generation_;
+
+    const double eval_ms = eval_timer.millis();
+    static obs::Counter& c_generations = obs::counter("ga.generations");
+    static obs::Counter& c_evaluations = obs::counter("ga.evaluations");
+    static obs::Histogram& h_eval =
+        obs::histogram("ga.eval_ms", obs::latency_buckets_ms());
+    c_generations.inc();
+    c_evaluations.inc(cur_.slots());
+    h_eval.observe(eval_ms);
+    if (obs::trace_enabled()) {
+      obs::TraceEvent ev("generation");
+      if (span_ctx_.valid()) {
+        ev.f("trace", span_ctx_.trace)
+            .f("span", obs::next_span_id())
+            .f("parent", span_ctx_.span);
+      }
+      ev.f("gen", stat.generation)
+          .f("best_fitness", stat.best_fitness)
+          .f("mean_fitness", stat.mean_fitness)
+          .f("best_goal_fit", stat.best_goal_fit)
+          .f("mean_length", stat.mean_length)
+          .f("valid", stat.valid_count)
+          .f("eval_ms", eval_ms)
+          .f("dur_ms", eval_ms)
+          .emit();
+    }
+    return result_.history.back();
+  }
+
+  /// Generational replacement with optional elitism, drawing the exact
+  /// random sequence of PhaseRunner::step_reproduce_generational but
+  /// assembling children directly into the retired pool's lanes.
+  void step_reproduce(util::Rng& rng) {
+    util::Timer timer;
+    const std::size_t n = cur_.slots();
+    parent_of_.resize(n);
+    dirty_of_.assign(n, detail::kDirtyAll);
+
+    std::size_t filled = 0;
+    if (cfg_->elite_count > 0) {
+      std::vector<std::size_t> order(n);
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::partial_sort(order.begin(),
+                        order.begin() + static_cast<std::ptrdiff_t>(std::min(
+                                            cfg_->elite_count, order.size())),
+                        order.end(), [&](std::size_t a, std::size_t b) {
+                          return better_solution(cur_.eval(a), cur_.eval(b));
+                        });
+      for (; filled < cfg_->elite_count; ++filled) {
+        const std::size_t src = order[filled];
+        next_.assign(filled, cur_.genome(src));
+        next_.eval(filled) = cur_.eval(src);  // elites keep genes *and* eval
+        parent_of_[filled] = src;
+        dirty_of_[filled] = detail::kEvalReady;
+      }
+    }
+    while (filled < n) {
+      const std::size_t ia = select(rng);
+      const std::size_t ib = select(rng);
+      const bool keep_b = filled + 1 < n;
+      GeneLane la{next_.lane(filled), next_.stride(), 0};
+      // The last slot of an odd remainder still breeds a full pair (identical
+      // random sequence to always-paired breeding); the spare child lands in
+      // a scratch lane and is discarded.
+      GeneLane lb = keep_b ? GeneLane{next_.lane(filled + 1), next_.stride(), 0}
+                           : GeneLane{spare_buf_.data(), spare_buf_.size(), 0};
+      std::size_t da = kCleanGenome;
+      std::size_t db = kCleanGenome;
+      bool bred = false;
+      if (rng.chance(cfg_->crossover_rate)) {
+        bred = crossover_lanes_into(
+            *cfg_, cur_.genome(ia),
+            detail::match_keys(cur_.eval(ia), cfg_->state_match),
+            cur_.genome(ib),
+            detail::match_keys(cur_.eval(ib), cfg_->state_match), rng,
+            result_.crossover_stats, xscratch_, la, lb, da, db);
+      }
+      if (!bred) {  // no crossover drawn or possible: children copy parents
+        copy_into(cur_.genome(ia), la);
+        copy_into(cur_.genome(ib), lb);
+      }
+      mutate_tracked(std::span<Gene>(la.data, la.size), cfg_->mutation_rate,
+                     rng, da);
+      mutate_tracked(std::span<Gene>(lb.data, lb.size), cfg_->mutation_rate,
+                     rng, db);
+      next_.set_len(filled, la.size);
+      parent_of_[filled] = ia;
+      dirty_of_[filled] = detail::dirty_index(da, la.size);
+      ++filled;
+      if (keep_b) {
+        next_.set_len(filled, lb.size);
+        parent_of_[filled] = ib;
+        dirty_of_[filled] = detail::dirty_index(db, lb.size);
+        ++filled;
+      }
+    }
+    cur_.swap(next_);  // next_ now holds the parents the dirty info refers to
+    children_pending_ = true;
+    evals_current_ = false;
+
+    static obs::Histogram& h_repro =
+        obs::histogram("ga.reproduce_ms", obs::latency_buckets_ms());
+    h_repro.observe(timer.millis());
+  }
+
+  /// Replaces the lowest-fitness individuals with `migrants` (island model).
+  void replace_worst(const std::vector<Individual<State>>& migrants) {
+    if (migrants.empty()) return;
+    std::vector<double>& fitness = cur_.fitness();
+    std::vector<std::size_t> order(cur_.slots());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(std::min(
+                                          migrants.size(), order.size())),
+                      order.end(), [&](std::size_t a, std::size_t b) {
+                        return fitness[a] < fitness[b];
+                      });
+    for (std::size_t m = 0; m < migrants.size() && m < cur_.slots(); ++m) {
+      cur_.assign(order[m], migrants[m].genes);
+      cur_.eval(order[m]) = migrants[m].eval;
+      fitness[order[m]] = migrants[m].eval.fitness;
+    }
+  }
+
+  /// Appends this island's migration payload to `out` (see
+  /// PhaseRunner::collect_migrants — same selection, same order).
+  void collect_migrants(std::size_t count,
+                        std::vector<Individual<State>>& out) const {
+    out.push_back(result_.best);
+    const std::size_t extra = count > 1 ? count - 1 : 0;
+    std::vector<std::size_t> order(cur_.slots());
+    for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(
+                                          std::min(extra, order.size())),
+                      order.end(), [&](std::size_t a, std::size_t b) {
+                        return better_solution(cur_.eval(a), cur_.eval(b));
+                      });
+    for (std::size_t k = 0; k < extra && k < order.size(); ++k) {
+      Individual<State> ind;
+      const std::span<const Gene> g = cur_.genome(order[k]);
+      ind.genes.assign(g.begin(), g.end());
+      ind.eval = cur_.eval(order[k]);
+      out.push_back(std::move(ind));
+    }
+  }
+
+  void set_span_context(obs::SpanContext ctx) noexcept { span_ctx_ = ctx; }
+
+  const PhaseResult<State>& result() const noexcept { return result_; }
+  PhaseResult<State> take_result() { return std::move(result_); }
+  const Individual<State>& best() const { return result_.best; }
+  std::size_t generation() const noexcept { return generation_; }
+
+ private:
+  /// Batched decode through the domain kernel: chunks of eval_batch_width
+  /// slots per KernelBatchDecoder::run call, parallelized across the thread
+  /// pool with a batch-derived grain (ThreadPool::grain_for).
+  void evaluate_kernel(bool resumable) {
+    const std::size_t n = cur_.slots();
+    const std::size_t bw = std::max<std::size_t>(1, cfg_->eval_batch_width);
+    static obs::Gauge& g_bw = obs::gauge("eval.batch_width");
+    g_bw.set(static_cast<double>(bw));
+    auto run_range = [&](std::size_t lo, std::size_t hi) {
+      std::vector<detail::KernelSlot<State>> slots;
+      slots.reserve(std::min(bw, hi - lo));
+      for (std::size_t b = lo; b < hi; b += bw) {
+        const std::size_t e = std::min(hi, b + bw);
+        slots.clear();
+        for (std::size_t i = b; i < e; ++i) {
+          if (resumable && dirty_of_[i] == detail::kEvalReady) {
+            continue;  // elite: evaluation carried over
+          }
+          detail::KernelSlot<State> sl;
+          sl.genes = cur_.genome(i);
+          sl.ev = &cur_.eval(i);
+          if (resumable && dirty_of_[i] != detail::kDirtyAll) {
+            // next_ holds the retired parent generation (double-buffered).
+            const std::size_t pi = parent_of_[i];
+            if (next_.eval(pi).decoded) {
+              sl.prev = &next_.eval(pi);
+              sl.parent_genes = next_.genome(pi);
+              sl.first_dirty = dirty_of_[i];
+            }
+          }
+          slots.push_back(sl);
+        }
+        if (slots.empty()) continue;
+        kdec_->run(start_, std::span<detail::KernelSlot<State>>(slots));
+        for (const auto& sl : slots) score(*problem_, *cfg_, *sl.ev);
+      }
+    };
+    if (pool_ != nullptr && pool_->thread_count() > 1) {
+      pool_->parallel_for_ranges(
+          0, n, run_range,
+          util::ThreadPool::grain_for(n, bw, pool_->thread_count()));
+    } else {
+      run_range(0, n);
+    }
+  }
+
+  /// Scalar per-slot decode over lane spans — the pooled layout on domains
+  /// without a SIMD kernel (EvalLayout::kPooled forced). Mirrors
+  /// PhaseRunner::step_evaluate's eval_one.
+  void evaluate_generic(bool resumable) {
+    const std::size_t cache_entries =
+        CacheableOps<P> ? cfg_->ops_cache_size : 0;
+    auto eval_one = [&](std::size_t i) {
+      thread_local EvalContext<State> ctx;
+      ctx.sync(problem_, epoch_, cache_entries);
+      if (resumable) {
+        const std::uint32_t dirty = dirty_of_[i];
+        if (dirty == detail::kEvalReady) return;
+        if (dirty != detail::kDirtyAll) {
+          const std::size_t pi = parent_of_[i];
+          if (next_.eval(pi).decoded) {
+            evaluate_resume(*problem_, *cfg_, start_, cur_.genome(i), ctx,
+                            next_.eval(pi), next_.genome(pi), dirty,
+                            cur_.eval(i));
+            return;
+          }
+        }
+      }
+      evaluate_into(*problem_, *cfg_, start_, cur_.genome(i), ctx,
+                    cur_.eval(i));
+    };
+    if (pool_ != nullptr && pool_->thread_count() > 1) {
+      pool_->parallel_for(0, cur_.slots(), eval_one);
+    } else {
+      for (std::size_t i = 0; i < cur_.slots(); ++i) eval_one(i);
+    }
+  }
+
+  std::size_t select(util::Rng& rng) const {
+    return cfg_->selection == SelectionKind::kTournament
+               ? tournament_select(cur_.fitness(), cfg_->tournament_size, rng)
+               : roulette_select(cur_.fitness(), rng);
+  }
+
+  static void copy_into(std::span<const Gene> src, GeneLane& out) {
+    out.size = std::min(src.size(), out.capacity);
+    std::copy_n(src.data(), out.size, out.data);
+  }
+
+  const P* problem_;
+  const GaConfig* cfg_;
+  util::ThreadPool* pool_;
+  State start_{};
+  GenomePool<State> cur_;   ///< current population
+  GenomePool<State> next_;  ///< retired parents / child build buffer
+  std::vector<std::size_t> parent_of_;   ///< child i's parent slot in next_
+  std::vector<std::uint32_t> dirty_of_;  ///< child i's first modified gene
+  std::vector<Gene> spare_buf_;          ///< discarded odd-pair second child
+  CrossoverScratch xscratch_;
+  std::optional<KdecT> kdec_;  ///< engaged iff SimdDecodable<P>
+  PhaseResult<State> result_;
+  obs::SpanContext span_ctx_;
+  bool have_best_ = false;
+  bool children_pending_ = false;
+  bool evals_current_ = false;
   std::uint64_t epoch_ = 0;
   std::size_t generation_ = 0;
 };
@@ -514,16 +952,18 @@ class Engine {
                                bool stop_on_valid,
                                obs::SpanContext parent = {}) {
     obs::ScopedSpan span("phase", parent);
-    PhaseRunner<P> runner(*problem_, cfg_, pool_);
-    runner.set_span_context(span.context());
-    runner.init(start, rng);
-    for (std::size_t gen = 0; gen < cfg_.generations; ++gen) {
-      runner.step_evaluate();
-      if (stop_on_valid && runner.result().found_valid) break;
-      if (gen + 1 == cfg_.generations) break;  // no point breeding a final pop
-      runner.step_reproduce(rng);
+    PhaseResult<State> result;
+    if (use_pooled_layout<P>(cfg_)) {
+      // The pooled runner persists across phases so its genome pools and
+      // Evaluation buffers recycle for the whole multi-phase run.
+      if (pooled_ == nullptr) {
+        pooled_ = std::make_unique<PooledPhaseRunner<P>>(*problem_, cfg_, pool_);
+      }
+      result = drive_phase(*pooled_, start, rng, stop_on_valid, span);
+    } else {
+      PhaseRunner<P> runner(*problem_, cfg_, pool_);
+      result = drive_phase(runner, start, rng, stop_on_valid, span);
     }
-    PhaseResult<State> result = runner.take_result();
     record_phase_metrics(result);
     span.f("generations", result.generations_run)
         .f("found_valid", result.found_valid)
@@ -534,6 +974,22 @@ class Engine {
   }
 
  private:
+  /// The evaluate/reproduce loop, identical for both runner layouts.
+  template <typename Runner>
+  PhaseResult<State> drive_phase(Runner& runner, const State& start,
+                                 util::Rng& rng, bool stop_on_valid,
+                                 obs::ScopedSpan& span) {
+    runner.set_span_context(span.context());
+    runner.init(start, rng);
+    for (std::size_t gen = 0; gen < cfg_.generations; ++gen) {
+      runner.step_evaluate();
+      if (stop_on_valid && runner.result().found_valid) break;
+      if (gen + 1 == cfg_.generations) break;  // no point breeding a final pop
+      runner.step_reproduce(rng);
+    }
+    return runner.take_result();
+  }
+
   /// Folds a finished phase into the process-wide registry: phase/validity
   /// counts plus the crossover outcome tallies from CrossoverStats.
   static void record_phase_metrics(const PhaseResult<State>& result) {
@@ -559,6 +1015,7 @@ class Engine {
   const P* problem_;
   GaConfig cfg_;
   util::ThreadPool* pool_;
+  std::unique_ptr<PooledPhaseRunner<P>> pooled_;  ///< lazy, reused per phase
 };
 
 }  // namespace gaplan::ga

@@ -10,6 +10,12 @@
 // verified by equality on lookup, so a 64-bit hash collision can never return
 // the wrong operation list: results are bit-identical to uncached decoding.
 //
+// Interplay with the pooled layout (PR 7): domains that expose a SimdDecodable
+// kernel bypass this cache entirely under EvalLayout::kAuto/kPooled — the
+// kernel's LUT is a perfect, precomputed replacement for the memo table, so
+// the batch decoder never probes here. Kernel-less domains forced to kPooled
+// still evaluate through evaluate_resume and keep using these contexts.
+//
 // Contexts are thread-local (one writer, no synchronization) and tagged with
 // the (problem address, engine epoch) pair they were filled for; sync()
 // clears the cache whenever either changes, so a cache can never leak entries

@@ -86,10 +86,11 @@ Evaluation<typename P::StateT> evaluate(const P& problem, const GaConfig& cfg,
 }
 
 /// Cold decode + score into a recycled Evaluation, routed through a
-/// per-thread EvalContext (valid-ops scratch + transposition cache).
+/// per-thread EvalContext (valid-ops scratch + transposition cache). Takes a
+/// span so both vector genomes and genome-pool lanes feed the same path.
 template <PlanningProblem P>
 void evaluate_into(const P& problem, const GaConfig& cfg,
-                   const typename P::StateT& start, const Genome& genes,
+                   const typename P::StateT& start, std::span<const Gene> genes,
                    EvalContext<typename P::StateT>& ctx,
                    Evaluation<typename P::StateT>& ev) {
   const DecodeOptions opt = decode_options(cfg);
@@ -117,7 +118,8 @@ void evaluate_into(const P& problem, const GaConfig& cfg,
 /// impossible. Returns the number of gene positions skipped.
 template <PlanningProblem P>
 std::size_t evaluate_resume(const P& problem, const GaConfig& cfg,
-                            const typename P::StateT& start, const Genome& genes,
+                            const typename P::StateT& start,
+                            std::span<const Gene> genes,
                             EvalContext<typename P::StateT>& ctx,
                             const Evaluation<typename P::StateT>& prev,
                             std::span<const Gene> parent_genes,

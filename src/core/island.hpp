@@ -31,48 +31,18 @@ struct IslandResult {
   std::vector<PhaseResult<State>> islands;  ///< per-island phase results
 };
 
-/// Runs the island model from the problem's initial state for one phase worth
-/// of generations (cfg.generations). Per-island RNG streams are split off
-/// `rng` up front so results do not depend on evaluation order. `parent`
-/// attaches the "islands" span (and its per-island / generation descendants)
-/// to a caller's trace; with no parent the run roots a fresh trace.
-template <PlanningProblem P>
-IslandResult<typename P::StateT> run_islands(const P& problem, const GaConfig& cfg,
-                                             const IslandConfig& icfg,
-                                             util::Rng& rng,
-                                             util::ThreadPool* pool = nullptr,
-                                             obs::SpanContext parent = {}) {
-  using State = typename P::StateT;
-  analysis::enforce_config(cfg, "island");
-  if (icfg.islands == 0) throw std::invalid_argument("IslandConfig: islands must be >= 1");
+namespace detail {
 
-  std::vector<util::Rng> rngs;
-  rngs.reserve(icfg.islands);
-  for (std::size_t i = 0; i < icfg.islands; ++i) rngs.push_back(rng.split());
-
-  obs::ScopedSpan islands_span("islands", parent);
-  islands_span.f("islands", icfg.islands)
-      .f("migration_interval", icfg.migration_interval);
-  // One child span context per island, allocated up front: every island's
-  // generation events parent under its own island node, so the journal keeps
-  // per-island timing attribution even though the islands interleave on one
-  // thread. The island spans themselves are emitted after the loop.
-  std::vector<obs::SpanContext> island_ctx(icfg.islands);
-  const obs::SpanContext tree = islands_span.context();
-  if (tree.valid()) {
-    for (auto& c : island_ctx) c = {tree.trace, obs::next_span_id()};
-  }
-  const double islands_t0 = obs::monotonic_ms();
-
-  const State start = problem.initial_state();
-  std::vector<PhaseRunner<P>> runners;
-  runners.reserve(icfg.islands);
-  for (std::size_t i = 0; i < icfg.islands; ++i) {
-    runners.emplace_back(problem, cfg, pool);
-    runners[i].set_span_context(island_ctx[i]);
-    runners[i].init(start, rngs[i]);
-  }
-
+/// The lockstep evolve/migrate loop, templated over the phase-runner layout
+/// (scalar PhaseRunner or struct-of-arrays PooledPhaseRunner — see
+/// use_pooled_layout). `runners` must already be init()ed.
+template <typename Runner>
+IslandResult<typename Runner::State> run_islands_lockstep(
+    const GaConfig& cfg, const IslandConfig& icfg,
+    std::vector<Runner>& runners, std::vector<util::Rng>& rngs,
+    const obs::SpanContext& tree,
+    const std::vector<obs::SpanContext>& island_ctx, double islands_t0) {
+  using State = typename Runner::State;
   IslandResult<State> result;
   bool have_best = false;
   for (std::size_t gen = 0; gen < cfg.generations; ++gen) {
@@ -105,20 +75,7 @@ IslandResult<typename P::StateT> run_islands(const P& problem, const GaConfig& c
       for (std::size_t i = 0; i < runners.size(); ++i) {
         // Send copies of the island's best-of-phase plus current-population
         // elites (the phase best is always included first).
-        outgoing[i].push_back(runners[i].best());
-        const auto& pop = runners[i].population();
-        std::size_t extra = icfg.migrants > 1 ? icfg.migrants - 1 : 0;
-        std::vector<std::size_t> order(pop.size());
-        for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
-        std::partial_sort(order.begin(),
-                          order.begin() + static_cast<std::ptrdiff_t>(
-                                              std::min(extra, order.size())),
-                          order.end(), [&](std::size_t a, std::size_t b) {
-                            return better_solution(pop[a].eval, pop[b].eval);
-                          });
-        for (std::size_t k = 0; k < extra && k < order.size(); ++k) {
-          outgoing[i].push_back(pop[order[k]]);
-        }
+        runners[i].collect_migrants(icfg.migrants, outgoing[i]);
       }
       for (std::size_t i = 0; i < runners.size(); ++i) {
         runners[(i + 1) % runners.size()].replace_worst(outgoing[i]);
@@ -162,6 +119,66 @@ IslandResult<typename P::StateT> run_islands(const P& problem, const GaConfig& c
           .emit();
     }
   }
+  return result;
+}
+
+}  // namespace detail
+
+/// Runs the island model from the problem's initial state for one phase worth
+/// of generations (cfg.generations). Per-island RNG streams are split off
+/// `rng` up front so results do not depend on evaluation order. `parent`
+/// attaches the "islands" span (and its per-island / generation descendants)
+/// to a caller's trace; with no parent the run roots a fresh trace. The
+/// phase-runner layout follows use_pooled_layout (struct-of-arrays pools on
+/// the generational indirect engine, scalar individuals otherwise).
+template <PlanningProblem P>
+IslandResult<typename P::StateT> run_islands(const P& problem, const GaConfig& cfg,
+                                             const IslandConfig& icfg,
+                                             util::Rng& rng,
+                                             util::ThreadPool* pool = nullptr,
+                                             obs::SpanContext parent = {}) {
+  using State = typename P::StateT;
+  analysis::enforce_config(cfg, "island");
+  if (icfg.islands == 0) throw std::invalid_argument("IslandConfig: islands must be >= 1");
+
+  std::vector<util::Rng> rngs;
+  rngs.reserve(icfg.islands);
+  for (std::size_t i = 0; i < icfg.islands; ++i) rngs.push_back(rng.split());
+
+  obs::ScopedSpan islands_span("islands", parent);
+  islands_span.f("islands", icfg.islands)
+      .f("migration_interval", icfg.migration_interval);
+  // One child span context per island, allocated up front: every island's
+  // generation events parent under its own island node, so the journal keeps
+  // per-island timing attribution even though the islands interleave on one
+  // thread. The island spans themselves are emitted after the loop.
+  std::vector<obs::SpanContext> island_ctx(icfg.islands);
+  const obs::SpanContext tree = islands_span.context();
+  if (tree.valid()) {
+    for (auto& c : island_ctx) c = {tree.trace, obs::next_span_id()};
+  }
+  const double islands_t0 = obs::monotonic_ms();
+
+  const State start = problem.initial_state();
+  IslandResult<State> result;
+  const auto evolve = [&](auto& runners) {
+    runners.reserve(icfg.islands);
+    for (std::size_t i = 0; i < icfg.islands; ++i) {
+      runners.emplace_back(problem, cfg, pool);
+      runners[i].set_span_context(island_ctx[i]);
+      runners[i].init(start, rngs[i]);
+    }
+    result = detail::run_islands_lockstep(cfg, icfg, runners, rngs, tree,
+                                          island_ctx, islands_t0);
+  };
+  if (use_pooled_layout<P>(cfg)) {
+    std::vector<PooledPhaseRunner<P>> runners;
+    evolve(runners);
+  } else {
+    std::vector<PhaseRunner<P>> runners;
+    evolve(runners);
+  }
+
   islands_span.f("generations_run", result.generations_run)
       .f("migrations", result.migrations)
       .f("found_valid", result.found_valid)

@@ -3,6 +3,8 @@
 // old one."
 #pragma once
 
+#include <span>
+
 #include "core/individual.hpp"
 #include "util/rng.hpp"
 
@@ -12,9 +14,10 @@ namespace gaplan::ga {
 /// number of genes replaced and records the index of the first replaced gene
 /// in `first_mutated` (untouched when nothing mutates — seed it with the
 /// caller's current dirty bound, e.g. kCleanGenome). Draws the same random
-/// sequence as mutate() below.
-inline std::size_t mutate_tracked(Genome& genes, double rate, util::Rng& rng,
-                                  std::size_t& first_mutated) {
+/// sequence as mutate() below. The span form serves the struct-of-arrays
+/// genome pool, whose genomes are lanes rather than vectors.
+inline std::size_t mutate_tracked(std::span<Gene> genes, double rate,
+                                  util::Rng& rng, std::size_t& first_mutated) {
   std::size_t mutated = 0;
   for (std::size_t i = 0; i < genes.size(); ++i) {
     if (rng.chance(rate)) {
@@ -24,6 +27,11 @@ inline std::size_t mutate_tracked(Genome& genes, double rate, util::Rng& rng,
     }
   }
   return mutated;
+}
+
+inline std::size_t mutate_tracked(Genome& genes, double rate, util::Rng& rng,
+                                  std::size_t& first_mutated) {
+  return mutate_tracked(std::span<Gene>(genes), rate, rng, first_mutated);
 }
 
 /// Mutates each gene independently with probability `rate`; returns the

@@ -49,6 +49,46 @@ concept CacheableOps = PlanningProblem<P> && requires {
   { P::kCacheableOps } -> std::convertible_to<bool>;
 } && P::kCacheableOps;
 
+/// A packed valid-operation set as produced by a SIMD decode kernel's LUT:
+/// up to 16 operation ids (each < 16) in the 4-bit fields of `packed`, lowest
+/// field first, in the domain's canonical valid_ops order; `m` is the count.
+/// One 64-bit load replaces the scalar path's vector fill per decoded gene.
+struct PackedOps {
+  std::uint64_t packed = 0;
+  std::uint32_t m = 0;
+
+  int op(std::size_t idx) const noexcept {
+    return static_cast<int>((packed >> (4 * idx)) & 0xFULL);
+  }
+};
+
+/// Opt-in surface for the batched struct-of-arrays decode path (see
+/// decoder.hpp, KernelBatchDecoder): a domain whose per-state valid-operation
+/// set is a pure function of a small state key exposes `simd_kernel()`, an
+/// object carrying a lookup table of packed operation sets plus inline
+/// apply/cost/hash/goal replicas. The kernel MUST agree bit-for-bit with the
+/// domain's own valid_ops/apply/op_cost/hash/is_goal — the pooled engine's
+/// trajectories are asserted identical to the scalar engine's (tests/
+/// test_eval_soa.cpp). Constraints: every op id < 16 and every state has at
+/// most 16 valid operations (the 4-bit packing above).
+///
+/// The kernel returns raw packed words (lut_ops/lut_count) rather than
+/// PackedOps so domain headers stay free of core includes.
+template <typename P>
+concept SimdDecodable = PlanningProblem<P> &&
+    requires(const P& p, typename P::StateT& s, const typename P::StateT& cs,
+             int op, std::uint32_t slot) {
+      { p.simd_kernel() };
+      { p.simd_kernel().lut_size() } -> std::convertible_to<std::size_t>;
+      { p.simd_kernel().lut_index(cs) } -> std::convertible_to<std::uint32_t>;
+      { p.simd_kernel().lut_ops(slot) } -> std::convertible_to<std::uint64_t>;
+      { p.simd_kernel().lut_count(slot) } -> std::convertible_to<std::uint32_t>;
+      { p.simd_kernel().apply(s, op) };
+      { p.simd_kernel().op_cost(cs, op) } -> std::convertible_to<double>;
+      { p.simd_kernel().hash(cs) } -> std::convertible_to<std::uint64_t>;
+      { p.simd_kernel().is_goal(cs) } -> std::convertible_to<bool>;
+    };
+
 /// Additional surface needed by the *direct* integer encoding (the paper's
 /// discarded preliminary design, kept for the ablation study): a global
 /// operation universe with an applicability test, so a gene can select an

@@ -37,6 +37,7 @@ Hanoi::Hanoi(int disks, int initial_stake, int goal_stake)
                    : (std::uint64_t{1} << (2 * disks_)) - 1;
   goal_pegs_ =
       (kFieldLow * static_cast<std::uint64_t>(goal_stake_)) & disk_mask_;
+  kernel_ = HanoiKernel(disks_, disk_mask_, goal_pegs_);
 }
 
 int Hanoi::top_disk(const HanoiState& s, int stake) const noexcept {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -27,6 +28,37 @@ struct CubeState {
   bool operator==(const CubeState&) const = default;
 };
 
+class PocketCube;
+
+/// Batched-decode kernel for the pocket cube (the core engine's
+/// SimdDecodable surface; see core/problem.hpp). Every face turn is legal in
+/// every state, so the "LUT" is a single packed word holding ops 0..8; apply,
+/// hash and the goal test delegate to the owning PocketCube (they are already
+/// branch-light table lookups there). What the batch path buys here is the
+/// signature table: the per-step valid-ops vector fill + FNV hash of the
+/// scalar path collapses to one precomputed constant.
+class CubeKernel {
+ public:
+  CubeKernel() = default;
+  explicit CubeKernel(const PocketCube* cube) noexcept : cube_(cube) {}
+
+  std::size_t lut_size() const noexcept { return 1; }
+  std::uint32_t lut_index(const CubeState&) const noexcept { return 0; }
+  /// Ops 0..8 as ascending 4-bit fields (valid_ops emission order).
+  std::uint64_t lut_ops(std::uint32_t) const noexcept {
+    return 0x876543210ULL;
+  }
+  std::uint32_t lut_count(std::uint32_t) const noexcept { return 9; }
+
+  void apply(CubeState& s, int op) const;
+  double op_cost(const CubeState&, int) const noexcept { return 1.0; }
+  std::uint64_t hash(const CubeState& s) const noexcept;
+  bool is_goal(const CubeState& s) const noexcept;
+
+ private:
+  const PocketCube* cube_ = nullptr;
+};
+
 class PocketCube {
  public:
   using StateT = CubeState;
@@ -39,6 +71,14 @@ class PocketCube {
   enum Face : int { kU = 0, kR = 1, kF = 2 };
 
   PocketCube() = default;
+
+  // kernel_ points back at its owner; copies rebind it (default member
+  // initializer) instead of aliasing the source.
+  PocketCube(const PocketCube& o) : initial_(o.initial_) {}
+  PocketCube& operator=(const PocketCube& o) {
+    initial_ = o.initial_;
+    return *this;
+  }
 
   /// The solved cube.
   static CubeState solved_state();
@@ -65,6 +105,10 @@ class PocketCube {
   }
   // ----------------------------------------------------------------------------
 
+  /// Batched-decode kernel (core SimdDecodable). Delegation-backed: the
+  /// kernel stays valid for the lifetime of this PocketCube.
+  const CubeKernel& simd_kernel() const noexcept { return kernel_; }
+
   /// Verifies perm is a permutation fixing DBL and twists sum to 0 mod 3 —
   /// the reachable corner-group invariant.
   static bool well_formed(const CubeState& s);
@@ -73,6 +117,17 @@ class PocketCube {
   static void turn_once(CubeState& s, int face);
 
   CubeState initial_ = solved_state();
+  CubeKernel kernel_{this};
 };
+
+inline void CubeKernel::apply(CubeState& s, int op) const {
+  cube_->apply(s, op);
+}
+inline std::uint64_t CubeKernel::hash(const CubeState& s) const noexcept {
+  return cube_->hash(s);
+}
+inline bool CubeKernel::is_goal(const CubeState& s) const noexcept {
+  return cube_->is_goal(s);
+}
 
 }  // namespace gaplan::domains

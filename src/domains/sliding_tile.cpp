@@ -34,11 +34,13 @@ SlidingTile::SlidingTile(int n, TileState initial) : n_(n), initial_(initial) {
     if (t == 0) blank = i;
   }
   initial_.blank = static_cast<std::uint8_t>(blank);
+  kernel_ = TileKernel(n_);
 }
 
 SlidingTile::SlidingTile(int n) : n_(n) {
   if (n < 2 || n > 5) throw std::invalid_argument("SlidingTile: n must be in [2, 5]");
   initial_ = goal_state();
+  kernel_ = TileKernel(n_);
 }
 
 TileState SlidingTile::goal_state() const {

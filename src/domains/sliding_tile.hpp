@@ -11,6 +11,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -29,6 +30,86 @@ struct TileState {
   bool operator==(const TileState& rhs) const noexcept {
     return cells == rhs.cells;  // blank is derived from cells
   }
+};
+
+/// Batched-decode kernel for the sliding-tile puzzle (the core engine's
+/// SimdDecodable surface; see core/problem.hpp — no core includes here).
+///
+/// The valid-move set depends only on where the blank sits, so a LUT with one
+/// entry per board cell replaces the scalar path's four bounds checks, vector
+/// fill, and signature hash per gene with two table loads. Every method MUST
+/// stay bit-for-bit equivalent to SlidingTile's own implementation
+/// (valid_ops order included); tests/test_eval_soa.cpp holds the two paths
+/// against each other.
+class TileKernel {
+ public:
+  TileKernel() = default;
+  explicit TileKernel(int n) noexcept : n_(n), cells_(n * n) {
+    // Op ids in SlidingTile::valid_ops emission order (ascending):
+    // 0 = blank up, 1 = down, 2 = left, 3 = right.
+    for (int b = 0; b < cells_; ++b) {
+      const int r = b / n_;
+      const int c = b % n_;
+      std::uint64_t packed = 0;
+      std::uint32_t cnt = 0;
+      const bool ok[4] = {r > 0, r < n_ - 1, c > 0, c < n_ - 1};
+      for (int op = 0; op < 4; ++op) {
+        if (ok[op]) {
+          packed |= static_cast<std::uint64_t>(op) << (4 * cnt);
+          ++cnt;
+        }
+      }
+      packed_[b] = packed;
+      count_[b] = cnt;
+    }
+  }
+
+  std::size_t lut_size() const noexcept {
+    return static_cast<std::size_t>(cells_);
+  }
+  std::uint32_t lut_index(const TileState& s) const noexcept {
+    return s.blank;
+  }
+  std::uint64_t lut_ops(std::uint32_t slot) const noexcept {
+    return packed_[slot];
+  }
+  std::uint32_t lut_count(std::uint32_t slot) const noexcept {
+    return count_[slot];
+  }
+
+  void apply(TileState& s, int op) const noexcept {
+    static constexpr int kRowDelta[4] = {-1, 1, 0, 0};
+    static constexpr int kColDelta[4] = {0, 0, -1, 1};
+    const int target = (s.blank / n_ + kRowDelta[op]) * n_ +
+                       (s.blank % n_ + kColDelta[op]);
+    s.cells[s.blank] = s.cells[target];
+    s.cells[target] = 0;
+    s.blank = static_cast<std::uint8_t>(target);
+  }
+
+  double op_cost(const TileState&, int) const noexcept { return 1.0; }
+
+  std::uint64_t hash(const TileState& s) const noexcept {
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (int i = 0; i < cells_; ++i) {
+      h ^= s.cells[i];
+      h *= 0x100000001B3ULL;
+    }
+    return h;
+  }
+
+  bool is_goal(const TileState& s) const noexcept {
+    for (int i = 0; i < cells_ - 1; ++i) {
+      if (s.cells[i] != i + 1) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::array<std::uint64_t, TileState::kMaxCells> packed_{};  ///< per blank
+  std::array<std::uint32_t, TileState::kMaxCells> count_{};
+  int n_ = 0;
+  int cells_ = 0;
 };
 
 class SlidingTile {
@@ -66,6 +147,9 @@ class SlidingTile {
   bool op_applicable(const TileState& s, int op) const noexcept;
   // ----------------------------------------------------------------------------
 
+  /// Batched-decode kernel (core SimdDecodable). Built once in the ctor.
+  const TileKernel& simd_kernel() const noexcept { return kernel_; }
+
   /// Summed Manhattan distance of all tiles to their goal cells.
   int manhattan(const TileState& s) const noexcept;
 
@@ -96,6 +180,7 @@ class SlidingTile {
 
   int n_;
   TileState initial_;
+  TileKernel kernel_;  ///< batched-decode twin of valid_ops/apply/hash
 };
 
 }  // namespace gaplan::domains

@@ -113,6 +113,41 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   for (auto& f : futs) f.get();  // rethrows the first task exception
 }
 
+void ThreadPool::parallel_for_ranges(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t grain) {
+  if (begin >= end) return;
+  static obs::Counter& c_pfor = obs::counter("pool.parallel_for");
+  c_pfor.inc();
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t workers = thread_count();
+  if (workers <= 1) {
+    fn(begin, end);
+    return;
+  }
+  const std::size_t n = end - begin;
+  const std::size_t chunks = (n + grain - 1) / grain;
+  std::vector<std::future<void>> futs;
+  futs.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * grain;
+    const std::size_t hi = std::min(end, lo + grain);
+    if (lo >= hi) break;
+    futs.push_back(submit([lo, hi, &fn] { fn(lo, hi); }));
+  }
+  // Same help-while-waiting discipline as parallel_for (see above).
+  for (auto& f : futs) {
+    while (f.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      if (!try_run_one()) {
+        f.wait();
+        break;
+      }
+    }
+  }
+  for (auto& f : futs) f.get();  // rethrows the first task exception
+}
+
 ThreadPool& global_pool() {
   static ThreadPool pool;
   return pool;

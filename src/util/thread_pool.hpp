@@ -10,6 +10,7 @@
 // to a serial loop with zero queueing overhead, so benchmarks stay honest.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -92,6 +93,29 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn,
                     std::size_t min_grain = 1);
+
+  /// Runs fn(lo, hi) over contiguous [lo, hi) chunks of exactly `grain`
+  /// indices (the final chunk may be shorter), blocking until all complete.
+  /// The range form of parallel_for for batched work: the callee sees whole
+  /// chunks, so it can process them as one batch (the pooled evaluator feeds
+  /// each chunk to its SIMD kernel decoder). Serial on <= 1 worker; helps
+  /// drain the queue while waiting, like parallel_for.
+  void parallel_for_ranges(std::size_t begin, std::size_t end,
+                           const std::function<void(std::size_t, std::size_t)>& fn,
+                           std::size_t grain);
+
+  /// Work grain for batch-oriented parallel loops: the batch width B when
+  /// there is enough work for every worker, shrinking to ~n/workers on tiny
+  /// inputs so no worker starves (each chunk is one decode batch, so a grain
+  /// above n/workers would leave workers idle while one chews several
+  /// batches). Always >= 1.
+  static std::size_t grain_for(std::size_t n, std::size_t batch_width,
+                               std::size_t workers) noexcept {
+    if (n == 0) return 1;
+    const std::size_t per_worker =
+        std::max<std::size_t>(1, n / std::max<std::size_t>(1, workers));
+    return std::max<std::size_t>(1, std::min(batch_width, per_worker));
+  }
 
   /// Target chunks per worker in parallel_for (static-partition imbalance
   /// fix; see docs/API.md).

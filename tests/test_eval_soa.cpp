@@ -1,0 +1,306 @@
+// Struct-of-arrays layout parity: a run with the pooled genome pool (batched
+// kernel decode on SimdDecodable domains, lane-spliced reproduction) must be
+// indistinguishable — same random draws, same populations, same per-generation
+// stats, same evaluation counts — from the scalar vector-of-Individuals
+// engine. This is the contract that lets EvalLayout::kAuto flip layouts for
+// throughput without touching trajectories (ISSUE 7 acceptance criterion).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/island.hpp"
+#include "core/multiphase.hpp"
+#include "domains/hanoi.hpp"
+#include "domains/hanoi_strips.hpp"
+#include "domains/pocket_cube.hpp"
+#include "domains/sliding_tile.hpp"
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace gaplan;
+
+std::uint64_t evaluations_total() {
+  const auto snap = obs::snapshot_metrics();
+  const auto* c = snap.find_counter("ga.evaluations");
+  return c == nullptr ? 0 : c->value;
+}
+
+template <typename State>
+void expect_same_phase(const ga::PhaseResult<State>& a,
+                       const ga::PhaseResult<State>& b) {
+  EXPECT_EQ(a.found_valid, b.found_valid);
+  EXPECT_EQ(a.generation_found, b.generation_found);
+  EXPECT_EQ(a.generations_run, b.generations_run);
+  EXPECT_EQ(a.best.genes, b.best.genes);
+  EXPECT_EQ(a.best.eval.ops, b.best.eval.ops);
+  EXPECT_EQ(a.best.eval.fitness, b.best.eval.fitness);
+  EXPECT_EQ(a.best.eval.plan_cost, b.best.eval.plan_cost);
+  EXPECT_EQ(a.best.eval.valid, b.best.eval.valid);
+  EXPECT_EQ(a.best.eval.goal_index, b.best.eval.goal_index);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t g = 0; g < a.history.size(); ++g) {
+    EXPECT_EQ(a.history[g].mean_fitness, b.history[g].mean_fitness) << "gen " << g;
+    EXPECT_EQ(a.history[g].best_fitness, b.history[g].best_fitness) << "gen " << g;
+    EXPECT_EQ(a.history[g].mean_length, b.history[g].mean_length) << "gen " << g;
+    EXPECT_EQ(a.history[g].valid_count, b.history[g].valid_count) << "gen " << g;
+  }
+}
+
+/// Runs the same phase twice — scalar layout vs pooled layout, same seed —
+/// and requires bit-identical trajectories plus identical ga.evaluations
+/// spend (the pooled path may not decode more, or fewer, individuals).
+template <typename P>
+void expect_layout_parity(const P& problem, const ga::GaConfig& base,
+                          std::uint64_t seed, util::ThreadPool* pool) {
+  ga::GaConfig scalar = base;
+  scalar.eval_layout = ga::EvalLayout::kScalar;
+  ga::GaConfig pooled = base;
+  pooled.eval_layout = ga::EvalLayout::kPooled;
+
+  ga::Engine<P> e_scalar(problem, scalar, pool);
+  ga::Engine<P> e_pooled(problem, pooled, pool);
+  util::Rng r1(seed), r2(seed);
+  const std::uint64_t n0 = evaluations_total();
+  const auto a = e_scalar.run_phase(problem.initial_state(), r1, base.stop_on_valid);
+  const std::uint64_t n1 = evaluations_total();
+  const auto b = e_pooled.run_phase(problem.initial_state(), r2, base.stop_on_valid);
+  const std::uint64_t n2 = evaluations_total();
+  expect_same_phase(a, b);
+  EXPECT_EQ(n1 - n0, n2 - n1) << "layouts disagree on evaluation count";
+}
+
+ga::GaConfig small_config() {
+  ga::GaConfig cfg;
+  cfg.population_size = 24;
+  cfg.generations = 12;
+  cfg.initial_length = 16;
+  cfg.max_length = 80;
+  cfg.stop_on_valid = false;
+  cfg.eval_checkpoint_stride = 8;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Directed cases: each knob that alters the reproduction/evaluation path.
+// ---------------------------------------------------------------------------
+
+TEST(SoaLayoutParity, HanoiKernelBaseline) {
+  const domains::Hanoi h(6);
+  static_assert(ga::SimdDecodable<domains::Hanoi>);
+  expect_layout_parity(h, small_config(), 211, nullptr);
+}
+
+TEST(SoaLayoutParity, HanoiElitesMixedCrossover) {
+  const domains::Hanoi h(5);
+  auto cfg = small_config();
+  cfg.crossover = ga::CrossoverKind::kMixed;
+  cfg.elite_count = 3;
+  expect_layout_parity(h, cfg, 223, nullptr);
+}
+
+TEST(SoaLayoutParity, HanoiSeededRouletteNoTruncate) {
+  const domains::Hanoi h(5);
+  auto cfg = small_config();
+  cfg.seed_fraction = 0.4;
+  cfg.selection = ga::SelectionKind::kRoulette;
+  cfg.truncate_at_goal = false;
+  expect_layout_parity(h, cfg, 227, nullptr);
+}
+
+TEST(SoaLayoutParity, SlidingTileKernel) {
+  static_assert(ga::SimdDecodable<domains::SlidingTile>);
+  util::Rng scramble(7);
+  const domains::SlidingTile base(3);
+  const domains::SlidingTile t(3, base.scrambled(30, scramble));
+  auto cfg = small_config();
+  cfg.crossover = ga::CrossoverKind::kStateAware;
+  expect_layout_parity(t, cfg, 229, nullptr);
+}
+
+TEST(SoaLayoutParity, PocketCubeKernel) {
+  static_assert(ga::SimdDecodable<domains::PocketCube>);
+  domains::PocketCube cube;
+  util::Rng scramble(5);
+  cube.set_initial(cube.scrambled(6, scramble));
+  auto cfg = small_config();
+  cfg.crossover = ga::CrossoverKind::kUniform;
+  expect_layout_parity(cube, cfg, 233, nullptr);
+}
+
+TEST(SoaLayoutParity, KernellessDomainGenericPooledPath) {
+  // strips has no simd_kernel(): forcing kPooled exercises the pooled
+  // layout's scalar (evaluate_resume) fallback over lane spans.
+  const auto enc = domains::build_hanoi_strips(3);
+  const auto problem = enc.problem();
+  static_assert(!ga::SimdDecodable<strips::Problem>);
+  auto cfg = small_config();
+  cfg.generations = 8;
+  expect_layout_parity(problem, cfg, 239, nullptr);
+}
+
+TEST(SoaLayoutParity, ColdEvalAndBatchWidthOne) {
+  const domains::Hanoi h(5);
+  auto cfg = small_config();
+  cfg.incremental_eval = false;
+  cfg.eval_batch_width = 1;
+  expect_layout_parity(h, cfg, 241, nullptr);
+}
+
+TEST(SoaLayoutParity, ThreadPoolLanes) {
+  // Threaded batches: chunk boundaries from grain_for must not perturb
+  // trajectories, and lane splicing must be race-free (TSan lane runs this).
+  const domains::Hanoi h(6);
+  util::ThreadPool pool(4);
+  auto cfg = small_config();
+  cfg.eval_batch_width = 4;
+  expect_layout_parity(h, cfg, 251, &pool);
+}
+
+TEST(SoaLayoutParity, StopOnValidSameGeneration) {
+  const domains::Hanoi h(4);
+  auto cfg = small_config();
+  cfg.generations = 60;
+  cfg.stop_on_valid = true;
+  expect_layout_parity(h, cfg, 257, nullptr);
+}
+
+TEST(SoaLayoutParity, AutoSelectsPooledOnKernelDomains) {
+  // kAuto must equal kPooled bit-for-bit on a kernel domain (it IS the pooled
+  // path) and kScalar on kernel-less ones; spot-check the former.
+  const domains::Hanoi h(5);
+  auto base = small_config();
+  ga::GaConfig autoc = base;
+  autoc.eval_layout = ga::EvalLayout::kAuto;
+  ga::GaConfig pooled = base;
+  pooled.eval_layout = ga::EvalLayout::kPooled;
+  ga::Engine<domains::Hanoi> e_auto(h, autoc);
+  ga::Engine<domains::Hanoi> e_pooled(h, pooled);
+  util::Rng r1(263), r2(263);
+  const auto a = e_auto.run_phase(h.initial_state(), r1, false);
+  const auto b = e_pooled.run_phase(h.initial_state(), r2, false);
+  expect_same_phase(a, b);
+}
+
+TEST(SoaLayoutParity, MultiphaseAcrossPhases) {
+  // The pooled runner persists inside one Engine across phases; phase
+  // boundaries (new start state, re-init) must not leak state between runs.
+  const domains::Hanoi h(6);
+  auto cfg = small_config();
+  cfg.phases = 3;
+  cfg.generations = 8;
+  ga::GaConfig scalar = cfg;
+  scalar.eval_layout = ga::EvalLayout::kScalar;
+  ga::GaConfig pooled = cfg;
+  pooled.eval_layout = ga::EvalLayout::kPooled;
+  util::Rng r1(269), r2(269);
+  const auto a = ga::run_multiphase(h, scalar, r1);
+  const auto b = ga::run_multiphase(h, pooled, r2);
+  EXPECT_EQ(a.valid, b.valid);
+  EXPECT_EQ(a.plan, b.plan);
+  EXPECT_EQ(a.goal_fitness, b.goal_fitness);
+  EXPECT_EQ(a.phases_run, b.phases_run);
+  EXPECT_EQ(a.generations_total, b.generations_total);
+}
+
+TEST(SoaLayoutParity, IslandsWithMigration) {
+  const domains::Hanoi h(6);
+  auto cfg = small_config();
+  cfg.generations = 20;
+  ga::IslandConfig icfg;
+  icfg.islands = 3;
+  icfg.migration_interval = 5;
+  icfg.migrants = 2;
+  ga::GaConfig scalar = cfg;
+  scalar.eval_layout = ga::EvalLayout::kScalar;
+  ga::GaConfig pooled = cfg;
+  pooled.eval_layout = ga::EvalLayout::kPooled;
+  util::Rng r1(271), r2(271);
+  const auto a = ga::run_islands(h, scalar, icfg, r1);
+  const auto b = ga::run_islands(h, pooled, icfg, r2);
+  EXPECT_EQ(a.found_valid, b.found_valid);
+  EXPECT_EQ(a.generation_found, b.generation_found);
+  EXPECT_EQ(a.generations_run, b.generations_run);
+  EXPECT_EQ(a.best_island, b.best_island);
+  EXPECT_EQ(a.best.genes, b.best.genes);
+  EXPECT_EQ(a.best.eval.ops, b.best.eval.ops);
+  EXPECT_EQ(a.best.eval.fitness, b.best.eval.fitness);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized sweep: 100+ seeded domain/config draws. Any divergence between
+// the layouts on any knob combination is a parity bug.
+// ---------------------------------------------------------------------------
+
+ga::GaConfig random_config(util::Rng& rng) {
+  ga::GaConfig cfg;
+  cfg.population_size = 8 + 2 * rng.below(9);  // even, 8..24
+  cfg.generations = 3 + rng.below(6);
+  cfg.initial_length = 8 + rng.below(17);
+  cfg.max_length = cfg.initial_length + 8 + rng.below(57);
+  cfg.stop_on_valid = false;
+  static constexpr ga::CrossoverKind kXover[] = {
+      ga::CrossoverKind::kRandom, ga::CrossoverKind::kStateAware,
+      ga::CrossoverKind::kMixed, ga::CrossoverKind::kUniform};
+  cfg.crossover = kXover[rng.below(4)];
+  cfg.state_match = rng.chance(0.5) ? ga::StateMatchKind::kValidOps
+                                    : ga::StateMatchKind::kExactState;
+  cfg.crossover_rate = 0.5 + 0.5 * rng.uniform();
+  cfg.mutation_rate = 0.05 * rng.uniform();
+  cfg.selection = rng.chance(0.3) ? ga::SelectionKind::kRoulette
+                                  : ga::SelectionKind::kTournament;
+  cfg.tournament_size = 2 + rng.below(3);
+  cfg.elite_count = rng.below(4);
+  cfg.seed_fraction = rng.chance(0.3) ? rng.uniform() : 0.0;
+  cfg.truncate_at_goal = rng.chance(0.8);
+  cfg.incremental_eval = rng.chance(0.8);
+  static constexpr std::size_t kStrides[] = {1, 4, 16};
+  cfg.eval_checkpoint_stride = kStrides[rng.below(3)];
+  static constexpr std::size_t kWidths[] = {1, 2, 3, 8, 64};
+  cfg.eval_batch_width = kWidths[rng.below(5)];
+  return cfg;
+}
+
+TEST(SoaLayoutParityFuzz, RandomDomainsAndConfigs) {
+  util::Rng meta(0x50A50A);
+  util::ThreadPool pool(4);
+  for (int draw = 0; draw < 108; ++draw) {
+    const ga::GaConfig cfg = random_config(meta);
+    const std::uint64_t seed = meta();
+    util::ThreadPool* p = meta.chance(0.25) ? &pool : nullptr;
+    SCOPED_TRACE("draw " + std::to_string(draw));
+    switch (meta.below(4)) {
+      case 0: {
+        const domains::Hanoi h(3 + static_cast<int>(meta.below(4)));
+        expect_layout_parity(h, cfg, seed, p);
+        break;
+      }
+      case 1: {
+        util::Rng scramble(seed ^ 1);
+        const domains::SlidingTile base(3);
+        const domains::SlidingTile t(
+            3, base.scrambled(10 + meta.below(30), scramble));
+        expect_layout_parity(t, cfg, seed, p);
+        break;
+      }
+      case 2: {
+        domains::PocketCube cube;
+        util::Rng scramble(seed ^ 2);
+        cube.set_initial(cube.scrambled(3 + meta.below(6), scramble));
+        expect_layout_parity(cube, cfg, seed, p);
+        break;
+      }
+      default: {
+        const auto enc = domains::build_hanoi_strips(3);
+        expect_layout_parity(enc.problem(), cfg, seed, p);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "domains/hanoi.hpp"
 #include "domains/pocket_cube.hpp"
 #include "obs/report.hpp"
 #include "util/rng.hpp"
@@ -181,6 +182,9 @@ TEST(Metrics, EvalCountersAppearInExport) {
   cfg.initial_length = 16;
   cfg.max_length = 64;
   cfg.stop_on_valid = false;
+  // Pin the scalar layout: under kAuto the cube's SIMD kernel takes over and
+  // the ops cache (whose counters this test is about) is never probed.
+  cfg.eval_layout = ga::EvalLayout::kScalar;
   ga::Engine<domains::PocketCube> engine(cube, cfg);
   gaplan::util::Rng rng(17);
   engine.run_phase(cube.initial_state(), rng, false);
@@ -200,6 +204,43 @@ TEST(Metrics, EvalCountersAppearInExport) {
   EXPECT_NE(json.find("eval.cache_hits"), std::string::npos);
   EXPECT_NE(json.find("eval.cache_misses"), std::string::npos);
   EXPECT_NE(json.find("eval.resume_genes_skipped"), std::string::npos);
+}
+
+TEST(Metrics, PooledEvalCountersAppearInExport) {
+  // The struct-of-arrays batch evaluator must surface its work: after a
+  // pooled run on a SIMD-kernel domain, the batch counters are registered,
+  // populated, and exported to Prometheus.
+  namespace ga = gaplan::ga;
+  namespace domains = gaplan::domains;
+  const domains::Hanoi h(5);
+  ga::GaConfig cfg;
+  cfg.population_size = 30;
+  cfg.generations = 10;
+  cfg.initial_length = 16;
+  cfg.max_length = 64;
+  cfg.stop_on_valid = false;
+  cfg.eval_layout = ga::EvalLayout::kPooled;
+  cfg.eval_batch_width = 8;
+  ga::Engine<domains::Hanoi> engine(h, cfg);
+  gaplan::util::Rng rng(23);
+  engine.run_phase(h.initial_state(), rng, false);
+
+  const auto snap = obs::snapshot_metrics();
+  ASSERT_NE(snap.find_counter("eval.batches"), nullptr);
+  ASSERT_NE(snap.find_counter("eval.simd_lanes_used"), nullptr);
+  EXPECT_GT(counter_value("eval.batches"), 0u);
+  // Every individual decodes through a kernel lane on this domain.
+  EXPECT_GE(counter_value("eval.simd_lanes_used"),
+            counter_value("eval.batches"));
+  // The batch-width gauge reflects the configured wavefront width.
+  const auto* bw = snap.find_gauge("eval.batch_width");
+  ASSERT_NE(bw, nullptr);
+  EXPECT_EQ(bw->value, 8);
+
+  const std::string text = obs::render_metrics_prometheus(snap);
+  EXPECT_NE(text.find("gaplan_eval_batches_total"), std::string::npos);
+  EXPECT_NE(text.find("gaplan_eval_simd_lanes_used_total"), std::string::npos);
+  EXPECT_NE(text.find("gaplan_eval_batch_width"), std::string::npos);
 }
 
 TEST(Metrics, LatencyBucketsAreSane) {

@@ -120,6 +120,76 @@ TEST(ThreadPool, TrySubmitHonorsBacklogBound) {
   EXPECT_EQ(first->get(), 1);
 }
 
+TEST(ThreadPool, GrainForScalesDownOnTinyInputs) {
+  // Plenty of work: the grain is the full batch width.
+  EXPECT_EQ(ThreadPool::grain_for(256, 8, 4), 8u);
+  // Tiny population: the grain shrinks to ~n/workers so every worker gets a
+  // chunk instead of one worker chewing several batches while others idle.
+  EXPECT_EQ(ThreadPool::grain_for(8, 8, 4), 2u);
+  EXPECT_EQ(ThreadPool::grain_for(4, 8, 4), 1u);
+  // Degenerate inputs clamp sanely: n = 0 yields 1, zero workers behaves
+  // like a single worker (whole range in one chunk, capped by B).
+  EXPECT_EQ(ThreadPool::grain_for(0, 8, 4), 1u);
+  EXPECT_EQ(ThreadPool::grain_for(3, 8, 0), 3u);
+  EXPECT_EQ(ThreadPool::grain_for(16, 1, 4), 1u);
+  // Single worker: grain capped by batch width only.
+  EXPECT_EQ(ThreadPool::grain_for(100, 8, 1), 8u);
+}
+
+TEST(ThreadPool, ParallelForRangesNoWorkerStarvesOnTinyPopulation) {
+  // Regression for the batched evaluator on small populations: with n = 8,
+  // B = 8 and 4 workers, a naive grain of B would make one chunk of 8 and
+  // leave three workers idle. grain_for must split the range so the chunk
+  // count reaches the worker count, every index runs exactly once, and no
+  // chunk exceeds the grain.
+  ThreadPool pool(4);
+  const std::size_t n = 8;
+  const std::size_t grain = ThreadPool::grain_for(n, 8, pool.thread_count());
+  EXPECT_EQ(grain, 2u);
+
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  std::vector<int> hits(n, 0);
+  pool.parallel_for_ranges(
+      0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        std::lock_guard lock(mu);
+        chunks.emplace_back(lo, hi);
+        for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+      },
+      grain);
+
+  EXPECT_EQ(chunks.size(), n / grain);  // enough chunks for every worker
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_LE(hi - lo, grain);
+    EXPECT_LT(lo, hi);
+  }
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForRangesSerialOnSingleWorker) {
+  // With one worker the range form runs as a single serial call — no
+  // queueing, exact bounds.
+  ThreadPool pool(1);
+  std::vector<std::pair<std::size_t, std::size_t>> calls;
+  pool.parallel_for_ranges(
+      3, 11,
+      [&](std::size_t lo, std::size_t hi) { calls.emplace_back(lo, hi); }, 2);
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0], std::make_pair(std::size_t{3}, std::size_t{11}));
+}
+
+TEST(ThreadPool, ParallelForRangesPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for_ranges(
+                   0, 16,
+                   [](std::size_t lo, std::size_t) {
+                     if (lo == 8) throw std::runtime_error("boom");
+                   },
+                   4),
+               std::runtime_error);
+}
+
 TEST(ThreadPool, ParallelForPropagatesExceptions) {
   ThreadPool pool(2);
   EXPECT_THROW(pool.parallel_for(0, 16,
