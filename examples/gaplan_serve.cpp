@@ -385,6 +385,14 @@ class TcpFrontEnd {
         }
       }
       buf.erase(0, pos);
+      if (buf.size() > gaplan::serve::kMaxWireFrameBytes) {
+        // An unterminated line past the frame cap can only produce a protocol
+        // error; answer once and drop the client instead of buffering it.
+        std::string resp = error_response("frame exceeds size limit");
+        resp += '\n';
+        (void)::write(fd, resp.data(), resp.size());
+        break;
+      }
       if (exit_connection) break;
     }
     {

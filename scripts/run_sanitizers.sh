@@ -10,11 +10,18 @@
 # SoA evaluator's threaded lane splicing) — TSan's ~10x slowdown makes the
 # full suite impractical, and the single-threaded tests have nothing for it
 # to find. It is not part of "all" for the same reason; run it explicitly.
-# The asan/ubsan lanes run the whole suite, which includes the SoA layout
-# parity fuzz and the bench_eval smoke, so lane splicing and the batched
-# kernel decoder get exercised under both of those as well.
+# The asan/ubsan lanes run the whole suite, which includes the property
+# suites (layout-parity, resume-parity, wire, chaos) and the bench_eval
+# smoke, so lane splicing and the batched kernel decoder get exercised under
+# both of those as well.
 #
-#   scripts/run_sanitizers.sh [asan|ubsan|tsan|all]   (default: all)
+# The prop lane is the extended-iteration fuzz sweep: it reuses the asan
+# build tree and re-runs only the property suites (ctest -L prop) with
+# GAPLAN_PROP_ITERS raised, so every prop::check budget is multiplied
+# (default 20x; override via GAPLAN_PROP_ITERS in the environment). Failing
+# seeds print as GAPLAN_PROP_SEED=... lines, replayable against any build.
+#
+#   scripts/run_sanitizers.sh [asan|ubsan|tsan|prop|all]   (default: all)
 #
 # Extra ctest args can follow the lane name, e.g.:
 #   scripts/run_sanitizers.sh ubsan -R Replanner
@@ -45,11 +52,13 @@ case "${lane}" in
   asan)  run_lane asan address "$@" ;;
   ubsan) run_lane ubsan undefined "$@" ;;
   tsan)  run_lane tsan thread \
-           -R 'PlanService|PlanCache|ThreadPool|Serve|Island|Soa|serve_smoke|trace_analyze_smoke' \
+           -R 'PlanService|PlanCache|ThreadPool|Serve|Island|Soa|Prop|serve_smoke|trace_analyze_smoke' \
            "$@" ;;
+  prop)  GAPLAN_PROP_ITERS="${GAPLAN_PROP_ITERS:-20}" \
+           run_lane asan address -L prop "$@" ;;
   all)   run_lane ubsan undefined "$@"
          run_lane asan address "$@" ;;
-  *) echo "usage: $0 [asan|ubsan|tsan|all] [ctest args...]" >&2; exit 2 ;;
+  *) echo "usage: $0 [asan|ubsan|tsan|prop|all] [ctest args...]" >&2; exit 2 ;;
 esac
 
 echo "=== sanitizers: all lanes passed ==="

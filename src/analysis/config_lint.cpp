@@ -19,6 +19,27 @@ Report lint_config(const ga::GaConfig& cfg) {
   Report report;
 
   // --- errors: the validate() invariant set, one code each -----------------
+  // Finiteness first: NaN passes every range check below (both halves of
+  // `x < lo || x > hi` are false) and +inf passes `>= 0`, but non-finite
+  // knobs poison fitness scores and plan-cache fingerprints.
+  {
+    const struct { double v; const char* field; } doubles[] = {
+        {cfg.crossover_rate, "crossover_rate"},
+        {cfg.mutation_rate, "mutation_rate"},
+        {cfg.seed_fraction, "seed_fraction"},
+        {cfg.seed_greediness, "seed_greediness"},
+        {cfg.goal_weight, "goal_weight"},
+        {cfg.cost_weight, "cost_weight"},
+        {cfg.match_weight, "match_weight"},
+    };
+    for (const auto& d : doubles) {
+      if (!std::isfinite(d.v)) {
+        report.error("config.non-finite",
+                     std::string(d.field) + " must be finite (no NaN/inf)",
+                     d.field);
+      }
+    }
+  }
   if (cfg.population_size < 2) {
     report.error("config.population-too-small", "population_size must be >= 2",
                  "population_size");

@@ -72,6 +72,15 @@ void check(bool ok, const char* what) {
 }  // namespace
 
 void GaConfig::validate() const {
+  // NaN slips through every `x < lo || x > hi` range check below (both
+  // comparisons are false), and +inf weights pass plain `>= 0`: gate all
+  // double knobs on finiteness first so neither reaches fitness scoring or
+  // the plan-cache fingerprint.
+  check(std::isfinite(crossover_rate) && std::isfinite(mutation_rate) &&
+            std::isfinite(seed_fraction) && std::isfinite(seed_greediness) &&
+            std::isfinite(goal_weight) && std::isfinite(cost_weight) &&
+            std::isfinite(match_weight),
+        "rates and weights must be finite (no NaN/inf)");
   check(population_size >= 2, "population_size must be >= 2");
   check(population_size % 2 == 0, "population_size must be even (pairwise crossover)");
   check(generations >= 1, "generations must be >= 1");

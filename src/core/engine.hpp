@@ -589,13 +589,24 @@ class PooledPhaseRunner {
       }
     }
     if constexpr (SimdDecodable<P>) {
-      // Built once per runner: the signature table only depends on the
-      // kernel's LUT, and the decode options are fixed by the config.
-      // state_hashes are only read by exact-state crossover matching, so the
-      // kernel decoder skips recording them under valid-ops matching.
-      if (!kdec_.has_value()) {
-        kdec_.emplace(*problem_, decode_options(*cfg_),
-                      cfg_->state_match == StateMatchKind::kExactState);
+      // The signature table only depends on the kernel's LUT, so the decoder
+      // is cached across phases — but the decode options are derived from the
+      // config, and a persistent runner re-init()ed after its config changed
+      // (the Engine holds cfg_ by pointer; phase-varying scenarios mutate it
+      // between phases) must not keep decoding with options frozen at first
+      // init: stale truncate/hash/stride flags silently break pooled-vs-
+      // scalar parity. state_hashes are only read by exact-state crossover
+      // matching, so the kernel decoder skips recording them otherwise.
+      const DecodeOptions opt = decode_options(*cfg_);
+      const bool exact = cfg_->state_match == StateMatchKind::kExactState;
+      if (!kdec_.has_value() ||
+          kdec_opts_.truncate_at_goal != opt.truncate_at_goal ||
+          kdec_opts_.record_hashes != opt.record_hashes ||
+          kdec_opts_.checkpoint_stride != opt.checkpoint_stride ||
+          kdec_exact_ != exact) {
+        kdec_.emplace(*problem_, opt, exact);
+        kdec_opts_ = opt;
+        kdec_exact_ = exact;
       }
     }
     result_ = PhaseResult<State>{};
@@ -915,6 +926,8 @@ class PooledPhaseRunner {
   std::vector<Gene> spare_buf_;          ///< discarded odd-pair second child
   CrossoverScratch xscratch_;
   std::optional<KdecT> kdec_;  ///< engaged iff SimdDecodable<P>
+  DecodeOptions kdec_opts_{};  ///< options kdec_ was built with
+  bool kdec_exact_ = false;    ///< exact-state flag kdec_ was built with
   PhaseResult<State> result_;
   obs::SpanContext span_ctx_;
   bool have_best_ = false;

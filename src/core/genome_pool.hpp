@@ -32,14 +32,19 @@ template <typename State>
 class GenomePool {
  public:
   /// (Re)shapes the pool to `slots` lanes of `stride` genes. Gene storage is
-  /// resized, not cleared; lengths reset to 0; Evaluation records are kept
-  /// (their buffers recycle across phases).
+  /// resized, not cleared; lengths reset to 0; Evaluation record buffers are
+  /// kept (they recycle across phases) but each record is invalidated: a
+  /// reshaped pool must never present a previous phase's decode — with its
+  /// stale checkpoints and dirty-prefix bookkeeping — as a resumable parent,
+  /// which is exactly what happens when the population shrinks between phases
+  /// and surviving slot indices still hold decoded=true records.
   void reset(std::size_t slots, std::size_t stride) {
     stride_ = stride;
     genes_.resize(slots * stride);
     len_.assign(slots, 0);
     fitness_.assign(slots, 0.0);
     evals_.resize(slots);
+    for (auto& ev : evals_) ev.reset();
   }
 
   std::size_t slots() const noexcept { return len_.size(); }

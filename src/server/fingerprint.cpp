@@ -29,7 +29,17 @@ void FingerprintHasher::mix(std::uint64_t v) noexcept {
 }
 
 void FingerprintHasher::mix(double v) noexcept {
-  mix(std::bit_cast<std::uint64_t>(v));
+  // Canonicalize before digesting: all NaN payloads collapse to one quiet
+  // NaN and -0.0 to +0.0. Raw bit_cast would let NaN-payload variants split
+  // cache entries for value-equal configs (and -0.0 alias away from 0.0)
+  // even though lint rejects non-finite knobs at admission.
+  std::uint64_t bits;
+  if (v != v) {
+    bits = 0x7FF8000000000000ULL;
+  } else {
+    bits = std::bit_cast<std::uint64_t>(v + 0.0);
+  }
+  mix(bits);
 }
 
 void FingerprintHasher::mix(std::string_view s) noexcept {

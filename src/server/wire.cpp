@@ -1,9 +1,11 @@
 #include "server/wire.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "obs/trace.hpp"  // append_json_string
 
@@ -41,6 +43,12 @@ bool parse_string(Cursor& c, const char* begin, std::string& out,
   while (!c.done()) {
     const char ch = *c.p++;
     if (ch == '"') return true;
+    if (static_cast<unsigned char>(ch) < 0x20) {
+      // JSON requires control characters (including NUL) to be escaped; raw
+      // ones are how truncated/binary frames smuggle garbage into fields.
+      --c.p;  // report the offending byte's offset
+      return fail(error, c, begin, "raw control character in string");
+    }
     if (ch != '\\') {
       out += ch;
       continue;
@@ -93,6 +101,10 @@ bool parse_string(Cursor& c, const char* begin, std::string& out,
 bool parse_wire_message(std::string_view line, WireMessage& out,
                         std::string& error) {
   out = WireMessage{};
+  if (line.size() > kMaxWireFrameBytes) {
+    error = "frame exceeds " + std::to_string(kMaxWireFrameBytes) + " bytes";
+    return false;
+  }
   Cursor c{line.data(), line.data() + line.size()};
   const char* begin = line.data();
 
@@ -120,6 +132,12 @@ bool parse_wire_message(std::string_view line, WireMessage& out,
       c.skip_ws();
       if (c.done()) return fail(error, c, begin, "missing value");
 
+      // Last value wins across types too: a key re-bound to a new type (or
+      // to null) must not leave a stale entry behind in another map.
+      out.strings.erase(key);
+      out.numbers.erase(key);
+      out.bools.erase(key);
+
       const char v = c.peek();
       if (v == '"') {
         std::string value;
@@ -145,12 +163,28 @@ bool parse_wire_message(std::string_view line, WireMessage& out,
       } else if (v == '{' || v == '[') {
         return fail(error, c, begin, "nested values unsupported");
       } else if (v == '-' || (v >= '0' && v <= '9')) {
-        char* num_end = nullptr;
-        const double value = std::strtod(c.p, &num_end);
-        if (num_end == c.p || num_end > c.end) {
+        // strtod needs NUL termination and would scan past the end of a
+        // non-terminated frame: bound the token first, parse a local copy.
+        const char* tok_end = c.p;
+        while (tok_end < c.end &&
+               (*tok_end == '-' || *tok_end == '+' || *tok_end == '.' ||
+                *tok_end == 'e' || *tok_end == 'E' ||
+                (*tok_end >= '0' && *tok_end <= '9'))) {
+          ++tok_end;
+        }
+        char num_buf[64];
+        const std::size_t tok_len = static_cast<std::size_t>(tok_end - c.p);
+        if (tok_len == 0 || tok_len >= sizeof(num_buf)) {
           return fail(error, c, begin, "bad number");
         }
-        c.p = num_end;
+        std::memcpy(num_buf, c.p, tok_len);
+        num_buf[tok_len] = '\0';
+        char* num_end = nullptr;
+        const double value = std::strtod(num_buf, &num_end);
+        if (num_end != num_buf + tok_len) {
+          return fail(error, c, begin, "bad number");
+        }
+        c.p = tok_end;
         out.numbers[key] = value;
       } else {
         return fail(error, c, begin, "unexpected value");
@@ -193,9 +227,11 @@ JsonWriter& JsonWriter::field(std::string_view key, double value) {
     buf_ += "null";  // inf/nan are not JSON numbers
     return *this;
   }
+  // Shortest representation that parses back to the same double: %.10g used
+  // to truncate plan costs/fitness values, so a wire roundtrip lost bits.
   char tmp[32];
-  std::snprintf(tmp, sizeof(tmp), "%.10g", value);
-  buf_ += tmp;
+  const auto res = std::to_chars(tmp, tmp + sizeof(tmp), value);
+  buf_.append(tmp, res.ptr);
   return *this;
 }
 

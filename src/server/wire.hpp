@@ -22,6 +22,11 @@
 
 namespace gaplan::serve {
 
+/// Hard cap on one NDJSON frame. parse_wire_message rejects longer lines and
+/// the TCP front end drops clients whose unterminated line grows past it, so
+/// a hostile peer cannot make the service buffer unbounded input.
+inline constexpr std::size_t kMaxWireFrameBytes = 64 * 1024;
+
 /// One parsed wire line: flat key -> typed value maps. Key collisions keep
 /// the last value, like most JSON parsers.
 struct WireMessage {

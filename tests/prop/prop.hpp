@@ -1,0 +1,388 @@
+// Property-based testing substrate (ROADMAP item 4; rapidcheck-style, sized
+// for this repo — no external dependency).
+//
+// A property is an ordinary callable that exercises one invariant with gtest
+// assertions over a generated value. prop::check drives it:
+//
+//   prop::check("decode_deterministic", gen_case(), [](const Case& c) {
+//     EXPECT_EQ(decode(c), decode(c));
+//   });
+//
+// Per iteration, a 64-bit seed is derived from the base seed, a fresh
+// util::Rng is built from it, and the generator draws the value. On failure
+// the runner:
+//   1. shrinks the counterexample (bounded greedy descent through the
+//      generator's shrink candidates, re-running the property silently via
+//      gtest's fake-reporter capture until no smaller value still fails),
+//   2. reports ONE real gtest failure carrying the shrunk value, the captured
+//      assertion text, and the exact reproduction command:
+//        GAPLAN_PROP_SEED=<seed> ctest -R <test> ...
+//
+// Replay: when GAPLAN_PROP_SEED is set, check() runs exactly that seed (plus
+// any committed regression seeds) with capture off, so the original assertion
+// failures surface directly under a debugger.
+//
+// Regression seeds: tests/data/prop/<name>.seeds (one decimal/hex seed per
+// line, '#' comments) are replayed before the random iterations on every run
+// — the fuzz harvest stays fixed in-tree.
+//
+// Iteration budget: each call names its own bounded count (tier-1 stays
+// fast); the environment multiplier GAPLAN_PROP_ITERS scales every budget for
+// the extended sanitizer lanes (scripts/run_sanitizers.sh prop).
+#pragma once
+
+#include <gtest/gtest-spi.h>
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gaplan::prop {
+
+/// One generated value type: how to draw it from a seeded Rng, how to shrink
+/// a failing draw, and how to print it. Combinators below build these; the
+/// project-type generator library lives in tests/prop/generators.hpp.
+template <typename T>
+struct Gen {
+  std::function<T(util::Rng&)> sample;
+  /// Smaller candidate values derived from a failing one, "most aggressive
+  /// first" (the runner greedily descends). Default: not shrinkable.
+  std::function<std::vector<T>(const T&)> shrink =
+      [](const T&) { return std::vector<T>{}; };
+  /// Rendering for the failure report. Default: operator<< if available.
+  std::function<std::string(const T&)> show = [](const T& v) {
+    if constexpr (requires(std::ostream& os) { os << v; }) {
+      std::ostringstream os;
+      os << v;
+      return os.str();
+    } else {
+      return std::string("<value>");
+    }
+  };
+};
+
+// ---------------------------------------------------------------------------
+// Runner configuration
+
+struct CheckConfig {
+  std::size_t iterations = 50;   ///< random draws (before the env multiplier)
+  std::uint64_t base_seed = 0;   ///< 0: derived from the property name
+  std::size_t max_shrinks = 400; ///< property re-runs spent minimizing
+};
+
+namespace detail {
+
+inline std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// GAPLAN_PROP_SEED, when set: run exactly this seed.
+inline std::optional<std::uint64_t> env_seed() {
+  const char* s = std::getenv("GAPLAN_PROP_SEED");
+  if (s == nullptr || *s == '\0') return std::nullopt;
+  return std::strtoull(s, nullptr, 0);
+}
+
+/// GAPLAN_PROP_ITERS: integer multiplier on every iteration budget (>= 1).
+inline std::size_t iters_multiplier() {
+  const char* s = std::getenv("GAPLAN_PROP_ITERS");
+  if (s == nullptr || *s == '\0') return 1;
+  const unsigned long long m = std::strtoull(s, nullptr, 0);
+  return m < 1 ? 1 : static_cast<std::size_t>(m);
+}
+
+/// Derives the i-th iteration seed from the base seed. Each iteration's value
+/// is a pure function of its 64-bit seed, which is what the failure report
+/// prints and GAPLAN_PROP_SEED replays.
+inline std::uint64_t iteration_seed(std::uint64_t base, std::size_t i) {
+  std::uint64_t s = base + 0x9E3779B97F4A7C15ULL * (i + 1);
+  return util::splitmix64(s);
+}
+
+/// Runs `fn` capturing any gtest assertion failures it records; returns true
+/// and fills `failure_text` when at least one failure fired. Used for the
+/// probe/shrink runs so only the final minimized counterexample surfaces as a
+/// real test failure.
+template <typename Fn>
+bool fails_captured(Fn&& fn, std::string& failure_text) {
+  ::testing::TestPartResultArray results;
+  {
+    ::testing::ScopedFakeTestPartResultReporter reporter(
+        ::testing::ScopedFakeTestPartResultReporter::
+            INTERCEPT_ONLY_CURRENT_THREAD,
+        &results);
+    fn();
+  }
+  bool failed = false;
+  std::ostringstream os;
+  for (int i = 0; i < results.size(); ++i) {
+    const auto& r = results.GetTestPartResult(i);
+    if (r.passed()) continue;
+    failed = true;
+    if (os.tellp() > 4096) {
+      os << "  ...(more failures elided)\n";
+      break;
+    }
+    os << "  " << r.file_name() << ":" << r.line_number() << ": " << r.summary()
+       << "\n";
+  }
+  failure_text = os.str();
+  return failed;
+}
+
+/// Loads tests/data/prop/<name>.seeds when present. Lines: one seed each
+/// (decimal or 0x-hex), '#' starts a comment. These are the minimized seeds
+/// the fuzz harvest committed; they replay before any random iteration.
+inline std::vector<std::uint64_t> regression_seeds(const std::string& name) {
+  std::vector<std::uint64_t> out;
+#ifdef GAPLAN_TEST_DATA_DIR
+  std::ifstream in(std::string(GAPLAN_TEST_DATA_DIR) + "/prop/" + name +
+                   ".seeds");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    out.push_back(std::strtoull(line.c_str() + first, nullptr, 0));
+  }
+#endif
+  return out;
+}
+
+}  // namespace detail
+
+/// Drives `property` over values drawn from `gen`. Committed regression seeds
+/// replay first, then `cfg.iterations * GAPLAN_PROP_ITERS` random draws; with
+/// GAPLAN_PROP_SEED set, exactly that seed runs (capture off, assertions
+/// surface directly). On a failing draw the value is shrunk (bounded) and one
+/// gtest failure reports the counterexample plus its reproduction seed.
+template <typename T, typename Property>
+void check(const std::string& name, const Gen<T>& gen, Property&& property,
+           CheckConfig cfg = {}) {
+  const std::uint64_t base =
+      cfg.base_seed != 0 ? cfg.base_seed : detail::fnv1a(name);
+
+  const auto value_for = [&](std::uint64_t seed) {
+    util::Rng rng(seed);
+    return gen.sample(rng);
+  };
+
+  if (const auto replay = detail::env_seed()) {
+    // Replay mode: deterministic reproduction of one seed. The property runs
+    // uncaptured, so its assertions (and any debugger breakpoints) fire in
+    // place; a fixed bug simply replays green.
+    const T value = value_for(*replay);
+    std::cerr << "[" << name << "] GAPLAN_PROP_SEED=" << *replay
+              << " input: " << gen.show(value) << "\n";
+    property(static_cast<const T&>(value));
+    return;
+  }
+
+  const auto report = [&](const T& shrunk, std::size_t shrink_steps,
+                          std::uint64_t seed, const std::string& text) {
+    ADD_FAILURE() << "[" << name << "] property falsified (seed " << seed
+                  << ", " << shrink_steps << " shrink steps)\n"
+                  << "  counterexample: " << gen.show(shrunk) << "\n"
+                  << text
+                  << "  reproduce: GAPLAN_PROP_SEED=" << seed
+                  << " (same binary, same gtest filter)";
+  };
+
+  const auto run_seed = [&](std::uint64_t seed) -> bool {
+    T value = value_for(seed);
+    std::string text;
+    if (!detail::fails_captured([&] { property(static_cast<const T&>(value)); },
+                                text)) {
+      return true;
+    }
+    // Greedy bounded shrink: walk to the first failing candidate, repeat.
+    std::size_t budget = cfg.max_shrinks;
+    std::size_t steps = 0;
+    bool progressed = true;
+    while (progressed && budget > 0) {
+      progressed = false;
+      // By value: vector<bool>'s proxy references cannot bind to T&.
+      for (T candidate : gen.shrink(value)) {
+        if (budget == 0) break;
+        --budget;
+        std::string candidate_text;
+        if (detail::fails_captured(
+                [&] { property(static_cast<const T&>(candidate)); },
+                candidate_text)) {
+          value = std::move(candidate);
+          text = std::move(candidate_text);
+          ++steps;
+          progressed = true;
+          break;
+        }
+      }
+    }
+    report(value, steps, seed, text);
+    return false;
+  };
+
+  for (const std::uint64_t seed : detail::regression_seeds(name)) {
+    if (!run_seed(seed)) return;  // one counterexample per check is plenty
+  }
+  const std::size_t total = cfg.iterations * detail::iters_multiplier();
+  for (std::size_t i = 0; i < total; ++i) {
+    if (!run_seed(detail::iteration_seed(base, i))) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Generator combinators
+
+/// Uniform integral in [lo, hi]; shrinks toward lo by halving the distance.
+template <typename I>
+Gen<I> integral(I lo, I hi) {
+  Gen<I> g;
+  g.sample = [lo, hi](util::Rng& rng) {
+    return static_cast<I>(static_cast<std::int64_t>(lo) +
+                          static_cast<std::int64_t>(rng.below(
+                              static_cast<std::uint64_t>(hi - lo) + 1)));
+  };
+  g.shrink = [lo](const I& v) {
+    std::vector<I> out;
+    std::int64_t cur = static_cast<std::int64_t>(v);
+    const std::int64_t floor = static_cast<std::int64_t>(lo);
+    while (cur != floor) {
+      const std::int64_t next = floor + (cur - floor) / 2;
+      out.push_back(static_cast<I>(next));
+      if (next == cur) break;
+      cur = next;
+    }
+    std::reverse(out.begin(), out.end());  // most aggressive (== lo) first
+    std::vector<I> ordered;
+    if (!out.empty()) {
+      ordered.push_back(out.back());             // lo itself
+      for (std::size_t k = 0; k + 1 < out.size(); ++k) ordered.push_back(out[k]);
+    }
+    return ordered;
+  };
+  return g;
+}
+
+/// Uniform real in [lo, hi); shrinks toward lo through round numbers.
+inline Gen<double> real(double lo, double hi) {
+  Gen<double> g;
+  g.sample = [lo, hi](util::Rng& rng) { return rng.uniform(lo, hi); };
+  g.shrink = [lo](const double& v) {
+    std::vector<double> out;
+    if (v != lo) out.push_back(lo);
+    const double mid = lo + (v - lo) / 2.0;
+    if (mid != v && mid != lo) out.push_back(mid);
+    return out;
+  };
+  return g;
+}
+
+inline Gen<bool> boolean() {
+  Gen<bool> g;
+  g.sample = [](util::Rng& rng) { return rng.chance(0.5); };
+  g.shrink = [](const bool& v) {
+    return v ? std::vector<bool>{false} : std::vector<bool>{};
+  };
+  g.show = [](const bool& v) { return std::string(v ? "true" : "false"); };
+  return g;
+}
+
+/// Picks uniformly from a fixed candidate list; shrinks toward the front.
+template <typename T>
+Gen<T> element_of(std::vector<T> options) {
+  Gen<T> g;
+  auto opts = std::make_shared<std::vector<T>>(std::move(options));
+  g.sample = [opts](util::Rng& rng) {
+    return (*opts)[static_cast<std::size_t>(rng.below(opts->size()))];
+  };
+  g.shrink = [opts](const T& v) {
+    std::vector<T> out;
+    for (const T& o : *opts) {
+      if (o == v) break;
+      out.push_back(o);
+    }
+    return out;
+  };
+  return g;
+}
+
+/// Vector of `elem` draws with length in [min_len, max_len]. Shrinks by
+/// halving the length, dropping single elements, then shrinking elements.
+template <typename T>
+Gen<std::vector<T>> vector_of(Gen<T> elem, std::size_t min_len,
+                              std::size_t max_len) {
+  Gen<std::vector<T>> g;
+  auto e = std::make_shared<Gen<T>>(std::move(elem));
+  g.sample = [e, min_len, max_len](util::Rng& rng) {
+    const std::size_t n =
+        min_len + static_cast<std::size_t>(rng.below(max_len - min_len + 1));
+    std::vector<T> v;
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) v.push_back(e->sample(rng));
+    return v;
+  };
+  g.shrink = [e, min_len](const std::vector<T>& v) {
+    std::vector<std::vector<T>> out;
+    if (v.size() > min_len) {
+      // Front half, back half, drop-one — cheap structural candidates.
+      const std::size_t half = std::max(min_len, v.size() / 2);
+      out.emplace_back(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(half));
+      out.emplace_back(v.end() - static_cast<std::ptrdiff_t>(half), v.end());
+      out.emplace_back(v.begin(), v.end() - 1);
+    }
+    // Element-wise shrink, a few positions per pass to bound the fanout.
+    for (std::size_t i = 0; i < v.size() && out.size() < 12; ++i) {
+      for (T& s : e->shrink(v[i])) {
+        std::vector<T> copy = v;
+        copy[i] = std::move(s);
+        out.push_back(std::move(copy));
+        break;  // most aggressive candidate per position
+      }
+    }
+    return out;
+  };
+  g.show = [e](const std::vector<T>& v) {
+    std::ostringstream os;
+    os << "[" << v.size() << "]{";
+    for (std::size_t i = 0; i < v.size() && i < 16; ++i) {
+      if (i) os << ",";
+      os << e->show(v[i]);
+    }
+    if (v.size() > 16) os << ",...";
+    os << "}";
+    return os.str();
+  };
+  return g;
+}
+
+/// Maps a generator through `fn` (no shrinking across the map unless the
+/// mapped type provides it via with_shrink).
+template <typename T, typename F>
+auto map(Gen<T> base, F fn) -> Gen<decltype(fn(std::declval<T>()))> {
+  using U = decltype(fn(std::declval<T>()));
+  Gen<U> g;
+  auto b = std::make_shared<Gen<T>>(std::move(base));
+  auto f = std::make_shared<F>(std::move(fn));
+  g.sample = [b, f](util::Rng& rng) { return (*f)(b->sample(rng)); };
+  return g;
+}
+
+}  // namespace gaplan::prop

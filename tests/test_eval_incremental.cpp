@@ -1,13 +1,13 @@
 // Incremental-evaluation parity: resumed decodes (dirty-prefix restart from
 // checkpointed states) and transposition-cached decodes must be bit-identical
-// to a cold decode of the same genome — across domains, truncation/recording
-// options, serial and pooled engines, and a randomized crossover/mutate fuzz
-// loop. This is the contract that lets the engine skip prefix re-decoding at
-// all (ISSUE 2 acceptance criterion).
+// to a cold decode of the same genome — across epoch boundaries and at the
+// engine level (serial and pooled). The randomized resume-chain fuzz that
+// used to live here moved onto the property substrate: see
+// PropCore.ResumeDecodeMatchesColdDecode in test_prop_core.cpp, which covers
+// random domains, decode options, and evolution-shaped edit chains with
+// shrinking and GAPLAN_PROP_SEED replay.
 #include <gtest/gtest.h>
 
-#include <algorithm>
-#include <span>
 #include <vector>
 
 #include "core/decoder.hpp"
@@ -15,7 +15,6 @@
 #include "core/eval_cache.hpp"
 #include "domains/hanoi.hpp"
 #include "domains/hanoi_strips.hpp"
-#include "domains/sliding_tile.hpp"
 #include "domains/sokoban.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -54,137 +53,6 @@ void expect_same_decode(const ga::Evaluation<State>& got,
   }
   EXPECT_TRUE(got.final_state == want.final_state);
   EXPECT_TRUE(got.decoded);
-}
-
-// Evolution-shaped fuzz: keep a parent (genome, evaluation); repeatedly
-// derive a child by a random genome edit, resume-decode it from the parent
-// record, and compare against an independent cold decode. The child
-// occasionally becomes the next parent, so resume chains over generations.
-template <typename P>
-void fuzz_resume_parity(const P& problem, const typename P::StateT& start,
-                        std::uint64_t seed, std::size_t genome_len,
-                        const ga::DecodeOptions& opt, std::size_t cache_entries) {
-  using State = typename P::StateT;
-  util::Rng rng(seed);
-  ga::EvalContext<State> ctx;
-  ctx.sync(&problem, ga::next_eval_epoch(), cache_entries);
-  std::vector<int> cold_scratch;
-
-  auto cold = [&](const Genome& g) {
-    return ga::decode_indirect(problem, start, g, opt, cold_scratch);
-  };
-
-  Genome parent = random_genome(genome_len, rng);
-  ga::Evaluation<State> parent_ev;
-  ga::decode_indirect_into(problem, start, parent, opt, ctx, parent_ev);
-  expect_same_decode(parent_ev, cold(parent));
-
-  Genome child;
-  ga::Evaluation<State> child_ev;  // recycled across iterations, like the engine's
-  for (int iter = 0; iter < 60; ++iter) {
-    child = parent;
-    std::size_t dirty = child.size();  // "unchanged" until an edit lowers it
-    const int kind = static_cast<int>(rng.below(5));
-    if (kind == 0 && !child.empty()) {
-      // Point mutations.
-      const std::size_t count = 1 + rng.below(3);
-      for (std::size_t m = 0; m < count; ++m) {
-        const std::size_t i = static_cast<std::size_t>(rng.below(child.size()));
-        child[i] = rng.uniform();
-        dirty = std::min(dirty, i);
-      }
-    } else if (kind == 1) {
-      // Tail replacement at a random cut (one-point crossover shape).
-      const std::size_t cut = static_cast<std::size_t>(rng.below(child.size() + 1));
-      const std::size_t tail = rng.below(genome_len + 1);
-      child.resize(cut);
-      for (std::size_t t = 0; t < tail; ++t) child.push_back(rng.uniform());
-      dirty = std::min(dirty, cut);
-      if (child.empty()) child.push_back(rng.uniform());
-    } else if (kind == 2) {
-      // Pure truncation: the child is a clean prefix of the parent.
-      const std::size_t cut = 1 + rng.below(child.size());
-      child.resize(cut);
-      dirty = std::min(dirty, child.size());
-    } else if (kind == 3 && !child.empty()) {
-      // Nudge: a small perturbation that often re-selects the same op, so
-      // the ops-identical fast-forward re-syncs and keeps jumping instead of
-      // falling back to a plain decode at the first changed gene.
-      const std::size_t count = 1 + rng.below(2);
-      for (std::size_t m = 0; m < count; ++m) {
-        const std::size_t i = static_cast<std::size_t>(rng.below(child.size()));
-        const double delta = (rng.uniform() - 0.5) * 0.04;
-        child[i] = std::clamp(child[i] + delta, 0.0, 0x1.fffffffffffffp-1);
-        dirty = std::min(dirty, i);
-      }
-    }  // kind == 4: identical genome, dirty = len (full-reuse path)
-    // A conservative caller may under-report the dirty index; that must only
-    // cost work, never correctness.
-    if (rng.chance(0.2)) dirty = dirty / 2;
-
-    // Occasionally withhold the parent genome: resume must stay correct
-    // (fast-forward disabled) when the caller cannot supply it.
-    const std::span<const ga::Gene> pg =
-        rng.chance(0.15) ? std::span<const ga::Gene>{}
-                         : std::span<const ga::Gene>{parent};
-    ga::decode_indirect_resume(problem, start, child, opt, ctx, parent_ev, pg,
-                               dirty, child_ev);
-    expect_same_decode(child_ev, cold(child));
-    if (rng.chance(0.5)) {
-      parent = child;
-      parent_ev = child_ev;
-    }
-  }
-}
-
-template <typename P>
-void fuzz_all_options(const P& problem, const typename P::StateT& start,
-                      std::uint64_t seed, std::size_t genome_len) {
-  for (const bool truncate : {true, false}) {
-    for (const bool hashes : {true, false}) {
-      for (const std::size_t stride : {std::size_t{1}, std::size_t{4},
-                                       std::size_t{16}}) {
-        ga::DecodeOptions opt;
-        opt.truncate_at_goal = truncate;
-        opt.record_hashes = hashes;
-        opt.checkpoint_stride = stride;
-        // Cache on for domains that opt in; 256 entries forces evictions.
-        const std::size_t cache = ga::CacheableOps<P> ? 256 : 0;
-        fuzz_resume_parity(problem, start, seed + stride, genome_len, opt, cache);
-      }
-    }
-  }
-}
-
-TEST(IncrementalDecodeParity, Hanoi) {
-  const domains::Hanoi h(6);
-  fuzz_all_options(h, h.initial_state(), 11, 120);
-}
-
-TEST(IncrementalDecodeParity, SlidingTile) {
-  const domains::SlidingTile t(3);
-  util::Rng scramble(7);
-  fuzz_all_options(t, t.scrambled(40, scramble), 13, 80);
-}
-
-TEST(IncrementalDecodeParity, Sokoban) {
-  const domains::Sokoban level({
-      "#######",
-      "#.....#",
-      "#.$.$.#",
-      "#..@..#",
-      "#.o.o.#",
-      "#######",
-  });
-  static_assert(ga::CacheableOps<domains::Sokoban>);
-  fuzz_all_options(level, level.initial_state(), 17, 60);
-}
-
-TEST(IncrementalDecodeParity, HanoiStrips) {
-  const auto enc = domains::build_hanoi_strips(3);
-  const auto problem = enc.problem();
-  static_assert(ga::CacheableOps<strips::Problem>);
-  fuzz_all_options(problem, problem.initial_state(), 19, 60);
 }
 
 TEST(IncrementalDecodeParity, CacheCannotServeAcrossEpochs) {

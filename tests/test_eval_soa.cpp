@@ -231,76 +231,9 @@ TEST(SoaLayoutParity, IslandsWithMigration) {
   EXPECT_EQ(a.best.eval.fitness, b.best.eval.fitness);
 }
 
-// ---------------------------------------------------------------------------
-// Randomized sweep: 100+ seeded domain/config draws. Any divergence between
-// the layouts on any knob combination is a parity bug.
-// ---------------------------------------------------------------------------
-
-ga::GaConfig random_config(util::Rng& rng) {
-  ga::GaConfig cfg;
-  cfg.population_size = 8 + 2 * rng.below(9);  // even, 8..24
-  cfg.generations = 3 + rng.below(6);
-  cfg.initial_length = 8 + rng.below(17);
-  cfg.max_length = cfg.initial_length + 8 + rng.below(57);
-  cfg.stop_on_valid = false;
-  static constexpr ga::CrossoverKind kXover[] = {
-      ga::CrossoverKind::kRandom, ga::CrossoverKind::kStateAware,
-      ga::CrossoverKind::kMixed, ga::CrossoverKind::kUniform};
-  cfg.crossover = kXover[rng.below(4)];
-  cfg.state_match = rng.chance(0.5) ? ga::StateMatchKind::kValidOps
-                                    : ga::StateMatchKind::kExactState;
-  cfg.crossover_rate = 0.5 + 0.5 * rng.uniform();
-  cfg.mutation_rate = 0.05 * rng.uniform();
-  cfg.selection = rng.chance(0.3) ? ga::SelectionKind::kRoulette
-                                  : ga::SelectionKind::kTournament;
-  cfg.tournament_size = 2 + rng.below(3);
-  cfg.elite_count = rng.below(4);
-  cfg.seed_fraction = rng.chance(0.3) ? rng.uniform() : 0.0;
-  cfg.truncate_at_goal = rng.chance(0.8);
-  cfg.incremental_eval = rng.chance(0.8);
-  static constexpr std::size_t kStrides[] = {1, 4, 16};
-  cfg.eval_checkpoint_stride = kStrides[rng.below(3)];
-  static constexpr std::size_t kWidths[] = {1, 2, 3, 8, 64};
-  cfg.eval_batch_width = kWidths[rng.below(5)];
-  return cfg;
-}
-
-TEST(SoaLayoutParityFuzz, RandomDomainsAndConfigs) {
-  util::Rng meta(0x50A50A);
-  util::ThreadPool pool(4);
-  for (int draw = 0; draw < 108; ++draw) {
-    const ga::GaConfig cfg = random_config(meta);
-    const std::uint64_t seed = meta();
-    util::ThreadPool* p = meta.chance(0.25) ? &pool : nullptr;
-    SCOPED_TRACE("draw " + std::to_string(draw));
-    switch (meta.below(4)) {
-      case 0: {
-        const domains::Hanoi h(3 + static_cast<int>(meta.below(4)));
-        expect_layout_parity(h, cfg, seed, p);
-        break;
-      }
-      case 1: {
-        util::Rng scramble(seed ^ 1);
-        const domains::SlidingTile base(3);
-        const domains::SlidingTile t(
-            3, base.scrambled(10 + meta.below(30), scramble));
-        expect_layout_parity(t, cfg, seed, p);
-        break;
-      }
-      case 2: {
-        domains::PocketCube cube;
-        util::Rng scramble(seed ^ 2);
-        cube.set_initial(cube.scrambled(3 + meta.below(6), scramble));
-        expect_layout_parity(cube, cfg, seed, p);
-        break;
-      }
-      default: {
-        const auto enc = domains::build_hanoi_strips(3);
-        expect_layout_parity(enc.problem(), cfg, seed, p);
-        break;
-      }
-    }
-  }
-}
+// The randomized domain/config sweep that used to live here moved onto the
+// property substrate: see PropEngine.PooledLayoutMatchesScalarLayout in
+// test_prop_engine.cpp, which draws random domains and validated configs with
+// shrinking and GAPLAN_PROP_SEED replay.
 
 }  // namespace
