@@ -36,7 +36,6 @@
 #include <cstring>
 #include <iostream>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -47,6 +46,7 @@
 #include "server/plan_service.hpp"
 #include "server/server_config.hpp"
 #include "server/wire.hpp"
+#include "util/sync.hpp"
 
 #ifndef _WIN32
 #include <arpa/inet.h>
@@ -337,7 +337,7 @@ class TcpFrontEnd {
     if (accept_thread_.joinable()) accept_thread_.join();
     {
       // Unblock client threads parked in read(); they close their own fd.
-      std::lock_guard lock(clients_mu_);
+      gaplan::util::MutexLock lock(clients_mu_);
       for (const int fd : client_fds_) ::shutdown(fd, SHUT_RDWR);
     }
     for (std::thread& t : client_threads_) {
@@ -353,7 +353,7 @@ class TcpFrontEnd {
       const int fd = ::accept(listen_fd_, nullptr, nullptr);
       if (fd < 0) break;  // listener closed (shutdown) or hard error
       {
-        std::lock_guard lock(clients_mu_);
+        gaplan::util::MutexLock lock(clients_mu_);
         client_fds_.push_back(fd);
       }
       client_threads_.emplace_back([this, fd] { serve_client(fd); });
@@ -396,7 +396,7 @@ class TcpFrontEnd {
       if (exit_connection) break;
     }
     {
-      std::lock_guard lock(clients_mu_);
+      gaplan::util::MutexLock lock(clients_mu_);
       std::erase(client_fds_, fd);
     }
     ::close(fd);
@@ -408,8 +408,9 @@ class TcpFrontEnd {
   int listen_fd_ = -1;
   std::thread accept_thread_;
   std::vector<std::thread> client_threads_;
-  std::mutex clients_mu_;
-  std::vector<int> client_fds_;
+  gaplan::util::Mutex clients_mu_{"serve.clients",
+                                  gaplan::util::lock_order::kRankServeClients};
+  std::vector<int> client_fds_ GAPLAN_GUARDED_BY(clients_mu_);
 };
 
 #endif  // GAPLAN_SERVE_TCP

@@ -27,4 +27,15 @@ mapfile -t sources < <(git ls-files 'src/**/*.cpp' 'examples/*.cpp' \
                                     'tests/*.cpp' 'bench/*.cpp')
 echo "run_tidy: checking ${#sources[@]} files"
 clang-tidy -p "${build_dir}" --quiet "$@" "${sources[@]}"
+
+# Strict concurrency pass over the sync-sensitive subsystems: any
+# concurrency-* or self-assignment/spurious-wakeup finding in src/server or
+# src/util is promoted to an error, so new warnings there fail the lane even
+# though the repo-wide pass above only errors on the .clang-tidy
+# WarningsAsErrors set.
+mapfile -t strict < <(git ls-files 'src/server/*.cpp' 'src/util/*.cpp')
+echo "run_tidy: strict concurrency pass over ${#strict[@]} files"
+clang-tidy -p "${build_dir}" --quiet \
+  --warnings-as-errors='concurrency-*,bugprone-unhandled-self-assignment,bugprone-spuriously-wake-up-functions' \
+  "$@" "${strict[@]}"
 echo "run_tidy: clean"

@@ -4,9 +4,11 @@
 #include <bit>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <unordered_map>
+
+#include "util/lock_order.hpp"
+#include "util/sync.hpp"
 
 namespace gaplan::obs {
 
@@ -57,21 +59,23 @@ struct Def {
 }  // namespace
 
 struct MetricsRegistry::Impl {
-  std::mutex mu;
-  std::unordered_map<std::string, Def> defs;
-  std::vector<std::unique_ptr<Counter>> counters;
-  std::vector<std::unique_ptr<Gauge>> gauges;
-  std::vector<std::unique_ptr<Histogram>> histograms;
-  std::vector<std::unique_ptr<std::vector<double>>> bucket_bounds;
-  std::vector<std::string> names_by_kind[3];
-  std::vector<Shard*> shards;
+  util::Mutex mu{"obs.metrics", util::lock_order::kRankMetrics};
+  std::unordered_map<std::string, Def> defs GAPLAN_GUARDED_BY(mu);
+  std::vector<std::unique_ptr<Counter>> counters GAPLAN_GUARDED_BY(mu);
+  std::vector<std::unique_ptr<Gauge>> gauges GAPLAN_GUARDED_BY(mu);
+  std::vector<std::unique_ptr<Histogram>> histograms GAPLAN_GUARDED_BY(mu);
+  std::vector<std::unique_ptr<std::vector<double>>> bucket_bounds
+      GAPLAN_GUARDED_BY(mu);
+  std::vector<std::string> names_by_kind[3] GAPLAN_GUARDED_BY(mu);
+  std::vector<Shard*> shards GAPLAN_GUARDED_BY(mu);
   /// Totals from shards whose threads have exited. Cells flagged in
   /// `double_cell` hold bit-cast doubles and merge by double addition.
-  std::vector<std::uint64_t> retired;
-  std::vector<bool> double_cell;
-  std::uint32_t next_cell = 0;
+  std::vector<std::uint64_t> retired GAPLAN_GUARDED_BY(mu);
+  std::vector<bool> double_cell GAPLAN_GUARDED_BY(mu);
+  std::uint32_t next_cell GAPLAN_GUARDED_BY(mu) = 0;
 
-  std::uint32_t alloc_cells(std::uint32_t n, bool last_is_double) {
+  std::uint32_t alloc_cells(std::uint32_t n, bool last_is_double)
+      GAPLAN_REQUIRES(mu) {
     if (next_cell + n > kMaxCells) {
       throw std::logic_error("obs: metric cell capacity exhausted");
     }
@@ -83,7 +87,8 @@ struct MetricsRegistry::Impl {
     return first;
   }
 
-  void merge_cell(std::uint64_t* into, std::uint32_t c, std::uint64_t raw) const {
+  void merge_cell(std::uint64_t* into, std::uint32_t c, std::uint64_t raw) const
+      GAPLAN_REQUIRES(mu) {
     if (double_cell[c]) {
       into[c] = std::bit_cast<std::uint64_t>(std::bit_cast<double>(into[c]) +
                                              std::bit_cast<double>(raw));
@@ -93,7 +98,8 @@ struct MetricsRegistry::Impl {
   }
 
   /// Folds one shard into `into` (which must have next_cell entries).
-  void merge_shard(std::uint64_t* into, const Shard& shard) const {
+  void merge_shard(std::uint64_t* into, const Shard& shard) const
+      GAPLAN_REQUIRES(mu) {
     for (std::uint32_t slot = 0; slot * kChunkSize < next_cell; ++slot) {
       const Chunk* ch = shard.chunks[slot].load(std::memory_order_acquire);
       if (ch == nullptr) continue;
@@ -116,14 +122,14 @@ MetricsRegistry::Impl* g_impl() {
 
 Shard::Shard() {
   auto* impl = g_impl();
-  std::lock_guard lock(impl->mu);
+  util::MutexLock lock(impl->mu);
   impl->shards.push_back(this);
 }
 
 Shard::~Shard() {
   auto* impl = g_impl();
   {
-    std::lock_guard lock(impl->mu);
+    util::MutexLock lock(impl->mu);
     if (!impl->retired.empty()) {
       impl->merge_shard(impl->retired.data(), *this);
     }
@@ -202,7 +208,7 @@ MetricsRegistry::Impl* MetricsRegistry::impl() { return g_impl(); }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
   auto* im = impl();
-  std::lock_guard lock(im->mu);
+  util::MutexLock lock(im->mu);
   auto it = im->defs.find(name);
   if (it != im->defs.end()) {
     if (it->second.kind != Kind::kCounter) {
@@ -222,7 +228,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
   auto* im = impl();
-  std::lock_guard lock(im->mu);
+  util::MutexLock lock(im->mu);
   auto it = im->defs.find(name);
   if (it != im->defs.end()) {
     if (it->second.kind != Kind::kGauge) {
@@ -242,7 +248,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       const std::vector<double>& bounds) {
   auto* im = impl();
-  std::lock_guard lock(im->mu);
+  util::MutexLock lock(im->mu);
   auto it = im->defs.find(name);
   if (it != im->defs.end()) {
     if (it->second.kind != Kind::kHistogram) {
@@ -269,7 +275,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 MetricsSnapshot MetricsRegistry::snapshot() {
   auto* im = impl();
   MetricsSnapshot snap;
-  std::lock_guard lock(im->mu);
+  util::MutexLock lock(im->mu);
   std::vector<std::uint64_t> totals = im->retired;
   totals.resize(im->next_cell, 0);
   for (const Shard* shard : im->shards) {
@@ -308,7 +314,7 @@ MetricsSnapshot MetricsRegistry::snapshot() {
 
 void MetricsRegistry::reset() {
   auto* im = impl();
-  std::lock_guard lock(im->mu);
+  util::MutexLock lock(im->mu);
   std::fill(im->retired.begin(), im->retired.end(), 0);
   for (auto& g : im->gauges) g->set(0);
   for (Shard* shard : im->shards) {
@@ -332,7 +338,18 @@ Histogram& histogram(const std::string& name, const std::vector<double>& bounds)
   return MetricsRegistry::instance().histogram(name, bounds);
 }
 
-MetricsSnapshot snapshot_metrics() { return MetricsRegistry::instance().snapshot(); }
+MetricsSnapshot snapshot_metrics() {
+  // Export the lock-order detector's counters as gauges right before the
+  // merge, so every snapshot (and the Prometheus dump) carries them.
+  const util::lock_order::Stats lo = util::lock_order::stats();
+  MetricsRegistry::instance()
+      .gauge("lockorder.edges")
+      .set(static_cast<std::int64_t>(lo.edges));
+  MetricsRegistry::instance()
+      .gauge("lockorder.violations")
+      .set(static_cast<std::int64_t>(lo.violations));
+  return MetricsRegistry::instance().snapshot();
+}
 
 void reset_metrics() { MetricsRegistry::instance().reset(); }
 

@@ -2,12 +2,12 @@
 
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <cstdio>
-#include <mutex>
 #include <thread>
 
 #include "obs/trace.hpp"  // append_json_string, detail::append_json_number
+#include "util/lock_order.hpp"
+#include "util/sync.hpp"
 
 namespace gaplan::obs {
 
@@ -198,9 +198,9 @@ bool write_metrics_prometheus(const std::string& path) {
 }
 
 struct MetricsDumper::Impl {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool stopping = false;
+  util::Mutex mu{"obs.dumper", util::lock_order::kRankMetricsDumper};
+  util::CondVar cv;
+  bool stopping GAPLAN_GUARDED_BY(mu) = false;
   std::thread thread;
 };
 
@@ -209,13 +209,16 @@ MetricsDumper::MetricsDumper(std::string path, double interval_ms)
   if (interval_ms < 1.0) interval_ms = 1.0;
   impl_->thread = std::thread([this, interval_ms] {
     const auto interval =
-        std::chrono::duration<double, std::milli>(interval_ms);
-    std::unique_lock lock(impl_->mu);
-    for (;;) {
-      if (impl_->cv.wait_for(lock, interval,
-                             [this] { return impl_->stopping; })) {
-        return;  // final dump happens in stop(), after the thread joins
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(interval_ms));
+    util::MutexLock lock(impl_->mu);
+    while (!impl_->stopping) {
+      const auto deadline = std::chrono::steady_clock::now() + interval;
+      bool expired = false;
+      while (!impl_->stopping && !expired) {
+        expired = !impl_->cv.wait_until(lock, deadline);
       }
+      if (impl_->stopping) break;  // final dump happens in stop(), post-join
       lock.unlock();
       write_metrics_prometheus(path_);
       lock.lock();
@@ -225,7 +228,7 @@ MetricsDumper::MetricsDumper(std::string path, double interval_ms)
 
 void MetricsDumper::stop() {
   {
-    std::lock_guard lock(impl_->mu);
+    util::MutexLock lock(impl_->mu);
     if (impl_->stopping) return;
     impl_->stopping = true;
   }

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "util/lock_order.hpp"
+#include "util/sync.hpp"
 
 namespace gaplan::obs {
 
@@ -22,8 +24,8 @@ SteadyClock::time_point process_epoch() noexcept {
 }
 
 struct Sink {
-  std::mutex mu;
-  std::FILE* file = nullptr;
+  util::Mutex mu{"obs.trace", util::lock_order::kRankTrace};
+  std::FILE* file GAPLAN_GUARDED_BY(mu) = nullptr;
 };
 
 Sink& sink() {
@@ -69,7 +71,7 @@ bool trace_enabled() noexcept {
 
 void set_trace_path(const std::string& path) {
   Sink& s = sink();
-  std::lock_guard lock(s.mu);
+  util::MutexLock lock(s.mu);
   if (s.file != nullptr) {
     std::fclose(s.file);
     s.file = nullptr;
@@ -94,7 +96,7 @@ void reinit_trace_from_env() {
 
 void flush_trace() {
   Sink& s = sink();
-  std::lock_guard lock(s.mu);
+  util::MutexLock lock(s.mu);
   if (s.file != nullptr) std::fflush(s.file);
 }
 
@@ -150,7 +152,7 @@ void trace_begin(std::string& buf, const char* type) {
 void trace_write(std::string& line) {
   char head[40];
   Sink& s = sink();
-  std::lock_guard lock(s.mu);
+  util::MutexLock lock(s.mu);
   if (s.file == nullptr) return;
   std::snprintf(head, sizeof head, "{\"ts_ms\":%.3f,", monotonic_ms());
   std::fwrite(head, 1, std::char_traits<char>::length(head), s.file);

@@ -23,7 +23,7 @@ std::optional<CachedPlan> PlanCache::lookup(const Fingerprint& key) {
     return std::nullopt;
   }
   Shard& shard = shard_for(key);
-  std::lock_guard lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   const auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -40,7 +40,7 @@ void PlanCache::insert(const Fingerprint& key, CachedPlan value) {
   static obs::Counter& c_evictions = obs::counter("server.cache_evictions");
   if (capacity_total_ == 0) return;
   Shard& shard = shard_for(key);
-  std::lock_guard lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   const auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     it->second->second = std::move(value);
@@ -71,7 +71,7 @@ PlanCache::Stats PlanCache::stats() const {
 std::size_t PlanCache::size() const {
   std::size_t n = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     n += shard.lru.size();
   }
   return n;

@@ -18,13 +18,13 @@
 #include <atomic>
 #include <cstddef>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "server/fingerprint.hpp"
+#include "util/sync.hpp"
 
 namespace gaplan::serve {
 
@@ -57,6 +57,9 @@ class PlanCache {
   PlanCache(std::size_t capacity, std::size_t shards);
 
   /// Returns a copy of the entry and refreshes its recency, or std::nullopt.
+  /// Takes exactly one shard lock; callers may hold locks ranked below
+  /// serve.cache.shard (the service's state lock is NOT one of them — the
+  /// service probes the cache outside its own lock).
   std::optional<CachedPlan> lookup(const Fingerprint& key);
 
   /// Inserts (or refreshes) an entry, evicting the shard's LRU tail beyond
@@ -75,15 +78,18 @@ class PlanCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
+    /// All shards share one lock class: shards never nest in each other, so
+    /// a shard-in-shard acquisition shows up as a lock-order self-cycle.
+    mutable util::Mutex mu{"serve.cache.shard",
+                           util::lock_order::kRankCacheShard};
     /// Front = most recently used.
-    std::list<std::pair<Fingerprint, CachedPlan>> lru;
+    std::list<std::pair<Fingerprint, CachedPlan>> lru GAPLAN_GUARDED_BY(mu);
     /// Keyed by the *full* fingerprint (equality, not just hash), so two
     /// problems whose 128-bit digests differ can never share an entry.
     std::unordered_map<Fingerprint,
                        std::list<std::pair<Fingerprint, CachedPlan>>::iterator,
                        FingerprintHash>
-        map;
+        map GAPLAN_GUARDED_BY(mu);
   };
 
   Shard& shard_for(const Fingerprint& key) {

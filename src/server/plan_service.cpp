@@ -264,7 +264,7 @@ SubmitOutcome PlanService::submit(PlanRequest req) {
   SubmitOutcome out;
   const auto reject = [&](std::string reason) {
     {
-      std::lock_guard lock(mu_);
+      util::MutexLock lock(mu_);
       ++submitted_;
       ++rejected_;
     }
@@ -309,7 +309,7 @@ SubmitOutcome PlanService::submit(PlanRequest req) {
   const double probe_ms = probe_timer.millis();
   h_probe.observe(probe_ms);
   if (hit) {
-    std::unique_lock lock(mu_);
+    util::MutexLock lock(mu_);
     ++submitted_;
     if (stopping_) {
       ++rejected_;
@@ -347,7 +347,7 @@ SubmitOutcome PlanService::submit(PlanRequest req) {
   }
 
   // Admission gate 3: the bounded priority queue.
-  std::unique_lock lock(mu_);
+  util::MutexLock lock(mu_);
   ++submitted_;
   if (stopping_) {
     ++rejected_;
@@ -451,7 +451,7 @@ void PlanService::worker_main() {
   static obs::Histogram& h_probe =
       obs::histogram("server.cache_probe_ms", obs::latency_buckets_ms());
 
-  std::unique_lock lock(mu_);
+  util::MutexLock lock(mu_);
   while (!queue_.empty()) {
     const QKey key = *queue_.begin();
     queue_.erase(queue_.begin());
@@ -704,7 +704,7 @@ RequestStatus PlanService::status_locked(const detail::Record& r) const {
 }
 
 std::optional<RequestStatus> PlanService::status(std::uint64_t id) const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = records_.find(id);
   if (it == records_.end()) return std::nullopt;
   return status_locked(*it->second);
@@ -712,24 +712,29 @@ std::optional<RequestStatus> PlanService::status(std::uint64_t id) const {
 
 std::optional<RequestStatus> PlanService::wait(std::uint64_t id,
                                                double timeout_ms) {
-  std::unique_lock lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = records_.find(id);
   if (it == records_.end()) return std::nullopt;
   detail::Record* r = it->second.get();
-  const auto done = [r] { return is_terminal(r->state); };
+  // Explicit predicate loops (not the lambda overloads) so the thread-safety
+  // analysis can see the guarded reads happen under mu_.
   if (timeout_ms < 0.0) {
-    cv_done_.wait(lock, done);
+    while (!is_terminal(r->state)) cv_done_.wait(lock);
   } else {
-    cv_done_.wait_for(lock,
-                      std::chrono::duration<double, std::milli>(timeout_ms),
-                      done);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(timeout_ms));
+    while (!is_terminal(r->state)) {
+      if (!cv_done_.wait_until(lock, deadline)) break;  // timed out
+    }
   }
   return status_locked(*r);
 }
 
 bool PlanService::cancel(std::uint64_t id) {
   static obs::Gauge& g_depth = obs::gauge("server.queue_depth");
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = records_.find(id);
   if (it == records_.end()) return false;
   detail::Record& r = *it->second;
@@ -747,7 +752,7 @@ bool PlanService::cancel(std::uint64_t id) {
 ServiceSnapshot PlanService::snapshot() const {
   ServiceSnapshot s;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     s.submitted = submitted_;
     s.admitted = admitted_;
     s.rejected = rejected_;
@@ -768,8 +773,8 @@ ServiceSnapshot PlanService::snapshot() const {
 }
 
 void PlanService::drain() {
-  std::unique_lock lock(mu_);
-  cv_done_.wait(lock, [this] { return queue_.empty() && planning_ == 0; });
+  util::MutexLock lock(mu_);
+  while (!queue_.empty() || planning_ != 0) cv_done_.wait(lock);
   if (obs::trace_enabled()) {
     obs::TraceEvent("server").f("op", "drain").f("completed", completed_).emit();
   }
@@ -777,7 +782,7 @@ void PlanService::drain() {
 
 void PlanService::shutdown(bool drain_first) {
   static obs::Gauge& g_depth = obs::gauge("server.queue_depth");
-  std::unique_lock lock(mu_);
+  util::MutexLock lock(mu_);
   const bool was_stopping = stopping_;
   stopping_ = true;
   if (!drain_first) {
@@ -794,7 +799,7 @@ void PlanService::shutdown(bool drain_first) {
       }
     }
   }
-  cv_done_.wait(lock, [this] { return queue_.empty() && planning_ == 0; });
+  while (!queue_.empty() || planning_ != 0) cv_done_.wait(lock);
   lock.unlock();
   if (!was_stopping && obs::trace_enabled()) {
     obs::TraceEvent("server")

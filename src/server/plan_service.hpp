@@ -44,10 +44,8 @@
 #include "server/plan_cache.hpp"
 #include "server/problem_spec.hpp"
 #include "server/server_config.hpp"
+#include "util/sync.hpp"
 #include "util/thread_pool.hpp"
-
-#include <condition_variable>
-#include <mutex>
 
 namespace gaplan::serve {
 
@@ -159,30 +157,32 @@ class PlanService {
   /// Admission: lint gate, cache probe, then the bounded priority queue.
   /// Returns an accepted outcome whose state is kDone (cache hit) or
   /// kQueued, or a rejection with the reason (and lint diagnostics, if any).
-  SubmitOutcome submit(PlanRequest req);
+  SubmitOutcome submit(PlanRequest req) GAPLAN_EXCLUDES(mu_);
 
   /// Status copy, or std::nullopt for an unknown id.
-  std::optional<RequestStatus> status(std::uint64_t id) const;
+  std::optional<RequestStatus> status(std::uint64_t id) const
+      GAPLAN_EXCLUDES(mu_);
 
   /// Blocks until the request reaches a terminal state (or `timeout_ms`
   /// elapses; negative = wait forever). Returns the final status, or the
   /// current one on timeout, or std::nullopt for an unknown id.
-  std::optional<RequestStatus> wait(std::uint64_t id, double timeout_ms = -1.0);
+  std::optional<RequestStatus> wait(std::uint64_t id, double timeout_ms = -1.0)
+      GAPLAN_EXCLUDES(mu_);
 
   /// Cancels a queued request immediately; asks a planning request to stop
   /// at its next phase boundary. Returns false when the request is unknown
   /// or already terminal.
-  bool cancel(std::uint64_t id);
+  bool cancel(std::uint64_t id) GAPLAN_EXCLUDES(mu_);
 
-  ServiceSnapshot snapshot() const;
+  ServiceSnapshot snapshot() const GAPLAN_EXCLUDES(mu_);
 
   /// Blocks until no request is queued or planning (new submissions are
   /// still accepted, so callers coordinate their own quiesce).
-  void drain();
+  void drain() GAPLAN_EXCLUDES(mu_);
 
   /// Stops accepting work; drains gracefully (default) or cancels
   /// everything, then waits for in-flight runs to stop. Idempotent.
-  void shutdown(bool drain_first = true);
+  void shutdown(bool drain_first = true) GAPLAN_EXCLUDES(mu_);
 
   const ServerConfig& config() const noexcept { return cfg_; }
 
@@ -202,28 +202,43 @@ class PlanService {
     }
   };
 
-  void worker_main();
-  void ensure_workers_locked();
-  void finish_locked(detail::Record& r, RequestState state, std::string detail_text);
-  RequestStatus status_locked(const detail::Record& r) const;
+  void worker_main() GAPLAN_EXCLUDES(mu_);
+  void ensure_workers_locked() GAPLAN_REQUIRES(mu_);
+  void finish_locked(detail::Record& r, RequestState state,
+                     std::string detail_text) GAPLAN_REQUIRES(mu_);
+  RequestStatus status_locked(const detail::Record& r) const
+      GAPLAN_REQUIRES(mu_);
 
   ServerConfig cfg_;
   PlanCache cache_;
   std::unique_ptr<util::ThreadPool> eval_pool_;  ///< shared GA-eval budget
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_done_;  ///< terminal transitions + quiesce
-  std::unordered_map<std::uint64_t, std::unique_ptr<detail::Record>> records_;
-  std::set<QKey> queue_;
-  std::uint64_t next_id_ = 1;
-  std::uint64_t next_seq_ = 1;
-  std::size_t active_workers_ = 0;
-  std::size_t planning_ = 0;
-  bool stopping_ = false;
+  /// The service state lock. Never held across a cache probe, a GA slice,
+  /// or a pool submit's queue wait (pool.queue ranks above it, so holding
+  /// mu_ over try_submit is ordering-legal but still kept brief).
+  mutable util::Mutex mu_{"serve.service", util::lock_order::kRankServeService};
+  util::CondVar cv_done_;  ///< terminal transitions + quiesce
+  /// Record *slots* are guarded by mu_; the pointed-to Record's fields are
+  /// owned by the planning worker while state == kPlanning (see detail::
+  /// Record), which is why this is not PT_GUARDED_BY.
+  std::unordered_map<std::uint64_t, std::unique_ptr<detail::Record>> records_
+      GAPLAN_GUARDED_BY(mu_);
+  std::set<QKey> queue_ GAPLAN_GUARDED_BY(mu_);
+  std::uint64_t next_id_ GAPLAN_GUARDED_BY(mu_) = 1;
+  std::uint64_t next_seq_ GAPLAN_GUARDED_BY(mu_) = 1;
+  std::size_t active_workers_ GAPLAN_GUARDED_BY(mu_) = 0;
+  std::size_t planning_ GAPLAN_GUARDED_BY(mu_) = 0;
+  bool stopping_ GAPLAN_GUARDED_BY(mu_) = false;
 
   // Lifetime tallies (under mu_), mirrored into server.* counters.
-  std::uint64_t submitted_ = 0, admitted_ = 0, rejected_ = 0, completed_ = 0,
-                failed_ = 0, timed_out_ = 0, cancelled_ = 0, yields_ = 0;
+  std::uint64_t submitted_ GAPLAN_GUARDED_BY(mu_) = 0;
+  std::uint64_t admitted_ GAPLAN_GUARDED_BY(mu_) = 0;
+  std::uint64_t rejected_ GAPLAN_GUARDED_BY(mu_) = 0;
+  std::uint64_t completed_ GAPLAN_GUARDED_BY(mu_) = 0;
+  std::uint64_t failed_ GAPLAN_GUARDED_BY(mu_) = 0;
+  std::uint64_t timed_out_ GAPLAN_GUARDED_BY(mu_) = 0;
+  std::uint64_t cancelled_ GAPLAN_GUARDED_BY(mu_) = 0;
+  std::uint64_t yields_ GAPLAN_GUARDED_BY(mu_) = 0;
 
   /// Declared last: destroyed first, so worker loops join while every other
   /// member is still alive.

@@ -64,7 +64,7 @@ analysis::Report lint_server_config(const ServerConfig& cfg) {
       std::max<std::size_t>(1, std::thread::hardware_concurrency());
   if (cfg.workers > 0 && cfg.ga_threads > 0 &&
       cfg.workers * cfg.ga_threads > hardware) {
-    report.warning("server.oversubscribed",
+    report.warning("config.oversubscription",
                    std::to_string(cfg.workers) + " workers x " +
                        std::to_string(cfg.ga_threads) +
                        " GA threads exceeds the " + std::to_string(hardware) +

@@ -15,7 +15,7 @@
 //   server.bad-value         a .serve line that did not parse (from the reader)
 //
 // Warning codes (the service runs, but degraded):
-//   server.oversubscribed    workers * ga_threads exceeds the hardware
+//   config.oversubscription  workers * ga_threads exceeds the hardware
 //                            threads: GA runs fight each other for cores
 //   server.shed-beyond-queue shed_depth >= queue_capacity: the hard bound
 //                            fires first, shedding never does

@@ -1,0 +1,390 @@
+#include "util/lock_order.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iterator>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#define GAPLAN_LOCK_ORDER_HAVE_BACKTRACE 1
+#include <execinfo.h>
+#endif
+#endif
+
+namespace gaplan::util::lock_order {
+
+namespace {
+
+constexpr int kMaxFrames = 16;
+
+/// Raw return addresses captured at acquisition time. Symbolization is
+/// deferred to report time: backtrace() is one stack walk, while
+/// backtrace_symbols() allocates and searches symbol tables.
+struct RawStack {
+  void* frames[kMaxFrames] = {};
+  int depth = 0;
+
+  void capture() noexcept {
+#if defined(GAPLAN_LOCK_ORDER_HAVE_BACKTRACE)
+    depth = ::backtrace(frames, kMaxFrames);
+#else
+    depth = 0;
+#endif
+  }
+};
+
+std::string symbolize(const RawStack& s) {
+#if defined(GAPLAN_LOCK_ORDER_HAVE_BACKTRACE)
+  if (s.depth > 0) {
+    std::string out;
+    char** names = ::backtrace_symbols(s.frames, s.depth);
+    for (int i = 0; i < s.depth; ++i) {
+      char line[32];
+      std::snprintf(line, sizeof line, "    #%-2d ", i);
+      out += line;
+      if (names != nullptr && names[i] != nullptr) {
+        out += names[i];
+      } else {
+        std::snprintf(line, sizeof line, "%p", s.frames[i]);
+        out += line;
+      }
+      out += '\n';
+    }
+    std::free(names);
+    return out;
+  }
+#endif
+  return "    (backtrace unavailable)\n";
+}
+
+struct Node {
+  std::string name;
+  int rank = 0;
+};
+
+/// One recorded acquired-before edge `from -> to`, with the stack of the
+/// acquisition that first established it (`to` acquired while `from` held).
+struct Edge {
+  std::uint32_t to = 0;
+  RawStack stack;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<Node> nodes;
+  std::unordered_map<std::string, std::uint32_t> ids;
+  std::vector<std::vector<Edge>> out;  ///< adjacency, indexed by node id
+  std::uint64_t edge_count = 0;
+  Handler handler;  ///< empty = default (print + abort)
+
+  std::atomic<std::uint64_t> acquisitions{0};
+  std::atomic<std::uint64_t> violations{0};
+  /// Bumped by reset_for_tests() to invalidate per-thread edge caches.
+  std::atomic<std::uint64_t> epoch{1};
+};
+
+Registry& registry() {
+  static auto* r = new Registry();  // immortal: hooks fire during static dtors
+  return *r;
+}
+
+struct Held {
+  std::uint32_t node = 0;
+  int rank = 0;
+  const char* name = nullptr;
+  RawStack stack;
+};
+
+struct ThreadState {
+  std::vector<Held> held;
+  std::unordered_set<std::uint64_t> seen_edges;
+  std::uint64_t seen_epoch = 0;
+};
+
+/// Leaked one small object per thread on purpose: locks are taken during
+/// thread and process teardown (logger, trace sink), after a non-pointer
+/// thread_local would already be destroyed.
+ThreadState& tls() {
+  thread_local auto* state = new ThreadState();
+  return *state;
+}
+
+std::uint64_t edge_key(std::uint32_t u, std::uint32_t v) noexcept {
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+bool env_enabled(bool fallback) {
+  const char* v = std::getenv("GAPLAN_LOCK_ORDER");
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strcmp(v, "0") != 0 && std::strcmp(v, "false") != 0;
+}
+
+std::atomic<bool>& enabled_storage() {
+#if defined(NDEBUG)
+  constexpr bool kDefault = false;
+#else
+  constexpr bool kDefault = true;
+#endif
+  static std::atomic<bool> on{env_enabled(kDefault)};
+  return on;
+}
+
+void default_handler(const Violation& v) {
+  std::fprintf(stderr, "%s", v.message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::string render_message(const Violation& v) {
+  std::string out = "gaplan lock-order violation (";
+  out += v.kind;
+  out += "): acquiring \"" + v.acquired_name + "\" (rank " +
+         std::to_string(v.acquired_rank) + ") while holding \"" + v.held_name +
+         "\" (rank " + std::to_string(v.held_rank) + ")\n";
+  if (!v.cycle.empty()) {
+    out += "  existing acquired-before chain: " + v.cycle + "\n";
+  }
+  out += v.kind == "cycle"
+             ? "  first witness (where the opposite order was established):\n"
+             : "  first witness (where the held lock was acquired):\n";
+  out += v.first_stack;
+  out += "  second witness (the violating acquisition):\n";
+  out += v.second_stack;
+  return out;
+}
+
+/// Reports `v` through the installed handler. Must be called with
+/// registry().mu NOT held (the handler may inspect stats or re-enter).
+void report(Violation v) {
+  Registry& r = registry();
+  r.violations.fetch_add(1, std::memory_order_relaxed);
+  v.message = render_message(v);
+  Handler h;
+  {
+    std::lock_guard lock(r.mu);
+    h = r.handler;
+  }
+  if (h) {
+    h(v);
+  } else {
+    default_handler(v);
+  }
+}
+
+/// DFS over the acquired-before graph: does `from` reach `target`? On
+/// success fills `path` with the node chain from -> ... -> target and
+/// returns the first edge walked (the prior-order witness).
+/// Called with registry().mu held.
+const Edge* find_path(const Registry& r, std::uint32_t from,
+                      std::uint32_t target, std::vector<std::uint32_t>& path) {
+  std::vector<std::uint32_t> stack{from};
+  std::unordered_map<std::uint32_t, std::uint32_t> parent;  // child -> parent
+  std::unordered_set<std::uint32_t> visited{from};
+  while (!stack.empty()) {
+    const std::uint32_t u = stack.back();
+    stack.pop_back();
+    if (u >= r.out.size()) continue;
+    for (const Edge& e : r.out[u]) {
+      if (visited.count(e.to) != 0) continue;
+      visited.insert(e.to);
+      parent.emplace(e.to, u);
+      if (e.to == target) {
+        path.clear();
+        for (std::uint32_t n = target;; n = parent.at(n)) {
+          path.push_back(n);
+          if (n == from) break;
+        }
+        std::reverse(path.begin(), path.end());
+        // The witness edge is the first hop out of `from` on this path.
+        const std::uint32_t second = path.size() > 1 ? path[1] : target;
+        for (const Edge& first : r.out[from]) {
+          if (first.to == second) return &first;
+        }
+        return &e;
+      }
+      stack.push_back(e.to);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::uint32_t register_node(const char* name, int rank) noexcept {
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  const auto it = r.ids.find(name);
+  if (it != r.ids.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(r.nodes.size());
+  r.nodes.push_back(Node{name, rank});
+  r.out.emplace_back();
+  r.ids.emplace(name, id);
+  return id;
+}
+
+bool enabled() noexcept {
+  return enabled_storage().load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) noexcept {
+  enabled_storage().store(on, std::memory_order_relaxed);
+}
+
+void on_lock(std::uint32_t node, const char* name, int rank) noexcept {
+  Registry& r = registry();
+  r.acquisitions.fetch_add(1, std::memory_order_relaxed);
+  ThreadState& ts = tls();
+
+  Held entry{node, rank, name, {}};
+  entry.stack.capture();
+
+  if (!ts.held.empty()) {
+    const std::uint64_t epoch = r.epoch.load(std::memory_order_relaxed);
+    if (ts.seen_epoch != epoch) {
+      ts.seen_edges.clear();
+      ts.seen_epoch = epoch;
+    }
+
+    // Rank check against every held lock; report the worst (highest-ranked)
+    // offender so the message names the deepest inversion.
+    const Held* inverted = nullptr;
+    for (const Held& h : ts.held) {
+      if (rank < h.rank && (inverted == nullptr || h.rank > inverted->rank)) {
+        inverted = &h;
+      }
+    }
+    if (inverted != nullptr) {
+      Violation v;
+      v.kind = "rank";
+      v.held_name = inverted->name;
+      v.held_rank = inverted->rank;
+      v.acquired_name = name;
+      v.acquired_rank = rank;
+      v.first_stack = symbolize(inverted->stack);
+      v.second_stack = symbolize(entry.stack);
+      ts.held.push_back(entry);  // keep lock/unlock bookkeeping balanced
+      report(std::move(v));
+      return;
+    }
+
+    // Graph check: one edge per held lock, filtered through the per-thread
+    // cache so a hot, already-recorded nesting never takes the global lock.
+    for (const Held& h : ts.held) {
+      const std::uint64_t key = edge_key(h.node, node);
+      if (!ts.seen_edges.insert(key).second) continue;
+
+      if (h.node == node) {
+        // Same lock class nested in itself: either a genuine recursive lock
+        // or two same-named mutexes nesting — both are ordering bugs (the
+        // class cannot be placed before itself).
+        Violation v;
+        v.kind = "cycle";
+        v.held_name = h.name;
+        v.held_rank = h.rank;
+        v.acquired_name = name;
+        v.acquired_rank = rank;
+        v.cycle = std::string(name) + " -> " + name;
+        v.first_stack = symbolize(h.stack);
+        v.second_stack = symbolize(entry.stack);
+        ts.held.push_back(entry);
+        report(std::move(v));
+        return;
+      }
+
+      Violation v;
+      bool violated = false;
+      {
+        std::lock_guard lock(r.mu);
+        // Would the new edge h.node -> node close a cycle? It does iff node
+        // already reaches h.node.
+        std::vector<std::uint32_t> path;
+        const Edge* witness = find_path(r, node, h.node, path);
+        if (witness != nullptr) {
+          v.kind = "cycle";
+          v.held_name = h.name;
+          v.held_rank = h.rank;
+          v.acquired_name = name;
+          v.acquired_rank = rank;
+          for (std::size_t i = 0; i < path.size(); ++i) {
+            if (i != 0) v.cycle += " -> ";
+            v.cycle += r.nodes[path[i]].name;
+          }
+          v.first_stack = symbolize(witness->stack);
+          v.second_stack = symbolize(entry.stack);
+          violated = true;
+        } else {
+          Edge e;
+          e.to = node;
+          e.stack = entry.stack;
+          r.out[h.node].push_back(e);
+          ++r.edge_count;
+        }
+      }
+      if (violated) {
+        ts.held.push_back(entry);
+        report(std::move(v));
+        return;
+      }
+    }
+  }
+
+  ts.held.push_back(entry);
+}
+
+void on_try_lock(std::uint32_t node, const char* name, int rank) noexcept {
+  Registry& r = registry();
+  r.acquisitions.fetch_add(1, std::memory_order_relaxed);
+  ThreadState& ts = tls();
+  Held entry{node, rank, name, {}};
+  entry.stack.capture();
+  ts.held.push_back(entry);
+}
+
+void on_unlock(std::uint32_t node) noexcept {
+  ThreadState& ts = tls();
+  for (auto it = ts.held.rbegin(); it != ts.held.rend(); ++it) {
+    if (it->node == node) {
+      ts.held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Unmatched unlock: the detector was toggled between lock and unlock.
+}
+
+Stats stats() noexcept {
+  Registry& r = registry();
+  Stats s;
+  s.acquisitions = r.acquisitions.load(std::memory_order_relaxed);
+  s.violations = r.violations.load(std::memory_order_relaxed);
+  std::lock_guard lock(r.mu);
+  s.nodes = r.nodes.size();
+  s.edges = r.edge_count;
+  return s;
+}
+
+Handler set_violation_handler(Handler h) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  Handler prev = std::move(r.handler);
+  r.handler = std::move(h);
+  return prev;
+}
+
+void reset_for_tests() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  for (auto& edges : r.out) edges.clear();
+  r.edge_count = 0;
+  r.acquisitions.store(0, std::memory_order_relaxed);
+  r.violations.store(0, std::memory_order_relaxed);
+  r.epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace gaplan::util::lock_order

@@ -2,10 +2,10 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 
 #include "obs/trace.hpp"
 #include "util/env.hpp"
+#include "util/sync.hpp"
 
 namespace gaplan::util {
 
@@ -54,8 +54,8 @@ void log_line(LogLevel level, const std::string& msg) {
   // stderr is block-buffered (e.g. redirected to a file).
   const double secs = obs::monotonic_ms() / 1e3;
   const int tid = obs::thread_ordinal();
-  static std::mutex mu;
-  std::lock_guard lock(mu);
+  static Mutex mu{"util.log", lock_order::kRankLog};
+  MutexLock lock(mu);
   std::fprintf(stderr, "[gaplan %s +%.3fs T%02d] %s\n", level_name(level), secs,
                tid, msg.c_str());
 }

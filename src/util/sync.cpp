@@ -1,0 +1,29 @@
+#include "util/sync.hpp"
+
+namespace gaplan::util {
+
+// The wait functions adopt the already-held std::mutex into a unique_lock
+// (std::condition_variable's required currency), wait, then release it back
+// to the MutexLock without touching ownership. The lock-order held-stack is
+// balanced by hand around the wait, since the release/reacquire happens
+// inside the standard library where Mutex::lock()/unlock() never run.
+
+void CondVar::wait(MutexLock& lock) {
+  std::unique_lock<std::mutex> ul(lock.mu_.mu_, std::adopt_lock);
+  lock.mu_.note_wait_release();
+  cv_.wait(ul);
+  lock.mu_.note_wait_reacquire();
+  ul.release();
+}
+
+bool CondVar::wait_until(MutexLock& lock,
+                         std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> ul(lock.mu_.mu_, std::adopt_lock);
+  lock.mu_.note_wait_release();
+  const std::cv_status st = cv_.wait_until(ul, deadline);
+  lock.mu_.note_wait_reacquire();
+  ul.release();
+  return st == std::cv_status::no_timeout;
+}
+
+}  // namespace gaplan::util

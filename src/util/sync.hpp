@@ -1,0 +1,309 @@
+// Capability-annotated synchronization primitives: the one place gaplan code
+// takes a lock.
+//
+// Two analyses hang off these wrappers:
+//
+//  * Compile time — every class and method carries clang thread-safety
+//    attributes behind the GAPLAN_* macros below (no-ops on non-clang
+//    toolchains). Annotate fields with GAPLAN_GUARDED_BY, lock-holding
+//    helpers with GAPLAN_REQUIRES, and must-not-hold boundaries with
+//    GAPLAN_EXCLUDES, then build with -DGAPLAN_THREAD_SAFETY=ON under clang
+//    (scripts/run_sanitizers.sh thread_safety) and every unguarded access or
+//    lock imbalance is a compile error.
+//  * Run time — every Mutex carries a lock-class name and a hierarchy rank
+//    (util/lock_order.hpp); in checked builds each blocking acquisition
+//    feeds the acquired-before graph, so an inconsistent ordering aborts
+//    with both witness stacks the first time the *order* occurs, no
+//    unlucky interleaving required.
+//
+// GAPLAN_LOCK_ORDER_CHECKS (default: on; CMake forces it to 0 for Release
+// build types) controls whether the run-time hooks are compiled at all. The
+// macro must be consistent across a build tree — CMake sets it globally —
+// and the Mutex layout does not depend on it, only the inline hook calls do.
+//
+// See docs/API.md "Concurrency analysis" for the macro table and the full
+// lock hierarchy.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/lock_order.hpp"
+
+#ifndef GAPLAN_LOCK_ORDER_CHECKS
+#define GAPLAN_LOCK_ORDER_CHECKS 1
+#endif
+
+// ---------------------------------------------------------------------------
+// Thread-safety annotation macros (clang -Wthread-safety). Each expands to
+// the matching __attribute__ under clang and to nothing elsewhere, so
+// annotated headers stay portable to gcc/msvc.
+#if defined(__clang__)
+#define GAPLAN_TSA(x) __attribute__((x))
+#else
+#define GAPLAN_TSA(x)
+#endif
+
+/// Marks a class as a lockable capability ("mutex" names it in diagnostics).
+#define GAPLAN_CAPABILITY(x) GAPLAN_TSA(capability(x))
+/// Marks an RAII guard whose lifetime holds a capability.
+#define GAPLAN_SCOPED_CAPABILITY GAPLAN_TSA(scoped_lockable)
+/// Field may only be read/written while holding the given capability.
+#define GAPLAN_GUARDED_BY(x) GAPLAN_TSA(guarded_by(x))
+/// Pointee (not the pointer) is guarded by the given capability.
+#define GAPLAN_PT_GUARDED_BY(x) GAPLAN_TSA(pt_guarded_by(x))
+/// Caller must hold the capability (exclusively) to call this function.
+#define GAPLAN_REQUIRES(...) GAPLAN_TSA(requires_capability(__VA_ARGS__))
+/// Caller must hold the capability at least shared.
+#define GAPLAN_REQUIRES_SHARED(...) \
+  GAPLAN_TSA(requires_shared_capability(__VA_ARGS__))
+/// Function acquires the capability (held on return, not on entry).
+#define GAPLAN_ACQUIRE(...) GAPLAN_TSA(acquire_capability(__VA_ARGS__))
+#define GAPLAN_ACQUIRE_SHARED(...) \
+  GAPLAN_TSA(acquire_shared_capability(__VA_ARGS__))
+/// Function releases the capability (held on entry, not on return).
+#define GAPLAN_RELEASE(...) GAPLAN_TSA(release_capability(__VA_ARGS__))
+#define GAPLAN_RELEASE_SHARED(...) \
+  GAPLAN_TSA(release_shared_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns the given value.
+#define GAPLAN_TRY_ACQUIRE(...) GAPLAN_TSA(try_acquire_capability(__VA_ARGS__))
+#define GAPLAN_TRY_ACQUIRE_SHARED(...) \
+  GAPLAN_TSA(try_acquire_shared_capability(__VA_ARGS__))
+/// Caller must NOT hold the capability (deadlock/self-lock boundary).
+#define GAPLAN_EXCLUDES(...) GAPLAN_TSA(locks_excluded(__VA_ARGS__))
+/// Asserts at runtime that the capability is held (analysis trusts it).
+#define GAPLAN_ASSERT_CAPABILITY(x) GAPLAN_TSA(assert_capability(x))
+/// Function returns a reference to the given capability.
+#define GAPLAN_RETURN_CAPABILITY(x) GAPLAN_TSA(lock_returned(x))
+/// Escape hatch: disables the analysis for one function. Only sync-layer
+/// internals (this header) may use it.
+#define GAPLAN_NO_THREAD_SAFETY_ANALYSIS GAPLAN_TSA(no_thread_safety_analysis)
+
+namespace gaplan::util {
+
+class CondVar;
+
+/// std::mutex with a capability annotation, a lock-class name, and a
+/// hierarchy rank. Construction interns the name in the lock-order registry;
+/// lock/unlock feed the acquired-before graph in checked builds.
+class GAPLAN_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(const char* name = "mutex",
+                 int rank = lock_order::kRankDefault) noexcept
+      : name_(name),
+        rank_(rank),
+#if GAPLAN_LOCK_ORDER_CHECKS
+        node_(lock_order::register_node(name, rank)) {
+  }
+#else
+        node_(0) {
+  }
+#endif
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GAPLAN_ACQUIRE() {
+#if GAPLAN_LOCK_ORDER_CHECKS
+    if (lock_order::enabled()) lock_order::on_lock(node_, name_, rank_);
+#endif
+    mu_.lock();
+  }
+
+  void unlock() GAPLAN_RELEASE() {
+    mu_.unlock();
+#if GAPLAN_LOCK_ORDER_CHECKS
+    if (lock_order::enabled()) lock_order::on_unlock(node_);
+#endif
+  }
+
+  bool try_lock() GAPLAN_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+#if GAPLAN_LOCK_ORDER_CHECKS
+    if (lock_order::enabled()) lock_order::on_try_lock(node_, name_, rank_);
+#endif
+    return true;
+  }
+
+  const char* name() const noexcept { return name_; }
+  int rank() const noexcept { return rank_; }
+
+ private:
+  friend class CondVar;
+
+  /// Lock-order bookkeeping around a condition wait: the wait releases and
+  /// reacquires mu_ inside std::condition_variable, invisibly to lock()/
+  /// unlock(), so CondVar balances the held-stack by hand.
+  void note_wait_release() noexcept {
+#if GAPLAN_LOCK_ORDER_CHECKS
+    if (lock_order::enabled()) lock_order::on_unlock(node_);
+#endif
+  }
+  void note_wait_reacquire() noexcept {
+#if GAPLAN_LOCK_ORDER_CHECKS
+    if (lock_order::enabled()) lock_order::on_lock(node_, name_, rank_);
+#endif
+  }
+
+  std::mutex mu_;
+  const char* name_;
+  int rank_;
+  std::uint32_t node_;
+};
+
+/// std::shared_mutex with the same capability/name/rank treatment. Shared
+/// acquisitions participate in lock ordering exactly like exclusive ones
+/// (a reader waiting behind a writer deadlocks the same way).
+class GAPLAN_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  explicit SharedMutex(const char* name = "shared_mutex",
+                       int rank = lock_order::kRankDefault) noexcept
+      : name_(name),
+        rank_(rank),
+#if GAPLAN_LOCK_ORDER_CHECKS
+        node_(lock_order::register_node(name, rank)) {
+  }
+#else
+        node_(0) {
+  }
+#endif
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() GAPLAN_ACQUIRE() {
+#if GAPLAN_LOCK_ORDER_CHECKS
+    if (lock_order::enabled()) lock_order::on_lock(node_, name_, rank_);
+#endif
+    mu_.lock();
+  }
+  void unlock() GAPLAN_RELEASE() {
+    mu_.unlock();
+#if GAPLAN_LOCK_ORDER_CHECKS
+    if (lock_order::enabled()) lock_order::on_unlock(node_);
+#endif
+  }
+  void lock_shared() GAPLAN_ACQUIRE_SHARED() {
+#if GAPLAN_LOCK_ORDER_CHECKS
+    if (lock_order::enabled()) lock_order::on_lock(node_, name_, rank_);
+#endif
+    mu_.lock_shared();
+  }
+  void unlock_shared() GAPLAN_RELEASE_SHARED() {
+    mu_.unlock_shared();
+#if GAPLAN_LOCK_ORDER_CHECKS
+    if (lock_order::enabled()) lock_order::on_unlock(node_);
+#endif
+  }
+  bool try_lock() GAPLAN_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+#if GAPLAN_LOCK_ORDER_CHECKS
+    if (lock_order::enabled()) lock_order::on_try_lock(node_, name_, rank_);
+#endif
+    return true;
+  }
+
+  const char* name() const noexcept { return name_; }
+  int rank() const noexcept { return rank_; }
+
+ private:
+  std::shared_mutex mu_;
+  const char* name_;
+  int rank_;
+  std::uint32_t node_;
+};
+
+/// RAII exclusive guard over util::Mutex, relockable (unlock()/lock()) so
+/// worker loops can drop the lock across long work — the std::unique_lock
+/// idiom, under the analysis.
+class GAPLAN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) GAPLAN_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+    owned_ = true;
+  }
+
+  ~MutexLock() GAPLAN_RELEASE() {
+    if (owned_) mu_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() GAPLAN_RELEASE() {
+    mu_.unlock();
+    owned_ = false;
+  }
+
+  void lock() GAPLAN_ACQUIRE() {
+    mu_.lock();
+    owned_ = true;
+  }
+
+  bool owns_lock() const noexcept { return owned_; }
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+  bool owned_ = false;
+};
+
+/// RAII shared (reader) guard over util::SharedMutex.
+class GAPLAN_SCOPED_CAPABILITY SharedLock {
+ public:
+  explicit SharedLock(SharedMutex& mu) GAPLAN_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+
+  ~SharedLock() GAPLAN_RELEASE() { mu_.unlock_shared(); }
+
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to util::Mutex via MutexLock. Waits do the
+/// lock-order bookkeeping for the implicit release/reacquire.
+///
+/// Prefer explicit predicate loops at call sites —
+///   while (!done) cv.wait(lock);
+/// — over the predicate-lambda overloads: clang's thread-safety analysis
+/// does not propagate the held capability into a lambda body, so a predicate
+/// reading GAPLAN_GUARDED_BY fields only passes the analysis written as a
+/// plain loop.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically releases `lock`, waits, reacquires. `lock` must own its
+  /// mutex on entry (it does again on return).
+  void wait(MutexLock& lock);
+
+  /// Like wait(), but returns false if `deadline` passed before a notify.
+  bool wait_until(MutexLock& lock,
+                  std::chrono::steady_clock::time_point deadline);
+
+  /// Bounded wait helper: waits until `dur` elapses or a notify arrives,
+  /// returning false on timeout.
+  template <typename Rep, typename Period>
+  bool wait_for(MutexLock& lock,
+                const std::chrono::duration<Rep, Period>& dur) {
+    return wait_until(lock, std::chrono::steady_clock::now() +
+                                std::chrono::duration_cast<
+                                    std::chrono::steady_clock::duration>(dur));
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace gaplan::util

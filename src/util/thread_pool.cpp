@@ -19,7 +19,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -35,8 +35,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.wait(lock);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop();
@@ -57,7 +57,7 @@ bool ThreadPool::try_run_one() {
   static obs::Gauge& g_depth = obs::gauge("pool.queue_depth");
   std::function<void()> task;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop();

@@ -11,18 +11,17 @@
 #pragma once
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
 #include <limits>
-#include <mutex>
 #include <optional>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/sync.hpp"
 
 namespace gaplan::util {
 
@@ -41,7 +40,7 @@ class ThreadPool {
 
   /// Enqueues a task; the future resolves with its result (or exception).
   template <typename F>
-  std::future<std::invoke_result_t<F>> submit(F&& fn) {
+  std::future<std::invoke_result_t<F>> submit(F&& fn) GAPLAN_EXCLUDES(mutex_) {
     auto fut = try_submit(std::forward<F>(fn));
     if (!fut) throw std::runtime_error("ThreadPool: submit after shutdown");
     return std::move(*fut);
@@ -52,7 +51,8 @@ class ThreadPool {
   /// down or the queue already holds `max_queue` tasks. Never blocks.
   template <typename F>
   std::optional<std::future<std::invoke_result_t<F>>> try_submit(
-      F&& fn, std::size_t max_queue = std::numeric_limits<std::size_t>::max()) {
+      F&& fn, std::size_t max_queue = std::numeric_limits<std::size_t>::max())
+      GAPLAN_EXCLUDES(mutex_) {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
@@ -60,7 +60,7 @@ class ThreadPool {
     static obs::Gauge& g_depth = obs::gauge("pool.queue_depth");
     static obs::Gauge& g_depth_max = obs::gauge("pool.queue_depth_max");
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_ || queue_.size() >= max_queue) return std::nullopt;
       queue_.emplace([task] { (*task)(); });
       const auto depth = static_cast<std::int64_t>(queue_.size());
@@ -77,7 +77,7 @@ class ThreadPool {
   /// submission safe: a pool task waiting on work it enqueued into the same
   /// pool helps drain the queue instead of deadlocking on an occupied worker
   /// (parallel_for uses it while waiting on its chunk futures).
-  bool try_run_one();
+  bool try_run_one() GAPLAN_EXCLUDES(mutex_);
 
   /// Runs fn(i) for i in [begin, end), blocking until all complete. Work is
   /// split into contiguous chunks, oversubscribed ~kChunksPerWorker× per
@@ -92,7 +92,7 @@ class ThreadPool {
   /// parallel_for never deadlocks even on a single-worker pool.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn,
-                    std::size_t min_grain = 1);
+                    std::size_t min_grain = 1) GAPLAN_EXCLUDES(mutex_);
 
   /// Runs fn(lo, hi) over contiguous [lo, hi) chunks of exactly `grain`
   /// indices (the final chunk may be shorter), blocking until all complete.
@@ -102,7 +102,7 @@ class ThreadPool {
   /// drain the queue while waiting, like parallel_for.
   void parallel_for_ranges(std::size_t begin, std::size_t end,
                            const std::function<void(std::size_t, std::size_t)>& fn,
-                           std::size_t grain);
+                           std::size_t grain) GAPLAN_EXCLUDES(mutex_);
 
   /// Work grain for batch-oriented parallel loops: the batch width B when
   /// there is enough work for every worker, shrinking to ~n/workers on tiny
@@ -122,13 +122,13 @@ class ThreadPool {
   static constexpr std::size_t kChunksPerWorker = 4;
 
  private:
-  void worker_loop();
+  void worker_loop() GAPLAN_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  std::queue<std::function<void()>> queue_ GAPLAN_GUARDED_BY(mutex_);
+  Mutex mutex_{"pool.queue", lock_order::kRankPoolQueue};
+  CondVar cv_;
+  bool stopping_ GAPLAN_GUARDED_BY(mutex_) = false;
 };
 
 /// Process-wide pool sized to hardware concurrency; created on first use.

@@ -1,0 +1,16 @@
+// Forces the lock-order detector on for every test binary, whatever the
+// build type: tier-1 runs RelWithDebInfo (NDEBUG), where the runtime default
+// is off. Compiled into each gaplan_test() executable as a second source, so
+// any ordering inconsistency the suite exercises aborts the test loudly
+// instead of passing silently. In Release build trees the hooks themselves
+// are compiled out (GAPLAN_LOCK_ORDER_CHECKS=0) and this is a no-op.
+#include "util/lock_order.hpp"
+
+namespace {
+
+[[maybe_unused]] const bool g_lock_order_enabled = [] {
+  gaplan::util::lock_order::set_enabled(true);
+  return true;
+}();
+
+}  // namespace

@@ -1,0 +1,299 @@
+// Lock-order detector tests: intentional ordering violations must produce
+// full reports (kind, lock names, ranks, both witness stacks), and clean
+// ascending-rank orderings must never report — fuzzed over randomized
+// acquisition sequences with the tests/prop substrate.
+//
+// These tests build real cycles in the process-wide acquired-before graph,
+// so each one installs a capturing violation handler (the default aborts)
+// and clears the graph afterwards with reset_for_tests().
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "prop/prop.hpp"
+#include "util/lock_order.hpp"
+#include "util/sync.hpp"
+
+namespace lock_order = gaplan::util::lock_order;
+namespace prop = gaplan::prop;
+using gaplan::util::Mutex;
+using gaplan::util::MutexLock;
+using gaplan::util::SharedLock;
+using gaplan::util::SharedMutex;
+
+#if GAPLAN_LOCK_ORDER_CHECKS
+
+namespace {
+
+/// Captures violations for the duration of a test; restores the previous
+/// handler and clears the graph on destruction.
+class CaptureViolations {
+ public:
+  CaptureViolations() {
+    previous_ = lock_order::set_violation_handler(
+        [this](const lock_order::Violation& v) { seen_.push_back(v); });
+  }
+  ~CaptureViolations() {
+    lock_order::set_violation_handler(std::move(previous_));
+    lock_order::reset_for_tests();
+  }
+
+  const std::vector<lock_order::Violation>& seen() const { return seen_; }
+
+ private:
+  lock_order::Handler previous_;
+  std::vector<lock_order::Violation> seen_;
+};
+
+}  // namespace
+
+TEST(LockOrder, CycleDetectedWithFullReport) {
+  CaptureViolations capture;
+  Mutex a("t.cycle.a", 10);
+  Mutex b("t.cycle.b", 10);  // equal rank: only the graph can catch this
+
+  {
+    MutexLock la(a);
+    MutexLock lb(b);  // edge a -> b
+  }
+  ASSERT_TRUE(capture.seen().empty());
+
+  {
+    MutexLock lb(b);
+    MutexLock la(a);  // edge b -> a closes the cycle
+  }
+
+  ASSERT_EQ(capture.seen().size(), 1u);
+  const auto& v = capture.seen().front();
+  EXPECT_EQ(v.kind, "cycle");
+  EXPECT_EQ(v.held_name, "t.cycle.b");
+  EXPECT_EQ(v.acquired_name, "t.cycle.a");
+  EXPECT_EQ(v.held_rank, 10);
+  EXPECT_EQ(v.acquired_rank, 10);
+  // The report names the existing opposite-order chain...
+  EXPECT_NE(v.cycle.find("t.cycle.a"), std::string::npos) << v.cycle;
+  EXPECT_NE(v.cycle.find("t.cycle.b"), std::string::npos) << v.cycle;
+  // ...and carries both witness stacks (symbolized or the explicit
+  // "(backtrace unavailable)" placeholder — never empty).
+  EXPECT_FALSE(v.first_stack.empty());
+  EXPECT_FALSE(v.second_stack.empty());
+  // The rendered message ties it together for the abort path.
+  EXPECT_NE(v.message.find("t.cycle.a"), std::string::npos) << v.message;
+  EXPECT_NE(v.message.find("t.cycle.b"), std::string::npos) << v.message;
+}
+
+TEST(LockOrder, RankInversionReportsWorstHeldLock) {
+  CaptureViolations capture;
+  Mutex high("t.rank.high", 50);
+  Mutex low("t.rank.low", 10);
+
+  MutexLock lh(high);
+  MutexLock ll(low);  // 10 < 50: hierarchy inversion
+
+  ASSERT_EQ(capture.seen().size(), 1u);
+  const auto& v = capture.seen().front();
+  EXPECT_EQ(v.kind, "rank");
+  EXPECT_EQ(v.held_name, "t.rank.high");
+  EXPECT_EQ(v.held_rank, 50);
+  EXPECT_EQ(v.acquired_name, "t.rank.low");
+  EXPECT_EQ(v.acquired_rank, 10);
+  EXPECT_FALSE(v.first_stack.empty());
+  EXPECT_FALSE(v.second_stack.empty());
+}
+
+TEST(LockOrder, EqualAndAscendingRanksAreClean) {
+  CaptureViolations capture;
+  Mutex outer("t.asc.outer", 10);
+  Mutex mid("t.asc.mid", 10);
+  Mutex inner("t.asc.inner", 40);
+
+  MutexLock lo(outer);
+  MutexLock lm(mid);    // equal rank, consistent order: fine
+  MutexLock li(inner);  // ascending: fine
+  EXPECT_TRUE(capture.seen().empty());
+}
+
+TEST(LockOrder, SameNameNestingIsASelfCycle) {
+  CaptureViolations capture;
+  // Two *instances* of one lock class: nesting them means shard-in-shard
+  // style acquisition, which the class-level graph models as a self-edge.
+  Mutex first("t.selfsame", 25);
+  Mutex second("t.selfsame", 25);
+
+  MutexLock l1(first);
+  MutexLock l2(second);
+
+  ASSERT_EQ(capture.seen().size(), 1u);
+  EXPECT_EQ(capture.seen().front().kind, "cycle");
+  EXPECT_EQ(capture.seen().front().held_name, "t.selfsame");
+  EXPECT_EQ(capture.seen().front().acquired_name, "t.selfsame");
+}
+
+TEST(LockOrder, TryLockAddsNoOrderingEdges) {
+  CaptureViolations capture;
+  Mutex a("t.try.a", 10);
+  Mutex b("t.try.b", 10);
+
+  {
+    MutexLock la(a);
+    MutexLock lb(b);  // edge a -> b
+  }
+  {
+    MutexLock lb(b);
+    ASSERT_TRUE(a.try_lock());  // opposite order, but try_lock cannot block
+    a.unlock();
+  }
+  EXPECT_TRUE(capture.seen().empty());
+
+  // And a *blocking* acquisition while holding a try-locked mutex still
+  // feeds the graph: the cycle closes when the blocking side inverts.
+  {
+    ASSERT_TRUE(b.try_lock());
+    MutexLock la(a);  // edge b -> a: closes the cycle against a -> b
+    b.unlock();
+  }
+  EXPECT_EQ(capture.seen().size(), 1u);
+}
+
+TEST(LockOrder, SharedMutexParticipatesInOrdering) {
+  CaptureViolations capture;
+  SharedMutex rw("t.shared.rw", 40);
+  Mutex low("t.shared.low", 10);
+
+  SharedLock read(rw);
+  MutexLock ll(low);  // reader held, acquiring below its rank: inversion
+
+  ASSERT_EQ(capture.seen().size(), 1u);
+  EXPECT_EQ(capture.seen().front().kind, "rank");
+  EXPECT_EQ(capture.seen().front().held_name, "t.shared.rw");
+}
+
+TEST(LockOrder, DisabledDetectorReportsNothing) {
+  CaptureViolations capture;
+  lock_order::set_enabled(false);
+  Mutex a("t.off.a", 10);
+  Mutex b("t.off.b", 10);
+  {
+    MutexLock la(a);
+    MutexLock lb(b);
+  }
+  {
+    MutexLock lb(b);
+    MutexLock la(a);  // would be a cycle if the detector were on
+  }
+  lock_order::set_enabled(true);  // tests force it on (enable_lock_order.cpp)
+  EXPECT_TRUE(capture.seen().empty());
+}
+
+TEST(LockOrder, StatsGrowAndFeedMetricsGauges) {
+  CaptureViolations capture;
+  const auto before = lock_order::stats();
+
+  Mutex a("t.stats.a", 10);
+  Mutex b("t.stats.b", 40);
+  {
+    MutexLock la(a);
+    MutexLock lb(b);  // one new edge, two acquisitions
+  }
+  {
+    MutexLock lb(b);
+    MutexLock la(a);  // inversion: rank violation
+  }
+
+  const auto after = lock_order::stats();
+  EXPECT_GE(after.nodes, before.nodes + 2);
+  EXPECT_GE(after.edges, before.edges + 1);
+  EXPECT_GE(after.acquisitions, before.acquisitions + 4);
+  EXPECT_EQ(after.violations, before.violations + 1);
+
+  const auto snap = gaplan::obs::snapshot_metrics();
+  bool saw_edges = false, saw_violations = false;
+  for (const auto& g : snap.gauges) {
+    if (g.name == "lockorder.edges") {
+      saw_edges = true;
+      EXPECT_GE(static_cast<std::uint64_t>(g.value), after.edges);
+    }
+    if (g.name == "lockorder.violations") {
+      saw_violations = true;
+      EXPECT_GE(static_cast<std::uint64_t>(g.value), after.violations);
+    }
+  }
+  EXPECT_TRUE(saw_edges);
+  EXPECT_TRUE(saw_violations);
+}
+
+// ---------------------------------------------------------------------------
+// Property: any nested acquisition sequence that respects the hierarchy —
+// ascending ranks, each class at most once — never trips the detector,
+// whatever subset of lock classes it touches and in whatever interleaving
+// across iterations (edges accumulate in the shared graph, so iteration N
+// also proves consistency against everything iterations 0..N-1 recorded).
+
+namespace {
+
+struct RankedLadder {
+  std::vector<Mutex*> mutexes;
+  RankedLadder() {
+    static constexpr int kRanks[] = {0, 10, 20, 25, 28, 30, 40, 50};
+    static const char* kNames[] = {"t.prop.r0",  "t.prop.r10", "t.prop.r20",
+                                   "t.prop.r25", "t.prop.r28", "t.prop.r30",
+                                   "t.prop.r40", "t.prop.r50"};
+    static Mutex storage[8] = {
+        Mutex{kNames[0], kRanks[0]}, Mutex{kNames[1], kRanks[1]},
+        Mutex{kNames[2], kRanks[2]}, Mutex{kNames[3], kRanks[3]},
+        Mutex{kNames[4], kRanks[4]}, Mutex{kNames[5], kRanks[5]},
+        Mutex{kNames[6], kRanks[6]}, Mutex{kNames[7], kRanks[7]}};
+    for (std::size_t i = 0; i < 8; ++i) mutexes.push_back(&storage[i]);
+  }
+};
+
+}  // namespace
+
+TEST(LockOrder, PropCleanOrderingNeverReports) {
+  CaptureViolations capture;
+  static RankedLadder ladder;
+
+  prop::check(
+      "lock_order_clean_ascending",
+      prop::vector_of(prop::integral<int>(0, 7), 0, 8),
+      [&](const std::vector<int>& picks) {
+        // Dedupe + sort: an ascending walk up the ladder, arbitrary subset.
+        std::vector<int> order(picks);
+        std::sort(order.begin(), order.end());
+        order.erase(std::unique(order.begin(), order.end()), order.end());
+
+        const std::uint64_t violations_before = lock_order::stats().violations;
+        for (const int i : order) ladder.mutexes[static_cast<std::size_t>(i)]->lock();
+        for (auto it = order.rbegin(); it != order.rend(); ++it) {
+          ladder.mutexes[static_cast<std::size_t>(*it)]->unlock();
+        }
+        EXPECT_EQ(lock_order::stats().violations, violations_before);
+        EXPECT_TRUE(capture.seen().empty());
+      },
+      prop::CheckConfig{.iterations = 100});
+}
+
+#else  // !GAPLAN_LOCK_ORDER_CHECKS
+
+TEST(LockOrder, CompiledOutInReleaseBuilds) {
+  // Release build trees define GAPLAN_LOCK_ORDER_CHECKS=0: the hooks are
+  // gone, stats stay zero, and the sync layer is plain std::mutex cost.
+  Mutex a("t.release.a", 10);
+  Mutex b("t.release.b", 10);
+  {
+    MutexLock la(a);
+    MutexLock lb(b);
+  }
+  {
+    MutexLock lb(b);
+    MutexLock la(a);
+  }
+  const auto s = lock_order::stats();
+  EXPECT_EQ(s.acquisitions, 0u);
+  EXPECT_EQ(s.violations, 0u);
+}
+
+#endif  // GAPLAN_LOCK_ORDER_CHECKS

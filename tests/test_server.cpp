@@ -635,6 +635,17 @@ TEST(ServeLint, BadFixtureReportsEveryFinding) {
   EXPECT_TRUE(located);
 }
 
+TEST(ServeLint, OversubscriptionFixtureWarns) {
+  const auto file = parse_server_config_file(fixture("oversubscribed.serve"));
+  EXPECT_FALSE(file.parse_report.has_errors()) << file.parse_report.text();
+  analysis::Report report = file.parse_report;
+  report.merge(lint_server_config(file.config));
+  // 64 workers x 64 GA threads = 4096 concurrent threads — beyond any
+  // plausible hardware_concurrency, so the warning always fires.
+  EXPECT_TRUE(report.has_code("config.oversubscription")) << report.text();
+  EXPECT_FALSE(report.has_errors()) << report.text();
+}
+
 TEST(ServeLint, ProgrammaticInvariants) {
   ServerConfig cfg;
   cfg.ga_threads = 0;
