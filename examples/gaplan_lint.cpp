@@ -1,7 +1,8 @@
 // gaplan_lint: static analyzer front end — lint STRIPS domains, grid
-// scenarios, and GA configurations without running a single GA generation.
+// scenarios, GA configurations, and distributed-router configs without
+// running a single GA generation.
 //
-//   gaplan_lint [--json] [--lifted] <file.strips|file.grid|file.serve> [more files...]
+//   gaplan_lint [--json] [--lifted] <file.strips|file.grid|file.serve|file.dist> [more files...]
 //   gaplan_lint [--json] --config [--pop N] [--gens N] [--phases N]
 //               [--max-len N] [--crossover-rate R] [--mutation-rate R]
 //               [--tournament N] [--goal-weight W] [--cost-weight W]
@@ -9,7 +10,8 @@
 //
 // File mode is auto-detected per file: `.grid` files run the scenario
 // analyzer, `.serve` files the planning-service config analyzer
-// (server_lint), everything else the domain analyzer. Lifted (schema) domains are
+// (server_lint), `.dist` files the router-config analyzer (dist_lint),
+// everything else the domain analyzer. Lifted (schema) domains are
 // detected by content sniffing (a `(schema` form) or forced with --lifted;
 // they are ground-instantiated first and analyzed in schema-aggregation mode.
 // Config mode lints a GaConfig assembled from the flags (defaults are the
@@ -27,8 +29,10 @@
 #include <vector>
 
 #include "analysis/config_lint.hpp"
+#include "analysis/dist_lint.hpp"
 #include "analysis/domain_lint.hpp"
 #include "analysis/scenario_lint.hpp"
+#include "dist/dist_config.hpp"
 #include "grid/scenario_reader.hpp"
 #include "server/server_config.hpp"
 #include "server/server_lint.hpp"
@@ -123,6 +127,15 @@ analysis::Report lint_one_file(const Options& opt, const std::string& path) {
       const auto file = grid::parse_scenario_file(path);
       return analysis::lint_scenario(file, path);
     }
+    if (has_suffix(path, ".dist")) {
+      // Router/worker cluster configs: parse findings plus the semantic
+      // dist lint pass (dist.* codes) — the same gate the router and worker
+      // CLIs apply before starting.
+      auto file = dist::parse_router_config_file(path);
+      analysis::Report report = std::move(file.parse_report);
+      report.merge(dist::lint_router_config(file.config));
+      return report;
+    }
     if (has_suffix(path, ".serve")) {
       // Planning-service configs: parse findings (unknown keys, bad values)
       // plus the semantic server_lint pass over the resulting config.
@@ -162,7 +175,7 @@ int main(int argc, char** argv) {
     std::fprintf(
         stderr,
         "usage: gaplan_lint [--json] [--lifted] "
-        "<file.strips|file.grid|file.serve>...\n"
+        "<file.strips|file.grid|file.serve|file.dist>...\n"
         "       gaplan_lint [--json] --config [--pop N] [--gens N] "
         "[--phases N]\n"
         "                   [--max-len N] [--crossover-rate R] "

@@ -44,6 +44,7 @@
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "server/plan_service.hpp"
+#include "server/request_codec.hpp"
 #include "server/server_config.hpp"
 #include "server/wire.hpp"
 #include "util/sync.hpp"
@@ -61,7 +62,6 @@ namespace {
 using gaplan::serve::JsonWriter;
 using gaplan::serve::PlanRequest;
 using gaplan::serve::PlanService;
-using gaplan::serve::ProblemSpec;
 using gaplan::serve::RequestState;
 using gaplan::serve::RequestStatus;
 using gaplan::serve::ServerConfig;
@@ -131,52 +131,12 @@ std::string render_trace(const RequestStatus& st) {
   return w.finish();
 }
 
-bool parse_crossover(const std::string& name, gaplan::ga::CrossoverKind& out) {
-  using gaplan::ga::CrossoverKind;
-  if (name == "random") out = CrossoverKind::kRandom;
-  else if (name == "state-aware") out = CrossoverKind::kStateAware;
-  else if (name == "mixed") out = CrossoverKind::kMixed;
-  else if (name == "uniform") out = CrossoverKind::kUniform;
-  else return false;
-  return true;
-}
-
 std::string handle_submit(PlanService& service, const WireMessage& msg) {
-  const std::string* problem = msg.get_string("problem");
-  if (!problem) return error_response("submit needs a 'problem' spec string");
-  std::string parse_error;
-  const auto spec = ProblemSpec::parse(*problem, parse_error);
-  if (!spec) return error_response(parse_error);
-
   PlanRequest req;
-  req.problem = *spec;
-  if (const auto v = msg.get_number("pop"))
-    req.config.population_size = static_cast<std::size_t>(*v);
-  if (const auto v = msg.get_number("gens"))
-    req.config.generations = static_cast<std::size_t>(*v);
-  if (const auto v = msg.get_number("phases"))
-    req.config.phases = static_cast<std::size_t>(*v);
-  if (const auto v = msg.get_number("initlen"))
-    req.config.initial_length = static_cast<std::size_t>(*v);
-  if (const auto v = msg.get_number("maxlen"))
-    req.config.max_length = static_cast<std::size_t>(*v);
-  if (const auto v = msg.get_number("mutation")) req.config.mutation_rate = *v;
-  if (const auto v = msg.get_number("crossover_rate"))
-    req.config.crossover_rate = *v;
-  if (const auto b = msg.get_bool("stop_on_valid"))
-    req.config.stop_on_valid = *b;
-  if (const std::string* s = msg.get_string("crossover")) {
-    if (!parse_crossover(*s, req.config.crossover)) {
-      return error_response("unknown crossover '" + *s +
-                            "' (random|state-aware|mixed|uniform)");
-    }
+  std::string parse_error;
+  if (!gaplan::serve::parse_plan_request(msg, req, parse_error)) {
+    return error_response(parse_error);
   }
-  if (const auto v = msg.get_number("seed"))
-    req.seed = static_cast<std::uint64_t>(*v);
-  if (const auto v = msg.get_number("priority"))
-    req.priority = static_cast<int>(*v);
-  if (const auto v = msg.get_number("deadline_ms")) req.deadline_ms = *v;
-  if (const std::string* s = msg.get_string("client")) req.client = *s;
 
   const auto outcome = service.submit(std::move(req));
   JsonWriter w;

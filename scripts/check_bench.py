@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Validates BENCH_*.json reports (bench_eval, bench_chaos, bench_serve; see
+"""Validates BENCH_*.json reports (bench_eval, bench_chaos, bench_serve,
+bench_dist; see
 docs/API.md).
 
 Usage:
@@ -331,10 +332,102 @@ def validate_serve(doc, errors):
               f"clients, warm hit p50 {warm:.4f} ms")
 
 
+def validate_dist(doc, errors):
+    for key in ("workload", "worker_sweep", "speedup_2_workers",
+                "speedup_4_workers", "cross_worker", "failover"):
+        if key not in doc:
+            errors.append(f"missing top-level key '{key}'")
+
+    sweep = doc.get("worker_sweep")
+    if not isinstance(sweep, list) or len(sweep) != 3:
+        errors.append("'worker_sweep' must be a list of three entries (1/2/4 "
+                      "workers)")
+    else:
+        workers = []
+        for i, entry in enumerate(sweep):
+            where = f"worker_sweep[{i}]"
+            if not isinstance(entry, dict):
+                errors.append(f"{where}: not a JSON object")
+                continue
+            for key in ("workers", "seconds", "requests_per_sec", "submitted",
+                        "completed", "cache_hit_rate", "retries"):
+                val = entry.get(key)
+                if not isinstance(val, (int, float)) or isinstance(val, bool):
+                    errors.append(f"{where}: '{key}' must be a number, "
+                                  f"got {val!r}")
+            if isinstance(entry.get("workers"), int):
+                workers.append(entry["workers"])
+            for key in ("seconds", "requests_per_sec"):
+                if isinstance(entry.get(key), (int, float)) and entry[key] <= 0:
+                    errors.append(f"{where}: '{key}' must be positive, "
+                                  f"got {entry[key]}")
+            rate = entry.get("cache_hit_rate")
+            if isinstance(rate, (int, float)) and not 0.0 <= rate <= 1.0:
+                errors.append(f"{where}: cache_hit_rate {rate} outside [0, 1]")
+            # Every submitted request must complete: the sweep has no faults
+            # injected, so a lost request is a routing bug, not noise.
+            sub, comp = entry.get("submitted"), entry.get("completed")
+            if isinstance(sub, int) and isinstance(comp, int) and sub != comp:
+                errors.append(f"{where}: completed {comp} != submitted {sub}")
+        if workers != [1, 2, 4]:
+            errors.append(f"worker_sweep must cover workers 1, 2, 4 in order, "
+                          f"got {workers}")
+
+    for key, floor in (("speedup_2_workers", 1.7), ("speedup_4_workers", 3.0)):
+        val = doc.get(key)
+        if not isinstance(val, (int, float)) or isinstance(val, bool):
+            errors.append(f"{key} must be a number, got {val!r}")
+        elif val < floor:
+            errors.append(f"{key} {val} below the {floor}x floor")
+
+    cross = doc.get("cross_worker")
+    if not isinstance(cross, dict):
+        errors.append("missing 'cross_worker' object")
+    else:
+        reqs, hits = cross.get("requests"), cross.get("hits")
+        rate = cross.get("cross_worker_hit_rate")
+        if not isinstance(reqs, int) or reqs <= 0:
+            errors.append(f"cross_worker.requests must be positive, got {reqs!r}")
+        if not isinstance(hits, int) or hits != reqs:
+            errors.append(f"cross_worker: only {hits!r} of {reqs!r} non-primary "
+                          "probes hit — gossip parity not reached")
+        if not isinstance(rate, (int, float)) or rate < 0.999:
+            errors.append(f"cross_worker_hit_rate {rate!r} below parity")
+
+    failover = doc.get("failover")
+    if not isinstance(failover, dict):
+        errors.append("missing 'failover' object")
+    else:
+        for key in ("submitted", "completed", "lost", "retries", "mark_downs"):
+            val = failover.get(key)
+            if not isinstance(val, int) or isinstance(val, bool) or val < 0:
+                errors.append(f"failover.{key} must be a non-negative integer, "
+                              f"got {val!r}")
+        if failover.get("lost") != 0:
+            errors.append(f"failover lost {failover.get('lost')!r} requests — "
+                          "killing a worker must not drop idempotent submits")
+        if isinstance(failover.get("retries"), int) and failover["retries"] < 1:
+            errors.append("failover.retries is 0 — the kill never exercised "
+                          "the retry path (the doomed worker is only killed "
+                          "once it reports a request mid-plan)")
+        if isinstance(failover.get("mark_downs"), int) \
+                and failover["mark_downs"] < 1:
+            errors.append("failover.mark_downs is 0 — the dead worker was "
+                          "never detected")
+
+    if not errors:
+        print(f"check_bench: OK (bench_dist) — "
+              f"{doc['speedup_2_workers']:.2f}x at 2 workers, "
+              f"{doc['speedup_4_workers']:.2f}x at 4, cross-worker parity "
+              f"{doc['cross_worker']['hits']}/{doc['cross_worker']['requests']}, "
+              f"failover lost {doc['failover']['lost']}")
+
+
 SCHEMAS = {
     "bench_eval": validate_eval,
     "bench_chaos": validate_chaos,
     "bench_serve": validate_serve,
+    "bench_dist": validate_dist,
 }
 
 

@@ -110,7 +110,7 @@ case "${lane}" in
   asan)  run_lane asan address "$@" ;;
   ubsan) run_lane ubsan undefined "$@" ;;
   tsan)  run_lane tsan thread \
-           -R 'PlanService|PlanCache|ThreadPool|Serve|Island|Soa|Prop|serve_smoke|trace_analyze_smoke' \
+           -R 'PlanService|PlanCache|ThreadPool|Serve|Island|Soa|Prop|Dist|serve_smoke|trace_analyze_smoke|dist_smoke' \
            "$@" ;;
   prop)  GAPLAN_PROP_ITERS="${GAPLAN_PROP_ITERS:-20}" \
            run_lane asan address -L prop "$@" ;;

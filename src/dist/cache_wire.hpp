@@ -1,0 +1,41 @@
+// Wire codec for the distributed plan-cache verbs (router <-> worker,
+// worker <-> worker gossip).
+//
+//   cache_probe  {"cmd":"cache_probe","fp":"<32hex>"}
+//                -> {"ok":true,"hit":false}
+//                -> {"ok":true,"hit":true,"valid":…,"plan":[…],…}
+//   cache_put    {"cmd":"cache_put","fp":"<32hex>","valid":…,"plan":[…],…}
+//                -> {"ok":true}
+//   cache_del    {"cmd":"cache_del","fp":"<32hex>"} -> {"ok":true}
+//
+// The plan payload is the CachedPlan field set; the plan array rides the
+// wire as a flat number array (WireMessage.arrays).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "server/fingerprint.hpp"
+#include "server/plan_cache.hpp"
+#include "server/wire.hpp"
+
+namespace gaplan::dist {
+
+/// The "fp" field parsed as a fingerprint, or std::nullopt when absent/bad.
+std::optional<serve::Fingerprint> parse_fp_field(const serve::WireMessage& msg);
+
+/// Appends the CachedPlan field set (valid, plan, plan_cost, goal_fitness,
+/// phases, generations) to a response under construction.
+void append_cached_plan(serve::JsonWriter& w, const serve::CachedPlan& plan);
+
+/// Reads the CachedPlan field set back out of a parsed frame (a probe hit or
+/// a cache_put). False when the plan array is missing or malformed.
+bool parse_cached_plan(const serve::WireMessage& msg, serve::CachedPlan& out,
+                       std::string& error);
+
+std::string render_cache_probe(const serve::Fingerprint& fp);
+std::string render_cache_put(const serve::Fingerprint& fp,
+                             const serve::CachedPlan& plan);
+std::string render_cache_del(const serve::Fingerprint& fp);
+
+}  // namespace gaplan::dist

@@ -1,0 +1,150 @@
+#include "dist/migration.hpp"
+
+#include <bit>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace gaplan::dist {
+
+namespace {
+
+void append_hex64(std::string& out, std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  char buf[16];
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  out.append(buf, 16);
+}
+
+bool parse_hex64(std::string_view hex, std::uint64_t& out) {
+  if (hex.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : hex) {
+    std::uint64_t nibble;
+    if (c >= '0' && c <= '9') nibble = static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') nibble = static_cast<std::uint64_t>(c - 'a' + 10);
+    else return false;
+    v = (v << 4) | nibble;
+  }
+  out = v;
+  return true;
+}
+
+std::uint64_t mix(std::uint64_t state, std::uint64_t v) {
+  std::uint64_t s = state ^ v;
+  return util::splitmix64(s);
+}
+
+bool set_error(std::string* error, const char* msg) {
+  if (error) *error = msg;
+  return false;
+}
+
+}  // namespace
+
+std::string encode_migrants(const MigrantBatch& batch) {
+  std::string out = "v1;";
+  out += std::to_string(batch.genomes.size());
+  out += ';';
+  std::uint64_t sum = 0x6D69677261746573ULL;  // stream key
+  sum = mix(sum, batch.genomes.size());
+  for (const ga::Genome& g : batch.genomes) {
+    out += std::to_string(g.size());
+    out += ':';
+    sum = mix(sum, g.size());
+    for (const ga::Gene gene : g) {
+      const auto bits = std::bit_cast<std::uint64_t>(gene);
+      append_hex64(out, bits);
+      sum = mix(sum, bits);
+    }
+    out += ';';
+  }
+  out += "c=";
+  append_hex64(out, sum);
+  return out;
+}
+
+namespace {
+
+/// Consumes a decimal size bounded by `max` from the front of `rest`,
+/// stopping at `delim` (which is consumed too).
+bool take_size(std::string_view& rest, char delim, std::size_t max,
+               std::size_t& out) {
+  const std::size_t end = rest.find(delim);
+  if (end == std::string_view::npos || end == 0 || end > 20) return false;
+  std::size_t v = 0;
+  for (const char c : rest.substr(0, end)) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::size_t>(c - '0');
+    if (v > max) return false;  // bail before overflow or huge allocation
+  }
+  rest.remove_prefix(end + 1);
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+std::optional<MigrantBatch> parse_migrants(std::string_view frame,
+                                           std::string* error) {
+  if (!frame.starts_with("v1;")) {
+    set_error(error, "migrants: unknown version prefix");
+    return std::nullopt;
+  }
+  std::string_view rest = frame.substr(3);
+  std::size_t count = 0;
+  if (!take_size(rest, ';', kMaxMigrants, count)) {
+    set_error(error, "migrants: bad or out-of-bounds count");
+    return std::nullopt;
+  }
+  MigrantBatch batch;
+  batch.genomes.reserve(count);
+  std::uint64_t sum = 0x6D69677261746573ULL;
+  sum = mix(sum, count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t len = 0;
+    if (!take_size(rest, ':', kMaxMigrantGenes, len)) {
+      set_error(error, "migrants: bad or out-of-bounds genome length");
+      return std::nullopt;
+    }
+    if (rest.size() < len * 16 + 1) {
+      set_error(error, "migrants: truncated genome");
+      return std::nullopt;
+    }
+    sum = mix(sum, len);
+    ga::Genome g;
+    g.reserve(len);
+    for (std::size_t k = 0; k < len; ++k) {
+      std::uint64_t bits = 0;
+      if (!parse_hex64(rest.substr(k * 16, 16), bits)) {
+        set_error(error, "migrants: bad gene hex");
+        return std::nullopt;
+      }
+      sum = mix(sum, bits);
+      g.push_back(std::bit_cast<ga::Gene>(bits));
+    }
+    rest.remove_prefix(len * 16);
+    if (rest.empty() || rest.front() != ';') {
+      set_error(error, "migrants: missing genome terminator");
+      return std::nullopt;
+    }
+    rest.remove_prefix(1);
+    batch.genomes.push_back(std::move(g));
+  }
+  std::uint64_t claimed = 0;
+  if (rest.size() != 18 || !rest.starts_with("c=") ||
+      !parse_hex64(rest.substr(2), claimed)) {
+    set_error(error, "migrants: missing checksum");
+    return std::nullopt;
+  }
+  if (claimed != sum) {
+    set_error(error, "migrants: checksum mismatch");
+    return std::nullopt;
+  }
+  return batch;
+}
+
+}  // namespace gaplan::dist

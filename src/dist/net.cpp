@@ -1,0 +1,206 @@
+#include "dist/net.hpp"
+
+#ifdef GAPLAN_DIST_NET
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstring>
+
+#include "server/wire.hpp"
+
+namespace gaplan::dist {
+
+Conn& Conn::operator=(Conn&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    buf_ = std::move(o.buf_);
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+bool Conn::connect(const std::string& host, int port) {
+  close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  buf_.clear();
+  return true;
+}
+
+void Conn::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+bool Conn::send_line(const std::string& line) {
+  if (fd_ < 0) return false;
+  std::string framed = line;
+  framed += '\n';
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    // MSG_NOSIGNAL: a peer that died mid-write surfaces as EPIPE, not a
+    // process-killing SIGPIPE (the router must survive worker crashes).
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      close();
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Conn::recv_line(std::string& out) {
+  if (fd_ < 0) return false;
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      out.assign(buf_, 0, nl);
+      buf_.erase(0, nl + 1);
+      return true;
+    }
+    if (buf_.size() > serve::kMaxWireFrameBytes) {
+      close();
+      return false;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      close();
+      return false;
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool Conn::roundtrip(const std::string& line, std::string& response) {
+  return send_line(line) && recv_line(response);
+}
+
+TcpLineServer::TcpLineServer(LineHandler handler)
+    : handler_(std::move(handler)) {}
+
+TcpLineServer::~TcpLineServer() { stop(); }
+
+bool TcpLineServer::start(int port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // localhost only
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = static_cast<int>(ntohs(addr.sin_port));
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void TcpLineServer::stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    util::MutexLock lock(clients_mu_);
+    for (const int fd : client_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : client_threads_) {
+    if (t.joinable()) t.join();
+  }
+  client_threads_.clear();
+}
+
+void TcpLineServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;  // listener closed (stop) or hard error
+    {
+      util::MutexLock lock(clients_mu_);
+      client_fds_.push_back(fd);
+    }
+    client_threads_.emplace_back([this, fd] { serve_client(fd); });
+  }
+}
+
+void TcpLineServer::serve_client(int fd) {
+  std::string buf;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buf.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos = 0, nl = 0;
+    while ((nl = buf.find('\n', pos)) != std::string::npos) {
+      const std::string line = buf.substr(pos, nl - pos);
+      pos = nl + 1;
+      if (line.empty()) continue;
+      bool close_after = false;
+      std::string resp = handler_(line, close_after);
+      resp += '\n';
+      std::size_t sent = 0;
+      while (sent < resp.size()) {
+        const ssize_t w =
+            ::send(fd, resp.data() + sent, resp.size() - sent, MSG_NOSIGNAL);
+        if (w <= 0) {
+          open = false;
+          break;
+        }
+        sent += static_cast<std::size_t>(w);
+      }
+      if (close_after) open = false;
+      if (!open) break;
+    }
+    buf.erase(0, pos);
+    if (buf.size() > serve::kMaxWireFrameBytes) break;  // poisoned stream
+  }
+  {
+    util::MutexLock lock(clients_mu_);
+    std::erase(client_fds_, fd);
+  }
+  ::close(fd);
+}
+
+}  // namespace gaplan::dist
+
+#endif  // GAPLAN_DIST_NET

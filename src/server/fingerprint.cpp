@@ -15,6 +15,22 @@ std::string Fingerprint::hex() const {
   return std::string(buf);
 }
 
+std::optional<Fingerprint> parse_fingerprint_hex(std::string_view hex) {
+  if (hex.size() != 32) return std::nullopt;
+  std::uint64_t words[2] = {0, 0};
+  for (std::size_t w = 0; w < 2; ++w) {
+    for (std::size_t i = 0; i < 16; ++i) {
+      const char c = hex[w * 16 + i];
+      std::uint64_t nibble;
+      if (c >= '0' && c <= '9') nibble = static_cast<std::uint64_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') nibble = static_cast<std::uint64_t>(c - 'a' + 10);
+      else return std::nullopt;  // uppercase rejected: hex() is the format
+      words[w] = (words[w] << 4) | nibble;
+    }
+  }
+  return Fingerprint{words[0], words[1]};
+}
+
 FingerprintHasher::FingerprintHasher() noexcept {
   // Distinct nonzero stream keys so hi/lo evolve independently from word one.
   fp_.hi = 0x9E3779B97F4A7C15ULL;

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -55,5 +56,10 @@ class FingerprintHasher {
 
 /// Digest of every GaConfig field (any knob change misses the cache).
 void mix_config(FingerprintHasher& h, const ga::GaConfig& cfg);
+
+/// Inverse of Fingerprint::hex(): exactly 32 lowercase hex digits, or
+/// std::nullopt. The distribution layer ships fingerprints over the wire
+/// (cache_probe / cache_put / route), so the rendering must parse back.
+std::optional<Fingerprint> parse_fingerprint_hex(std::string_view hex);
 
 }  // namespace gaplan::serve

@@ -36,7 +36,8 @@ std::optional<CachedPlan> PlanCache::lookup(const Fingerprint& key) {
   return it->second->second;
 }
 
-void PlanCache::insert(const Fingerprint& key, CachedPlan value) {
+void PlanCache::insert(const Fingerprint& key, CachedPlan value,
+                       std::vector<Fingerprint>* evicted) {
   static obs::Counter& c_evictions = obs::counter("server.cache_evictions");
   if (capacity_total_ == 0) return;
   Shard& shard = shard_for(key);
@@ -50,11 +51,23 @@ void PlanCache::insert(const Fingerprint& key, CachedPlan value) {
   shard.lru.emplace_front(key, std::move(value));
   shard.map.emplace(key, shard.lru.begin());
   while (shard.lru.size() > capacity_per_shard_) {
+    if (evicted != nullptr) evicted->push_back(shard.lru.back().first);
     shard.map.erase(shard.lru.back().first);
     shard.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
     c_evictions.inc();
   }
+}
+
+bool PlanCache::remove(const Fingerprint& key) {
+  if (capacity_total_ == 0) return false;
+  Shard& shard = shard_for(key);
+  util::MutexLock lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) return false;
+  shard.lru.erase(it->second);
+  shard.map.erase(it);
+  return true;
 }
 
 PlanCache::Stats PlanCache::stats() const {

@@ -63,8 +63,15 @@ class PlanCache {
   std::optional<CachedPlan> lookup(const Fingerprint& key);
 
   /// Inserts (or refreshes) an entry, evicting the shard's LRU tail beyond
-  /// capacity.
-  void insert(const Fingerprint& key, CachedPlan value);
+  /// capacity. When `evicted` is non-null the evicted keys are appended to
+  /// it (the distribution layer gossips them to peers as cache_del).
+  void insert(const Fingerprint& key, CachedPlan value,
+              std::vector<Fingerprint>* evicted = nullptr);
+
+  /// Drops the entry for `key` if present; returns whether one was removed.
+  /// Used by cross-worker eviction gossip to keep replicas from outliving
+  /// the original.
+  bool remove(const Fingerprint& key);
 
   Stats stats() const;
   std::size_t size() const;

@@ -242,6 +242,23 @@ Fingerprint PlanService::fingerprint(const PlanRequest& req) {
   return h.digest();
 }
 
+std::optional<CachedPlan> PlanService::cache_lookup(const Fingerprint& fp) {
+  return cache_.lookup(fp);
+}
+
+void PlanService::cache_insert(const Fingerprint& fp, CachedPlan plan) {
+  cache_.insert(fp, std::move(plan));
+}
+
+bool PlanService::cache_remove(const Fingerprint& fp) {
+  return cache_.remove(fp);
+}
+
+void PlanService::set_cache_listener(CacheListener listener) {
+  util::MutexLock lock(mu_);
+  cache_listener_ = std::move(listener);
+}
+
 SubmitOutcome PlanService::submit(PlanRequest req) {
   static obs::Counter& c_submitted = obs::counter("server.submitted");
   static obs::Counter& c_rejected = obs::counter("server.rejected");
@@ -257,7 +274,13 @@ SubmitOutcome PlanService::submit(PlanRequest req) {
   // bounds. ctx is invalid (and costs nothing downstream) while tracing is
   // off.
   const double submit_now = obs::monotonic_ms();
-  const obs::SpanContext ctx = obs::new_trace_context();
+  // A request carrying a remote trace id (router dispatch) joins that trace
+  // instead of starting a fresh one, so one distributed request reassembles
+  // under a single trace across the per-process journals.
+  const obs::SpanContext ctx =
+      (req.trace != 0 && obs::trace_enabled())
+          ? obs::SpanContext{req.trace, obs::next_span_id()}
+          : obs::new_trace_context();
 
   req.config = tuned_config(req.problem, req.config);
 
@@ -571,7 +594,29 @@ void PlanService::worker_main() {
       }
       if (finished) {
         CachedPlan result = r.job->take_result();
-        cache_.insert(r.fp, result);
+        std::vector<Fingerprint> evicted;
+        cache_.insert(r.fp, result, &evicted);
+        // Fire the cache listener with no locks held (we are between the
+        // slice and the terminal transition; r's fields are still worker-
+        // owned). The brief mu_ acquisition only copies the callback.
+        CacheListener listener;
+        {
+          util::MutexLock listener_lock(mu_);
+          listener = cache_listener_;
+        }
+        if (listener) {
+          CacheEvent ins;
+          ins.kind = CacheEvent::Kind::kInsert;
+          ins.fp = r.fp;
+          ins.plan = result;
+          listener(ins);
+          for (const Fingerprint& efp : evicted) {
+            CacheEvent del;
+            del.kind = CacheEvent::Kind::kEvict;
+            del.fp = efp;
+            listener(del);
+          }
+        }
         lock.lock();
         r.plan_ms += slice_ms;
         ++r.slices;
@@ -658,6 +703,10 @@ void PlanService::finish_locked(detail::Record& r, RequestState state,
     // per trace).
     obs::TraceEvent ev("server");
     if (r.ctx.valid()) ev.f("trace", r.ctx.trace).f("span", r.ctx.span);
+    // A router-dispatched request records the router's span as an
+    // annotation (not `parent`: that span lives in another process's
+    // journal, and parents must resolve within one journal).
+    if (r.req.parent_span != 0) ev.f("remote_parent", r.req.parent_span);
     ev.f("op", "complete")
         .f("req", r.id)
         .f("state", std::string_view(to_string(r.state)))

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <set>
@@ -78,6 +79,14 @@ struct PlanRequest {
   double deadline_ms = 0.0;
   /// Free-form client tag, echoed in trace events.
   std::string client;
+  /// Remote trace propagation (distribution layer): a nonzero `trace` makes
+  /// the request's span tree join that trace id instead of starting a fresh
+  /// one, and a nonzero `parent_span` is recorded on the root "complete"
+  /// event as `remote_parent` — an annotation, not a `parent` link, because
+  /// the caller's span lives in a *different process's* journal and span
+  /// parents must resolve within one journal (scripts/check_trace.py).
+  std::uint64_t trace = 0;
+  std::uint64_t parent_span = 0;
 };
 
 /// Point-in-time view of one request (a copy; never aliases live state).
@@ -141,6 +150,16 @@ class JobBase;
 struct Record;
 }  // namespace detail
 
+/// A cache mutation made by the serving path (a freshly planned result
+/// landing in the cache, or the LRU entries it pushed out). The distribution
+/// layer turns these into cache_put / cache_del gossip frames.
+struct CacheEvent {
+  enum class Kind { kInsert, kEvict };
+  Kind kind = Kind::kInsert;
+  Fingerprint fp;
+  CachedPlan plan;  ///< populated for kInsert only
+};
+
 class PlanService {
  public:
   /// Enforces `cfg` through server_lint (errors throw, warnings journal) and
@@ -189,6 +208,27 @@ class PlanService {
   /// The request's cache fingerprint as the service computes it (tests).
   static Fingerprint fingerprint(const PlanRequest& req);
 
+  // --- Distribution-layer cache plumbing -------------------------------
+  // Direct plan-cache access for the dist tier: cache_probe answers come
+  // from cache_lookup; a cache_put gossip frame from a peer lands via
+  // cache_insert; cache_del via cache_remove. None of these fire the cache
+  // listener (gossip must not re-gossip), and none touch mu_ — the cache has
+  // its own shard locks.
+
+  std::optional<CachedPlan> cache_lookup(const Fingerprint& fp)
+      GAPLAN_EXCLUDES(mu_);
+  void cache_insert(const Fingerprint& fp, CachedPlan plan)
+      GAPLAN_EXCLUDES(mu_);
+  bool cache_remove(const Fingerprint& fp) GAPLAN_EXCLUDES(mu_);
+
+  /// Called after a freshly planned (not cached, not gossiped) result is
+  /// inserted — once with kInsert, then once per kEvict it displaced. Fired
+  /// with no service locks held, from the planning worker thread; the
+  /// listener may block briefly but must not call back into this service's
+  /// submit/wait path.
+  using CacheListener = std::function<void(const CacheEvent&)>;
+  void set_cache_listener(CacheListener listener) GAPLAN_EXCLUDES(mu_);
+
  private:
   /// Queue key: higher priority first, then FIFO by admission (or re-queue)
   /// sequence.
@@ -224,6 +264,7 @@ class PlanService {
   std::unordered_map<std::uint64_t, std::unique_ptr<detail::Record>> records_
       GAPLAN_GUARDED_BY(mu_);
   std::set<QKey> queue_ GAPLAN_GUARDED_BY(mu_);
+  CacheListener cache_listener_ GAPLAN_GUARDED_BY(mu_);
   std::uint64_t next_id_ GAPLAN_GUARDED_BY(mu_) = 1;
   std::uint64_t next_seq_ GAPLAN_GUARDED_BY(mu_) = 1;
   std::size_t active_workers_ GAPLAN_GUARDED_BY(mu_) = 0;

@@ -96,6 +96,70 @@ bool parse_string(Cursor& c, const char* begin, std::string& out,
   return fail(error, c, begin, "unterminated string");
 }
 
+/// Parses a JSON number token (cursor on '-' or a digit) into `value`.
+bool parse_number(Cursor& c, const char* begin, double& value,
+                  std::string& error) {
+  // strtod needs NUL termination and would scan past the end of a
+  // non-terminated frame: bound the token first, parse a local copy.
+  const char* tok_end = c.p;
+  while (tok_end < c.end &&
+         (*tok_end == '-' || *tok_end == '+' || *tok_end == '.' ||
+          *tok_end == 'e' || *tok_end == 'E' ||
+          (*tok_end >= '0' && *tok_end <= '9'))) {
+    ++tok_end;
+  }
+  char num_buf[64];
+  const std::size_t tok_len = static_cast<std::size_t>(tok_end - c.p);
+  if (tok_len == 0 || tok_len >= sizeof(num_buf)) {
+    return fail(error, c, begin, "bad number");
+  }
+  std::memcpy(num_buf, c.p, tok_len);
+  num_buf[tok_len] = '\0';
+  char* num_end = nullptr;
+  value = std::strtod(num_buf, &num_end);
+  if (num_end != num_buf + tok_len) {
+    return fail(error, c, begin, "bad number");
+  }
+  c.p = tok_end;
+  return true;
+}
+
+/// Parses a flat array of numbers (cursor on '['). Anything but numbers and
+/// commas inside is rejected — nesting stays impossible, so a hostile line
+/// can never make the parser recurse or build unbounded structure.
+bool parse_number_array(Cursor& c, const char* begin, std::vector<double>& out,
+                        std::string& error) {
+  ++c.p;  // '['
+  out.clear();
+  c.skip_ws();
+  if (!c.done() && c.peek() == ']') {
+    ++c.p;
+    return true;
+  }
+  for (;;) {
+    c.skip_ws();
+    if (c.done()) return fail(error, c, begin, "unterminated array");
+    const char v = c.peek();
+    if (v != '-' && (v < '0' || v > '9')) {
+      return fail(error, c, begin, "arrays may hold numbers only");
+    }
+    double value = 0.0;
+    if (!parse_number(c, begin, value, error)) return false;
+    out.push_back(value);
+    c.skip_ws();
+    if (c.done()) return fail(error, c, begin, "unterminated array");
+    if (c.peek() == ',') {
+      ++c.p;
+      continue;
+    }
+    if (c.peek() == ']') {
+      ++c.p;
+      return true;
+    }
+    return fail(error, c, begin, "expected ',' or ']'");
+  }
+}
+
 }  // namespace
 
 bool parse_wire_message(std::string_view line, WireMessage& out,
@@ -137,6 +201,7 @@ bool parse_wire_message(std::string_view line, WireMessage& out,
       out.strings.erase(key);
       out.numbers.erase(key);
       out.bools.erase(key);
+      out.arrays.erase(key);
 
       const char v = c.peek();
       if (v == '"') {
@@ -160,31 +225,15 @@ bool parse_wire_message(std::string_view line, WireMessage& out,
           return fail(error, c, begin, "bad literal");
         }
         c.p += 4;  // null: key is simply absent
-      } else if (v == '{' || v == '[') {
-        return fail(error, c, begin, "nested values unsupported");
+      } else if (v == '{') {
+        return fail(error, c, begin, "nested objects unsupported");
+      } else if (v == '[') {
+        std::vector<double> values;
+        if (!parse_number_array(c, begin, values, error)) return false;
+        out.arrays[key] = std::move(values);
       } else if (v == '-' || (v >= '0' && v <= '9')) {
-        // strtod needs NUL termination and would scan past the end of a
-        // non-terminated frame: bound the token first, parse a local copy.
-        const char* tok_end = c.p;
-        while (tok_end < c.end &&
-               (*tok_end == '-' || *tok_end == '+' || *tok_end == '.' ||
-                *tok_end == 'e' || *tok_end == 'E' ||
-                (*tok_end >= '0' && *tok_end <= '9'))) {
-          ++tok_end;
-        }
-        char num_buf[64];
-        const std::size_t tok_len = static_cast<std::size_t>(tok_end - c.p);
-        if (tok_len == 0 || tok_len >= sizeof(num_buf)) {
-          return fail(error, c, begin, "bad number");
-        }
-        std::memcpy(num_buf, c.p, tok_len);
-        num_buf[tok_len] = '\0';
-        char* num_end = nullptr;
-        const double value = std::strtod(num_buf, &num_end);
-        if (num_end != num_buf + tok_len) {
-          return fail(error, c, begin, "bad number");
-        }
-        c.p = tok_end;
+        double value = 0.0;
+        if (!parse_number(c, begin, value, error)) return false;
         out.numbers[key] = value;
       } else {
         return fail(error, c, begin, "unexpected value");
@@ -258,6 +307,64 @@ JsonWriter& JsonWriter::raw_field(std::string_view key,
   key_(key);
   buf_ += raw_json;
   return *this;
+}
+
+std::string render_int_array(const std::vector<int>& xs) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(xs[i]);
+  }
+  out += ']';
+  return out;
+}
+
+std::string render_wire_message(const WireMessage& msg,
+                                std::int64_t id_override) {
+  JsonWriter w;
+  const auto number_field = [&w](const std::string& key, double v) {
+    // Ids/counts travel as doubles inside WireMessage; render the integral
+    // ones back without a fractional part so clients see the same tokens the
+    // worker wrote.
+    if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+        v >= -9.0e15 && v <= 9.0e15) {
+      w.field(key, static_cast<std::int64_t>(v));
+    } else {
+      w.field(key, v);
+    }
+  };
+  for (const auto& [key, value] : msg.strings) w.field(key, std::string_view(value));
+  for (const auto& [key, value] : msg.numbers) {
+    if (key == "id" && id_override >= 0) {
+      w.field(key, id_override);
+    } else {
+      number_field(key, value);
+    }
+  }
+  for (const auto& [key, value] : msg.bools) w.field(key, value);
+  for (const auto& [key, values] : msg.arrays) {
+    std::string raw = "[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i) raw += ',';
+      const double v = values[i];
+      if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+          v >= -9.0e15 && v <= 9.0e15) {
+        raw += std::to_string(static_cast<std::int64_t>(v));
+      } else if (!std::isfinite(v)) {
+        raw += "null";  // inf/nan are not JSON numbers
+      } else {
+        char tmp[32];
+        const auto res = std::to_chars(tmp, tmp + sizeof(tmp), v);
+        raw.append(tmp, res.ptr);
+      }
+    }
+    raw += ']';
+    w.raw_field(key, raw);
+  }
+  if (id_override >= 0 && msg.numbers.find("id") == msg.numbers.end()) {
+    w.field("id", id_override);
+  }
+  return w.finish();
 }
 
 }  // namespace gaplan::serve

@@ -1,11 +1,13 @@
 // Newline-delimited JSON wire helpers for gaplan_serve.
 //
 // The protocol is deliberately flat: every request and response is a single
-// JSON object per line whose values are strings, numbers, booleans, or null
-// (requests) — no nested objects or arrays on the way in, so a tiny
-// hand-rolled parser suffices and the service never allocates unbounded
-// structure for a hostile line. Responses may carry one array (the plan),
-// written by JsonWriter::raw_field.
+// JSON object per line whose values are strings, numbers, booleans, null, or
+// a flat array of numbers — never nested objects or arrays-of-arrays — so a
+// tiny hand-rolled parser suffices and the service never allocates unbounded
+// structure for a hostile line (every value is bounded by the frame cap).
+// Number arrays exist for the distribution layer: a router relaying a
+// worker's response (or a cache_put gossip frame) must parse the plan array
+// the single-process protocol only ever wrote via JsonWriter::raw_field.
 //
 //   {"cmd":"submit","problem":"hanoi:4","gens":40,"priority":1}
 //   {"ok":true,"id":3,"state":"queued"}
@@ -19,6 +21,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace gaplan::serve {
 
@@ -33,6 +36,7 @@ struct WireMessage {
   std::map<std::string, std::string> strings;
   std::map<std::string, double> numbers;
   std::map<std::string, bool> bools;
+  std::map<std::string, std::vector<double>> arrays;
 
   const std::string* get_string(const std::string& key) const {
     const auto it = strings.find(key);
@@ -47,6 +51,10 @@ struct WireMessage {
     const auto it = bools.find(key);
     if (it == bools.end()) return std::nullopt;
     return it->second;
+  }
+  const std::vector<double>* get_array(const std::string& key) const {
+    const auto it = arrays.find(key);
+    return it == arrays.end() ? nullptr : &it->second;
   }
 };
 
@@ -87,5 +95,17 @@ class JsonWriter {
   std::string buf_;
   bool first_ = true;
 };
+
+/// Renders an int vector as a JSON array ("[1,2,3]") for raw_field — the
+/// plan payload every status/probe/gossip response carries.
+std::string render_int_array(const std::vector<int>& xs);
+
+/// Re-renders a parsed message as one wire line, with `id_override`
+/// substituted for any "id" field when >= 0. The router uses this to relay a
+/// worker's response to the client under the router-side request id; fields
+/// come out in map (alphabetical) order, and integral numbers render without
+/// a fractional part.
+std::string render_wire_message(const WireMessage& msg,
+                                std::int64_t id_override = -1);
 
 }  // namespace gaplan::serve

@@ -40,6 +40,10 @@ namespace gaplan::util::lock_order {
 // wrap calls into any subsystem, but no subsystem lock may be held when one
 // is acquired.
 inline constexpr int kRankDefault = 0;
+inline constexpr int kRankDistRouter = 6;      ///< dist::RouterService::mu_
+inline constexpr int kRankDistBackends = 7;    ///< dist::BackendPool backend table
+inline constexpr int kRankDistShards = 8;      ///< gaplan_worker island-shard table
+inline constexpr int kRankDistGossip = 9;      ///< dist::GossipSender queue
 inline constexpr int kRankServeService = 10;   ///< PlanService::mu_
 inline constexpr int kRankPoolQueue = 20;      ///< ThreadPool::mutex_
 inline constexpr int kRankCacheShard = 25;     ///< PlanCache::Shard::mu

@@ -1,0 +1,381 @@
+// Property suite for the distribution layer: the consistent-hash ring's
+// balance and minimal-remapping guarantees (the two properties hash_ring.hpp
+// documents as load-bearing), and the migration codec's bit-exact roundtrip
+// plus clean rejection of corrupted frames (reusing the wire-mutation
+// patterns of tests/prop/generators.hpp).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dist/hash_ring.hpp"
+#include "dist/island_shard.hpp"
+#include "dist/migration.hpp"
+#include "prop/generators.hpp"
+#include "prop/prop.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gaplan;
+using dist::HashRing;
+using dist::MigrantBatch;
+
+// ---------------------------------------------------------------------------
+// Ring generators
+
+/// A ring membership plus a key salt, so every iteration probes a different
+/// region of the keyspace. Weights are all 1.0 unless `heavy_weight` > 0, in
+/// which case backend 0 carries it.
+struct RingCase {
+  std::size_t backends = 2;
+  double heavy_weight = 0.0;
+  std::uint64_t salt = 0;
+};
+
+std::string backend_id(std::size_t i) {
+  return "127.0.0.1:" + std::to_string(7100 + i);
+}
+
+HashRing build_ring(const RingCase& c) {
+  HashRing ring(64);
+  for (std::size_t i = 0; i < c.backends; ++i) {
+    const double w = (i == 0 && c.heavy_weight > 0.0) ? c.heavy_weight : 1.0;
+    ring.add(backend_id(i), w);
+  }
+  return ring;
+}
+
+std::uint64_t probe_key(const RingCase& c, std::size_t i) {
+  std::uint64_t state = c.salt + i;
+  return util::splitmix64(state);
+}
+
+prop::Gen<RingCase> ring_case(bool weighted) {
+  prop::Gen<RingCase> g;
+  g.sample = [weighted](util::Rng& rng) {
+    RingCase c;
+    c.backends = 2 + rng.below(5);  // 2..6
+    if (weighted) c.heavy_weight = rng.uniform(0.5, 4.0);
+    c.salt = rng();
+    return c;
+  };
+  g.shrink = [](const RingCase& c) {
+    std::vector<RingCase> out;
+    if (c.backends > 2) {
+      RingCase s = c;
+      s.backends = 2;
+      out.push_back(s);
+    }
+    if (c.salt != 0) {
+      RingCase s = c;
+      s.salt = 0;
+      out.push_back(s);
+    }
+    return out;
+  };
+  g.show = [](const RingCase& c) {
+    std::ostringstream os;
+    os << c.backends << " backends";
+    if (c.heavy_weight > 0.0) os << ", backend 0 weight " << c.heavy_weight;
+    os << ", salt " << c.salt;
+    return os.str();
+  };
+  return g;
+}
+
+constexpr std::size_t kProbeKeys = 3000;
+
+std::map<std::string, std::size_t> key_shares(const HashRing& ring,
+                                              const RingCase& c) {
+  std::map<std::string, std::size_t> shares;
+  for (std::size_t i = 0; i < kProbeKeys; ++i) {
+    shares[*ring.owner(probe_key(c, i))]++;
+  }
+  return shares;
+}
+
+// ---------------------------------------------------------------------------
+// Ring properties
+
+/// Balance: with the default vnode density, equal-weight backends own key
+/// shares within a constant factor of fair (the bound hash_ring.hpp states).
+TEST(PropDistRing, EqualWeightSharesAreBalanced) {
+  prop::check("ring_balance", ring_case(/*weighted=*/false),
+              [](const RingCase& c) {
+                const HashRing ring = build_ring(c);
+                const auto shares = key_shares(ring, c);
+                const double ideal =
+                    static_cast<double>(kProbeKeys) / c.backends;
+                for (std::size_t i = 0; i < c.backends; ++i) {
+                  const auto it = shares.find(backend_id(i));
+                  const double got =
+                      it == shares.end() ? 0.0
+                                         : static_cast<double>(it->second);
+                  EXPECT_GT(got, 0.4 * ideal)
+                      << backend_id(i) << " owns " << got << "/" << kProbeKeys
+                      << " keys, ideal " << ideal;
+                  EXPECT_LT(got, 2.2 * ideal)
+                      << backend_id(i) << " owns " << got << "/" << kProbeKeys
+                      << " keys, ideal " << ideal;
+                }
+              },
+              {.iterations = 25});
+}
+
+/// A weight-w backend owns at least a proportional floor of the keyspace —
+/// weights really do scale capacity, they are not cosmetic.
+TEST(PropDistRing, WeightScalesShare) {
+  prop::check("ring_weighted_share", ring_case(/*weighted=*/true),
+              [](const RingCase& c) {
+                const HashRing ring = build_ring(c);
+                const auto shares = key_shares(ring, c);
+                const double total_weight =
+                    c.heavy_weight + static_cast<double>(c.backends - 1);
+                const double ideal =
+                    kProbeKeys * (c.heavy_weight / total_weight);
+                const auto it = shares.find(backend_id(0));
+                const double got =
+                    it == shares.end() ? 0.0 : static_cast<double>(it->second);
+                EXPECT_GT(got, 0.4 * ideal)
+                    << "weight " << c.heavy_weight << " backend owns " << got
+                    << " keys, proportional ideal " << ideal;
+              },
+              {.iterations = 25});
+}
+
+/// Stability on addition: adding a backend may only capture keys — any key
+/// whose owner changed must now belong to the new backend. Nothing else
+/// reshuffles, so surviving workers keep their warm caches.
+TEST(PropDistRing, AddRemapsMinimally) {
+  prop::check("ring_add_minimal_remap", ring_case(/*weighted=*/false),
+              [](const RingCase& c) {
+                HashRing ring = build_ring(c);
+                std::vector<std::string> before(kProbeKeys);
+                for (std::size_t i = 0; i < kProbeKeys; ++i) {
+                  before[i] = *ring.owner(probe_key(c, i));
+                }
+                const std::string added = "127.0.0.1:9999";
+                ASSERT_TRUE(ring.add(added));
+                std::size_t captured = 0;
+                for (std::size_t i = 0; i < kProbeKeys; ++i) {
+                  const std::string& now = *ring.owner(probe_key(c, i));
+                  if (now != before[i]) {
+                    EXPECT_EQ(now, added)
+                        << "key " << i << " moved " << before[i] << " -> "
+                        << now << " although neither is the added backend";
+                    ++captured;
+                  }
+                }
+                EXPECT_GT(captured, 0u)
+                    << "the added backend captured no keys at all";
+              },
+              {.iterations = 25});
+}
+
+/// Stability on removal: only the removed backend's keys move.
+TEST(PropDistRing, RemoveRemapsMinimally) {
+  prop::check("ring_remove_minimal_remap", ring_case(/*weighted=*/false),
+              [](const RingCase& c) {
+                if (c.backends < 3) return;  // removal must leave >= 2 behind
+                HashRing ring = build_ring(c);
+                std::vector<std::string> before(kProbeKeys);
+                for (std::size_t i = 0; i < kProbeKeys; ++i) {
+                  before[i] = *ring.owner(probe_key(c, i));
+                }
+                const std::string removed = backend_id(c.backends - 1);
+                ASSERT_TRUE(ring.remove(removed));
+                for (std::size_t i = 0; i < kProbeKeys; ++i) {
+                  const std::string& now = *ring.owner(probe_key(c, i));
+                  if (before[i] == removed) {
+                    EXPECT_NE(now, removed);
+                  } else {
+                    EXPECT_EQ(now, before[i])
+                        << "key " << i << " moved although its owner survived";
+                  }
+                }
+              },
+              {.iterations = 25});
+}
+
+/// The failover chain is the owner followed by distinct successors, and its
+/// prefix is stable: chain(key, n)[0..m) == chain(key, m) for m <= n.
+TEST(PropDistRing, ChainPrefixesAreConsistent) {
+  prop::check("ring_chain_prefix", ring_case(/*weighted=*/false),
+              [](const RingCase& c) {
+                const HashRing ring = build_ring(c);
+                for (std::size_t i = 0; i < 64; ++i) {
+                  const std::uint64_t key = probe_key(c, i);
+                  const auto full = ring.chain(key, c.backends);
+                  ASSERT_EQ(full.size(), c.backends);
+                  EXPECT_EQ(full[0], *ring.owner(key));
+                  for (std::size_t m = 1; m < c.backends; ++m) {
+                    const auto prefix = ring.chain(key, m);
+                    ASSERT_EQ(prefix.size(), m);
+                    for (std::size_t j = 0; j < m; ++j) {
+                      EXPECT_EQ(prefix[j], full[j]);
+                    }
+                  }
+                }
+              },
+              {.iterations = 15});
+}
+
+// ---------------------------------------------------------------------------
+// Island partitioning
+
+TEST(PropDistPartition, RangesAreContiguousAndComplete) {
+  struct Case {
+    std::size_t islands;
+    std::vector<double> weights;
+  };
+  prop::Gen<Case> gen;
+  gen.sample = [](util::Rng& rng) {
+    Case c;
+    c.islands = 1 + rng.below(16);
+    const std::size_t workers = 1 + rng.below(5);
+    for (std::size_t i = 0; i < workers; ++i) {
+      c.weights.push_back(rng.uniform(0.25, 4.0));
+    }
+    return c;
+  };
+  gen.show = [](const Case& c) {
+    std::ostringstream os;
+    os << c.islands << " islands over " << c.weights.size() << " workers";
+    return os.str();
+  };
+  prop::check("partition_islands_cover", gen,
+              [](const Case& c) {
+                const auto parts = dist::partition_islands(c.islands, c.weights);
+                ASSERT_EQ(parts.size(), c.weights.size());
+                std::size_t covered = 0;
+                for (const auto& [b, e] : parts) {
+                  EXPECT_EQ(b, covered) << "ranges must tile [0, islands)";
+                  EXPECT_LE(b, e);
+                  covered = e;
+                }
+                EXPECT_EQ(covered, c.islands);
+                // Determinism: the router and the worker must agree.
+                EXPECT_EQ(parts, dist::partition_islands(c.islands, c.weights));
+              },
+              {.iterations = 40});
+}
+
+// ---------------------------------------------------------------------------
+// Migration codec
+
+prop::Gen<MigrantBatch> migrant_batch() {
+  return prop::map(prop::vector_of(prop::genome(0, 40), 0, 8),
+                   [](std::vector<ga::Genome> genomes) {
+                     MigrantBatch b;
+                     b.genomes = std::move(genomes);
+                     return b;
+                   });
+}
+
+/// encode -> parse is bit-exact for every batch: genes travel as u64 bit
+/// patterns, so no double survives with perturbed low bits.
+TEST(PropDistMigration, CodecRoundtripIsBitExact) {
+  prop::check("migration_roundtrip", migrant_batch(),
+              [](const MigrantBatch& batch) {
+                std::string err;
+                const auto parsed =
+                    dist::parse_migrants(dist::encode_migrants(batch), &err);
+                ASSERT_TRUE(parsed.has_value()) << err;
+                EXPECT_TRUE(*parsed == batch);
+              },
+              {.iterations = 60});
+}
+
+/// A corrupted frame must parse to exactly the original batch (the mutation
+/// was a no-op or landed in redundant bytes) or fail cleanly — never decode
+/// into a different population, crash, or allocate unboundedly. Mutation
+/// shapes follow the adversarial wire-frame generator.
+struct CorruptFrame {
+  MigrantBatch original;
+  std::string line;
+  std::string mutation;
+};
+
+prop::Gen<CorruptFrame> corrupt_frame() {
+  prop::Gen<CorruptFrame> g;
+  g.sample = [](util::Rng& rng) {
+    CorruptFrame c;
+    util::Rng genomes(rng());
+    const std::size_t count = genomes.below(4);
+    for (std::size_t i = 0; i < count; ++i) {
+      c.original.genomes.push_back(
+          prop::random_genome(genomes.below(24), genomes));
+    }
+    c.line = dist::encode_migrants(c.original);
+    switch (rng.below(4)) {
+      case 0: {
+        c.mutation = "truncate";
+        c.line.resize(rng.below(c.line.size() + 1));
+        break;
+      }
+      case 1: {
+        c.mutation = "byte-flip";
+        if (!c.line.empty()) {
+          const std::size_t at = rng.below(c.line.size());
+          c.line[at] = static_cast<char>(rng.below(256));
+        }
+        break;
+      }
+      case 2: {
+        c.mutation = "garbage-insert";
+        const std::size_t n = 1 + rng.below(6);
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::size_t at = rng.below(c.line.size() + 1);
+          c.line.insert(c.line.begin() + static_cast<std::ptrdiff_t>(at),
+                        static_cast<char>(rng.below(256)));
+        }
+        break;
+      }
+      default: {
+        c.mutation = "huge-count";
+        c.line = "v1;" + std::to_string(dist::kMaxMigrants + 1 + rng.below(1u << 20)) +
+                 ";c=0123456789abcdef";
+        break;
+      }
+    }
+    return c;
+  };
+  g.show = [](const CorruptFrame& c) {
+    std::ostringstream os;
+    os << c.mutation << " [" << c.line.size() << " bytes] ";
+    for (std::size_t i = 0; i < c.line.size() && i < 96; ++i) {
+      const unsigned char ch = static_cast<unsigned char>(c.line[i]);
+      if (ch >= 0x20 && ch < 0x7F) {
+        os << c.line[i];
+      } else {
+        os << "\\x" << std::hex << static_cast<int>(ch) << std::dec;
+      }
+    }
+    if (c.line.size() > 96) os << "...";
+    return os.str();
+  };
+  return g;
+}
+
+TEST(PropDistMigration, CorruptedFramesNeverDecodeDifferently) {
+  prop::check("migration_adversarial", corrupt_frame(),
+              [](const CorruptFrame& c) {
+                std::string err;
+                const auto parsed = dist::parse_migrants(c.line, &err);
+                if (parsed.has_value()) {
+                  EXPECT_TRUE(*parsed == c.original)
+                      << "corruption (" << c.mutation
+                      << ") decoded into a different population";
+                } else {
+                  EXPECT_FALSE(err.empty())
+                      << "rejection must explain itself";
+                }
+              },
+              {.iterations = 80});
+}
+
+}  // namespace

@@ -722,6 +722,13 @@ TEST(Wire, ParsesFlatObjects) {
 
   ASSERT_TRUE(parse_wire_message("  { }  ", msg, err)) << err;
   EXPECT_TRUE(msg.strings.empty());
+
+  ASSERT_TRUE(parse_wire_message(R"({"plan":[3,1,2],"empty":[]})", msg, err))
+      << err;
+  ASSERT_NE(msg.get_array("plan"), nullptr);
+  EXPECT_EQ(*msg.get_array("plan"), (std::vector<double>{3.0, 1.0, 2.0}));
+  ASSERT_NE(msg.get_array("empty"), nullptr);
+  EXPECT_TRUE(msg.get_array("empty")->empty());
 }
 
 TEST(Wire, RejectsMalformedLines) {
@@ -731,7 +738,11 @@ TEST(Wire, RejectsMalformedLines) {
   EXPECT_FALSE(parse_wire_message("not json", msg, err));
   EXPECT_FALSE(parse_wire_message(R"({"a":1} trailing)", msg, err));
   EXPECT_FALSE(parse_wire_message(R"({"a":{"nested":1}})", msg, err));
-  EXPECT_FALSE(parse_wire_message(R"({"a":[1,2]})", msg, err));
+  // Flat number arrays are a supported value type (the dist layer relays
+  // plan arrays), but nesting and non-number elements stay malformed.
+  EXPECT_FALSE(parse_wire_message(R"({"a":[[1],2]})", msg, err));
+  EXPECT_FALSE(parse_wire_message(R"({"a":["x"]})", msg, err));
+  EXPECT_FALSE(parse_wire_message(R"({"a":[1,2)", msg, err));
   EXPECT_FALSE(parse_wire_message(R"({"a":tru})", msg, err));
   EXPECT_FALSE(parse_wire_message(R"({"a":"unterminated)", msg, err));
   EXPECT_FALSE(parse_wire_message(R"({"a" 1})", msg, err));
